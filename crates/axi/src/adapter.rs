@@ -1,0 +1,495 @@
+//! Row-by-row AXI-Stream matrix adapters.
+//!
+//! Each generator wraps an 8×8 matrix kernel in the streaming protocol the
+//! paper mandates: the input matrix arrives as eight 96-bit row beats
+//! (8 × 12-bit elements), the result leaves as eight 72-bit row beats
+//! (8 × 9-bit elements). The input and output sides are double-buffered, so
+//! a fully parallel kernel reaches the adapter's ceiling of one matrix per
+//! 8 cycles — the "sequential adapter bottleneck" of the paper.
+
+use crate::ports::{AxisMaster, AxisSlave};
+use hc_bits::Bits;
+use hc_rtl::{BinaryOp, Module, NodeId, RegId};
+
+/// Geometry of a matrix wrapper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MatrixWrapperSpec {
+    /// Bits per input element (12 for the IDCT).
+    pub in_elem_width: u32,
+    /// Bits per output element (9 for the IDCT).
+    pub out_elem_width: u32,
+}
+
+impl MatrixWrapperSpec {
+    /// The IDCT geometry: 12-bit coefficients in, 9-bit samples out.
+    pub fn idct() -> Self {
+        MatrixWrapperSpec {
+            in_elem_width: 12,
+            out_elem_width: 9,
+        }
+    }
+
+    /// Input beat width (one row).
+    pub fn in_row_width(&self) -> u32 {
+        self.in_elem_width * 8
+    }
+
+    /// Output beat width (one row).
+    pub fn out_row_width(&self) -> u32 {
+        self.out_elem_width * 8
+    }
+}
+
+/// Splits a packed row into its 8 elements, lowest column first.
+pub(crate) fn unpack_row(m: &mut Module, row: NodeId, elem_w: u32) -> Vec<NodeId> {
+    (0..8).map(|c| m.slice(row, c * elem_w, elem_w)).collect()
+}
+
+/// Packs 8 elements (lowest column first) into one row.
+///
+/// # Panics
+///
+/// Panics if `elems` does not have exactly 8 entries.
+pub(crate) fn pack_row(m: &mut Module, elems: &[NodeId]) -> NodeId {
+    assert_eq!(elems.len(), 8, "a row has 8 elements");
+    let mut acc = elems[0];
+    for &e in &elems[1..] {
+        acc = m.concat(e, acc);
+    }
+    acc
+}
+
+/// The deserializing input side shared by all wrappers.
+struct InputSide {
+    /// Current value of the row counter (4 bits, 8 = full).
+    in_full: NodeId,
+    /// Row-buffer register outputs.
+    row_outs: Vec<NodeId>,
+    /// Row-buffer registers (wired in `finish`).
+    row_regs: Vec<RegId>,
+    /// To be wired once `clear`/`accept_extra` are known.
+    in_cnt: RegId,
+    in_cnt_q: NodeId,
+    slave: AxisSlave,
+}
+
+impl InputSide {
+    fn declare(m: &mut Module, spec: MatrixWrapperSpec) -> Self {
+        let slave = AxisSlave::declare(m, "s_axis", spec.in_row_width());
+        let in_cnt = m.reg("in_cnt", 4, Bits::zero(4));
+        let in_cnt_q = m.reg_out(in_cnt);
+        let eight = m.const_u(4, 8);
+        let in_full = m.binary(BinaryOp::Eq, in_cnt_q, eight, 1);
+        let mut row_outs = Vec::with_capacity(8);
+        let mut row_regs = Vec::with_capacity(8);
+        for i in 0..8 {
+            let r = m.reg(
+                format!("in_row{i}"),
+                spec.in_row_width(),
+                Bits::zero(spec.in_row_width()),
+            );
+            row_regs.push(r);
+            row_outs.push(m.reg_out(r));
+        }
+        InputSide {
+            in_full,
+            row_outs,
+            row_regs,
+            in_cnt,
+            in_cnt_q,
+            slave,
+        }
+    }
+
+    /// Completes the input side. `accept_extra` allows a beat while full
+    /// (the cycle the buffer is handed over); `clear` restarts the row
+    /// counter. Returns the beat signal.
+    fn finish(&self, m: &mut Module, rst: NodeId, accept_extra: NodeId, clear: NodeId) -> NodeId {
+        let not_full = m.unary(hc_rtl::UnaryOp::Not, self.in_full);
+        let ready = m.binary(BinaryOp::Or, not_full, accept_extra, 1);
+        self.slave.set_ready(m, "s_axis", ready);
+        let beat = self.slave.beat(m, ready);
+
+        // Row registers: capture the beat into row in_cnt[2:0] (the low bits
+        // of 8 are 0, so the handover-cycle beat lands in row 0).
+        let row_idx = m.slice(self.in_cnt_q, 0, 3);
+        for (i, &reg) in self.row_regs.iter().enumerate() {
+            let this = m.const_u(3, i as u64);
+            let is_row = m.binary(BinaryOp::Eq, row_idx, this, 1);
+            let en = m.binary(BinaryOp::And, beat, is_row, 1);
+            m.reg_en(reg, en);
+            m.connect_reg(reg, self.slave.tdata);
+        }
+
+        // in_cnt: clear ? (beat ? 1 : 0) : beat ? +1 : hold.
+        let one4 = m.const_u(4, 1);
+        let inc = m.binary(BinaryOp::Add, self.in_cnt_q, one4, 4);
+        let held = m.mux(beat, inc, self.in_cnt_q);
+        let zero4 = m.const_u(4, 0);
+        let restarted = m.mux(beat, one4, zero4);
+        let next = m.mux(clear, restarted, held);
+        m.connect_reg(self.in_cnt, next);
+        m.reg_reset(self.in_cnt, rst);
+        beat
+    }
+
+    /// The 64 buffered input elements, row-major.
+    fn elems(&self, m: &mut Module, spec: MatrixWrapperSpec) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(64);
+        for &row in &self.row_outs {
+            out.extend(unpack_row(m, row, spec.in_elem_width));
+        }
+        out
+    }
+}
+
+/// The serializing output side shared by all wrappers.
+struct OutputSide {
+    out_cnt: RegId,
+    out_cnt_q: NodeId,
+    /// Output buffer free after this cycle (idle, or last beat leaving).
+    out_done: NodeId,
+    master: AxisMaster,
+}
+
+impl OutputSide {
+    fn declare(m: &mut Module) -> Self {
+        let master = AxisMaster::declare(m, "m_axis");
+        // out_cnt starts at 8 (idle / drained).
+        let out_cnt = m.reg("out_cnt", 4, Bits::from_u64(4, 8));
+        let out_cnt_q = m.reg_out(out_cnt);
+        let eight = m.const_u(4, 8);
+        let idle = m.binary(BinaryOp::Eq, out_cnt_q, eight, 1);
+        let active = m.unary(hc_rtl::UnaryOp::Not, idle);
+        let beat = master.beat(m, active);
+        let seven = m.const_u(4, 7);
+        let at_last = m.binary(BinaryOp::Eq, out_cnt_q, seven, 1);
+        let last_beat = m.binary(BinaryOp::And, at_last, beat, 1);
+        let out_done = m.binary(BinaryOp::Or, idle, last_beat, 1);
+        OutputSide {
+            out_cnt,
+            out_cnt_q,
+            out_done,
+            master,
+        }
+    }
+
+    /// Completes the output side: on `load`, capture `rows_next` (8 packed
+    /// rows) and restart streaming.
+    fn finish(&self, m: &mut Module, rst: NodeId, spec: MatrixWrapperSpec, load: NodeId, rows_next: &[NodeId]) {
+        assert_eq!(rows_next.len(), 8);
+        let mut row_outs = Vec::with_capacity(8);
+        for (i, &next) in rows_next.iter().enumerate() {
+            let r = m.reg(
+                format!("out_row{i}"),
+                spec.out_row_width(),
+                Bits::zero(spec.out_row_width()),
+            );
+            let q = m.reg_out(r);
+            m.reg_en(r, load);
+            m.connect_reg(r, next);
+            row_outs.push(q);
+        }
+        let eight = m.const_u(4, 8);
+        let idle = m.binary(BinaryOp::Eq, self.out_cnt_q, eight, 1);
+        let active = m.unary(hc_rtl::UnaryOp::Not, idle);
+        let beat = self.master.beat(m, active);
+        let one = m.const_u(4, 1);
+        let inc = m.binary(BinaryOp::Add, self.out_cnt_q, one, 4);
+        let advanced = m.mux(beat, inc, self.out_cnt_q);
+        let zero = m.const_u(4, 0);
+        let next = m.mux(load, zero, advanced);
+        m.connect_reg(self.out_cnt, next);
+        m.reg_reset(self.out_cnt, rst);
+
+        let sel = m.slice(self.out_cnt_q, 0, 3);
+        let tdata = m.select(sel, &row_outs);
+        self.master.set_outputs(m, "m_axis", tdata, active);
+    }
+}
+
+/// Wraps a *combinational* matrix kernel (the paper's "initial" RTL
+/// designs): the closure receives the 64 buffered input elements
+/// (row-major, `in_elem_width` bits each) and returns the 64 output
+/// elements (`out_elem_width` bits each).
+///
+/// Latency is 17 cycles and sustained periodicity 8 cycles per matrix —
+/// exactly the paper's Table II figures for the initial Verilog design.
+///
+/// # Panics
+///
+/// Panics if the kernel returns a wrong element count or width.
+pub fn wrap_comb_matrix(
+    name: &str,
+    spec: MatrixWrapperSpec,
+    kernel: impl FnOnce(&mut Module, &[NodeId]) -> Vec<NodeId>,
+) -> Module {
+    let mut m = Module::new(name);
+    let rst = m.input("rst", 1);
+    let input = InputSide::declare(&mut m, spec);
+    let output = OutputSide::declare(&mut m);
+
+    let transfer = m.binary(BinaryOp::And, input.in_full, output.out_done, 1);
+    m.name_node(transfer, "transfer");
+    input.finish(&mut m, rst, transfer, transfer);
+
+    let elems = input.elems(&mut m, spec);
+    let outs = kernel(&mut m, &elems);
+    let rows = check_and_pack(&mut m, spec, outs);
+    output.finish(&mut m, rst, spec, transfer, &rows);
+    m
+}
+
+/// Wraps a *pipelined* matrix kernel: a pure module with 64 input ports
+/// (`e0..e63`) and 64 output ports (`o0..o63`) whose internal registers
+/// form a `latency`-deep pipeline (e.g. the output of `hc-flow`'s
+/// scheduler). The wrapper inlines the kernel, gates **all** of its
+/// pipeline registers with a global advance signal (so results are never
+/// lost under backpressure), and keeps multiple matrices in flight —
+/// sustained periodicity stays 8 at any depth, while latency grows with
+/// `latency` (plus one hand-off cycle), matching the paper's XLS
+/// observations.
+///
+/// # Panics
+///
+/// Panics if the kernel does not have the `e*`/`o*` port shape, has
+/// registers with pre-existing enables, or has wrong element widths.
+pub fn wrap_pipelined_matrix(
+    name: &str,
+    spec: MatrixWrapperSpec,
+    kernel: &Module,
+    latency: u32,
+) -> Module {
+    assert!(latency >= 1, "use wrap_comb_matrix for latency 0");
+    let mut m = Module::new(name);
+    let rst = m.input("rst", 1);
+    let input = InputSide::declare(&mut m, spec);
+    let output = OutputSide::declare(&mut m);
+
+    let res_full = m.reg("res_full", 1, Bits::zero(1));
+    let res_full_q = m.reg_out(res_full);
+
+    // Inline the kernel over the buffered input elements.
+    let elems = input.elems(&mut m, spec);
+    assert_eq!(kernel.inputs().len(), 64, "kernel must take e0..e63");
+    let bindings: Vec<NodeId> = kernel
+        .inputs()
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            assert_eq!(p.name, format!("e{i}"), "kernel input order");
+            elems[i]
+        })
+        .collect();
+    let reg_base = m.regs().len();
+    let outs_map = m.inline_from("kernel", kernel, &bindings);
+    let kernel_regs: Vec<RegId> = (reg_base..m.regs().len()).map(RegId::from_index).collect();
+    let outs: Vec<NodeId> = (0..64)
+        .map(|i| {
+            *outs_map
+                .get(&format!("o{i}"))
+                .unwrap_or_else(|| panic!("kernel must produce o{i}"))
+        })
+        .collect();
+    let rows = check_and_pack(&mut m, spec, outs);
+
+    // Valid shift register, one bit per pipeline stage.
+    let depth = latency.max(1) as usize;
+    let mut valid_regs: Vec<RegId> = Vec::with_capacity(depth);
+    let mut valids: Vec<NodeId> = Vec::with_capacity(depth);
+    for i in 0..depth {
+        let r = m.reg(format!("vld{i}"), 1, Bits::zero(1));
+        valid_regs.push(r);
+        valids.push(m.reg_out(r));
+    }
+    let last_valid = valids[depth - 1];
+
+    // Hand-off: a finished result moves to the capture slot when it is (or
+    // becomes) free; the whole pipe stalls otherwise.
+    let transfer = m.binary(BinaryOp::And, res_full_q, output.out_done, 1);
+    m.name_node(transfer, "transfer");
+    let not_full = m.unary(hc_rtl::UnaryOp::Not, res_full_q);
+    let res_free_next = m.binary(BinaryOp::Or, not_full, transfer, 1);
+    let move_result = m.binary(BinaryOp::And, last_valid, res_free_next, 1);
+    let not_last = m.unary(hc_rtl::UnaryOp::Not, last_valid);
+    let advance = m.binary(BinaryOp::Or, not_last, move_result, 1);
+    m.name_node(advance, "pipe_advance");
+
+    // Gate every kernel register with the advance signal.
+    for &r in &kernel_regs {
+        assert!(
+            m.regs()[r.index()].en.is_none(),
+            "pipelined kernel registers must be free-running"
+        );
+        m.reg_en(r, advance);
+    }
+
+    // Launch a buffered matrix into the pipe whenever it moves.
+    let launch = m.binary(BinaryOp::And, input.in_full, advance, 1);
+    m.name_node(launch, "launch");
+    input.finish(&mut m, rst, launch, launch);
+
+    let mut prev = launch;
+    for (i, &r) in valid_regs.iter().enumerate() {
+        m.connect_reg(r, prev);
+        m.reg_en(r, advance);
+        m.reg_reset(r, rst);
+        prev = valids[i];
+    }
+
+    // Capture the arriving result rows.
+    let mut res_rows = Vec::with_capacity(8);
+    for (i, &row) in rows.iter().enumerate() {
+        let r = m.reg(
+            format!("res_row{i}"),
+            spec.out_row_width(),
+            Bits::zero(spec.out_row_width()),
+        );
+        let q = m.reg_out(r);
+        m.reg_en(r, move_result);
+        m.connect_reg(r, row);
+        res_rows.push(q);
+    }
+    let not_transfer = m.unary(hc_rtl::UnaryOp::Not, transfer);
+    let kept = m.binary(BinaryOp::And, res_full_q, not_transfer, 1);
+    let res_next = m.binary(BinaryOp::Or, kept, move_result, 1);
+    m.connect_reg(res_full, res_next);
+    m.reg_reset(res_full, rst);
+
+    output.finish(&mut m, rst, spec, transfer, &res_rows);
+    m
+}
+
+/// A sequential (FSM) kernel's connection points, as returned by the
+/// closure given to [`wrap_sequential_matrix`].
+#[derive(Clone, Debug)]
+pub struct SequentialKernel {
+    /// The 64 result elements, row-major, valid the cycle `done` pulses.
+    pub outputs: Vec<NodeId>,
+    /// Single-cycle completion pulse.
+    pub done: NodeId,
+}
+
+/// Wraps a *sequential* start/done kernel (what the HLS flows produce when
+/// nothing overlaps): fill the input buffer, pulse `start`, wait for
+/// `done`, then drain. Nothing overlaps, so the periodicity equals the
+/// latency — the behaviour behind Bambu's and Vivado HLS's poor initial
+/// throughput in the paper.
+///
+/// The closure receives `(module, input elements, start, rst)`.
+///
+/// # Panics
+///
+/// Panics on wrong kernel output count/width.
+pub fn wrap_sequential_matrix(
+    name: &str,
+    spec: MatrixWrapperSpec,
+    kernel: impl FnOnce(&mut Module, &[NodeId], NodeId, NodeId) -> SequentialKernel,
+) -> Module {
+    let mut m = Module::new(name);
+    let rst = m.input("rst", 1);
+    let input = InputSide::declare(&mut m, spec);
+    let output = OutputSide::declare(&mut m);
+
+    // busy: set while the kernel runs; input accepts only when not full.
+    let busy = m.reg("busy", 1, Bits::zero(1));
+    let busy_q = m.reg_out(busy);
+
+    let zero1 = m.const_u(1, 0);
+    let elems = input.elems(&mut m, spec);
+
+    // start pulses the cycle the matrix completes and the kernel is idle.
+    let not_busy = m.unary(hc_rtl::UnaryOp::Not, busy_q);
+    let start = m.binary(BinaryOp::And, input.in_full, not_busy, 1);
+    m.name_node(start, "start");
+
+    let k = kernel(&mut m, &elems, start, rst);
+    let rows = check_and_pack(&mut m, spec, k.outputs);
+
+    // Wait for the output buffer before draining (done and out busy cannot
+    // normally coincide since nothing overlaps, but stay safe).
+    let transfer = m.binary(BinaryOp::And, k.done, output.out_done, 1);
+    m.name_node(transfer, "transfer");
+
+    // busy: set on start, cleared on done.
+    let not_done = m.unary(hc_rtl::UnaryOp::Not, k.done);
+    let kept = m.binary(BinaryOp::And, busy_q, not_done, 1);
+    let busy_next = m.binary(BinaryOp::Or, kept, start, 1);
+    m.connect_reg(busy, busy_next);
+    m.reg_reset(busy, rst);
+
+    input.finish(&mut m, rst, zero1, transfer);
+    output.finish(&mut m, rst, spec, transfer, &rows);
+    m
+}
+
+fn check_and_pack(m: &mut Module, spec: MatrixWrapperSpec, outs: Vec<NodeId>) -> Vec<NodeId> {
+    assert_eq!(outs.len(), 64, "matrix kernel must produce 64 elements");
+    for &o in &outs {
+        assert_eq!(
+            m.width(o),
+            spec.out_elem_width,
+            "kernel output element width"
+        );
+    }
+    outs.chunks(8).map(|row| pack_row(m, row)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn identity_kernel(m: &mut Module, elems: &[NodeId]) -> Vec<NodeId> {
+        elems.iter().map(|&e| m.slice(e, 0, 9)).collect()
+    }
+
+    #[test]
+    fn comb_wrapper_validates() {
+        let m = wrap_comb_matrix("w", MatrixWrapperSpec::idct(), identity_kernel);
+        m.validate().unwrap();
+        assert!(m.input_named("s_axis_tdata").is_some());
+        assert_eq!(m.input_named("s_axis_tdata").unwrap().width, 96);
+        assert_eq!(
+            m.width(m.output_named("m_axis_tdata").unwrap().node),
+            72
+        );
+    }
+
+    #[test]
+    fn pipelined_wrapper_validates() {
+        // A 1-stage kernel: register each truncated element.
+        let mut k = Module::new("k");
+        for i in 0..64 {
+            let e = k.input(format!("e{i}"), 12);
+            let s = k.slice(e, 0, 9);
+            let r = k.reg(format!("p{i}"), 9, Bits::zero(9));
+            let q = k.reg_out(r);
+            k.connect_reg(r, s);
+            k.output(format!("o{i}"), q);
+        }
+        let m = wrap_pipelined_matrix("w", MatrixWrapperSpec::idct(), &k, 1);
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn sequential_wrapper_validates() {
+        let m = wrap_sequential_matrix("w", MatrixWrapperSpec::idct(), |m, elems, start, rst| {
+            // A kernel that "computes" for one cycle: done = start delayed.
+            let d = m.reg("dly", 1, Bits::zero(1));
+            let done = m.reg_out(d);
+            m.connect_reg(d, start);
+            m.reg_reset(d, rst);
+            let outputs = elems.iter().map(|&e| m.slice(e, 0, 9)).collect();
+            SequentialKernel { outputs, done }
+        });
+        m.validate().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "64 elements")]
+    fn wrong_element_count_rejected() {
+        wrap_comb_matrix("w", MatrixWrapperSpec::idct(), |m, elems| {
+            vec![m.slice(elems[0], 0, 9)]
+        });
+    }
+}

@@ -1,0 +1,65 @@
+//! PCI-Express link bandwidth model (MaxCompiler's system interface).
+
+/// A PCIe link characterized by generation transfer rate, lane count and
+/// line coding — the throughput bound behind the paper's MaxJ numbers.
+///
+/// # Examples
+///
+/// ```
+/// use hc_axi::PcieLink;
+///
+/// // The paper: PCIe 3.0 x16 moving one 1024-bit matrix per operation
+/// // yields ~123 MOPS.
+/// let mops = PcieLink::gen3_x16().ops_per_second(1024) / 1e6;
+/// assert!((mops - 123.08).abs() < 0.1, "{mops}");
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PcieLink {
+    /// Per-lane transfer rate in GT/s.
+    pub gt_per_s: f64,
+    /// Lane count.
+    pub lanes: u32,
+    /// Line-coding efficiency (128/130 for Gen 3).
+    pub coding: f64,
+}
+
+impl PcieLink {
+    /// PCIe 3.0 x16: 8 GT/s per lane, 128b/130b coding — the paper's
+    /// configuration.
+    pub fn gen3_x16() -> Self {
+        PcieLink {
+            gt_per_s: 8.0,
+            lanes: 16,
+            coding: 128.0 / 130.0,
+        }
+    }
+
+    /// Effective payload bandwidth in bytes per second.
+    pub fn bytes_per_second(&self) -> f64 {
+        self.gt_per_s * 1e9 * f64::from(self.lanes) / 8.0 * self.coding
+    }
+
+    /// Operations per second when each operation moves `bits_per_op` of
+    /// input data over the link (the paper's MaxJ throughput estimate).
+    pub fn ops_per_second(&self, bits_per_op: u64) -> f64 {
+        self.bytes_per_second() / (bits_per_op as f64 / 8.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gen3_x16_bandwidth_matches_spec() {
+        let bw = PcieLink::gen3_x16().bytes_per_second();
+        assert!((bw / 1e9 - 15.75).abs() < 0.01, "{bw}");
+    }
+
+    #[test]
+    fn narrower_links_scale_down() {
+        let x16 = PcieLink::gen3_x16();
+        let x8 = PcieLink { lanes: 8, ..x16 };
+        assert!((x16.bytes_per_second() / x8.bytes_per_second() - 2.0).abs() < 1e-9);
+    }
+}

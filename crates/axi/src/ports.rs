@@ -1,0 +1,105 @@
+//! AXI-Stream port bundles on a module under construction.
+
+use hc_rtl::{Module, NodeId};
+
+/// The slave (sink) side of an AXI-Stream link: the module *receives*
+/// `tdata`/`tvalid` and drives `tready`.
+///
+/// Construct with [`AxisSlave::declare`], then drive the ready signal with
+/// [`AxisSlave::set_ready`] once the backpressure logic exists. The beat
+/// condition is `tvalid && tready`.
+#[derive(Clone, Copy, Debug)]
+pub struct AxisSlave {
+    /// Incoming data (input port).
+    pub tdata: NodeId,
+    /// Incoming valid (input port).
+    pub tvalid: NodeId,
+}
+
+impl AxisSlave {
+    /// Declares `<prefix>_tdata` and `<prefix>_tvalid` input ports.
+    pub fn declare(m: &mut Module, prefix: &str, width: u32) -> Self {
+        AxisSlave {
+            tdata: m.input(format!("{prefix}_tdata"), width),
+            tvalid: m.input(format!("{prefix}_tvalid"), 1),
+        }
+    }
+
+    /// Drives the `<prefix>_tready` output from `ready`.
+    pub fn set_ready(&self, m: &mut Module, prefix: &str, ready: NodeId) {
+        m.output(format!("{prefix}_tready"), ready);
+    }
+
+    /// The beat (transfer accepted) condition: `tvalid && tready`.
+    pub fn beat(&self, m: &mut Module, ready: NodeId) -> NodeId {
+        m.binary(hc_rtl::BinaryOp::And, self.tvalid, ready, 1)
+    }
+}
+
+/// The master (source) side of an AXI-Stream link: the module drives
+/// `tdata`/`tvalid` and *receives* `tready`.
+#[derive(Clone, Copy, Debug)]
+pub struct AxisMaster {
+    /// Incoming ready (input port).
+    pub tready: NodeId,
+}
+
+impl AxisMaster {
+    /// Declares the `<prefix>_tready` input port.
+    pub fn declare(m: &mut Module, prefix: &str) -> Self {
+        AxisMaster {
+            tready: m.input(format!("{prefix}_tready"), 1),
+        }
+    }
+
+    /// Drives `<prefix>_tdata` and `<prefix>_tvalid` outputs.
+    pub fn set_outputs(&self, m: &mut Module, prefix: &str, tdata: NodeId, tvalid: NodeId) {
+        m.output(format!("{prefix}_tdata"), tdata);
+        m.output(format!("{prefix}_tvalid"), tvalid);
+    }
+
+    /// The beat condition on this side: `tvalid && tready`.
+    pub fn beat(&self, m: &mut Module, tvalid: NodeId) -> NodeId {
+        m.binary(hc_rtl::BinaryOp::And, tvalid, self.tready, 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hc_rtl::Module;
+
+    #[test]
+    fn declared_ports_have_conventional_names() {
+        let mut m = Module::new("t");
+        let s = AxisSlave::declare(&mut m, "s_axis", 96);
+        let mm = AxisMaster::declare(&mut m, "m_axis");
+        let ready = m.const_u(1, 1);
+        s.set_ready(&mut m, "s_axis", ready);
+        let data = m.zext(s.tdata, 72);
+        mm.set_outputs(&mut m, "m_axis", data, s.tvalid);
+        assert!(m.input_named("s_axis_tdata").is_some());
+        assert!(m.input_named("s_axis_tvalid").is_some());
+        assert!(m.input_named("m_axis_tready").is_some());
+        assert!(m.output_named("s_axis_tready").is_some());
+        assert!(m.output_named("m_axis_tdata").is_some());
+        assert!(m.output_named("m_axis_tvalid").is_some());
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn beat_is_valid_and_ready() {
+        let mut m = Module::new("t");
+        let s = AxisSlave::declare(&mut m, "s", 8);
+        let ready = m.input("r", 1);
+        let beat = s.beat(&mut m, ready);
+        m.output("beat", beat);
+        m.validate().unwrap();
+        let mut sim = hc_sim::Simulator::new(m).unwrap();
+        sim.set_u64("s_tvalid", 1);
+        sim.set_u64("r", 0);
+        assert_eq!(sim.get("beat").to_u64(), 0);
+        sim.set_u64("r", 1);
+        assert_eq!(sim.get("beat").to_u64(), 1);
+    }
+}

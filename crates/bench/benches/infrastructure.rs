@@ -1,0 +1,96 @@
+//! Criterion benchmarks of the moving parts: golden IDCT, simulation,
+//! synthesis, scheduling and elaboration over the paper's designs.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use hc_axi::StreamHarness;
+use hc_idct::generator::BlockGen;
+use hc_idct::fixed;
+use hc_rtl::passes::optimize;
+use hc_synth::{synthesize, Device, SynthOptions};
+
+fn golden_idct(c: &mut Criterion) {
+    let blocks = BlockGen::new(1, -2048, 2047).take_blocks(64);
+    c.bench_function("golden_fixed_idct_64_blocks", |b| {
+        b.iter(|| {
+            blocks
+                .iter()
+                .map(fixed::idct2d)
+                .map(|o| o[(0, 0)])
+                .sum::<i32>()
+        })
+    });
+}
+
+fn elaborate_verilog(c: &mut Criterion) {
+    c.bench_function("elaborate_verilog_initial", |b| {
+        b.iter(|| hc_verilog::designs::initial_design().expect("parses"))
+    });
+}
+
+fn optimize_passes(c: &mut Criterion) {
+    let module = hc_verilog::designs::initial_design().expect("parses");
+    c.bench_function("optimize_initial_design", |b| {
+        b.iter_batched(
+            || module.clone(),
+            |mut m| {
+                optimize(&mut m);
+                m.nodes().len()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn synthesize_design(c: &mut Criterion) {
+    let mut module = hc_verilog::designs::initial_design().expect("parses");
+    optimize(&mut module);
+    let dev = Device::xcvu9p();
+    c.bench_function("synthesize_initial_design", |b| {
+        b.iter(|| synthesize(&module, &dev, &SynthOptions::default()).area.lut)
+    });
+}
+
+fn simulate_stream(c: &mut Criterion) {
+    let module = hc_verilog::designs::opt_rowcol().expect("parses");
+    let blocks = BlockGen::new(2, -2048, 2047).take_blocks(4);
+    let inputs: Vec<[[i32; 8]; 8]> = blocks.iter().map(|b| b.0).collect();
+    c.bench_function("simulate_4_blocks_opt_rowcol", |b| {
+        b.iter_batched(
+            || StreamHarness::new(module.clone()).expect("validates"),
+            |mut h| h.run(&inputs, 4000).0.len(),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn pipeline_scheduler(c: &mut Criterion) {
+    let f = hc_flow::designs::idct_kernel().expect("pure");
+    c.bench_function("pipeline_idct_kernel_8_stages", |b| {
+        b.iter(|| hc_flow::pipeline(&f, 8).module().regs().len())
+    });
+}
+
+fn hls_scheduler(c: &mut Criterion) {
+    let cfg = hc_hls::BambuConfig::initial();
+    c.bench_function("hls_compile_sequential", |b| {
+        b.iter(|| {
+            let program = hc_hls::designs::idct_program(true);
+            hc_hls::compile_sequential(&program, &cfg.constraints(), "bench")
+                .expect("compiles")
+                .nodes()
+                .len()
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    golden_idct,
+    elaborate_verilog,
+    optimize_passes,
+    synthesize_design,
+    simulate_stream,
+    pipeline_scheduler,
+    hls_scheduler
+);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! One Criterion target per paper artifact: times a full regeneration of
+//! Table I, one Table II tool row, and one Fig. 1 sweep series. The
+//! complete datasets are produced by the `table1`/`table2`/`fig1`
+//! binaries; these benches track how expensive each artifact is to
+//! rebuild.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hc_core::entries::{dse_points, verilog_entry};
+use hc_core::measure::measure;
+use hc_core::report::table1;
+use hc_core::tool::ToolId;
+
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("table1_render", |b| b.iter(|| table1().len()));
+}
+
+fn bench_table2_row(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2");
+    g.sample_size(10);
+    g.bench_function("verilog_row", |b| {
+        b.iter(|| {
+            let e = verilog_entry();
+            let init = measure(&e.initial, 2);
+            let opt = measure(&e.optimized, 2);
+            (init.q, opt.q)
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig1_series(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1");
+    g.sample_size(10);
+    g.bench_function("verilog_series", |b| {
+        b.iter(|| {
+            dse_points(ToolId::Verilog)
+                .iter()
+                .map(|d| measure(d, 2).q)
+                .sum::<f64>()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_table1, bench_table2_row, bench_fig1_series);
+criterion_main!(benches);

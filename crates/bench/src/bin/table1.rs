@@ -1,0 +1,5 @@
+//! Regenerates Table I.
+fn main() {
+    println!("TABLE I: LANGUAGES AND TOOLS UNDER EVALUATION\n");
+    print!("{}", hc_core::report::table1());
+}

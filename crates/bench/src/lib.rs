@@ -1,0 +1,30 @@
+//! Benchmark harness: regenerates every table and figure of the paper.
+//!
+//! Binaries (run with `cargo run -p hc-bench --release --bin <name>`):
+//!
+//! | binary | artifact |
+//! |---|---|
+//! | `table1` | Table I — languages and tools under evaluation |
+//! | `table2` | Table II — the full evaluation (text + CSV) |
+//! | `fig1` | Fig. 1 — the Performance × Area design-space scatter |
+//! | `ieee1180` | §III-B — the full IEEE 1180-1990 compliance run |
+//! | `ablations` | §IV observations: unit scaling, stage sweep, adapter ceiling, maxdsp |
+//!
+//! Criterion benches (`cargo bench -p hc-bench`) time the moving parts of
+//! the infrastructure itself (simulation, synthesis, scheduling) over the
+//! same designs.
+
+use hc_core::entries::{all_tools, dse_points};
+use hc_core::measure::{measure, Measurement};
+use hc_core::tool::ToolId;
+
+/// Measures every DSE point of every tool — the Fig. 1 dataset.
+pub fn fig1_points(nblocks: usize) -> Vec<(ToolId, Measurement)> {
+    let mut out = Vec::new();
+    for tool in all_tools() {
+        for design in dse_points(tool.info.id) {
+            out.push((tool.info.id, measure(&design, nblocks)));
+        }
+    }
+    out
+}

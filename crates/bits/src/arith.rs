@@ -1,0 +1,181 @@
+//! Wrapping arithmetic over [`Bits`], matching HDL semantics.
+
+use crate::Bits;
+
+impl Bits {
+    /// Wrapping addition modulo `2^width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn add(&self, rhs: &Bits) -> Bits {
+        self.check_width(rhs, "add");
+        let mut out = Bits::zero(self.width());
+        let mut carry = 0u64;
+        for i in 0..out.words().len() {
+            let (s1, c1) = self.words()[i].overflowing_add(rhs.words()[i]);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out.words_mut()[i] = s2;
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        out.mask_top();
+        out
+    }
+
+    /// Wrapping subtraction modulo `2^width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn sub(&self, rhs: &Bits) -> Bits {
+        self.add(&rhs.neg())
+    }
+
+    /// Two's-complement negation.
+    pub fn neg(&self) -> Bits {
+        let one = Bits::from_u64(self.width(), 1);
+        self.not().add(&one)
+    }
+
+    /// Wrapping multiplication: the full product of the two *signed* values
+    /// truncated to `out_width` bits. Because two's-complement wrapping makes
+    /// the low `out_width` bits of a signed and unsigned product identical
+    /// when `out_width <= w1 + w2`, this serves both interpretations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out_width` is out of range (see [`Bits::zero`]), or if an
+    /// operand is wider than 128 bits (wider multipliers do not occur in the
+    /// modelled designs).
+    pub fn mul(&self, rhs: &Bits, out_width: u32) -> Bits {
+        assert!(
+            self.width() <= 128 && rhs.width() <= 128,
+            "mul operands wider than 128 bits"
+        );
+        // Schoolbook multiply on 32-bit limbs of the sign-extended operands,
+        // producing out_width bits.
+        let a = self.sext(256);
+        let b = rhs.sext(256);
+        let mut acc = vec![0u64; 8]; // 512 bits of accumulator, ample
+        for i in 0..4 {
+            for j in 0..4 {
+                if i + j >= 8 {
+                    continue;
+                }
+                let prod = (a.words()[i] as u128).wrapping_mul(b.words()[j] as u128);
+                let mut k = i + j;
+                let mut add = prod;
+                while add != 0 && k < 8 {
+                    let sum = (acc[k] as u128) + (add & 0xffff_ffff_ffff_ffff);
+                    acc[k] = sum as u64;
+                    add = (add >> 64) + (sum >> 64);
+                    k += 1;
+                }
+            }
+        }
+        let mut out = Bits::zero(out_width);
+        let n = out.words().len().min(acc.len());
+        out.words_mut()[..n].copy_from_slice(&acc[..n]);
+        out.mask_top();
+        out
+    }
+
+    /// Unsigned division, HDL-style: division by zero yields all-ones
+    /// (the conventional X-avoiding model).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ or exceed 64 bits.
+    pub fn div_u(&self, rhs: &Bits) -> Bits {
+        self.check_width(rhs, "div_u");
+        assert!(self.width() <= 64, "div wider than 64 bits");
+        if rhs.is_zero() {
+            return Bits::ones(self.width());
+        }
+        Bits::from_u64(self.width(), self.to_u64() / rhs.to_u64())
+    }
+
+    /// Unsigned remainder; remainder by zero yields the dividend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ or exceed 64 bits.
+    pub fn rem_u(&self, rhs: &Bits) -> Bits {
+        self.check_width(rhs, "rem_u");
+        assert!(self.width() <= 64, "rem wider than 64 bits");
+        if rhs.is_zero() {
+            return self.clone();
+        }
+        Bits::from_u64(self.width(), self.to_u64() % rhs.to_u64())
+    }
+
+    pub(crate) fn check_width(&self, rhs: &Bits, op: &str) {
+        assert_eq!(
+            self.width(),
+            rhs.width(),
+            "{op}: width mismatch {} vs {}",
+            self.width(),
+            rhs.width()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_wraps() {
+        let a = Bits::from_u64(8, 0xff);
+        let b = Bits::from_u64(8, 1);
+        assert_eq!(a.add(&b).to_u64(), 0);
+    }
+
+    #[test]
+    fn add_carries_across_words() {
+        let a = Bits::from_u64(96, u64::MAX);
+        let b = Bits::from_u64(96, 1);
+        let s = a.add(&b);
+        assert_eq!(s.to_u128(), 1u128 << 64);
+    }
+
+    #[test]
+    fn sub_and_neg() {
+        let a = Bits::from_i64(12, 5);
+        let b = Bits::from_i64(12, 9);
+        assert_eq!(a.sub(&b).to_i64(), -4);
+        assert_eq!(b.neg().to_i64(), -9);
+    }
+
+    #[test]
+    fn mul_signed_truncated() {
+        let a = Bits::from_i64(16, -300);
+        let b = Bits::from_i64(16, 181); // IDCT constant W7-ish scale
+        assert_eq!(a.mul(&b, 32).to_i64(), -54300);
+        // Wrapping at narrow output widths keeps the low bits.
+        assert_eq!(a.mul(&b, 8).to_u64(), ((-54300i64) as u64) & 0xff);
+    }
+
+    #[test]
+    fn mul_wide_operands() {
+        let a = Bits::from_i64(96, -123456789);
+        let b = Bits::from_i64(96, 987654321);
+        assert_eq!(a.mul(&b, 128).to_i128(), -123456789i128 * 987654321);
+    }
+
+    #[test]
+    fn div_rem_basics() {
+        let a = Bits::from_u64(16, 100);
+        let b = Bits::from_u64(16, 7);
+        assert_eq!(a.div_u(&b).to_u64(), 14);
+        assert_eq!(a.rem_u(&b).to_u64(), 2);
+        assert_eq!(a.div_u(&Bits::zero(16)).to_u64(), 0xffff);
+        assert_eq!(a.rem_u(&Bits::zero(16)).to_u64(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn mismatched_widths_rejected() {
+        let _ = Bits::zero(8).add(&Bits::zero(9));
+    }
+}

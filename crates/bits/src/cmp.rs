@@ -1,0 +1,92 @@
+//! Unsigned and signed comparisons over [`Bits`].
+
+use crate::Bits;
+use std::cmp::Ordering;
+
+impl Bits {
+    /// Unsigned comparison.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn cmp_u(&self, rhs: &Bits) -> Ordering {
+        self.check_width(rhs, "cmp_u");
+        for (a, b) in self.words().iter().rev().zip(rhs.words().iter().rev()) {
+            match a.cmp(b) {
+                Ordering::Equal => continue,
+                other => return other,
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// Signed (two's complement) comparison.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn cmp_s(&self, rhs: &Bits) -> Ordering {
+        self.check_width(rhs, "cmp_s");
+        match (self.msb(), rhs.msb()) {
+            (true, false) => Ordering::Less,
+            (false, true) => Ordering::Greater,
+            _ => self.cmp_u(rhs),
+        }
+    }
+
+    /// Unsigned less-than as a 1-bit vector.
+    pub fn lt_u(&self, rhs: &Bits) -> Bits {
+        Bits::from_bool(self.cmp_u(rhs) == Ordering::Less)
+    }
+
+    /// Signed less-than as a 1-bit vector.
+    pub fn lt_s(&self, rhs: &Bits) -> Bits {
+        Bits::from_bool(self.cmp_s(rhs) == Ordering::Less)
+    }
+
+    /// Equality as a 1-bit vector.
+    pub fn eq_bits(&self, rhs: &Bits) -> Bits {
+        self.check_width(rhs, "eq");
+        Bits::from_bool(self == rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unsigned_order() {
+        let a = Bits::from_u64(12, 100);
+        let b = Bits::from_u64(12, 4000);
+        assert_eq!(a.cmp_u(&b), Ordering::Less);
+        assert_eq!(b.cmp_u(&a), Ordering::Greater);
+        assert_eq!(a.cmp_u(&a), Ordering::Equal);
+    }
+
+    #[test]
+    fn signed_order_crosses_zero() {
+        let neg = Bits::from_i64(12, -1);
+        let pos = Bits::from_i64(12, 1);
+        assert_eq!(neg.cmp_s(&pos), Ordering::Less);
+        assert_eq!(neg.cmp_u(&pos), Ordering::Greater); // 0xfff > 1 unsigned
+    }
+
+    #[test]
+    fn wide_comparison_uses_high_words() {
+        let mut a = Bits::zero(96);
+        a.set_bit(80, true);
+        let b = Bits::from_u64(96, u64::MAX);
+        assert_eq!(a.cmp_u(&b), Ordering::Greater);
+    }
+
+    #[test]
+    fn predicate_bits() {
+        let a = Bits::from_i64(8, -5);
+        let b = Bits::from_i64(8, 3);
+        assert_eq!(a.lt_s(&b).to_u64(), 1);
+        assert_eq!(a.lt_u(&b).to_u64(), 0);
+        assert_eq!(a.eq_bits(&a).to_u64(), 1);
+        assert_eq!(a.eq_bits(&b).to_u64(), 0);
+    }
+}

@@ -1,0 +1,69 @@
+//! `Display`/`Debug` and numeric formatting for [`Bits`].
+
+use crate::Bits;
+use std::fmt;
+
+impl fmt::Display for Bits {
+    /// Verilog-style sized hex literal, e.g. `12'h7ff`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}'h", self.width())?;
+        let nibbles = (self.width() + 3) / 4;
+        for i in (0..nibbles).rev() {
+            let lo = i * 4;
+            let w = (self.width() - lo).min(4);
+            write!(f, "{:x}", self.slice(lo, w).to_u64())?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Bits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bits({self})")
+    }
+}
+
+impl fmt::LowerHex for Bits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let nibbles = (self.width() + 3) / 4;
+        for i in (0..nibbles).rev() {
+            let lo = i * 4;
+            let w = (self.width() - lo).min(4);
+            write!(f, "{:x}", self.slice(lo, w).to_u64())?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Binary for Bits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in (0..self.width()).rev() {
+            write!(f, "{}", self.bit(i) as u8)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_sized_hex() {
+        assert_eq!(Bits::from_u64(12, 0x7ff).to_string(), "12'h7ff");
+        assert_eq!(Bits::from_u64(9, 0x1ff).to_string(), "9'h1ff");
+        assert_eq!(Bits::from_u64(1, 1).to_string(), "1'h1");
+    }
+
+    #[test]
+    fn hex_and_binary_formats() {
+        let b = Bits::from_u64(6, 0b101101);
+        assert_eq!(format!("{b:x}"), "2d");
+        assert_eq!(format!("{b:b}"), "101101");
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        assert_eq!(format!("{:?}", Bits::from_u64(4, 5)), "Bits(4'h5)");
+    }
+}

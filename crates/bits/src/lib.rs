@@ -1,0 +1,31 @@
+//! Arbitrary-width two's-complement bit vectors for RTL modelling.
+//!
+//! Every value flowing through the `hc-rtl` netlist IR, the simulator and
+//! the frontends is a [`Bits`]: a fixed-width word with wrapping arithmetic,
+//! the same semantics a synthesizable HDL gives to `wire [W-1:0]`.
+//!
+//! # Examples
+//!
+//! ```
+//! use hc_bits::Bits;
+//!
+//! let a = Bits::from_u64(12, 0x7ff);
+//! let b = Bits::from_i64(12, -1);
+//! assert_eq!(a.add(&b).to_i64(), 0x7fe);
+//! assert_eq!(b.to_u64(), 0xfff); // two's complement within 12 bits
+//! ```
+//!
+//! Widths from 1 to [`Bits::MAX_WIDTH`] bits are supported; values wider than
+//! 64 bits (e.g. a 96-bit AXI-Stream row beat) are stored as multiple words.
+
+mod arith;
+mod cmp;
+mod fmt;
+mod logic;
+mod shift;
+mod value;
+
+pub use value::Bits;
+
+#[cfg(test)]
+mod proptests;

@@ -1,0 +1,119 @@
+//! Bitwise logic and reductions over [`Bits`].
+
+use crate::Bits;
+
+impl Bits {
+    /// Bitwise NOT.
+    pub fn not(&self) -> Bits {
+        let mut out = self.clone();
+        for w in out.words_mut() {
+            *w = !*w;
+        }
+        out.mask_top();
+        out
+    }
+
+    /// Bitwise AND.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn and(&self, rhs: &Bits) -> Bits {
+        self.zip(rhs, "and", |a, b| a & b)
+    }
+
+    /// Bitwise OR.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn or(&self, rhs: &Bits) -> Bits {
+        self.zip(rhs, "or", |a, b| a | b)
+    }
+
+    /// Bitwise XOR.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn xor(&self, rhs: &Bits) -> Bits {
+        self.zip(rhs, "xor", |a, b| a ^ b)
+    }
+
+    /// OR-reduction to a single bit (Verilog `|x`).
+    pub fn reduce_or(&self) -> Bits {
+        Bits::from_bool(!self.is_zero())
+    }
+
+    /// AND-reduction to a single bit (Verilog `&x`).
+    pub fn reduce_and(&self) -> Bits {
+        Bits::from_bool(self.count_ones() == self.width())
+    }
+
+    /// XOR-reduction to a single bit (Verilog `^x`), i.e. the parity.
+    pub fn reduce_xor(&self) -> Bits {
+        Bits::from_bool(self.count_ones() % 2 == 1)
+    }
+
+    /// Two-way multiplexer: `sel ? self : other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths of `self` and `other` differ.
+    pub fn mux(&self, other: &Bits, sel: bool) -> Bits {
+        self.check_width(other, "mux");
+        if sel {
+            self.clone()
+        } else {
+            other.clone()
+        }
+    }
+
+    fn zip(&self, rhs: &Bits, op: &str, f: impl Fn(u64, u64) -> u64) -> Bits {
+        self.check_width(rhs, op);
+        let mut out = self.clone();
+        for (w, r) in out.words_mut().iter_mut().zip(rhs.words()) {
+            *w = f(*w, *r);
+        }
+        out.mask_top();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn not_respects_width() {
+        let b = Bits::from_u64(4, 0b1010).not();
+        assert_eq!(b.to_u64(), 0b0101);
+    }
+
+    #[test]
+    fn and_or_xor() {
+        let a = Bits::from_u64(8, 0b1100);
+        let b = Bits::from_u64(8, 0b1010);
+        assert_eq!(a.and(&b).to_u64(), 0b1000);
+        assert_eq!(a.or(&b).to_u64(), 0b1110);
+        assert_eq!(a.xor(&b).to_u64(), 0b0110);
+    }
+
+    #[test]
+    fn reductions() {
+        let b = Bits::from_u64(4, 0b0110);
+        assert_eq!(b.reduce_or().to_u64(), 1);
+        assert_eq!(b.reduce_and().to_u64(), 0);
+        assert_eq!(b.reduce_xor().to_u64(), 0);
+        assert_eq!(Bits::ones(7).reduce_and().to_u64(), 1);
+        assert_eq!(Bits::from_u64(3, 0b100).reduce_xor().to_u64(), 1);
+    }
+
+    #[test]
+    fn mux_selects() {
+        let a = Bits::from_u64(8, 1);
+        let b = Bits::from_u64(8, 2);
+        assert_eq!(a.mux(&b, true).to_u64(), 1);
+        assert_eq!(a.mux(&b, false).to_u64(), 2);
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests: `Bits` arithmetic must agree with `i128` reference
+//! semantics for every width up to 64 bits.
+
+use crate::Bits;
+use proptest::prelude::*;
+
+/// Truncate an i128 to `w` bits then sign-extend back: the reference model
+/// of what a `w`-bit two's-complement register holds.
+fn model(w: u32, v: i128) -> i128 {
+    let m = (1i128 << w) - 1;
+    let t = v & m;
+    if t >> (w - 1) & 1 == 1 {
+        t | !m
+    } else {
+        t
+    }
+}
+
+fn width_and_two() -> impl Strategy<Value = (u32, i64, i64)> {
+    (2u32..=64).prop_flat_map(|w| {
+        let lim = if w == 64 { i64::MAX } else { (1i64 << (w - 1)) - 1 };
+        (Just(w), -lim..=lim, -lim..=lim)
+    })
+}
+
+proptest! {
+    #[test]
+    fn add_matches_model((w, a, b) in width_and_two()) {
+        let x = Bits::from_i64(w, a);
+        let y = Bits::from_i64(w, b);
+        prop_assert_eq!(x.add(&y).to_i128(), model(w, a as i128 + b as i128));
+    }
+
+    #[test]
+    fn sub_matches_model((w, a, b) in width_and_two()) {
+        let x = Bits::from_i64(w, a);
+        let y = Bits::from_i64(w, b);
+        prop_assert_eq!(x.sub(&y).to_i128(), model(w, a as i128 - b as i128));
+    }
+
+    #[test]
+    fn mul_matches_model((w, a, b) in width_and_two()) {
+        let x = Bits::from_i64(w, a);
+        let y = Bits::from_i64(w, b);
+        prop_assert_eq!(x.mul(&y, w).to_i128(), model(w, a as i128 * b as i128));
+        // Full-width product is exact.
+        prop_assert_eq!(x.mul(&y, 2 * w).to_i128(), a as i128 * b as i128);
+    }
+
+    #[test]
+    fn neg_matches_model((w, a, _b) in width_and_two()) {
+        prop_assert_eq!(Bits::from_i64(w, a).neg().to_i128(), model(w, -(a as i128)));
+    }
+
+    #[test]
+    fn shifts_match_model((w, a, _b) in width_and_two(), s in 0u32..80) {
+        let x = Bits::from_i64(w, a);
+        prop_assert_eq!(x.shl(s).to_i128(), if s >= w { 0 } else { model(w, (a as i128) << s) });
+        let ua = (a as i128) & ((1i128 << w) - 1);
+        prop_assert_eq!(x.shr(s).to_u128() as i128, if s >= w { 0 } else { ua >> s });
+        let expect_arith = if s >= w { if a < 0 { -1 } else { 0 } } else { model(w, (a as i128) >> s) };
+        if s < w {
+            prop_assert_eq!(x.shr_arith(s).to_i128(), expect_arith);
+        }
+    }
+
+    #[test]
+    fn compare_matches_model((w, a, b) in width_and_two()) {
+        let x = Bits::from_i64(w, a);
+        let y = Bits::from_i64(w, b);
+        prop_assert_eq!(x.cmp_s(&y), a.cmp(&b));
+        let (ua, ub) = (x.to_u64(), y.to_u64());
+        prop_assert_eq!(x.cmp_u(&y), ua.cmp(&ub));
+    }
+
+    #[test]
+    fn logic_matches_model((w, a, b) in width_and_two()) {
+        let x = Bits::from_i64(w, a);
+        let y = Bits::from_i64(w, b);
+        prop_assert_eq!(x.and(&y).to_i128(), model(w, (a & b) as i128));
+        prop_assert_eq!(x.or(&y).to_i128(), model(w, (a | b) as i128));
+        prop_assert_eq!(x.xor(&y).to_i128(), model(w, (a ^ b) as i128));
+        prop_assert_eq!(x.not().to_i128(), model(w, !(a as i128)));
+    }
+
+    #[test]
+    fn slice_concat_round_trip(w1 in 1u32..40, w2 in 1u32..40, v in any::<u64>()) {
+        let whole = Bits::from_u64(w1 + w2, v);
+        let hi = whole.slice(w2, w1);
+        let lo = whole.slice(0, w2);
+        prop_assert_eq!(hi.concat(&lo), whole);
+    }
+
+    #[test]
+    fn sext_preserves_signed_value((w, a, _b) in width_and_two(), extra in 0u32..30) {
+        let x = Bits::from_i64(w, a);
+        prop_assert_eq!(x.sext(w + extra).to_i128(), a as i128);
+        prop_assert_eq!(x.zext(w + extra).to_u128(), x.to_u64() as u128);
+    }
+}

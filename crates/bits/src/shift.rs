@@ -1,0 +1,118 @@
+//! Shift operations over [`Bits`].
+
+use crate::Bits;
+
+impl Bits {
+    /// Logical left shift by `amount` bits; bits shifted past the top are
+    /// lost. Shifts of `width` or more yield zero (HDL semantics).
+    pub fn shl(&self, amount: u32) -> Bits {
+        let mut out = Bits::zero(self.width());
+        if amount >= self.width() {
+            return out;
+        }
+        for i in 0..self.width() - amount {
+            if self.bit(i) {
+                out.set_bit(i + amount, true);
+            }
+        }
+        out
+    }
+
+    /// Logical right shift by `amount` bits, filling with zeros.
+    pub fn shr(&self, amount: u32) -> Bits {
+        let mut out = Bits::zero(self.width());
+        if amount >= self.width() {
+            return out;
+        }
+        for i in amount..self.width() {
+            if self.bit(i) {
+                out.set_bit(i - amount, true);
+            }
+        }
+        out
+    }
+
+    /// Arithmetic right shift by `amount` bits, replicating the sign bit
+    /// (Verilog `>>>` on a signed operand).
+    pub fn shr_arith(&self, amount: u32) -> Bits {
+        let sign = self.msb();
+        let mut out = self.shr(amount);
+        if sign {
+            let start = self.width().saturating_sub(amount);
+            for i in start..self.width() {
+                out.set_bit(i, true);
+            }
+        }
+        out
+    }
+
+    /// Left shift by a runtime amount held in another vector. Amounts at or
+    /// beyond the width yield zero.
+    pub fn shl_dyn(&self, amount: &Bits) -> Bits {
+        match amount.to_u64().try_into() {
+            Ok(a) => self.shl(a),
+            Err(_) => Bits::zero(self.width()),
+        }
+    }
+
+    /// Logical right shift by a runtime amount.
+    pub fn shr_dyn(&self, amount: &Bits) -> Bits {
+        match amount.to_u64().try_into() {
+            Ok(a) => self.shr(a),
+            Err(_) => Bits::zero(self.width()),
+        }
+    }
+
+    /// Arithmetic right shift by a runtime amount.
+    pub fn shr_arith_dyn(&self, amount: &Bits) -> Bits {
+        let a: u32 = amount.to_u64().try_into().unwrap_or(u32::MAX);
+        if a >= self.width() {
+            // Saturates to all-sign.
+            return if self.msb() {
+                Bits::ones(self.width())
+            } else {
+                Bits::zero(self.width())
+            };
+        }
+        self.shr_arith(a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shl_drops_top_bits() {
+        let b = Bits::from_u64(8, 0b1100_0001);
+        assert_eq!(b.shl(1).to_u64(), 0b1000_0010);
+        assert_eq!(b.shl(8).to_u64(), 0);
+        assert_eq!(b.shl(100).to_u64(), 0);
+    }
+
+    #[test]
+    fn shr_logical_fills_zero() {
+        let b = Bits::from_i64(8, -2); // 0b1111_1110
+        assert_eq!(b.shr(1).to_u64(), 0b0111_1111);
+    }
+
+    #[test]
+    fn shr_arith_replicates_sign() {
+        // The IDCT row pass ends with an arithmetic >>11.
+        let b = Bits::from_i64(32, -4096);
+        assert_eq!(b.shr_arith(11).to_i64(), -2);
+        let p = Bits::from_i64(32, 4096);
+        assert_eq!(p.shr_arith(11).to_i64(), 2);
+        assert_eq!(b.shr_arith(40).to_i64(), -1);
+    }
+
+    #[test]
+    fn dynamic_shifts() {
+        let b = Bits::from_u64(16, 0x00f0);
+        assert_eq!(b.shl_dyn(&Bits::from_u64(8, 4)).to_u64(), 0x0f00);
+        assert_eq!(b.shr_dyn(&Bits::from_u64(8, 4)).to_u64(), 0x000f);
+        let n = Bits::from_i64(16, -256);
+        assert_eq!(n.shr_arith_dyn(&Bits::from_u64(8, 4)).to_i64(), -16);
+        assert_eq!(n.shr_arith_dyn(&Bits::from_u64(8, 63)).to_i64(), -1);
+    }
+}

@@ -1,0 +1,145 @@
+//! The circuit under construction: a shared, cheaply-clonable handle.
+
+use crate::reg::Reg;
+use crate::signal::{Bool, SInt};
+use hc_bits::Bits;
+use hc_rtl::{Module, ValidateError};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// A circuit being described. Clones share the same underlying module, so
+/// generator functions can freely capture it.
+#[derive(Clone, Debug)]
+pub struct Circuit {
+    pub(crate) inner: Rc<RefCell<Module>>,
+}
+
+impl Circuit {
+    /// Starts a new empty circuit.
+    pub fn new(name: &str) -> Self {
+        Circuit {
+            inner: Rc::new(RefCell::new(Module::new(name))),
+        }
+    }
+
+    /// Declares a signed input port.
+    pub fn input(&self, name: &str, width: u32) -> SInt {
+        let node = self.inner.borrow_mut().input(name, width);
+        SInt::from_node(self, node)
+    }
+
+    /// Declares a 1-bit input port.
+    pub fn input_bool(&self, name: &str) -> Bool {
+        let node = self.inner.borrow_mut().input(name, 1);
+        Bool::from_node(self, node)
+    }
+
+    /// Declares an output port driven by `signal`.
+    pub fn output(&self, name: &str, signal: &SInt) {
+        self.inner.borrow_mut().output(name, signal.node());
+    }
+
+    /// Declares a 1-bit output port.
+    pub fn output_bool(&self, name: &str, signal: &Bool) {
+        self.inner.borrow_mut().output(name, signal.node());
+    }
+
+    /// A signed literal of an explicit width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` does not fit in `width` signed bits.
+    pub fn lit(&self, width: u32, value: i64) -> SInt {
+        let b = Bits::from_i64(width, value);
+        assert_eq!(b.to_i64(), value, "literal {value} does not fit in {width} bits");
+        let node = self.inner.borrow_mut().constant(b);
+        SInt::from_node(self, node)
+    }
+
+    /// An unsigned-pattern literal: `value`'s low `width` bits (for
+    /// counters compared against powers of two, e.g. `lit_u(4, 8)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` needs more than `width` bits.
+    pub fn lit_u(&self, width: u32, value: u64) -> SInt {
+        let b = Bits::from_u64(width, value);
+        assert_eq!(b.to_u64(), value, "literal {value} does not fit in {width} bits");
+        let node = self.inner.borrow_mut().constant(b);
+        SInt::from_node(self, node)
+    }
+
+    /// The smallest signed literal holding `value` (Chisel's `S` literals).
+    pub fn lit_min(&self, value: i64) -> SInt {
+        let width = (65 - if value >= 0 { value.leading_zeros() } else { (!value).leading_zeros() }).max(1);
+        self.lit(width, value)
+    }
+
+    /// A boolean literal.
+    pub fn lit_bool(&self, value: bool) -> Bool {
+        let node = self.inner.borrow_mut().constant(Bits::from_bool(value));
+        Bool::from_node(self, node)
+    }
+
+    /// Declares a register with a signed reset/init value.
+    pub fn reg(&self, name: &str, width: u32, init: i64) -> Reg {
+        Reg::new(self, name, width, Bits::from_i64(width, init))
+    }
+
+    /// Finishes construction, validating the module.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`ValidateError`] if a register was left unconnected or
+    /// the construction is otherwise inconsistent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if signals derived from this circuit are still alive and the
+    /// module is aliased (keep construction scoped).
+    pub fn finish(self) -> Result<Module, ValidateError> {
+        let module = Rc::try_unwrap(self.inner)
+            .map(RefCell::into_inner)
+            .unwrap_or_else(|rc| rc.borrow().clone());
+        module.validate()?;
+        Ok(module)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_widths() {
+        let c = Circuit::new("t");
+        let a = c.lit(13, 2841);
+        assert_eq!(a.width(), 13);
+        let b = c.lit_min(-1);
+        assert_eq!(b.width(), 1);
+        let d = c.lit_min(255);
+        assert_eq!(d.width(), 9);
+        c.output("a", &a);
+        c.output("b", &b);
+        c.output("d", &d);
+        c.finish().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_literal_rejected() {
+        let c = Circuit::new("t");
+        c.lit(4, 100);
+    }
+
+    #[test]
+    fn clones_share_the_module() {
+        let c = Circuit::new("t");
+        let c2 = c.clone();
+        let a = c.input("a", 4);
+        c2.output("y", &a);
+        let m = c.finish().unwrap();
+        assert_eq!(m.inputs().len(), 1);
+        assert_eq!(m.outputs().len(), 1);
+    }
+}

@@ -1,0 +1,40 @@
+//! A Chisel-like hardware construction eDSL.
+//!
+//! Hardware construction (HC) describes *microarchitecture* explicitly but
+//! in a host language with real abstraction: functions are module
+//! generators, loops produce repeated structure, and widths are inferred
+//! the way Chisel infers them — `a + b` is `max(wa, wb) + 1` bits wide, a
+//! product is `wa + wb` bits — so nothing silently wraps. The paper
+//! credits exactly this width inference for Chisel's initial design
+//! beating the 32-bit-everything Verilog baseline on area.
+//!
+//! Signals are cheap handles into a shared circuit; operators build
+//! `hc-rtl` nodes directly. [`Circuit::finish`] yields the flat
+//! [`hc_rtl::Module`] the rest of the workspace consumes.
+//!
+//! # Examples
+//!
+//! A two-tap FIR filter as a generator function:
+//!
+//! ```
+//! use hc_construct::{Circuit, SInt};
+//!
+//! let c = Circuit::new("fir2");
+//! let x = c.input("x", 8);
+//! let z = c.reg("z", 8, 0);
+//! z.set_next(&x);
+//! let y = x.add(&z.q()); // 9 bits, inferred
+//! c.output("y", &y);
+//! let module = c.finish()?;
+//! assert_eq!(module.width(module.output_named("y").unwrap().node), 9);
+//! # Ok::<(), hc_rtl::ValidateError>(())
+//! ```
+
+mod circuit;
+pub mod designs;
+mod reg;
+mod signal;
+
+pub use circuit::Circuit;
+pub use reg::Reg;
+pub use signal::{Bool, SInt};

@@ -1,0 +1,107 @@
+//! Registers in the construction eDSL.
+
+use crate::circuit::Circuit;
+use crate::signal::{Bool, SInt};
+use hc_bits::Bits;
+use hc_rtl::RegId;
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// A clocked register handle. Read it with [`Reg::q`]; drive it with
+/// [`Reg::set_next`] (exactly once), optionally gated by
+/// [`Reg::set_enable`] and reset by [`Reg::set_reset`].
+#[derive(Clone, Debug)]
+pub struct Reg {
+    circuit: Circuit,
+    id: RegId,
+    width: u32,
+    connected: Rc<Cell<bool>>,
+}
+
+impl Reg {
+    pub(crate) fn new(circuit: &Circuit, name: &str, width: u32, init: Bits) -> Self {
+        let id = circuit.inner.borrow_mut().reg(name, width, init);
+        Reg {
+            circuit: circuit.clone(),
+            id,
+            width,
+            connected: Rc::new(Cell::new(false)),
+        }
+    }
+
+    /// The register's current value.
+    pub fn q(&self) -> SInt {
+        let node = self.circuit.inner.borrow_mut().reg_out(self.id);
+        SInt::from_node(&self.circuit, node)
+    }
+
+    /// Drives the next value (fitted to the register width by
+    /// sign-extension or truncation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called twice.
+    pub fn set_next(&self, next: &SInt) {
+        assert!(!self.connected.replace(true), "register driven twice");
+        let next_width = next.width();
+        let mut m = self.circuit.inner.borrow_mut();
+        let node = if next_width == self.width {
+            next.node()
+        } else if next_width < self.width {
+            m.sext(next.node(), self.width)
+        } else {
+            m.slice(next.node(), 0, self.width)
+        };
+        m.connect_reg(self.id, node);
+    }
+
+    /// Gates updates with a clock enable.
+    pub fn set_enable(&self, en: &Bool) {
+        self.circuit.inner.borrow_mut().reg_en(self.id, en.node());
+    }
+
+    /// Adds a synchronous reset (loads the init value).
+    pub fn set_reset(&self, rst: &Bool) {
+        self.circuit
+            .inner
+            .borrow_mut()
+            .reg_reset(self.id, rst.node());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hc_sim::Simulator;
+
+    #[test]
+    fn enabled_counter_with_reset() {
+        let c = Circuit::new("t");
+        let en = c.input_bool("en");
+        let rst = c.input_bool("rst");
+        let r = c.reg("cnt", 8, 0);
+        let one = c.lit(8, 1);
+        r.set_next(&r.q().add(&one)); // 9 bits, truncated back to 8
+        r.set_enable(&en);
+        r.set_reset(&rst);
+        c.output("y", &r.q());
+        let mut sim = Simulator::new(c.finish().unwrap()).unwrap();
+        sim.set_u64("en", 1);
+        sim.set_u64("rst", 0);
+        sim.run(3);
+        assert_eq!(sim.get("y").to_u64(), 3);
+        sim.set_u64("rst", 1);
+        sim.step();
+        assert_eq!(sim.get("y").to_u64(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "driven twice")]
+    fn double_drive_rejected() {
+        let c = Circuit::new("t");
+        let r = c.reg("r", 4, 0);
+        let v = c.lit(4, 1);
+        r.set_next(&v);
+        r.set_next(&v);
+    }
+}

@@ -1,0 +1,330 @@
+//! Signed signals and booleans with Chisel-style width inference.
+
+use crate::circuit::Circuit;
+use hc_rtl::{BinaryOp, Module, NodeId, UnaryOp};
+
+/// A signed hardware signal. Arithmetic grows widths so values never wrap:
+/// `add`/`sub` produce `max(wa, wb) + 1` bits, `mul` produces `wa + wb`.
+#[derive(Clone, Debug)]
+pub struct SInt {
+    circuit: Circuit,
+    node: NodeId,
+}
+
+/// A 1-bit signal with boolean operations.
+#[derive(Clone, Debug)]
+pub struct Bool {
+    circuit: Circuit,
+    node: NodeId,
+}
+
+impl SInt {
+    pub(crate) fn from_node(circuit: &Circuit, node: NodeId) -> Self {
+        SInt {
+            circuit: circuit.clone(),
+            node,
+        }
+    }
+
+    /// The underlying IR node.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The current width in bits.
+    pub fn width(&self) -> u32 {
+        self.circuit.inner.borrow().width(self.node)
+    }
+
+    fn with<R>(&self, f: impl FnOnce(&mut Module) -> R) -> R {
+        f(&mut self.circuit.inner.borrow_mut())
+    }
+
+    fn make(&self, node: NodeId) -> SInt {
+        SInt {
+            circuit: self.circuit.clone(),
+            node,
+        }
+    }
+
+    fn aligned(&self, rhs: &SInt, extra: u32) -> (NodeId, NodeId, u32) {
+        let w = self.width().max(rhs.width()) + extra;
+        self.with(|m| {
+            let a = m.sext(self.node, w);
+            let b = m.sext(rhs.node, w);
+            (a, b, w)
+        })
+    }
+
+    /// Widening addition: `max(wa, wb) + 1` bits, never wraps.
+    pub fn add(&self, rhs: &SInt) -> SInt {
+        let (a, b, w) = self.aligned(rhs, 1);
+        self.make(self.with(|m| m.binary(BinaryOp::Add, a, b, w)))
+    }
+
+    /// Widening subtraction: `max(wa, wb) + 1` bits.
+    pub fn sub(&self, rhs: &SInt) -> SInt {
+        let (a, b, w) = self.aligned(rhs, 1);
+        self.make(self.with(|m| m.binary(BinaryOp::Sub, a, b, w)))
+    }
+
+    /// Full-precision product: `wa + wb` bits.
+    pub fn mul(&self, rhs: &SInt) -> SInt {
+        let w = self.width() + rhs.width();
+        self.make(self.with(|m| m.binary(BinaryOp::MulS, self.node, rhs.node, w)))
+    }
+
+    /// Static left shift, growing by `amount` bits.
+    pub fn shl(&self, amount: u32) -> SInt {
+        let w = self.width() + amount;
+        self.make(self.with(|m| {
+            let wide = m.sext(self.node, w);
+            let amt = m.const_u(32, u64::from(amount));
+            m.binary(BinaryOp::Shl, wide, amt, w)
+        }))
+    }
+
+    /// Static arithmetic right shift, keeping the width.
+    pub fn shr(&self, amount: u32) -> SInt {
+        let w = self.width();
+        self.make(self.with(|m| {
+            let amt = m.const_u(32, u64::from(amount));
+            m.binary(BinaryOp::ShrA, self.node, amt, w)
+        }))
+    }
+
+    /// The low `width` bits (explicit truncation, Chisel's `.tail`/asSInt).
+    pub fn trunc(&self, width: u32) -> SInt {
+        self.make(self.with(|m| m.slice(self.node, 0, width)))
+    }
+
+    /// Sign-extension to a wider width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is narrower than the current width.
+    pub fn sext(&self, width: u32) -> SInt {
+        assert!(width >= self.width(), "sext cannot narrow");
+        self.make(self.with(|m| m.sext(self.node, width)))
+    }
+
+    /// Signed less-than.
+    pub fn lt(&self, rhs: &SInt) -> Bool {
+        let (a, b, _) = self.aligned(rhs, 0);
+        Bool {
+            circuit: self.circuit.clone(),
+            node: self.with(|m| m.binary(BinaryOp::LtS, a, b, 1)),
+        }
+    }
+
+    /// Signed greater-than.
+    pub fn gt(&self, rhs: &SInt) -> Bool {
+        rhs.lt(self)
+    }
+
+    /// Equality.
+    pub fn eq(&self, rhs: &SInt) -> Bool {
+        let (a, b, _) = self.aligned(rhs, 0);
+        Bool {
+            circuit: self.circuit.clone(),
+            node: self.with(|m| m.binary(BinaryOp::Eq, a, b, 1)),
+        }
+    }
+
+    /// Two-way selection; arms are aligned to the wider width.
+    pub fn select(cond: &Bool, on_true: &SInt, on_false: &SInt) -> SInt {
+        let (t, f, _) = on_true.aligned(on_false, 0);
+        on_true.make(on_true.with(|m| m.mux(cond.node, t, f)))
+    }
+
+    /// Indexes a vector of signals with a balanced mux tree (Chisel's
+    /// `Vec(...)(sel)`). Out-of-range selects pick the last option.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options` is empty or `sel` is too narrow to index it.
+    pub fn select_index(sel: &SInt, options: &[SInt]) -> SInt {
+        assert!(!options.is_empty(), "empty option vector");
+        let nodes: Vec<_> = options.iter().map(SInt::node).collect();
+        let first = &options[0];
+        first.make(first.with(|m| {
+            let w = m.width(nodes[0]);
+            let aligned: Vec<_> = nodes.iter().map(|&n| m.sext(n, w)).collect();
+            m.select(sel.node(), &aligned)
+        }))
+    }
+
+    /// Concatenates `self` above `low` (unsigned packing).
+    pub fn concat(&self, low: &SInt) -> SInt {
+        self.make(self.with(|m| m.concat(self.node, low.node)))
+    }
+
+    /// Views a 1-bit signal as a boolean.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the signal is wider than one bit.
+    pub fn as_bool(&self) -> Bool {
+        assert_eq!(self.width(), 1, "as_bool on a {}-bit signal", self.width());
+        Bool {
+            circuit: self.circuit.clone(),
+            node: self.node,
+        }
+    }
+
+    /// Bit slice `[lo, lo + width)`.
+    pub fn bits(&self, lo: u32, width: u32) -> SInt {
+        self.make(self.with(|m| m.slice(self.node, lo, width)))
+    }
+}
+
+impl Bool {
+    pub(crate) fn from_node(circuit: &Circuit, node: NodeId) -> Self {
+        Bool {
+            circuit: circuit.clone(),
+            node,
+        }
+    }
+
+    /// The underlying IR node.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    fn make(&self, node: NodeId) -> Bool {
+        Bool {
+            circuit: self.circuit.clone(),
+            node,
+        }
+    }
+
+    /// Logical AND.
+    pub fn and(&self, rhs: &Bool) -> Bool {
+        self.make(
+            self.circuit
+                .inner
+                .borrow_mut()
+                .binary(BinaryOp::And, self.node, rhs.node, 1),
+        )
+    }
+
+    /// Logical OR.
+    pub fn or(&self, rhs: &Bool) -> Bool {
+        self.make(
+            self.circuit
+                .inner
+                .borrow_mut()
+                .binary(BinaryOp::Or, self.node, rhs.node, 1),
+        )
+    }
+
+    /// Logical NOT.
+    pub fn not(&self) -> Bool {
+        self.make(
+            self.circuit
+                .inner
+                .borrow_mut()
+                .unary(UnaryOp::Not, self.node),
+        )
+    }
+
+    /// Boolean selection.
+    pub fn select(cond: &Bool, on_true: &Bool, on_false: &Bool) -> Bool {
+        on_true.make(
+            on_true
+                .circuit
+                .inner
+                .borrow_mut()
+                .mux(cond.node, on_true.node, on_false.node),
+        )
+    }
+
+    /// Reinterprets as a 1-bit signed value (for counters etc.).
+    pub fn as_sint(&self) -> SInt {
+        SInt {
+            circuit: self.circuit.clone(),
+            node: self.node,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Circuit;
+    use hc_sim::Simulator;
+
+    fn run1(c: Circuit, inputs: &[(&str, i64)]) -> i64 {
+        let m = c.finish().unwrap();
+        let mut sim = Simulator::new(m).unwrap();
+        for (n, v) in inputs {
+            let w = sim.module().input_named(n).unwrap().width;
+            sim.set(n, hc_bits::Bits::from_i64(w, *v));
+        }
+        sim.get("y").to_i64()
+    }
+
+    #[test]
+    fn add_never_wraps() {
+        let c = Circuit::new("t");
+        let a = c.input("a", 8);
+        let b = c.input("b", 8);
+        let y = a.add(&b);
+        assert_eq!(y.width(), 9);
+        c.output("y", &y);
+        assert_eq!(run1(c, &[("a", 127), ("b", 127)]), 254);
+    }
+
+    #[test]
+    fn mul_is_full_precision() {
+        let c = Circuit::new("t");
+        let a = c.input("a", 12);
+        let k = c.lit_min(2841);
+        let y = a.mul(&k);
+        assert_eq!(y.width(), 12 + 13);
+        c.output("y", &y);
+        assert_eq!(run1(c, &[("a", -2048)]), -2048 * 2841);
+    }
+
+    #[test]
+    fn shifts_and_trunc() {
+        let c = Circuit::new("t");
+        let a = c.input("a", 12);
+        let y = a.shl(11).shr(3).trunc(16);
+        c.output("y", &y);
+        assert_eq!(run1(c.clone(), &[("a", -4)]), (-4i64 << 11) >> 3 & 0xffff | !0xffff); // sign-extended slice
+    }
+
+    #[test]
+    fn comparisons_and_select() {
+        let c = Circuit::new("t");
+        let a = c.input("a", 10);
+        let lo = c.lit_min(-256);
+        let hi = c.lit_min(255);
+        let clipped = SInt::select(
+            &a.lt(&lo),
+            &lo,
+            &SInt::select(&a.gt(&hi), &hi, &a),
+        );
+        c.output("y", &clipped.trunc(9));
+        assert_eq!(run1(c.clone(), &[("a", -400)]), -256);
+        assert_eq!(run1(c.clone(), &[("a", 300)]), 255);
+        assert_eq!(run1(c, &[("a", 42)]), 42);
+    }
+
+    #[test]
+    fn bool_logic() {
+        let c = Circuit::new("t");
+        let a = c.input_bool("a");
+        let b = c.input_bool("b");
+        let y = a.and(&b.not()).or(&a.and(&b));
+        c.output_bool("y", &y); // == a
+        let m = c.finish().unwrap();
+        let mut sim = Simulator::new(m).unwrap();
+        for (av, bv) in [(0u64, 0u64), (0, 1), (1, 0), (1, 1)] {
+            sim.set_u64("a", av);
+            sim.set_u64("b", bv);
+            assert_eq!(sim.get("y").to_u64(), av);
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! End-to-end conformance of the construction-eDSL IDCT designs against
+//! the golden fixed-point model, with the paper's timing figures.
+
+use hc_axi::StreamHarness;
+use hc_construct::designs;
+use hc_idct::generator::{corner_cases, BlockGen};
+use hc_idct::{fixed, Block};
+
+fn check(module: hc_rtl::Module, latency: u64, periodicity: u64) {
+    let name = module.name().to_owned();
+    let mut blocks = corner_cases();
+    blocks.extend(BlockGen::new(41, -2048, 2047).take_blocks(10));
+    blocks.extend(BlockGen::new(42, -300, 300).take_blocks(10));
+    let mut harness = StreamHarness::new(module).expect("design validates");
+    let inputs: Vec<[[i32; 8]; 8]> = blocks.iter().map(|b| b.0).collect();
+    let (outputs, timing) = harness.run(&inputs, 200 * (blocks.len() as u64 + 4));
+    assert_eq!(outputs.len(), blocks.len(), "{name}");
+    for (i, (b, o)) in blocks.iter().zip(&outputs).enumerate() {
+        assert_eq!(Block(*o), fixed::idct2d(b), "{name}: block {i}");
+    }
+    assert!(harness.protocol_errors.is_empty(), "{name}");
+    assert_eq!(timing.latency, latency, "{name}: latency");
+    assert_eq!(timing.periodicity, periodicity, "{name}: periodicity");
+}
+
+#[test]
+fn construct_initial_is_bit_exact() {
+    check(designs::initial_design(), 17, 8);
+}
+
+#[test]
+fn construct_opt_rowcol_is_bit_exact() {
+    check(designs::opt_rowcol(), 24, 8);
+}
+
+#[test]
+fn construct_and_verilog_initial_designs_agree() {
+    // Two frontends, one algorithm: identical streams must come out.
+    let blocks = BlockGen::new(77, -2048, 2047).take_blocks(8);
+    let inputs: Vec<[[i32; 8]; 8]> = blocks.iter().map(|b| b.0).collect();
+    let mut h1 = StreamHarness::new(designs::initial_design()).unwrap();
+    let mut h2 = StreamHarness::new(hc_verilog::designs::initial_design().unwrap()).unwrap();
+    let (o1, t1) = h1.run(&inputs, 4000);
+    let (o2, t2) = h2.run(&inputs, 4000);
+    assert_eq!(o1, o2);
+    assert_eq!(t1, t2);
+}

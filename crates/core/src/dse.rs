@@ -1,0 +1,84 @@
+//! Design-space analysis helpers: Pareto fronts over Performance × Area.
+
+use crate::measure::Measurement;
+
+/// Indices of the Pareto-optimal points (maximize throughput, minimize
+/// normalized area). A point is dominated if another has ≥ throughput and
+/// ≤ area with at least one strict inequality.
+pub fn pareto_front(points: &[Measurement]) -> Vec<usize> {
+    let mut front = Vec::new();
+    for (i, p) in points.iter().enumerate() {
+        let dominated = points.iter().enumerate().any(|(j, q)| {
+            j != i
+                && q.throughput_mops >= p.throughput_mops
+                && q.area_nodsp.normalized() <= p.area_nodsp.normalized()
+                && (q.throughput_mops > p.throughput_mops
+                    || q.area_nodsp.normalized() < p.area_nodsp.normalized())
+        });
+        if !dominated {
+            front.push(i);
+        }
+    }
+    front
+}
+
+/// The point with the best quality `Q` (ties broken by lower area).
+pub fn best_quality(points: &[Measurement]) -> Option<usize> {
+    points
+        .iter()
+        .enumerate()
+        .max_by(|(_, a), (_, b)| {
+            a.q.partial_cmp(&b.q)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(b.area_nodsp.normalized().cmp(&a.area_nodsp.normalized()))
+        })
+        .map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hc_synth::AreaReport;
+
+    fn point(p: f64, area: u64) -> Measurement {
+        Measurement {
+            label: format!("p{p}a{area}"),
+            fmax_mhz: 100.0,
+            t_clk_ns: 10.0,
+            latency: 1,
+            periodicity: 1,
+            throughput_mops: p,
+            area: AreaReport::default(),
+            area_nodsp: AreaReport {
+                lut: area,
+                ..AreaReport::default()
+            },
+            q: p * 1e6 / area as f64,
+            loc: 0,
+        }
+    }
+
+    #[test]
+    fn dominated_points_are_excluded() {
+        let pts = vec![
+            point(10.0, 100), // front
+            point(5.0, 200),  // dominated by both others
+            point(20.0, 300), // front
+            point(10.0, 150), // dominated by the first
+        ];
+        assert_eq!(pareto_front(&pts), vec![0, 2]);
+    }
+
+    #[test]
+    fn identical_points_all_survive() {
+        let pts = vec![point(10.0, 100), point(10.0, 100)];
+        assert_eq!(pareto_front(&pts), vec![0, 1]);
+    }
+
+    #[test]
+    fn best_quality_picks_max_q() {
+        let pts = vec![point(10.0, 100), point(10.0, 50), point(1.0, 10)];
+        assert_eq!(best_quality(&pts), Some(1));
+        assert_eq!(best_quality(&[]), None);
+    }
+}

@@ -1,0 +1,221 @@
+//! §III-C procedure: synthesize, simulate, measure.
+
+use crate::entries::{Design, DesignInterface, ToolEntry};
+use crate::metrics;
+use crate::tool::ToolId;
+use hc_axi::{PcieLink, StreamHarness};
+use hc_idct::generator::BlockGen;
+use hc_idct::{fixed, Block};
+use hc_rtl::passes::optimize;
+use hc_sim::Simulator;
+use hc_synth::{synthesize, Device, SynthOptions};
+
+/// Everything measured for one design point.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Design label (configuration).
+    pub label: String,
+    /// Maximum clock frequency, MHz.
+    pub fmax_mhz: f64,
+    /// Minimum clock period, ns.
+    pub t_clk_ns: f64,
+    /// Latency `T_L`, cycles (including I/O transmission).
+    pub latency: u64,
+    /// Periodicity `T_P`, cycles between operation starts.
+    pub periodicity: u64,
+    /// Throughput `P`, MOPS.
+    pub throughput_mops: f64,
+    /// Area with default synthesis (DSPs allowed).
+    pub area: hc_synth::AreaReport,
+    /// Area with `maxdsp=0` (the normalization run).
+    pub area_nodsp: hc_synth::AreaReport,
+    /// Quality `Q = P / A` (OPS per normalized area unit).
+    pub q: f64,
+    /// Lines of code including configuration (`L`).
+    pub loc: usize,
+}
+
+/// One Table II column pair (a tool's initial and optimized designs) plus
+/// the derived cross-metrics.
+#[derive(Clone, Debug)]
+pub struct ToolRow {
+    /// Which tool.
+    pub id: ToolId,
+    /// The initial design's measurement.
+    pub initial: Measurement,
+    /// The optimized design's measurement.
+    pub optimized: Measurement,
+    /// Changed lines between them (`ΔL`).
+    pub delta_loc: usize,
+    /// Degree of automation α, percent, for (initial, optimized).
+    pub automation: (f64, f64),
+    /// Controllability `C_Q`, percent (vs. the Verilog optimum).
+    pub controllability: f64,
+    /// Flexibility `F_Q`.
+    pub flexibility: f64,
+}
+
+/// Measures one design point: optimizes the netlist, synthesizes twice
+/// (default and `maxdsp=0`), simulates the stream interface against the
+/// golden model and derives throughput and quality.
+///
+/// # Panics
+///
+/// Panics if the design is not bit-exact with the golden fixed-point IDCT
+/// on the sample blocks — measurement implies conformance.
+pub fn measure(design: &Design, nblocks: usize) -> Measurement {
+    let mut module = design.module.clone();
+    optimize(&mut module);
+    let device = Device::xcvu9p();
+    let full = synthesize(&module, &device, &SynthOptions::default());
+    let nodsp = synthesize(&module, &device, &SynthOptions::no_dsp());
+    let fmax = full.timing.fmax_mhz();
+
+    let blocks = BlockGen::new(7, -2048, 2047).take_blocks(nblocks.max(2));
+    let (latency, periodicity) = match design.interface {
+        DesignInterface::Axis => {
+            let mut harness =
+                StreamHarness::new(module).expect("measured designs validate");
+            let inputs: Vec<[[i32; 8]; 8]> = blocks.iter().map(|b| b.0).collect();
+            let (outputs, timing) = harness.run(&inputs, 2000 * (blocks.len() as u64 + 4));
+            assert_eq!(outputs.len(), blocks.len(), "{}: lost matrices", design.label);
+            for (i, (b, o)) in blocks.iter().zip(&outputs).enumerate() {
+                assert_eq!(
+                    Block(*o),
+                    fixed::idct2d(b),
+                    "{}: block {i} not bit-exact",
+                    design.label
+                );
+            }
+            assert!(harness.protocol_errors.is_empty());
+            (timing.latency, timing.periodicity)
+        }
+        DesignInterface::Stream { .. } => measure_stream(module, &blocks, &design.label),
+    };
+
+    let throughput_mops = match design.interface {
+        DesignInterface::Axis => fmax / periodicity as f64,
+        DesignInterface::Stream { bits_per_op } => {
+            let pcie = PcieLink::gen3_x16().ops_per_second(bits_per_op) / 1e6;
+            pcie.min(fmax / periodicity as f64)
+        }
+    };
+    let q = metrics::quality(throughput_mops, nodsp.area.normalized());
+
+    Measurement {
+        label: design.label.clone(),
+        fmax_mhz: fmax,
+        t_clk_ns: full.timing.t_clk_ns,
+        latency,
+        periodicity,
+        throughput_mops,
+        area: full.area,
+        area_nodsp: nodsp.area,
+        q,
+        loc: design.loc,
+    }
+}
+
+/// Drives a MaxJ-style `in_data`/`in_valid` → `out_data`/`out_valid`
+/// kernel; returns (latency, periodicity) and asserts bit-exactness.
+fn measure_stream(module: hc_rtl::Module, blocks: &[Block], label: &str) -> (u64, u64) {
+    let row_mode = module.input_named("in_data").expect("stream port").width == 96;
+    let mut sim = Simulator::new(module).expect("kernel validates");
+    sim.set_u64("rst", 1);
+    sim.set_u64("in_valid", 0);
+    sim.step();
+    sim.set_u64("rst", 0);
+    sim.set_u64("in_valid", 1);
+
+    let mut out_cycles: Vec<u64> = Vec::new();
+    let mut outputs: Vec<Block> = Vec::new();
+    let total_feeds = if row_mode { blocks.len() * 8 } else { blocks.len() };
+    for cycle in 0..(total_feeds as u64 + 400) {
+        if row_mode {
+            let idx = cycle as usize;
+            let row = if idx < total_feeds {
+                *blocks[idx / 8].row(idx % 8)
+            } else {
+                [0; 8]
+            };
+            sim.set("in_data", hc_axi::pack_elems(&row, 12));
+        } else {
+            let idx = cycle as usize;
+            let block = blocks.get(idx).copied().unwrap_or(Block::zero());
+            let mut word = hc_bits::Bits::zero(768);
+            for r in 0..8 {
+                for c in 0..8 {
+                    let e = hc_bits::Bits::from_i64(12, i64::from(block[(r, c)]));
+                    for bit in 0..12 {
+                        if e.bit(bit) {
+                            word.set_bit((r * 8 + c) as u32 * 12 + bit, true);
+                        }
+                    }
+                }
+            }
+            sim.set("in_data", word);
+        }
+        if sim.get("out_valid").to_bool() {
+            out_cycles.push(cycle);
+            let word = sim.get("out_data");
+            outputs.push(Block::from_fn(|r, c| {
+                word.slice((r * 8 + c) as u32 * 9, 9).to_i64() as i32
+            }));
+        }
+        sim.step();
+        if outputs.len() >= blocks.len() {
+            break;
+        }
+    }
+    assert_eq!(outputs.len(), blocks.len(), "{label}: lost matrices");
+    for (i, (b, o)) in blocks.iter().zip(&outputs).enumerate() {
+        assert_eq!(*o, fixed::idct2d(b), "{label}: block {i} not bit-exact");
+    }
+    let latency = out_cycles[0] + 1;
+    let periodicity = if out_cycles.len() >= 2 {
+        out_cycles[out_cycles.len() - 1] - out_cycles[out_cycles.len() - 2]
+    } else {
+        1
+    };
+    (latency, periodicity)
+}
+
+/// Measures every tool's initial and optimized designs and derives the
+/// cross-tool metrics of Table II. `nblocks` controls simulation effort.
+pub fn measure_all(tools: &[ToolEntry], nblocks: usize) -> Vec<ToolRow> {
+    let measured: Vec<(Measurement, Measurement)> = tools
+        .iter()
+        .map(|t| (measure(&t.initial, nblocks), measure(&t.optimized, nblocks)))
+        .collect();
+    let verilog_idx = tools
+        .iter()
+        .position(|t| t.info.id == ToolId::Verilog)
+        .expect("the Verilog baseline is part of every run");
+    let verilog_best_q = measured[verilog_idx].1.q;
+    let verilog_loc = (
+        measured[verilog_idx].0.loc,
+        measured[verilog_idx].1.loc,
+    );
+
+    tools
+        .iter()
+        .zip(measured)
+        .map(|(t, (initial, optimized))| {
+            let automation = (
+                metrics::automation(initial.loc, verilog_loc.0),
+                metrics::automation(optimized.loc, verilog_loc.1),
+            );
+            let controllability = metrics::controllability(optimized.q, verilog_best_q);
+            let flexibility = metrics::flexibility(optimized.q, initial.q, t.delta_loc);
+            ToolRow {
+                id: t.info.id,
+                initial,
+                optimized,
+                delta_loc: t.delta_loc,
+                automation,
+                controllability,
+                flexibility,
+            }
+        })
+        .collect()
+}

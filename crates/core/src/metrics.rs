@@ -1,0 +1,103 @@
+//! The paper's §III-A metrics: LOC, α, C_Φ, F_Φ, Q.
+
+pub use hc_verilog::count_loc;
+pub use hc_verilog::designs::line_diff;
+
+/// Degree of automation (eq. 1): how much less code a language needs
+/// compared to the Verilog baseline, in percent.
+pub fn automation(loc: usize, verilog_loc: usize) -> f64 {
+    (verilog_loc as f64 - loc as f64) / verilog_loc as f64 * 100.0
+}
+
+/// Controllability (eq. 2): the tool's best quality relative to the
+/// Verilog "absolute" maximum, in percent.
+pub fn controllability(best_q: f64, verilog_best_q: f64) -> f64 {
+    best_q / verilog_best_q * 100.0
+}
+
+/// Flexibility (eq. 3): quality gained per changed line of code.
+///
+/// Returns infinity when `delta_loc` is zero and quality improved (a
+/// pure tool-setting change), zero when nothing improved.
+pub fn flexibility(best_q: f64, initial_q: f64, delta_loc: usize) -> f64 {
+    let gain = best_q - initial_q;
+    if delta_loc == 0 {
+        if gain > 0.0 {
+            f64::INFINITY
+        } else {
+            0.0
+        }
+    } else {
+        gain / delta_loc as f64
+    }
+}
+
+/// Quality `Q = P / A`, in the paper's units: throughput in OPS divided by
+/// normalized area (`N*_LUT + N*_FF`). Table II lists it as OPS/area,
+/// which for MOPS-scale throughput lands in the hundreds-to-thousands.
+pub fn quality(throughput_mops: f64, normalized_area: u64) -> f64 {
+    throughput_mops * 1e6 / normalized_area as f64
+}
+
+/// Extracts one `pub fn`/`fn` item (brace-balanced) from Rust source —
+/// used to attribute design-file LOC to individual designs.
+pub fn fn_source<'a>(src: &'a str, fn_name: &str) -> Option<&'a str> {
+    let pat = format!("fn {fn_name}");
+    let start = src.find(&pat)?;
+    let open = src[start..].find('{')? + start;
+    let mut depth = 0usize;
+    for (i, c) in src[open..].char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(&src[start..open + i + 1]);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// LOC of one function item within a Rust source file.
+pub fn fn_loc(src: &str, fn_name: &str) -> usize {
+    fn_source(src, fn_name).map(count_loc).unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equations_match_the_paper() {
+        // Chisel initial in the paper: 195 LOC vs 247 → α = 21.1%.
+        assert!((automation(195, 247) - 21.05).abs() < 0.1);
+        // C_Q for Chisel: 1942 / 2155 → 90.1%.
+        assert!((controllability(1942.0, 2155.0) - 90.1).abs() < 0.1);
+        // F_Q for Chisel: (1942 - 257) / 131 → 12.9.
+        assert!((flexibility(1942.0, 257.0, 131) - 12.86).abs() < 0.05);
+    }
+
+    #[test]
+    fn quality_units() {
+        // Paper Verilog opt: 14.15 MOPS / 6567 → ~2155.
+        assert!((quality(14.15, 6567) - 2154.7).abs() < 1.0);
+    }
+
+    #[test]
+    fn flexibility_edge_cases() {
+        assert_eq!(flexibility(5.0, 5.0, 0), 0.0);
+        assert_eq!(flexibility(6.0, 5.0, 0), f64::INFINITY);
+    }
+
+    #[test]
+    fn fn_extraction_is_brace_balanced() {
+        let src = "fn a() { if x { y } }\npub fn b() {\n 1;\n 2;\n}\n";
+        let b = fn_source(src, "b").unwrap();
+        assert!(b.contains("1;") && b.ends_with('}'));
+        assert_eq!(fn_loc(src, "b"), 4);
+        assert_eq!(fn_loc(src, "missing"), 0);
+    }
+}

@@ -1,0 +1,203 @@
+//! Table I, Table II and Fig. 1 renderings (text and CSV).
+
+use crate::measure::{Measurement, ToolRow};
+use crate::tool::{table1_rows, ToolId};
+use std::fmt::Write as _;
+
+/// Renders Table I (languages and tools under evaluation).
+pub fn table1() -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{:<10} {:<16} {:<12} {:<6} {:<12}",
+        "Language", "Paradigm", "Tool", "Type", "Openness"
+    );
+    for r in table1_rows() {
+        let _ = writeln!(
+            s,
+            "{:<10} {:<16} {:<12} {:<6} {:<12}",
+            r.language,
+            r.paradigm,
+            r.tool,
+            r.kind.to_string(),
+            r.openness
+        );
+    }
+    s
+}
+
+fn tool_name(id: ToolId) -> &'static str {
+    match id {
+        ToolId::Verilog => "Verilog/Vivado",
+        ToolId::Chisel => "Chisel",
+        ToolId::Bsv => "BSV/BSC",
+        ToolId::Dslx => "DSLX/XLS",
+        ToolId::Maxj => "MaxJ/MaxCompiler",
+        ToolId::CBambu => "C/Bambu",
+        ToolId::CVivadoHls => "C/VivadoHLS",
+    }
+}
+
+/// Renders Table II (the full evaluation) as readable text.
+pub fn table2(rows: &[ToolRow]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{:<17} {:>4} {:>9} {:>9} {:>7} {:>8} {:>8} {:>5} {:>5} {:>8} {:>6} {:>6} {:>6} {:>8} {:>7}",
+        "Tool(cfg)", "LOC", "alpha%", "fmax,MHz", "P,MOPS", "T_L", "T_P",
+        "DSP", "IO", "A=L*+F*", "LUT*", "FF*", "Q", "C_Q%", "F_Q"
+    );
+    for row in rows {
+        for (tag, m) in [("init", &row.initial), ("opt", &row.optimized)] {
+            let (a_init, a_opt) = row.automation;
+            let alpha = if tag == "init" { a_init } else { a_opt };
+            let _ = writeln!(
+                s,
+                "{:<17} {:>4} {:>8.1}% {:>9.2} {:>7.2} {:>8} {:>8} {:>5} {:>5} {:>8} {:>6} {:>6} {:>6.0} {:>8} {:>7}",
+                format!("{} {}", tool_name(row.id), tag),
+                m.loc,
+                alpha,
+                m.fmax_mhz,
+                m.throughput_mops,
+                m.latency,
+                m.periodicity,
+                m.area.dsp,
+                m.area.io,
+                m.area_nodsp.normalized(),
+                m.area_nodsp.lut,
+                m.area_nodsp.ff,
+                m.q,
+                if tag == "opt" {
+                    format!("{:.1}%", row.controllability)
+                } else {
+                    String::new()
+                },
+                if tag == "opt" {
+                    if row.flexibility.is_infinite() {
+                        "inf".to_owned()
+                    } else {
+                        format!("{:.1}", row.flexibility)
+                    }
+                } else {
+                    String::new()
+                },
+            );
+        }
+    }
+    s
+}
+
+/// Renders Table II as CSV.
+pub fn table2_csv(rows: &[ToolRow]) -> String {
+    let mut s = String::from(
+        "tool,config,loc,alpha_pct,fmax_mhz,tclk_ns,throughput_mops,latency,periodicity,\
+         dsp,io,lut_nodsp,ff_nodsp,area_norm,q,controllability_pct,flexibility,delta_loc\n",
+    );
+    for row in rows {
+        for (tag, m, alpha) in [
+            ("initial", &row.initial, row.automation.0),
+            ("optimized", &row.optimized, row.automation.1),
+        ] {
+            let _ = writeln!(
+                s,
+                "{},{tag},{},{:.1},{:.2},{:.2},{:.3},{},{},{},{},{},{},{},{:.1},{:.1},{:.2},{}",
+                tool_name(row.id),
+                m.loc,
+                alpha,
+                m.fmax_mhz,
+                m.t_clk_ns,
+                m.throughput_mops,
+                m.latency,
+                m.periodicity,
+                m.area.dsp,
+                m.area.io,
+                m.area_nodsp.lut,
+                m.area_nodsp.ff,
+                m.area_nodsp.normalized(),
+                m.q,
+                row.controllability,
+                row.flexibility,
+                row.delta_loc,
+            );
+        }
+    }
+    s
+}
+
+/// Renders the Fig. 1 design-space scatter (Performance × Area) as CSV:
+/// one line per configuration point.
+pub fn fig1_csv(points: &[(ToolId, Measurement)]) -> String {
+    let mut s = String::from("tool,config,throughput_mops,area_norm,fmax_mhz,q\n");
+    for (id, m) in points {
+        let _ = writeln!(
+            s,
+            "{},{},{:.3},{},{:.2},{:.1}",
+            tool_name(*id),
+            m.label,
+            m.throughput_mops,
+            m.area_nodsp.normalized(),
+            m.fmax_mhz,
+            m.q
+        );
+    }
+    s
+}
+
+/// A coarse ASCII rendering of Fig. 1: log-ish scatter of the points.
+pub fn fig1_ascii(points: &[(ToolId, Measurement)]) -> String {
+    const W: usize = 72;
+    const H: usize = 24;
+    let mut grid = vec![vec![' '; W]; H];
+    let (mut pmin, mut pmax) = (f64::MAX, f64::MIN);
+    let (mut amin, mut amax) = (f64::MAX, f64::MIN);
+    for (_, m) in points {
+        pmin = pmin.min(m.throughput_mops);
+        pmax = pmax.max(m.throughput_mops);
+        let a = m.area_nodsp.normalized() as f64;
+        amin = amin.min(a);
+        amax = amax.max(a);
+    }
+    let glyph = |id: ToolId| match id {
+        ToolId::Verilog => 'V',
+        ToolId::Chisel => 'C',
+        ToolId::Bsv => 'B',
+        ToolId::Dslx => 'X',
+        ToolId::Maxj => 'M',
+        ToolId::CBambu => 'b',
+        ToolId::CVivadoHls => 'h',
+    };
+    for (id, m) in points {
+        let x = ((m.area_nodsp.normalized() as f64 / amin).ln() / (amax / amin).ln()
+            * (W - 1) as f64) as usize;
+        let y = ((m.throughput_mops / pmin).ln() / (pmax / pmin).ln() * (H - 1) as f64) as usize;
+        grid[H - 1 - y.min(H - 1)][x.min(W - 1)] = glyph(*id);
+    }
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "Fig.1: Performance (MOPS, log, up) x Area (A*, log, right)"
+    );
+    for line in grid {
+        let _ = writeln!(s, "|{}", line.iter().collect::<String>());
+    }
+    let _ = writeln!(s, "+{}", "-".repeat(W));
+    let _ = writeln!(
+        s,
+        "P: {:.2}..{:.2} MOPS, A: {:.0}..{:.0}  (V=Verilog C=Chisel B=BSV X=XLS M=MaxJ b=Bambu h=VivadoHLS)",
+        pmin, pmax, amin, amax
+    );
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_text_contains_all_tools() {
+        let t = table1();
+        for name in ["Verilog", "Chisel", "BSV", "DSLX", "MaxJ", "Bambu", "Vivado HLS"] {
+            assert!(t.contains(name), "missing {name} in:\n{t}");
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! The subjects under evaluation (the paper's Table I).
+
+use std::fmt;
+
+/// Identity of a language/tool pair.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ToolId {
+    /// Verilog / Vivado (the baseline; logic synthesis + place & route).
+    Verilog,
+    /// Chisel (hardware construction).
+    Chisel,
+    /// Bluespec SystemVerilog / Bluespec Compiler.
+    Bsv,
+    /// DSLX / XLS.
+    Dslx,
+    /// MaxJ / MaxCompiler.
+    Maxj,
+    /// C / Bambu.
+    CBambu,
+    /// C / Vivado HLS.
+    CVivadoHls,
+}
+
+/// Tool classification (Table I's "Type" column).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ToolKind {
+    /// Logic synthesis / place & route (the baseline flow).
+    LsPr,
+    /// Hardware construction.
+    Hc,
+    /// High-level synthesis.
+    Hls,
+}
+
+impl fmt::Display for ToolKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ToolKind::LsPr => "LS/PR",
+            ToolKind::Hc => "HC",
+            ToolKind::Hls => "HLS",
+        })
+    }
+}
+
+/// One Table I row.
+#[derive(Clone, Debug)]
+pub struct ToolInfo {
+    /// Tool identity.
+    pub id: ToolId,
+    /// Input language.
+    pub language: &'static str,
+    /// Language paradigm.
+    pub paradigm: &'static str,
+    /// Tool name.
+    pub tool: &'static str,
+    /// Classification.
+    pub kind: ToolKind,
+    /// Openness (Table I's last column).
+    pub openness: &'static str,
+}
+
+/// The seven rows of Table I.
+pub fn table1_rows() -> Vec<ToolInfo> {
+    vec![
+        ToolInfo {
+            id: ToolId::Verilog,
+            language: "Verilog",
+            paradigm: "Classical RTL",
+            tool: "Vivado",
+            kind: ToolKind::LsPr,
+            openness: "Commercial",
+        },
+        ToolInfo {
+            id: ToolId::Chisel,
+            language: "Chisel",
+            paradigm: "Functional/RTL",
+            tool: "Chisel",
+            kind: ToolKind::Hc,
+            openness: "Open-source",
+        },
+        ToolInfo {
+            id: ToolId::Bsv,
+            language: "BSV",
+            paradigm: "Rule-based/RTL",
+            tool: "BSC",
+            kind: ToolKind::Hc,
+            openness: "Open-source",
+        },
+        ToolInfo {
+            id: ToolId::Dslx,
+            language: "DSLX",
+            paradigm: "Functional",
+            tool: "XLS",
+            kind: ToolKind::Hls,
+            openness: "Open-source",
+        },
+        ToolInfo {
+            id: ToolId::Maxj,
+            language: "MaxJ",
+            paradigm: "Dataflow",
+            tool: "MaxCompiler",
+            kind: ToolKind::Hls,
+            openness: "Commercial",
+        },
+        ToolInfo {
+            id: ToolId::CBambu,
+            language: "C",
+            paradigm: "Imperative",
+            tool: "Bambu",
+            kind: ToolKind::Hls,
+            openness: "Open-source",
+        },
+        ToolInfo {
+            id: ToolId::CVivadoHls,
+            language: "C",
+            paradigm: "Imperative",
+            tool: "Vivado HLS",
+            kind: ToolKind::Hls,
+            openness: "Commercial",
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_the_paper() {
+        let rows = table1_rows();
+        assert_eq!(rows.len(), 7);
+        assert_eq!(rows[0].kind, ToolKind::LsPr);
+        assert!(rows.iter().filter(|r| r.kind == ToolKind::Hc).count() == 2);
+        assert!(rows.iter().filter(|r| r.kind == ToolKind::Hls).count() == 4);
+        assert_eq!(rows[4].tool, "MaxCompiler");
+    }
+}

@@ -1,0 +1,37 @@
+//! A MaxJ/MaxCompiler-like dataflow system language.
+//!
+//! MaxCompiler's model: a *kernel* is a dataflow graph over streams —
+//! values (constants and stream samples), arithmetic nodes, **offsets**
+//! (access to past stream elements), and **counters** (loop indices) — and
+//! the compiler pipelines it fully, one operation level per stage, which
+//! is why the paper's MaxJ design runs at 403 MHz with a 47-stage pipeline.
+//! A *manager* connects kernels to the host over PCIe; unlike every other
+//! tool in the study, the system bottleneck is the PCIe link, not
+//! AXI-Stream ([`hc_axi::PcieLink`]).
+//!
+//! [`Kernel`] builds the pure compute graph (delegating to the `hc-flow`
+//! scheduler for stage balancing) plus its offset/counter environment;
+//! [`Kernel::finalize`] emits a free-running streaming module with
+//! `in_data`/`in_valid` → `out_data`/`out_valid` ports.
+//!
+//! # Examples
+//!
+//! A 2-tap moving sum over a stream:
+//!
+//! ```
+//! use hc_dataflow::Kernel;
+//!
+//! let mut k = Kernel::new("movsum", 8);
+//! let x = k.stream_in();
+//! let prev = k.offset(x, 1); // the previous sample
+//! let y = k.add(x, prev);
+//! k.stream_out(y, 9);
+//! let module = k.finalize()?;
+//! assert!(module.input_named("in_data").is_some());
+//! # Ok::<(), hc_flow::FlowError>(())
+//! ```
+
+mod kernel;
+pub mod designs;
+
+pub use kernel::{Kernel, StreamValue};

@@ -1,0 +1,272 @@
+//! The IDCT as a pure dataflow function — the "DSLX/XLS" entry.
+//!
+//! The function below is a port of the google/xls IDCT example the paper
+//! adapts: the same Chen–Wang arithmetic written width-explicitly in a
+//! timing-oblivious functional style. The *only* optimization knob is the
+//! pipeline stage count handed to [`crate::pipeline`] — reproducing the
+//! paper's observation that XLS's whole design space is one parameter.
+
+use crate::{pipeline, FlowError, FlowFn, Kernel, Value};
+use hc_axi::{wrap_comb_matrix, wrap_pipelined_matrix, MatrixWrapperSpec};
+use hc_rtl::Module;
+
+const W1: i64 = 2841;
+const W2: i64 = 2676;
+const W3: i64 = 2408;
+const W5: i64 = 1609;
+const W6: i64 = 1108;
+const W7: i64 = 565;
+
+fn row_pass(k: &mut Kernel, b: &[Value]) -> Vec<Value> {
+    // 32-bit working width, as in the C original.
+    let w = |k: &mut Kernel, v: Value| k.cast(v, 32);
+    let kc = |k: &mut Kernel, v: i64| k.lit(32, v);
+    let b: Vec<Value> = b.iter().map(|&v| w(k, v)).collect();
+    let c128 = kc(k, 128);
+    let t = k.shl(b[0], 11);
+    let mut x0 = k.add(t, c128);
+    let mut x1 = k.shl(b[4], 11);
+    let (mut x2, mut x3, mut x4, mut x5, mut x6, mut x7) =
+        (b[6], b[2], b[1], b[7], b[5], b[3]);
+    let mut x8;
+
+    let s = k.add(x4, x5);
+    let c = kc(k, W7);
+    x8 = k.mul(c, s, 32);
+    let c = kc(k, W1 - W7);
+    let p = k.mul(c, x4, 32);
+    x4 = k.add(x8, p);
+    let c = kc(k, W1 + W7);
+    let p = k.mul(c, x5, 32);
+    x5 = k.sub(x8, p);
+    let s = k.add(x6, x7);
+    let c = kc(k, W3);
+    x8 = k.mul(c, s, 32);
+    let c = kc(k, W3 - W5);
+    let p = k.mul(c, x6, 32);
+    x6 = k.sub(x8, p);
+    let c = kc(k, W3 + W5);
+    let p = k.mul(c, x7, 32);
+    x7 = k.sub(x8, p);
+
+    x8 = k.add(x0, x1);
+    x0 = k.sub(x0, x1);
+    let s = k.add(x3, x2);
+    let c = kc(k, W6);
+    x1 = k.mul(c, s, 32);
+    let c = kc(k, W2 + W6);
+    let p = k.mul(c, x2, 32);
+    x2 = k.sub(x1, p);
+    let c = kc(k, W2 - W6);
+    let p = k.mul(c, x3, 32);
+    x3 = k.add(x1, p);
+    x1 = k.add(x4, x6);
+    x4 = k.sub(x4, x6);
+    x6 = k.add(x5, x7);
+    x5 = k.sub(x5, x7);
+
+    x7 = k.add(x8, x3);
+    x8 = k.sub(x8, x3);
+    x3 = k.add(x0, x2);
+    x0 = k.sub(x0, x2);
+    let c181 = kc(k, 181);
+    let s = k.add(x4, x5);
+    let p = k.mul(c181, s, 32);
+    let p = k.add(p, c128);
+    x2 = k.shr(p, 8);
+    let d = k.sub(x4, x5);
+    let p = k.mul(c181, d, 32);
+    let p = k.add(p, c128);
+    x4 = k.shr(p, 8);
+
+    [
+        (x7, x1, true),
+        (x3, x2, true),
+        (x0, x4, true),
+        (x8, x6, true),
+        (x8, x6, false),
+        (x0, x4, false),
+        (x3, x2, false),
+        (x7, x1, false),
+    ]
+    .into_iter()
+    .map(|(a, b, plus)| {
+        let s = if plus { k.add(a, b) } else { k.sub(a, b) };
+        let sh = k.shr(s, 8);
+        k.slice(sh, 0, 16) // store into a short
+    })
+    .collect()
+}
+
+fn iclip(k: &mut Kernel, v: Value) -> Value {
+    let lo = k.lit(40, -256);
+    let hi = k.lit(40, 255);
+    let under = k.lt(v, lo);
+    let over = k.gt(v, hi);
+    let hi_or_v = k.sel(over, hi, v);
+    let c = k.sel(under, lo, hi_or_v);
+    k.slice(c, 0, 9)
+}
+
+fn col_pass(k: &mut Kernel, b: &[Value]) -> Vec<Value> {
+    // 40-bit working width (the col pass overflows 32 bits on extreme
+    // IEEE 1180 blocks; see the golden model).
+    let kc = |k: &mut Kernel, v: i64| k.lit(40, v);
+    let b: Vec<Value> = b.iter().map(|&v| k.cast(v, 40)).collect();
+    let c8192 = kc(k, 8192);
+    let t = k.shl(b[0], 8);
+    let mut x0 = k.add(t, c8192);
+    let mut x1 = k.shl(b[4], 8);
+    let (mut x2, mut x3, mut x4, mut x5, mut x6, mut x7) =
+        (b[6], b[2], b[1], b[7], b[5], b[3]);
+    let mut x8;
+    let c4 = kc(k, 4);
+
+    let s = k.add(x4, x5);
+    let c = kc(k, W7);
+    let p = k.mul(c, s, 40);
+    x8 = k.add(p, c4);
+    let c = kc(k, W1 - W7);
+    let p = k.mul(c, x4, 40);
+    let t = k.add(x8, p);
+    x4 = k.shr(t, 3);
+    let c = kc(k, W1 + W7);
+    let p = k.mul(c, x5, 40);
+    let t = k.sub(x8, p);
+    x5 = k.shr(t, 3);
+    let s = k.add(x6, x7);
+    let c = kc(k, W3);
+    let p = k.mul(c, s, 40);
+    x8 = k.add(p, c4);
+    let c = kc(k, W3 - W5);
+    let p = k.mul(c, x6, 40);
+    let t = k.sub(x8, p);
+    x6 = k.shr(t, 3);
+    let c = kc(k, W3 + W5);
+    let p = k.mul(c, x7, 40);
+    let t = k.sub(x8, p);
+    x7 = k.shr(t, 3);
+
+    x8 = k.add(x0, x1);
+    x0 = k.sub(x0, x1);
+    let s = k.add(x3, x2);
+    let c = kc(k, W6);
+    let p = k.mul(c, s, 40);
+    x1 = k.add(p, c4);
+    let c = kc(k, W2 + W6);
+    let p = k.mul(c, x2, 40);
+    let t = k.sub(x1, p);
+    x2 = k.shr(t, 3);
+    let c = kc(k, W2 - W6);
+    let p = k.mul(c, x3, 40);
+    let t = k.add(x1, p);
+    x3 = k.shr(t, 3);
+    x1 = k.add(x4, x6);
+    x4 = k.sub(x4, x6);
+    x6 = k.add(x5, x7);
+    x5 = k.sub(x5, x7);
+
+    x7 = k.add(x8, x3);
+    x8 = k.sub(x8, x3);
+    x3 = k.add(x0, x2);
+    x0 = k.sub(x0, x2);
+    let c181 = kc(k, 181);
+    let c128 = kc(k, 128);
+    let s = k.add(x4, x5);
+    let p = k.mul(c181, s, 40);
+    let p = k.add(p, c128);
+    x2 = k.shr(p, 8);
+    let d = k.sub(x4, x5);
+    let p = k.mul(c181, d, 40);
+    let p = k.add(p, c128);
+    x4 = k.shr(p, 8);
+
+    [
+        (x7, x1, true),
+        (x3, x2, true),
+        (x0, x4, true),
+        (x8, x6, true),
+        (x8, x6, false),
+        (x0, x4, false),
+        (x3, x2, false),
+        (x7, x1, false),
+    ]
+    .into_iter()
+    .map(|(a, b, plus)| {
+        let s = if plus { k.add(a, b) } else { k.sub(a, b) };
+        let sh = k.shr(s, 14);
+        iclip(k, sh)
+    })
+    .collect()
+}
+
+/// The full 8×8 IDCT as a pure function: 64 × 12-bit coefficients in
+/// (row-major, `e0..e63`), 64 × 9-bit samples out (`o0..o63`).
+///
+/// # Errors
+///
+/// Never fails for this fixed description; the `Result` mirrors
+/// [`Kernel::finish`].
+pub fn idct_kernel() -> Result<FlowFn, FlowError> {
+    let mut k = Kernel::new("idct_flow");
+    let elems: Vec<Value> = (0..64).map(|i| k.input(&format!("e{i}"), 12)).collect();
+    let rows: Vec<Vec<Value>> = (0..8)
+        .map(|r| row_pass(&mut k, &elems[r * 8..r * 8 + 8]))
+        .collect();
+    let cols: Vec<Vec<Value>> = (0..8)
+        .map(|ci| {
+            let column: Vec<Value> = (0..8).map(|r| rows[r][ci]).collect();
+            col_pass(&mut k, &column)
+        })
+        .collect();
+    for i in 0..64 {
+        k.output(&format!("o{i}"), cols[i % 8][i / 8]);
+    }
+    k.finish()
+}
+
+/// Builds the complete AXI-Stream design for a given stage count
+/// (`stages == 0` is the paper's "initial" combinational configuration;
+/// the paper sweeps 1..=18 for its 19 XLS points).
+///
+/// # Panics
+///
+/// Never panics for this fixed description.
+pub fn design(stages: u32) -> Module {
+    let f = idct_kernel().expect("the IDCT kernel is a valid pure function");
+    let spec = MatrixWrapperSpec::idct();
+    let name = format!("idct_flow_s{stages}");
+    if stages == 0 {
+        wrap_comb_matrix(&name, spec, |m, elems| {
+            let outs = m.inline_from("kernel", f.module(), elems);
+            (0..64).map(|i| outs[&format!("o{i}")]).collect()
+        })
+    } else {
+        let piped = pipeline(&f, stages);
+        wrap_pipelined_matrix(&name, spec, piped.module(), stages)
+    }
+}
+
+/// The dataflow design source (this file), for LOC accounting.
+pub const DESIGN_SRC: &str = include_str!("designs.rs");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_is_pure_and_sized() {
+        let f = idct_kernel().unwrap();
+        assert_eq!(f.module().inputs().len(), 64);
+        assert_eq!(f.module().outputs().len(), 64);
+        assert!(f.module().regs().is_empty());
+    }
+
+    #[test]
+    fn designs_build_for_several_stage_counts() {
+        for stages in [0u32, 1, 4, 8] {
+            let m = design(stages);
+            m.validate().unwrap();
+        }
+    }
+}

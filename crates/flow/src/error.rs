@@ -1,0 +1,32 @@
+//! Error type for the dataflow frontend.
+
+use std::error::Error;
+use std::fmt;
+
+/// A problem building or scheduling a dataflow function.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FlowError {
+    message: String,
+}
+
+impl FlowError {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        FlowError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl Error for FlowError {}
+
+impl From<hc_rtl::ValidateError> for FlowError {
+    fn from(e: hc_rtl::ValidateError) -> Self {
+        FlowError::new(e.to_string())
+    }
+}

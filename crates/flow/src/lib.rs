@@ -1,0 +1,45 @@
+//! An XLS-like functional dataflow HLS flow.
+//!
+//! The paper's DSLX/XLS entry is a *timing-oblivious* functional language:
+//! the designer writes a pure function over fixed-width integers and the
+//! compiler schedules it — either as a combinational circuit or as an
+//! automatically balanced pipeline whose **only** design-space knob is the
+//! number of stages (exactly the single parameter the paper sweeps through
+//! 19 XLS configurations).
+//!
+//! * [`Kernel`] — a DSLX-flavoured builder for pure functions: explicit
+//!   widths, wrapping arithmetic, no registers *by construction*;
+//! * [`FlowFn`] — a checked pure function (a combinational
+//!   [`hc_rtl::Module`]);
+//! * [`pipeline`] — the stage scheduler: computes a weighted depth for
+//!   every node, cuts the graph into `stages` balanced slices and inserts
+//!   pipeline registers on every crossing edge, preserving the function
+//!   with a latency of exactly `stages` cycles.
+//!
+//! # Examples
+//!
+//! ```
+//! use hc_flow::{Kernel, pipeline};
+//!
+//! let mut k = Kernel::new("mac");
+//! let a = k.input("a", 16);
+//! let b = k.input("b", 16);
+//! let p = k.mul(a, b, 32);
+//! let c = k.input("c", 32);
+//! let y = k.add(p, c);
+//! k.output("y", y);
+//! let f = k.finish()?;
+//!
+//! let piped = pipeline(&f, 3); // three balanced stages
+//! assert_eq!(piped.latency(), 3);
+//! # Ok::<(), hc_flow::FlowError>(())
+//! ```
+
+mod error;
+pub mod designs;
+mod kernel;
+mod pipeliner;
+
+pub use error::FlowError;
+pub use kernel::{Kernel, Value};
+pub use pipeliner::{pipeline, weighted_depth, FlowFn, PipelinedFn};

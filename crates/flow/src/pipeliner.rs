@@ -1,0 +1,322 @@
+//! The automatic pipeline scheduler — XLS's core trick.
+
+use crate::error::FlowError;
+use hc_bits::Bits;
+use hc_rtl::{BinaryOp, Module, Node, NodeId};
+use std::collections::HashMap;
+
+/// A checked pure function: a combinational module with no registers or
+/// memories.
+#[derive(Clone, Debug)]
+pub struct FlowFn {
+    module: Module,
+}
+
+impl FlowFn {
+    /// Wraps and checks a module.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FlowError`] if the module contains registers, memories
+    /// or fails structural validation.
+    pub fn new(module: Module) -> Result<Self, FlowError> {
+        if !module.regs().is_empty() || !module.mems().is_empty() {
+            return Err(FlowError::new("a dataflow function must be pure"));
+        }
+        module
+            .validate()
+            .map_err(|e| FlowError::new(e.to_string()))?;
+        Ok(FlowFn { module })
+    }
+
+    /// The underlying combinational module.
+    pub fn module(&self) -> &Module {
+        &self.module
+    }
+}
+
+/// A scheduled pipeline produced by [`pipeline`].
+#[derive(Clone, Debug)]
+pub struct PipelinedFn {
+    module: Module,
+    latency: u32,
+}
+
+impl PipelinedFn {
+    /// The pipelined module (same ports as the source function).
+    pub fn module(&self) -> &Module {
+        &self.module
+    }
+
+    /// Consumes the wrapper, returning the module.
+    pub fn into_module(self) -> Module {
+        self.module
+    }
+
+    /// Cycles from input to output — always the requested stage count.
+    pub fn latency(&self) -> u32 {
+        self.latency
+    }
+}
+
+/// Heuristic delay weight of one node, in LUT-level-ish units (the stage
+/// balancer only needs relative weights).
+fn weight(module: &Module, node: &Node) -> f64 {
+    match node {
+        Node::Binary(op, a, _) => match op {
+            BinaryOp::MulS | BinaryOp::MulU => 4.0,
+            BinaryOp::DivU | BinaryOp::RemU => 16.0,
+            BinaryOp::Add | BinaryOp::Sub => 1.0 + f64::from(module.width(*a)) / 32.0,
+            BinaryOp::Eq | BinaryOp::Ne => 0.7,
+            BinaryOp::LtU | BinaryOp::LtS | BinaryOp::LeU | BinaryOp::LeS => 1.0,
+            BinaryOp::Shl | BinaryOp::ShrL | BinaryOp::ShrA => 0.2,
+            _ => 0.7,
+        },
+        Node::Mux { .. } => 0.5,
+        Node::Unary(..) => 0.5,
+        Node::MemRead { .. } => 1.0,
+        _ => 0.0,
+    }
+}
+
+/// The weighted critical-path depth of a pure function — the stage count
+/// that fully pipelines it at roughly one operation level per stage (what
+/// a MaxCompiler-style backend requests).
+pub fn weighted_depth(f: &FlowFn) -> f64 {
+    let src = f.module();
+    let mut depth = vec![0.0f64; src.nodes().len()];
+    let mut total = 0.0f64;
+    for (i, nd) in src.nodes().iter().enumerate() {
+        let mut best: f64 = 0.0;
+        nd.node.for_each_operand(|op| best = best.max(depth[op.index()]));
+        depth[i] = best + weight(src, &nd.node);
+        total = total.max(depth[i]);
+    }
+    total
+}
+
+/// Cuts a pure function into `stages` balanced pipeline stages.
+///
+/// Every node gets a weighted depth (critical-path distance from the
+/// inputs); the depth axis is split into `stages` equal slices; edges that
+/// cross slice boundaries get one register per boundary. The result
+/// computes the same function with a latency of exactly `stages` cycles
+/// and sustains one input per cycle.
+///
+/// `stages == 0` returns the combinational function unchanged.
+///
+/// # Panics
+///
+/// Never panics for a [`FlowFn`] (its invariants guarantee a pure DAG).
+pub fn pipeline(f: &FlowFn, stages: u32) -> PipelinedFn {
+    let src = f.module();
+    if stages == 0 {
+        return PipelinedFn {
+            module: src.clone(),
+            latency: 0,
+        };
+    }
+
+    // ALAP stage assignment: rdepth[i] is the longest weighted path from
+    // node i's output to any module output. Scheduling each node as late
+    // as possible keeps values next to their consumers, minimizing the
+    // registers inserted on crossing edges (an ASAP assignment would drag
+    // early-computed, late-used values through every stage).
+    let n = src.nodes().len();
+    let mut rdepth = vec![0.0f64; n];
+    let mut total = 0.0f64;
+    for (i, nd) in src.nodes().iter().enumerate().rev() {
+        let w = weight(src, &nd.node);
+        let r = rdepth[i];
+        nd.node
+            .for_each_operand(|op| rdepth[op.index()] = rdepth[op.index()].max(r + w));
+        total = total.max(r + w);
+    }
+    let slice = if total > 0.0 {
+        total / f64::from(stages)
+    } else {
+        1.0
+    };
+    // Inputs are sampled at launch and must sit in stage 0 — every
+    // input-to-output path then crosses exactly `stages` registers.
+    let is_input: Vec<bool> = src
+        .nodes()
+        .iter()
+        .map(|nd| matches!(nd.node, Node::Input(_)))
+        .collect();
+    let stage_of = |i: usize| -> u32 {
+        if is_input[i] {
+            return 0;
+        }
+        let back = (rdepth[i] / slice).floor() as i64;
+        let s = i64::from(stages) - 1 - back;
+        (s.max(0) as u32).min(stages - 1)
+    };
+
+    let mut dst = Module::new(src.name());
+    // map[(node, stage)] = the node's value as seen at `stage`.
+    let mut at_stage: HashMap<(usize, u32), NodeId> = HashMap::new();
+    let mut base: Vec<NodeId> = Vec::with_capacity(n);
+
+    for (i, nd) in src.nodes().iter().enumerate() {
+        let my_stage = stage_of(i);
+        let new_node = match &nd.node {
+            Node::Input(_) => {
+                let port = &src.inputs()[match nd.node {
+                    Node::Input(idx) => idx,
+                    _ => unreachable!(),
+                }];
+                dst.input(&port.name, port.width)
+            }
+            other => {
+                // Bring every operand up to this node's stage, then emit.
+                let fixed = other.map_operands(|op| {
+                    delay_to(
+                        &mut dst,
+                        &mut at_stage,
+                        &base,
+                        op,
+                        stage_of(op.index()),
+                        my_stage,
+                        src.width(op),
+                    )
+                });
+                dst.push_node(fixed, nd.width, nd.name.clone())
+            }
+        };
+        at_stage.insert((i, my_stage), new_node);
+        base.push(new_node);
+    }
+
+    // Outputs live at stage `stages` (one register after the last stage's
+    // logic), giving every path exactly `stages` registers.
+    for out in src.outputs() {
+        let i = out.node.index();
+        let v = delay_to(
+            &mut dst,
+            &mut at_stage,
+            &base,
+            out.node,
+            stage_of(i),
+            stages,
+            src.width(out.node),
+        );
+        dst.output(&out.name, v);
+    }
+
+    dst.validate().expect("pipelined module is well-formed");
+    PipelinedFn {
+        module: dst,
+        latency: stages,
+    }
+}
+
+/// Returns `node`'s value delayed from `from_stage` to `to_stage`,
+/// creating (and memoizing) one register per crossed boundary.
+fn delay_to(
+    dst: &mut Module,
+    at_stage: &mut HashMap<(usize, u32), NodeId>,
+    base: &[NodeId],
+    node: NodeId,
+    from_stage: u32,
+    to_stage: u32,
+    width: u32,
+) -> NodeId {
+    let i = node.index();
+    // Constants are stage-less: rematerialize instead of registering, so
+    // constant-coefficient multipliers keep their Const operands (and the
+    // mapper its CSD/DSP special cases).
+    if matches!(dst.node(base[i]).node, Node::Const(_)) {
+        return base[i];
+    }
+    if to_stage <= from_stage {
+        return *at_stage.get(&(i, from_stage)).unwrap_or(&base[i]);
+    }
+    if let Some(&v) = at_stage.get(&(i, to_stage)) {
+        return v;
+    }
+    let prev = delay_to(dst, at_stage, base, node, from_stage, to_stage - 1, width);
+    let reg = dst.reg(format!("p{i}_s{to_stage}"), width, Bits::zero(width));
+    let q = dst.reg_out(reg);
+    dst.connect_reg(reg, prev);
+    at_stage.insert((i, to_stage), q);
+    q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Kernel;
+    use hc_sim::Simulator;
+
+    fn example() -> FlowFn {
+        let mut k = Kernel::new("f");
+        let a = k.input("a", 16);
+        let b = k.input("b", 16);
+        let p = k.mul(a, b, 32);
+        let q = k.add(p, a);
+        let r = k.mul(q, b, 32);
+        let s = k.sub(r, p);
+        k.output("y", s);
+        k.finish().unwrap()
+    }
+
+    fn run_comb(f: &FlowFn, a: i64, b: i64) -> i64 {
+        let mut sim = Simulator::new(f.module().clone()).unwrap();
+        sim.set("a", hc_bits::Bits::from_i64(16, a));
+        sim.set("b", hc_bits::Bits::from_i64(16, b));
+        sim.get("y").to_i64()
+    }
+
+    #[test]
+    fn pipeline_preserves_function_with_latency() {
+        let f = example();
+        for stages in [1u32, 2, 3, 5, 8] {
+            let piped = pipeline(&f, stages);
+            assert_eq!(piped.latency(), stages);
+            let mut sim = Simulator::new(piped.module().clone()).unwrap();
+            // Feed a new input every cycle; outputs appear `stages` later.
+            let tests: Vec<(i64, i64)> = (0..10).map(|i| (i * 37 - 100, i * 11 + 3)).collect();
+            let mut got = Vec::new();
+            for cycle in 0..tests.len() + stages as usize {
+                let (a, b) = *tests.get(cycle).unwrap_or(&(0, 0));
+                sim.set("a", hc_bits::Bits::from_i64(16, a));
+                sim.set("b", hc_bits::Bits::from_i64(16, b));
+                if cycle >= stages as usize {
+                    got.push(sim.get("y").to_i64());
+                }
+                sim.step();
+            }
+            for (i, &(a, b)) in tests.iter().enumerate() {
+                assert_eq!(got[i], run_comb(&f, a, b), "stages={stages} input {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn register_count_grows_with_stages() {
+        let f = example();
+        let p2 = pipeline(&f, 2);
+        let p6 = pipeline(&f, 6);
+        assert!(p6.module().regs().len() > p2.module().regs().len());
+    }
+
+    #[test]
+    fn zero_stages_is_identity() {
+        let f = example();
+        let p = pipeline(&f, 0);
+        assert_eq!(p.latency(), 0);
+        assert!(p.module().regs().is_empty());
+    }
+
+    #[test]
+    fn purity_is_enforced() {
+        let mut m = Module::new("t");
+        let a = m.input("a", 4);
+        let r = m.reg("r", 4, Bits::zero(4));
+        let q = m.reg_out(r);
+        m.connect_reg(r, a);
+        m.output("y", q);
+        assert!(FlowFn::new(m).is_err());
+    }
+}

@@ -1,0 +1,286 @@
+//! The IDCT as an imperative program — the "C" entry (Bambu, Vivado HLS).
+//!
+//! This is the paper's modified mpeg2decode source: `iclip` as a function
+//! rather than a lookup table, row loop then column loop over a `short`
+//! block buffer, wrapped in copy-in/copy-out interface loops.
+
+use crate::ir::{ArrayId, ArrayKind, BodyBuilder, BodyValue, Program};
+use crate::tools::{BambuConfig, VivadoHlsConfig};
+use crate::{compile_pipelined, compile_sequential};
+use hc_axi::{wrap_pipelined_matrix, wrap_sequential_matrix, MatrixWrapperSpec, SequentialKernel};
+use hc_rtl::Module;
+
+const W1: i64 = 2841;
+const W2: i64 = 2676;
+const W3: i64 = 2408;
+const W5: i64 = 1609;
+const W6: i64 = 1108;
+const W7: i64 = 565;
+
+/// The Chen–Wang butterfly as straight-line C statements over 8 loaded
+/// values; `col` selects the column-pass variant.
+fn butterfly(b: &mut BodyBuilder, v: &[BodyValue], col: bool) -> Vec<BodyValue> {
+    let width = if col { 40 } else { 32 };
+    let x: Vec<BodyValue> = v.iter().map(|&e| b.cast(e, width)).collect();
+    let bias = b.lit(width, if col { 8192 } else { 128 });
+    let t = b.shl(x[0], if col { 8 } else { 11 });
+    let mut x0 = b.add(t, bias);
+    let mut x1 = b.shl(x[4], if col { 8 } else { 11 });
+    let (mut x2, mut x3, mut x4, mut x5, mut x6, mut x7) = (x[6], x[2], x[1], x[7], x[5], x[3]);
+    let mut x8;
+    let c4 = b.lit(width, 4);
+
+    let s = b.add(x4, x5);
+    let c = b.lit(width, W7);
+    let p = b.mul(c, s, width);
+    x8 = if col { b.add(p, c4) } else { p };
+    let c = b.lit(width, W1 - W7);
+    let p = b.mul(c, x4, width);
+    let t = b.add(x8, p);
+    x4 = if col { b.shr(t, 3) } else { t };
+    let c = b.lit(width, W1 + W7);
+    let p = b.mul(c, x5, width);
+    let t = b.sub(x8, p);
+    x5 = if col { b.shr(t, 3) } else { t };
+    let s = b.add(x6, x7);
+    let c = b.lit(width, W3);
+    let p = b.mul(c, s, width);
+    x8 = if col { b.add(p, c4) } else { p };
+    let c = b.lit(width, W3 - W5);
+    let p = b.mul(c, x6, width);
+    let t = b.sub(x8, p);
+    x6 = if col { b.shr(t, 3) } else { t };
+    let c = b.lit(width, W3 + W5);
+    let p = b.mul(c, x7, width);
+    let t = b.sub(x8, p);
+    x7 = if col { b.shr(t, 3) } else { t };
+
+    x8 = b.add(x0, x1);
+    x0 = b.sub(x0, x1);
+    let s = b.add(x3, x2);
+    let c = b.lit(width, W6);
+    let p = b.mul(c, s, width);
+    x1 = if col { b.add(p, c4) } else { p };
+    let c = b.lit(width, W2 + W6);
+    let p = b.mul(c, x2, width);
+    let t = b.sub(x1, p);
+    x2 = if col { b.shr(t, 3) } else { t };
+    let c = b.lit(width, W2 - W6);
+    let p = b.mul(c, x3, width);
+    let t = b.add(x1, p);
+    x3 = if col { b.shr(t, 3) } else { t };
+    x1 = b.add(x4, x6);
+    x4 = b.sub(x4, x6);
+    x6 = b.add(x5, x7);
+    x5 = b.sub(x5, x7);
+
+    x7 = b.add(x8, x3);
+    x8 = b.sub(x8, x3);
+    x3 = b.add(x0, x2);
+    x0 = b.sub(x0, x2);
+    let c181 = b.lit(width, 181);
+    let c128 = b.lit(width, 128);
+    let s = b.add(x4, x5);
+    let p = b.mul(c181, s, width);
+    let p = b.add(p, c128);
+    x2 = b.shr(p, 8);
+    let d = b.sub(x4, x5);
+    let p = b.mul(c181, d, width);
+    let p = b.add(p, c128);
+    x4 = b.shr(p, 8);
+
+    [
+        (x7, x1, true),
+        (x3, x2, true),
+        (x0, x4, true),
+        (x8, x6, true),
+        (x8, x6, false),
+        (x0, x4, false),
+        (x3, x2, false),
+        (x7, x1, false),
+    ]
+    .into_iter()
+    .map(|(p, q, plus)| {
+        let s = if plus { b.add(p, q) } else { b.sub(p, q) };
+        if col {
+            // iclip(): the function version the paper substitutes for the
+            // reference's lookup table.
+            let sh = b.shr(s, 14);
+            let lo = b.lit(width, -256);
+            let hi = b.lit(width, 255);
+            let under = b.lt(sh, lo);
+            let over = b.gt(sh, hi);
+            let c = b.sel(over, hi, sh);
+            let c = b.sel(under, lo, c);
+            b.cast(c, 16)
+        } else {
+            let sh = b.shr(s, 8);
+            b.slice(sh, 0, 16)
+        }
+    })
+    .collect()
+}
+
+fn idx(b: &mut BodyBuilder, j: BodyValue, scale: u32, offset: i64) -> BodyValue {
+    let scaled = if scale > 1 {
+        b.shl(j, scale.trailing_zeros())
+    } else {
+        j
+    };
+    if offset == 0 {
+        scaled
+    } else {
+        let o = b.lit(8, offset);
+        b.add(scaled, o)
+    }
+}
+
+/// The IDCT program: copy-in, row loop, column loop, copy-out — plus,
+/// when `inline` is false, a stream round-trip between the two passes
+/// (the superfluous interfaces Vivado HLS generates around non-inlined
+/// units).
+pub fn idct_program(inline: bool) -> Program {
+    let mut p = Program::new("idct_c");
+    let input = p.array("input", 12, 64, ArrayKind::Input);
+    let blk = p.array("blk", 16, 64, ArrayKind::Memory);
+    let out = p.array("out", 9, 64, ArrayKind::Output);
+
+    p.add_loop("copy_in", 64, true, |b| {
+        let j = b.loop_var();
+        let v = b.load(input, j);
+        let w = b.cast(v, 16);
+        b.store(blk, j, w);
+    });
+    p.add_loop("idct_row", 8, true, |b| {
+        let j = b.loop_var();
+        let loads: Vec<BodyValue> = (0..8)
+            .map(|c| {
+                let i = idx(b, j, 8, c);
+                b.load(blk, i)
+            })
+            .collect();
+        let res = butterfly(b, &loads, false);
+        for (c, &r) in res.iter().enumerate() {
+            let i = idx(b, j, 8, c as i64);
+            b.store(blk, i, r);
+        }
+    });
+    if !inline {
+        stream_round_trip(&mut p, blk);
+    }
+    p.add_loop("idct_col", 8, true, |b| {
+        let j = b.loop_var();
+        let loads: Vec<BodyValue> = (0..8)
+            .map(|r| {
+                let base = b.lit(8, r * 8);
+                let i = b.add(base, j);
+                b.load(blk, i)
+            })
+            .collect();
+        let res = butterfly(b, &loads, true);
+        for (r, &v) in res.iter().enumerate() {
+            let base = b.lit(8, (r * 8) as i64);
+            let i = b.add(base, j);
+            b.store(blk, i, v);
+        }
+    });
+    p.add_loop("copy_out", 64, true, |b| {
+        let j = b.loop_var();
+        let v = b.load(blk, j);
+        let s = b.slice(v, 0, 9);
+        b.store(out, j, s);
+    });
+    p
+}
+
+/// Models the element-at-a-time stream interfaces between non-inlined
+/// units: the whole block leaves and re-enters through a FIFO.
+fn stream_round_trip(p: &mut Program, blk: ArrayId) {
+    let fifo = p.array("v_fifo", 16, 64, ArrayKind::Memory);
+    p.add_loop("stream_out", 64, false, |b| {
+        let j = b.loop_var();
+        let v = b.load(blk, j);
+        b.store(fifo, j, v);
+    });
+    p.add_loop("stream_in", 64, false, |b| {
+        let j = b.loop_var();
+        let v = b.load(fifo, j);
+        b.store(blk, j, v);
+    });
+}
+
+fn wrap_sequential(kernel: Module, name: &str) -> Module {
+    wrap_sequential_matrix(name, MatrixWrapperSpec::idct(), |m, elems, start, rst| {
+        let mut bindings = vec![rst, start];
+        bindings.extend_from_slice(elems);
+        let outs = m.inline_from("kernel", &kernel, &bindings);
+        SequentialKernel {
+            outputs: (0..64)
+                .map(|i| {
+                    let v = outs[&format!("o{i}")];
+                    m.slice(v, 0, 9)
+                })
+                .collect(),
+            done: outs["done"],
+        }
+    })
+}
+
+/// Builds the complete AXI-Stream design for a Bambu configuration
+/// (always the sequential path — Bambu cannot generate the stream adapter,
+/// so it is "written manually in Verilog", i.e. by the shared wrapper).
+///
+/// # Panics
+///
+/// Never panics for the shipped program.
+pub fn bambu_design(cfg: &BambuConfig) -> Module {
+    let program = idct_program(true);
+    let kernel = compile_sequential(&program, &cfg.constraints(), "idct_bambu")
+        .expect("the IDCT program compiles");
+    wrap_sequential(kernel, "idct_bambu_axis")
+}
+
+/// Builds the complete AXI-Stream design for a Vivado HLS configuration:
+/// the pragma combination selects between the sequential FSM and the
+/// collapsed pipelined datapath.
+///
+/// # Panics
+///
+/// Never panics for the shipped program.
+pub fn vivado_hls_design(cfg: &VivadoHlsConfig) -> Module {
+    if cfg.pipeline && cfg.partition && cfg.inline {
+        let mut program = idct_program(true);
+        let blk = ArrayId(1);
+        program.partition(blk);
+        program.pipeline_all();
+        let (kernel, stages) =
+            compile_pipelined(&program, cfg.stage_budget(), "idct_vhls").expect("collapses");
+        wrap_pipelined_matrix("idct_vhls_axis", MatrixWrapperSpec::idct(), &kernel, stages)
+    } else {
+        let mut program = idct_program(cfg.inline);
+        if cfg.partition {
+            program.partition(ArrayId(1));
+        }
+        let kernel = compile_sequential(&program, &cfg.constraints(), "idct_vhls")
+            .expect("the IDCT program compiles");
+        wrap_sequential(kernel, "idct_vhls_axis")
+    }
+}
+
+/// The C-style design source (this file), for LOC accounting.
+pub const DESIGN_SRC: &str = include_str!("designs.rs");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn programs_compile_on_both_paths() {
+        let m = bambu_design(&BambuConfig::initial());
+        m.validate().unwrap();
+        let m = vivado_hls_design(&VivadoHlsConfig::optimized());
+        m.validate().unwrap();
+        let m = vivado_hls_design(&VivadoHlsConfig::initial());
+        m.validate().unwrap();
+    }
+}

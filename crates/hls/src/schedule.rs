@@ -1,0 +1,240 @@
+//! Resource-constrained list scheduling of loop bodies.
+
+use crate::ir::{ArrayKind, BodyOp, Loop, Program};
+
+/// Resource and chaining constraints for the sequential path.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ScheduleConstraints {
+    /// Memory read ports available per control step.
+    pub read_ports: u32,
+    /// Memory write ports per control step.
+    pub write_ports: u32,
+    /// Operator-chaining budget per control step, in delay units
+    /// (add ≈ 1, multiply ≈ 4). SDC-style speculative scheduling raises
+    /// this, packing more logic per state.
+    pub chain_budget: f64,
+    /// Block-RAM style synchronous reads: a loaded value is only usable in
+    /// the *next* control step.
+    pub sync_memory: bool,
+}
+
+impl Default for ScheduleConstraints {
+    fn default() -> Self {
+        ScheduleConstraints {
+            read_ports: 1,
+            write_ports: 1,
+            chain_budget: 4.0,
+            sync_memory: true,
+        }
+    }
+}
+
+/// A scheduled loop body: one control step per node.
+#[derive(Clone, Debug)]
+pub struct BodySchedule {
+    /// Control step of each body op.
+    pub cstep: Vec<u32>,
+    /// Latency of one iteration in control steps.
+    pub latency: u32,
+}
+
+fn weight(op: &BodyOp) -> f64 {
+    match op {
+        BodyOp::Mul(..) => 4.0,
+        BodyOp::Add(..) | BodyOp::Sub(..) => 1.0,
+        BodyOp::Lt(..) | BodyOp::Gt(..) => 1.0,
+        BodyOp::Sel(..) => 0.5,
+        BodyOp::Load(..) => 1.0,
+        BodyOp::Store(..) => 0.5,
+        _ => 0.0,
+    }
+}
+
+fn operands(op: &BodyOp) -> Vec<usize> {
+    match *op {
+        BodyOp::Const(..) | BodyOp::LoopVar => vec![],
+        BodyOp::Add(a, b) | BodyOp::Sub(a, b) | BodyOp::Lt(a, b) | BodyOp::Gt(a, b) => {
+            vec![a.0, b.0]
+        }
+        BodyOp::Mul(a, b, _) => vec![a.0, b.0],
+        BodyOp::Shl(a, _) | BodyOp::Shr(a, _) | BodyOp::Cast(a, _) | BodyOp::Slice(a, _, _) => {
+            vec![a.0]
+        }
+        BodyOp::Sel(c, t, f) => vec![c.0, t.0, f.0],
+        BodyOp::Load(_, i) => vec![i.0],
+        BodyOp::Store(_, i, v) => vec![i.0, v.0],
+    }
+}
+
+/// List-schedules one loop body under the constraints. Partitioned arrays
+/// cost no ports and their loads chain like wires; memory arrays respect
+/// the port counts (and, for synchronous memories, force the loaded value
+/// into the next step).
+pub fn schedule_body(program: &Program, l: &Loop, c: &ScheduleConstraints) -> BodySchedule {
+    let n = l.ops.len();
+    let mut cstep = vec![0u32; n];
+    // Chain depth accumulated within the node's own cstep.
+    let mut depth = vec![0.0f64; n];
+    // Port usage per (cstep, kind). Grown on demand.
+    let mut reads: Vec<u32> = Vec::new();
+    let mut writes: Vec<u32> = Vec::new();
+
+    let uses_memory = |op: &BodyOp| -> Option<bool> {
+        // Some(true) = read port, Some(false) = write port.
+        match op {
+            BodyOp::Load(a, _) => {
+                let d = &program.arrays[a.0];
+                (!d.partitioned && d.kind == ArrayKind::Memory).then_some(true)
+            }
+            BodyOp::Store(a, _, _) => {
+                let d = &program.arrays[a.0];
+                (!d.partitioned && d.kind == ArrayKind::Memory).then_some(false)
+            }
+            _ => None,
+        }
+    };
+
+    for i in 0..n {
+        let op = &l.ops[i];
+        let w = weight(op);
+        // Earliest step / chain position from dependences.
+        let mut step = 0u32;
+        let mut chain: f64 = 0.0;
+        for p in operands(op) {
+            let mut p_step = cstep[p];
+            let mut p_depth = depth[p];
+            // Synchronous loads publish their value one step late.
+            if c.sync_memory && matches!(uses_memory(&l.ops[p]), Some(true)) {
+                p_step += 1;
+                p_depth = 0.0;
+            }
+            if p_step > step {
+                step = p_step;
+                chain = p_depth;
+            } else if p_step == step {
+                chain = chain.max(p_depth);
+            }
+        }
+        // Chaining budget.
+        if chain + w > c.chain_budget {
+            step += 1;
+            chain = 0.0;
+        }
+        // Port constraints.
+        if let Some(is_read) = uses_memory(op) {
+            let limit = if is_read { c.read_ports } else { c.write_ports };
+            loop {
+                let table = if is_read { &mut reads } else { &mut writes };
+                if table.len() <= step as usize {
+                    table.resize(step as usize + 1, 0);
+                }
+                if table[step as usize] < limit {
+                    table[step as usize] += 1;
+                    break;
+                }
+                step += 1;
+                chain = 0.0;
+            }
+        }
+        cstep[i] = step;
+        depth[i] = chain + w;
+    }
+
+    let latency = cstep.iter().copied().max().unwrap_or(0) + 1;
+    BodySchedule { cstep, latency }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{ArrayKind, Program};
+
+    fn copy_loop(ports: u32, sync: bool) -> u32 {
+        let mut p = Program::new("t");
+        let src = p.array("src", 16, 8, ArrayKind::Memory);
+        let dst = p.array("dst", 16, 8, ArrayKind::Memory);
+        p.add_loop("copy", 8, false, |b| {
+            let j = b.loop_var();
+            for k in 0..4 {
+                let kk = b.lit(8, k);
+                let idx = b.add(j, kk);
+                let v = b.load(src, idx);
+                b.store(dst, idx, v);
+            }
+        });
+        let c = ScheduleConstraints {
+            read_ports: ports,
+            write_ports: ports,
+            sync_memory: sync,
+            ..ScheduleConstraints::default()
+        };
+        schedule_body(&p, &p.loops[0], &c).latency
+    }
+
+    #[test]
+    fn more_ports_shorten_the_schedule() {
+        let one = copy_loop(1, true);
+        let two = copy_loop(2, true);
+        assert!(two < one, "{two} < {one}");
+        // 4 loads through 1 read port need at least 4 steps.
+        assert!(one >= 4);
+    }
+
+    #[test]
+    fn async_memory_allows_same_step_consumption() {
+        let sync = copy_loop(1, true);
+        let async_ = copy_loop(1, false);
+        assert!(async_ <= sync);
+    }
+
+    #[test]
+    fn chaining_budget_splits_long_expressions() {
+        let mut p = Program::new("t");
+        p.add_loop("chain", 1, false, |b| {
+            let mut v = b.lit(32, 1);
+            for _ in 0..10 {
+                let one = b.lit(32, 1);
+                v = b.add(v, one);
+            }
+            let dummy = b.lit(8, 0);
+            let _ = (v, dummy);
+        });
+        let tight = schedule_body(
+            &p,
+            &p.loops[0],
+            &ScheduleConstraints {
+                chain_budget: 2.0,
+                ..ScheduleConstraints::default()
+            },
+        );
+        let loose = schedule_body(
+            &p,
+            &p.loops[0],
+            &ScheduleConstraints {
+                chain_budget: 12.0,
+                ..ScheduleConstraints::default()
+            },
+        );
+        assert!(tight.latency > loose.latency);
+        assert_eq!(loose.latency, 1);
+    }
+
+    #[test]
+    fn partitioned_arrays_cost_no_ports() {
+        let mut p = Program::new("t");
+        let src = p.array("src", 16, 8, ArrayKind::Memory);
+        p.partition(src);
+        p.add_loop("sum", 1, false, |b| {
+            let mut acc = b.lit(32, 0);
+            for k in 0..8 {
+                let kk = b.lit(8, k);
+                let v = b.load(src, kk);
+                acc = b.add(acc, v);
+            }
+            let _ = acc;
+        });
+        let s = schedule_body(&p, &p.loops[0], &ScheduleConstraints::default());
+        // Only the chain budget matters: 8 adds at weight 1 + loads at 1.
+        assert!(s.latency <= 4, "{}", s.latency);
+    }
+}

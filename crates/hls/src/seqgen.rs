@@ -1,0 +1,442 @@
+//! Sequential FSM + datapath code generation.
+
+use crate::ir::{ArrayKind, BodyOp, BodyValue, HlsError, Program};
+use crate::schedule::{schedule_body, BodySchedule, ScheduleConstraints};
+use hc_bits::Bits;
+use hc_rtl::{BinaryOp, MemId, Module, NodeId, RegId, UnaryOp};
+
+enum Storage {
+    Mem(MemId),
+    /// Partitioned memory or output array: element registers.
+    Regs(Vec<(RegId, NodeId)>),
+    /// Input array: bound to `e*` ports.
+    In(Vec<NodeId>),
+}
+
+/// Compiles a program into a start/done kernel module with ports `rst`,
+/// `start`, `e0..eN` (per input array element), `o0..oM` (per output
+/// element) and `done`.
+///
+/// Every loop body is list-scheduled under `constraints`; the FSM walks
+/// loop-by-loop, iteration-by-iteration, control-step-by-control-step.
+/// Nothing overlaps — the Bambu / push-button-Vivado-HLS regime, whose
+/// periodicity therefore equals its latency.
+///
+/// # Errors
+///
+/// Returns [`HlsError`] if the generated module fails validation.
+pub fn compile_sequential(
+    program: &Program,
+    constraints: &ScheduleConstraints,
+    name: &str,
+) -> Result<Module, HlsError> {
+    let mut m = Module::new(name);
+    let rst = m.input("rst", 1);
+    let start = m.input("start", 1);
+
+    let mut storage: Vec<Storage> = Vec::new();
+    let mut outputs: Vec<(String, Vec<(RegId, NodeId)>)> = Vec::new();
+    for decl in &program.arrays {
+        match decl.kind {
+            ArrayKind::Input => {
+                let elems = (0..decl.depth)
+                    .map(|i| m.input(format!("e{i}"), decl.elem_width))
+                    .collect();
+                storage.push(Storage::In(elems));
+            }
+            ArrayKind::Output => {
+                let regs: Vec<(RegId, NodeId)> = (0..decl.depth)
+                    .map(|i| {
+                        let r = m.reg(
+                            format!("{}{i}", decl.name),
+                            decl.elem_width,
+                            Bits::zero(decl.elem_width),
+                        );
+                        let q = m.reg_out(r);
+                        (r, q)
+                    })
+                    .collect();
+                outputs.push((decl.name.clone(), regs.clone()));
+                storage.push(Storage::Regs(regs));
+            }
+            ArrayKind::Memory if decl.partitioned => {
+                let regs: Vec<(RegId, NodeId)> = (0..decl.depth)
+                    .map(|i| {
+                        let r = m.reg(
+                            format!("{}{i}", decl.name),
+                            decl.elem_width,
+                            Bits::zero(decl.elem_width),
+                        );
+                        let q = m.reg_out(r);
+                        (r, q)
+                    })
+                    .collect();
+                storage.push(Storage::Regs(regs));
+            }
+            ArrayKind::Memory => {
+                storage.push(Storage::Mem(m.mem(&decl.name, decl.elem_width, decl.depth)));
+            }
+        }
+    }
+
+    let schedules: Vec<BodySchedule> = program
+        .loops
+        .iter()
+        .map(|l| schedule_body(program, l, constraints))
+        .collect();
+
+    // ------------------------------------------------------------------
+    // FSM: running / loop_idx / iter / cstep.
+    // ------------------------------------------------------------------
+    let running = m.reg("running", 1, Bits::zero(1));
+    let running_q = m.reg_out(running);
+    let loop_idx = m.reg("loop_idx", 8, Bits::zero(8));
+    let loop_q = m.reg_out(loop_idx);
+    let iter = m.reg("iter", 8, Bits::zero(8));
+    let iter_q = m.reg_out(iter);
+    let cstep = m.reg("cstep", 16, Bits::zero(16));
+    let cstep_q = m.reg_out(cstep);
+
+    let latencies: Vec<NodeId> = schedules
+        .iter()
+        .map(|s| m.const_u(16, u64::from(s.latency)))
+        .collect();
+    let lat_cur = m.select(loop_q, &latencies);
+    let trips: Vec<NodeId> = program
+        .loops
+        .iter()
+        .map(|l| m.const_u(8, u64::from(l.trip)))
+        .collect();
+    let trip_cur = m.select(loop_q, &trips);
+
+    let one16 = m.const_u(16, 1);
+    let one8 = m.const_u(8, 1);
+    let zero16 = m.const_u(16, 0);
+    let zero8 = m.const_u(8, 0);
+    let lat_m1 = m.binary(BinaryOp::Sub, lat_cur, one16, 16);
+    let at_last_step = m.binary(BinaryOp::Eq, cstep_q, lat_m1, 1);
+    let trip_m1 = m.binary(BinaryOp::Sub, trip_cur, one8, 8);
+    let at_last_iter = m.binary(BinaryOp::Eq, iter_q, trip_m1, 1);
+    let last_loop = m.const_u(8, program.loops.len() as u64 - 1);
+    let at_last_loop = m.binary(BinaryOp::Eq, loop_q, last_loop, 1);
+
+    let iter_done = m.binary(BinaryOp::And, at_last_step, at_last_iter, 1);
+    let loop_done = m.binary(BinaryOp::And, iter_done, at_last_loop, 1);
+    let finish = m.binary(BinaryOp::And, running_q, loop_done, 1);
+    m.name_node(finish, "finish");
+    let idle = m.unary(UnaryOp::Not, running_q);
+    let launch = m.binary(BinaryOp::And, start, idle, 1);
+
+    let not_fin = m.unary(UnaryOp::Not, finish);
+    let kept = m.binary(BinaryOp::And, running_q, not_fin, 1);
+    let running_next = m.binary(BinaryOp::Or, kept, launch, 1);
+    m.connect_reg(running, running_next);
+    m.reg_reset(running, rst);
+
+    let step_inc = m.binary(BinaryOp::Add, cstep_q, one16, 16);
+    let step_wrap = m.mux(at_last_step, zero16, step_inc);
+    let step_run = m.mux(running_q, step_wrap, zero16);
+    let step_next = m.mux(launch, zero16, step_run);
+    m.connect_reg(cstep, step_next);
+    m.reg_reset(cstep, rst);
+
+    let iter_inc = m.binary(BinaryOp::Add, iter_q, one8, 8);
+    let iter_wrap = m.mux(at_last_iter, zero8, iter_inc);
+    let iter_step = m.mux(at_last_step, iter_wrap, iter_q);
+    let iter_run = m.mux(running_q, iter_step, iter_q);
+    let iter_next = m.mux(launch, zero8, iter_run);
+    m.connect_reg(iter, iter_next);
+    m.reg_reset(iter, rst);
+
+    let loop_inc = m.binary(BinaryOp::Add, loop_q, one8, 8);
+    let loop_wrap = m.mux(at_last_loop, zero8, loop_inc);
+    let loop_step = m.mux(iter_done, loop_wrap, loop_q);
+    let loop_run = m.mux(running_q, loop_step, loop_q);
+    let loop_next = m.mux(launch, zero8, loop_run);
+    m.connect_reg(loop_idx, loop_next);
+    m.reg_reset(loop_idx, rst);
+
+    // ------------------------------------------------------------------
+    // Datapath, loop by loop.
+    // ------------------------------------------------------------------
+    for (li, (l, sched)) in program.loops.iter().zip(&schedules).enumerate() {
+        let this_loop = m.const_u(8, li as u64);
+        let in_loop = m.binary(BinaryOp::Eq, loop_q, this_loop, 1);
+        let active = m.binary(BinaryOp::And, running_q, in_loop, 1);
+
+        // at(s) = active && cstep == s.
+        let at = |m: &mut Module, s: u32| -> NodeId {
+            let sc = m.const_u(16, u64::from(s));
+            let here = m.binary(BinaryOp::Eq, cstep_q, sc, 1);
+            m.binary(BinaryOp::And, active, here, 1)
+        };
+
+        let mut comb: Vec<NodeId> = Vec::with_capacity(l.ops.len());
+        let mut regged: Vec<NodeId> = Vec::with_capacity(l.ops.len());
+
+        for (oi, op) in l.ops.iter().enumerate() {
+            let s = sched.cstep[oi];
+            // Operand values: same-step producers combinationally, earlier
+            // ones through their value registers.
+            let val = |v: BodyValue| -> NodeId {
+                if sched.cstep[v.0] == s {
+                    comb[v.0]
+                } else {
+                    regged[v.0]
+                }
+            };
+            let node = match *op {
+                BodyOp::Const(w, value) => m.const_i(w, value),
+                BodyOp::LoopVar => iter_q,
+                BodyOp::Add(a, b) | BodyOp::Sub(a, b) => {
+                    let (x, y) = (val(a), val(b));
+                    let w = m.width(x).max(m.width(y));
+                    let xs = m.sext(x, w);
+                    let ys = m.sext(y, w);
+                    let op = if matches!(op, BodyOp::Add(..)) {
+                        BinaryOp::Add
+                    } else {
+                        BinaryOp::Sub
+                    };
+                    m.binary(op, xs, ys, w)
+                }
+                BodyOp::Mul(a, b, w) => {
+                    let (x, y) = (val(a), val(b));
+                    m.binary(BinaryOp::MulS, x, y, w)
+                }
+                BodyOp::Shl(a, k) => {
+                    let x = val(a);
+                    let w = m.width(x);
+                    let amt = m.const_u(32, u64::from(k));
+                    m.binary(BinaryOp::Shl, x, amt, w)
+                }
+                BodyOp::Shr(a, k) => {
+                    let x = val(a);
+                    let w = m.width(x);
+                    let amt = m.const_u(32, u64::from(k));
+                    m.binary(BinaryOp::ShrA, x, amt, w)
+                }
+                BodyOp::Cast(a, w) => {
+                    let x = val(a);
+                    m.sext(x, w)
+                }
+                BodyOp::Slice(a, lo, w) => {
+                    let x = val(a);
+                    m.slice(x, lo, w)
+                }
+                BodyOp::Lt(a, b) | BodyOp::Gt(a, b) => {
+                    let (mut x, mut y) = (val(a), val(b));
+                    if matches!(op, BodyOp::Gt(..)) {
+                        std::mem::swap(&mut x, &mut y);
+                    }
+                    let w = m.width(x).max(m.width(y));
+                    let xs = m.sext(x, w);
+                    let ys = m.sext(y, w);
+                    m.binary(BinaryOp::LtS, xs, ys, 1)
+                }
+                BodyOp::Sel(c, t, f) => {
+                    let (cv, tv, fv) = (val(c), val(t), val(f));
+                    let w = m.width(tv).max(m.width(fv));
+                    let ts = m.sext(tv, w);
+                    let fs = m.sext(fv, w);
+                    m.mux(cv, ts, fs)
+                }
+                BodyOp::Load(arr, idx) => {
+                    let i = val(idx);
+                    match &storage[arr.0] {
+                        Storage::Mem(mem) => {
+                            let mem = *mem;
+                            m.mem_read(mem, i)
+                        }
+                        Storage::Regs(regs) => {
+                            let qs: Vec<NodeId> = regs.iter().map(|&(_, q)| q).collect();
+                            let sel = m.slice(i, 0, index_bits(qs.len()));
+                            m.select(sel, &qs)
+                        }
+                        Storage::In(elems) => {
+                            let elems = elems.clone();
+                            let sel = m.slice(i, 0, index_bits(elems.len()));
+                            m.select(sel, &elems)
+                        }
+                    }
+                }
+                BodyOp::Store(arr, idx, value) => {
+                    let i = val(idx);
+                    let v = val(value);
+                    let en = at(&mut m, s);
+                    match &storage[arr.0] {
+                        Storage::Mem(mem) => {
+                            let mem = *mem;
+                            let w = program.arrays[arr.0].elem_width;
+                            let fitted = fit(&mut m, v, w);
+                            m.mem_write(mem, i, fitted, en);
+                        }
+                        Storage::Regs(regs) => {
+                            let regs = regs.clone();
+                            let w = program.arrays[arr.0].elem_width;
+                            let fitted = fit(&mut m, v, w);
+                            let bits = index_bits(regs.len());
+                            let sel = m.slice(i, 0, bits);
+                            for (j, (r, _)) in regs.iter().enumerate() {
+                                let jc = m.const_u(bits, j as u64);
+                                let here = m.binary(BinaryOp::Eq, sel, jc, 1);
+                                let wen = m.binary(BinaryOp::And, en, here, 1);
+                                // Several stores may target one register
+                                // (different loops); OR the enables by
+                                // muxing onto the existing next value.
+                                extend_reg_write(&mut m, *r, fitted, wen);
+                            }
+                        }
+                        Storage::In(_) => {
+                            return Err(HlsError::new("store into an input array"));
+                        }
+                    }
+                    // Stores produce no value; keep the tables aligned.
+                    m.const_u(1, 0)
+                }
+            };
+            comb.push(node);
+
+            // Value register for cross-step consumers.
+            let w = m.width(node);
+            let r = m.reg(format!("l{li}_v{oi}"), w, Bits::zero(w));
+            let q = m.reg_out(r);
+            let en = at(&mut m, s);
+            m.reg_en(r, en);
+            m.connect_reg(r, node);
+            regged.push(q);
+        }
+    }
+
+    // done pulse + outputs. The pulse is registered: the final stores
+    // commit on the finishing clock edge, so results are only readable the
+    // cycle after.
+    let done_r = m.reg("done_r", 1, Bits::zero(1));
+    let done_q = m.reg_out(done_r);
+    m.connect_reg(done_r, finish);
+    m.reg_reset(done_r, rst);
+    m.output("done", done_q);
+    for (_, regs) in &outputs {
+        for (i, &(_, q)) in regs.iter().enumerate() {
+            m.output(format!("o{i}"), q);
+        }
+    }
+
+    m.validate().map_err(|e| HlsError::new(e.to_string()))?;
+    Ok(m)
+}
+
+fn index_bits(len: usize) -> u32 {
+    (usize::BITS - (len - 1).leading_zeros()).max(1)
+}
+
+fn fit(m: &mut Module, v: NodeId, w: u32) -> NodeId {
+    let vw = m.width(v);
+    if vw == w {
+        v
+    } else if vw < w {
+        m.sext(v, w)
+    } else {
+        m.slice(v, 0, w)
+    }
+}
+
+/// Adds a (value, enable) pair to a register that may already have a
+/// driver: next = wen ? value : previous-next (or hold), en = old_en | wen.
+fn extend_reg_write(m: &mut Module, r: RegId, value: NodeId, wen: NodeId) {
+    let prev_next = m.regs()[r.index()].next;
+    let prev_en = m.regs()[r.index()].en;
+    match (prev_next, prev_en) {
+        (None, None) => {
+            m.connect_reg(r, value);
+            m.reg_en(r, wen);
+        }
+        (Some(pn), Some(pe)) => {
+            let next = m.mux(wen, value, pn);
+            let en = m.binary(BinaryOp::Or, pe, wen, 1);
+            m.replace_reg_drive(r, next, en);
+        }
+        _ => unreachable!("registers here always get next+en together"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{ArrayKind, Program};
+    use hc_sim::Simulator;
+
+    /// out[j] = 2 * input[j] + 1 via a memory round-trip.
+    fn doubler(partitioned: bool) -> Module {
+        let mut p = Program::new("doubler");
+        let input = p.array("input", 12, 64, ArrayKind::Input);
+        let blk = p.array("blk", 16, 64, ArrayKind::Memory);
+        if partitioned {
+            p.partition(blk);
+        }
+        let out = p.array("out", 9, 64, ArrayKind::Output);
+        p.add_loop("copy", 64, false, |b| {
+            let j = b.loop_var();
+            let v = b.load(input, j);
+            let w = b.cast(v, 16);
+            b.store(blk, j, w);
+        });
+        p.add_loop("double", 64, false, |b| {
+            let j = b.loop_var();
+            // Two loads per iteration create real port pressure.
+            let v = b.load(blk, j);
+            let v2 = b.load(blk, j);
+            let one = b.lit(16, 1);
+            let d = b.add(v, v2);
+            let d = b.add(d, one);
+            let s = b.slice(d, 0, 9);
+            b.store(out, j, s);
+        });
+        compile_sequential(&p, &ScheduleConstraints::default(), "doubler").unwrap()
+    }
+
+    fn run_doubler(m: Module) -> (Vec<i64>, u64) {
+        let mut sim = Simulator::new(m).unwrap();
+        sim.set_u64("rst", 1);
+        sim.step();
+        sim.set_u64("rst", 0);
+        for i in 0..64 {
+            sim.set("e{i}".replace("{i}", &i.to_string()).as_str(), hc_bits::Bits::from_i64(12, i64::from(i) - 32));
+        }
+        sim.set_u64("start", 1);
+        sim.step();
+        sim.set_u64("start", 0);
+        let mut cycles = 1u64;
+        for _ in 0..10_000 {
+            if sim.get("done").to_bool() {
+                break;
+            }
+            sim.step();
+            cycles += 1;
+        }
+        assert!(sim.get("done").to_bool(), "kernel never finished");
+        let outs = (0..64)
+            .map(|i| sim.get(&format!("o{i}")).to_i64())
+            .collect();
+        (outs, cycles)
+    }
+
+    #[test]
+    fn sequential_kernel_computes_and_signals_done() {
+        let (outs, cycles) = run_doubler(doubler(false));
+        for (i, &v) in outs.iter().enumerate() {
+            assert_eq!(v, 2 * (i as i64 - 32) + 1, "element {i}");
+        }
+        let _ = cycles;
+        // 64 copies + 64 computes, a handful of steps each.
+        assert!(cycles > 128, "{cycles}");
+    }
+
+    #[test]
+    fn partitioning_shortens_the_run() {
+        let (_, seq_cycles) = run_doubler(doubler(false));
+        let (outs, part_cycles) = run_doubler(doubler(true));
+        assert_eq!(outs[0], 2 * -32 + 1);
+        assert!(part_cycles < seq_cycles, "{part_cycles} < {seq_cycles}");
+    }
+}

@@ -1,0 +1,184 @@
+//! Tool personalities: the option surfaces of Bambu and Vivado HLS mapped
+//! onto the two compilation paths.
+
+use crate::schedule::ScheduleConstraints;
+
+/// Bambu's experimental-setup presets (the paper tries 42 configurations
+/// built from presets × options).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BambuPreset {
+    /// `BAMBU-AREA`: single memory channel, tight chaining.
+    Area,
+    /// `BAMBU-BALANCED`.
+    Balanced,
+    /// `BAMBU-PERFORMANCE-MP`: dual read/write memory channels.
+    PerformanceMp,
+}
+
+/// A Bambu run configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BambuConfig {
+    /// Experimental-setup preset.
+    pub preset: BambuPreset,
+    /// `--speculative-sdc-scheduling`: a larger chaining budget per state.
+    pub speculative_sdc: bool,
+    /// `--memory-allocation-policy=LSS`: locals in BRAM (synchronous
+    /// reads) instead of distributed RAM.
+    pub lss_policy: bool,
+}
+
+impl BambuConfig {
+    /// The paper's initial configuration: `channels-type=MEM_ACC_11`,
+    /// `memory-allocation-policy=LSS`.
+    pub fn initial() -> Self {
+        BambuConfig {
+            preset: BambuPreset::Balanced,
+            speculative_sdc: false,
+            lss_policy: true,
+        }
+    }
+
+    /// The paper's best configuration: `BAMBU-PERFORMANCE-MP` with
+    /// `speculative-sdc-scheduling` and `LSS`.
+    pub fn optimized() -> Self {
+        BambuConfig {
+            preset: BambuPreset::PerformanceMp,
+            speculative_sdc: true,
+            lss_policy: true,
+        }
+    }
+
+    /// The scheduling constraints this configuration induces.
+    pub fn constraints(&self) -> ScheduleConstraints {
+        let (read_ports, write_ports) = match self.preset {
+            BambuPreset::Area => (1, 1),
+            BambuPreset::Balanced => (1, 1),
+            BambuPreset::PerformanceMp => (2, 2),
+        };
+        ScheduleConstraints {
+            read_ports,
+            write_ports,
+            chain_budget: if self.speculative_sdc { 8.0 } else { 4.0 },
+            sync_memory: self.lss_policy,
+        }
+    }
+
+    /// Configuration entries counted into the paper's `L_Conf`.
+    pub fn config_loc(&self) -> usize {
+        // preset + two options.
+        3
+    }
+
+    /// Every Bambu configuration in the DSE sweep (the paper tried 42;
+    /// the full cross product of our modelled option surface).
+    pub fn sweep() -> Vec<BambuConfig> {
+        let mut out = Vec::new();
+        for preset in [
+            BambuPreset::Area,
+            BambuPreset::Balanced,
+            BambuPreset::PerformanceMp,
+        ] {
+            for speculative_sdc in [false, true] {
+                for lss_policy in [false, true] {
+                    out.push(BambuConfig {
+                        preset,
+                        speculative_sdc,
+                        lss_policy,
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A Vivado HLS run configuration (pragma surface).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct VivadoHlsConfig {
+    /// `#pragma HLS PIPELINE` on the processing loops.
+    pub pipeline: bool,
+    /// `#pragma HLS ARRAY_PARTITION` on the block buffer (the paper's
+    /// `short buf[8]` → `short buf0..buf7` rewrite).
+    pub partition: bool,
+    /// Function inlining; without it the row/column units talk through
+    /// superfluous stream interfaces (the paper's push-button pathology).
+    pub inline: bool,
+}
+
+impl VivadoHlsConfig {
+    /// Push-button mode: no pragmas, units not inlined.
+    pub fn initial() -> Self {
+        VivadoHlsConfig {
+            pipeline: false,
+            partition: false,
+            inline: false,
+        }
+    }
+
+    /// The paper's optimized configuration.
+    pub fn optimized() -> Self {
+        VivadoHlsConfig {
+            pipeline: true,
+            partition: true,
+            inline: true,
+        }
+    }
+
+    /// Scheduling constraints for the sequential path (true dual-port
+    /// BRAM, moderate chaining).
+    pub fn constraints(&self) -> ScheduleConstraints {
+        ScheduleConstraints {
+            read_ports: 2,
+            write_ports: 1,
+            chain_budget: 5.0,
+            sync_memory: true,
+        }
+    }
+
+    /// Pipeline stage delay budget for the collapsed path.
+    pub fn stage_budget(&self) -> f64 {
+        5.2
+    }
+
+    /// Pragma lines counted into the paper's `L_Conf`/`ΔL`.
+    pub fn config_loc(&self) -> usize {
+        usize::from(self.pipeline) + usize::from(self.partition) + usize::from(self.inline)
+    }
+
+    /// The pragma combinations of the DSE sweep.
+    pub fn sweep() -> Vec<VivadoHlsConfig> {
+        let mut out = Vec::new();
+        for pipeline in [false, true] {
+            for partition in [false, true] {
+                for inline in [false, true] {
+                    out.push(VivadoHlsConfig {
+                        pipeline,
+                        partition,
+                        inline,
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_map_to_resources() {
+        assert_eq!(BambuConfig::initial().constraints().read_ports, 1);
+        assert_eq!(BambuConfig::optimized().constraints().read_ports, 2);
+        assert!(BambuConfig::optimized().constraints().chain_budget > 4.0);
+    }
+
+    #[test]
+    fn sweeps_have_full_coverage() {
+        assert_eq!(BambuConfig::sweep().len(), 12);
+        assert_eq!(VivadoHlsConfig::sweep().len(), 8);
+        assert!(BambuConfig::sweep().contains(&BambuConfig::optimized()));
+        assert!(VivadoHlsConfig::sweep().contains(&VivadoHlsConfig::initial()));
+    }
+}

@@ -1,0 +1,59 @@
+//! Conformance of the HLS designs: bit-exact on both compilation paths,
+//! with the paper's behavioural regimes (sequential: periodicity ==
+//! latency and both are huge; pipelined: periodicity 8).
+
+use hc_axi::StreamHarness;
+use hc_hls::designs::{bambu_design, vivado_hls_design};
+use hc_hls::{BambuConfig, VivadoHlsConfig};
+use hc_idct::generator::{corner_cases, BlockGen};
+use hc_idct::{fixed, Block};
+
+fn check(module: hc_rtl::Module, nblocks: usize) -> hc_axi::StreamTiming {
+    let name = module.name().to_owned();
+    let mut blocks = corner_cases();
+    blocks.truncate(4);
+    blocks.extend(BlockGen::new(3, -2048, 2047).take_blocks(nblocks));
+    let mut harness = StreamHarness::new(module).expect("design validates");
+    let inputs: Vec<[[i32; 8]; 8]> = blocks.iter().map(|b| b.0).collect();
+    let (outputs, timing) = harness.run(&inputs, 1200 * (blocks.len() as u64 + 4));
+    assert_eq!(outputs.len(), blocks.len(), "{name}");
+    for (i, (b, o)) in blocks.iter().zip(&outputs).enumerate() {
+        assert_eq!(Block(*o), fixed::idct2d(b), "{name}: block {i}");
+    }
+    assert!(harness.protocol_errors.is_empty(), "{name}");
+    timing
+}
+
+#[test]
+fn bambu_initial_is_bit_exact_and_slow() {
+    let t = check(bambu_design(&BambuConfig::initial()), 2);
+    // Sequential regime: latency in the hundreds of cycles, periodicity
+    // equal to it up to the streaming overlap (paper: 323 cycles).
+    assert!(t.latency > 200, "latency {}", t.latency);
+    assert!(t.periodicity > 150, "periodicity {}", t.periodicity);
+}
+
+#[test]
+fn bambu_optimized_is_faster_but_still_sequential() {
+    let init = check(bambu_design(&BambuConfig::initial()), 2);
+    let opt = check(bambu_design(&BambuConfig::optimized()), 2);
+    assert!(opt.latency < init.latency, "{} < {}", opt.latency, init.latency);
+    assert!(opt.periodicity > 50, "still sequential: {}", opt.periodicity);
+}
+
+#[test]
+fn vivado_hls_initial_has_the_interface_pathology() {
+    let plain = check(bambu_design(&BambuConfig::initial()), 1);
+    let vhls = check(vivado_hls_design(&VivadoHlsConfig::initial()), 1);
+    // The non-inlined stream round-trip makes push-button VHLS even slower
+    // than a plain sequential schedule.
+    assert!(vhls.latency > plain.latency, "{} > {}", vhls.latency, plain.latency);
+}
+
+#[test]
+fn vivado_hls_optimized_reaches_the_adapter_ceiling() {
+    let t = check(vivado_hls_design(&VivadoHlsConfig::optimized()), 6);
+    assert_eq!(t.periodicity, 8, "pipelined VHLS streams at full rate");
+    // Latency 18 + stages; the paper reports 26 cycles.
+    assert!((20..=40).contains(&t.latency), "latency {}", t.latency);
+}

@@ -1,0 +1,122 @@
+//! Properties of the list scheduler: dependences respected, port limits
+//! honoured — for random loop bodies and random constraint sets.
+
+use hc_hls::{schedule_body, ArrayKind, Program, ScheduleConstraints};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Lit(i16),
+    Add(usize, usize),
+    Mul(usize, usize),
+    Load(usize),
+    Store(usize, usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        any::<i16>().prop_map(Op::Lit),
+        (any::<usize>(), any::<usize>()).prop_map(|(a, b)| Op::Add(a, b)),
+        (any::<usize>(), any::<usize>()).prop_map(|(a, b)| Op::Mul(a, b)),
+        any::<usize>().prop_map(Op::Load),
+        (any::<usize>(), any::<usize>()).prop_map(|(i, v)| Op::Store(i, v)),
+    ]
+}
+
+/// Per generated body op: (is_load, is_store, operand op indices).
+type Meta = Vec<(bool, bool, Vec<usize>)>;
+
+/// Builds a single-loop program; every builder call creates exactly one
+/// body op, so `meta` is aligned with the schedule's `cstep` table.
+fn build(ops: &[Op]) -> (Program, Meta) {
+    let mut p = Program::new("prop");
+    let mem = p.array("mem", 16, 16, ArrayKind::Memory);
+    let meta = std::cell::RefCell::new(Meta::new());
+    p.add_loop("body", 4, false, |b| {
+        let mut vals = vec![b.loop_var()];
+        meta.borrow_mut().push((false, false, vec![]));
+        for op in ops {
+            let pick = |i: usize| vals[i % vals.len()];
+            let v = match *op {
+                Op::Lit(x) => {
+                    meta.borrow_mut().push((false, false, vec![]));
+                    b.lit(16, i64::from(x))
+                }
+                Op::Add(a, c) => {
+                    let (a, c) = (pick(a), pick(c));
+                    meta.borrow_mut().push((false, false, vec![a.index(), c.index()]));
+                    b.add(a, c)
+                }
+                Op::Mul(a, c) => {
+                    let (a, c) = (pick(a), pick(c));
+                    meta.borrow_mut().push((false, false, vec![a.index(), c.index()]));
+                    b.mul(a, c, 16)
+                }
+                Op::Load(i) => {
+                    let i = pick(i);
+                    meta.borrow_mut().push((true, false, vec![i.index()]));
+                    b.load(mem, i)
+                }
+                Op::Store(i, v) => {
+                    let (i, v) = (pick(i), pick(v));
+                    meta.borrow_mut().push((false, true, vec![i.index(), v.index()]));
+                    b.store(mem, i, v);
+                    continue;
+                }
+            };
+            vals.push(v);
+        }
+    });
+    (p, meta.into_inner())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn schedule_is_legal(
+        ops in proptest::collection::vec(op_strategy(), 1..40),
+        read_ports in 1u32..4,
+        write_ports in 1u32..4,
+        chain_budget in 1.0f64..10.0,
+        sync in any::<bool>(),
+    ) {
+        let (p, meta) = build(&ops);
+        let c = ScheduleConstraints { read_ports, write_ports, chain_budget, sync_memory: sync };
+        let l = &p.loops()[0];
+        let s = schedule_body(&p, l, &c);
+        prop_assert_eq!(s.cstep.len(), meta.len(), "meta aligned with ops");
+
+        // 1. Dependences: an op never runs before its operands; loads
+        //    under synchronous memory publish one step later.
+        for (i, (_, _, operands)) in meta.iter().enumerate() {
+            for &dep in operands {
+                let mut earliest = s.cstep[dep];
+                if sync && meta[dep].0 {
+                    earliest += 1;
+                }
+                prop_assert!(
+                    s.cstep[i] >= earliest,
+                    "op {} at {} before dep {} at {}",
+                    i, s.cstep[i], dep, s.cstep[dep]
+                );
+            }
+        }
+
+        // 2. Port limits per control step.
+        let mut reads = vec![0u32; s.latency as usize];
+        let mut writes = vec![0u32; s.latency as usize];
+        for (i, (is_load, is_store, _)) in meta.iter().enumerate() {
+            if *is_load {
+                reads[s.cstep[i] as usize] += 1;
+            }
+            if *is_store {
+                writes[s.cstep[i] as usize] += 1;
+            }
+        }
+        prop_assert!(reads.iter().all(|&r| r <= read_ports), "{:?}", reads);
+        prop_assert!(writes.iter().all(|&w| w <= write_ports), "{:?}", writes);
+
+        // 3. Never worse than one op per step.
+        prop_assert!(s.latency as usize <= meta.len() + 1);
+    }
+}

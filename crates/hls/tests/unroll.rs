@@ -1,0 +1,97 @@
+//! `#pragma HLS UNROLL`: the transform preserves program behaviour and,
+//! with enough memory ports, shortens the schedule.
+
+use hc_bits::Bits;
+use hc_hls::{compile_sequential, ArrayKind, Program, ScheduleConstraints};
+use hc_sim::Simulator;
+
+/// out[j] = 3 * input[j] - j, through a memory round-trip.
+fn program() -> Program {
+    let mut p = Program::new("u");
+    let input = p.array("input", 12, 64, ArrayKind::Input);
+    let blk = p.array("blk", 16, 64, ArrayKind::Memory);
+    let out = p.array("out", 16, 64, ArrayKind::Output);
+    p.add_loop("copy", 64, false, |b| {
+        let j = b.loop_var();
+        let v = b.load(input, j);
+        let w = b.cast(v, 16);
+        b.store(blk, j, w);
+    });
+    p.add_loop("compute", 64, false, |b| {
+        let j = b.loop_var();
+        let v = b.load(blk, j);
+        let three = b.lit(16, 3);
+        let t = b.mul(v, three, 16);
+        let jw = b.cast(j, 16);
+        let r = b.sub(t, jw);
+        b.store(out, j, r);
+    });
+    p
+}
+
+fn run(p: &Program, ports: u32) -> (Vec<i64>, u64) {
+    let c = ScheduleConstraints {
+        read_ports: ports,
+        write_ports: ports,
+        ..ScheduleConstraints::default()
+    };
+    let m = compile_sequential(p, &c, "u").expect("compiles");
+    let mut sim = Simulator::new(m).unwrap();
+    sim.set_u64("rst", 1);
+    sim.step();
+    sim.set_u64("rst", 0);
+    for i in 0..64 {
+        sim.set(&format!("e{i}"), Bits::from_i64(12, i64::from(i) * 7 - 100));
+    }
+    sim.set_u64("start", 1);
+    sim.step();
+    sim.set_u64("start", 0);
+    let mut cycles = 1;
+    for _ in 0..20_000 {
+        if sim.get("done").to_bool() {
+            break;
+        }
+        sim.step();
+        cycles += 1;
+    }
+    assert!(sim.get("done").to_bool(), "kernel finished");
+    let outs = (0..64).map(|i| sim.get(&format!("o{i}")).to_i64()).collect();
+    (outs, cycles)
+}
+
+fn expected() -> Vec<i64> {
+    (0..64).map(|j| 3 * (j * 7 - 100) - j).collect()
+}
+
+#[test]
+fn unroll_preserves_behaviour() {
+    let mut p = program();
+    p.unroll(0, 4);
+    p.unroll(1, 2);
+    let (outs, _) = run(&p, 2);
+    assert_eq!(outs, expected());
+}
+
+#[test]
+fn unroll_with_ports_shortens_the_run() {
+    let rolled = program();
+    let (outs, base_cycles) = run(&rolled, 2);
+    assert_eq!(outs, expected());
+
+    let mut unrolled = program();
+    unrolled.unroll(0, 8);
+    unrolled.unroll(1, 8);
+    let (outs, unrolled_cycles) = run(&unrolled, 2);
+    assert_eq!(outs, expected());
+    assert!(
+        unrolled_cycles < base_cycles,
+        "{unrolled_cycles} < {base_cycles}"
+    );
+}
+
+#[test]
+#[should_panic(expected = "divide the trip count")]
+fn bad_factor_rejected() {
+    let mut p = program();
+    p.unroll(0, 7);
+}

@@ -1,0 +1,145 @@
+//! The 8×8 sample block.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// An 8×8 block of integer samples, indexed `(row, column)`.
+///
+/// IDCT inputs are 12-bit coefficients in `[-2048, 2047]`; outputs are
+/// 9-bit samples in `[-256, 255]` (the IEEE 1180 ranges the paper uses).
+///
+/// # Examples
+///
+/// ```
+/// use hc_idct::Block;
+///
+/// let mut b = Block::zero();
+/// b[(1, 2)] = -5;
+/// assert_eq!(b.row(1)[2], -5);
+/// assert_eq!(b.transposed()[(2, 1)], -5);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Block(pub [[i32; 8]; 8]);
+
+impl Block {
+    /// The all-zero block.
+    pub fn zero() -> Self {
+        Block::default()
+    }
+
+    /// Builds a block from a row-major function of `(row, col)`.
+    pub fn from_fn(mut f: impl FnMut(usize, usize) -> i32) -> Self {
+        let mut b = Block::zero();
+        for r in 0..8 {
+            for c in 0..8 {
+                b.0[r][c] = f(r, c);
+            }
+        }
+        b
+    }
+
+    /// One row as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= 8`.
+    pub fn row(&self, r: usize) -> &[i32; 8] {
+        &self.0[r]
+    }
+
+    /// Mutable access to one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= 8`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [i32; 8] {
+        &mut self.0[r]
+    }
+
+    /// The transposed block.
+    pub fn transposed(&self) -> Block {
+        Block::from_fn(|r, c| self.0[c][r])
+    }
+
+    /// Row-major iteration over all 64 samples.
+    pub fn iter(&self) -> impl Iterator<Item = i32> + '_ {
+        self.0.iter().flatten().copied()
+    }
+
+    /// Element-wise negation (used by the IEEE 1180 opposite-sign runs).
+    pub fn negated(&self) -> Block {
+        Block::from_fn(|r, c| -self.0[r][c])
+    }
+
+    /// `true` when every sample lies in `[lo, hi]`.
+    pub fn in_range(&self, lo: i32, hi: i32) -> bool {
+        self.iter().all(|v| (lo..=hi).contains(&v))
+    }
+}
+
+impl Index<(usize, usize)> for Block {
+    type Output = i32;
+
+    fn index(&self, (r, c): (usize, usize)) -> &i32 {
+        &self.0[r][c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Block {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut i32 {
+        &mut self.0[r][c]
+    }
+}
+
+impl fmt::Debug for Block {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Block [")?;
+        for r in 0..8 {
+            writeln!(
+                f,
+                "  {:>5} {:>5} {:>5} {:>5} {:>5} {:>5} {:>5} {:>5}",
+                self.0[r][0],
+                self.0[r][1],
+                self.0[r][2],
+                self.0[r][3],
+                self.0[r][4],
+                self.0[r][5],
+                self.0[r][6],
+                self.0[r][7]
+            )?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transpose_is_involutive() {
+        let b = Block::from_fn(|r, c| (r * 8 + c) as i32);
+        assert_eq!(b.transposed().transposed(), b);
+        assert_eq!(b.transposed()[(3, 5)], b[(5, 3)]);
+    }
+
+    #[test]
+    fn range_check() {
+        let b = Block::from_fn(|_, _| 255);
+        assert!(b.in_range(-256, 255));
+        assert!(!b.in_range(-256, 254));
+    }
+
+    #[test]
+    fn negation() {
+        let b = Block::from_fn(|r, _| r as i32);
+        assert_eq!(b.negated()[(7, 0)], -7);
+    }
+
+    #[test]
+    fn iter_covers_all_samples() {
+        let b = Block::from_fn(|r, c| (r * 8 + c) as i32);
+        let sum: i32 = b.iter().sum();
+        assert_eq!(sum, (0..64).sum());
+    }
+}

@@ -1,0 +1,238 @@
+//! Fixed-point Chen–Wang IDCT — a faithful port of the `mpeg2decode`
+//! reference implementation from the ISO/IEC 13818-4 conformance suite.
+//!
+//! This is the exact arithmetic every hardware frontend in the workspace
+//! implements, so simulator outputs can be compared bit-for-bit. The row
+//! pass works in 32-bit with an 11-bit fraction (`>>8` normalization at the
+//! end keeps 3 fractional bits); the column pass adds 8 more fractional
+//! bits and finishes with `>>14` plus the 9-bit [`iclip`] saturation.
+
+use crate::Block;
+
+/// 2048·√2·cos(1π/16), the W1 constant of the reference code.
+pub const W1: i32 = 2841;
+/// 2048·√2·cos(2π/16).
+pub const W2: i32 = 2676;
+/// 2048·√2·cos(3π/16).
+pub const W3: i32 = 2408;
+/// 2048·√2·cos(5π/16).
+pub const W5: i32 = 1609;
+/// 2048·√2·cos(6π/16).
+pub const W6: i32 = 1108;
+/// 2048·√2·cos(7π/16).
+pub const W7: i32 = 565;
+
+const W1_64: i64 = W1 as i64;
+const W2_64: i64 = W2 as i64;
+const W3_64: i64 = W3 as i64;
+const W5_64: i64 = W5 as i64;
+const W6_64: i64 = W6 as i64;
+const W7_64: i64 = W7 as i64;
+
+/// Saturates to the 9-bit output range `[-256, 255]` — the reference
+/// code's `iclp[]` lookup table, written as a function (the modification
+/// the paper applies for the HLS flows).
+pub fn iclip(v: i32) -> i32 {
+    v.clamp(-256, 255)
+}
+
+/// One row (horizontal) IDCT pass over 8 coefficients, in place.
+///
+/// Port of `idctrow` (without the all-zero shortcut, which is equivalent
+/// and exists only as a software speed hack — see the tests).
+pub fn idct_row(blk: &mut [i32; 8]) {
+    // Intermediates are i64: the ISO code uses 32-bit `int`, which full-range
+    // IEEE 1180 random blocks can overflow (undefined behaviour in C, a
+    // panic in debug Rust). The RTL implementations use equally wide
+    // signals, so hardware and this model stay bit-exact.
+    let mut x0 = (i64::from(blk[0]) << 11) + 128; // rounding bias for the fourth stage
+    let mut x1 = i64::from(blk[4]) << 11;
+    let mut x2 = i64::from(blk[6]);
+    let mut x3 = i64::from(blk[2]);
+    let mut x4 = i64::from(blk[1]);
+    let mut x5 = i64::from(blk[7]);
+    let mut x6 = i64::from(blk[5]);
+    let mut x7 = i64::from(blk[3]);
+    let mut x8;
+
+    // first stage
+    x8 = W7_64 * (x4 + x5);
+    x4 = x8 + (W1_64 - W7_64) * x4;
+    x5 = x8 - (W1_64 + W7_64) * x5;
+    x8 = W3_64 * (x6 + x7);
+    x6 = x8 - (W3_64 - W5_64) * x6;
+    x7 = x8 - (W3_64 + W5_64) * x7;
+
+    // second stage
+    x8 = x0 + x1;
+    x0 -= x1;
+    x1 = W6_64 * (x3 + x2);
+    x2 = x1 - (W2_64 + W6_64) * x2;
+    x3 = x1 + (W2_64 - W6_64) * x3;
+    x1 = x4 + x6;
+    x4 -= x6;
+    x6 = x5 + x7;
+    x5 -= x7;
+
+    // third stage
+    x7 = x8 + x3;
+    x8 -= x3;
+    x3 = x0 + x2;
+    x0 -= x2;
+    x2 = (181 * (x4 + x5) + 128) >> 8;
+    x4 = (181 * (x4 - x5) + 128) >> 8;
+
+    // fourth stage: the C reference stores into `short`, so results
+    // truncate to 16 bits (only reachable outside the IEEE 1180 input
+    // ranges, but the hardware matches this bit-for-bit).
+    blk[0] = ((x7 + x1) >> 8) as i16 as i32;
+    blk[1] = ((x3 + x2) >> 8) as i16 as i32;
+    blk[2] = ((x0 + x4) >> 8) as i16 as i32;
+    blk[3] = ((x8 + x6) >> 8) as i16 as i32;
+    blk[4] = ((x8 - x6) >> 8) as i16 as i32;
+    blk[5] = ((x0 - x4) >> 8) as i16 as i32;
+    blk[6] = ((x3 - x2) >> 8) as i16 as i32;
+    blk[7] = ((x7 - x1) >> 8) as i16 as i32;
+}
+
+/// One column (vertical) IDCT pass, in place. Port of `idctcol`, with the
+/// final `iclip` saturation to 9 bits.
+pub fn idct_col(col: &mut [i32; 8]) {
+    let mut x0 = (i64::from(col[0]) << 8) + 8192;
+    let mut x1 = i64::from(col[4]) << 8;
+    let mut x2 = i64::from(col[6]);
+    let mut x3 = i64::from(col[2]);
+    let mut x4 = i64::from(col[1]);
+    let mut x5 = i64::from(col[7]);
+    let mut x6 = i64::from(col[5]);
+    let mut x7 = i64::from(col[3]);
+    let mut x8;
+
+    // first stage
+    x8 = W7_64 * (x4 + x5) + 4;
+    x4 = (x8 + (W1_64 - W7_64) * x4) >> 3;
+    x5 = (x8 - (W1_64 + W7_64) * x5) >> 3;
+    x8 = W3_64 * (x6 + x7) + 4;
+    x6 = (x8 - (W3_64 - W5_64) * x6) >> 3;
+    x7 = (x8 - (W3_64 + W5_64) * x7) >> 3;
+
+    // second stage
+    x8 = x0 + x1;
+    x0 -= x1;
+    x1 = W6_64 * (x3 + x2) + 4;
+    x2 = (x1 - (W2_64 + W6_64) * x2) >> 3;
+    x3 = (x1 + (W2_64 - W6_64) * x3) >> 3;
+    x1 = x4 + x6;
+    x4 -= x6;
+    x6 = x5 + x7;
+    x5 -= x7;
+
+    // third stage
+    x7 = x8 + x3;
+    x8 -= x3;
+    x3 = x0 + x2;
+    x0 -= x2;
+    x2 = (181 * (x4 + x5) + 128) >> 8;
+    x4 = (181 * (x4 - x5) + 128) >> 8;
+
+    // fourth stage
+    col[0] = iclip(((x7 + x1) >> 14) as i32);
+    col[1] = iclip(((x3 + x2) >> 14) as i32);
+    col[2] = iclip(((x0 + x4) >> 14) as i32);
+    col[3] = iclip(((x8 + x6) >> 14) as i32);
+    col[4] = iclip(((x8 - x6) >> 14) as i32);
+    col[5] = iclip(((x0 - x4) >> 14) as i32);
+    col[6] = iclip(((x3 - x2) >> 14) as i32);
+    col[7] = iclip(((x7 - x1) >> 14) as i32);
+}
+
+/// The full 8×8 two-pass IDCT: eight row passes, then eight column passes.
+///
+/// # Examples
+///
+/// ```
+/// use hc_idct::{fixed, Block};
+///
+/// let mut coeffs = Block::zero();
+/// coeffs[(0, 0)] = -64;
+/// assert!(fixed::idct2d(&coeffs).iter().all(|v| v == -8));
+/// ```
+pub fn idct2d(coeffs: &Block) -> Block {
+    let mut b = *coeffs;
+    for r in 0..8 {
+        idct_row(b.row_mut(r));
+    }
+    for c in 0..8 {
+        let mut col = [0i32; 8];
+        for r in 0..8 {
+            col[r] = b[(r, c)];
+        }
+        idct_col(&mut col);
+        for r in 0..8 {
+            b[(r, c)] = col[r];
+        }
+    }
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::idct_f64;
+
+    #[test]
+    fn zero_in_zero_out() {
+        assert_eq!(idct2d(&Block::zero()), Block::zero());
+    }
+
+    #[test]
+    fn dc_only_matches_reference_exactly() {
+        for dc in [-2048, -256, -8, 0, 8, 255, 2047] {
+            let mut c = Block::zero();
+            c[(0, 0)] = dc;
+            assert_eq!(idct2d(&c), idct_f64(&c), "dc = {dc}");
+        }
+    }
+
+    #[test]
+    fn row_shortcut_equivalence() {
+        // The reference code short-circuits rows whose AC terms are zero to
+        // `blk[i] = blk[0] << 3`; the long path must agree, otherwise
+        // dropping the shortcut in hardware would change the function.
+        for dc in [-2048, -100, -1, 0, 1, 77, 2047] {
+            let mut row = [dc, 0, 0, 0, 0, 0, 0, 0];
+            idct_row(&mut row);
+            assert_eq!(row, [dc << 3; 8], "dc = {dc}");
+        }
+    }
+
+    #[test]
+    fn col_shortcut_equivalence() {
+        for dc in [-2048 << 3, -100, 0, 99, 2047 << 3] {
+            let mut col = [dc, 0, 0, 0, 0, 0, 0, 0];
+            idct_col(&mut col);
+            assert_eq!(col, [iclip((dc + 32) >> 6); 8], "dc = {dc}");
+        }
+    }
+
+    #[test]
+    fn output_is_always_9_bit() {
+        // Saturating inputs at the 12-bit rails.
+        let c = Block::from_fn(|r, v| if (r + v) % 2 == 0 { 2047 } else { -2048 });
+        assert!(idct2d(&c).in_range(-256, 255));
+    }
+
+    #[test]
+    fn close_to_reference_on_smooth_blocks() {
+        let mut c = Block::zero();
+        c[(0, 0)] = 480;
+        c[(0, 1)] = -120;
+        c[(1, 0)] = 60;
+        c[(2, 3)] = 31;
+        let fix = idct2d(&c);
+        let ideal = idct_f64(&c);
+        for (a, b) in fix.iter().zip(ideal.iter()) {
+            assert!((a - b).abs() <= 1, "{a} vs {b}");
+        }
+    }
+}

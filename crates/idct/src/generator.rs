@@ -1,0 +1,103 @@
+//! Assorted block generators for tests and benchmarks (beyond the IEEE
+//! 1180 generator in [`crate::rand1180`]).
+
+use crate::Block;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic stream of random coefficient blocks in `[lo, hi]`.
+///
+/// # Examples
+///
+/// ```
+/// use hc_idct::generator::BlockGen;
+///
+/// let mut g = BlockGen::new(42, -2048, 2047);
+/// let a = g.next_block();
+/// let b = BlockGen::new(42, -2048, 2047).next_block();
+/// assert_eq!(a, b); // seeded, reproducible
+/// ```
+#[derive(Clone, Debug)]
+pub struct BlockGen {
+    rng: StdRng,
+    lo: i32,
+    hi: i32,
+}
+
+impl BlockGen {
+    /// A generator with the given seed and inclusive sample range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn new(seed: u64, lo: i32, hi: i32) -> Self {
+        assert!(lo <= hi, "empty range");
+        BlockGen {
+            rng: StdRng::seed_from_u64(seed),
+            lo,
+            hi,
+        }
+    }
+
+    /// Draws the next block.
+    pub fn next_block(&mut self) -> Block {
+        let (lo, hi) = (self.lo, self.hi);
+        Block::from_fn(|_, _| self.rng.gen_range(lo..=hi))
+    }
+
+    /// Draws `n` blocks.
+    pub fn take_blocks(&mut self, n: usize) -> Vec<Block> {
+        (0..n).map(|_| self.next_block()).collect()
+    }
+}
+
+/// Hand-picked corner-case blocks: zero, DC rails, checkerboard rails,
+/// single hot coefficients.
+pub fn corner_cases() -> Vec<Block> {
+    let mut blocks = vec![
+        Block::zero(),
+        Block::from_fn(|r, c| if (r, c) == (0, 0) { 2047 } else { 0 }),
+        Block::from_fn(|r, c| if (r, c) == (0, 0) { -2048 } else { 0 }),
+        Block::from_fn(|r, c| if (r + c) % 2 == 0 { 2047 } else { -2048 }),
+        Block::from_fn(|_, _| 2047),
+        Block::from_fn(|_, _| -2048),
+    ];
+    for (r, c) in [(0, 7), (7, 0), (7, 7), (3, 4)] {
+        blocks.push(Block::from_fn(|rr, cc| {
+            if (rr, cc) == (r, c) {
+                1000
+            } else {
+                0
+            }
+        }));
+    }
+    blocks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_respects_range() {
+        let mut g = BlockGen::new(7, -5, 5);
+        for b in g.take_blocks(50) {
+            assert!(b.in_range(-5, 5));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = BlockGen::new(1, -100, 100).next_block();
+        let b = BlockGen::new(2, -100, 100).next_block();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn corner_cases_are_12_bit() {
+        for b in corner_cases() {
+            assert!(b.in_range(-2048, 2047));
+        }
+        assert_eq!(corner_cases()[0], Block::zero());
+    }
+}

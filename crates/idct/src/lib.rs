@@ -1,0 +1,36 @@
+//! The 8×8 inverse discrete cosine transform benchmark.
+//!
+//! Everything the paper's benchmark needs, self-contained:
+//!
+//! * [`Block`] — an 8×8 matrix of samples (12-bit inputs, 9-bit outputs);
+//! * [`reference::idct_f64`] — the ideal double-precision separable IDCT
+//!   from IEEE Std 1180-1990;
+//! * [`fixed`] — the fixed-point Chen–Wang two-pass IDCT, a faithful port
+//!   of the ISO/IEC 13818-4 `mpeg2decode` conformance code (row pass with
+//!   `>>11`, column pass with `iclip`), the algorithm every frontend
+//!   implements in hardware;
+//! * [`ieee1180`] — the IEEE 1180-1990 accuracy measurement: the standard's
+//!   own linear-congruential block generator and the ppe/pmse/omse/pme/ome
+//!   statistics with their compliance thresholds.
+//!
+//! # Examples
+//!
+//! ```
+//! use hc_idct::{fixed, reference, Block};
+//!
+//! let mut input = Block::zero();
+//! input[(0, 0)] = 64; // a DC-only block
+//! let hw = fixed::idct2d(&input);
+//! let ideal = reference::idct_f64(&input);
+//! assert_eq!(hw, ideal); // DC-only is exact
+//! assert_eq!(hw[(3, 4)], 8);
+//! ```
+
+mod block;
+pub mod fixed;
+pub mod generator;
+pub mod ieee1180;
+pub mod rand1180;
+pub mod reference;
+
+pub use block::Block;

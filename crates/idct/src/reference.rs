@@ -1,0 +1,107 @@
+//! The ideal double-precision reference IDCT of IEEE Std 1180-1990.
+
+use crate::Block;
+use std::f64::consts::PI;
+
+/// The separable 2-D inverse DCT computed in `f64`, rounded to nearest and
+/// clamped to the 9-bit output range `[-256, 255]`.
+///
+/// This is the yardstick the IEEE 1180 accuracy statistics compare against.
+///
+/// # Examples
+///
+/// ```
+/// use hc_idct::{reference, Block};
+///
+/// // An all-zero coefficient block decodes to all zeros.
+/// assert_eq!(reference::idct_f64(&Block::zero()), Block::zero());
+/// ```
+pub fn idct_f64(coeffs: &Block) -> Block {
+    let mut out = [[0.0f64; 8]; 8];
+    for x in 0..8 {
+        for y in 0..8 {
+            let mut acc = 0.0;
+            for u in 0..8 {
+                for v in 0..8 {
+                    let cu = if u == 0 { 1.0 / 2f64.sqrt() } else { 1.0 };
+                    let cv = if v == 0 { 1.0 / 2f64.sqrt() } else { 1.0 };
+                    acc += cu
+                        * cv
+                        * f64::from(coeffs[(u, v)])
+                        * ((2 * x + 1) as f64 * u as f64 * PI / 16.0).cos()
+                        * ((2 * y + 1) as f64 * v as f64 * PI / 16.0).cos();
+                }
+            }
+            out[x][y] = acc / 4.0;
+        }
+    }
+    Block::from_fn(|r, c| (out[r][c].round() as i32).clamp(-256, 255))
+}
+
+/// The forward DCT in `f64` (used by test machinery to build coefficient
+/// blocks whose IDCT is a known image).
+pub fn fdct_f64(samples: &Block) -> Block {
+    let mut out = [[0.0f64; 8]; 8];
+    for u in 0..8 {
+        for v in 0..8 {
+            let mut acc = 0.0;
+            for x in 0..8 {
+                for y in 0..8 {
+                    acc += f64::from(samples[(x, y)])
+                        * ((2 * x + 1) as f64 * u as f64 * PI / 16.0).cos()
+                        * ((2 * y + 1) as f64 * v as f64 * PI / 16.0).cos();
+                }
+            }
+            let cu = if u == 0 { 1.0 / 2f64.sqrt() } else { 1.0 };
+            let cv = if v == 0 { 1.0 / 2f64.sqrt() } else { 1.0 };
+            out[u][v] = acc * cu * cv / 4.0;
+        }
+    }
+    Block::from_fn(|r, c| (out[r][c].round() as i32).clamp(-2048, 2047))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dc_only_block_is_flat() {
+        let mut c = Block::zero();
+        c[(0, 0)] = 64;
+        let out = idct_f64(&c);
+        // DC 64 -> every sample 64/8 = 8.
+        assert!(out.iter().all(|v| v == 8), "{out:?}");
+    }
+
+    #[test]
+    fn single_ac_coefficient_is_a_cosine() {
+        let mut c = Block::zero();
+        c[(0, 1)] = 100;
+        let out = idct_f64(&c);
+        // Constant along rows, cosine along columns; symmetric up to sign.
+        for r in 1..8 {
+            assert_eq!(out.row(r), out.row(0));
+        }
+        assert_eq!(out[(0, 0)], -out[(0, 7)]);
+        assert!(out[(0, 0)] > 0);
+    }
+
+    #[test]
+    fn idct_inverts_fdct_approximately() {
+        let img = Block::from_fn(|r, c| ((r as i32 - 4) * 20 + (c as i32) * 7).clamp(-256, 255));
+        let coeffs = fdct_f64(&img);
+        let back = idct_f64(&coeffs);
+        for (a, b) in img.iter().zip(back.iter()) {
+            assert!((a - b).abs() <= 1, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn output_is_clamped() {
+        let mut c = Block::zero();
+        c[(0, 0)] = 2047; // huge DC
+        let out = idct_f64(&c);
+        assert!(out.in_range(-256, 255));
+        assert_eq!(out[(0, 0)], 255);
+    }
+}

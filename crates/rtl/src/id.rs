@@ -1,0 +1,84 @@
+//! Typed indices into a [`crate::Module`]'s node, register and memory
+//! tables. Newtypes keep the three index spaces from being confused.
+
+use std::fmt;
+
+/// Index of a combinational node within a module.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) u32);
+
+/// Index of a register within a module.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RegId(pub(crate) u32);
+
+/// Index of a memory within a module.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MemId(pub(crate) u32);
+
+impl NodeId {
+    /// The raw index, usable for dense side tables.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs an id from an index obtained via [`NodeId::index`] —
+    /// for tools (simulators, mappers) that keep dense side tables over
+    /// [`crate::Module::nodes`]. The index must come from the same module.
+    pub fn from_index(index: usize) -> Self {
+        NodeId(index as u32)
+    }
+
+    pub(crate) fn new(index: usize) -> Self {
+        NodeId(index as u32)
+    }
+}
+
+impl RegId {
+    /// The raw index, usable for dense side tables.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs an id from an index obtained via [`RegId::index`].
+    pub fn from_index(index: usize) -> Self {
+        RegId(index as u32)
+    }
+
+    pub(crate) fn new(index: usize) -> Self {
+        RegId(index as u32)
+    }
+}
+
+impl MemId {
+    /// The raw index, usable for dense side tables.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs an id from an index obtained via [`MemId::index`].
+    pub fn from_index(index: usize) -> Self {
+        MemId(index as u32)
+    }
+
+    pub(crate) fn new(index: usize) -> Self {
+        MemId(index as u32)
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Debug for RegId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl fmt::Debug for MemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}

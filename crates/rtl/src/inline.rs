@@ -1,0 +1,253 @@
+//! Inlining one module into another (structural composition).
+
+use crate::module::NodeData;
+use crate::{Module, Node, NodeId};
+use std::collections::HashMap;
+
+impl Module {
+    /// Copies every node, register and memory of `src` into `self`,
+    /// binding `src`'s inputs to the given nodes of `self`, and returns
+    /// `src`'s output values as nodes of `self`.
+    ///
+    /// Register and memory names are prefixed with `prefix.` to keep
+    /// hierarchical names readable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bindings` does not provide exactly one correctly-sized
+    /// node per input of `src`, in input order.
+    pub fn inline_from(
+        &mut self,
+        prefix: &str,
+        src: &Module,
+        bindings: &[NodeId],
+    ) -> HashMap<String, NodeId> {
+        assert_eq!(
+            bindings.len(),
+            src.inputs().len(),
+            "inline: binding count mismatch for {}",
+            src.name()
+        );
+        for (port, &b) in src.inputs().iter().zip(bindings) {
+            assert_eq!(
+                self.width(b),
+                port.width,
+                "inline: width mismatch on input {:?}",
+                port.name
+            );
+        }
+
+        // Copy registers and memories first so node remapping can refer to
+        // their new ids.
+        let reg_base = self.regs().len();
+        for r in src.regs() {
+            let name = format!("{prefix}.{}", r.name);
+            self.reg(name, r.width, r.init.clone());
+        }
+        let mem_base = self.mems().len();
+        for mem in src.mems() {
+            let name = format!("{prefix}.{}", mem.name);
+            self.mem(name, mem.width, mem.depth);
+        }
+
+        // Copy nodes in (topological) order.
+        let mut map: Vec<NodeId> = Vec::with_capacity(src.nodes().len());
+        for nd in src.nodes() {
+            let new = match &nd.node {
+                Node::Input(idx) => bindings[*idx],
+                Node::RegOut(r) => {
+                    let node = Node::RegOut(crate::RegId::new(reg_base + r.index()));
+                    self.push_raw(NodeData {
+                        node,
+                        width: nd.width,
+                        name: nd.name.clone(),
+                    })
+                }
+                Node::MemRead { mem, addr } => {
+                    let node = Node::MemRead {
+                        mem: crate::MemId::new(mem_base + mem.index()),
+                        addr: map[addr.index()],
+                    };
+                    self.push_raw(NodeData {
+                        node,
+                        width: nd.width,
+                        name: nd.name.clone(),
+                    })
+                }
+                other => {
+                    let node = other.map_operands(|id| map[id.index()]);
+                    self.push_raw(NodeData {
+                        node,
+                        width: nd.width,
+                        name: nd.name.clone(),
+                    })
+                }
+            };
+            map.push(new);
+        }
+
+        // Reconnect register controls and memory writes.
+        for (i, r) in src.regs().iter().enumerate() {
+            let id = crate::RegId::new(reg_base + i);
+            if let Some(next) = r.next {
+                self.connect_reg(id, map[next.index()]);
+            }
+            if let Some(en) = r.en {
+                self.reg_en(id, map[en.index()]);
+            }
+            if let Some(rst) = r.reset {
+                self.reg_reset(id, map[rst.index()]);
+            }
+        }
+        for (i, mem) in src.mems().iter().enumerate() {
+            let id = crate::MemId::new(mem_base + i);
+            for w in &mem.writes {
+                self.mem_write(id, map[w.addr.index()], map[w.data.index()], map[w.en.index()]);
+            }
+        }
+
+        src.outputs()
+            .iter()
+            .map(|o| (o.name.clone(), map[o.node.index()]))
+            .collect()
+    }
+
+    pub(crate) fn push_raw(&mut self, data: NodeData) -> NodeId {
+        let id = NodeId::new(self.nodes().len());
+        self.push_node_data(data);
+        id
+    }
+
+    /// Appends an arbitrary node with an explicit result width (advanced —
+    /// for scheduling backends that rebuild modules node by node). The
+    /// node's operands must already exist in this module;
+    /// [`Module::validate`] still checks all width rules afterwards.
+    pub fn push_node(&mut self, node: Node, width: u32, name: Option<String>) -> NodeId {
+        self.push_raw(NodeData { node, width, name })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BinaryOp;
+    use hc_bits::Bits;
+
+    fn accumulator() -> Module {
+        let mut m = Module::new("acc");
+        let x = m.input("x", 8);
+        let r = m.reg("sum", 8, Bits::zero(8));
+        let q = m.reg_out(r);
+        let s = m.binary(BinaryOp::Add, q, x, 8);
+        m.connect_reg(r, s);
+        m.output("sum", q);
+        m
+    }
+
+    #[test]
+    fn inline_preserves_behaviour() {
+        let inner = accumulator();
+        let mut outer = Module::new("top");
+        let a = outer.input("a", 8);
+        let outs = outer.inline_from("u0", &inner, &[a]);
+        outer.output("y", outs["sum"]);
+        outer.validate().unwrap();
+
+        let mut sim = hc_sim_stub::sim(outer);
+        sim.set_u64("a", 5);
+        sim.run(3);
+        assert_eq!(sim.get("y").to_u64(), 15);
+    }
+
+    #[test]
+    fn two_instances_are_independent() {
+        let inner = accumulator();
+        let mut outer = Module::new("top");
+        let a = outer.input("a", 8);
+        let b = outer.input("b", 8);
+        let o1 = outer.inline_from("u0", &inner, &[a]);
+        let o2 = outer.inline_from("u1", &inner, &[b]);
+        let y = outer.binary(BinaryOp::Sub, o1["sum"], o2["sum"], 8);
+        outer.output("y", y);
+        outer.validate().unwrap();
+        assert_eq!(outer.regs().len(), 2);
+        assert_eq!(outer.regs()[1].name, "u1.sum");
+    }
+
+    #[test]
+    #[should_panic(expected = "binding count")]
+    fn wrong_binding_count_rejected() {
+        let inner = accumulator();
+        let mut outer = Module::new("top");
+        outer.inline_from("u0", &inner, &[]);
+    }
+
+    /// A tiny local evaluator so this crate's tests do not depend on
+    /// `hc-sim` (which depends on this crate).
+    mod hc_sim_stub {
+        use crate::passes::eval::eval_pure;
+        use crate::{Module, Node};
+        use hc_bits::Bits;
+
+        pub struct MiniSim {
+            m: Module,
+            regs: Vec<Bits>,
+            inputs: Vec<Bits>,
+        }
+
+        pub fn sim(m: Module) -> MiniSim {
+            let regs = m.regs().iter().map(|r| r.init.clone()).collect();
+            let inputs = m.inputs().iter().map(|p| Bits::zero(p.width)).collect();
+            MiniSim { m, regs, inputs }
+        }
+
+        impl MiniSim {
+            pub fn set_u64(&mut self, name: &str, v: u64) {
+                let idx = self
+                    .m
+                    .inputs()
+                    .iter()
+                    .position(|p| p.name == name)
+                    .unwrap();
+                let w = self.m.inputs()[idx].width;
+                self.inputs[idx] = Bits::from_u64(w, v);
+            }
+
+            fn values(&self) -> Vec<Bits> {
+                let mut vals: Vec<Bits> = Vec::new();
+                for nd in self.m.nodes() {
+                    let v = match &nd.node {
+                        Node::Input(i) => self.inputs[*i].clone(),
+                        Node::RegOut(r) => self.regs[r.index()].clone(),
+                        Node::MemRead { .. } => unreachable!("no mems in these tests"),
+                        pure => {
+                            let mut args = Vec::new();
+                            pure.for_each_operand(|op| args.push(vals[op.index()].clone()));
+                            eval_pure(pure, nd.width, &args).expect("pure")
+                        }
+                    };
+                    vals.push(v);
+                }
+                vals
+            }
+
+            pub fn run(&mut self, n: u64) {
+                for _ in 0..n {
+                    let vals = self.values();
+                    for (i, r) in self.m.regs().iter().enumerate() {
+                        let en = r.en.map(|e| vals[e.index()].to_bool()).unwrap_or(true);
+                        if en {
+                            self.regs[i] = vals[r.next.unwrap().index()].clone();
+                        }
+                    }
+                }
+            }
+
+            pub fn get(&mut self, name: &str) -> Bits {
+                let vals = self.values();
+                let out = self.m.outputs().iter().find(|o| o.name == name).unwrap();
+                vals[out.node.index()].clone()
+            }
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Operation kinds for combinational nodes.
+
+use std::fmt;
+
+/// Unary combinational operations.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum UnaryOp {
+    /// Bitwise NOT, result width equals operand width.
+    Not,
+    /// Two's-complement negation, result width equals operand width.
+    Neg,
+    /// OR-reduction to one bit.
+    ReduceOr,
+    /// AND-reduction to one bit.
+    ReduceAnd,
+    /// XOR-reduction (parity) to one bit.
+    ReduceXor,
+}
+
+/// Binary combinational operations.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum BinaryOp {
+    /// Wrapping addition; operands and result share a width.
+    Add,
+    /// Wrapping subtraction; operands and result share a width.
+    Sub,
+    /// Signed multiplication; result is the full product truncated to the
+    /// node width (operand widths may differ).
+    MulS,
+    /// Unsigned multiplication; result truncated to the node width.
+    MulU,
+    /// Unsigned division (division by zero yields all-ones).
+    DivU,
+    /// Unsigned remainder (remainder by zero yields the dividend).
+    RemU,
+    /// Bitwise AND; operands and result share a width.
+    And,
+    /// Bitwise OR; operands and result share a width.
+    Or,
+    /// Bitwise XOR; operands and result share a width.
+    Xor,
+    /// Equality; 1-bit result, equal operand widths.
+    Eq,
+    /// Inequality; 1-bit result, equal operand widths.
+    Ne,
+    /// Unsigned less-than; 1-bit result.
+    LtU,
+    /// Signed less-than; 1-bit result.
+    LtS,
+    /// Unsigned less-or-equal; 1-bit result.
+    LeU,
+    /// Signed less-or-equal; 1-bit result.
+    LeS,
+    /// Logical left shift; the right operand is the (unsigned) amount.
+    Shl,
+    /// Logical right shift; the right operand is the amount.
+    ShrL,
+    /// Arithmetic right shift; the right operand is the amount.
+    ShrA,
+}
+
+impl BinaryOp {
+    /// `true` for operations whose two operands must share the node width.
+    pub fn needs_same_width(self) -> bool {
+        matches!(
+            self,
+            BinaryOp::Add
+                | BinaryOp::Sub
+                | BinaryOp::DivU
+                | BinaryOp::RemU
+                | BinaryOp::And
+                | BinaryOp::Or
+                | BinaryOp::Xor
+        )
+    }
+
+    /// `true` for comparison operations producing a 1-bit result.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinaryOp::Eq
+                | BinaryOp::Ne
+                | BinaryOp::LtU
+                | BinaryOp::LtS
+                | BinaryOp::LeU
+                | BinaryOp::LeS
+        )
+    }
+
+    /// `true` for the shift family (left operand width = node width, right
+    /// operand is an amount of any width).
+    pub fn is_shift(self) -> bool {
+        matches!(self, BinaryOp::Shl | BinaryOp::ShrL | BinaryOp::ShrA)
+    }
+
+    /// `true` for the multiply family.
+    pub fn is_mul(self) -> bool {
+        matches!(self, BinaryOp::MulS | BinaryOp::MulU)
+    }
+}
+
+impl fmt::Display for UnaryOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            UnaryOp::Not => "~",
+            UnaryOp::Neg => "-",
+            UnaryOp::ReduceOr => "|",
+            UnaryOp::ReduceAnd => "&",
+            UnaryOp::ReduceXor => "^",
+        };
+        f.write_str(s)
+    }
+}
+
+impl fmt::Display for BinaryOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinaryOp::Add => "+",
+            BinaryOp::Sub => "-",
+            BinaryOp::MulS => "*s",
+            BinaryOp::MulU => "*u",
+            BinaryOp::DivU => "/u",
+            BinaryOp::RemU => "%u",
+            BinaryOp::And => "&",
+            BinaryOp::Or => "|",
+            BinaryOp::Xor => "^",
+            BinaryOp::Eq => "==",
+            BinaryOp::Ne => "!=",
+            BinaryOp::LtU => "<u",
+            BinaryOp::LtS => "<s",
+            BinaryOp::LeU => "<=u",
+            BinaryOp::LeS => "<=s",
+            BinaryOp::Shl => "<<",
+            BinaryOp::ShrL => ">>",
+            BinaryOp::ShrA => ">>>",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn families_are_disjoint() {
+        for op in [
+            BinaryOp::Add,
+            BinaryOp::MulS,
+            BinaryOp::Eq,
+            BinaryOp::Shl,
+        ] {
+            let classes = [op.needs_same_width(), op.is_comparison(), op.is_shift(), op.is_mul()];
+            assert_eq!(classes.iter().filter(|&&c| c).count(), 1, "{op}");
+        }
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(BinaryOp::ShrA.to_string(), ">>>");
+        assert_eq!(UnaryOp::ReduceXor.to_string(), "^");
+    }
+}

@@ -1,0 +1,287 @@
+//! Constant folding and algebraic simplification.
+
+use crate::passes::eval::eval_pure;
+use crate::{BinaryOp, Module, Node, NodeId};
+use hc_bits::Bits;
+
+/// Folds nodes whose operands are constants and applies width-preserving
+/// algebraic identities (`x + 0`, `x * 1`, `x & 0`, shift-by-0, constant-
+/// select muxes, …). Dead originals are left for [`super::dce`] to collect.
+pub fn const_fold(module: &mut Module) {
+    let n = module.nodes().len();
+    // replace[i] = the node that should be used instead of node i.
+    let mut replace: Vec<NodeId> = (0..n).map(NodeId::new).collect();
+    let mut values: Vec<Option<Bits>> = vec![None; n];
+
+    for i in 0..n {
+        let data = module.node(NodeId::new(i)).clone();
+        let node = data.node.map_operands(|id| replace[id.index()]);
+
+        // Gather operand constant values.
+        let mut args = Vec::new();
+        let mut all_const = true;
+        node.for_each_operand(|id| match &values[id.index()] {
+            Some(v) => args.push(v.clone()),
+            None => all_const = false,
+        });
+
+        if all_const && !matches!(node, Node::Input(_) | Node::RegOut(_) | Node::MemRead { .. }) {
+            if let Some(v) = eval_pure(&node, data.width, &args) {
+                if let Node::Const(existing) = &module.node(NodeId::new(i)).node {
+                    values[i] = Some(existing.clone());
+                    continue;
+                }
+                let new = module.constant(v.clone());
+                replace.push(new); // self-map for the appended node
+                values.push(Some(v.clone()));
+                replace[i] = new;
+                values[i] = Some(v);
+                continue;
+            }
+        }
+
+        if let Some(alias) = identity(module, &node, data.width, &values) {
+            replace[i] = replace[alias.index()];
+            values[i] = values[alias.index()].clone();
+            continue;
+        }
+
+        if let Node::Const(v) = &node {
+            values[i] = Some(v.clone());
+        }
+    }
+
+    apply_replacement(module, &replace);
+}
+
+/// Returns an existing node this node is equivalent to, if an algebraic
+/// identity applies.
+fn identity(
+    module: &Module,
+    node: &Node,
+    width: u32,
+    values: &[Option<Bits>],
+) -> Option<NodeId> {
+    let cval = |id: NodeId| values.get(id.index()).and_then(|v| v.clone());
+    match *node {
+        Node::Binary(op, a, b) => {
+            let (ca, cb) = (cval(a), cval(b));
+            match op {
+                BinaryOp::Add | BinaryOp::Or | BinaryOp::Xor | BinaryOp::Sub => {
+                    if op != BinaryOp::Sub {
+                        if ca.as_ref().is_some_and(Bits::is_zero) {
+                            return Some(b);
+                        }
+                    }
+                    if cb.as_ref().is_some_and(Bits::is_zero) {
+                        return Some(a);
+                    }
+                    None
+                }
+                BinaryOp::And => {
+                    if ca.as_ref().is_some_and(|v| *v == Bits::ones(v.width())) {
+                        return Some(b);
+                    }
+                    if cb.as_ref().is_some_and(|v| *v == Bits::ones(v.width())) {
+                        return Some(a);
+                    }
+                    None
+                }
+                BinaryOp::MulS | BinaryOp::MulU => {
+                    // x * 1 keeps the value when the result width covers x.
+                    if cb.as_ref().is_some_and(|v| v.to_u64() == 1 && v.count_ones() == 1)
+                        && module.width(a) == width
+                    {
+                        return Some(a);
+                    }
+                    if ca.as_ref().is_some_and(|v| v.to_u64() == 1 && v.count_ones() == 1)
+                        && module.width(b) == width
+                    {
+                        return Some(b);
+                    }
+                    None
+                }
+                BinaryOp::Shl | BinaryOp::ShrL | BinaryOp::ShrA => {
+                    if cb.as_ref().is_some_and(Bits::is_zero) {
+                        return Some(a);
+                    }
+                    None
+                }
+                _ => None,
+            }
+        }
+        Node::Mux {
+            sel,
+            on_true,
+            on_false,
+        } => match cval(sel) {
+            Some(v) if v.to_bool() => Some(on_true),
+            Some(_) => Some(on_false),
+            None if on_true == on_false => Some(on_true),
+            None => None,
+        },
+        Node::ZExt(a) | Node::SExt(a) if module.width(a) == width => Some(a),
+        Node::Slice { src, lo } if lo == 0 && module.width(src) == width => Some(src),
+        _ => None,
+    }
+}
+
+/// Rewrites every operand, output, register and memory reference through the
+/// replacement table, then re-sorts the node list topologically (replacement
+/// may introduce forward references, e.g. to constants appended at the end).
+pub(crate) fn apply_replacement(module: &mut Module, replace: &[NodeId]) {
+    // First rewrite through `replace`, then compose with a topological
+    // permutation of the rewritten graph.
+    let rewritten: Vec<Node> = module
+        .nodes()
+        .iter()
+        .map(|nd| nd.node.map_operands(|id| replace[id.index()]))
+        .collect();
+    let order = topo_order(&rewritten);
+    let mut position = vec![0usize; rewritten.len()];
+    for (pos, &old) in order.iter().enumerate() {
+        position[old] = pos;
+    }
+    let map = |id: NodeId| NodeId::new(position[replace[id.index()].index()]);
+    let nodes = order
+        .iter()
+        .map(|&old| {
+            let nd = module.node(NodeId::new(old));
+            crate::module::NodeData {
+                node: rewritten[old].map_operands(|id| NodeId::new(position[id.index()])),
+                width: nd.width,
+                name: nd.name.clone(),
+            }
+        })
+        .collect();
+    let inputs = module.inputs().to_vec();
+    let outputs = module
+        .outputs()
+        .iter()
+        .map(|o| crate::Output {
+            name: o.name.clone(),
+            node: map(o.node),
+        })
+        .collect();
+    let regs = module
+        .regs()
+        .iter()
+        .map(|r| crate::Reg {
+            next: r.next.map(map),
+            en: r.en.map(map),
+            reset: r.reset.map(map),
+            ..r.clone()
+        })
+        .collect();
+    let mems = module
+        .mems()
+        .iter()
+        .map(|m| crate::Mem {
+            writes: m
+                .writes
+                .iter()
+                .map(|w| crate::MemWrite {
+                    addr: map(w.addr),
+                    data: map(w.data),
+                    en: map(w.en),
+                })
+                .collect(),
+            ..m.clone()
+        })
+        .collect();
+    module.set_tables(nodes, inputs, outputs, regs, mems);
+}
+
+/// Topological order of an acyclic node graph (operands before users),
+/// computed with an iterative DFS so deep netlists cannot overflow the
+/// stack.
+fn topo_order(nodes: &[Node]) -> Vec<usize> {
+    let mut order = Vec::with_capacity(nodes.len());
+    // 0 = unvisited, 1 = in progress, 2 = emitted.
+    let mut mark = vec![0u8; nodes.len()];
+    for root in 0..nodes.len() {
+        if mark[root] != 0 {
+            continue;
+        }
+        let mut stack = vec![(root, false)];
+        while let Some((i, expanded)) = stack.pop() {
+            if expanded {
+                mark[i] = 2;
+                order.push(i);
+                continue;
+            }
+            if mark[i] != 0 {
+                continue;
+            }
+            mark[i] = 1;
+            stack.push((i, true));
+            nodes[i].for_each_operand(|op| {
+                if mark[op.index()] == 0 {
+                    stack.push((op.index(), false));
+                }
+            });
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::passes::dce;
+
+    #[test]
+    fn folds_constant_tree() {
+        let mut m = Module::new("t");
+        let a = m.const_i(16, 300);
+        let b = m.const_i(16, -45);
+        let s = m.binary(BinaryOp::Add, a, b, 16);
+        m.output("y", s);
+        const_fold(&mut m);
+        dce(&mut m);
+        m.validate().unwrap();
+        assert_eq!(m.nodes().len(), 1);
+        match &m.node(m.outputs()[0].node).node {
+            Node::Const(v) => assert_eq!(v.to_i64(), 255),
+            other => panic!("expected const, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn add_zero_identity() {
+        let mut m = Module::new("t");
+        let a = m.input("a", 8);
+        let z = m.const_u(8, 0);
+        let s = m.binary(BinaryOp::Add, a, z, 8);
+        m.output("y", s);
+        const_fold(&mut m);
+        assert_eq!(m.outputs()[0].node, a);
+    }
+
+    #[test]
+    fn mux_constant_select() {
+        let mut m = Module::new("t");
+        let a = m.input("a", 8);
+        let b = m.input("b", 8);
+        let sel = m.const_u(1, 1);
+        let y = m.mux(sel, a, b);
+        m.output("y", y);
+        const_fold(&mut m);
+        assert_eq!(m.outputs()[0].node, a);
+    }
+
+    #[test]
+    fn folding_respects_registers() {
+        // Register feedback must not be folded even with constant next.
+        let mut m = Module::new("t");
+        let r = m.reg("r", 8, Bits::zero(8));
+        let q = m.reg_out(r);
+        let one = m.const_u(8, 1);
+        let nx = m.binary(BinaryOp::Add, q, one, 8);
+        m.connect_reg(r, nx);
+        m.output("q", q);
+        const_fold(&mut m);
+        m.validate().unwrap();
+        assert!(matches!(m.node(m.outputs()[0].node).node, Node::RegOut(_)));
+    }
+}

@@ -1,0 +1,88 @@
+//! Common-subexpression elimination by hash-consing.
+
+use crate::passes::const_fold::apply_replacement;
+use crate::{Module, Node, NodeId};
+use std::collections::HashMap;
+
+/// Merges structurally identical nodes. Two nodes merge when, after operand
+/// remapping, they have the same kind, operands and width. `Input` nodes are
+/// never merged (each carries a distinct port index anyway); asynchronous
+/// `MemRead`s of the same memory and address are pure within a cycle and do
+/// merge. Dead duplicates are left for [`super::dce`].
+pub fn cse(module: &mut Module) {
+    let n = module.nodes().len();
+    let mut replace: Vec<NodeId> = (0..n).map(NodeId::new).collect();
+    let mut seen: HashMap<(Node, u32), NodeId> = HashMap::new();
+
+    for i in 0..n {
+        let data = module.node(NodeId::new(i));
+        let node = data.node.map_operands(|id| replace[id.index()]);
+        if matches!(node, Node::Input(_)) {
+            continue;
+        }
+        let key = (node, data.width);
+        match seen.get(&key) {
+            Some(&first) => replace[i] = first,
+            None => {
+                seen.insert(key, NodeId::new(i));
+            }
+        }
+    }
+
+    apply_replacement(module, &replace);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::passes::dce;
+    use crate::BinaryOp;
+
+    #[test]
+    fn merges_duplicate_adders() {
+        let mut m = Module::new("t");
+        let a = m.input("a", 8);
+        let b = m.input("b", 8);
+        let s1 = m.binary(BinaryOp::Add, a, b, 8);
+        let s2 = m.binary(BinaryOp::Add, a, b, 8);
+        let y = m.binary(BinaryOp::Xor, s1, s2, 8);
+        m.output("y", y);
+        cse(&mut m);
+        dce(&mut m);
+        m.validate().unwrap();
+        // One add survives; the xor now sees the same node twice.
+        let adds = m
+            .nodes()
+            .iter()
+            .filter(|nd| matches!(nd.node, Node::Binary(BinaryOp::Add, ..)))
+            .count();
+        assert_eq!(adds, 1);
+    }
+
+    #[test]
+    fn transitive_merge() {
+        // Chains of identical subtrees collapse level by level.
+        let mut m = Module::new("t");
+        let a = m.input("a", 8);
+        let x1 = m.binary(BinaryOp::Add, a, a, 8);
+        let x2 = m.binary(BinaryOp::Add, a, a, 8);
+        let y1 = m.binary(BinaryOp::Sub, x1, a, 8);
+        let y2 = m.binary(BinaryOp::Sub, x2, a, 8);
+        m.output("y1", y1);
+        m.output("y2", y2);
+        cse(&mut m);
+        assert_eq!(m.outputs()[0].node, m.outputs()[1].node);
+    }
+
+    #[test]
+    fn different_widths_do_not_merge() {
+        let mut m = Module::new("t");
+        let a = m.input("a", 8);
+        let z1 = m.zext(a, 16);
+        let z2 = m.zext(a, 12);
+        m.output("y1", z1);
+        m.output("y2", z2);
+        cse(&mut m);
+        assert_ne!(m.outputs()[0].node, m.outputs()[1].node);
+    }
+}

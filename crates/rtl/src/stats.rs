@@ -1,0 +1,98 @@
+//! Structural statistics used by reports and the synthesis estimator.
+
+use crate::{BinaryOp, Module, Node};
+
+/// Operation counts and size figures for a module.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ModuleStats {
+    /// Total combinational nodes.
+    pub nodes: usize,
+    /// Adders/subtractors (width-weighted count available via `add_bits`).
+    pub adds: usize,
+    /// Multipliers.
+    pub muls: usize,
+    /// Multiplexers.
+    pub muxes: usize,
+    /// Registers.
+    pub regs: usize,
+    /// Total register bits.
+    pub reg_bits: u64,
+    /// Memories.
+    pub mems: usize,
+    /// Total memory bits.
+    pub mem_bits: u64,
+    /// Sum of input and output port widths (the paper's `N_IO` basis).
+    pub io_bits: u64,
+    /// Sum of adder/subtractor result widths.
+    pub add_bits: u64,
+    /// Sum of multiplier operand-width products (cost proxy).
+    pub mul_area: u64,
+}
+
+impl ModuleStats {
+    /// Gathers statistics for a module.
+    pub fn of(module: &Module) -> Self {
+        let mut s = ModuleStats {
+            nodes: module.nodes().len(),
+            regs: module.regs().len(),
+            mems: module.mems().len(),
+            ..ModuleStats::default()
+        };
+        for nd in module.nodes() {
+            match nd.node {
+                Node::Binary(BinaryOp::Add | BinaryOp::Sub, ..) => {
+                    s.adds += 1;
+                    s.add_bits += u64::from(nd.width);
+                }
+                Node::Binary(BinaryOp::MulS | BinaryOp::MulU, a, b) => {
+                    s.muls += 1;
+                    s.mul_area += u64::from(module.width(a)) * u64::from(module.width(b));
+                }
+                Node::Mux { .. } => s.muxes += 1,
+                _ => {}
+            }
+        }
+        for r in module.regs() {
+            s.reg_bits += u64::from(r.width);
+        }
+        for m in module.mems() {
+            s.mem_bits += u64::from(m.width) * u64::from(m.depth);
+        }
+        s.io_bits = module.inputs().iter().map(|p| u64::from(p.width)).sum::<u64>()
+            + module
+                .outputs()
+                .iter()
+                .map(|o| u64::from(module.width(o.node)))
+                .sum::<u64>();
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hc_bits::Bits;
+
+    #[test]
+    fn counts_ops_and_bits() {
+        let mut m = Module::new("t");
+        let a = m.input("a", 12);
+        let b = m.input("b", 12);
+        let s = m.binary(BinaryOp::Add, a, b, 12);
+        let p = m.binary(BinaryOp::MulS, a, b, 24);
+        let r = m.reg("acc", 24, Bits::zero(24));
+        let q = m.reg_out(r);
+        m.connect_reg(r, p);
+        let sel = m.input("sel", 1);
+        let sx = m.sext(s, 24);
+        let y = m.mux(sel, q, sx);
+        m.output("y", y);
+        let st = ModuleStats::of(&m);
+        assert_eq!(st.adds, 1);
+        assert_eq!(st.muls, 1);
+        assert_eq!(st.muxes, 1);
+        assert_eq!(st.reg_bits, 24);
+        assert_eq!(st.mul_area, 144);
+        assert_eq!(st.io_bits, 12 + 12 + 1 + 24);
+    }
+}

@@ -1,0 +1,246 @@
+//! Structural validation: width rules, topological ordering, connectivity.
+
+use crate::{BinaryOp, Module, Node, UnaryOp};
+use std::error::Error;
+use std::fmt;
+
+/// A structural defect found by [`Module::validate`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ValidateError {
+    message: String,
+}
+
+impl ValidateError {
+    fn new(message: String) -> Self {
+        ValidateError { message }
+    }
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl Error for ValidateError {}
+
+impl Module {
+    /// Checks structural invariants.
+    ///
+    /// Verified properties: every node references only earlier nodes (the
+    /// acyclicity guarantee the simulator relies on), operand widths obey
+    /// the rules of each [`Node`] kind, every register has a connected next
+    /// value with matching width, enables/resets/mux selects are one bit
+    /// wide, memory ports are consistent, and slices stay in range.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first defect found, with a human-readable description
+    /// naming the offending node.
+    pub fn validate(&self) -> Result<(), ValidateError> {
+        let err = |msg: String| Err(ValidateError::new(format!("{}: {msg}", self.name())));
+        for (i, nd) in self.nodes().iter().enumerate() {
+            let mut ordered = true;
+            nd.node.for_each_operand(|op| {
+                if op.index() >= i {
+                    ordered = false;
+                }
+            });
+            if !ordered {
+                return err(format!("node n{i} references a later node (cycle)"));
+            }
+            let w = |id: crate::NodeId| self.width(id);
+            match &nd.node {
+                Node::Const(v) => {
+                    if v.width() != nd.width {
+                        return err(format!("n{i}: const width mismatch"));
+                    }
+                }
+                Node::Input(idx) => {
+                    let port = self
+                        .inputs()
+                        .get(*idx)
+                        .ok_or_else(|| ValidateError::new(format!("n{i}: bad input index")))?;
+                    if port.width != nd.width {
+                        return err(format!("n{i}: input width mismatch"));
+                    }
+                }
+                Node::Unary(op, a) => {
+                    let expect = match op {
+                        UnaryOp::Not | UnaryOp::Neg => w(*a),
+                        _ => 1,
+                    };
+                    if nd.width != expect {
+                        return err(format!("n{i}: unary {op} width {} != {expect}", nd.width));
+                    }
+                }
+                Node::Binary(op, a, b) => {
+                    if op.needs_same_width() && (w(*a) != nd.width || w(*b) != nd.width) {
+                        return err(format!(
+                            "n{i}: {op} widths {}x{} -> {}",
+                            w(*a),
+                            w(*b),
+                            nd.width
+                        ));
+                    }
+                    if op.is_comparison() {
+                        if nd.width != 1 {
+                            return err(format!("n{i}: comparison width {}", nd.width));
+                        }
+                        if w(*a) != w(*b) {
+                            return err(format!("n{i}: comparison operands {}x{}", w(*a), w(*b)));
+                        }
+                    }
+                    if op.is_shift() && w(*a) != nd.width {
+                        return err(format!("n{i}: shift operand {} -> {}", w(*a), nd.width));
+                    }
+                    if matches!(op, BinaryOp::MulS | BinaryOp::MulU)
+                        && nd.width > w(*a) + w(*b)
+                    {
+                        return err(format!(
+                            "n{i}: mul result {} wider than full product {}",
+                            nd.width,
+                            w(*a) + w(*b)
+                        ));
+                    }
+                }
+                Node::Mux {
+                    sel,
+                    on_true,
+                    on_false,
+                } => {
+                    if w(*sel) != 1 {
+                        return err(format!("n{i}: mux select is {} bits", w(*sel)));
+                    }
+                    if w(*on_true) != nd.width || w(*on_false) != nd.width {
+                        return err(format!("n{i}: mux arm widths differ"));
+                    }
+                }
+                Node::Concat(hi, lo) => {
+                    if w(*hi) + w(*lo) != nd.width {
+                        return err(format!("n{i}: concat width"));
+                    }
+                }
+                Node::Slice { src, lo } => {
+                    if lo + nd.width > w(*src) {
+                        return err(format!(
+                            "n{i}: slice [{}+:{}] of {}-bit node",
+                            lo,
+                            nd.width,
+                            w(*src)
+                        ));
+                    }
+                }
+                Node::ZExt(_) | Node::SExt(_) => {}
+                Node::RegOut(r) => {
+                    let reg = self
+                        .regs()
+                        .get(r.index())
+                        .ok_or_else(|| ValidateError::new(format!("n{i}: bad reg id")))?;
+                    if reg.width != nd.width {
+                        return err(format!("n{i}: reg out width"));
+                    }
+                }
+                Node::MemRead { mem, .. } => {
+                    let m = self
+                        .mems()
+                        .get(mem.index())
+                        .ok_or_else(|| ValidateError::new(format!("n{i}: bad mem id")))?;
+                    if m.width != nd.width {
+                        return err(format!("n{i}: mem read width"));
+                    }
+                }
+            }
+        }
+        for (i, reg) in self.regs().iter().enumerate() {
+            let next = reg
+                .next
+                .ok_or_else(|| ValidateError::new(format!("register {:?} unconnected", reg.name)))?;
+            if self.width(next) != reg.width {
+                return err(format!("reg r{i} next width"));
+            }
+            for ctl in [reg.en, reg.reset].into_iter().flatten() {
+                if self.width(ctl) != 1 {
+                    return err(format!("reg r{i} control is not 1 bit"));
+                }
+            }
+        }
+        for (i, mem) in self.mems().iter().enumerate() {
+            if mem.depth == 0 {
+                return err(format!("mem m{i} has zero depth"));
+            }
+            for wp in &mem.writes {
+                if self.width(wp.data) != mem.width {
+                    return err(format!("mem m{i} write data width"));
+                }
+                if self.width(wp.en) != 1 {
+                    return err(format!("mem m{i} write enable width"));
+                }
+            }
+        }
+        for out in self.outputs() {
+            if out.node.index() >= self.nodes().len() {
+                return err(format!("output {:?} dangling", out.name));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hc_bits::Bits;
+
+    #[test]
+    fn valid_module_passes() {
+        let mut m = Module::new("ok");
+        let a = m.input("a", 8);
+        let b = m.input("b", 8);
+        let s = m.binary(BinaryOp::Add, a, b, 8);
+        m.output("s", s);
+        assert!(m.validate().is_ok());
+    }
+
+    #[test]
+    fn width_mismatch_caught() {
+        let mut m = Module::new("bad");
+        let a = m.input("a", 8);
+        let b = m.input("b", 4);
+        let s = m.binary(BinaryOp::Add, a, b, 8);
+        m.output("s", s);
+        let e = m.validate().unwrap_err();
+        assert!(e.to_string().contains('+'), "{e}");
+    }
+
+    #[test]
+    fn unconnected_reg_caught() {
+        let mut m = Module::new("bad");
+        let r = m.reg("r", 4, Bits::zero(4));
+        let q = m.reg_out(r);
+        m.output("q", q);
+        let e = m.validate().unwrap_err();
+        assert!(e.to_string().contains("unconnected"), "{e}");
+    }
+
+    #[test]
+    fn oversized_mul_caught() {
+        let mut m = Module::new("bad");
+        let a = m.input("a", 4);
+        let b = m.input("b", 4);
+        let p = m.binary(BinaryOp::MulS, a, b, 9);
+        m.output("p", p);
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn wide_mux_select_caught() {
+        let mut m = Module::new("bad");
+        let s = m.input("s", 2);
+        let a = m.input("a", 4);
+        let b = m.input("b", 4);
+        let y = m.mux(s, a, b);
+        m.output("y", y);
+        assert!(m.validate().is_err());
+    }
+}

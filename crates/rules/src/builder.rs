@@ -1,0 +1,274 @@
+//! Rule/state declaration and the expression sub-language.
+
+use crate::error::RulesError;
+use crate::schedule::compile;
+use hc_bits::Bits;
+use hc_rtl::{BinaryOp, Module, NodeId, RegId, UnaryOp};
+
+/// A state register handle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct RegHandle(pub(crate) usize);
+
+/// A register vector (indexable state, like a `Vector#(8, Reg#(...))`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RegVec(pub(crate) usize);
+
+/// An expression value (reads pre-cycle state).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RuleValue(pub(crate) NodeId);
+
+/// One atomic action of a rule.
+#[derive(Clone, Copy, Debug)]
+pub enum Action {
+    /// `reg <= value`.
+    Write(RegHandle, RuleValue),
+    /// `if (cond) reg <= value` — still a write for conflict purposes.
+    WriteIf(RuleValue, RegHandle, RuleValue),
+    /// `vec[index] <= value` (dynamically indexed; conservatively treated
+    /// as writing every element).
+    WriteIdx(RegVec, RuleValue, RuleValue),
+}
+
+pub(crate) struct RegInfo {
+    pub id: RegId,
+    pub q: NodeId,
+    pub width: u32,
+}
+
+pub(crate) struct VecInfo {
+    pub regs: Vec<RegHandle>,
+}
+
+pub(crate) struct RuleDef {
+    pub name: String,
+    pub guard: NodeId,
+    pub actions: Vec<Action>,
+}
+
+/// Builds a rule-based module; [`RulesBuilder::compile`] schedules the
+/// rules and emits the RTL.
+pub struct RulesBuilder {
+    pub(crate) m: Module,
+    pub(crate) regs: Vec<RegInfo>,
+    pub(crate) vecs: Vec<VecInfo>,
+    pub(crate) rules: Vec<RuleDef>,
+    pub(crate) reset: Option<NodeId>,
+    pub(crate) urgency: Option<Vec<usize>>,
+}
+
+impl RulesBuilder {
+    /// Starts an empty module.
+    pub fn new(name: &str) -> Self {
+        RulesBuilder {
+            m: Module::new(name),
+            regs: Vec::new(),
+            vecs: Vec::new(),
+            rules: Vec::new(),
+            reset: None,
+            urgency: None,
+        }
+    }
+
+    /// Declares an input port.
+    pub fn input(&mut self, name: &str, width: u32) -> RuleValue {
+        RuleValue(self.m.input(name, width))
+    }
+
+    /// Declares an input used as the synchronous reset for all state.
+    pub fn reset_input(&mut self, name: &str) -> RuleValue {
+        let v = self.m.input(name, 1);
+        self.reset = Some(v);
+        RuleValue(v)
+    }
+
+    /// Declares an output driven by a (method-like) expression.
+    pub fn output(&mut self, name: &str, value: RuleValue) {
+        self.m.output(name, value.0);
+    }
+
+    /// Declares a state register with a signed init value.
+    pub fn reg(&mut self, name: &str, width: u32, init: i64) -> RegHandle {
+        let id = self.m.reg(name, width, Bits::from_i64(width, init));
+        let q = self.m.reg_out(id);
+        self.regs.push(RegInfo { id, q, width });
+        RegHandle(self.regs.len() - 1)
+    }
+
+    /// Declares a register vector of `len` elements.
+    pub fn reg_vec(&mut self, name: &str, len: usize, width: u32) -> RegVec {
+        let regs = (0..len)
+            .map(|i| self.reg(&format!("{name}{i}"), width, 0))
+            .collect();
+        self.vecs.push(VecInfo { regs });
+        RegVec(self.vecs.len() - 1)
+    }
+
+    /// The current value of a register.
+    pub fn read(&mut self, reg: RegHandle) -> RuleValue {
+        RuleValue(self.regs[reg.0].q)
+    }
+
+    /// Reads `vec[index]` (a mux tree over the elements).
+    pub fn read_idx(&mut self, vec: RegVec, index: RuleValue) -> RuleValue {
+        let elems: Vec<NodeId> = self.vecs[vec.0]
+            .regs
+            .iter()
+            .map(|&r| self.regs[r.0].q)
+            .collect();
+        RuleValue(self.m.select(index.0, &elems))
+    }
+
+    /// Element handles of a register vector (for static access).
+    pub fn vec_elem(&self, vec: RegVec, index: usize) -> RegHandle {
+        self.vecs[vec.0].regs[index]
+    }
+
+    /// Declares a rule with a guard and actions. Declaration order is
+    /// urgency: earlier rules win conflicts.
+    pub fn rule(&mut self, name: &str, guard: RuleValue, actions: Vec<Action>) {
+        self.rules.push(RuleDef {
+            name: name.to_owned(),
+            guard: guard.0,
+            actions,
+        });
+    }
+
+    /// Overrides the urgency order (a permutation of rule indices; index 0
+    /// is most urgent). Models BSC's `descending_urgency` attributes and
+    /// scheduling options — the paper synthesized 26 BSC circuits this way
+    /// and found the settings had negligible impact.
+    ///
+    /// # Panics
+    ///
+    /// `compile` panics if the permutation length mismatches the rule
+    /// count.
+    pub fn set_urgency(&mut self, order: Vec<usize>) {
+        self.urgency = Some(order);
+    }
+
+    /// Schedules the rules and produces the RTL module.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RulesError`] if a value width mismatches its register or
+    /// the resulting module fails validation.
+    pub fn compile(self) -> Result<Module, RulesError> {
+        compile(self)
+    }
+
+    // --- expression sub-language (same width rules as the flow kernel) ---
+
+    /// A signed literal.
+    pub fn lit(&mut self, width: u32, value: i64) -> RuleValue {
+        RuleValue(self.m.constant(Bits::from_i64(width, value)))
+    }
+
+    /// An unsigned-pattern literal.
+    pub fn lit_u(&mut self, width: u32, value: u64) -> RuleValue {
+        RuleValue(self.m.constant(Bits::from_u64(width, value)))
+    }
+
+    fn fit2(&mut self, a: RuleValue, b: RuleValue) -> (NodeId, NodeId, u32) {
+        let w = self.m.width(a.0).max(self.m.width(b.0));
+        (self.m.sext(a.0, w), self.m.sext(b.0, w), w)
+    }
+
+    /// Wrapping addition at the wider width.
+    pub fn add(&mut self, a: RuleValue, b: RuleValue) -> RuleValue {
+        let (x, y, w) = self.fit2(a, b);
+        RuleValue(self.m.binary(BinaryOp::Add, x, y, w))
+    }
+
+    /// Wrapping subtraction.
+    pub fn sub(&mut self, a: RuleValue, b: RuleValue) -> RuleValue {
+        let (x, y, w) = self.fit2(a, b);
+        RuleValue(self.m.binary(BinaryOp::Sub, x, y, w))
+    }
+
+    /// Signed multiplication with explicit result width.
+    pub fn mul(&mut self, a: RuleValue, b: RuleValue, width: u32) -> RuleValue {
+        RuleValue(self.m.binary(BinaryOp::MulS, a.0, b.0, width))
+    }
+
+    /// Static left shift (width preserved).
+    pub fn shl(&mut self, a: RuleValue, amount: u32) -> RuleValue {
+        let w = self.m.width(a.0);
+        let amt = self.m.const_u(32, u64::from(amount));
+        RuleValue(self.m.binary(BinaryOp::Shl, a.0, amt, w))
+    }
+
+    /// Static arithmetic right shift.
+    pub fn shr(&mut self, a: RuleValue, amount: u32) -> RuleValue {
+        let w = self.m.width(a.0);
+        let amt = self.m.const_u(32, u64::from(amount));
+        RuleValue(self.m.binary(BinaryOp::ShrA, a.0, amt, w))
+    }
+
+    /// Signed resize.
+    pub fn cast(&mut self, a: RuleValue, width: u32) -> RuleValue {
+        RuleValue(self.m.sext(a.0, width))
+    }
+
+    /// Bit slice.
+    pub fn slice(&mut self, a: RuleValue, lo: u32, width: u32) -> RuleValue {
+        RuleValue(self.m.slice(a.0, lo, width))
+    }
+
+    /// Concatenation `{hi, lo}`.
+    pub fn concat(&mut self, hi: RuleValue, lo: RuleValue) -> RuleValue {
+        RuleValue(self.m.concat(hi.0, lo.0))
+    }
+
+    /// Equality (1 bit).
+    pub fn eq(&mut self, a: RuleValue, b: RuleValue) -> RuleValue {
+        let (x, y, _) = self.fit2(a, b);
+        RuleValue(self.m.binary(BinaryOp::Eq, x, y, 1))
+    }
+
+    /// Signed less-than.
+    pub fn lt(&mut self, a: RuleValue, b: RuleValue) -> RuleValue {
+        let (x, y, _) = self.fit2(a, b);
+        RuleValue(self.m.binary(BinaryOp::LtS, x, y, 1))
+    }
+
+    /// Signed greater-than.
+    pub fn gt(&mut self, a: RuleValue, b: RuleValue) -> RuleValue {
+        self.lt(b, a)
+    }
+
+    /// Boolean AND (1-bit operands).
+    pub fn and(&mut self, a: RuleValue, b: RuleValue) -> RuleValue {
+        RuleValue(self.m.binary(BinaryOp::And, a.0, b.0, 1))
+    }
+
+    /// Boolean OR.
+    pub fn or(&mut self, a: RuleValue, b: RuleValue) -> RuleValue {
+        RuleValue(self.m.binary(BinaryOp::Or, a.0, b.0, 1))
+    }
+
+    /// Boolean NOT.
+    pub fn not(&mut self, a: RuleValue) -> RuleValue {
+        RuleValue(self.m.unary(UnaryOp::Not, a.0))
+    }
+
+    /// Selection.
+    pub fn sel(&mut self, cond: RuleValue, t: RuleValue, f: RuleValue) -> RuleValue {
+        let (x, y, _) = self.fit2(t, f);
+        RuleValue(self.m.mux(cond.0, x, y))
+    }
+
+    /// Checks/marks a 1-bit value as boolean (identity; documents intent).
+    pub fn as_bool(&mut self, v: RuleValue) -> RuleValue {
+        v
+    }
+
+    /// Indexes a slice of values with a balanced mux tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options` is empty or `sel` is too narrow.
+    pub fn select_many(&mut self, sel: RuleValue, options: &[RuleValue]) -> RuleValue {
+        let nodes: Vec<NodeId> = options.iter().map(|v| v.0).collect();
+        RuleValue(self.m.select(sel.0, &nodes))
+    }
+}

@@ -1,0 +1,26 @@
+//! Error type for the rule-based frontend.
+
+use std::error::Error;
+use std::fmt;
+
+/// A problem in rule construction or scheduling.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RulesError {
+    message: String,
+}
+
+impl RulesError {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        RulesError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for RulesError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl Error for RulesError {}

@@ -1,0 +1,49 @@
+//! A Bluespec-SystemVerilog-like rule-based hardware language.
+//!
+//! State lives in registers; behaviour is a set of *guarded atomic rules*.
+//! The programming model is one-rule-at-a-time, but the compiler schedules
+//! every non-conflicting rule into the same clock cycle:
+//!
+//! * two rules **conflict** when they write the same register (reads are
+//!   free — they see the pre-cycle state, consistent with sequencing the
+//!   readers first);
+//! * rules are prioritized by declaration order (*urgency*): a rule fires
+//!   when its guard holds and no higher-urgency conflicting rule fires.
+//!
+//! This scheduling model is what produces the paper's BSC observation that
+//! the optimized IDCT has periodicity 9 instead of 8: the buffer-handover
+//! rule and the input-accept rule both write the row counter, so they
+//! cannot fire in the same cycle — one bubble per matrix, mechanically.
+//!
+//! # Examples
+//!
+//! A saturating counter as two rules:
+//!
+//! ```
+//! use hc_rules::{Action, RulesBuilder};
+//!
+//! let mut b = RulesBuilder::new("sat");
+//! let bump = b.input("bump", 1);
+//! let cnt = b.reg("cnt", 4, 0);
+//! let q = b.read(cnt);
+//! let lim = b.lit(4, 9);
+//! let one = b.lit(4, 1);
+//! let at_lim = b.eq(q, lim);
+//! let keep_going = b.not(at_lim);
+//! let bump_b = b.as_bool(bump);
+//! let go = b.and(bump_b, keep_going);
+//! let next = b.add(q, one);
+//! b.rule("count", go, vec![Action::Write(cnt, next)]);
+//! b.output("value", q);
+//! let module = b.compile()?;
+//! # Ok::<(), hc_rules::RulesError>(())
+//! ```
+
+mod builder;
+pub mod designs;
+mod error;
+mod schedule;
+
+pub use builder::{Action, RegHandle, RegVec, RulesBuilder, RuleValue};
+pub use error::RulesError;
+pub use schedule::{conflicts, shared_writes};

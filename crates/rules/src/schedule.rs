@@ -1,0 +1,274 @@
+//! Rule scheduling: conflict analysis, urgency arbitration, RTL emission.
+
+use crate::builder::{Action, RegHandle, RulesBuilder};
+use crate::error::RulesError;
+use hc_rtl::{BinaryOp, Module, NodeId, UnaryOp};
+use std::collections::HashSet;
+
+/// The register write-set of a rule (dynamic vector writes count as
+/// writing every element — the conservative BSC-style analysis).
+fn write_set(b: &RulesBuilder, actions: &[Action]) -> HashSet<usize> {
+    let mut set = HashSet::new();
+    for a in actions {
+        match a {
+            Action::Write(r, _) | Action::WriteIf(_, r, _) => {
+                set.insert(r.0);
+            }
+            Action::WriteIdx(v, _, _) => {
+                for r in &b.vecs[v.0].regs {
+                    set.insert(r.0);
+                }
+            }
+        }
+    }
+    set
+}
+
+/// Schedules and emits. See [`RulesBuilder::compile`].
+pub(crate) fn compile(mut b: RulesBuilder) -> Result<Module, RulesError> {
+    // Apply an urgency override (a permutation of declaration order).
+    if let Some(order) = b.urgency.take() {
+        assert_eq!(order.len(), b.rules.len(), "urgency permutation length");
+        let mut taken: Vec<Option<crate::builder::RuleDef>> =
+            b.rules.drain(..).map(Some).collect();
+        b.rules = order
+            .iter()
+            .map(|&i| taken[i].take().expect("valid permutation"))
+            .collect();
+    }
+
+    // Conflict matrix.
+    let writes: Vec<HashSet<usize>> = b
+        .rules
+        .iter()
+        .map(|r| write_set(&b, &r.actions))
+        .collect();
+    let n = b.rules.len();
+    let conflict = |i: usize, j: usize| !writes[i].is_disjoint(&writes[j]);
+
+    // will_fire[i] = guard[i] && !(any earlier conflicting rule fires).
+    let mut will_fire: Vec<NodeId> = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut fire = b.rules[i].guard;
+        for j in 0..i {
+            if conflict(i, j) {
+                let blocked = b.m.unary(UnaryOp::Not, will_fire[j]);
+                fire = b.m.binary(BinaryOp::And, fire, blocked, 1);
+            }
+        }
+        b.m.name_node(fire, format!("WILL_FIRE_{}", b.rules[i].name));
+        will_fire.push(fire);
+    }
+
+    // Per-register next-value network.
+    for (ri, info) in b.regs.iter().enumerate() {
+        let mut next = info.q; // hold by default
+        let mut any_en: Option<NodeId> = None;
+        for (rule_idx, rule) in b.rules.iter().enumerate() {
+            let wf = will_fire[rule_idx];
+            for action in &rule.actions {
+                let (cond, value) = match action {
+                    Action::Write(r, v) if r.0 == ri => (wf, v.0),
+                    Action::WriteIf(c, r, v) if r.0 == ri => {
+                        (b.m.binary(BinaryOp::And, wf, c.0, 1), v.0)
+                    }
+                    Action::WriteIdx(vec, idx, v) => {
+                        match b.vecs[vec.0].regs.iter().position(|&h| h.0 == ri) {
+                            Some(elem) => {
+                                let this = b.m.const_u(b.m.width(idx.0), elem as u64);
+                                let here = b.m.binary(BinaryOp::Eq, idx.0, this, 1);
+                                (b.m.binary(BinaryOp::And, wf, here, 1), v.0)
+                            }
+                            None => continue,
+                        }
+                    }
+                    _ => continue,
+                };
+                let fitted = fit(&mut b.m, value, info.width).map_err(|w| {
+                    RulesError::new(format!(
+                        "rule {:?} writes {w} bits into a {}-bit register",
+                        rule.name, info.width
+                    ))
+                })?;
+                next = b.m.mux(cond, fitted, next);
+                any_en = Some(match any_en {
+                    None => cond,
+                    Some(e) => b.m.binary(BinaryOp::Or, e, cond, 1),
+                });
+            }
+        }
+        if let Some(en) = any_en {
+            b.m.connect_reg(info.id, next);
+            b.m.reg_en(info.id, en);
+        } else {
+            // Never written: constant register.
+            b.m.connect_reg(info.id, info.q);
+        }
+        if let Some(rst) = b.reset {
+            b.m.reg_reset(info.id, rst);
+        }
+    }
+
+    b.m.validate()
+        .map_err(|e| RulesError::new(e.to_string()))?;
+    Ok(b.m)
+}
+
+fn fit(m: &mut Module, node: NodeId, width: u32) -> Result<NodeId, u32> {
+    let w = m.width(node);
+    Ok(if w == width {
+        node
+    } else if w < width {
+        m.sext(node, width)
+    } else {
+        m.slice(node, 0, width)
+    })
+}
+
+/// Exposes the conflict relation for tests and reports.
+pub fn conflicts(b: &RulesBuilder) -> Vec<(String, String)> {
+    let writes: Vec<HashSet<usize>> = b
+        .rules
+        .iter()
+        .map(|r| write_set(b, &r.actions))
+        .collect();
+    let mut out = Vec::new();
+    for i in 0..b.rules.len() {
+        for j in i + 1..b.rules.len() {
+            if !writes[i].is_disjoint(&writes[j]) {
+                out.push((b.rules[i].name.clone(), b.rules[j].name.clone()));
+            }
+        }
+    }
+    out
+}
+
+/// Identifies the registers two rules fight over (diagnostics).
+pub fn shared_writes(b: &RulesBuilder, i: usize, j: usize) -> Vec<RegHandle> {
+    let wi = write_set(b, &b.rules[i].actions);
+    let wj = write_set(b, &b.rules[j].actions);
+    wi.intersection(&wj).map(|&r| RegHandle(r)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Action, RulesBuilder};
+    use hc_sim::Simulator;
+
+    #[test]
+    fn non_conflicting_rules_fire_together() {
+        let mut b = RulesBuilder::new("t");
+        let a = b.reg("a", 4, 0);
+        let c = b.reg("c", 4, 0);
+        let qa = b.read(a);
+        let qc = b.read(c);
+        let one = b.lit(4, 1);
+        let t = b.lit_u(1, 1);
+        let na = b.add(qa, one);
+        let nc = b.add(qc, one);
+        b.rule("bump_a", t, vec![Action::Write(a, na)]);
+        b.rule("bump_c", t, vec![Action::Write(c, nc)]);
+        b.output("a", qa);
+        b.output("c", qc);
+        let m = b.compile().unwrap();
+        let mut sim = Simulator::new(m).unwrap();
+        sim.run(3);
+        assert_eq!(sim.get("a").to_u64(), 3);
+        assert_eq!(sim.get("c").to_u64(), 3);
+    }
+
+    #[test]
+    fn urgency_blocks_the_later_conflicting_rule() {
+        let mut b = RulesBuilder::new("t");
+        let r = b.reg("r", 8, 0);
+        let q = b.read(r);
+        let t = b.lit_u(1, 1);
+        let ten = b.lit(8, 10);
+        let one = b.lit(8, 1);
+        let inc = b.add(q, one);
+        // Both always ready; both write r; the first one wins every cycle.
+        b.rule("set_ten", t, vec![Action::Write(r, ten)]);
+        b.rule("increment", t, vec![Action::Write(r, inc)]);
+        b.output("r", q);
+        let m = b.compile().unwrap();
+        let mut sim = Simulator::new(m).unwrap();
+        sim.run(2);
+        assert_eq!(sim.get("r").to_u64(), 10);
+    }
+
+    #[test]
+    fn guard_gates_firing() {
+        let mut b = RulesBuilder::new("t");
+        let en = b.input("en", 1);
+        let r = b.reg("r", 4, 0);
+        let q = b.read(r);
+        let one = b.lit(4, 1);
+        let next = b.add(q, one);
+        b.rule("count", en, vec![Action::Write(r, next)]);
+        b.output("r", q);
+        let m = b.compile().unwrap();
+        let mut sim = Simulator::new(m).unwrap();
+        sim.set_u64("en", 0);
+        sim.run(2);
+        assert_eq!(sim.get("r").to_u64(), 0);
+        sim.set_u64("en", 1);
+        sim.run(2);
+        assert_eq!(sim.get("r").to_u64(), 2);
+    }
+
+    #[test]
+    fn dynamic_vector_write_and_read() {
+        let mut b = RulesBuilder::new("t");
+        let idx = b.input("idx", 2);
+        let val = b.input("val", 8);
+        let we = b.input("we", 1);
+        let v = b.reg_vec("mem", 4, 8);
+        b.rule("write", we, vec![Action::WriteIdx(v, idx, val)]);
+        let out = b.read_idx(v, idx);
+        b.output("out", out);
+        let m = b.compile().unwrap();
+        let mut sim = Simulator::new(m).unwrap();
+        sim.set_u64("idx", 2);
+        sim.set_u64("val", 0x5a);
+        sim.set_u64("we", 1);
+        sim.step();
+        sim.set_u64("we", 0);
+        assert_eq!(sim.get("out").to_u64(), 0x5a);
+        sim.set_u64("idx", 1);
+        assert_eq!(sim.get("out").to_u64(), 0);
+    }
+
+    #[test]
+    fn conflict_report_names_the_rules() {
+        let mut b = RulesBuilder::new("t");
+        let r = b.reg("r", 4, 0);
+        let q = b.read(r);
+        let t = b.lit_u(1, 1);
+        b.rule("w1", t, vec![Action::Write(r, q)]);
+        b.rule("w2", t, vec![Action::Write(r, q)]);
+        let cs = conflicts(&b);
+        assert_eq!(cs, vec![("w1".to_owned(), "w2".to_owned())]);
+        assert_eq!(shared_writes(&b, 0, 1), vec![crate::RegHandle(0)]);
+    }
+
+    #[test]
+    fn write_if_is_conditional_but_still_conflicts() {
+        let mut b = RulesBuilder::new("t");
+        let c = b.input("c", 1);
+        let r = b.reg("r", 4, 0);
+        let q = b.read(r);
+        let t = b.lit_u(1, 1);
+        let five = b.lit(4, 5);
+        b.rule("maybe", t, vec![Action::WriteIf(c, r, five)]);
+        b.output("r", q);
+        let m = b.compile().unwrap();
+        let mut sim = Simulator::new(m).unwrap();
+        sim.set_u64("c", 0);
+        sim.step();
+        assert_eq!(sim.get("r").to_u64(), 0);
+        sim.set_u64("c", 1);
+        sim.step();
+        assert_eq!(sim.get("r").to_u64(), 5);
+    }
+}

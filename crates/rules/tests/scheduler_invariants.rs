@@ -1,0 +1,149 @@
+//! Dynamic scheduler invariants, checked by probing the generated
+//! `WILL_FIRE_*` signals over many cycles:
+//!
+//! 1. **Safety** — two conflicting rules never fire in the same cycle.
+//! 2. **Maximality** — a ready rule fires unless a more urgent conflicting
+//!    rule fired (the schedule never leaves easy work on the table).
+//! 3. **Guard honesty** — a rule never fires when its guard is false.
+
+use hc_rules::{Action, RulesBuilder};
+use hc_sim::Simulator;
+
+/// Builds a little three-counter system with a known conflict structure:
+/// `drain` and `fill` both write `level` (conflict); `tick` is independent.
+fn system() -> (hc_rtl::Module, Vec<(&'static str, &'static str)>) {
+    let mut b = RulesBuilder::new("inv");
+    let fill_req = b.input("fill_req", 1);
+    let drain_req = b.input("drain_req", 1);
+    let level = b.reg("level", 4, 0);
+    let ticks = b.reg("ticks", 8, 0);
+    let q = b.read(level);
+    let tq = b.read(ticks);
+    let one4 = b.lit_u(4, 1);
+    let one8 = b.lit_u(8, 1);
+    let full = {
+        let f = b.lit_u(4, 15);
+        b.eq(q, f)
+    };
+    let empty = {
+        let z = b.lit_u(4, 0);
+        b.eq(q, z)
+    };
+    let can_fill = {
+        let nf = b.not(full);
+        b.and(fill_req, nf)
+    };
+    let can_drain = {
+        let ne = b.not(empty);
+        b.and(drain_req, ne)
+    };
+    let up = b.add(q, one4);
+    let down = b.sub(q, one4);
+    let t_up = b.add(tq, one8);
+    let tt = b.lit_u(1, 1);
+    // Urgency: drain beats fill.
+    b.rule("drain", can_drain, vec![Action::Write(level, down)]);
+    b.rule("fill", can_fill, vec![Action::Write(level, up)]);
+    b.rule("tick", tt, vec![Action::Write(ticks, t_up)]);
+    b.output("level", q);
+    b.output("ticks", tq);
+    // Export the guards so the test can check maximality.
+    b.output("g_drain", can_drain);
+    b.output("g_fill", can_fill);
+    let m = b.compile().expect("compiles");
+    (m, vec![("drain", "fill")])
+}
+
+fn will_fire_node(m: &hc_rtl::Module, rule: &str) -> hc_rtl::NodeId {
+    let target = format!("WILL_FIRE_{rule}");
+    m.nodes()
+        .iter()
+        .position(|nd| nd.name.as_deref() == Some(&target))
+        .map(hc_rtl::NodeId::from_index)
+        .unwrap_or_else(|| panic!("no node named {target}"))
+}
+
+#[test]
+fn firing_is_safe_maximal_and_guarded() {
+    let (m, conflicts) = system();
+    let wf_drain = will_fire_node(&m, "drain");
+    let wf_fill = will_fire_node(&m, "fill");
+    let wf_tick = will_fire_node(&m, "tick");
+    let mut sim = Simulator::new(m).unwrap();
+
+    let mut fired_tick = 0u64;
+    for cycle in 0..200u64 {
+        // Pseudo-random request pattern.
+        let fill = (cycle * 7 + 3) % 5 < 3;
+        let drain = (cycle * 11 + 1) % 7 < 3;
+        sim.set_u64("fill_req", fill as u64);
+        sim.set_u64("drain_req", drain as u64);
+
+        let f_drain = sim.probe(wf_drain).to_bool();
+        let f_fill = sim.probe(wf_fill).to_bool();
+        let f_tick = sim.probe(wf_tick).to_bool();
+        let g_drain = sim.get("g_drain").to_bool();
+        let g_fill = sim.get("g_fill").to_bool();
+
+        // 1. Safety on the declared conflict.
+        assert!(
+            !(f_drain && f_fill),
+            "cycle {cycle}: conflicting rules fired together ({conflicts:?})"
+        );
+        // 2. Guard honesty.
+        assert!(!f_drain || g_drain, "cycle {cycle}: drain fired without guard");
+        assert!(!f_fill || g_fill, "cycle {cycle}: fill fired without guard");
+        // 3. Maximality: drain fires whenever ready (highest urgency);
+        //    fill fires when ready and drain does not; tick always fires.
+        assert_eq!(f_drain, g_drain, "cycle {cycle}: ready drain must fire");
+        assert_eq!(
+            f_fill,
+            g_fill && !f_drain,
+            "cycle {cycle}: fill fires iff ready and unblocked"
+        );
+        assert!(f_tick, "cycle {cycle}: independent rule always fires");
+        fired_tick += u64::from(f_tick);
+        sim.step();
+    }
+    // tick fired every cycle; the tick counter (8-bit) agrees.
+    assert_eq!(fired_tick, 200);
+    assert_eq!(sim.get("ticks").to_u64(), 200 % 256);
+}
+
+#[test]
+fn one_rule_at_a_time_equivalence() {
+    // Executing the fired rules *sequentially* in urgency order from the
+    // pre-cycle state must give the same next state as the generated
+    // hardware — the BSV semantic guarantee. For this system the
+    // sequential model is simple enough to hand-roll.
+    let (m, _) = system();
+    let wf_drain = will_fire_node(&m, "drain");
+    let wf_fill = will_fire_node(&m, "fill");
+    let mut sim = Simulator::new(m).unwrap();
+
+    let mut model_level: i64 = 0;
+    for cycle in 0..300u64 {
+        let fill = (cycle * 13 + 2) % 6 < 4;
+        let drain = (cycle * 5 + 1) % 9 < 4;
+        sim.set_u64("fill_req", fill as u64);
+        sim.set_u64("drain_req", drain as u64);
+
+        assert_eq!(
+            sim.get("level").to_u64() as i64,
+            model_level,
+            "cycle {cycle}: hardware diverged from one-rule-at-a-time model"
+        );
+
+        // Reference: apply fired rules sequentially (they are conflict-
+        // free, so any order gives the same result; use urgency order).
+        let f_drain = sim.probe(wf_drain).to_bool();
+        let f_fill = sim.probe(wf_fill).to_bool();
+        if f_drain {
+            model_level -= 1;
+        }
+        if f_fill {
+            model_level += 1;
+        }
+        sim.step();
+    }
+}

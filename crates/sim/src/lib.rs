@@ -1,0 +1,38 @@
+//! Cycle-accurate simulation of `hc-rtl` modules.
+//!
+//! Because frontends only ever append nodes that reference earlier nodes,
+//! a module's node list is already levelized: a single forward sweep
+//! evaluates all combinational logic, and a clock step then commits
+//! registers and memory writes. This is the engine used to verify every
+//! IDCT implementation against the reference and to *measure* the paper's
+//! latency (`T_L`) and periodicity (`T_P`) figures by driving the
+//! AXI-Stream wrappers.
+//!
+//! # Examples
+//!
+//! ```
+//! use hc_rtl::{Module, BinaryOp};
+//! use hc_sim::Simulator;
+//! use hc_bits::Bits;
+//!
+//! let mut m = Module::new("counter");
+//! let r = m.reg("count", 8, Bits::zero(8));
+//! let q = m.reg_out(r);
+//! let one = m.const_u(8, 1);
+//! let next = m.binary(BinaryOp::Add, q, one, 8);
+//! m.connect_reg(r, next);
+//! m.output("count", q);
+//!
+//! let mut sim = Simulator::new(m)?;
+//! for _ in 0..5 {
+//!     sim.step();
+//! }
+//! assert_eq!(sim.get("count").to_u64(), 5);
+//! # Ok::<(), hc_rtl::ValidateError>(())
+//! ```
+
+mod simulator;
+mod vcd;
+
+pub use simulator::Simulator;
+pub use vcd::VcdWriter;

@@ -1,0 +1,359 @@
+//! The levelized simulator core.
+
+use hc_bits::Bits;
+use hc_rtl::passes::eval::eval_pure;
+use hc_rtl::{Module, Node, ValidateError};
+
+/// A cycle-accurate simulator for one [`Module`].
+///
+/// Drive it with [`set`](Simulator::set), read outputs with
+/// [`get`](Simulator::get) after [`eval`](Simulator::eval), and advance the
+/// clock with [`step`](Simulator::step). See the
+/// [crate-level example](crate).
+#[derive(Debug)]
+pub struct Simulator {
+    module: Module,
+    values: Vec<Bits>,
+    regs: Vec<Bits>,
+    mems: Vec<Vec<Bits>>,
+    inputs: Vec<Bits>,
+    evaluated: bool,
+    cycle: u64,
+}
+
+impl Simulator {
+    /// Validates the module and prepares simulation state (registers hold
+    /// their `init` values, memories are zeroed).
+    ///
+    /// # Errors
+    ///
+    /// Returns the module's [`ValidateError`] if it is structurally invalid.
+    pub fn new(module: Module) -> Result<Self, ValidateError> {
+        module.validate()?;
+        let regs = module.regs().iter().map(|r| r.init.clone()).collect();
+        let mems = module
+            .mems()
+            .iter()
+            .map(|m| vec![Bits::zero(m.width); m.depth as usize])
+            .collect();
+        let inputs = module
+            .inputs()
+            .iter()
+            .map(|p| Bits::zero(p.width))
+            .collect();
+        let values = module
+            .nodes()
+            .iter()
+            .map(|nd| Bits::zero(nd.width))
+            .collect();
+        Ok(Simulator {
+            module,
+            values,
+            regs,
+            mems,
+            inputs,
+            evaluated: false,
+            cycle: 0,
+        })
+    }
+
+    /// The simulated module.
+    pub fn module(&self) -> &Module {
+        &self.module
+    }
+
+    /// Number of completed clock cycles.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Drives an input port.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no input named `name` exists or the width differs.
+    pub fn set(&mut self, name: &str, value: Bits) {
+        let port = self
+            .module
+            .input_named(name)
+            .unwrap_or_else(|| panic!("no input named {name:?}"));
+        assert_eq!(port.width, value.width(), "input {name:?} width");
+        let idx = match self.module.node(port.node).node {
+            Node::Input(i) => i,
+            _ => unreachable!("input port node kind"),
+        };
+        self.inputs[idx] = value;
+        self.evaluated = false;
+    }
+
+    /// Drives an input port from a `u64` (truncated to the port width).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no input named `name` exists.
+    pub fn set_u64(&mut self, name: &str, value: u64) {
+        let width = self
+            .module
+            .input_named(name)
+            .unwrap_or_else(|| panic!("no input named {name:?}"))
+            .width;
+        self.set(name, Bits::from_u64(width, value));
+    }
+
+    /// Settles combinational logic for the current input/register state.
+    /// Called implicitly by [`get`](Simulator::get) and
+    /// [`step`](Simulator::step) when needed.
+    pub fn eval(&mut self) {
+        if self.evaluated {
+            return;
+        }
+        for i in 0..self.module.nodes().len() {
+            let nd = &self.module.nodes()[i];
+            let value = match &nd.node {
+                Node::Input(idx) => self.inputs[*idx].clone(),
+                Node::RegOut(r) => self.regs[r.index()].clone(),
+                Node::MemRead { mem, addr } => {
+                    let depth = self.module.mems()[mem.index()].depth as u64;
+                    let a = (self.values[addr.index()].to_u64() % depth) as usize;
+                    self.mems[mem.index()][a].clone()
+                }
+                pure => {
+                    let mut args = Vec::with_capacity(3);
+                    pure.for_each_operand(|op| args.push(self.values[op.index()].clone()));
+                    eval_pure(pure, nd.width, &args).expect("pure node")
+                }
+            };
+            self.values[i] = value;
+        }
+        self.evaluated = true;
+    }
+
+    /// Reads an output port (evaluating first if necessary).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no output named `name` exists.
+    pub fn get(&mut self, name: &str) -> Bits {
+        self.eval();
+        let out = self
+            .module
+            .output_named(name)
+            .unwrap_or_else(|| panic!("no output named {name:?}"));
+        self.values[out.node.index()].clone()
+    }
+
+    /// Reads back the value currently driving an input port.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no input named `name` exists.
+    pub fn input_value(&self, name: &str) -> Bits {
+        let port = self
+            .module
+            .input_named(name)
+            .unwrap_or_else(|| panic!("no input named {name:?}"));
+        let idx = match self.module.node(port.node).node {
+            Node::Input(i) => i,
+            _ => unreachable!("input port node kind"),
+        };
+        self.inputs[idx].clone()
+    }
+
+    /// Reads the settled value of an arbitrary node (for probing).
+    pub fn probe(&mut self, node: hc_rtl::NodeId) -> Bits {
+        self.eval();
+        self.values[node.index()].clone()
+    }
+
+    /// Reads a register's current value by name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no register named `name` exists.
+    pub fn peek_reg(&self, name: &str) -> Bits {
+        let idx = self
+            .module
+            .regs()
+            .iter()
+            .position(|r| r.name == name)
+            .unwrap_or_else(|| panic!("no register named {name:?}"));
+        self.regs[idx].clone()
+    }
+
+    /// Advances one clock cycle: settles combinational logic, then commits
+    /// register next-values and memory writes simultaneously.
+    pub fn step(&mut self) {
+        self.eval();
+        let mut new_regs = self.regs.clone();
+        for (i, reg) in self.module.regs().iter().enumerate() {
+            let reset = reg
+                .reset
+                .map(|r| self.values[r.index()].to_bool())
+                .unwrap_or(false);
+            if reset {
+                new_regs[i] = reg.init.clone();
+                continue;
+            }
+            let enabled = reg
+                .en
+                .map(|e| self.values[e.index()].to_bool())
+                .unwrap_or(true);
+            if enabled {
+                new_regs[i] = self.values[reg.next.expect("validated").index()].clone();
+            }
+        }
+        for (mi, mem) in self.module.mems().iter().enumerate() {
+            for w in &mem.writes {
+                if self.values[w.en.index()].to_bool() {
+                    let a = (self.values[w.addr.index()].to_u64() % mem.depth as u64) as usize;
+                    self.mems[mi][a] = self.values[w.data.index()].clone();
+                }
+            }
+        }
+        self.regs = new_regs;
+        self.evaluated = false;
+        self.cycle += 1;
+    }
+
+    /// Runs `n` clock cycles with the current inputs held.
+    pub fn run(&mut self, n: u64) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+
+    /// Resets all registers to their init values and clears memories and the
+    /// cycle counter (a hard power-on reset, independent of any reset port).
+    pub fn reset(&mut self) {
+        for (v, r) in self.regs.iter_mut().zip(self.module.regs()) {
+            *v = r.init.clone();
+        }
+        for (mem, m) in self.mems.iter_mut().zip(self.module.mems()) {
+            for w in mem.iter_mut() {
+                *w = Bits::zero(m.width);
+            }
+        }
+        self.cycle = 0;
+        self.evaluated = false;
+    }
+
+    pub(crate) fn value_of(&self, node: hc_rtl::NodeId) -> &Bits {
+        &self.values[node.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hc_rtl::BinaryOp;
+
+    fn counter(width: u32) -> Module {
+        let mut m = Module::new("counter");
+        let en = m.input("en", 1);
+        let rst = m.input("rst", 1);
+        let r = m.reg("count", width, Bits::zero(width));
+        let q = m.reg_out(r);
+        let one = m.const_u(width, 1);
+        let next = m.binary(BinaryOp::Add, q, one, width);
+        m.connect_reg(r, next);
+        m.reg_en(r, en);
+        m.reg_reset(r, rst);
+        m.output("count", q);
+        m
+    }
+
+    #[test]
+    fn counter_counts_when_enabled() {
+        let mut sim = Simulator::new(counter(8)).unwrap();
+        sim.set_u64("en", 1);
+        sim.set_u64("rst", 0);
+        sim.run(10);
+        assert_eq!(sim.get("count").to_u64(), 10);
+        sim.set_u64("en", 0);
+        sim.run(5);
+        assert_eq!(sim.get("count").to_u64(), 10);
+    }
+
+    #[test]
+    fn sync_reset_loads_init() {
+        let mut sim = Simulator::new(counter(8)).unwrap();
+        sim.set_u64("en", 1);
+        sim.set_u64("rst", 0);
+        sim.run(3);
+        sim.set_u64("rst", 1);
+        sim.step();
+        assert_eq!(sim.get("count").to_u64(), 0);
+    }
+
+    #[test]
+    fn counter_wraps() {
+        let mut sim = Simulator::new(counter(2)).unwrap();
+        sim.set_u64("en", 1);
+        sim.set_u64("rst", 0);
+        sim.run(5);
+        assert_eq!(sim.get("count").to_u64(), 1);
+    }
+
+    #[test]
+    fn memory_write_then_read() {
+        let mut m = Module::new("mem");
+        let addr = m.input("addr", 2);
+        let data = m.input("data", 8);
+        let we = m.input("we", 1);
+        let mem = m.mem("buf", 8, 4);
+        m.mem_write(mem, addr, data, we);
+        let q = m.mem_read(mem, addr);
+        m.output("q", q);
+        let mut sim = Simulator::new(m).unwrap();
+        sim.set_u64("addr", 2);
+        sim.set_u64("data", 0xab);
+        sim.set_u64("we", 1);
+        sim.step();
+        sim.set_u64("we", 0);
+        assert_eq!(sim.get("q").to_u64(), 0xab);
+        sim.set_u64("addr", 1);
+        assert_eq!(sim.get("q").to_u64(), 0);
+    }
+
+    #[test]
+    fn registers_commit_simultaneously() {
+        // Swap network: two registers exchanging values each cycle.
+        let mut m = Module::new("swap");
+        let r1 = m.reg("r1", 4, Bits::from_u64(4, 0xa));
+        let r2 = m.reg("r2", 4, Bits::from_u64(4, 0x5));
+        let q1 = m.reg_out(r1);
+        let q2 = m.reg_out(r2);
+        m.connect_reg(r1, q2);
+        m.connect_reg(r2, q1);
+        m.output("a", q1);
+        m.output("b", q2);
+        let mut sim = Simulator::new(m).unwrap();
+        sim.step();
+        assert_eq!(sim.get("a").to_u64(), 0x5);
+        assert_eq!(sim.get("b").to_u64(), 0xa);
+        sim.step();
+        assert_eq!(sim.get("a").to_u64(), 0xa);
+    }
+
+    #[test]
+    fn probe_and_peek() {
+        let mut sim = Simulator::new(counter(8)).unwrap();
+        sim.set_u64("en", 1);
+        sim.set_u64("rst", 0);
+        sim.run(2);
+        assert_eq!(sim.peek_reg("count").to_u64(), 2);
+        let out_node = sim.module().outputs()[0].node;
+        assert_eq!(sim.probe(out_node).to_u64(), 2);
+    }
+
+    #[test]
+    fn hard_reset_restores_power_on_state() {
+        let mut sim = Simulator::new(counter(8)).unwrap();
+        sim.set_u64("en", 1);
+        sim.set_u64("rst", 0);
+        sim.run(7);
+        sim.reset();
+        assert_eq!(sim.cycle(), 0);
+        assert_eq!(sim.get("count").to_u64(), 0);
+    }
+}

@@ -1,0 +1,285 @@
+//! Signed value-range analysis.
+//!
+//! Real synthesis narrows datapaths: a 12-bit coefficient sign-extended
+//! into a 32-bit C-style wire still only needs 13-bit adders downstream.
+//! This interval analysis computes, per node, the signed range of values
+//! it can take; the mapper and timing model then cost each operation at
+//! its *effective* width instead of its declared width — which is what
+//! lets C-like 32/40-bit IDCT descriptions synthesize to the same area a
+//! hand-narrowed RTL design would.
+
+use hc_rtl::{BinaryOp, Module, Node, NodeId, UnaryOp};
+
+/// A signed value interval (inclusive). Saturates at `Range::CAP` so wide
+/// buses cannot overflow the analysis arithmetic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Range {
+    /// Smallest possible signed value.
+    pub lo: i128,
+    /// Largest possible signed value.
+    pub hi: i128,
+}
+
+impl Range {
+    /// Saturation cap (values beyond this are treated as unbounded).
+    pub const CAP: i128 = 1 << 100;
+
+    /// The full signed range of a `width`-bit value.
+    pub fn full(width: u32) -> Self {
+        if width >= 101 {
+            return Range {
+                lo: -Self::CAP,
+                hi: Self::CAP,
+            };
+        }
+        Range {
+            lo: -(1i128 << (width - 1)),
+            hi: (1i128 << (width - 1)) - 1,
+        }
+    }
+
+    /// An exact single value.
+    pub fn exact(v: i128) -> Self {
+        Range { lo: v, hi: v }
+    }
+
+    fn clamp(self) -> Self {
+        Range {
+            lo: self.lo.clamp(-Self::CAP, Self::CAP),
+            hi: self.hi.clamp(-Self::CAP, Self::CAP),
+        }
+    }
+
+    fn add(self, rhs: Range) -> Self {
+        Range {
+            lo: self.lo.saturating_add(rhs.lo),
+            hi: self.hi.saturating_add(rhs.hi),
+        }
+        .clamp()
+    }
+
+    fn sub(self, rhs: Range) -> Self {
+        Range {
+            lo: self.lo.saturating_sub(rhs.hi),
+            hi: self.hi.saturating_sub(rhs.lo),
+        }
+        .clamp()
+    }
+
+    fn mul(self, rhs: Range) -> Self {
+        let c = [
+            self.lo.saturating_mul(rhs.lo),
+            self.lo.saturating_mul(rhs.hi),
+            self.hi.saturating_mul(rhs.lo),
+            self.hi.saturating_mul(rhs.hi),
+        ];
+        Range {
+            lo: *c.iter().min().expect("nonempty"),
+            hi: *c.iter().max().expect("nonempty"),
+        }
+        .clamp()
+    }
+
+    fn union(self, rhs: Range) -> Self {
+        Range {
+            lo: self.lo.min(rhs.lo),
+            hi: self.hi.max(rhs.hi),
+        }
+    }
+
+    fn intersect_width(self, width: u32) -> Self {
+        let full = Range::full(width);
+        Range {
+            lo: self.lo.max(full.lo),
+            hi: self.hi.min(full.hi),
+        }
+    }
+
+    /// Bits needed to represent every value of the range in two's
+    /// complement.
+    pub fn bits(self) -> u32 {
+        let need = |v: i128| -> u32 {
+            if v >= 0 {
+                128 - v.leading_zeros() + 1
+            } else {
+                128 - (-(v + 1)).leading_zeros() + 1
+            }
+        };
+        need(self.lo).max(need(self.hi)).max(1)
+    }
+}
+
+/// Computes per-node signed ranges in one forward pass (registers and
+/// memories conservatively take their full declared range).
+pub fn value_ranges(module: &Module) -> Vec<Range> {
+    let mut ranges: Vec<Range> = Vec::with_capacity(module.nodes().len());
+    for (i, nd) in module.nodes().iter().enumerate() {
+        let _ = i;
+        let w = nd.width;
+        let r = |id: NodeId| ranges[id.index()];
+        let full = Range::full(w);
+        let range = match &nd.node {
+            Node::Const(v) => {
+                if v.width() <= 100 {
+                    Range::exact(v.to_i128() as i128)
+                } else {
+                    full
+                }
+            }
+            Node::Input(_) | Node::RegOut(_) | Node::MemRead { .. } => full,
+            Node::Unary(op, a) => match op {
+                UnaryOp::Neg => Range::exact(0).sub(r(*a)).intersect_width(w),
+                UnaryOp::Not => full,
+                _ => Range { lo: 0, hi: 1 },
+            },
+            Node::Binary(op, a, b) => {
+                let (ra, rb) = (r(*a), r(*b));
+                let computed = match op {
+                    BinaryOp::Add => ra.add(rb),
+                    BinaryOp::Sub => ra.sub(rb),
+                    BinaryOp::MulS => ra.mul(rb),
+                    BinaryOp::Eq
+                    | BinaryOp::Ne
+                    | BinaryOp::LtU
+                    | BinaryOp::LtS
+                    | BinaryOp::LeU
+                    | BinaryOp::LeS => Range { lo: 0, hi: 1 },
+                    BinaryOp::Shl => match (rb.lo, rb.hi) {
+                        (lo, hi) if lo == hi && (0..100).contains(&lo) => Range {
+                            lo: ra.lo.saturating_mul(1 << lo),
+                            hi: ra.hi.saturating_mul(1 << hi),
+                        }
+                        .clamp(),
+                        _ => full,
+                    },
+                    BinaryOp::ShrA => match (rb.lo, rb.hi) {
+                        (lo, hi) if lo == hi && (0..100).contains(&lo) => Range {
+                            lo: ra.lo >> lo,
+                            hi: ra.hi >> hi,
+                        },
+                        _ => full,
+                    },
+                    _ => full,
+                };
+                // The hardware wraps to `w` bits, so a computed range wider
+                // than the node is meaningless — fall back to full.
+                if computed.lo >= Range::full(w).lo && computed.hi <= Range::full(w).hi {
+                    computed
+                } else {
+                    full
+                }
+            }
+            Node::Mux {
+                on_true, on_false, ..
+            } => r(*on_true).union(r(*on_false)).intersect_width(w),
+            Node::SExt(a) => {
+                let ra = r(*a);
+                if module.width(*a) <= w {
+                    ra
+                } else {
+                    full
+                }
+            }
+            Node::ZExt(a) => {
+                let ra = r(*a);
+                if module.width(*a) <= w && ra.lo >= 0 {
+                    ra
+                } else {
+                    full
+                }
+            }
+            Node::Concat(..) | Node::Slice { .. } => full,
+        };
+        ranges.push(range.intersect_width(w));
+    }
+    ranges
+}
+
+/// Effective (narrowed) width of each node: the bits its value range
+/// actually needs, capped by the declared width.
+pub fn effective_widths(module: &Module) -> Vec<u32> {
+    value_ranges(module)
+        .iter()
+        .zip(module.nodes())
+        .map(|(r, nd)| r.bits().min(nd.width))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hc_rtl::Module;
+
+    #[test]
+    fn bits_of_ranges() {
+        assert_eq!(Range::exact(0).bits(), 1);
+        assert_eq!(Range::exact(-1).bits(), 1);
+        assert_eq!(Range { lo: -2048, hi: 2047 }.bits(), 12);
+        assert_eq!(Range { lo: 0, hi: 255 }.bits(), 9); // signed needs the 0 bit
+        assert_eq!(Range { lo: -1, hi: 1 }.bits(), 2);
+    }
+
+    #[test]
+    fn sext_chain_stays_narrow() {
+        // A 12-bit input sign-extended to 32 bits, then added: effective
+        // width 13, not 32.
+        let mut m = Module::new("t");
+        let a = m.input("a", 12);
+        let b = m.input("b", 12);
+        let aw = m.sext(a, 32);
+        let bw = m.sext(b, 32);
+        let s = m.binary(BinaryOp::Add, aw, bw, 32);
+        m.output("y", s);
+        let eff = effective_widths(&m);
+        assert_eq!(eff[s.index()], 13);
+        assert_eq!(eff[aw.index()], 12);
+    }
+
+    #[test]
+    fn constant_multiplier_range() {
+        let mut m = Module::new("t");
+        let a = m.input("a", 12);
+        let aw = m.sext(a, 32);
+        let k = m.const_i(32, 2841);
+        let p = m.binary(BinaryOp::MulS, aw, k, 32);
+        m.output("y", p);
+        let eff = effective_widths(&m);
+        // |2047 * 2841| < 2^23 -> 24 signed bits.
+        assert_eq!(eff[p.index()], 24);
+    }
+
+    #[test]
+    fn wrapping_add_falls_back_to_full() {
+        let mut m = Module::new("t");
+        let a = m.input("a", 8);
+        let b = m.input("b", 8);
+        let s = m.binary(BinaryOp::Add, a, b, 8); // may wrap
+        m.output("y", s);
+        let eff = effective_widths(&m);
+        assert_eq!(eff[s.index()], 8);
+    }
+
+    #[test]
+    fn const_shift_scales_range() {
+        let mut m = Module::new("t");
+        let a = m.input("a", 12);
+        let aw = m.sext(a, 32);
+        let amt = m.const_u(5, 11);
+        let sh = m.binary(BinaryOp::Shl, aw, amt, 32);
+        m.output("y", sh);
+        let eff = effective_widths(&m);
+        assert_eq!(eff[sh.index()], 23);
+    }
+
+    #[test]
+    fn mux_unions_arms() {
+        let mut m = Module::new("t");
+        let s = m.input("s", 1);
+        let a = m.const_i(16, -100);
+        let b = m.const_i(16, 7);
+        let y = m.mux(s, a, b);
+        m.output("y", y);
+        let r = value_ranges(&m);
+        assert_eq!(r[y.index()], Range { lo: -100, hi: 7 });
+    }
+}

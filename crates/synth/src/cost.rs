@@ -1,0 +1,336 @@
+//! Per-node primitive costing: LUTs, DSPs, BRAMs and logic delay.
+
+use crate::Device;
+use hc_bits::Bits;
+use hc_rtl::{BinaryOp, Module, Node, NodeId, UnaryOp};
+
+/// Effective width of a node: its range-analysis width capped by the
+/// declared width (see [`crate::analysis`]).
+pub(crate) struct EffWidths<'a>(pub &'a [u32]);
+
+impl EffWidths<'_> {
+    fn of(&self, id: NodeId) -> u32 {
+        self.0[id.index()]
+    }
+}
+
+/// Mapped cost of one node.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub(crate) struct NodeCost {
+    pub luts: u64,
+    pub dsps: u64,
+    pub brams: u64,
+    /// Logic + local routing delay contributed by this node, ns.
+    pub delay: f64,
+}
+
+impl NodeCost {
+    fn wiring() -> Self {
+        NodeCost::default()
+    }
+
+    fn logic(luts: u64, delay: f64) -> Self {
+        NodeCost {
+            luts,
+            delay,
+            ..NodeCost::default()
+        }
+    }
+}
+
+/// Number of nonzero digits in the canonical signed-digit (NAF) form of
+/// `v` — the number of partial products a constant-coefficient multiplier
+/// needs.
+pub(crate) fn csd_digits(v: u64) -> u32 {
+    let mut v = v as i128;
+    let mut count = 0;
+    while v != 0 {
+        if v & 1 == 1 {
+            let z = 2 - (v & 3); // +1 or -1 digit
+            count += 1;
+            v -= z;
+        }
+        v /= 2;
+    }
+    count
+}
+
+fn const_value(module: &Module, id: NodeId) -> Option<&Bits> {
+    match &module.node(id).node {
+        Node::Const(v) => Some(v),
+        _ => None,
+    }
+}
+
+fn adder_delay(dev: &Device, width: u32) -> f64 {
+    dev.lut_delay + dev.carry_base + f64::from(width) * dev.carry_per_bit + dev.net_delay
+}
+
+fn lut_level(dev: &Device) -> f64 {
+    dev.lut_delay + dev.net_delay
+}
+
+/// Costs a multiplier node, either on DSP blocks (`use_dsp`) or in LUT
+/// fabric. Constant coefficients become CSD shift-add networks in fabric.
+pub(crate) fn mul_cost(
+    module: &Module,
+    id: NodeId,
+    dev: &Device,
+    use_dsp: bool,
+    eff: &EffWidths<'_>,
+) -> NodeCost {
+    let nd = module.node(id);
+    let (a, b) = match nd.node {
+        Node::Binary(op, a, b) if op.is_mul() => (a, b),
+        _ => unreachable!("mul_cost on non-multiplier"),
+    };
+    let (wa, wb) = (eff.of(a), eff.of(b));
+    let out_w = eff.of(id);
+
+    // Constant-coefficient special case.
+    let coeff = const_value(module, a)
+        .or_else(|| const_value(module, b))
+        .map(|v| v.to_u64());
+    if let Some(c) = coeff {
+        let digits = csd_digits(c);
+        if digits <= 1 {
+            // Power of two (or zero): pure wiring.
+            return NodeCost::wiring();
+        }
+        if use_dsp {
+            return NodeCost {
+                dsps: 1,
+                delay: dev.dsp_delay + dev.net_delay,
+                ..NodeCost::default()
+            };
+        }
+        // Shift-add tree: digits-1 adders of the output width, log2(digits)
+        // adder levels deep. Synthesis shares partial products between the
+        // many coefficients of one kernel (factor 0.8).
+        let adders = u64::from(digits) - 1;
+        let levels = (f64::from(digits)).log2().ceil().max(1.0);
+        return NodeCost::logic(
+            (adders * u64::from(out_w)) * 4 / 5,
+            levels * adder_delay(dev, out_w),
+        );
+    }
+
+    if use_dsp {
+        let blocks_a = wa.div_ceil(dev.dsp_a_width);
+        let blocks_b = wb.div_ceil(dev.dsp_b_width);
+        let blocks = u64::from(blocks_a) * u64::from(blocks_b);
+        let cascade = (blocks as f64 - 1.0).max(0.0) * 0.8;
+        return NodeCost {
+            dsps: blocks,
+            delay: dev.dsp_delay + cascade + dev.net_delay,
+            ..NodeCost::default()
+        };
+    }
+
+    // Fabric multiplier: roughly one LUT per partial-product bit, and a
+    // deep array of carry chains — slower than a CSD shift-add network.
+    let luts = u64::from(wa) * u64::from(wb);
+    let delay = dev.lut_delay
+        + dev.carry_base
+        + f64::from(wa + wb) * 4.0 * dev.carry_per_bit
+        + 4.0 * lut_level(dev);
+    NodeCost::logic(luts, delay)
+}
+
+/// Costs every node kind except multipliers (those go through
+/// [`mul_cost`] after DSP binding).
+pub(crate) fn base_cost(
+    module: &Module,
+    id: NodeId,
+    dev: &Device,
+    eff: &EffWidths<'_>,
+) -> NodeCost {
+    let nd = module.node(id);
+    let w = eff.of(id);
+    match &nd.node {
+        Node::Const(_)
+        | Node::Input(_)
+        | Node::RegOut(_)
+        | Node::Concat(..)
+        | Node::Slice { .. }
+        | Node::ZExt(_)
+        | Node::SExt(_) => NodeCost::wiring(),
+        Node::Unary(op, a) => match op {
+            // Inversion is absorbed into downstream LUT truth tables.
+            UnaryOp::Not => NodeCost::wiring(),
+            UnaryOp::Neg => NodeCost::logic(u64::from(w), adder_delay(dev, w)),
+            UnaryOp::ReduceOr | UnaryOp::ReduceAnd | UnaryOp::ReduceXor => {
+                let inputs = eff.of(*a);
+                let luts = u64::from(inputs.div_ceil(6)).max(1);
+                let levels = (f64::from(inputs).ln() / 6f64.ln()).ceil().max(1.0);
+                NodeCost::logic(luts, levels * lut_level(dev))
+            }
+        },
+        Node::Binary(op, a, b) => match op {
+            BinaryOp::Add | BinaryOp::Sub => {
+                NodeCost::logic(u64::from(w), adder_delay(dev, w))
+            }
+            BinaryOp::MulS | BinaryOp::MulU => unreachable!("handled by mul_cost"),
+            BinaryOp::DivU | BinaryOp::RemU => {
+                // Restoring divider array: width stages of subtract-mux.
+                let luts = 2 * u64::from(w) * u64::from(w);
+                let delay = f64::from(w) * (dev.carry_base + f64::from(w) * dev.carry_per_bit);
+                NodeCost::logic(luts, delay)
+            }
+            BinaryOp::And | BinaryOp::Or | BinaryOp::Xor => {
+                NodeCost::logic(u64::from(w.div_ceil(2)), lut_level(dev))
+            }
+            BinaryOp::Eq | BinaryOp::Ne => {
+                let inputs = eff.of(*a).max(eff.of(*b));
+                let luts = u64::from(inputs.div_ceil(3)).max(1);
+                let levels = 1.0 + (f64::from(inputs).ln() / 6f64.ln()).ceil();
+                NodeCost::logic(luts, levels * lut_level(dev))
+            }
+            BinaryOp::LtU | BinaryOp::LtS | BinaryOp::LeU | BinaryOp::LeS => {
+                let inputs = eff.of(*a).max(eff.of(*b));
+                NodeCost::logic(u64::from(inputs.div_ceil(2)).max(1), adder_delay(dev, inputs))
+            }
+            BinaryOp::Shl | BinaryOp::ShrL | BinaryOp::ShrA => {
+                if const_value(module, *b).is_some() {
+                    // Constant shift is wiring.
+                    NodeCost::wiring()
+                } else {
+                    let amt_bits = module.width(*b).min(32);
+                    let levels = u64::from(amt_bits.min(w.next_power_of_two().trailing_zeros().max(1)));
+                    NodeCost::logic(
+                        levels * u64::from(w.div_ceil(2)),
+                        levels as f64 * lut_level(dev),
+                    )
+                }
+            }
+        },
+        // Wide-function muxes pack two 2:1 levels per LUT6/F7 stage.
+        Node::Mux { .. } => NodeCost::logic(u64::from(w.div_ceil(2)), 0.5 * lut_level(dev)),
+        Node::MemRead { mem, .. } => {
+            let m = &module.mems()[mem.index()];
+            let bits = u64::from(m.width) * u64::from(m.depth);
+            let ports = m.writes.len().max(1) as u64;
+            if bits <= dev.lutram_max_bits {
+                // Distributed RAM: 32 bits per LUT, replicated per write port.
+                NodeCost {
+                    luts: u64::from(m.width) * u64::from(m.depth.div_ceil(32)) * ports,
+                    delay: dev.lutram_delay + dev.net_delay,
+                    ..NodeCost::default()
+                }
+            } else {
+                NodeCost {
+                    brams: bits.div_ceil(36_864).max(1),
+                    delay: 1.8 + dev.net_delay,
+                    ..NodeCost::default()
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::effective_widths;
+    use hc_rtl::Module;
+
+    fn eff_of(m: &Module) -> Vec<u32> {
+        effective_widths(m)
+    }
+
+    #[test]
+    fn csd_counts() {
+        assert_eq!(csd_digits(0), 0);
+        assert_eq!(csd_digits(1), 1);
+        assert_eq!(csd_digits(2), 1);
+        assert_eq!(csd_digits(7), 2); // 8 - 1
+        assert_eq!(csd_digits(181), 5); // 10110101 -> CSD
+        assert_eq!(csd_digits(2841), 6); // W1 = +2^12 -2^10 -2^8 +2^5 -2^3 +2^0
+    }
+
+    #[test]
+    fn const_mult_cheaper_than_variable() {
+        let dev = Device::xcvu9p();
+        let mut m = Module::new("t");
+        let a = m.input("a", 16);
+        let b = m.input("b", 16);
+        let k = m.const_i(13, 2841);
+        let vm = m.binary(BinaryOp::MulS, a, b, 32);
+        let km = m.binary(BinaryOp::MulS, a, k, 32);
+        m.output("v", vm);
+        m.output("k", km);
+        let table = eff_of(&m);
+        let eff = EffWidths(&table);
+        let var = mul_cost(&m, vm, &dev, false, &eff);
+        let cst = mul_cost(&m, km, &dev, false, &eff);
+        assert!(cst.luts < var.luts, "{} < {}", cst.luts, var.luts);
+        assert!(cst.delay < var.delay + 1e-9);
+    }
+
+    #[test]
+    fn power_of_two_mult_is_free() {
+        let dev = Device::xcvu9p();
+        let mut m = Module::new("t");
+        let a = m.input("a", 16);
+        let k = m.const_u(12, 2048);
+        let km = m.binary(BinaryOp::MulS, a, k, 28);
+        m.output("k", km);
+        let table = eff_of(&m);
+        assert_eq!(
+            mul_cost(&m, km, &dev, false, &EffWidths(&table)),
+            NodeCost::wiring()
+        );
+    }
+
+    #[test]
+    fn constant_shift_is_wiring_dynamic_is_not() {
+        let dev = Device::xcvu9p();
+        let mut m = Module::new("t");
+        let a = m.input("a", 32);
+        let amt = m.input("amt", 5);
+        let k = m.const_u(5, 11);
+        let s_const = m.binary(BinaryOp::ShrA, a, k, 32);
+        let s_dyn = m.binary(BinaryOp::ShrA, a, amt, 32);
+        m.output("c", s_const);
+        m.output("d", s_dyn);
+        let table = eff_of(&m);
+        let eff = EffWidths(&table);
+        assert_eq!(base_cost(&m, s_const, &dev, &eff), NodeCost::wiring());
+        let dynamic = base_cost(&m, s_dyn, &dev, &eff);
+        assert!(dynamic.luts > 0 && dynamic.delay > 0.0);
+    }
+
+    #[test]
+    fn wide_dsp_multiplier_cascades() {
+        let dev = Device::xcvu9p();
+        let mut m = Module::new("t");
+        let a = m.input("a", 32);
+        let b = m.input("b", 32);
+        let p = m.binary(BinaryOp::MulS, a, b, 64);
+        m.output("p", p);
+        let table = eff_of(&m);
+        let c = mul_cost(&m, p, &dev, true, &EffWidths(&table));
+        assert_eq!(c.dsps, 4); // ceil(32/27) * ceil(32/18)
+        assert!(c.delay > dev.dsp_delay);
+    }
+
+    #[test]
+    fn small_memory_uses_lutram_large_uses_bram() {
+        let dev = Device::xcvu9p();
+        let mut m = Module::new("t");
+        let small = m.mem("s", 16, 64); // 1024 bits
+        let large = m.mem("l", 32, 4096); // 128 kbit
+        let a1 = m.input("a1", 6);
+        let a2 = m.input("a2", 12);
+        let r1 = m.mem_read(small, a1);
+        let r2 = m.mem_read(large, a2);
+        m.output("r1", r1);
+        m.output("r2", r2);
+        let table = eff_of(&m);
+        let eff = EffWidths(&table);
+        let c1 = base_cost(&m, r1, &dev, &eff);
+        let c2 = base_cost(&m, r2, &dev, &eff);
+        assert!(c1.luts > 0 && c1.brams == 0);
+        assert!(c2.brams >= 4 && c2.luts == 0);
+    }
+}

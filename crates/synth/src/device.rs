@@ -1,0 +1,98 @@
+//! Virtual FPGA device models.
+
+/// Capacity and calibrated delay/area coefficients of a target FPGA.
+///
+/// The stock model, [`Device::xcvu9p`], mimics the Xilinx Virtex
+/// UltraScale+ XCVU9P-FLGB2104-2-E the paper synthesizes for.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Device {
+    /// Device name for reports.
+    pub name: String,
+    /// Available LUT6s.
+    pub luts: u64,
+    /// Available flip-flops.
+    pub ffs: u64,
+    /// Available DSP blocks.
+    pub dsps: u64,
+    /// Available user I/O pins.
+    pub ios: u64,
+    /// Logic delay through one LUT6, ns.
+    pub lut_delay: f64,
+    /// Average routing delay added per logic level, ns.
+    pub net_delay: f64,
+    /// Fixed part of a carry-chain (adder/comparator) delay, ns.
+    pub carry_base: f64,
+    /// Per-bit carry propagation, ns.
+    pub carry_per_bit: f64,
+    /// Combinational delay through a DSP multiplier, ns.
+    pub dsp_delay: f64,
+    /// Flip-flop clock-to-output delay, ns.
+    pub ff_clk_to_q: f64,
+    /// Flip-flop setup time, ns.
+    pub ff_setup: f64,
+    /// Distributed-RAM (LUTRAM) read delay, ns.
+    pub lutram_delay: f64,
+    /// Clock skew/jitter margin added to every path, ns.
+    pub clock_margin: f64,
+    /// Widest DSP operand pair (a, b) a single block multiplies.
+    pub dsp_a_width: u32,
+    /// See [`Device::dsp_a_width`].
+    pub dsp_b_width: u32,
+    /// LUTRAM capacity threshold in bits; deeper memories map to BRAM.
+    pub lutram_max_bits: u64,
+}
+
+impl Device {
+    /// The Virtex-UltraScale+-class model used throughout the paper
+    /// reproduction (XCVU9P: 1,182,240 LUTs, 2,364,480 FFs, 6,840 DSPs,
+    /// 702 I/Os).
+    pub fn xcvu9p() -> Self {
+        Device {
+            name: "XCVU9P-FLGB2104-2-E".to_owned(),
+            luts: 1_182_240,
+            ffs: 2_364_480,
+            dsps: 6_840,
+            ios: 702,
+            lut_delay: 0.10,
+            net_delay: 0.20,
+            carry_base: 0.10,
+            carry_per_bit: 0.005,
+            dsp_delay: 2.40,
+            ff_clk_to_q: 0.10,
+            ff_setup: 0.06,
+            lutram_delay: 0.45,
+            clock_margin: 0.10,
+            dsp_a_width: 27,
+            dsp_b_width: 18,
+            lutram_max_bits: 4096,
+        }
+    }
+}
+
+impl Default for Device {
+    fn default() -> Self {
+        Device::xcvu9p()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xcvu9p_matches_paper_capacities() {
+        let d = Device::xcvu9p();
+        assert_eq!(d.luts, 1_182_240);
+        assert_eq!(d.ffs, 2_364_480);
+        assert_eq!(d.dsps, 6_840);
+        assert_eq!(d.ios, 702);
+    }
+
+    #[test]
+    fn delays_are_positive_and_ordered() {
+        let d = Device::xcvu9p();
+        assert!(d.lut_delay > 0.0);
+        assert!(d.dsp_delay > d.lut_delay);
+        assert!(d.net_delay > d.carry_per_bit);
+    }
+}

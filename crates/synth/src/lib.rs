@@ -1,0 +1,47 @@
+//! FPGA synthesis estimation: technology mapping, area and static timing.
+//!
+//! This crate plays the role Vivado plays in the paper: it takes an
+//! `hc-rtl` [`hc_rtl::Module`], maps every node onto virtual FPGA
+//! primitives (LUT6, FF, DSP48-like multipliers, LUTRAM/BRAM), and reports
+//!
+//! * area — `N_LUT`, `N_FF`, `N_DSP`, `N_BRAM`, `N_IO`,
+//! * timing — the critical combinational path, hence `T_clk` and `ν_max`.
+//!
+//! The paper's normalized area `A = N*_LUT + N*_FF` is obtained by
+//! re-synthesizing with [`SynthOptions::max_dsp`] set to zero (the paper's
+//! `maxdsp=0`), which forces all multipliers into LUT logic.
+//!
+//! The delay/area coefficients in [`Device::xcvu9p`] are calibrated so that
+//! the *shape* of the paper's Table II (orderings, ratios, crossovers)
+//! reproduces; absolute numbers are an analytical estimate, not a
+//! place-and-route result.
+//!
+//! # Examples
+//!
+//! ```
+//! use hc_rtl::{Module, BinaryOp};
+//! use hc_synth::{synthesize, Device, SynthOptions};
+//!
+//! let mut m = Module::new("mac");
+//! let a = m.input("a", 16);
+//! let b = m.input("b", 16);
+//! let p = m.binary(BinaryOp::MulS, a, b, 32);
+//! m.output("p", p);
+//!
+//! let report = synthesize(&m, &Device::xcvu9p(), &SynthOptions::default());
+//! assert_eq!(report.area.dsp, 1);
+//! let lutted = synthesize(&m, &Device::xcvu9p(), &SynthOptions::no_dsp());
+//! assert_eq!(lutted.area.dsp, 0);
+//! assert!(lutted.area.lut > report.area.lut);
+//! ```
+
+pub mod analysis;
+mod cost;
+mod device;
+mod map;
+mod report;
+mod timing;
+
+pub use device::Device;
+pub use map::{synthesize, SynthOptions};
+pub use report::{AreaReport, SynthReport, TimingReport};

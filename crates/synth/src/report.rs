@@ -1,0 +1,121 @@
+//! Synthesis result reports.
+
+use std::fmt;
+
+/// Resource utilization of a synthesized module.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AreaReport {
+    /// Utilized LUT6s (`N_LUT`).
+    pub lut: u64,
+    /// Utilized flip-flops (`N_FF`).
+    pub ff: u64,
+    /// Utilized DSP blocks (`N_DSP`).
+    pub dsp: u64,
+    /// Utilized block RAMs.
+    pub bram: u64,
+    /// Input + output pins including clock (`N_IO`).
+    pub io: u64,
+}
+
+impl AreaReport {
+    /// The paper's normalized area `A = N_LUT + N_FF` (meaningful when
+    /// synthesized with DSP inference disabled).
+    pub fn normalized(&self) -> u64 {
+        self.lut + self.ff
+    }
+}
+
+/// Static timing summary of a synthesized module.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TimingReport {
+    /// Minimum clock period (the critical path), ns.
+    pub t_clk_ns: f64,
+    /// Worst negative slack at `t_clk_ns` — zero by construction here, kept
+    /// to mirror the paper's `ν_max = 1/(T_clk - T_wns)` formula.
+    pub wns_ns: f64,
+    /// Names of the nodes on the critical path (start to end).
+    pub critical_path: Vec<String>,
+}
+
+impl TimingReport {
+    /// Maximum clock frequency in MHz.
+    pub fn fmax_mhz(&self) -> f64 {
+        1_000.0 / (self.t_clk_ns - self.wns_ns)
+    }
+}
+
+/// Complete result of [`crate::synthesize`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SynthReport {
+    /// Module name.
+    pub module: String,
+    /// Resource utilization.
+    pub area: AreaReport,
+    /// Timing summary.
+    pub timing: TimingReport,
+}
+
+impl fmt::Display for SynthReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "synthesis report: {}", self.module)?;
+        writeln!(
+            f,
+            "  area   : {} LUT, {} FF, {} DSP, {} BRAM, {} IO",
+            self.area.lut, self.area.ff, self.area.dsp, self.area.bram, self.area.io
+        )?;
+        write!(
+            f,
+            "  timing : Tclk = {:.2} ns, fmax = {:.2} MHz",
+            self.timing.t_clk_ns,
+            self.timing.fmax_mhz()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmax_is_reciprocal_of_period() {
+        let t = TimingReport {
+            t_clk_ns: 10.0,
+            wns_ns: 0.0,
+            critical_path: vec![],
+        };
+        assert!((t.fmax_mhz() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normalized_area_sums_lut_and_ff() {
+        let a = AreaReport {
+            lut: 100,
+            ff: 50,
+            dsp: 3,
+            bram: 0,
+            io: 10,
+        };
+        assert_eq!(a.normalized(), 150);
+    }
+
+    #[test]
+    fn display_mentions_all_resources() {
+        let r = SynthReport {
+            module: "m".into(),
+            area: AreaReport {
+                lut: 1,
+                ff: 2,
+                dsp: 3,
+                bram: 4,
+                io: 5,
+            },
+            timing: TimingReport {
+                t_clk_ns: 5.0,
+                wns_ns: 0.0,
+                critical_path: vec![],
+            },
+        };
+        let s = r.to_string();
+        assert!(s.contains("1 LUT") && s.contains("200.00 MHz"), "{s}");
+    }
+}

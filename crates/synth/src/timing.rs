@@ -1,0 +1,171 @@
+//! Static timing analysis: the longest combinational path.
+
+use crate::cost::NodeCost;
+use crate::{Device, TimingReport};
+use hc_rtl::{Module, Node, NodeId};
+
+/// Computes the critical path of a mapped module.
+///
+/// Arrival times propagate through the (topologically ordered) node list:
+/// inputs start at zero, register outputs at clock-to-Q, and every node adds
+/// its mapped delay plus a fan-out penalty. Paths end at register/memory
+/// data and control pins (plus setup) and at output ports. The clock margin
+/// of the device is added once.
+pub(crate) fn critical_path(module: &Module, device: &Device, costs: &[NodeCost]) -> TimingReport {
+    let n = module.nodes().len();
+    let mut fanout = vec![0u32; n];
+    for nd in module.nodes() {
+        nd.node.for_each_operand(|op| fanout[op.index()] += 1);
+    }
+    for r in module.regs() {
+        for id in [r.next, r.en, r.reset].into_iter().flatten() {
+            fanout[id.index()] += 1;
+        }
+    }
+
+    let mut arrival = vec![0.0f64; n];
+    let mut pred: Vec<Option<NodeId>> = vec![None; n];
+    for i in 0..n {
+        let nd = &module.nodes()[i];
+        let mut best = 0.0f64;
+        let mut from = None;
+        nd.node.for_each_operand(|op| {
+            if arrival[op.index()] >= best {
+                best = arrival[op.index()];
+                from = Some(op);
+            }
+        });
+        let launch = match nd.node {
+            Node::RegOut(_) => device.ff_clk_to_q,
+            Node::Input(_) => 0.0,
+            _ => 0.0,
+        };
+        // High fan-out nets incur extra routing.
+        let fo = fanout[i];
+        let fo_penalty = if fo > 8 {
+            device.net_delay * (f64::from(fo) / 8.0).log2()
+        } else {
+            0.0
+        };
+        arrival[i] = best.max(launch) + costs[i].delay + fo_penalty;
+        pred[i] = from;
+    }
+
+    // Path endpoints.
+    let mut worst = 0.0f64;
+    let mut end: Option<NodeId> = None;
+    let consider = |id: NodeId, extra: f64, worst: &mut f64, end: &mut Option<NodeId>| {
+        let t = arrival[id.index()] + extra;
+        if t > *worst {
+            *worst = t;
+            *end = Some(id);
+        }
+    };
+    for r in module.regs() {
+        for id in [r.next, r.en, r.reset].into_iter().flatten() {
+            consider(id, device.ff_setup, &mut worst, &mut end);
+        }
+    }
+    for mem in module.mems() {
+        for w in &mem.writes {
+            for id in [w.addr, w.data, w.en] {
+                consider(id, device.ff_setup, &mut worst, &mut end);
+            }
+        }
+    }
+    for out in module.outputs() {
+        consider(out.node, 0.0, &mut worst, &mut end);
+    }
+
+    // Reconstruct the critical path for reports.
+    let mut path = Vec::new();
+    let mut cursor = end;
+    while let Some(id) = cursor {
+        let nd = module.node(id);
+        path.push(
+            nd.name
+                .clone()
+                .unwrap_or_else(|| format!("n{} ({:?})", id.index(), kind_tag(&nd.node))),
+        );
+        cursor = pred[id.index()];
+    }
+    path.reverse();
+
+    TimingReport {
+        t_clk_ns: (worst + device.clock_margin).max(device.clock_margin + device.ff_clk_to_q),
+        wns_ns: 0.0,
+        critical_path: path,
+    }
+}
+
+fn kind_tag(node: &Node) -> &'static str {
+    match node {
+        Node::Const(_) => "const",
+        Node::Input(_) => "input",
+        Node::Unary(..) => "unary",
+        Node::Binary(..) => "binary",
+        Node::Mux { .. } => "mux",
+        Node::Concat(..) => "concat",
+        Node::Slice { .. } => "slice",
+        Node::ZExt(_) => "zext",
+        Node::SExt(_) => "sext",
+        Node::RegOut(_) => "reg",
+        Node::MemRead { .. } => "mem",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::map::{synthesize, SynthOptions};
+    use hc_rtl::BinaryOp;
+
+    #[test]
+    fn longer_chain_has_longer_path() {
+        let chain = |n: usize| {
+            let mut m = Module::new("chain");
+            let a = m.input("a", 16);
+            let mut x = a;
+            for _ in 0..n {
+                x = m.binary(BinaryOp::Add, x, a, 16);
+            }
+            m.output("y", x);
+            m
+        };
+        let dev = Device::xcvu9p();
+        let short = synthesize(&chain(2), &dev, &SynthOptions::default());
+        let long = synthesize(&chain(8), &dev, &SynthOptions::default());
+        assert!(long.timing.t_clk_ns > short.timing.t_clk_ns);
+        assert!(!long.timing.critical_path.is_empty());
+    }
+
+    #[test]
+    fn empty_module_has_floor_period() {
+        let mut m = Module::new("empty");
+        let a = m.input("a", 1);
+        m.output("y", a);
+        let rep = synthesize(&m, &Device::xcvu9p(), &SynthOptions::default());
+        assert!(rep.timing.t_clk_ns > 0.0);
+    }
+
+    #[test]
+    fn high_fanout_slows_the_net() {
+        let fan = |consumers: usize| {
+            let mut m = Module::new("fan");
+            let a = m.input("a", 16);
+            let b = m.input("b", 16);
+            let hot = m.binary(BinaryOp::Add, a, b, 16);
+            let mut acc = hot;
+            for _ in 0..consumers {
+                let t = m.binary(BinaryOp::Xor, hot, acc, 16);
+                acc = t;
+            }
+            m.output("y", acc);
+            m
+        };
+        let dev = Device::xcvu9p();
+        let narrow = synthesize(&fan(2), &dev, &SynthOptions::default());
+        let wide = synthesize(&fan(64), &dev, &SynthOptions::default());
+        assert!(wide.timing.t_clk_ns > narrow.timing.t_clk_ns);
+    }
+}

@@ -1,0 +1,90 @@
+// One-dimensional column-pass IDCT (vertical), Chen-Wang butterfly.
+// Faithful to the ISO/IEC 13818-4 mpeg2decode idctcol(): adds 8 more
+// fractional bits, finishes with >>14 and the 9-bit iclip saturation.
+// Intermediates are 40 bits wide: 32-bit C `int` can overflow on extreme
+// IEEE 1180 random blocks, so both this and the Rust golden model use a
+// wider accumulator (bit-exact with each other).
+module idct_col (
+  input  signed [127:0] col_in,   // 8 x 16-bit row-pass results
+  output signed [71:0]  col_out   // 8 x 9-bit saturated samples
+);
+  localparam W1 = 2841;
+  localparam W2 = 2676;
+  localparam W3 = 2408;
+  localparam W5 = 1609;
+  localparam W6 = 1108;
+  localparam W7 = 565;
+
+  wire signed [39:0] b0, b1, b2, b3, b4, b5, b6, b7;
+  assign b0 = col_in[15:0];
+  assign b1 = col_in[31:16];
+  assign b2 = col_in[47:32];
+  assign b3 = col_in[63:48];
+  assign b4 = col_in[79:64];
+  assign b5 = col_in[95:80];
+  assign b6 = col_in[111:96];
+  assign b7 = col_in[127:112];
+
+  wire signed [39:0] x0, x1, x2, x3, x4, x5, x6, x7;
+  assign x0 = (b0 <<< 8) + 8192;
+  assign x1 = b4 <<< 8;
+  assign x2 = b6;
+  assign x3 = b2;
+  assign x4 = b1;
+  assign x5 = b7;
+  assign x6 = b5;
+  assign x7 = b3;
+
+  // first stage
+  wire signed [39:0] x8a, x4a, x5a, x8b, x6a, x7a;
+  assign x8a = W7 * (x4 + x5) + 4;
+  assign x4a = (x8a + (W1 - W7) * x4) >>> 3;
+  assign x5a = (x8a - (W1 + W7) * x5) >>> 3;
+  assign x8b = W3 * (x6 + x7) + 4;
+  assign x6a = (x8b - (W3 - W5) * x6) >>> 3;
+  assign x7a = (x8b - (W3 + W5) * x7) >>> 3;
+
+  // second stage
+  wire signed [39:0] x8c, x0a, x1a, x2a, x3a, x1b, x4b, x6b, x5b;
+  assign x8c = x0 + x1;
+  assign x0a = x0 - x1;
+  assign x1a = W6 * (x3 + x2) + 4;
+  assign x2a = (x1a - (W2 + W6) * x2) >>> 3;
+  assign x3a = (x1a + (W2 - W6) * x3) >>> 3;
+  assign x1b = x4a + x6a;
+  assign x4b = x4a - x6a;
+  assign x6b = x5a + x7a;
+  assign x5b = x5a - x7a;
+
+  // third stage
+  wire signed [39:0] x7b, x8d, x3b, x0b, x2b, x4c;
+  assign x7b = x8c + x3a;
+  assign x8d = x8c - x3a;
+  assign x3b = x0a + x2a;
+  assign x0b = x0a - x2a;
+  assign x2b = (181 * (x4b + x5b) + 128) >>> 8;
+  assign x4c = (181 * (x4b - x5b) + 128) >>> 8;
+
+  // fourth stage: >>14 then iclip to [-256, 255]
+  wire signed [39:0] t0, t1, t2, t3, t4, t5, t6, t7;
+  assign t0 = (x7b + x1b) >>> 14;
+  assign t1 = (x3b + x2b) >>> 14;
+  assign t2 = (x0b + x4c) >>> 14;
+  assign t3 = (x8d + x6b) >>> 14;
+  assign t4 = (x8d - x6b) >>> 14;
+  assign t5 = (x0b - x4c) >>> 14;
+  assign t6 = (x3b - x2b) >>> 14;
+  assign t7 = (x7b - x1b) >>> 14;
+
+  wire signed [8:0] o0, o1, o2, o3, o4, o5, o6, o7;
+  assign o0 = (t0 < -256) ? -9'sd256 : ((t0 > 255) ? 9'sd255 : t0);
+  assign o1 = (t1 < -256) ? -9'sd256 : ((t1 > 255) ? 9'sd255 : t1);
+  assign o2 = (t2 < -256) ? -9'sd256 : ((t2 > 255) ? 9'sd255 : t2);
+  assign o3 = (t3 < -256) ? -9'sd256 : ((t3 > 255) ? 9'sd255 : t3);
+  assign o4 = (t4 < -256) ? -9'sd256 : ((t4 > 255) ? 9'sd255 : t4);
+  assign o5 = (t5 < -256) ? -9'sd256 : ((t5 > 255) ? 9'sd255 : t5);
+  assign o6 = (t6 < -256) ? -9'sd256 : ((t6 > 255) ? 9'sd255 : t6);
+  assign o7 = (t7 < -256) ? -9'sd256 : ((t7 > 255) ? 9'sd255 : t7);
+
+  assign col_out = {o7, o6, o5, o4, o3, o2, o1, o0};
+endmodule

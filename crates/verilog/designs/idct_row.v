@@ -1,0 +1,79 @@
+// One-dimensional row-pass IDCT (horizontal), Chen-Wang butterfly.
+// Faithful to the ISO/IEC 13818-4 mpeg2decode idctrow(): 11-bit fixed
+// point, >>8 normalization, 16-bit outputs. Intermediates are declared
+// 32 bits wide; in this Verilog subset operations are computed at the
+// widest operand, so every coefficient is widened through b0..b7 first.
+module idct_row (
+  input  signed [95:0]  row_in,   // 8 x 12-bit coefficients
+  output signed [127:0] row_out   // 8 x 16-bit row-pass results
+);
+  localparam W1 = 2841; // 2048*sqrt(2)*cos(1*pi/16)
+  localparam W2 = 2676; // 2048*sqrt(2)*cos(2*pi/16)
+  localparam W3 = 2408; // 2048*sqrt(2)*cos(3*pi/16)
+  localparam W5 = 1609; // 2048*sqrt(2)*cos(5*pi/16)
+  localparam W6 = 1108; // 2048*sqrt(2)*cos(6*pi/16)
+  localparam W7 = 565;  // 2048*sqrt(2)*cos(7*pi/16)
+
+  wire signed [31:0] b0, b1, b2, b3, b4, b5, b6, b7;
+  assign b0 = row_in[11:0];
+  assign b1 = row_in[23:12];
+  assign b2 = row_in[35:24];
+  assign b3 = row_in[47:36];
+  assign b4 = row_in[59:48];
+  assign b5 = row_in[71:60];
+  assign b6 = row_in[83:72];
+  assign b7 = row_in[95:84];
+
+  wire signed [31:0] x0, x1, x2, x3, x4, x5, x6, x7;
+  assign x0 = (b0 <<< 11) + 128; // +128: rounding bias for the 4th stage
+  assign x1 = b4 <<< 11;
+  assign x2 = b6;
+  assign x3 = b2;
+  assign x4 = b1;
+  assign x5 = b7;
+  assign x6 = b5;
+  assign x7 = b3;
+
+  // first stage
+  wire signed [31:0] x8a, x4a, x5a, x8b, x6a, x7a;
+  assign x8a = W7 * (x4 + x5);
+  assign x4a = x8a + (W1 - W7) * x4;
+  assign x5a = x8a - (W1 + W7) * x5;
+  assign x8b = W3 * (x6 + x7);
+  assign x6a = x8b - (W3 - W5) * x6;
+  assign x7a = x8b - (W3 + W5) * x7;
+
+  // second stage
+  wire signed [31:0] x8c, x0a, x1a, x2a, x3a, x1b, x4b, x6b, x5b;
+  assign x8c = x0 + x1;
+  assign x0a = x0 - x1;
+  assign x1a = W6 * (x3 + x2);
+  assign x2a = x1a - (W2 + W6) * x2;
+  assign x3a = x1a + (W2 - W6) * x3;
+  assign x1b = x4a + x6a;
+  assign x4b = x4a - x6a;
+  assign x6b = x5a + x7a;
+  assign x5b = x5a - x7a;
+
+  // third stage
+  wire signed [31:0] x7b, x8d, x3b, x0b, x2b, x4c;
+  assign x7b = x8c + x3a;
+  assign x8d = x8c - x3a;
+  assign x3b = x0a + x2a;
+  assign x0b = x0a - x2a;
+  assign x2b = (181 * (x4b + x5b) + 128) >>> 8;
+  assign x4c = (181 * (x4b - x5b) + 128) >>> 8;
+
+  // fourth stage: >>8 and truncate to short
+  wire signed [15:0] o0, o1, o2, o3, o4, o5, o6, o7;
+  assign o0 = (x7b + x1b) >>> 8;
+  assign o1 = (x3b + x2b) >>> 8;
+  assign o2 = (x0b + x4c) >>> 8;
+  assign o3 = (x8d + x6b) >>> 8;
+  assign o4 = (x8d - x6b) >>> 8;
+  assign o5 = (x0b - x4c) >>> 8;
+  assign o6 = (x3b - x2b) >>> 8;
+  assign o7 = (x7b - x1b) >>> 8;
+
+  assign row_out = {o7, o6, o5, o4, o3, o2, o1, o0};
+endmodule

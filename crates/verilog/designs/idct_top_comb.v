@@ -1,0 +1,176 @@
+// 2-D 8x8 IDCT, fully combinational: eight row passes, a transpose
+// (pure wiring), eight column passes. This is the paper's 'initial'
+// Verilog organization: 8 x IDCT_row + 8 x IDCT_col.
+module idct_2d (
+  input  signed [767:0] blk_in,   // 8 rows x 8 x 12-bit coefficients
+  output signed [575:0] blk_out   // 8 rows x 8 x 9-bit samples
+);
+  wire signed [127:0] rr0;
+  wire signed [127:0] rr1;
+  wire signed [127:0] rr2;
+  wire signed [127:0] rr3;
+  wire signed [127:0] rr4;
+  wire signed [127:0] rr5;
+  wire signed [127:0] rr6;
+  wire signed [127:0] rr7;
+  idct_row u_row0 (.row_in(blk_in[95:0]), .row_out(rr0));
+  idct_row u_row1 (.row_in(blk_in[191:96]), .row_out(rr1));
+  idct_row u_row2 (.row_in(blk_in[287:192]), .row_out(rr2));
+  idct_row u_row3 (.row_in(blk_in[383:288]), .row_out(rr3));
+  idct_row u_row4 (.row_in(blk_in[479:384]), .row_out(rr4));
+  idct_row u_row5 (.row_in(blk_in[575:480]), .row_out(rr5));
+  idct_row u_row6 (.row_in(blk_in[671:576]), .row_out(rr6));
+  idct_row u_row7 (.row_in(blk_in[767:672]), .row_out(rr7));
+
+  // transpose: column c gathers element c of every row result
+  wire signed [127:0] ci0;
+  wire signed [127:0] ci1;
+  wire signed [127:0] ci2;
+  wire signed [127:0] ci3;
+  wire signed [127:0] ci4;
+  wire signed [127:0] ci5;
+  wire signed [127:0] ci6;
+  wire signed [127:0] ci7;
+  assign ci0 = {rr7[15:0], rr6[15:0], rr5[15:0], rr4[15:0], rr3[15:0], rr2[15:0], rr1[15:0], rr0[15:0]};
+  assign ci1 = {rr7[31:16], rr6[31:16], rr5[31:16], rr4[31:16], rr3[31:16], rr2[31:16], rr1[31:16], rr0[31:16]};
+  assign ci2 = {rr7[47:32], rr6[47:32], rr5[47:32], rr4[47:32], rr3[47:32], rr2[47:32], rr1[47:32], rr0[47:32]};
+  assign ci3 = {rr7[63:48], rr6[63:48], rr5[63:48], rr4[63:48], rr3[63:48], rr2[63:48], rr1[63:48], rr0[63:48]};
+  assign ci4 = {rr7[79:64], rr6[79:64], rr5[79:64], rr4[79:64], rr3[79:64], rr2[79:64], rr1[79:64], rr0[79:64]};
+  assign ci5 = {rr7[95:80], rr6[95:80], rr5[95:80], rr4[95:80], rr3[95:80], rr2[95:80], rr1[95:80], rr0[95:80]};
+  assign ci6 = {rr7[111:96], rr6[111:96], rr5[111:96], rr4[111:96], rr3[111:96], rr2[111:96], rr1[111:96], rr0[111:96]};
+  assign ci7 = {rr7[127:112], rr6[127:112], rr5[127:112], rr4[127:112], rr3[127:112], rr2[127:112], rr1[127:112], rr0[127:112]};
+
+  wire signed [71:0] dd0;
+  wire signed [71:0] dd1;
+  wire signed [71:0] dd2;
+  wire signed [71:0] dd3;
+  wire signed [71:0] dd4;
+  wire signed [71:0] dd5;
+  wire signed [71:0] dd6;
+  wire signed [71:0] dd7;
+  idct_col u_col0 (.col_in(ci0), .col_out(dd0));
+  idct_col u_col1 (.col_in(ci1), .col_out(dd1));
+  idct_col u_col2 (.col_in(ci2), .col_out(dd2));
+  idct_col u_col3 (.col_in(ci3), .col_out(dd3));
+  idct_col u_col4 (.col_in(ci4), .col_out(dd4));
+  idct_col u_col5 (.col_in(ci5), .col_out(dd5));
+  idct_col u_col6 (.col_in(ci6), .col_out(dd6));
+  idct_col u_col7 (.col_in(ci7), .col_out(dd7));
+
+  // transpose back: output row r takes element r of every column
+  wire signed [71:0] ro0;
+  wire signed [71:0] ro1;
+  wire signed [71:0] ro2;
+  wire signed [71:0] ro3;
+  wire signed [71:0] ro4;
+  wire signed [71:0] ro5;
+  wire signed [71:0] ro6;
+  wire signed [71:0] ro7;
+  assign ro0 = {dd7[8:0], dd6[8:0], dd5[8:0], dd4[8:0], dd3[8:0], dd2[8:0], dd1[8:0], dd0[8:0]};
+  assign ro1 = {dd7[17:9], dd6[17:9], dd5[17:9], dd4[17:9], dd3[17:9], dd2[17:9], dd1[17:9], dd0[17:9]};
+  assign ro2 = {dd7[26:18], dd6[26:18], dd5[26:18], dd4[26:18], dd3[26:18], dd2[26:18], dd1[26:18], dd0[26:18]};
+  assign ro3 = {dd7[35:27], dd6[35:27], dd5[35:27], dd4[35:27], dd3[35:27], dd2[35:27], dd1[35:27], dd0[35:27]};
+  assign ro4 = {dd7[44:36], dd6[44:36], dd5[44:36], dd4[44:36], dd3[44:36], dd2[44:36], dd1[44:36], dd0[44:36]};
+  assign ro5 = {dd7[53:45], dd6[53:45], dd5[53:45], dd4[53:45], dd3[53:45], dd2[53:45], dd1[53:45], dd0[53:45]};
+  assign ro6 = {dd7[62:54], dd6[62:54], dd5[62:54], dd4[62:54], dd3[62:54], dd2[62:54], dd1[62:54], dd0[62:54]};
+  assign ro7 = {dd7[71:63], dd6[71:63], dd5[71:63], dd4[71:63], dd3[71:63], dd2[71:63], dd1[71:63], dd0[71:63]};
+  assign blk_out = {ro7, ro6, ro5, ro4, ro3, ro2, ro1, ro0};
+endmodule
+
+// Initial design top: the combinational 2-D kernel behind a hand-
+// written row-by-row AXI-Stream adapter (double buffered: one matrix
+// can stream out while the next streams in).
+module idct_top_comb (
+  input clk,
+  input rst,
+  input  [95:0] s_axis_tdata,
+  input  s_axis_tvalid,
+  output s_axis_tready,
+  output [71:0] m_axis_tdata,
+  output m_axis_tvalid,
+  input  m_axis_tready
+);
+  reg [3:0] in_cnt;   // 8 = input buffer full
+  reg [3:0] out_cnt;  // 8 = output buffer drained
+  reg signed [95:0] in_row0;
+  reg signed [95:0] in_row1;
+  reg signed [95:0] in_row2;
+  reg signed [95:0] in_row3;
+  reg signed [95:0] in_row4;
+  reg signed [95:0] in_row5;
+  reg signed [95:0] in_row6;
+  reg signed [95:0] in_row7;
+  reg signed [71:0] out_row0;
+  reg signed [71:0] out_row1;
+  reg signed [71:0] out_row2;
+  reg signed [71:0] out_row3;
+  reg signed [71:0] out_row4;
+  reg signed [71:0] out_row5;
+  reg signed [71:0] out_row6;
+  reg signed [71:0] out_row7;
+
+  wire in_full;
+  assign in_full = in_cnt == 4'd8;
+  wire out_idle;
+  assign out_idle = out_cnt == 4'd8;
+  wire out_beat;
+  assign out_beat = !out_idle && m_axis_tready;
+  wire out_done;
+  assign out_done = out_idle || (out_beat && out_cnt == 4'd7);
+  wire transfer;
+  assign transfer = in_full && out_done;
+  assign s_axis_tready = !in_full || transfer;
+  wire in_beat;
+  assign in_beat = s_axis_tvalid && s_axis_tready;
+
+  always @(posedge clk) begin
+    if (rst) in_cnt <= 4'd0;
+    else if (transfer) in_cnt <= in_beat ? 4'd1 : 4'd0;
+    else if (in_beat) in_cnt <= in_cnt + 4'd1;
+  end
+
+  always @(posedge clk) if (in_beat && in_cnt[2:0] == 3'd0) in_row0 <= s_axis_tdata;
+  always @(posedge clk) if (in_beat && in_cnt[2:0] == 3'd1) in_row1 <= s_axis_tdata;
+  always @(posedge clk) if (in_beat && in_cnt[2:0] == 3'd2) in_row2 <= s_axis_tdata;
+  always @(posedge clk) if (in_beat && in_cnt[2:0] == 3'd3) in_row3 <= s_axis_tdata;
+  always @(posedge clk) if (in_beat && in_cnt[2:0] == 3'd4) in_row4 <= s_axis_tdata;
+  always @(posedge clk) if (in_beat && in_cnt[2:0] == 3'd5) in_row5 <= s_axis_tdata;
+  always @(posedge clk) if (in_beat && in_cnt[2:0] == 3'd6) in_row6 <= s_axis_tdata;
+  always @(posedge clk) if (in_beat && in_cnt[2:0] == 3'd7) in_row7 <= s_axis_tdata;
+
+  wire signed [767:0] blk_in;
+  assign blk_in = {in_row7, in_row6, in_row5, in_row4, in_row3, in_row2, in_row1, in_row0};
+  wire signed [575:0] blk_out;
+  idct_2d u_idct (.blk_in(blk_in), .blk_out(blk_out));
+
+  always @(posedge clk) if (transfer) out_row0 <= blk_out[71:0];
+  always @(posedge clk) if (transfer) out_row1 <= blk_out[143:72];
+  always @(posedge clk) if (transfer) out_row2 <= blk_out[215:144];
+  always @(posedge clk) if (transfer) out_row3 <= blk_out[287:216];
+  always @(posedge clk) if (transfer) out_row4 <= blk_out[359:288];
+  always @(posedge clk) if (transfer) out_row5 <= blk_out[431:360];
+  always @(posedge clk) if (transfer) out_row6 <= blk_out[503:432];
+  always @(posedge clk) if (transfer) out_row7 <= blk_out[575:504];
+
+  always @(posedge clk) begin
+    if (rst) out_cnt <= 4'd8;
+    else if (transfer) out_cnt <= 4'd0;
+    else if (out_beat) out_cnt <= out_cnt + 4'd1;
+  end
+
+  reg [71:0] m_data;
+  always @* begin
+    case (out_cnt[2:0])
+      3'd0: m_data = out_row0;
+      3'd1: m_data = out_row1;
+      3'd2: m_data = out_row2;
+      3'd3: m_data = out_row3;
+      3'd4: m_data = out_row4;
+      3'd5: m_data = out_row5;
+      3'd6: m_data = out_row6;
+      default: m_data = out_row7;
+    endcase
+  end
+  assign m_axis_tdata = m_data;
+  assign m_axis_tvalid = !out_idle;
+endmodule

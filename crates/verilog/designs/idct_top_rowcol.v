@@ -1,0 +1,244 @@
+// Optimized design 2 (the Table II 'Opt' row): one IDCT_row and one
+// IDCT_col. Three overlapped 8-cycle phases per matrix - row pass
+// during input streaming, column pass one column per cycle, output
+// streaming - with ping-pong buffers and full/empty handshakes, so
+// the design is fully elastic under backpressure.
+// Latency 24 cycles, sustained periodicity 8 (one matrix / 8 cycles).
+module idct_top_rowcol (
+  input clk,
+  input rst,
+  input  [95:0] s_axis_tdata,
+  input  s_axis_tvalid,
+  output s_axis_tready,
+  output [71:0] m_axis_tdata,
+  output m_axis_tvalid,
+  input  m_axis_tready
+);
+  // ---- stage 1: input + row pass into ping-pong transpose buffers
+  reg [2:0] in_cnt;
+  reg wp;                      // which T buffer is being filled
+  reg tf0, tf1;                // T buffer full flags
+  reg signed [1023:0] t0, t1;  // 8 rows x 8 x 16-bit, shift-in
+
+  wire tfw;
+  assign tfw = wp ? tf1 : tf0;
+  assign s_axis_tready = !tfw;
+  wire in_beat;
+  assign in_beat = s_axis_tvalid && s_axis_tready;
+  wire in_last;
+  assign in_last = in_beat && in_cnt == 3'd7;
+
+  wire signed [127:0] row_res;
+  idct_row u_row (.row_in(s_axis_tdata), .row_out(row_res));
+
+  always @(posedge clk) begin
+    if (rst) begin
+      in_cnt <= 3'd0;
+      wp <= 1'b0;
+    end else if (in_beat) begin
+      in_cnt <= in_cnt + 3'd1;
+      if (in_last) wp <= !wp;
+    end
+  end
+  always @(posedge clk) if (in_beat && !wp) t0 <= {row_res, t0[1023:128]};
+  always @(posedge clk) if (in_beat && wp) t1 <= {row_res, t1[1023:128]};
+
+  // ---- stage 2: one column per cycle through the single column unit
+  reg rp;                      // which T buffer is being consumed
+  reg [2:0] col_cnt;
+  reg owp;                     // which O buffer is being written
+  reg of0, of1;                // O buffer full flags
+  reg signed [575:0] o0, o1;   // 8 columns x 8 x 9-bit, shift-in
+
+  wire tfr;
+  assign tfr = rp ? tf1 : tf0;
+  wire ofw;
+  assign ofw = owp ? of1 : of0;
+  wire col_active;
+  assign col_active = tfr && !ofw;
+  wire col_last;
+  assign col_last = col_active && col_cnt == 3'd7;
+
+  reg signed [15:0] e0;
+  reg signed [15:0] e1;
+  reg signed [15:0] e2;
+  reg signed [15:0] e3;
+  reg signed [15:0] e4;
+  reg signed [15:0] e5;
+  reg signed [15:0] e6;
+  reg signed [15:0] e7;
+  always @* begin
+    case (col_cnt)
+      3'd0: e0 = rp ? t1[15:0] : t0[15:0];
+      3'd1: e0 = rp ? t1[31:16] : t0[31:16];
+      3'd2: e0 = rp ? t1[47:32] : t0[47:32];
+      3'd3: e0 = rp ? t1[63:48] : t0[63:48];
+      3'd4: e0 = rp ? t1[79:64] : t0[79:64];
+      3'd5: e0 = rp ? t1[95:80] : t0[95:80];
+      3'd6: e0 = rp ? t1[111:96] : t0[111:96];
+      default: e0 = rp ? t1[127:112] : t0[127:112];
+    endcase
+  end
+  always @* begin
+    case (col_cnt)
+      3'd0: e1 = rp ? t1[143:128] : t0[143:128];
+      3'd1: e1 = rp ? t1[159:144] : t0[159:144];
+      3'd2: e1 = rp ? t1[175:160] : t0[175:160];
+      3'd3: e1 = rp ? t1[191:176] : t0[191:176];
+      3'd4: e1 = rp ? t1[207:192] : t0[207:192];
+      3'd5: e1 = rp ? t1[223:208] : t0[223:208];
+      3'd6: e1 = rp ? t1[239:224] : t0[239:224];
+      default: e1 = rp ? t1[255:240] : t0[255:240];
+    endcase
+  end
+  always @* begin
+    case (col_cnt)
+      3'd0: e2 = rp ? t1[271:256] : t0[271:256];
+      3'd1: e2 = rp ? t1[287:272] : t0[287:272];
+      3'd2: e2 = rp ? t1[303:288] : t0[303:288];
+      3'd3: e2 = rp ? t1[319:304] : t0[319:304];
+      3'd4: e2 = rp ? t1[335:320] : t0[335:320];
+      3'd5: e2 = rp ? t1[351:336] : t0[351:336];
+      3'd6: e2 = rp ? t1[367:352] : t0[367:352];
+      default: e2 = rp ? t1[383:368] : t0[383:368];
+    endcase
+  end
+  always @* begin
+    case (col_cnt)
+      3'd0: e3 = rp ? t1[399:384] : t0[399:384];
+      3'd1: e3 = rp ? t1[415:400] : t0[415:400];
+      3'd2: e3 = rp ? t1[431:416] : t0[431:416];
+      3'd3: e3 = rp ? t1[447:432] : t0[447:432];
+      3'd4: e3 = rp ? t1[463:448] : t0[463:448];
+      3'd5: e3 = rp ? t1[479:464] : t0[479:464];
+      3'd6: e3 = rp ? t1[495:480] : t0[495:480];
+      default: e3 = rp ? t1[511:496] : t0[511:496];
+    endcase
+  end
+  always @* begin
+    case (col_cnt)
+      3'd0: e4 = rp ? t1[527:512] : t0[527:512];
+      3'd1: e4 = rp ? t1[543:528] : t0[543:528];
+      3'd2: e4 = rp ? t1[559:544] : t0[559:544];
+      3'd3: e4 = rp ? t1[575:560] : t0[575:560];
+      3'd4: e4 = rp ? t1[591:576] : t0[591:576];
+      3'd5: e4 = rp ? t1[607:592] : t0[607:592];
+      3'd6: e4 = rp ? t1[623:608] : t0[623:608];
+      default: e4 = rp ? t1[639:624] : t0[639:624];
+    endcase
+  end
+  always @* begin
+    case (col_cnt)
+      3'd0: e5 = rp ? t1[655:640] : t0[655:640];
+      3'd1: e5 = rp ? t1[671:656] : t0[671:656];
+      3'd2: e5 = rp ? t1[687:672] : t0[687:672];
+      3'd3: e5 = rp ? t1[703:688] : t0[703:688];
+      3'd4: e5 = rp ? t1[719:704] : t0[719:704];
+      3'd5: e5 = rp ? t1[735:720] : t0[735:720];
+      3'd6: e5 = rp ? t1[751:736] : t0[751:736];
+      default: e5 = rp ? t1[767:752] : t0[767:752];
+    endcase
+  end
+  always @* begin
+    case (col_cnt)
+      3'd0: e6 = rp ? t1[783:768] : t0[783:768];
+      3'd1: e6 = rp ? t1[799:784] : t0[799:784];
+      3'd2: e6 = rp ? t1[815:800] : t0[815:800];
+      3'd3: e6 = rp ? t1[831:816] : t0[831:816];
+      3'd4: e6 = rp ? t1[847:832] : t0[847:832];
+      3'd5: e6 = rp ? t1[863:848] : t0[863:848];
+      3'd6: e6 = rp ? t1[879:864] : t0[879:864];
+      default: e6 = rp ? t1[895:880] : t0[895:880];
+    endcase
+  end
+  always @* begin
+    case (col_cnt)
+      3'd0: e7 = rp ? t1[911:896] : t0[911:896];
+      3'd1: e7 = rp ? t1[927:912] : t0[927:912];
+      3'd2: e7 = rp ? t1[943:928] : t0[943:928];
+      3'd3: e7 = rp ? t1[959:944] : t0[959:944];
+      3'd4: e7 = rp ? t1[975:960] : t0[975:960];
+      3'd5: e7 = rp ? t1[991:976] : t0[991:976];
+      3'd6: e7 = rp ? t1[1007:992] : t0[1007:992];
+      default: e7 = rp ? t1[1023:1008] : t0[1023:1008];
+    endcase
+  end
+  wire signed [127:0] col_vec;
+  assign col_vec = {e7, e6, e5, e4, e3, e2, e1, e0};
+  wire signed [71:0] col_res;
+  idct_col u_col (.col_in(col_vec), .col_out(col_res));
+
+  always @(posedge clk) begin
+    if (rst) begin
+      col_cnt <= 3'd0;
+      rp <= 1'b0;
+      owp <= 1'b0;
+    end else if (col_active) begin
+      col_cnt <= col_cnt + 3'd1;
+      if (col_last) begin
+        rp <= !rp;
+        owp <= !owp;
+      end
+    end
+  end
+  always @(posedge clk) if (col_active && !owp) o0 <= {col_res, o0[575:72]};
+  always @(posedge clk) if (col_active && owp) o1 <= {col_res, o1[575:72]};
+
+  // ---- stage 3: stream the finished matrix row by row
+  reg orp;
+  reg [2:0] out_cnt;
+  wire out_active;
+  assign out_active = orp ? of1 : of0;
+  wire out_beat;
+  assign out_beat = out_active && m_axis_tready;
+  wire out_last;
+  assign out_last = out_beat && out_cnt == 3'd7;
+
+  always @(posedge clk) begin
+    if (rst) begin
+      out_cnt <= 3'd0;
+      orp <= 1'b0;
+    end else if (out_beat) begin
+      out_cnt <= out_cnt + 3'd1;
+      if (out_last) orp <= !orp;
+    end
+  end
+
+  // buffer full flags: set by the producer, cleared by the consumer
+  always @(posedge clk) begin
+    if (rst) begin
+      tf0 <= 1'b0;
+      tf1 <= 1'b0;
+      of0 <= 1'b0;
+      of1 <= 1'b0;
+    end else begin
+      if (in_last && !wp) tf0 <= 1'b1;
+      else if (col_last && !rp) tf0 <= 1'b0;
+      if (in_last && wp) tf1 <= 1'b1;
+      else if (col_last && rp) tf1 <= 1'b0;
+      if (col_last && !owp) of0 <= 1'b1;
+      else if (out_last && !orp) of0 <= 1'b0;
+      if (col_last && owp) of1 <= 1'b1;
+      else if (out_last && orp) of1 <= 1'b0;
+    end
+  end
+
+  // row assembly from the column-major output buffer
+  wire signed [575:0] osel;
+  assign osel = orp ? o1 : o0;
+  reg [71:0] m_data;
+  always @* begin
+    case (out_cnt)
+      3'd0: m_data = {osel[512:504], osel[440:432], osel[368:360], osel[296:288], osel[224:216], osel[152:144], osel[80:72], osel[8:0]};
+      3'd1: m_data = {osel[521:513], osel[449:441], osel[377:369], osel[305:297], osel[233:225], osel[161:153], osel[89:81], osel[17:9]};
+      3'd2: m_data = {osel[530:522], osel[458:450], osel[386:378], osel[314:306], osel[242:234], osel[170:162], osel[98:90], osel[26:18]};
+      3'd3: m_data = {osel[539:531], osel[467:459], osel[395:387], osel[323:315], osel[251:243], osel[179:171], osel[107:99], osel[35:27]};
+      3'd4: m_data = {osel[548:540], osel[476:468], osel[404:396], osel[332:324], osel[260:252], osel[188:180], osel[116:108], osel[44:36]};
+      3'd5: m_data = {osel[557:549], osel[485:477], osel[413:405], osel[341:333], osel[269:261], osel[197:189], osel[125:117], osel[53:45]};
+      3'd6: m_data = {osel[566:558], osel[494:486], osel[422:414], osel[350:342], osel[278:270], osel[206:198], osel[134:126], osel[62:54]};
+      default: m_data = {osel[575:567], osel[503:495], osel[431:423], osel[359:351], osel[287:279], osel[215:207], osel[143:135], osel[71:63]};
+    endcase
+  end
+  assign m_axis_tdata = m_data;
+  assign m_axis_tvalid = out_active;
+endmodule

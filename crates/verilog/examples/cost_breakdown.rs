@@ -1,0 +1,30 @@
+//! Where do the LUTs go? Per-op-kind breakdown of the initial design.
+use hc_rtl::{Node, BinaryOp, passes::optimize};
+use std::collections::HashMap;
+
+fn main() {
+    let mut m = hc_verilog::designs::initial_design().unwrap();
+    optimize(&mut m);
+    let mut counts: HashMap<String, (u64, u64)> = HashMap::new(); // (#, width-sum)
+    for nd in m.nodes() {
+        let key = match &nd.node {
+            Node::Binary(op, a, b) => {
+                if matches!(op, BinaryOp::MulS|BinaryOp::MulU) {
+                    let ca = matches!(m.node(*a).node, Node::Const(_)) || matches!(m.node(*b).node, Node::Const(_));
+                    format!("{op}{}[{}x{}]", if ca {"(const)"} else {""}, m.width(*a), m.width(*b))
+                } else { format!("{op}[{}]", nd.width) }
+            }
+            Node::Mux{..} => format!("mux[{}]", nd.width),
+            Node::Unary(op, _) => format!("un{op}"),
+            other => format!("{}", match other { Node::Const(_) => "const", Node::Input(_) => "in", Node::RegOut(_) => "reg", Node::Concat(..) => "cat", Node::Slice{..} => "slice", Node::ZExt(_) => "zext", Node::SExt(_) => "sext", Node::MemRead{..} => "mem", _ => "?" }),
+        };
+        let e = counts.entry(key).or_default();
+        e.0 += 1;
+        e.1 += nd.width as u64;
+    }
+    let mut v: Vec<_> = counts.into_iter().collect();
+    v.sort_by_key(|(_, (n, _))| std::cmp::Reverse(*n));
+    for (k, (n, ws)) in v.iter().take(30) {
+        println!("{k:>24}: n={n:5} width_sum={ws}");
+    }
+}

@@ -1,0 +1,23 @@
+//! Quick probe: synthesis figures of the three Verilog designs vs Table II.
+use hc_rtl::passes::optimize;
+use hc_synth::{synthesize, Device, SynthOptions};
+
+fn report(name: &str, mut m: hc_rtl::Module) {
+    optimize(&mut m);
+    let dev = Device::xcvu9p();
+    let full = synthesize(&m, &dev, &SynthOptions::default());
+    let nodsp = synthesize(&m, &dev, &SynthOptions::no_dsp());
+    println!(
+        "{name:>16}: fmax={:7.2} MHz Tclk={:5.2}  DSP={:4}  LUT={:6} FF={:5} IO={:4} | maxdsp=0: LUT*={:6} FF*={:5} A={:6}",
+        full.timing.fmax_mhz(), full.timing.t_clk_ns, full.area.dsp, full.area.lut, full.area.ff, full.area.io,
+        nodsp.area.lut, nodsp.area.ff, nodsp.area.normalized()
+    );
+}
+
+fn main() {
+    report("initial(comb)", hc_verilog::designs::initial_design().unwrap());
+    report("opt1(row8col)", hc_verilog::designs::opt_row8col().unwrap());
+    report("opt2(rowcol)", hc_verilog::designs::opt_rowcol().unwrap());
+    println!("paper initial : fmax=55.88  DSP=160 LUT=13850 FF=1337 IO=172 | LUT*=29059 FF*=1337 A=30396");
+    println!("paper opt     : fmax=113.21 DSP=20  LUT=2106  FF=2658 IO=170 | LUT*=3909  FF*=2658 A=6567");
+}

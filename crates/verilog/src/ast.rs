@@ -1,0 +1,218 @@
+//! Abstract syntax tree of the Verilog subset.
+
+/// A parsed source file: an ordered set of modules.
+#[derive(Clone, Debug, Default)]
+pub struct Design {
+    /// Modules in source order.
+    pub modules: Vec<VModule>,
+}
+
+impl Design {
+    /// Finds a module by name.
+    pub fn module(&self, name: &str) -> Option<&VModule> {
+        self.modules.iter().find(|m| m.name == name)
+    }
+
+    /// Merges another design's modules into this one (for multi-file
+    /// elaboration).
+    pub fn extend(&mut self, other: Design) {
+        self.modules.extend(other.modules);
+    }
+}
+
+/// One `module ... endmodule`.
+#[derive(Clone, Debug)]
+pub struct VModule {
+    /// Module name.
+    pub name: String,
+    /// `parameter`/`localparam` declarations in order: (name, default).
+    pub params: Vec<(String, Expr)>,
+    /// Port list in header order.
+    pub ports: Vec<PortDecl>,
+    /// Body items in source order.
+    pub items: Vec<Item>,
+    /// Header line (for diagnostics).
+    pub line: u32,
+}
+
+/// Port direction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Dir {
+    /// `input`
+    Input,
+    /// `output`
+    Output,
+}
+
+/// A port declaration (`input signed [11:0] x`).
+#[derive(Clone, Debug)]
+pub struct PortDecl {
+    /// Direction.
+    pub dir: Dir,
+    /// Declared as `reg` (sequential output).
+    pub is_reg: bool,
+    /// Name.
+    pub name: String,
+    /// `[msb:lsb]` bounds, constant expressions; `None` = 1 bit.
+    pub range: Option<(Expr, Expr)>,
+}
+
+/// A module body item.
+#[derive(Clone, Debug)]
+pub enum Item {
+    /// `wire`/`reg` declaration.
+    Net {
+        /// `true` for `reg`.
+        is_reg: bool,
+        /// Name.
+        name: String,
+        /// `[msb:lsb]`, constants.
+        range: Option<(Expr, Expr)>,
+        /// Declaration line.
+        line: u32,
+    },
+    /// `assign lhs = rhs;` (lhs is a simple net).
+    Assign {
+        /// Target net.
+        lhs: String,
+        /// Driven expression.
+        rhs: Expr,
+        /// Source line.
+        line: u32,
+    },
+    /// `always @* ...` or `always @(posedge clk) ...`.
+    Always {
+        /// `true` for `posedge` (sequential) blocks.
+        clocked: bool,
+        /// Body statement.
+        body: Stmt,
+        /// Source line.
+        line: u32,
+    },
+    /// `submodule #(params) name (.port(expr), ...);`
+    Instance {
+        /// Instantiated module name.
+        module: String,
+        /// Instance name.
+        name: String,
+        /// Named parameter overrides.
+        params: Vec<(String, Expr)>,
+        /// Named port connections; outputs must connect to simple nets.
+        connections: Vec<(String, Expr)>,
+        /// Source line.
+        line: u32,
+    },
+}
+
+/// A procedural statement.
+#[derive(Clone, Debug)]
+pub enum Stmt {
+    /// `begin ... end`
+    Block(Vec<Stmt>),
+    /// Blocking (`=`) or non-blocking (`<=`) assignment to a simple net.
+    Assign {
+        /// Target net.
+        lhs: String,
+        /// Value.
+        rhs: Expr,
+        /// `true` for `=`.
+        blocking: bool,
+        /// Source line.
+        line: u32,
+    },
+    /// `if (cond) then else else_`
+    If {
+        /// Condition (non-zero = true).
+        cond: Expr,
+        /// Then branch.
+        then: Box<Stmt>,
+        /// Optional else branch.
+        else_: Option<Box<Stmt>>,
+    },
+    /// `case (subject) ... endcase`
+    Case {
+        /// Scrutinee.
+        subject: Expr,
+        /// Arms: label lists and bodies.
+        arms: Vec<(Vec<Expr>, Stmt)>,
+        /// `default:` body.
+        default: Option<Box<Stmt>>,
+    },
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UnOp {
+    /// `-`
+    Neg,
+    /// `~`
+    Not,
+    /// `!`
+    LogicNot,
+    /// `|` reduction
+    RedOr,
+    /// `&` reduction
+    RedAnd,
+    /// `^` reduction
+    RedXor,
+}
+
+/// Binary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    AShr,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    LogicAnd,
+    LogicOr,
+}
+
+/// An expression.
+#[derive(Clone, Debug)]
+pub enum Expr {
+    /// Integer literal with optional explicit width.
+    Literal {
+        /// Value (two's complement within `width` if given).
+        value: i64,
+        /// Explicit width from a sized literal.
+        width: Option<u32>,
+    },
+    /// Net, port or parameter reference.
+    Ident(String),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// `cond ? t : f`
+    Ternary(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// `{a, b, c}` — first element ends up in the most significant bits.
+    Concat(Vec<Expr>),
+    /// Replication `{count{value}}` with a constant count.
+    Repl(Box<Expr>, Box<Expr>),
+    /// Constant part select `x[msb:lsb]`.
+    Part(String, Box<Expr>, Box<Expr>),
+    /// Bit select `x[i]` (index may be dynamic).
+    Bit(String, Box<Expr>),
+}
+
+impl Expr {
+    /// Convenience constructor for unsized literals in tests.
+    pub fn num(value: i64) -> Self {
+        Expr::Literal {
+            value,
+            width: None,
+        }
+    }
+}

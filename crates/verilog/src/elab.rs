@@ -1,0 +1,981 @@
+//! Elaboration: AST → flat `hc-rtl` netlist.
+//!
+//! Demand-driven: each net's value is computed (and memoized) when first
+//! read, which handles arbitrary declaration order and detects
+//! combinational cycles. Hierarchy is flattened — instances elaborate
+//! recursively into the same [`Module`] with hierarchical register names.
+
+use crate::ast::*;
+use crate::error::VerilogError;
+use hc_bits::Bits;
+use hc_rtl::{BinaryOp, Module, NodeId, RegId, UnaryOp};
+use std::collections::{HashMap, HashSet};
+
+/// Elaborates `top` (and everything it instantiates) into a flat module.
+///
+/// # Errors
+///
+/// Reports undriven or multiply-driven nets, combinational cycles, unknown
+/// modules/ports, and width/parameter problems, each with a source line
+/// where available.
+pub fn elaborate(design: &Design, top: &str) -> Result<Module, VerilogError> {
+    let vmod = design
+        .module(top)
+        .ok_or_else(|| VerilogError::new(format!("no module named {top:?}")))?;
+    let mut m = Module::new(top);
+
+    // Top-level input ports become module inputs.
+    let params = resolve_params(design, vmod, &HashMap::new())?;
+    let mut bindings = HashMap::new();
+    for port in &vmod.ports {
+        if port.dir == Dir::Input {
+            if port.name == "clk" {
+                continue; // the IR clock is implicit
+            }
+            let width = range_width(&params, &port.range)?;
+            let node = m.input(&port.name, width);
+            bindings.insert(port.name.clone(), node);
+        }
+    }
+
+    let outputs = elaborate_module(design, vmod, params, bindings, String::new(), &mut m)?;
+    for port in &vmod.ports {
+        if port.dir == Dir::Output {
+            let node = outputs
+                .get(&port.name)
+                .copied()
+                .ok_or_else(|| VerilogError::new(format!("output {:?} undriven", port.name)))?;
+            m.output(&port.name, node);
+        }
+    }
+    Ok(m)
+}
+
+fn resolve_params(
+    _design: &Design,
+    vmod: &VModule,
+    overrides: &HashMap<String, i64>,
+) -> Result<HashMap<String, i64>, VerilogError> {
+    let mut params = HashMap::new();
+    for (name, default) in &vmod.params {
+        let value = match overrides.get(name) {
+            Some(&v) => v,
+            None => const_eval(&params, default)?,
+        };
+        params.insert(name.clone(), value);
+    }
+    Ok(params)
+}
+
+fn range_width(
+    params: &HashMap<String, i64>,
+    range: &Option<(Expr, Expr)>,
+) -> Result<u32, VerilogError> {
+    match range {
+        None => Ok(1),
+        Some((msb, lsb)) => {
+            let msb = const_eval(params, msb)?;
+            let lsb = const_eval(params, lsb)?;
+            if lsb != 0 || msb < 0 {
+                return Err(VerilogError::new(format!(
+                    "subset: ranges must be [N:0], got [{msb}:{lsb}]"
+                )));
+            }
+            Ok(msb as u32 + 1)
+        }
+    }
+}
+
+/// Constant-folds an expression over parameter values only.
+pub(crate) fn const_eval(
+    params: &HashMap<String, i64>,
+    expr: &Expr,
+) -> Result<i64, VerilogError> {
+    Ok(match expr {
+        Expr::Literal { value, .. } => *value,
+        Expr::Ident(name) => *params
+            .get(name)
+            .ok_or_else(|| VerilogError::new(format!("{name:?} is not a parameter")))?,
+        Expr::Unary(UnOp::Neg, e) => -const_eval(params, e)?,
+        Expr::Unary(UnOp::Not, e) => !const_eval(params, e)?,
+        Expr::Binary(op, a, b) => {
+            let (a, b) = (const_eval(params, a)?, const_eval(params, b)?);
+            match op {
+                BinOp::Add => a + b,
+                BinOp::Sub => a - b,
+                BinOp::Mul => a * b,
+                BinOp::Shl => a << b,
+                BinOp::Shr | BinOp::AShr => a >> b,
+                BinOp::And => a & b,
+                BinOp::Or => a | b,
+                BinOp::Xor => a ^ b,
+                other => {
+                    return Err(VerilogError::new(format!(
+                        "operator {other:?} in constant expression"
+                    )))
+                }
+            }
+        }
+        other => {
+            return Err(VerilogError::new(format!(
+                "unsupported constant expression {other:?}"
+            )))
+        }
+    })
+}
+
+#[derive(Clone)]
+enum Driver<'a> {
+    /// Bound from the enclosing scope (input port).
+    Input(NodeId),
+    /// `assign net = expr`.
+    Assign(&'a Expr, u32),
+    /// Combinational always block (item index).
+    Comb(usize),
+    /// Clocked register.
+    Ff,
+    /// Output of instance (item index).
+    Inst(usize),
+}
+
+struct ModCtx<'a, 'm> {
+    design: &'a Design,
+    vmod: &'a VModule,
+    m: &'m mut Module,
+    prefix: String,
+    params: HashMap<String, i64>,
+    widths: HashMap<String, u32>,
+    drivers: HashMap<String, Driver<'a>>,
+    regs: HashMap<String, (RegId, NodeId)>,
+    values: HashMap<String, NodeId>,
+    in_progress: HashSet<String>,
+    /// Instance output maps, memoized by item index.
+    inst_outputs: HashMap<usize, HashMap<String, NodeId>>,
+}
+
+/// Elaborates one module instance; returns its output-port values.
+fn elaborate_module(
+    design: &Design,
+    vmod: &VModule,
+    params: HashMap<String, i64>,
+    input_bindings: HashMap<String, NodeId>,
+    prefix: String,
+    m: &mut Module,
+) -> Result<HashMap<String, NodeId>, VerilogError> {
+    let mut ctx = ModCtx {
+        design,
+        vmod,
+        m,
+        prefix,
+        params,
+        widths: HashMap::new(),
+        drivers: HashMap::new(),
+        regs: HashMap::new(),
+        values: HashMap::new(),
+        in_progress: HashSet::new(),
+        inst_outputs: HashMap::new(),
+    };
+    ctx.collect_nets()?;
+    ctx.collect_drivers(&input_bindings)?;
+    ctx.create_regs()?;
+
+    // Demand every output port.
+    let mut outputs = HashMap::new();
+    for port in &vmod.ports {
+        if port.dir == Dir::Output {
+            outputs.insert(port.name.clone(), ctx.net_value(&port.name)?);
+        }
+    }
+    // Connect every clocked register (may demand further nets).
+    ctx.connect_clocked()?;
+    Ok(outputs)
+}
+
+impl<'a, 'm> ModCtx<'a, 'm> {
+    fn full_name(&self, name: &str) -> String {
+        if self.prefix.is_empty() {
+            name.to_owned()
+        } else {
+            format!("{}.{}", self.prefix, name)
+        }
+    }
+
+    fn collect_nets(&mut self) -> Result<(), VerilogError> {
+        for port in &self.vmod.ports {
+            if port.name == "clk" {
+                continue;
+            }
+            let w = range_width(&self.params, &port.range)?;
+            self.widths.insert(port.name.clone(), w);
+        }
+        for item in &self.vmod.items {
+            if let Item::Net { name, range, line, .. } = item {
+                let w = range_width(&self.params, range)
+                    .map_err(|e| VerilogError::at(*line, e.to_string()))?;
+                if self.widths.insert(name.clone(), w).is_some() {
+                    return Err(VerilogError::at(*line, format!("{name:?} redeclared")));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn set_driver(
+        &mut self,
+        net: &str,
+        driver: Driver<'a>,
+        line: u32,
+    ) -> Result<(), VerilogError> {
+        if !self.widths.contains_key(net) {
+            return Err(VerilogError::at(line, format!("{net:?} undeclared")));
+        }
+        if self.drivers.insert(net.to_owned(), driver).is_some() {
+            return Err(VerilogError::at(line, format!("{net:?} multiply driven")));
+        }
+        Ok(())
+    }
+
+    fn collect_drivers(
+        &mut self,
+        input_bindings: &HashMap<String, NodeId>,
+    ) -> Result<(), VerilogError> {
+        for port in &self.vmod.ports {
+            if port.dir == Dir::Input && port.name != "clk" {
+                let node = *input_bindings.get(&port.name).ok_or_else(|| {
+                    VerilogError::at(
+                        self.vmod.line,
+                        format!("instance of {:?} leaves input {:?} unconnected", self.vmod.name, port.name),
+                    )
+                })?;
+                let w = self.widths[&port.name];
+                let node = fit(self.m, node, w);
+                self.drivers.insert(port.name.clone(), Driver::Input(node));
+            }
+        }
+        for (idx, item) in self.vmod.items.iter().enumerate() {
+            match item {
+                Item::Net { .. } => {}
+                Item::Assign { lhs, rhs, line } => {
+                    let w = *self
+                        .widths
+                        .get(lhs)
+                        .ok_or_else(|| VerilogError::at(*line, format!("{lhs:?} undeclared")))?;
+                    self.set_driver(lhs, Driver::Assign(rhs, w), *line)?;
+                }
+                Item::Always { clocked, body, line } => {
+                    let mut assigned = Vec::new();
+                    collect_assigned(body, &mut assigned);
+                    for net in assigned {
+                        let driver = if *clocked { Driver::Ff } else { Driver::Comb(idx) };
+                        self.set_driver(&net, driver, *line)?;
+                    }
+                }
+                Item::Instance {
+                    module,
+                    connections,
+                    line,
+                    ..
+                } => {
+                    let sub = self.design.module(module).ok_or_else(|| {
+                        VerilogError::at(*line, format!("unknown module {module:?}"))
+                    })?;
+                    for (port, expr) in connections {
+                        let decl = sub.ports.iter().find(|p| p.name == *port).ok_or_else(
+                            || VerilogError::at(*line, format!("{module} has no port {port:?}")),
+                        )?;
+                        if decl.dir == Dir::Output {
+                            match expr {
+                                Expr::Ident(net) => {
+                                    self.set_driver(net, Driver::Inst(idx), *line)?;
+                                }
+                                other => {
+                                    return Err(VerilogError::at(
+                                        *line,
+                                        format!(
+                                            "output port {port:?} must connect to a net, got {other:?}"
+                                        ),
+                                    ))
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn create_regs(&mut self) -> Result<(), VerilogError> {
+        let names: Vec<String> = self
+            .drivers
+            .iter()
+            .filter(|(_, d)| matches!(d, Driver::Ff))
+            .map(|(n, _)| n.clone())
+            .collect();
+        for name in names {
+            let w = self.widths[&name];
+            let full = self.full_name(&name);
+            let reg = self.m.reg(full, w, Bits::zero(w));
+            let q = self.m.reg_out(reg);
+            self.regs.insert(name, (reg, q));
+        }
+        Ok(())
+    }
+
+    fn net_value(&mut self, name: &str) -> Result<NodeId, VerilogError> {
+        if let Some(&v) = self.values.get(name) {
+            return Ok(v);
+        }
+        if let Some(&(_, q)) = self.regs.get(name) {
+            self.values.insert(name.to_owned(), q);
+            return Ok(q);
+        }
+        if !self.in_progress.insert(name.to_owned()) {
+            return Err(VerilogError::new(format!(
+                "combinational cycle through {:?}",
+                self.full_name(name)
+            )));
+        }
+        let driver = self
+            .drivers
+            .get(name)
+            .cloned()
+            .ok_or_else(|| VerilogError::new(format!("{:?} undriven", self.full_name(name))))?;
+        let value = match driver {
+            Driver::Input(node) => node,
+            Driver::Ff => unreachable!("regs resolved above"),
+            Driver::Assign(expr, w) => {
+                let v = self.expr(expr)?;
+                fit(self.m, v, w)
+            }
+            Driver::Comb(idx) => {
+                self.exec_comb(idx)?;
+                *self
+                    .values
+                    .get(name)
+                    .expect("comb block assigns every declared driver")
+            }
+            Driver::Inst(idx) => {
+                self.elab_instance(idx)?;
+                *self.values.get(name).expect("instance outputs stored")
+            }
+        };
+        self.in_progress.remove(name);
+        self.values.insert(name.to_owned(), value);
+        Ok(value)
+    }
+
+    /// Executes a combinational always block, storing all assigned nets.
+    fn exec_comb(&mut self, idx: usize) -> Result<(), VerilogError> {
+        let Item::Always { body, .. } = &self.vmod.items[idx] else {
+            unreachable!()
+        };
+        let mut assigned = Vec::new();
+        collect_assigned(body, &mut assigned);
+        // Read-before-write in a comb block yields zero (subset rule; no
+        // latches).
+        let mut env = HashMap::new();
+        for net in &assigned {
+            let w = self.widths[net];
+            env.insert(net.clone(), self.m.constant(Bits::zero(w)));
+        }
+        let body = body.clone();
+        let no_reads = HashMap::new();
+        self.exec_stmt(&body, &mut env, &no_reads)?;
+        for net in assigned {
+            let w = self.widths[&net];
+            let v = fit(self.m, env[&net], w);
+            self.values.insert(net, v);
+        }
+        Ok(())
+    }
+
+    /// Elaborates an instance, storing its connected output nets.
+    fn elab_instance(&mut self, idx: usize) -> Result<(), VerilogError> {
+        if self.inst_outputs.contains_key(&idx) {
+            return Ok(());
+        }
+        let Item::Instance {
+            module,
+            name,
+            params,
+            connections,
+            line,
+        } = &self.vmod.items[idx]
+        else {
+            unreachable!()
+        };
+        let sub = self
+            .design
+            .module(module)
+            .ok_or_else(|| VerilogError::at(*line, format!("unknown module {module:?}")))?;
+        let mut overrides = HashMap::new();
+        for (pname, pexpr) in params {
+            overrides.insert(pname.clone(), const_eval(&self.params, pexpr)?);
+        }
+        let sub_params = resolve_params(self.design, sub, &overrides)?;
+
+        let mut bindings = HashMap::new();
+        for (port, expr) in connections {
+            let decl = sub
+                .ports
+                .iter()
+                .find(|p| p.name == *port)
+                .expect("checked in collect_drivers");
+            if decl.dir == Dir::Input && port != "clk" {
+                let v = self.expr(expr)?;
+                bindings.insert(port.clone(), v);
+            }
+        }
+        let sub_prefix = self.full_name(name);
+        let outputs = elaborate_module(
+            self.design,
+            sub,
+            sub_params,
+            bindings,
+            sub_prefix,
+            self.m,
+        )?;
+        // Store connected outputs under the parent nets.
+        for (port, expr) in connections {
+            let decl = sub.ports.iter().find(|p| p.name == *port).expect("checked");
+            if decl.dir == Dir::Output {
+                let Expr::Ident(net) = expr else { unreachable!("checked") };
+                let value = *outputs.get(port).ok_or_else(|| {
+                    VerilogError::at(*line, format!("{module}.{port} undriven"))
+                })?;
+                let w = self.widths[net];
+                let v = fit(self.m, value, w);
+                self.values.insert(net.clone(), v);
+            }
+        }
+        self.inst_outputs.insert(idx, outputs);
+        Ok(())
+    }
+
+    /// Connects the next-value of every clocked register.
+    fn connect_clocked(&mut self) -> Result<(), VerilogError> {
+        for idx in 0..self.vmod.items.len() {
+            let Item::Always {
+                clocked: true,
+                body,
+                ..
+            } = &self.vmod.items[idx]
+            else {
+                continue;
+            };
+            let body = body.clone();
+            let mut assigned = Vec::new();
+            collect_assigned(&body, &mut assigned);
+            let mut env = HashMap::new();
+            for net in &assigned {
+                env.insert(net.clone(), self.regs[net].1);
+            }
+            // Non-blocking semantics: every read inside the block sees the
+            // pre-edge register values.
+            let reads = env.clone();
+            self.exec_stmt(&body, &mut env, &reads)?;
+            for net in assigned {
+                let (reg, _) = self.regs[&net];
+                let w = self.widths[&net];
+                let v = fit(self.m, env[&net], w);
+                self.m.connect_reg(reg, v);
+            }
+        }
+        Ok(())
+    }
+
+    fn exec_stmt(
+        &mut self,
+        stmt: &Stmt,
+        env: &mut HashMap<String, NodeId>,
+        reads: &HashMap<String, NodeId>,
+    ) -> Result<(), VerilogError> {
+        match stmt {
+            Stmt::Block(stmts) => {
+                for s in stmts {
+                    self.exec_stmt(s, env, reads)?;
+                }
+            }
+            Stmt::Assign { lhs, rhs, line, .. } => {
+                if !env.contains_key(lhs) {
+                    return Err(VerilogError::at(*line, format!("{lhs:?} not assignable here")));
+                }
+                let w = self.widths[lhs];
+                let v = self.expr_with_reads(rhs, env, reads)?;
+                let v = fit(self.m, v, w);
+                env.insert(lhs.clone(), v);
+            }
+            Stmt::If { cond, then, else_ } => {
+                let c = self.expr_with_reads(cond, env, reads)?;
+                let c = truthy(self.m, c);
+                let mut then_env = env.clone();
+                self.exec_stmt(then, &mut then_env, reads)?;
+                let mut else_env = env.clone();
+                if let Some(e) = else_ {
+                    self.exec_stmt(e, &mut else_env, reads)?;
+                }
+                merge_env(self.m, c, &then_env, &else_env, env);
+            }
+            Stmt::Case {
+                subject,
+                arms,
+                default,
+            } => {
+                let subj = self.expr_with_reads(subject, env, reads)?;
+                // Build bottom-up: default first, then arms in reverse.
+                let mut result_env = env.clone();
+                if let Some(d) = default {
+                    self.exec_stmt(d, &mut result_env, reads)?;
+                }
+                for (labels, body) in arms.iter().rev() {
+                    let mut hit = None;
+                    for label in labels {
+                        let l = self.expr_with_reads(label, env, reads)?;
+                        let (a, b) = same_width(self.m, subj, l);
+                        let eq = self.m.binary(BinaryOp::Eq, a, b, 1);
+                        hit = Some(match hit {
+                            None => eq,
+                            Some(prev) => self.m.binary(BinaryOp::Or, prev, eq, 1),
+                        });
+                    }
+                    let cond = hit.expect("case arm has at least one label");
+                    let mut arm_env = env.clone();
+                    self.exec_stmt(body, &mut arm_env, reads)?;
+                    let mut merged = env.clone();
+                    merge_env(self.m, cond, &arm_env, &result_env, &mut merged);
+                    result_env = merged;
+                }
+                *env = result_env;
+            }
+        }
+        Ok(())
+    }
+
+    /// Evaluates an expression where names resolve through `reads` first
+    /// (non-blocking pre-edge values), then `env` (blocking updates).
+    fn expr_with_reads(
+        &mut self,
+        expr: &Expr,
+        env: &HashMap<String, NodeId>,
+        reads: &HashMap<String, NodeId>,
+    ) -> Result<NodeId, VerilogError> {
+        if reads.is_empty() {
+            return self.expr_in_env(expr, env);
+        }
+        // Overlay: non-blocking reads win over in-flight writes.
+        let mut overlay = env.clone();
+        for (k, v) in reads {
+            overlay.insert(k.clone(), *v);
+        }
+        self.expr_in_env(expr, &overlay)
+    }
+
+    fn expr(&mut self, expr: &Expr) -> Result<NodeId, VerilogError> {
+        let empty = HashMap::new();
+        self.expr_in_env(expr, &empty)
+    }
+
+    fn expr_in_env(
+        &mut self,
+        expr: &Expr,
+        env: &HashMap<String, NodeId>,
+    ) -> Result<NodeId, VerilogError> {
+        Ok(match expr {
+            Expr::Literal { value, width } => {
+                let w = width.unwrap_or(32);
+                self.m.constant(Bits::from_i64(w, *value))
+            }
+            Expr::Ident(name) => {
+                if let Some(&v) = env.get(name) {
+                    v
+                } else if let Some(&p) = self.params.get(name) {
+                    self.m.constant(Bits::from_i64(32, p))
+                } else {
+                    self.net_value(name)?
+                }
+            }
+            Expr::Unary(op, e) => {
+                let v = self.expr_in_env(e, env)?;
+                match op {
+                    UnOp::Neg => self.m.unary(UnaryOp::Neg, v),
+                    UnOp::Not => self.m.unary(UnaryOp::Not, v),
+                    UnOp::LogicNot => {
+                        let r = self.m.unary(UnaryOp::ReduceOr, v);
+                        self.m.unary(UnaryOp::Not, r)
+                    }
+                    UnOp::RedOr => self.m.unary(UnaryOp::ReduceOr, v),
+                    UnOp::RedAnd => self.m.unary(UnaryOp::ReduceAnd, v),
+                    UnOp::RedXor => self.m.unary(UnaryOp::ReduceXor, v),
+                }
+            }
+            Expr::Binary(op, a, b) => {
+                let av = self.expr_in_env(a, env)?;
+                let bv = self.expr_in_env(b, env)?;
+                self.binary(*op, av, bv)
+            }
+            Expr::Ternary(c, t, f) => {
+                let cv = self.expr_in_env(c, env)?;
+                let cv = truthy(self.m, cv);
+                let tv = self.expr_in_env(t, env)?;
+                let fv = self.expr_in_env(f, env)?;
+                let (tv, fv) = same_width(self.m, tv, fv);
+                self.m.mux(cv, tv, fv)
+            }
+            Expr::Concat(parts) => {
+                let mut nodes = Vec::new();
+                for p in parts {
+                    nodes.push(self.expr_in_env(p, env)?);
+                }
+                let mut acc = nodes[0];
+                for &n in &nodes[1..] {
+                    acc = self.m.concat(acc, n);
+                }
+                acc
+            }
+            Expr::Repl(count, value) => {
+                let k = const_eval(&self.params, count)?;
+                if k < 1 {
+                    return Err(VerilogError::new(format!("replication count {k}")));
+                }
+                let v = self.expr_in_env(value, env)?;
+                let mut acc = v;
+                for _ in 1..k {
+                    acc = self.m.concat(acc, v);
+                }
+                acc
+            }
+            Expr::Part(name, msb, lsb) => {
+                let base = self.name_value(name, env)?;
+                let msb = const_eval(&self.params, msb)?;
+                let lsb = const_eval(&self.params, lsb)?;
+                if msb < lsb || lsb < 0 {
+                    return Err(VerilogError::new(format!("bad part select [{msb}:{lsb}]")));
+                }
+                let width = (msb - lsb + 1) as u32;
+                self.m.slice(base, lsb as u32, width)
+            }
+            Expr::Bit(name, index) => {
+                let base = self.name_value(name, env)?;
+                match const_eval(&self.params, index) {
+                    Ok(i) if i >= 0 => self.m.slice(base, i as u32, 1),
+                    _ => {
+                        let idx = self.expr_in_env(index, env)?;
+                        let w = self.m.width(base);
+                        let shifted = self.m.binary(BinaryOp::ShrL, base, idx, w);
+                        self.m.slice(shifted, 0, 1)
+                    }
+                }
+            }
+        })
+    }
+
+    fn name_value(
+        &mut self,
+        name: &str,
+        env: &HashMap<String, NodeId>,
+    ) -> Result<NodeId, VerilogError> {
+        if let Some(&v) = env.get(name) {
+            Ok(v)
+        } else {
+            self.net_value(name)
+        }
+    }
+
+    fn binary(&mut self, op: BinOp, a: NodeId, b: NodeId) -> NodeId {
+        use BinaryOp as B;
+        match op {
+            BinOp::Add | BinOp::Sub | BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Mul => {
+                let (a, b) = same_width(self.m, a, b);
+                let w = self.m.width(a);
+                let rtl = match op {
+                    BinOp::Add => B::Add,
+                    BinOp::Sub => B::Sub,
+                    BinOp::Mul => B::MulS,
+                    BinOp::And => B::And,
+                    BinOp::Or => B::Or,
+                    _ => B::Xor,
+                };
+                self.m.binary(rtl, a, b, w)
+            }
+            BinOp::Shl | BinOp::Shr | BinOp::AShr => {
+                let w = self.m.width(a);
+                let rtl = match op {
+                    BinOp::Shl => B::Shl,
+                    BinOp::Shr => B::ShrL,
+                    _ => B::ShrA,
+                };
+                self.m.binary(rtl, a, b, w)
+            }
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                let (mut a, mut b) = same_width(self.m, a, b);
+                let rtl = match op {
+                    BinOp::Eq => B::Eq,
+                    BinOp::Ne => B::Ne,
+                    BinOp::Lt => B::LtS,
+                    BinOp::Le => B::LeS,
+                    BinOp::Gt | BinOp::Ge => {
+                        std::mem::swap(&mut a, &mut b);
+                        if op == BinOp::Gt {
+                            B::LtS
+                        } else {
+                            B::LeS
+                        }
+                    }
+                    _ => unreachable!("comparison arm"),
+                };
+                self.m.binary(rtl, a, b, 1)
+            }
+            BinOp::LogicAnd | BinOp::LogicOr => {
+                let a = truthy(self.m, a);
+                let b = truthy(self.m, b);
+                let rtl = if op == BinOp::LogicAnd { B::And } else { B::Or };
+                self.m.binary(rtl, a, b, 1)
+            }
+        }
+    }
+}
+
+/// Collects the nets assigned anywhere in a statement.
+fn collect_assigned(stmt: &Stmt, out: &mut Vec<String>) {
+    match stmt {
+        Stmt::Block(stmts) => {
+            for s in stmts {
+                collect_assigned(s, out);
+            }
+        }
+        Stmt::Assign { lhs, .. } => {
+            if !out.contains(lhs) {
+                out.push(lhs.clone());
+            }
+        }
+        Stmt::If { then, else_, .. } => {
+            collect_assigned(then, out);
+            if let Some(e) = else_ {
+                collect_assigned(e, out);
+            }
+        }
+        Stmt::Case { arms, default, .. } => {
+            for (_, body) in arms {
+                collect_assigned(body, out);
+            }
+            if let Some(d) = default {
+                collect_assigned(d, out);
+            }
+        }
+    }
+}
+
+/// Sign-extends or truncates to an exact width (everything is signed in
+/// this subset).
+fn fit(m: &mut Module, node: NodeId, width: u32) -> NodeId {
+    let w = m.width(node);
+    if w == width {
+        node
+    } else {
+        m.sext(node, width)
+    }
+}
+
+/// Widens the narrower operand so both match.
+fn same_width(m: &mut Module, a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+    let (wa, wb) = (m.width(a), m.width(b));
+    if wa == wb {
+        (a, b)
+    } else if wa < wb {
+        (m.sext(a, wb), b)
+    } else {
+        (a, m.sext(b, wa))
+    }
+}
+
+/// Reduces a value to a 1-bit truth value (non-zero test).
+fn truthy(m: &mut Module, v: NodeId) -> NodeId {
+    if m.width(v) == 1 {
+        v
+    } else {
+        m.unary(UnaryOp::ReduceOr, v)
+    }
+}
+
+/// Muxes two environments under `cond` into `out`.
+fn merge_env(
+    m: &mut Module,
+    cond: NodeId,
+    then_env: &HashMap<String, NodeId>,
+    else_env: &HashMap<String, NodeId>,
+    out: &mut HashMap<String, NodeId>,
+) {
+    for (name, &tv) in then_env {
+        let ev = else_env.get(name).copied().unwrap_or(tv);
+        let v = if tv == ev { tv } else { m.mux(cond, tv, ev) };
+        out.insert(name.clone(), v);
+    }
+    for (name, &ev) in else_env {
+        if !then_env.contains_key(name) {
+            out.insert(name.clone(), ev);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+    use hc_sim::Simulator;
+
+    fn sim(src: &str, top: &str) -> Simulator {
+        let d = parse(src).unwrap();
+        let m = elaborate(&d, top).unwrap();
+        m.validate().unwrap();
+        Simulator::new(m).unwrap()
+    }
+
+    #[test]
+    fn combinational_adder() {
+        // Subset rule: operations are computed at max(operand widths) and
+        // then fitted to the target, so an 8-bit add wraps even into a
+        // 9-bit net (designs declare intermediates wide enough, C-style).
+        let mut s = sim(
+            "module add (input signed [7:0] a, input signed [7:0] b, output [8:0] y);
+               assign y = a + b;
+             endmodule",
+            "add",
+        );
+        s.set_u64("a", 0x7f);
+        s.set_u64("b", 1);
+        assert_eq!(s.get("y").to_i64(), -128);
+        s.set_u64("b", 2);
+        assert_eq!(s.get("y").to_i64(), -127);
+    }
+
+    #[test]
+    fn clocked_counter_with_reset() {
+        let mut s = sim(
+            "module cnt (input clk, input rst, output reg [3:0] q);
+               always @(posedge clk)
+                 if (rst) q <= 4'd0;
+                 else q <= q + 4'd1;
+             endmodule",
+            "cnt",
+        );
+        s.set_u64("rst", 0);
+        s.run(5);
+        assert_eq!(s.get("q").to_u64(), 5);
+        s.set_u64("rst", 1);
+        s.step();
+        assert_eq!(s.get("q").to_u64(), 0);
+    }
+
+    #[test]
+    fn comb_always_with_case() {
+        let mut s = sim(
+            "module dec (input [1:0] s, output reg [3:0] y);
+               always @* begin
+                 case (s)
+                   2'd0: y = 4'b0001;
+                   2'd1: y = 4'b0010;
+                   2'd2: y = 4'b0100;
+                   default: y = 4'b1000;
+                 endcase
+               end
+             endmodule",
+            "dec",
+        );
+        for (sval, expect) in [(0u64, 1u64), (1, 2), (2, 4), (3, 8)] {
+            s.set_u64("s", sval);
+            assert_eq!(s.get("y").to_u64(), expect, "s={sval}");
+        }
+    }
+
+    #[test]
+    fn hierarchy_flattens_with_parameters() {
+        let mut s = sim(
+            "module scale #(parameter K = 2) (input signed [7:0] a, output signed [15:0] y);
+               assign y = a * K;
+             endmodule
+             module top (input signed [7:0] a, output signed [15:0] y);
+               wire signed [15:0] t;
+               scale #(.K(3)) u0 (.a(a), .y(t));
+               scale u1 (.a(t[7:0]), .y(y));
+             endmodule",
+            "top",
+        );
+        s.set_u64("a", 5);
+        assert_eq!(s.get("y").to_i64(), 30); // 5 * 3 * 2
+    }
+
+    #[test]
+    fn signed_arithmetic_and_arith_shift() {
+        let mut s = sim(
+            "module m (input signed [11:0] a, output signed [11:0] y);
+               assign y = (a * 12'sd3) >>> 2;
+             endmodule",
+            "m",
+        );
+        s.set("a", hc_bits::Bits::from_i64(12, -100));
+        assert_eq!(s.get("y").to_i64(), -75);
+    }
+
+    #[test]
+    fn multiply_driven_net_rejected() {
+        let d = parse(
+            "module m (input a, output y);
+               assign y = a;
+               assign y = ~a;
+             endmodule",
+        )
+        .unwrap();
+        let err = elaborate(&d, "m").unwrap_err();
+        assert!(err.to_string().contains("multiply driven"), "{err}");
+    }
+
+    #[test]
+    fn combinational_cycle_rejected() {
+        let d = parse(
+            "module m (output y);
+               wire a, b;
+               assign a = b;
+               assign b = a;
+               assign y = a;
+             endmodule",
+        )
+        .unwrap();
+        let err = elaborate(&d, "m").unwrap_err();
+        assert!(err.to_string().contains("cycle"), "{err}");
+    }
+
+    #[test]
+    fn dynamic_bit_select() {
+        let mut s = sim(
+            "module m (input [7:0] v, input [2:0] i, output y);
+               assign y = v[i];
+             endmodule",
+            "m",
+        );
+        s.set_u64("v", 0b0100_0000);
+        s.set_u64("i", 6);
+        assert_eq!(s.get("y").to_u64(), 1);
+        s.set_u64("i", 5);
+        assert_eq!(s.get("y").to_u64(), 0);
+    }
+
+    #[test]
+    fn nonblocking_swap() {
+        let mut s = sim(
+            "module m (input clk, output reg [3:0] a, output reg [3:0] b);
+               always @(posedge clk) begin
+                 a <= b + 4'd1;
+                 b <= a;
+               end
+             endmodule",
+            "m",
+        );
+        s.run(1);
+        assert_eq!(s.get("a").to_u64(), 1);
+        assert_eq!(s.get("b").to_u64(), 0);
+        s.run(1);
+        assert_eq!(s.get("a").to_u64(), 1);
+        assert_eq!(s.get("b").to_u64(), 1);
+    }
+}

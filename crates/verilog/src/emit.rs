@@ -1,0 +1,266 @@
+//! Verilog emission: any `hc-rtl` module → synthesizable Verilog-2005
+//! text within this crate's own subset, so emitted code round-trips
+//! through [`crate::parse`] + [`crate::elaborate`].
+//!
+//! This gives every frontend in the workspace a path to real-world
+//! toolchains: construct/rules/flow/dataflow/HLS designs can all be
+//! exported as plain Verilog.
+
+use hc_rtl::{BinaryOp, Module, Node, UnaryOp};
+use std::fmt::Write as _;
+
+/// Emits a module as Verilog source.
+///
+/// Every node becomes a `wire` assignment (`n<i>`), registers become
+/// `always @(posedge clk)` blocks with enable/reset muxing, and memories
+/// become unpacked arrays with one write block per port. Multi-bit nets
+/// are declared `signed` (the subset's semantics are all-signed).
+///
+/// The module gains an explicit `clk` input. Dynamic memory reads use the
+/// subset's shift-and-slice idiom.
+pub fn emit(module: &Module) -> String {
+    let mut s = String::new();
+    let w = &mut s;
+    let _ = writeln!(w, "module {} (", sanitize(module.name()));
+    let _ = writeln!(w, "  input clk,");
+    let mut ports = Vec::new();
+    for p in module.inputs() {
+        ports.push(format!("  input signed [{}:0] {}", p.width - 1, sanitize(&p.name)));
+    }
+    for o in module.outputs() {
+        ports.push(format!(
+            "  output signed [{}:0] {}",
+            module.width(o.node) - 1,
+            sanitize(&o.name)
+        ));
+    }
+    let _ = writeln!(w, "{}", ports.join(",\n"));
+    let _ = writeln!(w, ");");
+
+    // Register and memory declarations.
+    for (i, r) in module.regs().iter().enumerate() {
+        let _ = writeln!(w, "  reg signed [{}:0] r{i}; // {}", r.width - 1, r.name);
+    }
+    for (i, mem) in module.mems().iter().enumerate() {
+        let _ = writeln!(
+            w,
+            "  reg signed [{}:0] m{i} [0:{}]; // {}",
+            mem.width - 1,
+            mem.depth - 1,
+            mem.name
+        );
+    }
+
+    // Combinational nodes in topological order.
+    for (i, nd) in module.nodes().iter().enumerate() {
+        let rhs = node_rhs(module, i, &nd.node);
+        let _ = writeln!(w, "  wire signed [{}:0] n{i};", nd.width - 1);
+        let _ = writeln!(w, "  assign n{i} = {rhs};");
+    }
+
+    // Register updates.
+    for (i, r) in module.regs().iter().enumerate() {
+        let next = r.next.expect("emit expects validated modules");
+        let _ = writeln!(w, "  always @(posedge clk) begin");
+        let mut guard_depth = 0;
+        if let Some(rst) = r.reset {
+            let init = r.init.to_i64();
+            let _ = writeln!(w, "    if (n{}) r{i} <= {init};", rst.index());
+            let _ = write!(w, "    else ");
+            guard_depth = 1;
+        } else {
+            let _ = write!(w, "    ");
+        }
+        if let Some(en) = r.en {
+            let _ = writeln!(w, "if (n{}) r{i} <= n{};", en.index(), next.index());
+        } else {
+            let _ = writeln!(w, "r{i} <= n{};", next.index());
+        }
+        let _ = guard_depth;
+        let _ = writeln!(w, "  end");
+    }
+
+    // Memory writes.
+    for (i, mem) in module.mems().iter().enumerate() {
+        for wr in &mem.writes {
+            let _ = writeln!(
+                w,
+                "  always @(posedge clk) if (n{}) m{i}[n{}] <= n{};",
+                wr.en.index(),
+                wr.addr.index(),
+                wr.data.index()
+            );
+        }
+    }
+
+    for o in module.outputs() {
+        let _ = writeln!(w, "  assign {} = n{};", sanitize(&o.name), o.node.index());
+    }
+    let _ = writeln!(w, "endmodule");
+    s
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .collect()
+}
+
+fn node_rhs(m: &Module, idx: usize, node: &Node) -> String {
+    let n = |id: hc_rtl::NodeId| format!("n{}", id.index());
+    match node {
+        Node::Const(v) => {
+            let w = v.width();
+            if w <= 63 {
+                format!("{w}'sd{}", v.to_u64())
+            } else {
+                // Wide constants: build from 32-bit chunks.
+                let mut parts = Vec::new();
+                let mut lo = 0;
+                while lo < w {
+                    let cw = (w - lo).min(32);
+                    parts.push(format!("{cw}'d{}", v.slice(lo, cw).to_u64()));
+                    lo += cw;
+                }
+                parts.reverse();
+                format!("{{{}}}", parts.join(", "))
+            }
+        }
+        Node::Input(i) => sanitize(&m.inputs()[*i].name),
+        Node::Unary(op, a) => match op {
+            UnaryOp::Not => format!("~{}", n(*a)),
+            UnaryOp::Neg => format!("-{}", n(*a)),
+            UnaryOp::ReduceOr => format!("|{}", n(*a)),
+            UnaryOp::ReduceAnd => format!("&{}", n(*a)),
+            UnaryOp::ReduceXor => format!("^{}", n(*a)),
+        },
+        Node::Binary(op, a, b) => {
+            let sym = match op {
+                BinaryOp::Add => "+",
+                BinaryOp::Sub => "-",
+                BinaryOp::MulS | BinaryOp::MulU => "*",
+                BinaryOp::DivU => "/",
+                BinaryOp::RemU => "%",
+                BinaryOp::And => "&",
+                BinaryOp::Or => "|",
+                BinaryOp::Xor => "^",
+                BinaryOp::Eq => "==",
+                BinaryOp::Ne => "!=",
+                BinaryOp::LtU | BinaryOp::LtS => "<",
+                BinaryOp::LeU | BinaryOp::LeS => "<=",
+                BinaryOp::Shl => "<<<",
+                BinaryOp::ShrL => ">>",
+                BinaryOp::ShrA => ">>>",
+            };
+            // The subset computes at max(operand width) then fits; pad the
+            // narrower operand explicitly so widths agree with the IR.
+            let (wa, wb) = (m.width(*a), m.width(*b));
+            let widen = |id: hc_rtl::NodeId, to: u32| {
+                let from = m.width(id);
+                if from >= to {
+                    n(id)
+                } else {
+                    // Manual sign extension keeps the subset simple.
+                    format!(
+                        "{{{{{}{{{}[{}]}}}}, {}}}",
+                        to - from,
+                        n(id),
+                        from - 1,
+                        n(id)
+                    )
+                }
+            };
+            let out_w = m.width(hc_rtl::NodeId::from_index(idx));
+            let zero_pad = |id: hc_rtl::NodeId, to: u32| {
+                let from = m.width(id);
+                if from >= to {
+                    n(id)
+                } else {
+                    format!("{{{}'d0, {}}}", to - from, n(id))
+                }
+            };
+            match op {
+                BinaryOp::Shl | BinaryOp::ShrL | BinaryOp::ShrA => {
+                    format!("{} {sym} {}", n(*a), n(*b))
+                }
+                BinaryOp::MulU
+                | BinaryOp::LtU
+                | BinaryOp::LeU
+                | BinaryOp::DivU
+                | BinaryOp::RemU => {
+                    // The subset is all-signed; zero-padding one extra bit
+                    // makes the signed operator compute the unsigned
+                    // semantics.
+                    let wmax = wa.max(wb).max(out_w) + 1;
+                    format!("{} {sym} {}", zero_pad(*a, wmax), zero_pad(*b, wmax))
+                }
+                _ => {
+                    // Widening IR ops (full-precision multiply, +1-bit add)
+                    // need their operands at the result width — the subset
+                    // computes at max(operand widths).
+                    let wmax = wa.max(wb).max(out_w);
+                    format!("{} {sym} {}", widen(*a, wmax), widen(*b, wmax))
+                }
+            }
+        }
+        Node::Mux {
+            sel,
+            on_true,
+            on_false,
+        } => format!("{} ? {} : {}", n(*sel), n(*on_true), n(*on_false)),
+        Node::Concat(hi, lo) => format!("{{{}, {}}}", n(*hi), n(*lo)),
+        Node::Slice { src, lo } => {
+            let width = m.width(hc_rtl::NodeId::from_index(idx));
+            format!("{}[{}:{}]", n(*src), lo + width - 1, lo)
+        }
+        Node::ZExt(a) => {
+            let width = m.width(hc_rtl::NodeId::from_index(idx));
+            let from = m.width(*a);
+            if from >= width {
+                format!("{}[{}:0]", n(*a), width - 1)
+            } else {
+                format!("{{{}'d0, {}}}", width - from, n(*a))
+            }
+        }
+        Node::SExt(a) => {
+            let width = m.width(hc_rtl::NodeId::from_index(idx));
+            let from = m.width(*a);
+            if from >= width {
+                format!("{}[{}:0]", n(*a), width - 1)
+            } else {
+                format!(
+                    "{{{{{}{{{}[{}]}}}}, {}}}",
+                    width - from,
+                    n(*a),
+                    from - 1,
+                    n(*a)
+                )
+            }
+        }
+        Node::RegOut(r) => format!("r{}", r.index()),
+        Node::MemRead { mem, addr } => format!("m{}[n{}]", mem.index(), n(*addr)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hc_rtl::Module;
+
+    #[test]
+    fn emits_counter_verilog() {
+        let mut m = Module::new("cnt");
+        let en = m.input("en", 1);
+        let r = m.reg("count", 8, hc_bits::Bits::zero(8));
+        let q = m.reg_out(r);
+        let one = m.const_u(8, 1);
+        let nx = m.binary(BinaryOp::Add, q, one, 8);
+        m.connect_reg(r, nx);
+        m.reg_en(r, en);
+        m.output("count", q);
+        let text = emit(&m);
+        assert!(text.contains("module cnt"), "{text}");
+        assert!(text.contains("always @(posedge clk)"), "{text}");
+        assert!(text.contains("assign count"), "{text}");
+    }
+}

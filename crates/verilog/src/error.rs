@@ -1,0 +1,57 @@
+//! Frontend error type with source positions.
+
+use std::error::Error;
+use std::fmt;
+
+/// A lexical, syntactic or elaboration error, with a line number where one
+/// is known.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VerilogError {
+    message: String,
+    line: Option<u32>,
+}
+
+impl VerilogError {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        VerilogError {
+            message: message.into(),
+            line: None,
+        }
+    }
+
+    pub(crate) fn at(line: u32, message: impl Into<String>) -> Self {
+        VerilogError {
+            message: message.into(),
+            line: Some(line),
+        }
+    }
+
+    /// The source line, if known (1-based).
+    pub fn line(&self) -> Option<u32> {
+        self.line
+    }
+}
+
+impl fmt::Display for VerilogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.line {
+            Some(line) => write!(f, "line {line}: {}", self.message),
+            None => f.write_str(&self.message),
+        }
+    }
+}
+
+impl Error for VerilogError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_line() {
+        let e = VerilogError::at(12, "unexpected token");
+        assert_eq!(e.to_string(), "line 12: unexpected token");
+        assert_eq!(e.line(), Some(12));
+        assert_eq!(VerilogError::new("x").to_string(), "x");
+    }
+}

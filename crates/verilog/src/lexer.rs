@@ -1,0 +1,248 @@
+//! Tokenizer for the Verilog subset.
+
+use crate::error::VerilogError;
+
+/// One lexical token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) enum Tok {
+    Ident(String),
+    /// `value`, optional explicit `width`, `signed` marker from `'s`.
+    Number {
+        value: i64,
+        width: Option<u32>,
+    },
+    Punct(&'static str),
+    Eof,
+}
+
+/// A token plus its 1-based source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) struct SpannedTok {
+    pub tok: Tok,
+    pub line: u32,
+}
+
+const PUNCTS: &[&str] = &[
+    // longest first so greedy matching works
+    ">>>", "<<<", "<=", ">=", "==", "!=", "&&", "||", "<<", ">>", "@*", "+", "-", "*", "/", "%",
+    "&", "|", "^", "~", "!", "<", ">", "=", "?", ":", ";", ",", ".", "(", ")", "[", "]", "{",
+    "}", "@", "#",
+];
+
+/// Tokenizes `source`, skipping whitespace and comments.
+pub(crate) fn lex(source: &str) -> Result<Vec<SpannedTok>, VerilogError> {
+    let bytes = source.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    'outer: while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < bytes.len() {
+            match bytes[i + 1] as char {
+                '/' => {
+                    while i < bytes.len() && bytes[i] as char != '\n' {
+                        i += 1;
+                    }
+                    continue;
+                }
+                '*' => {
+                    i += 2;
+                    while i + 1 < bytes.len() {
+                        if bytes[i] as char == '\n' {
+                            line += 1;
+                        }
+                        if bytes[i] as char == '*' && bytes[i + 1] as char == '/' {
+                            i += 2;
+                            continue 'outer;
+                        }
+                        i += 1;
+                    }
+                    return Err(VerilogError::at(line, "unterminated block comment"));
+                }
+                _ => {}
+            }
+        }
+        // Identifiers / keywords.
+        if c.is_ascii_alphabetic() || c == '_' || c == '$' {
+            let start = i;
+            while i < bytes.len() {
+                let ch = bytes[i] as char;
+                if ch.is_ascii_alphanumeric() || ch == '_' || ch == '$' {
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+            out.push(SpannedTok {
+                tok: Tok::Ident(source[start..i].to_owned()),
+                line,
+            });
+            continue;
+        }
+        // Numbers: `123`, `12'd34`, `8'shff`, `4'b1010`.
+        if c.is_ascii_digit() || c == '\'' {
+            let (tok, len) = lex_number(&source[i..], line)?;
+            out.push(SpannedTok { tok, line });
+            i += len;
+            continue;
+        }
+        // Punctuation.
+        for p in PUNCTS {
+            if source[i..].starts_with(p) {
+                out.push(SpannedTok {
+                    tok: Tok::Punct(p),
+                    line,
+                });
+                i += p.len();
+                continue 'outer;
+            }
+        }
+        return Err(VerilogError::at(line, format!("unexpected character {c:?}")));
+    }
+    out.push(SpannedTok {
+        tok: Tok::Eof,
+        line,
+    });
+    Ok(out)
+}
+
+fn lex_number(s: &str, line: u32) -> Result<(Tok, usize), VerilogError> {
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    // Optional leading decimal size.
+    let mut size_digits = String::new();
+    while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+        size_digits.push(bytes[i] as char);
+        i += 1;
+    }
+    if i >= bytes.len() || bytes[i] as char != '\'' {
+        // Plain unsized decimal.
+        let value: i64 = size_digits
+            .parse()
+            .map_err(|_| VerilogError::at(line, "bad number"))?;
+        return Ok((
+            Tok::Number {
+                value,
+                width: None,
+            },
+            i,
+        ));
+    }
+    // Sized/based literal.
+    i += 1; // consume '
+    let width = if size_digits.is_empty() {
+        32
+    } else {
+        size_digits
+            .parse()
+            .map_err(|_| VerilogError::at(line, "bad literal size"))?
+    };
+    if i < bytes.len() && (bytes[i] as char) == 's' {
+        i += 1; // all arithmetic is signed in this subset anyway
+    }
+    let base = match bytes.get(i).map(|&b| b as char) {
+        Some('d') | Some('D') => 10,
+        Some('h') | Some('H') => 16,
+        Some('b') | Some('B') => 2,
+        Some('o') | Some('O') => 8,
+        other => {
+            return Err(VerilogError::at(
+                line,
+                format!("bad literal base {other:?}"),
+            ))
+        }
+    };
+    i += 1;
+    let start = i;
+    while i < bytes.len() {
+        let ch = bytes[i] as char;
+        if ch.is_ascii_alphanumeric() || ch == '_' {
+            i += 1;
+        } else {
+            break;
+        }
+    }
+    let digits: String = s[start..i].chars().filter(|&c| c != '_').collect();
+    if digits.is_empty() {
+        return Err(VerilogError::at(line, "literal without digits"));
+    }
+    let value = i64::from_str_radix(&digits, base)
+        .map_err(|_| VerilogError::at(line, format!("bad literal digits {digits:?}")))?;
+    Ok((
+        Tok::Number {
+            value,
+            width: Some(width),
+        },
+        i,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn identifiers_and_puncts() {
+        let toks = kinds("assign y = a >>> 3;");
+        assert_eq!(
+            toks,
+            vec![
+                Tok::Ident("assign".into()),
+                Tok::Ident("y".into()),
+                Tok::Punct("="),
+                Tok::Ident("a".into()),
+                Tok::Punct(">>>"),
+                Tok::Number { value: 3, width: None },
+                Tok::Punct(";"),
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn sized_literals() {
+        assert_eq!(
+            kinds("12'sd511 8'hff 4'b1010")[..3],
+            [
+                Tok::Number { value: 511, width: Some(12) },
+                Tok::Number { value: 255, width: Some(8) },
+                Tok::Number { value: 0b1010, width: Some(4) },
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped_and_lines_tracked() {
+        let toks = lex("// line one\n/* block\nspans */ wire").unwrap();
+        assert_eq!(toks[0].tok, Tok::Ident("wire".into()));
+        assert_eq!(toks[0].line, 3);
+    }
+
+    #[test]
+    fn bad_character_reported_with_line() {
+        let err = lex("wire\n`bad").unwrap_err();
+        assert_eq!(err.line(), Some(2));
+    }
+
+    #[test]
+    fn underscores_in_literals() {
+        assert_eq!(
+            kinds("16'h12_34")[0],
+            Tok::Number { value: 0x1234, width: Some(16) }
+        );
+    }
+}

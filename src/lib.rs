@@ -1,0 +1,51 @@
+//! **hls-vs-hc** — a self-contained Rust reproduction of
+//! *"High-Level Synthesis versus Hardware Construction"* (DATE 2023).
+//!
+//! The paper compares seven language/tool pairs (Verilog, Chisel, BSV,
+//! DSLX/XLS, MaxJ/MaxCompiler, C/Bambu, C/Vivado HLS) on an 8×8 IDCT with
+//! AXI-Stream wrappers, measuring automation, controllability and
+//! flexibility over the quality `Q = P/A`. This workspace rebuilds the
+//! *entire* stack those tools provided — RTL IR, simulator, synthesis
+//! estimator, AXI-Stream substrate, one frontend per paradigm, the IEEE
+//! 1180 benchmark and the evaluation methodology — as pure Rust.
+//!
+//! This crate is the facade: it re-exports every sub-crate under one
+//! name. Start with `core::entries::all_tools` and
+//! `core::measure::measure_all`, or run the binaries in `hc-bench`:
+//!
+//! ```bash
+//! cargo run --release -p hc-bench --bin table2
+//! cargo run --release -p hc-bench --bin fig1
+//! ```
+//!
+//! # Examples
+//!
+//! Stream one coefficient block through the baseline Verilog design:
+//!
+//! ```
+//! use hls_vs_hc::axi::StreamHarness;
+//! use hls_vs_hc::idct::{fixed, Block};
+//!
+//! let module = hls_vs_hc::verilog::designs::initial_design()?;
+//! let mut harness = StreamHarness::new(module)?;
+//! let mut block = Block::zero();
+//! block[(0, 0)] = 160;
+//! let (outputs, timing) = harness.run(&[block.0], 200);
+//! assert_eq!(Block(outputs[0]), fixed::idct2d(&block));
+//! assert_eq!(timing.latency, 17);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub use hc_axi as axi;
+pub use hc_bits as bits;
+pub use hc_construct as construct;
+pub use hc_core as core;
+pub use hc_dataflow as dataflow;
+pub use hc_flow as flow;
+pub use hc_hls as hls;
+pub use hc_idct as idct;
+pub use hc_rtl as rtl;
+pub use hc_rules as rules;
+pub use hc_sim as sim;
+pub use hc_synth as synth;
+pub use hc_verilog as verilog;

@@ -1,0 +1,51 @@
+//! §III-B: all implementations are IEEE Std 1180-1990 compliant.
+//!
+//! The golden fixed-point model runs the full standard procedure (10 000
+//! blocks per range and sign); hardware designs — bit-exact with the model
+//! by the conformance suites — are spot-checked through simulation on a
+//! reduced run.
+
+use hls_vs_hc::axi::StreamHarness;
+use hls_vs_hc::idct::ieee1180::{measure_all, measure_range, STANDARD_BLOCKS};
+use hls_vs_hc::idct::rand1180::Rand1180;
+use hls_vs_hc::idct::{fixed, Block};
+
+#[test]
+fn golden_model_passes_the_full_standard_procedure() {
+    for ((l, h), negate, stats) in measure_all(|b| fixed::idct2d(b), STANDARD_BLOCKS) {
+        assert!(
+            stats.is_compliant(),
+            "range (-{l}, {h}) negate={negate}: {:?}",
+            stats.violations()
+        );
+    }
+}
+
+#[test]
+fn hardware_design_is_compliant_on_a_sampled_run() {
+    // Simulating 60 000 blocks is out of reach for a unit test; 300 blocks
+    // through the real RTL checks that hardware == golden on the
+    // standard's own stimulus (bit-exactness then carries the full-run
+    // verdict over).
+    let module = hls_vs_hc::verilog::designs::opt_rowcol().expect("parses");
+    let mut harness = StreamHarness::new(module).expect("validates");
+    let mut rng = Rand1180::new();
+    let blocks: Vec<Block> = (0..300)
+        .map(|_| Block::from_fn(|_, _| rng.next_in(256, 255)))
+        .collect();
+    let inputs: Vec<[[i32; 8]; 8]> = blocks.iter().map(|b| b.0).collect();
+    let (outputs, _) = harness.run(&inputs, 40_000);
+    assert_eq!(outputs.len(), blocks.len());
+    for (b, o) in blocks.iter().zip(&outputs) {
+        assert_eq!(Block(*o), fixed::idct2d(b));
+    }
+}
+
+#[test]
+fn reduced_run_statistics_are_stable() {
+    // The compliance harness itself is deterministic: two runs agree.
+    let a = measure_range(&mut |b| fixed::idct2d(b), 300, 300, 500, false);
+    let b = measure_range(&mut |b| fixed::idct2d(b), 300, 300, 500, false);
+    assert_eq!(a, b);
+    assert!(a.ppe <= 1);
+}
