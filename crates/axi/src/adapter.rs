@@ -176,7 +176,14 @@ impl OutputSide {
 
     /// Completes the output side: on `load`, capture `rows_next` (8 packed
     /// rows) and restart streaming.
-    fn finish(&self, m: &mut Module, rst: NodeId, spec: MatrixWrapperSpec, load: NodeId, rows_next: &[NodeId]) {
+    fn finish(
+        &self,
+        m: &mut Module,
+        rst: NodeId,
+        spec: MatrixWrapperSpec,
+        load: NodeId,
+        rows_next: &[NodeId],
+    ) {
         assert_eq!(rows_next.len(), 8);
         let mut row_outs = Vec::with_capacity(8);
         for (i, &next) in rows_next.iter().enumerate() {
@@ -449,10 +456,7 @@ mod tests {
         m.validate().unwrap();
         assert!(m.input_named("s_axis_tdata").is_some());
         assert_eq!(m.input_named("s_axis_tdata").unwrap().width, 96);
-        assert_eq!(
-            m.width(m.output_named("m_axis_tdata").unwrap().node),
-            72
-        );
+        assert_eq!(m.width(m.output_named("m_axis_tdata").unwrap().node), 72);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Bus-functional models: stream driver, monitor and protocol checker.
 
 use hc_bits::Bits;
-use hc_sim::Simulator;
+use hc_sim::SimBackend;
 use std::collections::VecDeque;
 use std::error::Error;
 use std::fmt;
@@ -55,7 +55,7 @@ impl AxisDriver {
 
     /// Applies stimulus for this cycle and records a handshake if the DUT
     /// accepted the word. Call after other inputs are set, before `step`.
-    pub fn before_edge(&mut self, sim: &mut Simulator) {
+    pub fn before_edge<B: SimBackend>(&mut self, sim: &mut B) {
         let valid = !self.queue.is_empty() && self.pending_gap == 0;
         sim.set_u64(&format!("{}_tvalid", self.prefix), valid as u64);
         let data = self
@@ -109,9 +109,9 @@ impl AxisMonitor {
 
     /// Applies the ready pattern and samples a beat if one occurs. Call
     /// after drivers, before `step`.
-    pub fn before_edge(&mut self, sim: &mut Simulator) {
+    pub fn before_edge<B: SimBackend>(&mut self, sim: &mut B) {
         let cycle = sim.cycle();
-        let ready = self.stall_period == 0 || (cycle % u64::from(self.stall_period)) != 0;
+        let ready = self.stall_period == 0 || !cycle.is_multiple_of(u64::from(self.stall_period));
         sim.set_u64(&format!("{}_tready", self.prefix), ready as u64);
         if ready && sim.get(&format!("{}_tvalid", self.prefix)).to_bool() {
             let data = sim.get(&format!("{}_tdata", self.prefix));
@@ -159,11 +159,13 @@ impl ProtocolChecker {
     }
 
     /// Samples the interface for this cycle; call right before `step`.
-    pub fn before_edge(&mut self, sim: &mut Simulator) {
+    pub fn before_edge<B: SimBackend>(&mut self, sim: &mut B) {
         let cycle = sim.cycle();
         let valid = sim.get(&format!("{}_tvalid", self.prefix)).to_bool();
         // tready is an input of the device under test.
-        let ready = sim.input_value(&format!("{}_tready", self.prefix)).to_bool();
+        let ready = sim
+            .input_value(&format!("{}_tready", self.prefix))
+            .to_bool();
         let data = sim.get(&format!("{}_tdata", self.prefix));
         if let Some(held) = &self.waiting {
             if !valid {
@@ -186,6 +188,7 @@ impl ProtocolChecker {
 mod tests {
     use super::*;
     use crate::{wrap_comb_matrix, MatrixWrapperSpec};
+    use hc_sim::Simulator;
 
     fn dut() -> Simulator {
         let m = wrap_comb_matrix("w", MatrixWrapperSpec::idct(), |m, elems| {

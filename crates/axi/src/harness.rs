@@ -4,7 +4,7 @@
 use crate::bfm::{AxisDriver, AxisMonitor, ProtocolChecker};
 use hc_bits::Bits;
 use hc_rtl::{Module, ValidateError};
-use hc_sim::Simulator;
+use hc_sim::{CompiledSimulator, SimBackend, Simulator};
 
 /// Cycle figures measured by [`StreamHarness::run`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -22,18 +22,23 @@ pub struct StreamTiming {
 /// Expects the conventional interface produced by the adapter generators:
 /// `rst`, `s_axis_*` (96-bit rows of 12-bit elements) and `m_axis_*`
 /// (72-bit rows of 9-bit elements). See the [crate-level example](crate).
+///
+/// The harness is generic over the simulation engine. The default is the
+/// interpreted [`Simulator`]; [`StreamHarness::compiled`] builds one on the
+/// lowered [`CompiledSimulator`] for measurement sweeps. Both produce
+/// identical functional output and timing.
 #[derive(Debug)]
-pub struct StreamHarness {
-    sim: Simulator,
+pub struct StreamHarness<B: SimBackend = Simulator> {
+    sim: B,
     in_elem_width: u32,
     out_elem_width: u32,
     /// Protocol violations observed during runs.
     pub protocol_errors: Vec<crate::ProtocolError>,
 }
 
-impl StreamHarness {
-    /// Builds a harness (validating the module) and applies one reset
-    /// cycle.
+impl StreamHarness<Simulator> {
+    /// Builds an interpreted-backend harness (validating the module) and
+    /// applies one reset cycle.
     ///
     /// # Errors
     ///
@@ -43,7 +48,7 @@ impl StreamHarness {
         Self::with_widths(module, 12, 9)
     }
 
-    /// A harness for non-IDCT element widths.
+    /// An interpreted-backend harness for non-IDCT element widths.
     ///
     /// # Errors
     ///
@@ -54,7 +59,44 @@ impl StreamHarness {
         in_elem_width: u32,
         out_elem_width: u32,
     ) -> Result<Self, ValidateError> {
-        let mut sim = Simulator::new(module)?;
+        Self::with_backend(module, in_elem_width, out_elem_width)
+    }
+}
+
+impl StreamHarness<CompiledSimulator> {
+    /// Builds a harness on the compiled backend and applies one reset
+    /// cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns the module's [`ValidateError`] if it is structurally
+    /// invalid.
+    pub fn compiled(module: Module) -> Result<Self, ValidateError> {
+        Self::compiled_with_widths(module, 12, 9)
+    }
+
+    /// A compiled-backend harness for non-IDCT element widths.
+    ///
+    /// # Errors
+    ///
+    /// Returns the module's [`ValidateError`] if it is structurally
+    /// invalid.
+    pub fn compiled_with_widths(
+        module: Module,
+        in_elem_width: u32,
+        out_elem_width: u32,
+    ) -> Result<Self, ValidateError> {
+        Self::with_backend(module, in_elem_width, out_elem_width)
+    }
+}
+
+impl<B: SimBackend> StreamHarness<B> {
+    fn with_backend(
+        module: Module,
+        in_elem_width: u32,
+        out_elem_width: u32,
+    ) -> Result<Self, ValidateError> {
+        let mut sim = B::from_module(module)?;
         sim.set_u64("rst", 1);
         sim.set_u64("s_axis_tvalid", 0);
         sim.set_u64("m_axis_tready", 0);
@@ -69,14 +111,18 @@ impl StreamHarness {
     }
 
     /// Access to the simulator (e.g. for probing).
-    pub fn simulator_mut(&mut self) -> &mut Simulator {
+    pub fn simulator_mut(&mut self) -> &mut B {
         &mut self.sim
     }
 
     /// Streams `matrices` through the wrapper back-to-back and collects the
     /// decoded outputs plus timing. Gives up after `max_cycles` (returning
     /// whatever was collected — callers assert on the output count).
-    pub fn run(&mut self, matrices: &[[[i32; 8]; 8]], max_cycles: u64) -> (Vec<[[i32; 8]; 8]>, StreamTiming) {
+    pub fn run(
+        &mut self,
+        matrices: &[[[i32; 8]; 8]],
+        max_cycles: u64,
+    ) -> (Vec<[[i32; 8]; 8]>, StreamTiming) {
         let mut driver = AxisDriver::new("s_axis", self.in_elem_width * 8);
         let mut monitor = AxisMonitor::new("m_axis");
         let mut checker = ProtocolChecker::new("m_axis");
@@ -97,7 +143,7 @@ impl StreamHarness {
             monitor.before_edge(&mut self.sim);
             driver.before_edge(&mut self.sim);
             checker.before_edge(&mut self.sim);
-            if driver.beats_sent > sent_before && (driver.beats_sent - 1) % 8 == 0 {
+            if driver.beats_sent > sent_before && (driver.beats_sent - 1).is_multiple_of(8) {
                 first_in_beats.push(self.sim.cycle());
             }
             self.sim.step();
@@ -127,12 +173,7 @@ impl StreamHarness {
             if let Some(last) = last_out_of_first {
                 timing.latency = last - first_in_beats[0] + 1;
             }
-            let firsts: Vec<u64> = monitor
-                .beats
-                .iter()
-                .step_by(8)
-                .map(|(c, _)| *c)
-                .collect();
+            let firsts: Vec<u64> = monitor.beats.iter().step_by(8).map(|(c, _)| *c).collect();
             if firsts.len() >= 3 {
                 // Steady state: the spacing of the last pair.
                 timing.periodicity = firsts[firsts.len() - 1] - firsts[firsts.len() - 2];
@@ -214,19 +255,36 @@ mod tests {
             m
         };
         let (outs, _) = h.run(&[m], 200);
-        assert_eq!(outs[0], m.map(|row| row.map(|v| {
-            // identity kernel truncates to 9 bits then we sign-extend back
-            let x = v & 0x1ff;
-            if x >= 256 { x - 512 } else { x }
-        })));
+        assert_eq!(
+            outs[0],
+            m.map(|row| row.map(|v| {
+                // identity kernel truncates to 9 bits then we sign-extend back
+                let x = v & 0x1ff;
+                if x >= 256 {
+                    x - 512
+                } else {
+                    x
+                }
+            }))
+        );
+    }
+
+    #[test]
+    fn compiled_backend_matches_interpreted_timing() {
+        let mut interp = StreamHarness::new(identity_wrapper()).unwrap();
+        let mut comp = StreamHarness::compiled(identity_wrapper()).unwrap();
+        let blocks: Vec<[[i32; 8]; 8]> = (0..4).map(|k| [[k - 2; 8]; 8]).collect();
+        let (outs_i, timing_i) = interp.run(&blocks, 1000);
+        let (outs_c, timing_c) = comp.run(&blocks, 1000);
+        assert_eq!(outs_i, outs_c);
+        assert_eq!(timing_i, timing_c);
+        assert!(comp.protocol_errors.is_empty());
     }
 
     #[test]
     fn back_to_back_matrices_all_come_through() {
         let mut h = StreamHarness::new(identity_wrapper()).unwrap();
-        let blocks: Vec<[[i32; 8]; 8]> = (0..10)
-            .map(|k| [[k as i32; 8]; 8])
-            .collect();
+        let blocks: Vec<[[i32; 8]; 8]> = (0..10).map(|k| [[k; 8]; 8]).collect();
         let (outs, timing) = h.run(&blocks, 2000);
         assert_eq!(outs.len(), 10);
         for (k, o) in outs.iter().enumerate() {

@@ -3,8 +3,8 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use hc_axi::StreamHarness;
-use hc_idct::generator::BlockGen;
 use hc_idct::fixed;
+use hc_idct::generator::BlockGen;
 use hc_rtl::passes::optimize;
 use hc_synth::{synthesize, Device, SynthOptions};
 
@@ -63,6 +63,31 @@ fn simulate_stream(c: &mut Criterion) {
     });
 }
 
+/// Head-to-head over the same workload: the Verilog initial design pushing
+/// 64 blocks through its AXI-Stream interface, interpreted vs compiled.
+fn sim_interpreted_vs_compiled(c: &mut Criterion) {
+    let module = hc_verilog::designs::initial_design().expect("parses");
+    let blocks = BlockGen::new(3, -2048, 2047).take_blocks(64);
+    let inputs: Vec<[[i32; 8]; 8]> = blocks.iter().map(|b| b.0).collect();
+    let budget = 2000 * (inputs.len() as u64 + 4);
+    let mut group = c.benchmark_group("sim_interpreted_vs_compiled");
+    group.bench_function("interpreted_64_blocks", |b| {
+        b.iter_batched(
+            || StreamHarness::new(module.clone()).expect("validates"),
+            |mut h| h.run(&inputs, budget).0.len(),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("compiled_64_blocks", |b| {
+        b.iter_batched(
+            || StreamHarness::compiled(module.clone()).expect("validates"),
+            |mut h| h.run(&inputs, budget).0.len(),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
 fn pipeline_scheduler(c: &mut Criterion) {
     let f = hc_flow::designs::idct_kernel().expect("pure");
     c.bench_function("pipeline_idct_kernel_8_stages", |b| {
@@ -90,6 +115,7 @@ criterion_group!(
     optimize_passes,
     synthesize_design,
     simulate_stream,
+    sim_interpreted_vs_compiled,
     pipeline_scheduler,
     hls_scheduler
 );

@@ -11,18 +11,29 @@ use hc_rtl::passes::optimize;
 use hc_synth::{synthesize, Device, SynthOptions};
 
 fn main() {
-    println!("== Ablation 1: Verilog unit scaling (paper: x1.8 throughput, /1.7 area; then x2, /4.6) ==");
+    println!(
+        "== Ablation 1: Verilog unit scaling (paper: x1.8 throughput, /1.7 area; then x2, /4.6) =="
+    );
     let mut base: Option<hc_core::measure::Measurement> = None;
     for d in dse_points(ToolId::Verilog) {
         let m = measure(&d, 3);
         match &base {
             None => {
-                println!("  {:<12} P={:6.2} MOPS  A*={:6}  Q={:5.0}  (baseline)", m.label, m.throughput_mops, m.area_nodsp.normalized(), m.q);
+                println!(
+                    "  {:<12} P={:6.2} MOPS  A*={:6}  Q={:5.0}  (baseline)",
+                    m.label,
+                    m.throughput_mops,
+                    m.area_nodsp.normalized(),
+                    m.q
+                );
                 base = Some(m);
             }
             Some(b) => println!(
                 "  {:<12} P={:6.2} MOPS  A*={:6}  Q={:5.0}  (P x{:.2}, A /{:.2}, Q x{:.1})",
-                m.label, m.throughput_mops, m.area_nodsp.normalized(), m.q,
+                m.label,
+                m.throughput_mops,
+                m.area_nodsp.normalized(),
+                m.q,
                 m.throughput_mops / b.throughput_mops,
                 b.area_nodsp.normalized() as f64 / m.area_nodsp.normalized() as f64,
                 m.q / b.q
@@ -34,8 +45,17 @@ fn main() {
     let mut best = (String::new(), 0.0f64);
     for d in dse_points(ToolId::Dslx) {
         let m = measure(&d, 2);
-        println!("  {:<11} fmax={:7.2}  P={:6.2}  A*={:6}  Q={:5.0}", m.label, m.fmax_mhz, m.throughput_mops, m.area_nodsp.normalized(), m.q);
-        if m.q > best.1 { best = (m.label.clone(), m.q); }
+        println!(
+            "  {:<11} fmax={:7.2}  P={:6.2}  A*={:6}  Q={:5.0}",
+            m.label,
+            m.fmax_mhz,
+            m.throughput_mops,
+            m.area_nodsp.normalized(),
+            m.q
+        );
+        if m.q > best.1 {
+            best = (m.label.clone(), m.q);
+        }
     }
     println!("  -> best: {} (Q={:.0})", best.0, best.1);
 
@@ -50,8 +70,14 @@ fn main() {
         };
         measure(&d, 3)
     };
-    println!("  AXI row-by-row : T_P={} -> P={:.2} MOPS at {:.1} MHz", wrapped.periodicity, wrapped.throughput_mops, wrapped.fmax_mhz);
-    println!("  matrix/cycle   : T_P={} -> P={:.2} MOPS (PCIe-bound)", raw.periodicity, raw.throughput_mops);
+    println!(
+        "  AXI row-by-row : T_P={} -> P={:.2} MOPS at {:.1} MHz",
+        wrapped.periodicity, wrapped.throughput_mops, wrapped.fmax_mhz
+    );
+    println!(
+        "  matrix/cycle   : T_P={} -> P={:.2} MOPS (PCIe-bound)",
+        raw.periodicity, raw.throughput_mops
+    );
     println!("  -> the adapter caps every wrapped design at 1 matrix / 8 cycles (paper: 'could run 8 times faster')");
 
     println!("\n== Ablation 4: maxdsp normalization ==");
@@ -60,7 +86,16 @@ fn main() {
     let dev = Device::xcvu9p();
     let with = synthesize(&m, &dev, &SynthOptions::default());
     let without = synthesize(&m, &dev, &SynthOptions::no_dsp());
-    println!("  default : LUT={:6} FF={:5} DSP={}", with.area.lut, with.area.ff, with.area.dsp);
-    println!("  maxdsp=0: LUT={:6} FF={:5} DSP={}  -> A* = {}", without.area.lut, without.area.ff, without.area.dsp, without.area.normalized());
+    println!(
+        "  default : LUT={:6} FF={:5} DSP={}",
+        with.area.lut, with.area.ff, with.area.dsp
+    );
+    println!(
+        "  maxdsp=0: LUT={:6} FF={:5} DSP={}  -> A* = {}",
+        without.area.lut,
+        without.area.ff,
+        without.area.dsp,
+        without.area.normalized()
+    );
     println!("  -> multipliers fold into LUT fabric, making area comparable across tools");
 }

@@ -14,7 +14,11 @@ fn main() {
         let (id, m) = &points[i];
         println!(
             "  {:?} {:<16} P={:8.2} MOPS  A*={:7}  Q={:.0}",
-            id, m.label, m.throughput_mops, m.area_nodsp.normalized(), m.q
+            id,
+            m.label,
+            m.throughput_mops,
+            m.area_nodsp.normalized(),
+            m.q
         );
     }
     let csv = hc_core::report::fig1_csv(&points);

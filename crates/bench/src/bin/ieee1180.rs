@@ -1,22 +1,32 @@
 //! §III-B: runs the full IEEE Std 1180-1990 procedure (10 000 blocks per
 //! range and sign) on the golden fixed-point IDCT and prints the accuracy
 //! statistics against their thresholds.
-use hc_idct::ieee1180::{measure_all, STANDARD_BLOCKS};
 use hc_idct::fixed;
+use hc_idct::ieee1180::{measure_all, STANDARD_BLOCKS};
 
 fn main() {
     println!("IEEE Std 1180-1990 compliance, fixed-point Chen-Wang IDCT");
-    println!("{} blocks per run; thresholds: ppe<=1 pmse<=0.06 omse<=0.02 pme<=0.015 ome<=0.0015\n", STANDARD_BLOCKS);
+    println!(
+        "{} blocks per run; thresholds: ppe<=1 pmse<=0.06 omse<=0.02 pme<=0.015 ome<=0.0015\n",
+        STANDARD_BLOCKS
+    );
     let mut all_ok = true;
-    for ((l, h), neg, s) in measure_all(|b| fixed::idct2d(b), STANDARD_BLOCKS) {
+    for ((l, h), neg, s) in measure_all(fixed::idct2d, STANDARD_BLOCKS) {
         let ok = s.is_compliant();
         all_ok &= ok;
         println!(
             "range (-{l:3},{h:3}) sign={} : ppe={} pmse={:.4} omse={:.5} pme={:.4} ome={:.5}  {}",
             if neg { "-" } else { "+" },
-            s.ppe, s.pmse, s.omse, s.pme, s.ome,
+            s.ppe,
+            s.pmse,
+            s.omse,
+            s.pme,
+            s.ome,
             if ok { "PASS" } else { "FAIL" }
         );
     }
-    println!("\noverall: {}", if all_ok { "COMPLIANT" } else { "NOT COMPLIANT" });
+    println!(
+        "\noverall: {}",
+        if all_ok { "COMPLIANT" } else { "NOT COMPLIANT" }
+    );
 }

@@ -1,0 +1,104 @@
+//! Performance snapshot: writes `BENCH_sim.json` so the simulation and
+//! sweep performance trajectory is tracked across PRs.
+//!
+//! Measures two things:
+//!
+//! 1. **Simulation throughput** (cycles/sec) of the interpreted and the
+//!    compiled backend pushing the same 64 blocks through the Verilog
+//!    initial design's AXI-Stream interface.
+//! 2. **Fig. 1 sweep wall-clock** with the serial and the parallel DSE
+//!    driver over the full design space.
+//!
+//! Usage: `cargo run -p hc-bench --release --bin perfsnap [nblocks]`
+//! (`nblocks` sizes the sweep simulation effort; default 2).
+
+use std::time::{Duration, Instant};
+
+use hc_axi::StreamHarness;
+use hc_idct::generator::BlockGen;
+
+/// Runs `make_and_run` repeatedly until ~0.5 s has elapsed (at least
+/// twice — the first rep warms caches) and returns (total cycles, time of
+/// the timed reps).
+fn sample<F: FnMut() -> u64>(mut make_and_run: F) -> (u64, Duration) {
+    make_and_run();
+    let mut cycles = 0u64;
+    let mut elapsed = Duration::ZERO;
+    let mut reps = 0;
+    while reps < 2 || elapsed < Duration::from_millis(500) {
+        let start = Instant::now();
+        cycles += make_and_run();
+        elapsed += start.elapsed();
+        reps += 1;
+    }
+    (cycles, elapsed)
+}
+
+fn main() {
+    let nblocks: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2);
+
+    let module = hc_verilog::designs::initial_design().expect("parses");
+    let blocks = BlockGen::new(3, -2048, 2047).take_blocks(64);
+    let inputs: Vec<[[i32; 8]; 8]> = blocks.iter().map(|b| b.0).collect();
+    let budget = 2000 * (inputs.len() as u64 + 4);
+
+    println!("simulating 64 blocks on the Verilog initial design...");
+    let (icycles, itime) = sample(|| {
+        let mut h = StreamHarness::new(module.clone()).expect("validates");
+        let n = h.run(&inputs, budget).0.len();
+        assert_eq!(n, inputs.len());
+        h.simulator_mut().cycle()
+    });
+    let (ccycles, ctime) = sample(|| {
+        let mut h = StreamHarness::compiled(module.clone()).expect("validates");
+        let n = h.run(&inputs, budget).0.len();
+        assert_eq!(n, inputs.len());
+        h.simulator_mut().cycle()
+    });
+    let ihz = icycles as f64 / itime.as_secs_f64();
+    let chz = ccycles as f64 / ctime.as_secs_f64();
+    println!("  interpreted: {ihz:12.0} cycles/sec");
+    println!("  compiled:    {chz:12.0} cycles/sec  ({:.1}x)", chz / ihz);
+
+    println!("fig. 1 sweep (nblocks = {nblocks})...");
+    // Warm the shared stimulus cache so neither driver pays generation.
+    let _ = hc_bench::fig1_points(nblocks);
+    let start = Instant::now();
+    let serial = hc_bench::fig1_points_serial(nblocks);
+    let serial_time = start.elapsed();
+    let start = Instant::now();
+    let parallel = hc_bench::fig1_points(nblocks);
+    let parallel_time = start.elapsed();
+    assert_eq!(serial.len(), parallel.len());
+    let sweep_speedup = serial_time.as_secs_f64() / parallel_time.as_secs_f64();
+    println!("  serial:   {:8.2} s", serial_time.as_secs_f64());
+    println!(
+        "  parallel: {:8.2} s  ({sweep_speedup:.1}x)",
+        parallel_time.as_secs_f64()
+    );
+
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let json = format!(
+        "{{\n  \"design\": \"verilog_initial\",\n  \"blocks\": 64,\n  \
+         \"interpreted_cycles_per_sec\": {ihz:.0},\n  \
+         \"compiled_cycles_per_sec\": {chz:.0},\n  \
+         \"sim_speedup\": {sim:.2},\n  \
+         \"fig1_nblocks\": {nblocks},\n  \
+         \"fig1_points\": {points},\n  \
+         \"fig1_serial_seconds\": {st:.3},\n  \
+         \"fig1_parallel_seconds\": {pt:.3},\n  \
+         \"fig1_speedup\": {sweep_speedup:.2},\n  \
+         \"threads\": {threads}\n}}\n",
+        sim = chz / ihz,
+        points = serial.len(),
+        st = serial_time.as_secs_f64(),
+        pt = parallel_time.as_secs_f64(),
+    );
+    std::fs::write("BENCH_sim.json", &json).expect("write BENCH_sim.json");
+    println!("(written to BENCH_sim.json)");
+}

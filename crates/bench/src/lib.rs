@@ -16,10 +16,29 @@
 
 use hc_core::entries::{all_tools, dse_points};
 use hc_core::measure::{measure, Measurement};
+use hc_core::par::parallel_map;
 use hc_core::tool::ToolId;
 
 /// Measures every DSE point of every tool — the Fig. 1 dataset.
+///
+/// The ~70 points are independent, so they fan out across the available
+/// cores; results come back in the same (tool, point) order as the serial
+/// sweep.
 pub fn fig1_points(nblocks: usize) -> Vec<(ToolId, Measurement)> {
+    let work: Vec<(ToolId, hc_core::entries::Design)> = all_tools()
+        .iter()
+        .flat_map(|tool| {
+            dse_points(tool.info.id)
+                .into_iter()
+                .map(move |design| (tool.info.id, design))
+        })
+        .collect();
+    parallel_map(&work, |(id, design)| (*id, measure(design, nblocks)))
+}
+
+/// Serial twin of [`fig1_points`], kept for wall-clock comparison by the
+/// `perfsnap` binary.
+pub fn fig1_points_serial(nblocks: usize) -> Vec<(ToolId, Measurement)> {
     let mut out = Vec::new();
     for tool in all_tools() {
         for design in dse_points(tool.info.id) {

@@ -56,7 +56,7 @@ impl Bits {
         // producing out_width bits.
         let a = self.sext(256);
         let b = rhs.sext(256);
-        let mut acc = vec![0u64; 8]; // 512 bits of accumulator, ample
+        let mut acc = [0u64; 8]; // 512 bits of accumulator, ample
         for i in 0..4 {
             for j in 0..4 {
                 if i + j >= 8 {

@@ -7,7 +7,7 @@ impl fmt::Display for Bits {
     /// Verilog-style sized hex literal, e.g. `12'h7ff`.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}'h", self.width())?;
-        let nibbles = (self.width() + 3) / 4;
+        let nibbles = self.width().div_ceil(4);
         for i in (0..nibbles).rev() {
             let lo = i * 4;
             let w = (self.width() - lo).min(4);
@@ -25,7 +25,7 @@ impl fmt::Debug for Bits {
 
 impl fmt::LowerHex for Bits {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let nibbles = (self.width() + 3) / 4;
+        let nibbles = self.width().div_ceil(4);
         for i in (0..nibbles).rev() {
             let lo = i * 4;
             let w = (self.width() - lo).min(4);

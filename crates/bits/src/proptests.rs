@@ -18,7 +18,11 @@ fn model(w: u32, v: i128) -> i128 {
 
 fn width_and_two() -> impl Strategy<Value = (u32, i64, i64)> {
     (2u32..=64).prop_flat_map(|w| {
-        let lim = if w == 64 { i64::MAX } else { (1i64 << (w - 1)) - 1 };
+        let lim = if w == 64 {
+            i64::MAX
+        } else {
+            (1i64 << (w - 1)) - 1
+        };
         (Just(w), -lim..=lim, -lim..=lim)
     })
 }

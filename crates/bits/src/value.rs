@@ -33,7 +33,7 @@ impl Bits {
     /// Panics if `width` is zero or exceeds [`Bits::MAX_WIDTH`].
     pub fn zero(width: u32) -> Self {
         assert!(
-            width >= 1 && width <= Self::MAX_WIDTH,
+            (1..=Self::MAX_WIDTH).contains(&width),
             "bit width {width} out of range 1..={}",
             Self::MAX_WIDTH
         );
@@ -179,7 +179,11 @@ impl Bits {
     ///
     /// Panics if `index >= self.width()`.
     pub fn bit(&self, index: u32) -> bool {
-        assert!(index < self.width, "bit {index} of {}-bit value", self.width);
+        assert!(
+            index < self.width,
+            "bit {index} of {}-bit value",
+            self.width
+        );
         (self.words[(index / 64) as usize] >> (index % 64)) & 1 == 1
     }
 
@@ -189,7 +193,11 @@ impl Bits {
     ///
     /// Panics if `index >= self.width()`.
     pub fn set_bit(&mut self, index: u32, value: bool) {
-        assert!(index < self.width, "bit {index} of {}-bit value", self.width);
+        assert!(
+            index < self.width,
+            "bit {index} of {}-bit value",
+            self.width
+        );
         let word = &mut self.words[(index / 64) as usize];
         if value {
             *word |= 1 << (index % 64);
@@ -303,8 +311,89 @@ impl Bits {
         self.words.iter().map(|w| w.count_ones()).sum()
     }
 
+    /// Clears every bit in place (no reallocation).
+    pub fn clear(&mut self) {
+        for w in &mut self.words {
+            *w = 0;
+        }
+    }
+
+    /// Sets every bit to `bit` in place (no reallocation).
+    pub fn fill(&mut self, bit: bool) {
+        let v = if bit { u64::MAX } else { 0 };
+        for w in &mut self.words {
+            *w = v;
+        }
+        self.mask_top();
+    }
+
+    /// Extracts bits `lo..lo + width` as a `u64` without allocating — the
+    /// word-level fast path behind the compiled simulator's wide-to-narrow
+    /// slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range does not fit in `self`, `width` is zero, or
+    /// `width` exceeds 64.
+    pub fn extract_u64(&self, lo: u32, width: u32) -> u64 {
+        assert!((1..=64).contains(&width), "extract_u64 width {width}");
+        assert!(
+            lo + width <= self.width,
+            "extract [{}+:{}] of {}-bit value",
+            lo,
+            width,
+            self.width
+        );
+        let word = (lo / 64) as usize;
+        let shift = lo % 64;
+        let mut v = self.words[word] >> shift;
+        if shift != 0 && word + 1 < self.words.len() {
+            v |= self.words[word + 1] << (64 - shift);
+        }
+        if width < 64 {
+            v &= (1u64 << width) - 1;
+        }
+        v
+    }
+
+    /// Overwrites bits `lo..lo + width` from the low bits of `value`
+    /// without allocating — the word-level fast path behind the compiled
+    /// simulator's narrow-into-wide concatenations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range does not fit in `self`, `width` is zero, or
+    /// `width` exceeds 64.
+    pub fn deposit_u64(&mut self, lo: u32, width: u32, value: u64) {
+        assert!((1..=64).contains(&width), "deposit_u64 width {width}");
+        assert!(
+            lo + width <= self.width,
+            "deposit [{}+:{}] of {}-bit value",
+            lo,
+            width,
+            self.width
+        );
+        let masked = if width < 64 {
+            value & ((1u64 << width) - 1)
+        } else {
+            value
+        };
+        let word = (lo / 64) as usize;
+        let shift = lo % 64;
+        let lo_mask = if width == 64 && shift == 0 {
+            u64::MAX
+        } else {
+            (((1u128 << width) - 1) << shift) as u64
+        };
+        self.words[word] = (self.words[word] & !lo_mask) | (masked << shift);
+        if shift != 0 && shift + width > 64 {
+            let hi_mask = (((1u128 << width) - 1) >> (64 - shift)) as u64;
+            self.words[word + 1] = (self.words[word + 1] & !hi_mask) | (masked >> (64 - shift));
+        }
+    }
+
     pub(crate) fn words_for(width: u32) -> usize {
-        ((width + 63) / 64) as usize
+        width.div_ceil(64) as usize
     }
 
     pub(crate) fn words(&self) -> &[u64] {
@@ -419,6 +508,46 @@ mod tests {
     #[should_panic(expected = "slice")]
     fn oob_slice_rejected() {
         let _ = Bits::zero(8).slice(5, 4);
+    }
+
+    #[test]
+    fn extract_matches_slice() {
+        let mut b = Bits::zero(200);
+        for i in [0, 1, 63, 64, 65, 97, 130, 199] {
+            b.set_bit(i, true);
+        }
+        for (lo, w) in [
+            (0, 64),
+            (1, 64),
+            (60, 10),
+            (64, 1),
+            (120, 64),
+            (136, 64),
+            (190, 10),
+        ] {
+            assert_eq!(b.extract_u64(lo, w), b.slice(lo, w).to_u64(), "[{lo}+:{w}]");
+        }
+    }
+
+    #[test]
+    fn deposit_round_trips_through_extract() {
+        let mut b = Bits::ones(150);
+        b.deposit_u64(60, 17, 0x1_5a5a);
+        assert_eq!(b.extract_u64(60, 17), 0x1_5a5a);
+        // Neighbours untouched.
+        assert_eq!(b.extract_u64(0, 60), (1u64 << 60) - 1);
+        assert_eq!(b.extract_u64(77, 64), u64::MAX);
+        b.deposit_u64(0, 64, 0xdead_beef);
+        assert_eq!(b.extract_u64(0, 64), 0xdead_beef);
+        // Values wider than the field are truncated.
+        b.deposit_u64(100, 4, 0xff);
+        assert_eq!(b.extract_u64(100, 4), 0xf);
+    }
+
+    #[test]
+    #[should_panic(expected = "extract")]
+    fn extract_oob_rejected() {
+        let _ = Bits::zero(32).extract_u64(20, 20);
     }
 
     #[test]

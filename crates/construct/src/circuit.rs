@@ -51,7 +51,11 @@ impl Circuit {
     /// Panics if `value` does not fit in `width` signed bits.
     pub fn lit(&self, width: u32, value: i64) -> SInt {
         let b = Bits::from_i64(width, value);
-        assert_eq!(b.to_i64(), value, "literal {value} does not fit in {width} bits");
+        assert_eq!(
+            b.to_i64(),
+            value,
+            "literal {value} does not fit in {width} bits"
+        );
         let node = self.inner.borrow_mut().constant(b);
         SInt::from_node(self, node)
     }
@@ -64,14 +68,24 @@ impl Circuit {
     /// Panics if `value` needs more than `width` bits.
     pub fn lit_u(&self, width: u32, value: u64) -> SInt {
         let b = Bits::from_u64(width, value);
-        assert_eq!(b.to_u64(), value, "literal {value} does not fit in {width} bits");
+        assert_eq!(
+            b.to_u64(),
+            value,
+            "literal {value} does not fit in {width} bits"
+        );
         let node = self.inner.borrow_mut().constant(b);
         SInt::from_node(self, node)
     }
 
     /// The smallest signed literal holding `value` (Chisel's `S` literals).
     pub fn lit_min(&self, value: i64) -> SInt {
-        let width = (65 - if value >= 0 { value.leading_zeros() } else { (!value).leading_zeros() }).max(1);
+        let width = (65
+            - if value >= 0 {
+                value.leading_zeros()
+            } else {
+                (!value).leading_zeros()
+            })
+        .max(1);
         self.lit(width, value)
     }
 

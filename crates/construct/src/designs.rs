@@ -154,7 +154,9 @@ pub fn initial_design() -> Module {
     in_cnt.set_next(&SInt::select(&transfer, &restart, &bumped));
     in_cnt.set_reset(&rst);
 
-    let in_rows: Vec<Reg> = (0..8).map(|i| c.reg(&format!("in_row{i}"), 96, 0)).collect();
+    let in_rows: Vec<Reg> = (0..8)
+        .map(|i| c.reg(&format!("in_row{i}"), 96, 0))
+        .collect();
     for (i, r) in in_rows.iter().enumerate() {
         let here = in_cnt.q().bits(0, 3).eq(&c.lit_u(3, i as u64));
         r.set_enable(&in_beat.and(&here));
@@ -166,7 +168,9 @@ pub fn initial_design() -> Module {
         .collect();
     let result = idct_2d(&c, &elems);
 
-    let out_rows: Vec<Reg> = (0..8).map(|i| c.reg(&format!("out_row{i}"), 72, 0)).collect();
+    let out_rows: Vec<Reg> = (0..8)
+        .map(|i| c.reg(&format!("out_row{i}"), 72, 0))
+        .collect();
     for (i, r) in out_rows.iter().enumerate() {
         r.set_enable(&transfer);
         r.set_next(&pack(&result[i * 8..i * 8 + 8]));
@@ -307,7 +311,8 @@ pub fn opt_rowcol() -> Module {
     c.output("s_axis_tready", &tready.as_sint());
     c.output("m_axis_tdata", &tdata_out);
     c.output("m_axis_tvalid", &out_active.as_sint());
-    c.finish().expect("construct optimized design is well-formed")
+    c.finish()
+        .expect("construct optimized design is well-formed")
 }
 
 /// The eDSL design source (this file), for LOC accounting.

@@ -292,7 +292,10 @@ mod tests {
         let a = c.input("a", 12);
         let y = a.shl(11).shr(3).trunc(16);
         c.output("y", &y);
-        assert_eq!(run1(c.clone(), &[("a", -4)]), (-4i64 << 11) >> 3 & 0xffff | !0xffff); // sign-extended slice
+        assert_eq!(
+            run1(c.clone(), &[("a", -4)]),
+            (-4i64 << 11) >> 3 & 0xffff | !0xffff
+        ); // sign-extended slice
     }
 
     #[test]
@@ -301,11 +304,7 @@ mod tests {
         let a = c.input("a", 10);
         let lo = c.lit_min(-256);
         let hi = c.lit_min(255);
-        let clipped = SInt::select(
-            &a.lt(&lo),
-            &lo,
-            &SInt::select(&a.gt(&hi), &hi, &a),
-        );
+        let clipped = SInt::select(&a.lt(&lo), &lo, &SInt::select(&a.gt(&hi), &hi, &a));
         c.output("y", &clipped.trunc(9));
         assert_eq!(run1(c.clone(), &[("a", -400)]), -256);
         assert_eq!(run1(c.clone(), &[("a", 300)]), 255);

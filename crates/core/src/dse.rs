@@ -4,21 +4,47 @@ use crate::measure::Measurement;
 
 /// Indices of the Pareto-optimal points (maximize throughput, minimize
 /// normalized area). A point is dominated if another has ≥ throughput and
-/// ≤ area with at least one strict inequality.
+/// ≤ area with at least one strict inequality; exact duplicates do not
+/// dominate each other, so they all survive. Indices come back in
+/// ascending order.
+///
+/// Runs in `O(n log n)`: points are sorted by throughput (descending, area
+/// ascending as tiebreak) and scanned once, tracking the smallest area seen
+/// at strictly higher throughput. A point survives iff it has the minimum
+/// area within its throughput class and beats that running minimum.
 pub fn pareto_front(points: &[Measurement]) -> Vec<usize> {
+    let n = points.len();
+    let area = |i: usize| points[i].area_nodsp.normalized();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&i, &j| {
+        points[j]
+            .throughput_mops
+            .total_cmp(&points[i].throughput_mops)
+            .then_with(|| area(i).cmp(&area(j)))
+    });
+
     let mut front = Vec::new();
-    for (i, p) in points.iter().enumerate() {
-        let dominated = points.iter().enumerate().any(|(j, q)| {
-            j != i
-                && q.throughput_mops >= p.throughput_mops
-                && q.area_nodsp.normalized() <= p.area_nodsp.normalized()
-                && (q.throughput_mops > p.throughput_mops
-                    || q.area_nodsp.normalized() < p.area_nodsp.normalized())
-        });
-        if !dominated {
-            front.push(i);
+    // Smallest area among points with strictly higher throughput; u128 so
+    // the initial sentinel exceeds any real u64 area.
+    let mut min_area_above: u128 = u128::MAX;
+    let mut k = 0;
+    while k < n {
+        let t = points[idx[k]].throughput_mops;
+        let mut end = k;
+        while end < n && points[idx[end]].throughput_mops == t {
+            end += 1;
         }
+        // Same-throughput group, sorted by area: the group minimum is first.
+        let group_min = area(idx[k]);
+        for &i in &idx[k..end] {
+            if area(i) == group_min && u128::from(group_min) < min_area_above {
+                front.push(i);
+            }
+        }
+        min_area_above = min_area_above.min(u128::from(group_min));
+        k = end;
     }
+    front.sort_unstable();
     front
 }
 
@@ -73,6 +99,35 @@ mod tests {
     fn identical_points_all_survive() {
         let pts = vec![point(10.0, 100), point(10.0, 100)];
         assert_eq!(pareto_front(&pts), vec![0, 1]);
+    }
+
+    #[test]
+    fn matches_quadratic_reference_on_random_points() {
+        let mut seed = 0x1234_5678_9abc_def0u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for _ in 0..50 {
+            // Small value ranges force plenty of throughput/area ties.
+            let pts: Vec<Measurement> = (0..20)
+                .map(|_| point((next() % 6) as f64, next() % 6 + 1))
+                .collect();
+            let brute: Vec<usize> = (0..pts.len())
+                .filter(|&i| {
+                    !pts.iter().enumerate().any(|(j, q)| {
+                        j != i
+                            && q.throughput_mops >= pts[i].throughput_mops
+                            && q.area_nodsp.normalized() <= pts[i].area_nodsp.normalized()
+                            && (q.throughput_mops > pts[i].throughput_mops
+                                || q.area_nodsp.normalized() < pts[i].area_nodsp.normalized())
+                    })
+                })
+                .collect();
+            assert_eq!(pareto_front(&pts), brute);
+        }
     }
 
     #[test]

@@ -80,7 +80,8 @@ pub fn verilog_entry() -> ToolEntry {
 pub fn chisel_entry() -> ToolEntry {
     use hc_construct::designs as d;
     let shared = rust_shared_loc(d::DESIGN_SRC, &["row_pass", "col_pass", "iclip", "pack"]);
-    let init_loc = shared + fn_loc(d::DESIGN_SRC, "idct_2d") + fn_loc(d::DESIGN_SRC, "initial_design");
+    let init_loc =
+        shared + fn_loc(d::DESIGN_SRC, "idct_2d") + fn_loc(d::DESIGN_SRC, "initial_design");
     let opt_loc = shared + fn_loc(d::DESIGN_SRC, "opt_rowcol");
     let delta = line_diff(
         fn_source(d::DESIGN_SRC, "initial_design").unwrap_or(""),
@@ -97,10 +98,7 @@ pub fn chisel_entry() -> ToolEntry {
 /// The BSV-like rules entry.
 pub fn bsv_entry() -> ToolEntry {
     use hc_rules::designs as d;
-    let shared = rust_shared_loc(
-        d::DESIGN_SRC,
-        &["butterfly", "unpack", "pack", "column_of"],
-    );
+    let shared = rust_shared_loc(d::DESIGN_SRC, &["butterfly", "unpack", "pack", "column_of"]);
     // The public entry points are thin variant wrappers; LOC is counted
     // on the real design bodies.
     let init_loc = shared + fn_loc(d::DESIGN_SRC, "initial_impl");
@@ -177,7 +175,11 @@ pub fn bambu_entry() -> ToolEntry {
     let opt = BambuConfig::optimized();
     ToolEntry {
         info: table1_rows()[5].clone(),
-        initial: axis("MEM_ACC_11+LSS", d::bambu_design(&init), fu + init.config_loc()),
+        initial: axis(
+            "MEM_ACC_11+LSS",
+            d::bambu_design(&init),
+            fu + init.config_loc(),
+        ),
         optimized: axis(
             "PERFORMANCE-MP+sdc",
             d::bambu_design(&opt),
@@ -195,7 +197,11 @@ pub fn vivado_hls_entry() -> ToolEntry {
     let opt = VivadoHlsConfig::optimized();
     ToolEntry {
         info: table1_rows()[6].clone(),
-        initial: axis("push-button", d::vivado_hls_design(&init), fu + init.config_loc()),
+        initial: axis(
+            "push-button",
+            d::vivado_hls_design(&init),
+            fu + init.config_loc(),
+        ),
         optimized: axis(
             "pipeline+partition+inline",
             d::vivado_hls_design(&opt),
@@ -227,7 +233,11 @@ pub fn dse_points(id: ToolId) -> Vec<Design> {
         ToolId::Verilog => {
             use hc_verilog::designs as d;
             vec![
-                axis("8row+8col", d::initial_design().expect("parses"), d::initial_loc()),
+                axis(
+                    "8row+8col",
+                    d::initial_design().expect("parses"),
+                    d::initial_loc(),
+                ),
                 axis(
                     "1row+8col",
                     d::opt_row8col().expect("parses"),

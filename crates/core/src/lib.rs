@@ -34,5 +34,6 @@ pub mod dse;
 pub mod entries;
 pub mod measure;
 pub mod metrics;
+pub mod par;
 pub mod report;
 pub mod tool;

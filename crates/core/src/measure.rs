@@ -1,14 +1,32 @@
 //! §III-C procedure: synthesize, simulate, measure.
 
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
 use crate::entries::{Design, DesignInterface, ToolEntry};
 use crate::metrics;
+use crate::par::parallel_map;
 use crate::tool::ToolId;
 use hc_axi::{PcieLink, StreamHarness};
 use hc_idct::generator::BlockGen;
 use hc_idct::{fixed, Block};
 use hc_rtl::passes::optimize;
-use hc_sim::Simulator;
+use hc_sim::CompiledSimulator;
 use hc_synth::{synthesize, Device, SynthOptions};
+
+/// Returns the deterministic sample blocks for an `nblocks`-point run,
+/// generating each distinct size once per process. Every measurement in a
+/// sweep shares the same stimulus, so regenerating it per design point is
+/// pure waste (and the generator's determinism makes sharing sound).
+fn sample_blocks(nblocks: usize) -> Arc<Vec<Block>> {
+    static CACHE: OnceLock<Mutex<HashMap<usize, Arc<Vec<Block>>>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(Mutex::default);
+    let mut cache = cache.lock().expect("block cache");
+    cache
+        .entry(nblocks)
+        .or_insert_with(|| Arc::new(BlockGen::new(7, -2048, 2047).take_blocks(nblocks)))
+        .clone()
+}
 
 /// Everything measured for one design point.
 #[derive(Clone, Debug)]
@@ -71,14 +89,18 @@ pub fn measure(design: &Design, nblocks: usize) -> Measurement {
     let nodsp = synthesize(&module, &device, &SynthOptions::no_dsp());
     let fmax = full.timing.fmax_mhz();
 
-    let blocks = BlockGen::new(7, -2048, 2047).take_blocks(nblocks.max(2));
+    let blocks = sample_blocks(nblocks.max(2));
     let (latency, periodicity) = match design.interface {
         DesignInterface::Axis => {
-            let mut harness =
-                StreamHarness::new(module).expect("measured designs validate");
+            let mut harness = StreamHarness::compiled(module).expect("measured designs validate");
             let inputs: Vec<[[i32; 8]; 8]> = blocks.iter().map(|b| b.0).collect();
             let (outputs, timing) = harness.run(&inputs, 2000 * (blocks.len() as u64 + 4));
-            assert_eq!(outputs.len(), blocks.len(), "{}: lost matrices", design.label);
+            assert_eq!(
+                outputs.len(),
+                blocks.len(),
+                "{}: lost matrices",
+                design.label
+            );
             for (i, (b, o)) in blocks.iter().zip(&outputs).enumerate() {
                 assert_eq!(
                     Block(*o),
@@ -120,7 +142,7 @@ pub fn measure(design: &Design, nblocks: usize) -> Measurement {
 /// kernel; returns (latency, periodicity) and asserts bit-exactness.
 fn measure_stream(module: hc_rtl::Module, blocks: &[Block], label: &str) -> (u64, u64) {
     let row_mode = module.input_named("in_data").expect("stream port").width == 96;
-    let mut sim = Simulator::new(module).expect("kernel validates");
+    let mut sim = CompiledSimulator::new(module).expect("kernel validates");
     sim.set_u64("rst", 1);
     sim.set_u64("in_valid", 0);
     sim.step();
@@ -129,7 +151,11 @@ fn measure_stream(module: hc_rtl::Module, blocks: &[Block], label: &str) -> (u64
 
     let mut out_cycles: Vec<u64> = Vec::new();
     let mut outputs: Vec<Block> = Vec::new();
-    let total_feeds = if row_mode { blocks.len() * 8 } else { blocks.len() };
+    let total_feeds = if row_mode {
+        blocks.len() * 8
+    } else {
+        blocks.len()
+    };
     for cycle in 0..(total_feeds as u64 + 400) {
         if row_mode {
             let idx = cycle as usize;
@@ -182,20 +208,32 @@ fn measure_stream(module: hc_rtl::Module, blocks: &[Block], label: &str) -> (u64
 
 /// Measures every tool's initial and optimized designs and derives the
 /// cross-tool metrics of Table II. `nblocks` controls simulation effort.
+///
+/// The 2×N design points are independent, so they fan out across the
+/// available cores; results are reassembled in tool order, making the
+/// output identical to a serial run.
 pub fn measure_all(tools: &[ToolEntry], nblocks: usize) -> Vec<ToolRow> {
+    // Pre-generate the shared stimulus once, outside the parallel region.
+    let _ = sample_blocks(nblocks.max(2));
+    let designs: Vec<&Design> = tools
+        .iter()
+        .flat_map(|t| [&t.initial, &t.optimized])
+        .collect();
+    let mut points = parallel_map(&designs, |d| measure(d, nblocks)).into_iter();
     let measured: Vec<(Measurement, Measurement)> = tools
         .iter()
-        .map(|t| (measure(&t.initial, nblocks), measure(&t.optimized, nblocks)))
+        .map(|_| {
+            let initial = points.next().expect("one result per design");
+            let optimized = points.next().expect("one result per design");
+            (initial, optimized)
+        })
         .collect();
     let verilog_idx = tools
         .iter()
         .position(|t| t.info.id == ToolId::Verilog)
         .expect("the Verilog baseline is part of every run");
     let verilog_best_q = measured[verilog_idx].1.q;
-    let verilog_loc = (
-        measured[verilog_idx].0.loc,
-        measured[verilog_idx].1.loc,
-    );
+    let verilog_loc = (measured[verilog_idx].0.loc, measured[verilog_idx].1.loc);
 
     tools
         .iter()

@@ -1,0 +1,85 @@
+//! Deterministic fork-join helper for measurement sweeps.
+//!
+//! The DSE drivers measure dozens of independent design points; each point
+//! is an optimize → synthesize → simulate pipeline with no shared mutable
+//! state, so they fan out across scoped threads. Results always come back
+//! in input order regardless of completion order, keeping every report and
+//! Pareto computation identical to a serial run.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Applies `f` to every item, fanning out over the available cores, and
+/// returns the results **in input order**.
+///
+/// Work is distributed by an atomic cursor, so long-running items do not
+/// serialize behind each other. With one item (or one core) this degrades
+/// to a plain serial map with no thread overhead.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker (the scope joins all threads first),
+/// so assertion failures inside `f` surface just as they would serially.
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n);
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(&items[i]);
+                *slots[i].lock().expect("result slot") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().expect("result slot").expect("worker ran"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = parallel_map(&items, |&x| x * x);
+        assert_eq!(out, (0..100).map(|x| x * x).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn handles_empty_and_single() {
+        assert_eq!(parallel_map(&[] as &[u32], |&x| x), Vec::<u32>::new());
+        assert_eq!(parallel_map(&[7u32], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panics_propagate() {
+        let items: Vec<u32> = (0..8).collect();
+        parallel_map(&items, |&x| {
+            if x == 5 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+}

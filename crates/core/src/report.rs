@@ -196,7 +196,15 @@ mod tests {
     #[test]
     fn table1_text_contains_all_tools() {
         let t = table1();
-        for name in ["Verilog", "Chisel", "BSV", "DSLX", "MaxJ", "Bambu", "Vivado HLS"] {
+        for name in [
+            "Verilog",
+            "Chisel",
+            "BSV",
+            "DSLX",
+            "MaxJ",
+            "Bambu",
+            "Vivado HLS",
+        ] {
             assert!(t.contains(name), "missing {name} in:\n{t}");
         }
     }

@@ -153,7 +153,8 @@ pub fn full_matrix_kernel() -> Module {
     let out = idct_2d(&mut k, &elems);
     let packed = pack(&mut k, &out);
     k.stream_out(packed, 576);
-    k.finalize().expect("full-matrix kernel is a valid dataflow graph")
+    k.finalize()
+        .expect("full-matrix kernel is a valid dataflow graph")
 }
 
 /// The optimized kernel: one row per cycle through a *single* row-pass

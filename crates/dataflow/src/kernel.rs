@@ -41,7 +41,9 @@ impl Kernel {
 
     /// The current input sample.
     pub fn stream_in(&mut self) -> StreamValue {
-        let v = self.inner.input(&format!("src{}", self.sources.len()), self.in_width);
+        let v = self
+            .inner
+            .input(&format!("src{}", self.sources.len()), self.in_width);
         self.sources.push(Source::Current);
         StreamValue(v)
     }
@@ -53,7 +55,9 @@ impl Kernel {
     /// Panics if `k` is zero (that is just the stream itself).
     pub fn offset(&mut self, _of: StreamValue, k: u32) -> StreamValue {
         assert!(k > 0, "offset 0 is the stream itself");
-        let v = self.inner.input(&format!("src{}", self.sources.len()), self.in_width);
+        let v = self
+            .inner
+            .input(&format!("src{}", self.sources.len()), self.in_width);
         self.sources.push(Source::Offset(k));
         StreamValue(v)
     }

@@ -31,7 +31,7 @@
 //! # Ok::<(), hc_flow::FlowError>(())
 //! ```
 
-mod kernel;
 pub mod designs;
+mod kernel;
 
 pub use kernel::{Kernel, StreamValue};

@@ -7,9 +7,7 @@ use hc_idct::{fixed, Block};
 use hc_sim::Simulator;
 
 fn unpack_matrix(word: &Bits, elem_w: u32) -> Block {
-    Block::from_fn(|r, c| {
-        word.slice((r * 8 + c) as u32 * elem_w, elem_w).to_i64() as i32
-    })
+    Block::from_fn(|r, c| word.slice((r * 8 + c) as u32 * elem_w, elem_w).to_i64() as i32)
 }
 
 fn pack_row(row: &[i32; 8]) -> Bits {

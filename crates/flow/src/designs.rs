@@ -26,8 +26,7 @@ fn row_pass(k: &mut Kernel, b: &[Value]) -> Vec<Value> {
     let t = k.shl(b[0], 11);
     let mut x0 = k.add(t, c128);
     let mut x1 = k.shl(b[4], 11);
-    let (mut x2, mut x3, mut x4, mut x5, mut x6, mut x7) =
-        (b[6], b[2], b[1], b[7], b[5], b[3]);
+    let (mut x2, mut x3, mut x4, mut x5, mut x6, mut x7) = (b[6], b[2], b[1], b[7], b[5], b[3]);
     let mut x8;
 
     let s = k.add(x4, x5);
@@ -117,8 +116,7 @@ fn col_pass(k: &mut Kernel, b: &[Value]) -> Vec<Value> {
     let t = k.shl(b[0], 8);
     let mut x0 = k.add(t, c8192);
     let mut x1 = k.shl(b[4], 8);
-    let (mut x2, mut x3, mut x4, mut x5, mut x6, mut x7) =
-        (b[6], b[2], b[1], b[7], b[5], b[3]);
+    let (mut x2, mut x3, mut x4, mut x5, mut x6, mut x7) = (b[6], b[2], b[1], b[7], b[5], b[3]);
     let mut x8;
     let c4 = kc(k, 4);
 

@@ -35,8 +35,8 @@
 //! # Ok::<(), hc_flow::FlowError>(())
 //! ```
 
-mod error;
 pub mod designs;
+mod error;
 mod kernel;
 mod pipeliner;
 

@@ -88,7 +88,8 @@ pub fn weighted_depth(f: &FlowFn) -> f64 {
     let mut total = 0.0f64;
     for (i, nd) in src.nodes().iter().enumerate() {
         let mut best: f64 = 0.0;
-        nd.node.for_each_operand(|op| best = best.max(depth[op.index()]));
+        nd.node
+            .for_each_operand(|op| best = best.max(depth[op.index()]));
         depth[i] = best + weight(src, &nd.node);
         total = total.max(depth[i]);
     }

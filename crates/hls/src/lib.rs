@@ -25,9 +25,9 @@
 
 pub mod designs;
 mod ir;
+mod pipegen;
 mod schedule;
 mod seqgen;
-mod pipegen;
 mod tools;
 
 pub use ir::{ArrayId, ArrayKind, BodyBuilder, BodyValue, HlsError, Loop, Program};

@@ -85,22 +85,26 @@ pub fn compile_pipelined(
                         };
                         (Some(r), c)
                     }
-                    BodyOp::Shl(a, amt) => {
-                        (Some(k.shl(vals[a.0].expect("value"), amt)), consts[a.0].map(|x| x << amt))
-                    }
-                    BodyOp::Shr(a, amt) => {
-                        (Some(k.shr(vals[a.0].expect("value"), amt)), consts[a.0].map(|x| x >> amt))
-                    }
+                    BodyOp::Shl(a, amt) => (
+                        Some(k.shl(vals[a.0].expect("value"), amt)),
+                        consts[a.0].map(|x| x << amt),
+                    ),
+                    BodyOp::Shr(a, amt) => (
+                        Some(k.shr(vals[a.0].expect("value"), amt)),
+                        consts[a.0].map(|x| x >> amt),
+                    ),
                     BodyOp::Cast(a, w) => (Some(k.cast(vals[a.0].expect("value"), w)), consts[a.0]),
                     BodyOp::Slice(a, lo, w) => {
                         (Some(k.slice(vals[a.0].expect("value"), lo, w)), None)
                     }
-                    BodyOp::Lt(a, b) => {
-                        (Some(k.lt(vals[a.0].expect("value"), vals[b.0].expect("value"))), None)
-                    }
-                    BodyOp::Gt(a, b) => {
-                        (Some(k.gt(vals[a.0].expect("value"), vals[b.0].expect("value"))), None)
-                    }
+                    BodyOp::Lt(a, b) => (
+                        Some(k.lt(vals[a.0].expect("value"), vals[b.0].expect("value"))),
+                        None,
+                    ),
+                    BodyOp::Gt(a, b) => (
+                        Some(k.gt(vals[a.0].expect("value"), vals[b.0].expect("value"))),
+                        None,
+                    ),
                     BodyOp::Sel(c, t, f) => (
                         Some(k.sel(
                             vals[c.0].expect("value"),
@@ -116,15 +120,16 @@ pub fn compile_pipelined(
                                 l.name
                             ))
                         })?;
-                        let elem = state[arr.0]
-                            .get(i as usize)
-                            .and_then(|v| *v)
-                            .ok_or_else(|| {
-                                HlsError::new(format!(
-                                    "loop {:?}: element {i} read before written",
-                                    l.name
-                                ))
-                            })?;
+                        let elem =
+                            state[arr.0]
+                                .get(i as usize)
+                                .and_then(|v| *v)
+                                .ok_or_else(|| {
+                                    HlsError::new(format!(
+                                        "loop {:?}: element {i} read before written",
+                                        l.name
+                                    ))
+                                })?;
                         (Some(elem), None)
                     }
                     BodyOp::Store(arr, idx, value) => {
@@ -192,10 +197,13 @@ mod tests {
     fn collapse_produces_a_pipelined_pure_function() {
         let (m, stages) = compile_pipelined(&doubler(), 5.0, "d").unwrap();
         assert!(stages >= 1);
-        assert_eq!(m.regs().len() % 1, 0); // pipelined: registers exist
+        assert!(!m.regs().is_empty()); // pipelined: registers exist
         let mut sim = Simulator::new(m).unwrap();
         for i in 0..4 {
-            sim.set(&format!("e{i}"), hc_bits::Bits::from_i64(12, i64::from(i) - 2));
+            sim.set(
+                &format!("e{i}"),
+                hc_bits::Bits::from_i64(12, i64::from(i) - 2),
+            );
         }
         sim.run(u64::from(stages));
         for i in 0..4 {

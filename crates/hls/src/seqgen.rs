@@ -401,7 +401,10 @@ mod tests {
         sim.step();
         sim.set_u64("rst", 0);
         for i in 0..64 {
-            sim.set("e{i}".replace("{i}", &i.to_string()).as_str(), hc_bits::Bits::from_i64(12, i64::from(i) - 32));
+            sim.set(
+                "e{i}".replace("{i}", &i.to_string()).as_str(),
+                hc_bits::Bits::from_i64(12, i64::from(i) - 32),
+            );
         }
         sim.set_u64("start", 1);
         sim.step();

@@ -37,8 +37,17 @@ fn bambu_initial_is_bit_exact_and_slow() {
 fn bambu_optimized_is_faster_but_still_sequential() {
     let init = check(bambu_design(&BambuConfig::initial()), 2);
     let opt = check(bambu_design(&BambuConfig::optimized()), 2);
-    assert!(opt.latency < init.latency, "{} < {}", opt.latency, init.latency);
-    assert!(opt.periodicity > 50, "still sequential: {}", opt.periodicity);
+    assert!(
+        opt.latency < init.latency,
+        "{} < {}",
+        opt.latency,
+        init.latency
+    );
+    assert!(
+        opt.periodicity > 50,
+        "still sequential: {}",
+        opt.periodicity
+    );
 }
 
 #[test]
@@ -47,7 +56,12 @@ fn vivado_hls_initial_has_the_interface_pathology() {
     let vhls = check(vivado_hls_design(&VivadoHlsConfig::initial()), 1);
     // The non-inlined stream round-trip makes push-button VHLS even slower
     // than a plain sequential schedule.
-    assert!(vhls.latency > plain.latency, "{} > {}", vhls.latency, plain.latency);
+    assert!(
+        vhls.latency > plain.latency,
+        "{} > {}",
+        vhls.latency,
+        plain.latency
+    );
 }
 
 #[test]

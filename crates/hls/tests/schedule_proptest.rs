@@ -44,12 +44,14 @@ fn build(ops: &[Op]) -> (Program, Meta) {
                 }
                 Op::Add(a, c) => {
                     let (a, c) = (pick(a), pick(c));
-                    meta.borrow_mut().push((false, false, vec![a.index(), c.index()]));
+                    meta.borrow_mut()
+                        .push((false, false, vec![a.index(), c.index()]));
                     b.add(a, c)
                 }
                 Op::Mul(a, c) => {
                     let (a, c) = (pick(a), pick(c));
-                    meta.borrow_mut().push((false, false, vec![a.index(), c.index()]));
+                    meta.borrow_mut()
+                        .push((false, false, vec![a.index(), c.index()]));
                     b.mul(a, c, 16)
                 }
                 Op::Load(i) => {
@@ -59,7 +61,8 @@ fn build(ops: &[Op]) -> (Program, Meta) {
                 }
                 Op::Store(i, v) => {
                     let (i, v) = (pick(i), pick(v));
-                    meta.borrow_mut().push((false, true, vec![i.index(), v.index()]));
+                    meta.borrow_mut()
+                        .push((false, true, vec![i.index(), v.index()]));
                     b.store(mem, i, v);
                     continue;
                 }

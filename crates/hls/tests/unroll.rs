@@ -55,7 +55,9 @@ fn run(p: &Program, ports: u32) -> (Vec<i64>, u64) {
         cycles += 1;
     }
     assert!(sim.get("done").to_bool(), "kernel finished");
-    let outs = (0..64).map(|i| sim.get(&format!("o{i}")).to_i64()).collect();
+    let outs = (0..64)
+        .map(|i| sim.get(&format!("o{i}")).to_i64())
+        .collect();
     (outs, cycles)
 }
 

@@ -63,13 +63,15 @@ pub fn corner_cases() -> Vec<Block> {
         Block::from_fn(|_, _| -2048),
     ];
     for (r, c) in [(0, 7), (7, 0), (7, 7), (3, 4)] {
-        blocks.push(Block::from_fn(|rr, cc| {
-            if (rr, cc) == (r, c) {
-                1000
-            } else {
-                0
-            }
-        }));
+        blocks.push(Block::from_fn(
+            |rr, cc| {
+                if (rr, cc) == (r, c) {
+                    1000
+                } else {
+                    0
+                }
+            },
+        ));
     }
     blocks
 }

@@ -167,8 +167,7 @@ mod tests {
         // ranges run here.
         for &(l, h) in &[(256, 255), (5, 5)] {
             for negate in [false, true] {
-                let stats =
-                    measure_range(&mut |b| fixed::idct2d(b), l, h, 1000, negate);
+                let stats = measure_range(&mut |b| fixed::idct2d(b), l, h, 1000, negate);
                 assert!(stats.is_compliant(), "{:?}", stats.violations());
             }
         }
@@ -195,10 +194,11 @@ mod tests {
         };
         let stats = measure_range(&mut { broken }, 5, 5, 200, false);
         assert!(!stats.is_compliant());
-        assert!(stats
-            .violations()
-            .iter()
-            .any(|v| v.contains("mean error")), "{:?}", stats.violations());
+        assert!(
+            stats.violations().iter().any(|v| v.contains("mean error")),
+            "{:?}",
+            stats.violations()
+        );
     }
 
     #[test]

@@ -31,10 +31,7 @@ impl Rand1180 {
 
     /// Draws a value in `[-l, h]`, matching the standard's `rand(L, H)`.
     pub fn next_in(&mut self, l: i32, h: i32) -> i32 {
-        self.state = self
-            .state
-            .wrapping_mul(1_103_515_245)
-            .wrapping_add(12_345);
+        self.state = self.state.wrapping_mul(1_103_515_245).wrapping_add(12_345);
         let i = (self.state & 0x7fff_fffe) as i64;
         let x = (i as f64) / (0x7fff_ffff as f64);
         let scaled = x * f64::from(l + h + 1);

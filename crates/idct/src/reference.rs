@@ -16,6 +16,8 @@ use std::f64::consts::PI;
 /// // An all-zero coefficient block decodes to all zeros.
 /// assert_eq!(reference::idct_f64(&Block::zero()), Block::zero());
 /// ```
+// Index loops keep the textbook Σ-over-(x,y,u,v) form recognizable.
+#[allow(clippy::needless_range_loop)]
 pub fn idct_f64(coeffs: &Block) -> Block {
     let mut out = [[0.0f64; 8]; 8];
     for x in 0..8 {
@@ -40,6 +42,7 @@ pub fn idct_f64(coeffs: &Block) -> Block {
 
 /// The forward DCT in `f64` (used by test machinery to build coefficient
 /// blocks whose IDCT is a known image).
+#[allow(clippy::needless_range_loop)]
 pub fn fdct_f64(samples: &Block) -> Block {
     let mut out = [[0.0f64; 8]; 8];
     for u in 0..8 {

@@ -102,7 +102,12 @@ impl Module {
         for (i, mem) in src.mems().iter().enumerate() {
             let id = crate::MemId::new(mem_base + i);
             for w in &mem.writes {
-                self.mem_write(id, map[w.addr.index()], map[w.data.index()], map[w.en.index()]);
+                self.mem_write(
+                    id,
+                    map[w.addr.index()],
+                    map[w.data.index()],
+                    map[w.en.index()],
+                );
             }
         }
 
@@ -203,12 +208,7 @@ mod tests {
 
         impl MiniSim {
             pub fn set_u64(&mut self, name: &str, v: u64) {
-                let idx = self
-                    .m
-                    .inputs()
-                    .iter()
-                    .position(|p| p.name == name)
-                    .unwrap();
+                let idx = self.m.inputs().iter().position(|p| p.name == name).unwrap();
                 let w = self.m.inputs()[idx].width;
                 self.inputs[idx] = Bits::from_u64(w, v);
             }

@@ -160,7 +160,7 @@ impl Module {
     // ------------------------------------------------------------------
 
     fn push(&mut self, node: Node, width: u32, name: Option<String>) -> NodeId {
-        assert!(width >= 1 && width <= Bits::MAX_WIDTH, "node width {width}");
+        assert!((1..=Bits::MAX_WIDTH).contains(&width), "node width {width}");
         let id = NodeId::new(self.nodes.len());
         self.nodes.push(NodeData { node, width, name });
         id
@@ -179,11 +179,7 @@ impl Module {
         );
         let idx = self.inputs.len();
         let node = self.push(Node::Input(idx), width, Some(name.clone()));
-        self.inputs.push(Port {
-            name,
-            width,
-            node,
-        });
+        self.inputs.push(Port { name, width, node });
         node
     }
 
@@ -372,7 +368,9 @@ impl Module {
 
     /// Adds a write port to a memory.
     pub fn mem_write(&mut self, mem: MemId, addr: NodeId, data: NodeId, en: NodeId) {
-        self.mems[mem.index()].writes.push(MemWrite { addr, data, en });
+        self.mems[mem.index()]
+            .writes
+            .push(MemWrite { addr, data, en });
     }
 
     /// Attaches a debug name to a node (shows up in VCD and pretty-prints).

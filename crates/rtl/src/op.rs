@@ -144,13 +144,13 @@ mod tests {
 
     #[test]
     fn families_are_disjoint() {
-        for op in [
-            BinaryOp::Add,
-            BinaryOp::MulS,
-            BinaryOp::Eq,
-            BinaryOp::Shl,
-        ] {
-            let classes = [op.needs_same_width(), op.is_comparison(), op.is_shift(), op.is_mul()];
+        for op in [BinaryOp::Add, BinaryOp::MulS, BinaryOp::Eq, BinaryOp::Shl] {
+            let classes = [
+                op.needs_same_width(),
+                op.is_comparison(),
+                op.is_shift(),
+                op.is_mul(),
+            ];
             assert_eq!(classes.iter().filter(|&&c| c).count(), 1, "{op}");
         }
     }

@@ -25,7 +25,12 @@ pub fn const_fold(module: &mut Module) {
             None => all_const = false,
         });
 
-        if all_const && !matches!(node, Node::Input(_) | Node::RegOut(_) | Node::MemRead { .. }) {
+        if all_const
+            && !matches!(
+                node,
+                Node::Input(_) | Node::RegOut(_) | Node::MemRead { .. }
+            )
+        {
             if let Some(v) = eval_pure(&node, data.width, &args) {
                 if let Node::Const(existing) = &module.node(NodeId::new(i)).node {
                     values[i] = Some(existing.clone());
@@ -56,22 +61,15 @@ pub fn const_fold(module: &mut Module) {
 
 /// Returns an existing node this node is equivalent to, if an algebraic
 /// identity applies.
-fn identity(
-    module: &Module,
-    node: &Node,
-    width: u32,
-    values: &[Option<Bits>],
-) -> Option<NodeId> {
+fn identity(module: &Module, node: &Node, width: u32, values: &[Option<Bits>]) -> Option<NodeId> {
     let cval = |id: NodeId| values.get(id.index()).and_then(|v| v.clone());
     match *node {
         Node::Binary(op, a, b) => {
             let (ca, cb) = (cval(a), cval(b));
             match op {
                 BinaryOp::Add | BinaryOp::Or | BinaryOp::Xor | BinaryOp::Sub => {
-                    if op != BinaryOp::Sub {
-                        if ca.as_ref().is_some_and(Bits::is_zero) {
-                            return Some(b);
-                        }
+                    if op != BinaryOp::Sub && ca.as_ref().is_some_and(Bits::is_zero) {
+                        return Some(b);
                     }
                     if cb.as_ref().is_some_and(Bits::is_zero) {
                         return Some(a);
@@ -89,12 +87,16 @@ fn identity(
                 }
                 BinaryOp::MulS | BinaryOp::MulU => {
                     // x * 1 keeps the value when the result width covers x.
-                    if cb.as_ref().is_some_and(|v| v.to_u64() == 1 && v.count_ones() == 1)
+                    if cb
+                        .as_ref()
+                        .is_some_and(|v| v.to_u64() == 1 && v.count_ones() == 1)
                         && module.width(a) == width
                     {
                         return Some(a);
                     }
-                    if ca.as_ref().is_some_and(|v| v.to_u64() == 1 && v.count_ones() == 1)
+                    if ca
+                        .as_ref()
+                        .is_some_and(|v| v.to_u64() == 1 && v.count_ones() == 1)
                         && module.width(b) == width
                     {
                         return Some(b);

@@ -83,16 +83,22 @@ mod tests {
     fn binary_semantics() {
         let n = |op| Node::Binary(op, crate::NodeId::new(0), crate::NodeId::new(1));
         assert_eq!(
-            eval_pure(&n(BinaryOp::Add), 8, &[b(8, 100), b(8, 100)]).unwrap().to_i64(),
+            eval_pure(&n(BinaryOp::Add), 8, &[b(8, 100), b(8, 100)])
+                .unwrap()
+                .to_i64(),
             -56
         );
         assert_eq!(
-            eval_pure(&n(BinaryOp::MulS), 16, &[b(8, -3), b(8, 5)]).unwrap().to_i64(),
+            eval_pure(&n(BinaryOp::MulS), 16, &[b(8, -3), b(8, 5)])
+                .unwrap()
+                .to_i64(),
             -15
         );
         // Unsigned multiply differs from signed at narrow widths.
         assert_eq!(
-            eval_pure(&n(BinaryOp::MulU), 8, &[b(4, -1), b(4, -1)]).unwrap().to_u64(),
+            eval_pure(&n(BinaryOp::MulU), 8, &[b(4, -1), b(4, -1)])
+                .unwrap()
+                .to_u64(),
             225
         );
         assert_eq!(
@@ -102,7 +108,9 @@ mod tests {
             -4
         );
         assert_eq!(
-            eval_pure(&n(BinaryOp::LeS), 1, &[b(8, -1), b(8, 0)]).unwrap().to_u64(),
+            eval_pure(&n(BinaryOp::LeS), 1, &[b(8, -1), b(8, 0)])
+                .unwrap()
+                .to_u64(),
             1
         );
     }

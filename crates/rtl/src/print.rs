@@ -36,7 +36,14 @@ impl fmt::Display for Pretty<'_> {
         }
         writeln!(f, ");")?;
         for (i, r) in m.regs().iter().enumerate() {
-            writeln!(f, "  reg [{}:0] {} /* r{} init={} */;", r.width - 1, r.name, i, r.init)?;
+            writeln!(
+                f,
+                "  reg [{}:0] {} /* r{} init={} */;",
+                r.width - 1,
+                r.name,
+                i,
+                r.init
+            )?;
         }
         for (i, mem) in m.mems().iter().enumerate() {
             writeln!(
@@ -71,11 +78,9 @@ impl fmt::Display for Pretty<'_> {
                 Node::ZExt(a) => format!("zext(n{})", a.index()),
                 Node::SExt(a) => format!("sext(n{})", a.index()),
                 Node::RegOut(r) => format!("{} /* r{} */", m.regs()[r.index()].name, r.index()),
-                Node::MemRead { mem, addr } => format!(
-                    "{}[n{}]",
-                    m.mems()[mem.index()].name,
-                    addr.index()
-                ),
+                Node::MemRead { mem, addr } => {
+                    format!("{}[n{}]", m.mems()[mem.index()].name, addr.index())
+                }
             };
             let name = nd
                 .name
@@ -85,13 +90,19 @@ impl fmt::Display for Pretty<'_> {
             writeln!(f, "  wire [{}:0] n{i} = {rhs};{name}", nd.width - 1)?;
         }
         for (i, r) in m.regs().iter().enumerate() {
-            let en = r.en.map(|e| format!(" if (n{})", e.index())).unwrap_or_default();
+            let en =
+                r.en.map(|e| format!(" if (n{})", e.index()))
+                    .unwrap_or_default();
             let rst = r
                 .reset
                 .map(|e| format!(" rst=n{}", e.index()))
                 .unwrap_or_default();
             if let Some(next) = r.next {
-                writeln!(f, "  always @(posedge clk){en} r{i} <= n{};{rst}", next.index())?;
+                writeln!(
+                    f,
+                    "  always @(posedge clk){en} r{i} <= n{};{rst}",
+                    next.index()
+                )?;
             }
         }
         for mem in m.mems() {
@@ -135,7 +146,14 @@ mod tests {
         let rd = m.mem_read(mem, addr);
         m.output("y", rd);
         let text = m.pretty().to_string();
-        for needle in ["module demo", "input  [7:0] a", "acc", "buf[", "assign y", "endmodule"] {
+        for needle in [
+            "module demo",
+            "input  [7:0] a",
+            "acc",
+            "buf[",
+            "assign y",
+            "endmodule",
+        ] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
         }
     }

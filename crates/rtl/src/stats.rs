@@ -58,7 +58,11 @@ impl ModuleStats {
         for m in module.mems() {
             s.mem_bits += u64::from(m.width) * u64::from(m.depth);
         }
-        s.io_bits = module.inputs().iter().map(|p| u64::from(p.width)).sum::<u64>()
+        s.io_bits = module
+            .inputs()
+            .iter()
+            .map(|p| u64::from(p.width))
+            .sum::<u64>()
             + module
                 .outputs()
                 .iter()

@@ -94,9 +94,7 @@ impl Module {
                     if op.is_shift() && w(*a) != nd.width {
                         return err(format!("n{i}: shift operand {} -> {}", w(*a), nd.width));
                     }
-                    if matches!(op, BinaryOp::MulS | BinaryOp::MulU)
-                        && nd.width > w(*a) + w(*b)
-                    {
+                    if matches!(op, BinaryOp::MulS | BinaryOp::MulU) && nd.width > w(*a) + w(*b) {
                         return err(format!(
                             "n{i}: mul result {} wider than full product {}",
                             nd.width,
@@ -153,9 +151,9 @@ impl Module {
             }
         }
         for (i, reg) in self.regs().iter().enumerate() {
-            let next = reg
-                .next
-                .ok_or_else(|| ValidateError::new(format!("register {:?} unconnected", reg.name)))?;
+            let next = reg.next.ok_or_else(|| {
+                ValidateError::new(format!("register {:?} unconnected", reg.name))
+            })?;
             if self.width(next) != reg.width {
                 return err(format!("reg r{i} next width"));
             }

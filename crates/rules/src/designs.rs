@@ -11,7 +11,7 @@
 //!   counter, so the scheduler can never fire them together — the paper's
 //!   "periodicity 9 instead of 8" bubble falls out of rule atomicity.
 
-use crate::{Action, RegVec, RulesBuilder, RuleValue};
+use crate::{Action, RegVec, RuleValue, RulesBuilder};
 use hc_rtl::Module;
 
 const W1: i64 = 2841;
@@ -267,9 +267,7 @@ fn initial_impl(variant: usize) -> Module {
         b.and(a, out_idle)
     };
     let col_idx = b.slice(col_q, 0, 3);
-    let column: Vec<RuleValue> = (0..8)
-        .map(|r| column_of(&mut b, buf, r, col_idx))
-        .collect();
+    let column: Vec<RuleValue> = (0..8).map(|r| column_of(&mut b, buf, r, col_idx)).collect();
     let col_res = butterfly(&mut b, &column, true);
     let col_packed = pack(&mut b, &col_res);
     let obuf_q = b.read(obuf);

@@ -44,6 +44,6 @@ pub mod designs;
 mod error;
 mod schedule;
 
-pub use builder::{Action, RegHandle, RegVec, RulesBuilder, RuleValue};
+pub use builder::{Action, RegHandle, RegVec, RuleValue, RulesBuilder};
 pub use error::RulesError;
 pub use schedule::{conflicts, shared_writes};

@@ -29,8 +29,7 @@ pub(crate) fn compile(mut b: RulesBuilder) -> Result<Module, RulesError> {
     // Apply an urgency override (a permutation of declaration order).
     if let Some(order) = b.urgency.take() {
         assert_eq!(order.len(), b.rules.len(), "urgency permutation length");
-        let mut taken: Vec<Option<crate::builder::RuleDef>> =
-            b.rules.drain(..).map(Some).collect();
+        let mut taken: Vec<Option<crate::builder::RuleDef>> = b.rules.drain(..).map(Some).collect();
         b.rules = order
             .iter()
             .map(|&i| taken[i].take().expect("valid permutation"))
@@ -38,11 +37,7 @@ pub(crate) fn compile(mut b: RulesBuilder) -> Result<Module, RulesError> {
     }
 
     // Conflict matrix.
-    let writes: Vec<HashSet<usize>> = b
-        .rules
-        .iter()
-        .map(|r| write_set(&b, &r.actions))
-        .collect();
+    let writes: Vec<HashSet<usize>> = b.rules.iter().map(|r| write_set(&b, &r.actions)).collect();
     let n = b.rules.len();
     let conflict = |i: usize, j: usize| !writes[i].is_disjoint(&writes[j]);
 
@@ -50,9 +45,9 @@ pub(crate) fn compile(mut b: RulesBuilder) -> Result<Module, RulesError> {
     let mut will_fire: Vec<NodeId> = Vec::with_capacity(n);
     for i in 0..n {
         let mut fire = b.rules[i].guard;
-        for j in 0..i {
+        for (j, &prior) in will_fire.iter().enumerate() {
             if conflict(i, j) {
-                let blocked = b.m.unary(UnaryOp::Not, will_fire[j]);
+                let blocked = b.m.unary(UnaryOp::Not, prior);
                 fire = b.m.binary(BinaryOp::And, fire, blocked, 1);
             }
         }
@@ -109,8 +104,7 @@ pub(crate) fn compile(mut b: RulesBuilder) -> Result<Module, RulesError> {
         }
     }
 
-    b.m.validate()
-        .map_err(|e| RulesError::new(e.to_string()))?;
+    b.m.validate().map_err(|e| RulesError::new(e.to_string()))?;
     Ok(b.m)
 }
 
@@ -127,11 +121,7 @@ fn fit(m: &mut Module, node: NodeId, width: u32) -> Result<NodeId, u32> {
 
 /// Exposes the conflict relation for tests and reports.
 pub fn conflicts(b: &RulesBuilder) -> Vec<(String, String)> {
-    let writes: Vec<HashSet<usize>> = b
-        .rules
-        .iter()
-        .map(|r| write_set(b, &r.actions))
-        .collect();
+    let writes: Vec<HashSet<usize>> = b.rules.iter().map(|r| write_set(b, &r.actions)).collect();
     let mut out = Vec::new();
     for i in 0..b.rules.len() {
         for j in i + 1..b.rules.len() {

@@ -1,0 +1,1630 @@
+//! The compiled simulation backend.
+//!
+//! [`CompiledSimulator`] lowers a validated [`Module`] once into a flat
+//! instruction tape ([`Instr`]) with pre-resolved operand slot indices, then
+//! replays that tape every cycle. The value store is word-packed: nodes of
+//! width ≤ 64 live inline in a `u64` slot array with masks precomputed at
+//! lowering time, so the combinational sweep performs no heap allocation;
+//! wider nodes fall back to a side table of [`Bits`]. Register commit is
+//! double-buffered (values are gathered into a shadow array, then written
+//! back), and all name lookups go through maps built at construction.
+//!
+//! The tape preserves the module's topological node order, and every
+//! instruction reproduces the interpreter's semantics exactly — shared
+//! corner cases (division by zero, oversized shift amounts, unsigned
+//! multiply at narrow widths) follow `eval_pure`, which also serves as the
+//! fallback for operations on wide values. The interpreted
+//! [`Simulator`](crate::Simulator) is the reference oracle; the differential
+//! test suite drives both engines with identical stimulus and demands
+//! identical outputs, register state, and cycle counts.
+
+use std::collections::HashMap;
+
+use hc_bits::Bits;
+use hc_rtl::passes::eval::eval_pure;
+use hc_rtl::{BinaryOp, Module, Node, NodeId, UnaryOp, ValidateError};
+
+use crate::SimBackend;
+
+/// Where a value lives: inline in the `u64` slot array, or in the `Bits`
+/// side table for widths above 64.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Loc {
+    /// Index into the narrow (`u64`) slot array.
+    N(u32),
+    /// Index into the wide (`Bits`) side table.
+    W(u32),
+}
+
+/// All-ones mask for a width ≤ 64.
+fn mask(width: u32) -> u64 {
+    if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+/// Sign-extends a masked `width`-bit value to `i64`; `s` is `64 - width`.
+fn sxt(v: u64, s: u32) -> i64 {
+    ((v << s) as i64) >> s
+}
+
+/// One lowered combinational operation. Slot indices and masks are resolved
+/// at lowering time; the eval loop is a single pass over the tape.
+///
+/// Naming: a bare op name works on narrow (`u64`) slots; a `W` suffix means
+/// wide operands are involved. `Generic` falls back to `eval_pure` over
+/// materialized `Bits` for shapes with no specialized form.
+#[derive(Clone, Copy, Debug)]
+enum Instr {
+    /// `dst = a & mask` — narrow copy, truncating zext/sext, widening zext.
+    CopyMask {
+        a: u32,
+        dst: u32,
+        mask: u64,
+    },
+    Not {
+        a: u32,
+        dst: u32,
+        mask: u64,
+    },
+    Neg {
+        a: u32,
+        dst: u32,
+        mask: u64,
+    },
+    RedOr {
+        a: u32,
+        dst: u32,
+    },
+    /// `ones` is the operand's full mask.
+    RedAnd {
+        a: u32,
+        dst: u32,
+        ones: u64,
+    },
+    RedXor {
+        a: u32,
+        dst: u32,
+    },
+    Add {
+        a: u32,
+        b: u32,
+        dst: u32,
+        mask: u64,
+    },
+    Sub {
+        a: u32,
+        b: u32,
+        dst: u32,
+        mask: u64,
+    },
+    /// `sa`/`sb` are `64 - width` of each operand, for sign extension.
+    MulS {
+        a: u32,
+        b: u32,
+        dst: u32,
+        sa: u32,
+        sb: u32,
+        mask: u64,
+    },
+    MulU {
+        a: u32,
+        b: u32,
+        dst: u32,
+        mask: u64,
+    },
+    /// Division by zero yields all-ones, which is exactly `mask`.
+    DivU {
+        a: u32,
+        b: u32,
+        dst: u32,
+        mask: u64,
+    },
+    /// Remainder by zero yields the dividend.
+    RemU {
+        a: u32,
+        b: u32,
+        dst: u32,
+    },
+    And {
+        a: u32,
+        b: u32,
+        dst: u32,
+    },
+    Or {
+        a: u32,
+        b: u32,
+        dst: u32,
+    },
+    Xor {
+        a: u32,
+        b: u32,
+        dst: u32,
+    },
+    Eq {
+        a: u32,
+        b: u32,
+        dst: u32,
+    },
+    Ne {
+        a: u32,
+        b: u32,
+        dst: u32,
+    },
+    LtU {
+        a: u32,
+        b: u32,
+        dst: u32,
+    },
+    /// `s` is `64 - width` of the (equal-width) operands.
+    LtS {
+        a: u32,
+        b: u32,
+        dst: u32,
+        s: u32,
+    },
+    LeU {
+        a: u32,
+        b: u32,
+        dst: u32,
+    },
+    LeS {
+        a: u32,
+        b: u32,
+        dst: u32,
+        s: u32,
+    },
+    /// Amounts at or beyond `width` yield zero (HDL semantics).
+    Shl {
+        a: u32,
+        b: u32,
+        dst: u32,
+        width: u32,
+        mask: u64,
+    },
+    ShrL {
+        a: u32,
+        b: u32,
+        dst: u32,
+        width: u32,
+    },
+    /// Amounts at or beyond `width` saturate to all-sign.
+    ShrA {
+        a: u32,
+        b: u32,
+        dst: u32,
+        width: u32,
+        s: u32,
+        mask: u64,
+    },
+    MuxN {
+        sel: u32,
+        t: u32,
+        f: u32,
+        dst: u32,
+    },
+    ConcatN {
+        hi: u32,
+        lo: u32,
+        dst: u32,
+        lo_w: u32,
+    },
+    SliceN {
+        a: u32,
+        dst: u32,
+        lo: u32,
+        mask: u64,
+    },
+    /// Widening sign-extension narrow → narrow; `s` is `64 - src width`.
+    SExtN {
+        a: u32,
+        dst: u32,
+        s: u32,
+        mask: u64,
+    },
+    /// Wide source → narrow field read (also truncating zext/sext).
+    SliceW {
+        src: u32,
+        dst: u32,
+        lo: u32,
+        width: u32,
+    },
+    /// Two narrow halves deposited into a wide destination.
+    ConcatWNN {
+        hi: u32,
+        lo: u32,
+        dst: u32,
+        hi_w: u32,
+        lo_w: u32,
+    },
+    /// Narrow value zero-extended into a wide destination.
+    ZExtWN {
+        a: u32,
+        dst: u32,
+        a_w: u32,
+    },
+    /// Narrow value sign-extended into a wide destination.
+    SExtWN {
+        a: u32,
+        dst: u32,
+        a_w: u32,
+    },
+    /// Mux over wide arms (the select is always 1 bit, hence narrow).
+    MuxW {
+        sel: u32,
+        t: u32,
+        f: u32,
+        dst: u32,
+    },
+    EqW {
+        a: u32,
+        b: u32,
+        dst: u32,
+    },
+    NeW {
+        a: u32,
+        b: u32,
+        dst: u32,
+    },
+    /// Wide → wide copy (same-width zext/sext).
+    CopyW {
+        a: u32,
+        dst: u32,
+    },
+    MemReadN {
+        mem: u32,
+        addr: Loc,
+        dst: u32,
+    },
+    MemReadW {
+        mem: u32,
+        addr: Loc,
+        dst: u32,
+    },
+    /// Fallback: evaluate via `eval_pure` over materialized `Bits`.
+    Generic(u32),
+}
+
+/// Fallback operation state for [`Instr::Generic`].
+#[derive(Clone, Debug)]
+struct GenericOp {
+    node: Node,
+    width: u32,
+    args: Vec<(Loc, u32)>,
+    dst: Loc,
+}
+
+/// A memory whose word width fits a `u64`.
+#[derive(Clone, Debug)]
+struct NMem {
+    words: Vec<u64>,
+    depth: u64,
+}
+
+/// A memory with words wider than 64 bits.
+#[derive(Clone, Debug)]
+struct WMem {
+    words: Vec<Bits>,
+    depth: u64,
+}
+
+/// Commit plan for a register held in a narrow slot.
+#[derive(Clone, Copy, Debug)]
+struct NRegPlan {
+    slot: u32,
+    next: u32,
+    en: Option<u32>,
+    reset: Option<u32>,
+    init: u64,
+}
+
+/// Commit plan for a register held in the wide table.
+#[derive(Clone, Debug)]
+struct WRegPlan {
+    slot: u32,
+    next: u32,
+    en: Option<u32>,
+    reset: Option<u32>,
+    init: Bits,
+}
+
+/// A lowered memory write port (enables and widths pre-resolved).
+#[derive(Clone, Copy, Debug)]
+struct MemWritePlan {
+    mem: u32,
+    en: u32,
+    addr: Loc,
+    data: u32,
+}
+
+/// A cycle-accurate compiled simulator for one [`Module`].
+///
+/// Construction lowers the module into an instruction tape; afterwards the
+/// per-cycle cost is one linear pass over the tape with no allocation for
+/// narrow (≤ 64-bit) values. Observable behavior is bit-identical to the
+/// interpreted [`Simulator`](crate::Simulator).
+#[derive(Debug)]
+pub struct CompiledSimulator {
+    module: Module,
+    tape: Vec<Instr>,
+    generic: Vec<GenericOp>,
+    narrow: Vec<u64>,
+    wide: Vec<Bits>,
+    nmems: Vec<NMem>,
+    wmems: Vec<WMem>,
+    nmem_writes: Vec<MemWritePlan>,
+    wmem_writes: Vec<MemWritePlan>,
+    nregs: Vec<NRegPlan>,
+    wregs: Vec<WRegPlan>,
+    nreg_shadow: Vec<u64>,
+    wreg_shadow: Vec<Bits>,
+    node_loc: Vec<Loc>,
+    reg_loc: Vec<Loc>,
+    input_locs: Vec<(Loc, u32)>,
+    input_index: HashMap<String, usize>,
+    output_index: HashMap<String, (Loc, u32)>,
+    reg_index: HashMap<String, usize>,
+    evaluated: bool,
+    cycle: u64,
+}
+
+/// Allocates a slot for a `width`-bit value.
+fn alloc(narrow: &mut Vec<u64>, wide: &mut Vec<Bits>, width: u32) -> Loc {
+    if width <= 64 {
+        let s = narrow.len() as u32;
+        narrow.push(0);
+        Loc::N(s)
+    } else {
+        let s = wide.len() as u32;
+        wide.push(Bits::zero(width));
+        Loc::W(s)
+    }
+}
+
+/// `dst.clone_from(src)` over two distinct indices of one slice.
+fn copy_wide(wide: &mut [Bits], src: usize, dst: usize) {
+    debug_assert_ne!(src, dst, "wide copy onto itself");
+    let (s, d) = if src < dst {
+        let (head, tail) = wide.split_at_mut(dst);
+        (&head[src], &mut tail[0])
+    } else {
+        let (head, tail) = wide.split_at_mut(src);
+        (&tail[0], &mut head[dst])
+    };
+    d.clone_from(s);
+}
+
+impl CompiledSimulator {
+    /// Lowers and validates the module, preparing simulation state
+    /// (registers hold their `init` values, memories are zeroed).
+    ///
+    /// # Errors
+    ///
+    /// Returns the module's [`ValidateError`] if it is structurally invalid.
+    pub fn new(module: Module) -> Result<Self, ValidateError> {
+        module.validate()?;
+
+        let mut narrow = Vec::new();
+        let mut wide = Vec::new();
+
+        // Registers get their slots first so RegOut nodes can alias them —
+        // a register read costs nothing at eval time.
+        let mut reg_loc = Vec::with_capacity(module.regs().len());
+        for r in module.regs() {
+            if r.width <= 64 {
+                reg_loc.push(Loc::N(narrow.len() as u32));
+                narrow.push(r.init.to_u64());
+            } else {
+                reg_loc.push(Loc::W(wide.len() as u32));
+                wide.push(r.init.clone());
+            }
+        }
+
+        let mut mem_tab = Vec::with_capacity(module.mems().len());
+        let mut nmems = Vec::new();
+        let mut wmems = Vec::new();
+        for m in module.mems() {
+            if m.width <= 64 {
+                mem_tab.push(Loc::N(nmems.len() as u32));
+                nmems.push(NMem {
+                    words: vec![0; m.depth as usize],
+                    depth: m.depth as u64,
+                });
+            } else {
+                mem_tab.push(Loc::W(wmems.len() as u32));
+                wmems.push(WMem {
+                    words: vec![Bits::zero(m.width); m.depth as usize],
+                    depth: m.depth as u64,
+                });
+            }
+        }
+
+        let mut node_loc: Vec<Loc> = Vec::with_capacity(module.nodes().len());
+        let mut tape = Vec::new();
+        let mut generic = Vec::new();
+        let mut input_locs = vec![(Loc::N(0), 0u32); module.inputs().len()];
+
+        for nd in module.nodes() {
+            let w = nd.width;
+            let loc = match &nd.node {
+                // Constants are written into their slot once, here; they
+                // produce no instruction.
+                Node::Const(v) => {
+                    if w <= 64 {
+                        let s = narrow.len() as u32;
+                        narrow.push(v.to_u64());
+                        Loc::N(s)
+                    } else {
+                        let s = wide.len() as u32;
+                        wide.push(v.clone());
+                        Loc::W(s)
+                    }
+                }
+                // Inputs own a slot that `set` writes directly.
+                Node::Input(idx) => {
+                    let loc = alloc(&mut narrow, &mut wide, w);
+                    input_locs[*idx] = (loc, w);
+                    loc
+                }
+                // Register reads alias the register's own slot.
+                Node::RegOut(r) => reg_loc[r.index()],
+                Node::MemRead { mem, addr } => {
+                    let dst = alloc(&mut narrow, &mut wide, w);
+                    let addr = node_loc[addr.index()];
+                    match (mem_tab[mem.index()], dst) {
+                        (Loc::N(mi), Loc::N(d)) => tape.push(Instr::MemReadN {
+                            mem: mi,
+                            addr,
+                            dst: d,
+                        }),
+                        (Loc::W(mi), Loc::W(d)) => tape.push(Instr::MemReadW {
+                            mem: mi,
+                            addr,
+                            dst: d,
+                        }),
+                        _ => unreachable!("memory read width mismatch"),
+                    }
+                    dst
+                }
+                pure => {
+                    let dst = alloc(&mut narrow, &mut wide, w);
+                    let instr = lower_pure(&module, pure, w, dst, &node_loc, &mut generic);
+                    tape.push(instr);
+                    dst
+                }
+            };
+            node_loc.push(loc);
+        }
+
+        // Narrow-only operand helper for enables and resets (always 1 bit).
+        let bit_slot = |id: NodeId| match node_loc[id.index()] {
+            Loc::N(s) => s,
+            Loc::W(_) => unreachable!("1-bit control signal in wide table"),
+        };
+
+        let mut nregs = Vec::new();
+        let mut wregs = Vec::new();
+        for (ri, r) in module.regs().iter().enumerate() {
+            let next = node_loc[r.next.expect("validated").index()];
+            let en = r.en.map(bit_slot);
+            let reset = r.reset.map(bit_slot);
+            match (reg_loc[ri], next) {
+                (Loc::N(slot), Loc::N(next)) => nregs.push(NRegPlan {
+                    slot,
+                    next,
+                    en,
+                    reset,
+                    init: r.init.to_u64(),
+                }),
+                (Loc::W(slot), Loc::W(next)) => wregs.push(WRegPlan {
+                    slot,
+                    next,
+                    en,
+                    reset,
+                    init: r.init.clone(),
+                }),
+                _ => unreachable!("register next width mismatch"),
+            }
+        }
+
+        let mut nmem_writes = Vec::new();
+        let mut wmem_writes = Vec::new();
+        for (mi, m) in module.mems().iter().enumerate() {
+            for wr in &m.writes {
+                let en = bit_slot(wr.en);
+                let addr = node_loc[wr.addr.index()];
+                match (mem_tab[mi], node_loc[wr.data.index()]) {
+                    (Loc::N(mem), Loc::N(data)) => nmem_writes.push(MemWritePlan {
+                        mem,
+                        en,
+                        addr,
+                        data,
+                    }),
+                    (Loc::W(mem), Loc::W(data)) => wmem_writes.push(MemWritePlan {
+                        mem,
+                        en,
+                        addr,
+                        data,
+                    }),
+                    _ => unreachable!("memory write width mismatch"),
+                }
+            }
+        }
+
+        let nreg_shadow = vec![0u64; nregs.len()];
+        let wreg_shadow: Vec<Bits> = wregs.iter().map(|p: &WRegPlan| p.init.clone()).collect();
+
+        let input_index = module
+            .inputs()
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.name.clone(), i))
+            .collect();
+        let output_index = module
+            .outputs()
+            .iter()
+            .map(|o| {
+                (
+                    o.name.clone(),
+                    (node_loc[o.node.index()], module.width(o.node)),
+                )
+            })
+            .collect();
+        let reg_index = module
+            .regs()
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (r.name.clone(), i))
+            .collect();
+
+        Ok(CompiledSimulator {
+            module,
+            tape,
+            generic,
+            narrow,
+            wide,
+            nmems,
+            wmems,
+            nmem_writes,
+            wmem_writes,
+            nregs,
+            wregs,
+            nreg_shadow,
+            wreg_shadow,
+            node_loc,
+            reg_loc,
+            input_locs,
+            input_index,
+            output_index,
+            reg_index,
+            evaluated: false,
+            cycle: 0,
+        })
+    }
+
+    /// The simulated module.
+    pub fn module(&self) -> &Module {
+        &self.module
+    }
+
+    /// Number of completed clock cycles.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Instruction tape length (lowering statistics; generic entries count
+    /// the `eval_pure` fallbacks among them).
+    pub fn tape_stats(&self) -> (usize, usize) {
+        (self.tape.len(), self.generic.len())
+    }
+
+    fn read_loc(&self, loc: Loc, width: u32) -> Bits {
+        match loc {
+            Loc::N(s) => Bits::from_u64(width, self.narrow[s as usize]),
+            Loc::W(s) => self.wide[s as usize].clone(),
+        }
+    }
+
+    /// Drives an input port.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no input named `name` exists or the width differs.
+    pub fn set(&mut self, name: &str, value: Bits) {
+        let &idx = self
+            .input_index
+            .get(name)
+            .unwrap_or_else(|| panic!("no input named {name:?}"));
+        let (loc, width) = self.input_locs[idx];
+        assert_eq!(width, value.width(), "input {name:?} width");
+        match loc {
+            Loc::N(s) => self.narrow[s as usize] = value.to_u64(),
+            Loc::W(s) => self.wide[s as usize] = value,
+        }
+        self.evaluated = false;
+    }
+
+    /// Drives an input port from a `u64` (truncated to the port width).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no input named `name` exists.
+    pub fn set_u64(&mut self, name: &str, value: u64) {
+        let &idx = self
+            .input_index
+            .get(name)
+            .unwrap_or_else(|| panic!("no input named {name:?}"));
+        let (loc, width) = self.input_locs[idx];
+        match loc {
+            Loc::N(s) => self.narrow[s as usize] = value & mask(width),
+            Loc::W(s) => {
+                let slot = &mut self.wide[s as usize];
+                slot.clear();
+                slot.deposit_u64(0, 64, value);
+            }
+        }
+        self.evaluated = false;
+    }
+
+    /// Settles combinational logic for the current input/register state by
+    /// replaying the instruction tape. Called implicitly by
+    /// [`get`](CompiledSimulator::get) and [`step`](CompiledSimulator::step)
+    /// when needed.
+    pub fn eval(&mut self) {
+        if self.evaluated {
+            return;
+        }
+        let narrow = &mut self.narrow;
+        let wide = &mut self.wide;
+        for instr in &self.tape {
+            match *instr {
+                Instr::CopyMask { a, dst, mask } => {
+                    narrow[dst as usize] = narrow[a as usize] & mask;
+                }
+                Instr::Not { a, dst, mask } => {
+                    narrow[dst as usize] = !narrow[a as usize] & mask;
+                }
+                Instr::Neg { a, dst, mask } => {
+                    narrow[dst as usize] = narrow[a as usize].wrapping_neg() & mask;
+                }
+                Instr::RedOr { a, dst } => {
+                    narrow[dst as usize] = (narrow[a as usize] != 0) as u64;
+                }
+                Instr::RedAnd { a, dst, ones } => {
+                    narrow[dst as usize] = (narrow[a as usize] == ones) as u64;
+                }
+                Instr::RedXor { a, dst } => {
+                    narrow[dst as usize] = (narrow[a as usize].count_ones() & 1) as u64;
+                }
+                Instr::Add { a, b, dst, mask } => {
+                    narrow[dst as usize] =
+                        narrow[a as usize].wrapping_add(narrow[b as usize]) & mask;
+                }
+                Instr::Sub { a, b, dst, mask } => {
+                    narrow[dst as usize] =
+                        narrow[a as usize].wrapping_sub(narrow[b as usize]) & mask;
+                }
+                Instr::MulS {
+                    a,
+                    b,
+                    dst,
+                    sa,
+                    sb,
+                    mask,
+                } => {
+                    let p = sxt(narrow[a as usize], sa).wrapping_mul(sxt(narrow[b as usize], sb));
+                    narrow[dst as usize] = p as u64 & mask;
+                }
+                Instr::MulU { a, b, dst, mask } => {
+                    narrow[dst as usize] =
+                        narrow[a as usize].wrapping_mul(narrow[b as usize]) & mask;
+                }
+                Instr::DivU { a, b, dst, mask } => {
+                    narrow[dst as usize] = narrow[a as usize]
+                        .checked_div(narrow[b as usize])
+                        .unwrap_or(mask);
+                }
+                Instr::RemU { a, b, dst } => {
+                    let d = narrow[b as usize];
+                    narrow[dst as usize] = if d == 0 {
+                        narrow[a as usize]
+                    } else {
+                        narrow[a as usize] % d
+                    };
+                }
+                Instr::And { a, b, dst } => {
+                    narrow[dst as usize] = narrow[a as usize] & narrow[b as usize];
+                }
+                Instr::Or { a, b, dst } => {
+                    narrow[dst as usize] = narrow[a as usize] | narrow[b as usize];
+                }
+                Instr::Xor { a, b, dst } => {
+                    narrow[dst as usize] = narrow[a as usize] ^ narrow[b as usize];
+                }
+                Instr::Eq { a, b, dst } => {
+                    narrow[dst as usize] = (narrow[a as usize] == narrow[b as usize]) as u64;
+                }
+                Instr::Ne { a, b, dst } => {
+                    narrow[dst as usize] = (narrow[a as usize] != narrow[b as usize]) as u64;
+                }
+                Instr::LtU { a, b, dst } => {
+                    narrow[dst as usize] = (narrow[a as usize] < narrow[b as usize]) as u64;
+                }
+                Instr::LtS { a, b, dst, s } => {
+                    narrow[dst as usize] =
+                        (sxt(narrow[a as usize], s) < sxt(narrow[b as usize], s)) as u64;
+                }
+                Instr::LeU { a, b, dst } => {
+                    narrow[dst as usize] = (narrow[a as usize] <= narrow[b as usize]) as u64;
+                }
+                Instr::LeS { a, b, dst, s } => {
+                    narrow[dst as usize] =
+                        (sxt(narrow[a as usize], s) <= sxt(narrow[b as usize], s)) as u64;
+                }
+                Instr::Shl {
+                    a,
+                    b,
+                    dst,
+                    width,
+                    mask,
+                } => {
+                    let amt = narrow[b as usize];
+                    narrow[dst as usize] = if amt >= width as u64 {
+                        0
+                    } else {
+                        (narrow[a as usize] << amt) & mask
+                    };
+                }
+                Instr::ShrL { a, b, dst, width } => {
+                    let amt = narrow[b as usize];
+                    narrow[dst as usize] = if amt >= width as u64 {
+                        0
+                    } else {
+                        narrow[a as usize] >> amt
+                    };
+                }
+                Instr::ShrA {
+                    a,
+                    b,
+                    dst,
+                    width,
+                    s,
+                    mask,
+                } => {
+                    let v = sxt(narrow[a as usize], s);
+                    let amt = narrow[b as usize];
+                    narrow[dst as usize] = if amt >= width as u64 {
+                        if v < 0 {
+                            mask
+                        } else {
+                            0
+                        }
+                    } else {
+                        (v >> amt) as u64 & mask
+                    };
+                }
+                Instr::MuxN { sel, t, f, dst } => {
+                    narrow[dst as usize] = if narrow[sel as usize] != 0 {
+                        narrow[t as usize]
+                    } else {
+                        narrow[f as usize]
+                    };
+                }
+                Instr::ConcatN { hi, lo, dst, lo_w } => {
+                    narrow[dst as usize] = (narrow[hi as usize] << lo_w) | narrow[lo as usize];
+                }
+                Instr::SliceN { a, dst, lo, mask } => {
+                    narrow[dst as usize] = (narrow[a as usize] >> lo) & mask;
+                }
+                Instr::SExtN { a, dst, s, mask } => {
+                    narrow[dst as usize] = sxt(narrow[a as usize], s) as u64 & mask;
+                }
+                Instr::SliceW {
+                    src,
+                    dst,
+                    lo,
+                    width,
+                } => {
+                    narrow[dst as usize] = wide[src as usize].extract_u64(lo, width);
+                }
+                Instr::ConcatWNN {
+                    hi,
+                    lo,
+                    dst,
+                    hi_w,
+                    lo_w,
+                } => {
+                    let d = &mut wide[dst as usize];
+                    d.deposit_u64(0, lo_w, narrow[lo as usize]);
+                    d.deposit_u64(lo_w, hi_w, narrow[hi as usize]);
+                }
+                Instr::ZExtWN { a, dst, a_w } => {
+                    let d = &mut wide[dst as usize];
+                    d.clear();
+                    d.deposit_u64(0, a_w, narrow[a as usize]);
+                }
+                Instr::SExtWN { a, dst, a_w } => {
+                    let v = narrow[a as usize];
+                    let d = &mut wide[dst as usize];
+                    d.fill(v >> (a_w - 1) & 1 == 1);
+                    d.deposit_u64(0, a_w, v);
+                }
+                Instr::MuxW { sel, t, f, dst } => {
+                    let src = if narrow[sel as usize] != 0 { t } else { f };
+                    copy_wide(wide, src as usize, dst as usize);
+                }
+                Instr::EqW { a, b, dst } => {
+                    narrow[dst as usize] = (wide[a as usize] == wide[b as usize]) as u64;
+                }
+                Instr::NeW { a, b, dst } => {
+                    narrow[dst as usize] = (wide[a as usize] != wide[b as usize]) as u64;
+                }
+                Instr::CopyW { a, dst } => {
+                    copy_wide(wide, a as usize, dst as usize);
+                }
+                Instr::MemReadN { mem, addr, dst } => {
+                    let m = &self.nmems[mem as usize];
+                    let a = match addr {
+                        Loc::N(s) => narrow[s as usize],
+                        Loc::W(s) => wide[s as usize].to_u64(),
+                    } % m.depth;
+                    narrow[dst as usize] = m.words[a as usize];
+                }
+                Instr::MemReadW { mem, addr, dst } => {
+                    let m = &self.wmems[mem as usize];
+                    let a = match addr {
+                        Loc::N(s) => narrow[s as usize],
+                        Loc::W(s) => wide[s as usize].to_u64(),
+                    } % m.depth;
+                    wide[dst as usize].clone_from(&m.words[a as usize]);
+                }
+                Instr::Generic(gi) => {
+                    let g = &self.generic[gi as usize];
+                    let mut args = Vec::with_capacity(g.args.len());
+                    for &(loc, w) in &g.args {
+                        args.push(match loc {
+                            Loc::N(s) => Bits::from_u64(w, narrow[s as usize]),
+                            Loc::W(s) => wide[s as usize].clone(),
+                        });
+                    }
+                    let v = eval_pure(&g.node, g.width, &args).expect("pure node");
+                    match g.dst {
+                        Loc::N(s) => narrow[s as usize] = v.to_u64(),
+                        Loc::W(s) => wide[s as usize] = v,
+                    }
+                }
+            }
+        }
+        self.evaluated = true;
+    }
+
+    /// Reads an output port (evaluating first if necessary).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no output named `name` exists.
+    pub fn get(&mut self, name: &str) -> Bits {
+        self.eval();
+        let &(loc, width) = self
+            .output_index
+            .get(name)
+            .unwrap_or_else(|| panic!("no output named {name:?}"));
+        self.read_loc(loc, width)
+    }
+
+    /// Reads back the value currently driving an input port.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no input named `name` exists.
+    pub fn input_value(&self, name: &str) -> Bits {
+        let &idx = self
+            .input_index
+            .get(name)
+            .unwrap_or_else(|| panic!("no input named {name:?}"));
+        let (loc, width) = self.input_locs[idx];
+        self.read_loc(loc, width)
+    }
+
+    /// Reads the settled value of an arbitrary node (for probing).
+    pub fn probe(&mut self, node: NodeId) -> Bits {
+        self.eval();
+        self.read_loc(self.node_loc[node.index()], self.module.width(node))
+    }
+
+    /// Reads a register's current value by name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no register named `name` exists.
+    pub fn peek_reg(&self, name: &str) -> Bits {
+        let &ri = self
+            .reg_index
+            .get(name)
+            .unwrap_or_else(|| panic!("no register named {name:?}"));
+        self.read_loc(self.reg_loc[ri], self.module.regs()[ri].width)
+    }
+
+    /// Advances one clock cycle: settles combinational logic, then commits
+    /// register next-values and memory writes simultaneously.
+    ///
+    /// The commit is double-buffered: next values are gathered into shadow
+    /// storage while every register still holds its old value, memory writes
+    /// sample the settled combinational state, and only then do the shadows
+    /// swap in.
+    pub fn step(&mut self) {
+        self.eval();
+        // Phase 1: gather next values while all register slots still hold
+        // their pre-edge values (registers may feed each other).
+        for (i, p) in self.nregs.iter().enumerate() {
+            let reset = p.reset.is_some_and(|r| self.narrow[r as usize] != 0);
+            self.nreg_shadow[i] = if reset {
+                p.init
+            } else if p.en.is_none_or(|e| self.narrow[e as usize] != 0) {
+                self.narrow[p.next as usize]
+            } else {
+                self.narrow[p.slot as usize]
+            };
+        }
+        for (i, p) in self.wregs.iter().enumerate() {
+            let reset = p.reset.is_some_and(|r| self.narrow[r as usize] != 0);
+            let src = if reset {
+                &p.init
+            } else if p.en.is_none_or(|e| self.narrow[e as usize] != 0) {
+                &self.wide[p.next as usize]
+            } else {
+                &self.wide[p.slot as usize]
+            };
+            self.wreg_shadow[i].clone_from(src);
+        }
+        // Phase 2: memory writes sample the settled combinational values
+        // (which include pre-edge register outputs) in port order.
+        for w in &self.nmem_writes {
+            if self.narrow[w.en as usize] != 0 {
+                let m = &mut self.nmems[w.mem as usize];
+                let a = match w.addr {
+                    Loc::N(s) => self.narrow[s as usize],
+                    Loc::W(s) => self.wide[s as usize].to_u64(),
+                } % m.depth;
+                m.words[a as usize] = self.narrow[w.data as usize];
+            }
+        }
+        for w in &self.wmem_writes {
+            if self.narrow[w.en as usize] != 0 {
+                let a = match w.addr {
+                    Loc::N(s) => self.narrow[s as usize],
+                    Loc::W(s) => self.wide[s as usize].to_u64(),
+                } % self.wmems[w.mem as usize].depth;
+                let m = &mut self.wmems[w.mem as usize];
+                m.words[a as usize].clone_from(&self.wide[w.data as usize]);
+            }
+        }
+        // Phase 3: the simultaneous commit.
+        for (i, p) in self.nregs.iter().enumerate() {
+            self.narrow[p.slot as usize] = self.nreg_shadow[i];
+        }
+        for (i, p) in self.wregs.iter().enumerate() {
+            std::mem::swap(&mut self.wide[p.slot as usize], &mut self.wreg_shadow[i]);
+        }
+        self.evaluated = false;
+        self.cycle += 1;
+    }
+
+    /// Runs `n` clock cycles with the current inputs held.
+    pub fn run(&mut self, n: u64) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+
+    /// Resets all registers to their init values and clears memories and the
+    /// cycle counter (a hard power-on reset, independent of any reset port).
+    pub fn reset(&mut self) {
+        for p in &self.nregs {
+            self.narrow[p.slot as usize] = p.init;
+        }
+        for p in &self.wregs {
+            self.wide[p.slot as usize].clone_from(&p.init);
+        }
+        for m in &mut self.nmems {
+            m.words.iter_mut().for_each(|w| *w = 0);
+        }
+        for m in &mut self.wmems {
+            m.words.iter_mut().for_each(Bits::clear);
+        }
+        self.cycle = 0;
+        self.evaluated = false;
+    }
+}
+
+impl SimBackend for CompiledSimulator {
+    fn from_module(module: Module) -> Result<Self, ValidateError> {
+        CompiledSimulator::new(module)
+    }
+    fn module(&self) -> &Module {
+        self.module()
+    }
+    fn cycle(&self) -> u64 {
+        self.cycle()
+    }
+    fn set(&mut self, name: &str, value: Bits) {
+        CompiledSimulator::set(self, name, value);
+    }
+    fn set_u64(&mut self, name: &str, value: u64) {
+        CompiledSimulator::set_u64(self, name, value);
+    }
+    fn get(&mut self, name: &str) -> Bits {
+        CompiledSimulator::get(self, name)
+    }
+    fn input_value(&self, name: &str) -> Bits {
+        CompiledSimulator::input_value(self, name)
+    }
+    fn peek_reg(&self, name: &str) -> Bits {
+        CompiledSimulator::peek_reg(self, name)
+    }
+    fn step(&mut self) {
+        CompiledSimulator::step(self);
+    }
+    fn run(&mut self, n: u64) {
+        CompiledSimulator::run(self, n);
+    }
+    fn reset(&mut self) {
+        CompiledSimulator::reset(self);
+    }
+}
+
+/// Lowers one pure combinational node to an instruction, specializing when
+/// every involved value is narrow (and for the common wide↔narrow shapes);
+/// anything else becomes an `eval_pure` fallback.
+fn lower_pure(
+    module: &Module,
+    node: &Node,
+    w: u32,
+    dst: Loc,
+    node_loc: &[Loc],
+    generic: &mut Vec<GenericOp>,
+) -> Instr {
+    let loc = |id: NodeId| node_loc[id.index()];
+    let width = |id: NodeId| module.width(id);
+    match *node {
+        Node::Unary(op, a) => {
+            if let (Loc::N(ai), Loc::N(d)) = (loc(a), dst) {
+                let m = mask(w);
+                return match op {
+                    UnaryOp::Not => Instr::Not {
+                        a: ai,
+                        dst: d,
+                        mask: m,
+                    },
+                    UnaryOp::Neg => Instr::Neg {
+                        a: ai,
+                        dst: d,
+                        mask: m,
+                    },
+                    UnaryOp::ReduceOr => Instr::RedOr { a: ai, dst: d },
+                    UnaryOp::ReduceAnd => Instr::RedAnd {
+                        a: ai,
+                        dst: d,
+                        ones: mask(width(a)),
+                    },
+                    UnaryOp::ReduceXor => Instr::RedXor { a: ai, dst: d },
+                };
+            }
+        }
+        Node::Binary(op, a, b) => match (loc(a), loc(b), dst) {
+            (Loc::N(ai), Loc::N(bi), Loc::N(d)) => {
+                let m = mask(w);
+                return match op {
+                    BinaryOp::Add => Instr::Add {
+                        a: ai,
+                        b: bi,
+                        dst: d,
+                        mask: m,
+                    },
+                    BinaryOp::Sub => Instr::Sub {
+                        a: ai,
+                        b: bi,
+                        dst: d,
+                        mask: m,
+                    },
+                    BinaryOp::MulS => Instr::MulS {
+                        a: ai,
+                        b: bi,
+                        dst: d,
+                        sa: 64 - width(a),
+                        sb: 64 - width(b),
+                        mask: m,
+                    },
+                    BinaryOp::MulU => Instr::MulU {
+                        a: ai,
+                        b: bi,
+                        dst: d,
+                        mask: m,
+                    },
+                    BinaryOp::DivU => Instr::DivU {
+                        a: ai,
+                        b: bi,
+                        dst: d,
+                        mask: m,
+                    },
+                    BinaryOp::RemU => Instr::RemU {
+                        a: ai,
+                        b: bi,
+                        dst: d,
+                    },
+                    BinaryOp::And => Instr::And {
+                        a: ai,
+                        b: bi,
+                        dst: d,
+                    },
+                    BinaryOp::Or => Instr::Or {
+                        a: ai,
+                        b: bi,
+                        dst: d,
+                    },
+                    BinaryOp::Xor => Instr::Xor {
+                        a: ai,
+                        b: bi,
+                        dst: d,
+                    },
+                    BinaryOp::Eq => Instr::Eq {
+                        a: ai,
+                        b: bi,
+                        dst: d,
+                    },
+                    BinaryOp::Ne => Instr::Ne {
+                        a: ai,
+                        b: bi,
+                        dst: d,
+                    },
+                    BinaryOp::LtU => Instr::LtU {
+                        a: ai,
+                        b: bi,
+                        dst: d,
+                    },
+                    BinaryOp::LtS => Instr::LtS {
+                        a: ai,
+                        b: bi,
+                        dst: d,
+                        s: 64 - width(a),
+                    },
+                    BinaryOp::LeU => Instr::LeU {
+                        a: ai,
+                        b: bi,
+                        dst: d,
+                    },
+                    BinaryOp::LeS => Instr::LeS {
+                        a: ai,
+                        b: bi,
+                        dst: d,
+                        s: 64 - width(a),
+                    },
+                    BinaryOp::Shl => Instr::Shl {
+                        a: ai,
+                        b: bi,
+                        dst: d,
+                        width: w,
+                        mask: m,
+                    },
+                    BinaryOp::ShrL => Instr::ShrL {
+                        a: ai,
+                        b: bi,
+                        dst: d,
+                        width: w,
+                    },
+                    BinaryOp::ShrA => Instr::ShrA {
+                        a: ai,
+                        b: bi,
+                        dst: d,
+                        width: w,
+                        s: 64 - w,
+                        mask: m,
+                    },
+                };
+            }
+            (Loc::W(ai), Loc::W(bi), Loc::N(d)) if op == BinaryOp::Eq => {
+                return Instr::EqW {
+                    a: ai,
+                    b: bi,
+                    dst: d,
+                };
+            }
+            (Loc::W(ai), Loc::W(bi), Loc::N(d)) if op == BinaryOp::Ne => {
+                return Instr::NeW {
+                    a: ai,
+                    b: bi,
+                    dst: d,
+                };
+            }
+            _ => {}
+        },
+        Node::Mux {
+            sel,
+            on_true,
+            on_false,
+        } => {
+            if let Loc::N(si) = loc(sel) {
+                match (loc(on_true), loc(on_false), dst) {
+                    (Loc::N(t), Loc::N(f), Loc::N(d)) => {
+                        return Instr::MuxN {
+                            sel: si,
+                            t,
+                            f,
+                            dst: d,
+                        };
+                    }
+                    (Loc::W(t), Loc::W(f), Loc::W(d)) => {
+                        return Instr::MuxW {
+                            sel: si,
+                            t,
+                            f,
+                            dst: d,
+                        };
+                    }
+                    _ => {}
+                }
+            }
+        }
+        Node::Concat(hi, lo) => match (loc(hi), loc(lo), dst) {
+            (Loc::N(h), Loc::N(l), Loc::N(d)) => {
+                return Instr::ConcatN {
+                    hi: h,
+                    lo: l,
+                    dst: d,
+                    lo_w: width(lo),
+                };
+            }
+            (Loc::N(h), Loc::N(l), Loc::W(d)) => {
+                return Instr::ConcatWNN {
+                    hi: h,
+                    lo: l,
+                    dst: d,
+                    hi_w: width(hi),
+                    lo_w: width(lo),
+                };
+            }
+            _ => {}
+        },
+        Node::Slice { src, lo } => match (loc(src), dst) {
+            (Loc::N(a), Loc::N(d)) => {
+                return Instr::SliceN {
+                    a,
+                    dst: d,
+                    lo,
+                    mask: mask(w),
+                }
+            }
+            (Loc::W(s), Loc::N(d)) => {
+                return Instr::SliceW {
+                    src: s,
+                    dst: d,
+                    lo,
+                    width: w,
+                }
+            }
+            _ => {}
+        },
+        Node::ZExt(a) => match (loc(a), dst) {
+            (Loc::N(ai), Loc::N(d)) => {
+                return Instr::CopyMask {
+                    a: ai,
+                    dst: d,
+                    mask: mask(w),
+                }
+            }
+            // Wide → narrow is always a truncation: a low-field read.
+            (Loc::W(s), Loc::N(d)) => {
+                return Instr::SliceW {
+                    src: s,
+                    dst: d,
+                    lo: 0,
+                    width: w,
+                }
+            }
+            (Loc::N(ai), Loc::W(d)) => {
+                return Instr::ZExtWN {
+                    a: ai,
+                    dst: d,
+                    a_w: width(a),
+                }
+            }
+            (Loc::W(s), Loc::W(d)) if w == width(a) => return Instr::CopyW { a: s, dst: d },
+            _ => {}
+        },
+        Node::SExt(a) => match (loc(a), dst) {
+            (Loc::N(ai), Loc::N(d)) => {
+                let aw = width(a);
+                // Truncating sign-extension keeps the low bits, same as zext.
+                return if w <= aw {
+                    Instr::CopyMask {
+                        a: ai,
+                        dst: d,
+                        mask: mask(w),
+                    }
+                } else {
+                    Instr::SExtN {
+                        a: ai,
+                        dst: d,
+                        s: 64 - aw,
+                        mask: mask(w),
+                    }
+                };
+            }
+            (Loc::W(s), Loc::N(d)) => {
+                return Instr::SliceW {
+                    src: s,
+                    dst: d,
+                    lo: 0,
+                    width: w,
+                }
+            }
+            (Loc::N(ai), Loc::W(d)) => {
+                return Instr::SExtWN {
+                    a: ai,
+                    dst: d,
+                    a_w: width(a),
+                }
+            }
+            (Loc::W(s), Loc::W(d)) if w == width(a) => return Instr::CopyW { a: s, dst: d },
+            _ => {}
+        },
+        Node::Const(_) | Node::Input(_) | Node::RegOut(_) | Node::MemRead { .. } => {
+            unreachable!("stateful node in pure lowering")
+        }
+    }
+    let mut args = Vec::new();
+    node.for_each_operand(|id| args.push((node_loc[id.index()], module.width(id))));
+    generic.push(GenericOp {
+        node: node.clone(),
+        width: w,
+        args,
+        dst,
+    });
+    Instr::Generic((generic.len() - 1) as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Simulator;
+    use hc_rtl::BinaryOp;
+
+    fn counter(width: u32) -> Module {
+        let mut m = Module::new("counter");
+        let en = m.input("en", 1);
+        let rst = m.input("rst", 1);
+        let r = m.reg("count", width, Bits::zero(width));
+        let q = m.reg_out(r);
+        let one = m.const_u(width, 1);
+        let next = m.binary(BinaryOp::Add, q, one, width);
+        m.connect_reg(r, next);
+        m.reg_en(r, en);
+        m.reg_reset(r, rst);
+        m.output("count", q);
+        m
+    }
+
+    #[test]
+    fn counter_counts_when_enabled() {
+        let mut sim = CompiledSimulator::new(counter(8)).unwrap();
+        sim.set_u64("en", 1);
+        sim.set_u64("rst", 0);
+        sim.run(10);
+        assert_eq!(sim.get("count").to_u64(), 10);
+        sim.set_u64("en", 0);
+        sim.run(5);
+        assert_eq!(sim.get("count").to_u64(), 10);
+    }
+
+    #[test]
+    fn sync_reset_loads_init() {
+        let mut sim = CompiledSimulator::new(counter(8)).unwrap();
+        sim.set_u64("en", 1);
+        sim.set_u64("rst", 0);
+        sim.run(3);
+        sim.set_u64("rst", 1);
+        sim.step();
+        assert_eq!(sim.get("count").to_u64(), 0);
+    }
+
+    #[test]
+    fn counter_wraps() {
+        let mut sim = CompiledSimulator::new(counter(2)).unwrap();
+        sim.set_u64("en", 1);
+        sim.set_u64("rst", 0);
+        sim.run(5);
+        assert_eq!(sim.get("count").to_u64(), 1);
+    }
+
+    #[test]
+    fn memory_write_then_read() {
+        let mut m = Module::new("mem");
+        let addr = m.input("addr", 2);
+        let data = m.input("data", 8);
+        let we = m.input("we", 1);
+        let mem = m.mem("buf", 8, 4);
+        m.mem_write(mem, addr, data, we);
+        let q = m.mem_read(mem, addr);
+        m.output("q", q);
+        let mut sim = CompiledSimulator::new(m).unwrap();
+        sim.set_u64("addr", 2);
+        sim.set_u64("data", 0xab);
+        sim.set_u64("we", 1);
+        sim.step();
+        sim.set_u64("we", 0);
+        assert_eq!(sim.get("q").to_u64(), 0xab);
+        sim.set_u64("addr", 1);
+        assert_eq!(sim.get("q").to_u64(), 0);
+    }
+
+    #[test]
+    fn registers_commit_simultaneously() {
+        // Swap network: two registers exchanging values each cycle. Their
+        // RegOut slots alias the register storage, so this exercises the
+        // double-buffered commit.
+        let mut m = Module::new("swap");
+        let r1 = m.reg("r1", 4, Bits::from_u64(4, 0xa));
+        let r2 = m.reg("r2", 4, Bits::from_u64(4, 0x5));
+        let q1 = m.reg_out(r1);
+        let q2 = m.reg_out(r2);
+        m.connect_reg(r1, q2);
+        m.connect_reg(r2, q1);
+        m.output("a", q1);
+        m.output("b", q2);
+        let mut sim = CompiledSimulator::new(m).unwrap();
+        sim.step();
+        assert_eq!(sim.get("a").to_u64(), 0x5);
+        assert_eq!(sim.get("b").to_u64(), 0xa);
+        sim.step();
+        assert_eq!(sim.get("a").to_u64(), 0xa);
+    }
+
+    #[test]
+    fn probe_and_peek() {
+        let mut sim = CompiledSimulator::new(counter(8)).unwrap();
+        sim.set_u64("en", 1);
+        sim.set_u64("rst", 0);
+        sim.run(2);
+        assert_eq!(sim.peek_reg("count").to_u64(), 2);
+        let out_node = sim.module().outputs()[0].node;
+        assert_eq!(sim.probe(out_node).to_u64(), 2);
+    }
+
+    #[test]
+    fn hard_reset_restores_power_on_state() {
+        let mut sim = CompiledSimulator::new(counter(8)).unwrap();
+        sim.set_u64("en", 1);
+        sim.set_u64("rst", 0);
+        sim.run(7);
+        sim.reset();
+        assert_eq!(sim.cycle(), 0);
+        assert_eq!(sim.get("count").to_u64(), 0);
+    }
+
+    /// A 96-bit datapath through wide slices, concats, and a wide register:
+    /// the shapes the AXI-Stream row wrappers rely on.
+    fn wide_pipeline() -> Module {
+        let mut m = Module::new("wide");
+        let row = m.input("row", 96);
+        let r = m.reg("hold", 96, Bits::zero(96));
+        let q = m.reg_out(r);
+        m.connect_reg(r, row);
+        // Slice all eight 12-bit elements out of the held row, add one to
+        // each, and concatenate back together.
+        let one = m.const_u(12, 1);
+        let mut acc: Option<hc_rtl::NodeId> = None;
+        for i in 0..8 {
+            let e = m.slice(q, i * 12, 12);
+            let e1 = m.binary(BinaryOp::Add, e, one, 12);
+            acc = Some(match acc {
+                None => e1,
+                Some(lo) => m.concat(e1, lo),
+            });
+        }
+        m.output("out", acc.unwrap());
+        m
+    }
+
+    #[test]
+    fn wide_values_match_interpreter() {
+        let mut a = CompiledSimulator::new(wide_pipeline()).unwrap();
+        let mut b = Simulator::new(wide_pipeline()).unwrap();
+        let mut row = Bits::zero(96);
+        for i in 0..8 {
+            row.deposit_u64(i * 12, 12, 0x100 * i as u64 + 0xfff - i as u64);
+        }
+        a.set("row", row.clone());
+        b.set("row", row);
+        for _ in 0..3 {
+            assert_eq!(a.get("out"), b.get("out"));
+            assert_eq!(a.peek_reg("hold"), b.peek_reg("hold"));
+            a.step();
+            b.step();
+        }
+    }
+
+    #[test]
+    fn signed_ops_match_interpreter() {
+        // Exercise the sign-sensitive specializations at an awkward width.
+        let mut m = Module::new("signed");
+        let x = m.input("x", 13);
+        let y = m.input("y", 13);
+        let p = m.binary(BinaryOp::MulS, x, y, 26);
+        let sh = m.input("sh", 5);
+        let sh26 = m.zext(sh, 26);
+        let sra = m.binary(BinaryOp::ShrA, p, sh26, 26);
+        let lt = m.binary(BinaryOp::LtS, x, y, 1);
+        let le = m.binary(BinaryOp::LeS, x, y, 1);
+        m.output("p", p);
+        m.output("sra", sra);
+        m.output("lt", lt);
+        m.output("le", le);
+        let mut a = CompiledSimulator::new(m.clone()).unwrap();
+        let mut b = Simulator::new(m).unwrap();
+        for (x, y, sh) in [
+            (0i64, 0i64, 0u64),
+            (-1, -1, 1),
+            (-4096, 4095, 11),
+            (4095, -4096, 25),
+            (-4096, -4096, 31),
+            (1234, -1234, 3),
+        ] {
+            for sim in [&mut a as &mut dyn Apply, &mut b as &mut dyn Apply] {
+                sim.drive(x, y, sh);
+            }
+            for out in ["p", "sra", "lt", "le"] {
+                assert_eq!(a.get(out), b.get(out), "output {out} for ({x},{y},{sh})");
+            }
+        }
+    }
+
+    /// Tiny helper so the signed test can drive both backends uniformly.
+    trait Apply {
+        fn drive(&mut self, x: i64, y: i64, sh: u64);
+    }
+    impl Apply for CompiledSimulator {
+        fn drive(&mut self, x: i64, y: i64, sh: u64) {
+            self.set("x", Bits::from_i64(13, x));
+            self.set("y", Bits::from_i64(13, y));
+            self.set_u64("sh", sh);
+        }
+    }
+    impl Apply for Simulator {
+        fn drive(&mut self, x: i64, y: i64, sh: u64) {
+            self.set("x", Bits::from_i64(13, x));
+            self.set("y", Bits::from_i64(13, y));
+            self.set_u64("sh", sh);
+        }
+    }
+
+    #[test]
+    fn division_corner_cases_match_interpreter() {
+        let mut m = Module::new("div");
+        let x = m.input("x", 8);
+        let y = m.input("y", 8);
+        let q = m.binary(BinaryOp::DivU, x, y, 8);
+        let r = m.binary(BinaryOp::RemU, x, y, 8);
+        m.output("q", q);
+        m.output("r", r);
+        let mut a = CompiledSimulator::new(m.clone()).unwrap();
+        let mut b = Simulator::new(m).unwrap();
+        for (x, y) in [(0u64, 0u64), (200, 0), (200, 7), (255, 255), (1, 255)] {
+            a.set_u64("x", x);
+            a.set_u64("y", y);
+            b.set_u64("x", x);
+            b.set_u64("y", y);
+            assert_eq!(a.get("q"), b.get("q"), "div {x}/{y}");
+            assert_eq!(a.get("r"), b.get("r"), "rem {x}%{y}");
+        }
+    }
+
+    #[test]
+    fn lowering_specializes_narrow_designs() {
+        let sim = CompiledSimulator::new(counter(8)).unwrap();
+        let (tape, generic) = sim.tape_stats();
+        assert!(tape >= 1);
+        assert_eq!(generic, 0, "narrow counter should lower without fallbacks");
+    }
+}

@@ -31,8 +31,26 @@
 //! # Ok::<(), hc_rtl::ValidateError>(())
 //! ```
 
+//! # Choosing a backend
+//!
+//! Two engines implement [`SimBackend`] with identical observable
+//! semantics:
+//!
+//! - [`Simulator`] interprets the node table directly, boxing every value
+//!   as [`hc_bits::Bits`]. It is the reference oracle: simple enough to
+//!   audit, and the baseline the compiled engine is differentially tested
+//!   against.
+//! - [`CompiledSimulator`] lowers the module once into a flat instruction
+//!   tape over a word-packed value store (≤ 64-bit nodes live inline in
+//!   `u64` slots) and replays it every cycle with no per-node allocation.
+//!   Use it for measurement sweeps and long-running benches.
+
+mod backend;
+mod compiled;
 mod simulator;
 mod vcd;
 
+pub use backend::SimBackend;
+pub use compiled::CompiledSimulator;
 pub use simulator::Simulator;
 pub use vcd::VcdWriter;

@@ -1,8 +1,12 @@
 //! The levelized simulator core.
 
+use std::collections::HashMap;
+
 use hc_bits::Bits;
 use hc_rtl::passes::eval::eval_pure;
-use hc_rtl::{Module, Node, ValidateError};
+use hc_rtl::{Module, Node, NodeId, ValidateError};
+
+use crate::SimBackend;
 
 /// A cycle-accurate simulator for one [`Module`].
 ///
@@ -10,13 +14,21 @@ use hc_rtl::{Module, Node, ValidateError};
 /// [`get`](Simulator::get) after [`eval`](Simulator::eval), and advance the
 /// clock with [`step`](Simulator::step). See the
 /// [crate-level example](crate).
+///
+/// This is the interpreted reference engine; see
+/// [`CompiledSimulator`](crate::CompiledSimulator) for the lowered backend
+/// used by measurement sweeps.
 #[derive(Debug)]
 pub struct Simulator {
     module: Module,
     values: Vec<Bits>,
     regs: Vec<Bits>,
+    regs_next: Vec<Bits>,
     mems: Vec<Vec<Bits>>,
     inputs: Vec<Bits>,
+    input_index: HashMap<String, (usize, u32)>,
+    output_index: HashMap<String, NodeId>,
+    reg_index: HashMap<String, usize>,
     evaluated: bool,
     cycle: u64,
 }
@@ -30,7 +42,8 @@ impl Simulator {
     /// Returns the module's [`ValidateError`] if it is structurally invalid.
     pub fn new(module: Module) -> Result<Self, ValidateError> {
         module.validate()?;
-        let regs = module.regs().iter().map(|r| r.init.clone()).collect();
+        let regs: Vec<Bits> = module.regs().iter().map(|r| r.init.clone()).collect();
+        let regs_next = regs.clone();
         let mems = module
             .mems()
             .iter()
@@ -46,12 +59,33 @@ impl Simulator {
             .iter()
             .map(|nd| Bits::zero(nd.width))
             .collect();
+        let input_index = module
+            .inputs()
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.name.clone(), (i, p.width)))
+            .collect();
+        let output_index = module
+            .outputs()
+            .iter()
+            .map(|o| (o.name.clone(), o.node))
+            .collect();
+        let reg_index = module
+            .regs()
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (r.name.clone(), i))
+            .collect();
         Ok(Simulator {
             module,
             values,
             regs,
+            regs_next,
             mems,
             inputs,
+            input_index,
+            output_index,
+            reg_index,
             evaluated: false,
             cycle: 0,
         })
@@ -73,15 +107,11 @@ impl Simulator {
     ///
     /// Panics if no input named `name` exists or the width differs.
     pub fn set(&mut self, name: &str, value: Bits) {
-        let port = self
-            .module
-            .input_named(name)
+        let &(idx, width) = self
+            .input_index
+            .get(name)
             .unwrap_or_else(|| panic!("no input named {name:?}"));
-        assert_eq!(port.width, value.width(), "input {name:?} width");
-        let idx = match self.module.node(port.node).node {
-            Node::Input(i) => i,
-            _ => unreachable!("input port node kind"),
-        };
+        assert_eq!(width, value.width(), "input {name:?} width");
         self.inputs[idx] = value;
         self.evaluated = false;
     }
@@ -92,12 +122,12 @@ impl Simulator {
     ///
     /// Panics if no input named `name` exists.
     pub fn set_u64(&mut self, name: &str, value: u64) {
-        let width = self
-            .module
-            .input_named(name)
-            .unwrap_or_else(|| panic!("no input named {name:?}"))
-            .width;
-        self.set(name, Bits::from_u64(width, value));
+        let &(idx, width) = self
+            .input_index
+            .get(name)
+            .unwrap_or_else(|| panic!("no input named {name:?}"));
+        self.inputs[idx] = Bits::from_u64(width, value);
+        self.evaluated = false;
     }
 
     /// Settles combinational logic for the current input/register state.
@@ -135,11 +165,11 @@ impl Simulator {
     /// Panics if no output named `name` exists.
     pub fn get(&mut self, name: &str) -> Bits {
         self.eval();
-        let out = self
-            .module
-            .output_named(name)
+        let &node = self
+            .output_index
+            .get(name)
             .unwrap_or_else(|| panic!("no output named {name:?}"));
-        self.values[out.node.index()].clone()
+        self.values[node.index()].clone()
     }
 
     /// Reads back the value currently driving an input port.
@@ -148,14 +178,10 @@ impl Simulator {
     ///
     /// Panics if no input named `name` exists.
     pub fn input_value(&self, name: &str) -> Bits {
-        let port = self
-            .module
-            .input_named(name)
+        let &(idx, _) = self
+            .input_index
+            .get(name)
             .unwrap_or_else(|| panic!("no input named {name:?}"));
-        let idx = match self.module.node(port.node).node {
-            Node::Input(i) => i,
-            _ => unreachable!("input port node kind"),
-        };
         self.inputs[idx].clone()
     }
 
@@ -171,46 +197,49 @@ impl Simulator {
     ///
     /// Panics if no register named `name` exists.
     pub fn peek_reg(&self, name: &str) -> Bits {
-        let idx = self
-            .module
-            .regs()
-            .iter()
-            .position(|r| r.name == name)
+        let &idx = self
+            .reg_index
+            .get(name)
             .unwrap_or_else(|| panic!("no register named {name:?}"));
         self.regs[idx].clone()
     }
 
     /// Advances one clock cycle: settles combinational logic, then commits
     /// register next-values and memory writes simultaneously.
+    ///
+    /// The commit is double-buffered: next values land in a shadow vector
+    /// (reusing its allocations via `clone_from`) which is then swapped in,
+    /// so registers feeding each other observe a simultaneous edge without
+    /// cloning the whole register file.
     pub fn step(&mut self) {
         self.eval();
-        let mut new_regs = self.regs.clone();
         for (i, reg) in self.module.regs().iter().enumerate() {
             let reset = reg
                 .reset
                 .map(|r| self.values[r.index()].to_bool())
                 .unwrap_or(false);
-            if reset {
-                new_regs[i] = reg.init.clone();
-                continue;
-            }
             let enabled = reg
                 .en
                 .map(|e| self.values[e.index()].to_bool())
                 .unwrap_or(true);
-            if enabled {
-                new_regs[i] = self.values[reg.next.expect("validated").index()].clone();
-            }
+            let src = if reset {
+                &reg.init
+            } else if enabled {
+                &self.values[reg.next.expect("validated").index()]
+            } else {
+                &self.regs[i]
+            };
+            self.regs_next[i].clone_from(src);
         }
         for (mi, mem) in self.module.mems().iter().enumerate() {
             for w in &mem.writes {
                 if self.values[w.en.index()].to_bool() {
                     let a = (self.values[w.addr.index()].to_u64() % mem.depth as u64) as usize;
-                    self.mems[mi][a] = self.values[w.data.index()].clone();
+                    self.mems[mi][a].clone_from(&self.values[w.data.index()]);
                 }
             }
         }
-        self.regs = new_regs;
+        std::mem::swap(&mut self.regs, &mut self.regs_next);
         self.evaluated = false;
         self.cycle += 1;
     }
@@ -239,6 +268,42 @@ impl Simulator {
 
     pub(crate) fn value_of(&self, node: hc_rtl::NodeId) -> &Bits {
         &self.values[node.index()]
+    }
+}
+
+impl SimBackend for Simulator {
+    fn from_module(module: Module) -> Result<Self, ValidateError> {
+        Simulator::new(module)
+    }
+    fn module(&self) -> &Module {
+        self.module()
+    }
+    fn cycle(&self) -> u64 {
+        self.cycle()
+    }
+    fn set(&mut self, name: &str, value: Bits) {
+        Simulator::set(self, name, value);
+    }
+    fn set_u64(&mut self, name: &str, value: u64) {
+        Simulator::set_u64(self, name, value);
+    }
+    fn get(&mut self, name: &str) -> Bits {
+        Simulator::get(self, name)
+    }
+    fn input_value(&self, name: &str) -> Bits {
+        Simulator::input_value(self, name)
+    }
+    fn peek_reg(&self, name: &str) -> Bits {
+        Simulator::peek_reg(self, name)
+    }
+    fn step(&mut self) {
+        Simulator::step(self);
+    }
+    fn run(&mut self, n: u64) {
+        Simulator::run(self, n);
+    }
+    fn reset(&mut self) {
+        Simulator::reset(self);
     }
 }
 

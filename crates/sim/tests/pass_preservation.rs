@@ -111,7 +111,11 @@ fn build(steps: &[Step]) -> Module {
             }
             Step::Widen(zero, a) => {
                 let a = pick(a);
-                let wide = if zero { m.zext(a, WIDTH + 7) } else { m.sext(a, WIDTH + 7) };
+                let wide = if zero {
+                    m.zext(a, WIDTH + 7)
+                } else {
+                    m.sext(a, WIDTH + 7)
+                };
                 m.slice(wide, 2, WIDTH)
             }
         };

@@ -121,7 +121,7 @@ pub fn value_ranges(module: &Module) -> Vec<Range> {
         let range = match &nd.node {
             Node::Const(v) => {
                 if v.width() <= 100 {
-                    Range::exact(v.to_i128() as i128)
+                    Range::exact(v.to_i128())
                 } else {
                     full
                 }
@@ -214,7 +214,14 @@ mod tests {
     fn bits_of_ranges() {
         assert_eq!(Range::exact(0).bits(), 1);
         assert_eq!(Range::exact(-1).bits(), 1);
-        assert_eq!(Range { lo: -2048, hi: 2047 }.bits(), 12);
+        assert_eq!(
+            Range {
+                lo: -2048,
+                hi: 2047
+            }
+            .bits(),
+            12
+        );
         assert_eq!(Range { lo: 0, hi: 255 }.bits(), 9); // signed needs the 0 bit
         assert_eq!(Range { lo: -1, hi: 1 }.bits(), 2);
     }

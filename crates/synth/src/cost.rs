@@ -167,9 +167,7 @@ pub(crate) fn base_cost(
             }
         },
         Node::Binary(op, a, b) => match op {
-            BinaryOp::Add | BinaryOp::Sub => {
-                NodeCost::logic(u64::from(w), adder_delay(dev, w))
-            }
+            BinaryOp::Add | BinaryOp::Sub => NodeCost::logic(u64::from(w), adder_delay(dev, w)),
             BinaryOp::MulS | BinaryOp::MulU => unreachable!("handled by mul_cost"),
             BinaryOp::DivU | BinaryOp::RemU => {
                 // Restoring divider array: width stages of subtract-mux.
@@ -188,7 +186,10 @@ pub(crate) fn base_cost(
             }
             BinaryOp::LtU | BinaryOp::LtS | BinaryOp::LeU | BinaryOp::LeS => {
                 let inputs = eff.of(*a).max(eff.of(*b));
-                NodeCost::logic(u64::from(inputs.div_ceil(2)).max(1), adder_delay(dev, inputs))
+                NodeCost::logic(
+                    u64::from(inputs.div_ceil(2)).max(1),
+                    adder_delay(dev, inputs),
+                )
             }
             BinaryOp::Shl | BinaryOp::ShrL | BinaryOp::ShrA => {
                 if const_value(module, *b).is_some() {
@@ -196,7 +197,8 @@ pub(crate) fn base_cost(
                     NodeCost::wiring()
                 } else {
                     let amt_bits = module.width(*b).min(32);
-                    let levels = u64::from(amt_bits.min(w.next_power_of_two().trailing_zeros().max(1)));
+                    let levels =
+                        u64::from(amt_bits.min(w.next_power_of_two().trailing_zeros().max(1)));
                     NodeCost::logic(
                         levels * u64::from(w.div_ceil(2)),
                         levels as f64 * lut_level(dev),

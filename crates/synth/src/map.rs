@@ -58,7 +58,7 @@ pub fn synthesize(module: &Module, device: &Device, options: &SynthOptions) -> S
             _ => None,
         })
         .collect();
-    muls.sort_by(|a, b| b.1.cmp(&a.1));
+    muls.sort_by_key(|m| std::cmp::Reverse(m.1));
 
     let mut dsp_used = 0u64;
     let mut on_dsp = vec![false; module.nodes().len()];

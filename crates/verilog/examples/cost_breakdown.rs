@@ -1,5 +1,5 @@
 //! Where do the LUTs go? Per-op-kind breakdown of the initial design.
-use hc_rtl::{Node, BinaryOp, passes::optimize};
+use hc_rtl::{passes::optimize, BinaryOp, Node};
 use std::collections::HashMap;
 
 fn main() {
@@ -9,14 +9,33 @@ fn main() {
     for nd in m.nodes() {
         let key = match &nd.node {
             Node::Binary(op, a, b) => {
-                if matches!(op, BinaryOp::MulS|BinaryOp::MulU) {
-                    let ca = matches!(m.node(*a).node, Node::Const(_)) || matches!(m.node(*b).node, Node::Const(_));
-                    format!("{op}{}[{}x{}]", if ca {"(const)"} else {""}, m.width(*a), m.width(*b))
-                } else { format!("{op}[{}]", nd.width) }
+                if matches!(op, BinaryOp::MulS | BinaryOp::MulU) {
+                    let ca = matches!(m.node(*a).node, Node::Const(_))
+                        || matches!(m.node(*b).node, Node::Const(_));
+                    format!(
+                        "{op}{}[{}x{}]",
+                        if ca { "(const)" } else { "" },
+                        m.width(*a),
+                        m.width(*b)
+                    )
+                } else {
+                    format!("{op}[{}]", nd.width)
+                }
             }
-            Node::Mux{..} => format!("mux[{}]", nd.width),
+            Node::Mux { .. } => format!("mux[{}]", nd.width),
             Node::Unary(op, _) => format!("un{op}"),
-            other => format!("{}", match other { Node::Const(_) => "const", Node::Input(_) => "in", Node::RegOut(_) => "reg", Node::Concat(..) => "cat", Node::Slice{..} => "slice", Node::ZExt(_) => "zext", Node::SExt(_) => "sext", Node::MemRead{..} => "mem", _ => "?" }),
+            other => (match other {
+                Node::Const(_) => "const",
+                Node::Input(_) => "in",
+                Node::RegOut(_) => "reg",
+                Node::Concat(..) => "cat",
+                Node::Slice { .. } => "slice",
+                Node::ZExt(_) => "zext",
+                Node::SExt(_) => "sext",
+                Node::MemRead { .. } => "mem",
+                _ => "?",
+            })
+            .to_string(),
         };
         let e = counts.entry(key).or_default();
         e.0 += 1;

@@ -15,9 +15,14 @@ fn report(name: &str, mut m: hc_rtl::Module) {
 }
 
 fn main() {
-    report("initial(comb)", hc_verilog::designs::initial_design().unwrap());
+    report(
+        "initial(comb)",
+        hc_verilog::designs::initial_design().unwrap(),
+    );
     report("opt1(row8col)", hc_verilog::designs::opt_row8col().unwrap());
     report("opt2(rowcol)", hc_verilog::designs::opt_rowcol().unwrap());
     println!("paper initial : fmax=55.88  DSP=160 LUT=13850 FF=1337 IO=172 | LUT*=29059 FF*=1337 A=30396");
-    println!("paper opt     : fmax=113.21 DSP=20  LUT=2106  FF=2658 IO=170 | LUT*=3909  FF*=2658 A=6567");
+    println!(
+        "paper opt     : fmax=113.21 DSP=20  LUT=2106  FF=2658 IO=170 | LUT*=3909  FF*=2658 A=6567"
+    );
 }

@@ -210,9 +210,6 @@ pub enum Expr {
 impl Expr {
     /// Convenience constructor for unsized literals in tests.
     pub fn num(value: i64) -> Self {
-        Expr::Literal {
-            value,
-            width: None,
-        }
+        Expr::Literal { value, width: None }
     }
 }

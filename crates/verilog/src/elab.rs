@@ -87,10 +87,7 @@ fn range_width(
 }
 
 /// Constant-folds an expression over parameter values only.
-pub(crate) fn const_eval(
-    params: &HashMap<String, i64>,
-    expr: &Expr,
-) -> Result<i64, VerilogError> {
+pub(crate) fn const_eval(params: &HashMap<String, i64>, expr: &Expr) -> Result<i64, VerilogError> {
     Ok(match expr {
         Expr::Literal { value, .. } => *value,
         Expr::Ident(name) => *params
@@ -209,7 +206,10 @@ impl<'a, 'm> ModCtx<'a, 'm> {
             self.widths.insert(port.name.clone(), w);
         }
         for item in &self.vmod.items {
-            if let Item::Net { name, range, line, .. } = item {
+            if let Item::Net {
+                name, range, line, ..
+            } = item
+            {
                 let w = range_width(&self.params, range)
                     .map_err(|e| VerilogError::at(*line, e.to_string()))?;
                 if self.widths.insert(name.clone(), w).is_some() {
@@ -220,12 +220,7 @@ impl<'a, 'm> ModCtx<'a, 'm> {
         Ok(())
     }
 
-    fn set_driver(
-        &mut self,
-        net: &str,
-        driver: Driver<'a>,
-        line: u32,
-    ) -> Result<(), VerilogError> {
+    fn set_driver(&mut self, net: &str, driver: Driver<'a>, line: u32) -> Result<(), VerilogError> {
         if !self.widths.contains_key(net) {
             return Err(VerilogError::at(line, format!("{net:?} undeclared")));
         }
@@ -244,7 +239,10 @@ impl<'a, 'm> ModCtx<'a, 'm> {
                 let node = *input_bindings.get(&port.name).ok_or_else(|| {
                     VerilogError::at(
                         self.vmod.line,
-                        format!("instance of {:?} leaves input {:?} unconnected", self.vmod.name, port.name),
+                        format!(
+                            "instance of {:?} leaves input {:?} unconnected",
+                            self.vmod.name, port.name
+                        ),
                     )
                 })?;
                 let w = self.widths[&port.name];
@@ -262,11 +260,19 @@ impl<'a, 'm> ModCtx<'a, 'm> {
                         .ok_or_else(|| VerilogError::at(*line, format!("{lhs:?} undeclared")))?;
                     self.set_driver(lhs, Driver::Assign(rhs, w), *line)?;
                 }
-                Item::Always { clocked, body, line } => {
+                Item::Always {
+                    clocked,
+                    body,
+                    line,
+                } => {
                     let mut assigned = Vec::new();
                     collect_assigned(body, &mut assigned);
                     for net in assigned {
-                        let driver = if *clocked { Driver::Ff } else { Driver::Comb(idx) };
+                        let driver = if *clocked {
+                            Driver::Ff
+                        } else {
+                            Driver::Comb(idx)
+                        };
                         self.set_driver(&net, driver, *line)?;
                     }
                 }
@@ -280,9 +286,9 @@ impl<'a, 'm> ModCtx<'a, 'm> {
                         VerilogError::at(*line, format!("unknown module {module:?}"))
                     })?;
                     for (port, expr) in connections {
-                        let decl = sub.ports.iter().find(|p| p.name == *port).ok_or_else(
-                            || VerilogError::at(*line, format!("{module} has no port {port:?}")),
-                        )?;
+                        let decl = sub.ports.iter().find(|p| p.name == *port).ok_or_else(|| {
+                            VerilogError::at(*line, format!("{module} has no port {port:?}"))
+                        })?;
                         if decl.dir == Dir::Output {
                             match expr {
                                 Expr::Ident(net) => {
@@ -292,8 +298,8 @@ impl<'a, 'm> ModCtx<'a, 'm> {
                                     return Err(VerilogError::at(
                                         *line,
                                         format!(
-                                            "output port {port:?} must connect to a net, got {other:?}"
-                                        ),
+                                        "output port {port:?} must connect to a net, got {other:?}"
+                                    ),
                                     ))
                                 }
                             }
@@ -428,22 +434,17 @@ impl<'a, 'm> ModCtx<'a, 'm> {
             }
         }
         let sub_prefix = self.full_name(name);
-        let outputs = elaborate_module(
-            self.design,
-            sub,
-            sub_params,
-            bindings,
-            sub_prefix,
-            self.m,
-        )?;
+        let outputs = elaborate_module(self.design, sub, sub_params, bindings, sub_prefix, self.m)?;
         // Store connected outputs under the parent nets.
         for (port, expr) in connections {
             let decl = sub.ports.iter().find(|p| p.name == *port).expect("checked");
             if decl.dir == Dir::Output {
-                let Expr::Ident(net) = expr else { unreachable!("checked") };
-                let value = *outputs.get(port).ok_or_else(|| {
-                    VerilogError::at(*line, format!("{module}.{port} undriven"))
-                })?;
+                let Expr::Ident(net) = expr else {
+                    unreachable!("checked")
+                };
+                let value = *outputs
+                    .get(port)
+                    .ok_or_else(|| VerilogError::at(*line, format!("{module}.{port} undriven")))?;
                 let w = self.widths[net];
                 let v = fit(self.m, value, w);
                 self.values.insert(net.clone(), v);
@@ -499,7 +500,10 @@ impl<'a, 'm> ModCtx<'a, 'm> {
             }
             Stmt::Assign { lhs, rhs, line, .. } => {
                 if !env.contains_key(lhs) {
-                    return Err(VerilogError::at(*line, format!("{lhs:?} not assignable here")));
+                    return Err(VerilogError::at(
+                        *line,
+                        format!("{lhs:?} not assignable here"),
+                    ));
                 }
                 let w = self.widths[lhs];
                 let v = self.expr_with_reads(rhs, env, reads)?;

@@ -25,7 +25,11 @@ pub fn emit(module: &Module) -> String {
     let _ = writeln!(w, "  input clk,");
     let mut ports = Vec::new();
     for p in module.inputs() {
-        ports.push(format!("  input signed [{}:0] {}", p.width - 1, sanitize(&p.name)));
+        ports.push(format!(
+            "  input signed [{}:0] {}",
+            p.width - 1,
+            sanitize(&p.name)
+        ));
     }
     for o in module.outputs() {
         ports.push(format!(
@@ -102,7 +106,13 @@ pub fn emit(module: &Module) -> String {
 
 fn sanitize(name: &str) -> String {
     name.chars()
-        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect()
 }
 

@@ -25,8 +25,8 @@ pub(crate) struct SpannedTok {
 const PUNCTS: &[&str] = &[
     // longest first so greedy matching works
     ">>>", "<<<", "<=", ">=", "==", "!=", "&&", "||", "<<", ">>", "@*", "+", "-", "*", "/", "%",
-    "&", "|", "^", "~", "!", "<", ">", "=", "?", ":", ";", ",", ".", "(", ")", "[", "]", "{",
-    "}", "@", "#",
+    "&", "|", "^", "~", "!", "<", ">", "=", "?", ":", ";", ",", ".", "(", ")", "[", "]", "{", "}",
+    "@", "#",
 ];
 
 /// Tokenizes `source`, skipping whitespace and comments.
@@ -107,7 +107,10 @@ pub(crate) fn lex(source: &str) -> Result<Vec<SpannedTok>, VerilogError> {
                 continue 'outer;
             }
         }
-        return Err(VerilogError::at(line, format!("unexpected character {c:?}")));
+        return Err(VerilogError::at(
+            line,
+            format!("unexpected character {c:?}"),
+        ));
     }
     out.push(SpannedTok {
         tok: Tok::Eof,
@@ -130,13 +133,7 @@ fn lex_number(s: &str, line: u32) -> Result<(Tok, usize), VerilogError> {
         let value: i64 = size_digits
             .parse()
             .map_err(|_| VerilogError::at(line, "bad number"))?;
-        return Ok((
-            Tok::Number {
-                value,
-                width: None,
-            },
-            i,
-        ));
+        return Ok((Tok::Number { value, width: None }, i));
     }
     // Sized/based literal.
     i += 1; // consume '
@@ -206,7 +203,10 @@ mod tests {
                 Tok::Punct("="),
                 Tok::Ident("a".into()),
                 Tok::Punct(">>>"),
-                Tok::Number { value: 3, width: None },
+                Tok::Number {
+                    value: 3,
+                    width: None
+                },
                 Tok::Punct(";"),
                 Tok::Eof,
             ]
@@ -218,9 +218,18 @@ mod tests {
         assert_eq!(
             kinds("12'sd511 8'hff 4'b1010")[..3],
             [
-                Tok::Number { value: 511, width: Some(12) },
-                Tok::Number { value: 255, width: Some(8) },
-                Tok::Number { value: 0b1010, width: Some(4) },
+                Tok::Number {
+                    value: 511,
+                    width: Some(12)
+                },
+                Tok::Number {
+                    value: 255,
+                    width: Some(8)
+                },
+                Tok::Number {
+                    value: 0b1010,
+                    width: Some(4)
+                },
             ]
         );
     }
@@ -242,7 +251,10 @@ mod tests {
     fn underscores_in_literals() {
         assert_eq!(
             kinds("16'h12_34")[0],
-            Tok::Number { value: 0x1234, width: Some(16) }
+            Tok::Number {
+                value: 0x1234,
+                width: Some(16)
+            }
         );
     }
 }

@@ -118,37 +118,35 @@ impl Parser {
             self.expect_punct(")")?;
         }
         let mut ports = Vec::new();
-        if self.eat_punct("(") {
-            if !self.eat_punct(")") {
-                let mut dir = Dir::Input;
-                let mut is_reg = false;
-                let mut range: Option<(Expr, Expr)> = None;
-                loop {
-                    // Direction/reg/range are sticky across commas.
-                    if self.eat_kw("input") {
-                        dir = Dir::Input;
-                        is_reg = false;
-                        range = None;
-                        self.port_mods(&mut is_reg, &mut range)?;
-                    } else if self.eat_kw("output") {
-                        dir = Dir::Output;
-                        is_reg = false;
-                        range = None;
-                        self.port_mods(&mut is_reg, &mut range)?;
-                    }
-                    let pname = self.ident()?;
-                    ports.push(PortDecl {
-                        dir,
-                        is_reg,
-                        name: pname,
-                        range: range.clone(),
-                    });
-                    if !self.eat_punct(",") {
-                        break;
-                    }
+        if self.eat_punct("(") && !self.eat_punct(")") {
+            let mut dir = Dir::Input;
+            let mut is_reg = false;
+            let mut range: Option<(Expr, Expr)> = None;
+            loop {
+                // Direction/reg/range are sticky across commas.
+                if self.eat_kw("input") {
+                    dir = Dir::Input;
+                    is_reg = false;
+                    range = None;
+                    self.port_mods(&mut is_reg, &mut range)?;
+                } else if self.eat_kw("output") {
+                    dir = Dir::Output;
+                    is_reg = false;
+                    range = None;
+                    self.port_mods(&mut is_reg, &mut range)?;
                 }
-                self.expect_punct(")")?;
+                let pname = self.ident()?;
+                ports.push(PortDecl {
+                    dir,
+                    is_reg,
+                    name: pname,
+                    range: range.clone(),
+                });
+                if !self.eat_punct(",") {
+                    break;
+                }
             }
+            self.expect_punct(")")?;
         }
         self.expect_punct(";")?;
 
@@ -570,7 +568,10 @@ mod tests {
         )
         .unwrap();
         match &d.module("m").unwrap().items[0] {
-            Item::Always { body: Stmt::Block(stmts), .. } => match &stmts[0] {
+            Item::Always {
+                body: Stmt::Block(stmts),
+                ..
+            } => match &stmts[0] {
                 Stmt::Case { arms, default, .. } => {
                     assert_eq!(arms.len(), 2);
                     assert_eq!(arms[1].0.len(), 2);
@@ -603,10 +604,13 @@ mod tests {
 
     #[test]
     fn precedence_shift_binds_tighter_than_compare() {
-        let d = parse("module m (input [7:0] a, output y); assign y = a >> 2 < a; endmodule")
-            .unwrap();
+        let d =
+            parse("module m (input [7:0] a, output y); assign y = a >> 2 < a; endmodule").unwrap();
         match &d.module("m").unwrap().items[0] {
-            Item::Assign { rhs: Expr::Binary(BinOp::Lt, ..), .. } => {}
+            Item::Assign {
+                rhs: Expr::Binary(BinOp::Lt, ..),
+                ..
+            } => {}
             other => panic!("{other:?}"),
         }
     }

@@ -23,7 +23,10 @@ fn check_design(
     }
     assert!(harness.protocol_errors.is_empty(), "{name}: AXI violations");
     assert_eq!(timing.latency, expect_latency, "{name}: latency");
-    assert_eq!(timing.periodicity, expect_periodicity, "{name}: periodicity");
+    assert_eq!(
+        timing.periodicity, expect_periodicity,
+        "{name}: periodicity"
+    );
 }
 
 fn stimulus() -> Vec<Block> {

@@ -11,7 +11,9 @@ use hc_verilog::{elaborate, emit::emit, parse};
 fn roundtrip(module: hc_rtl::Module) -> hc_rtl::Module {
     let text = emit(&module);
     let design = parse(&text).expect("emitted Verilog parses");
-    let name = module.name().replace(|c: char| !c.is_ascii_alphanumeric() && c != '_', "_");
+    let name = module
+        .name()
+        .replace(|c: char| !c.is_ascii_alphanumeric() && c != '_', "_");
     let re = elaborate(&design, &name).expect("emitted Verilog elaborates");
     re.validate().expect("round-tripped module validates");
     re

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Full CI gate: formatting, lints, release build, the complete test suite
+# and a criterion smoke pass (every benchmark body runs once).
+#
+# Usage: scripts/ci.sh   (from anywhere; cd's to the repo root)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "== cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo build --release"
+cargo build --release
+
+echo "== cargo test"
+cargo test --workspace -q
+
+echo "== criterion smoke (each bench body once)"
+cargo bench -p hc-bench -- --test
+
+echo "CI OK"

@@ -12,7 +12,7 @@ use hls_vs_hc::idct::{fixed, Block};
 
 #[test]
 fn golden_model_passes_the_full_standard_procedure() {
-    for ((l, h), negate, stats) in measure_all(|b| fixed::idct2d(b), STANDARD_BLOCKS) {
+    for ((l, h), negate, stats) in measure_all(fixed::idct2d, STANDARD_BLOCKS) {
         assert!(
             stats.is_compliant(),
             "range (-{l}, {h}) negate={negate}: {:?}",

@@ -22,9 +22,7 @@ fn optimization_doubles_verilog_quality_or_better() {
     let v = row(ToolId::Verilog);
     assert!(v.optimized.q > 4.0 * v.initial.q);
     assert!(v.optimized.throughput_mops > 1.3 * v.initial.throughput_mops);
-    assert!(
-        v.initial.area_nodsp.normalized() > 3 * v.optimized.area_nodsp.normalized()
-    );
+    assert!(v.initial.area_nodsp.normalized() > 3 * v.optimized.area_nodsp.normalized());
     // Latency 17 -> 24, periodicity pinned at the adapter ceiling.
     assert_eq!(v.initial.latency, 17);
     assert_eq!(v.optimized.latency, 24);

@@ -1,0 +1,302 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the benchmarking API surface this workspace uses —
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`Bencher::iter`], [`Bencher::iter_batched`], the `criterion_group!` /
+//! `criterion_main!` macros and [`black_box`] — with a straightforward
+//! wall-clock measurement loop instead of criterion's statistical engine.
+//!
+//! Each benchmark is warmed up, then timed in batches until the sampling
+//! budget elapses; the harness reports mean time per iteration and
+//! iterations per second. `--test` (as passed by `cargo bench -- --test`)
+//! runs every benchmark body exactly once as a smoke test, and a positional
+//! argument filters benchmarks by substring, both matching criterion's CLI
+//! behaviour.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benchmark
+/// bodies.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How [`Bencher::iter_batched`] amortizes setup (accepted for API
+/// compatibility; batch sizing here is time-driven).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Re-run setup for every single iteration.
+    PerIteration,
+}
+
+/// One timing result, also consumed by `hc-bench`'s `perfsnap` binary.
+#[derive(Clone, Debug)]
+pub struct SampleReport {
+    /// Benchmark id (`group/name` or bare name).
+    pub id: String,
+    /// Mean wall-clock time per iteration.
+    pub mean: Duration,
+    /// Iterations measured.
+    pub iterations: u64,
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+    sample_time: Duration,
+    reports: Vec<SampleReport>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut test_mode = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                // Flags cargo/criterion pass that a wall-clock harness can
+                // safely ignore.
+                "--bench" | "--verbose" | "--quiet" | "--noplot" => {}
+                other if other.starts_with("--") => {}
+                other => filter = Some(other.to_owned()),
+            }
+        }
+        Criterion {
+            test_mode,
+            filter,
+            sample_time: Duration::from_millis(400),
+            reports: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Overrides how long each benchmark samples for.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.sample_time = t;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.run_one(id.to_owned(), f);
+        self
+    }
+
+    /// Opens a named group; benchmark ids become `group/name`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_owned(),
+        }
+    }
+
+    /// Timing results collected so far.
+    pub fn reports(&self) -> &[SampleReport] {
+        &self.reports
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: String, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            test_mode: self.test_mode,
+            sample_time: self.sample_time,
+            total: Duration::ZERO,
+            iterations: 0,
+        };
+        f(&mut b);
+        if self.test_mode {
+            println!("test {id} ... ok");
+            return;
+        }
+        let mean = if b.iterations > 0 {
+            b.total / b.iterations as u32
+        } else {
+            Duration::ZERO
+        };
+        let per_sec = if mean > Duration::ZERO {
+            1.0 / mean.as_secs_f64()
+        } else {
+            f64::INFINITY
+        };
+        println!(
+            "{id:<44} {:>12.3?}/iter {:>14.1} iter/s ({} iters)",
+            mean, per_sec, b.iterations
+        );
+        self.reports.push(SampleReport {
+            id,
+            mean,
+            iterations: b.iterations,
+        });
+    }
+}
+
+/// A named group of benchmarks (ids prefixed `group/`).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; sampling here is time-driven.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Overrides how long each benchmark in this group samples for.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.criterion.sample_time = t;
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let full = format!("{}/{id}", self.name);
+        self.criterion.run_one(full, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; runs and times the measurement loop.
+pub struct Bencher {
+    test_mode: bool,
+    sample_time: Duration,
+    total: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.test_mode {
+            black_box(routine());
+            self.iterations = 1;
+            return;
+        }
+        // Warmup and batch-size calibration: grow until one batch is
+        // long enough to swamp timer overhead.
+        let mut batch = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(2) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 4;
+        }
+        let deadline = Instant::now() + self.sample_time;
+        while Instant::now() < deadline {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.total += start.elapsed();
+            self.iterations += batch;
+        }
+    }
+
+    /// Times `routine` over fresh inputs from `setup`, excluding setup time.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        if self.test_mode {
+            black_box(routine(setup()));
+            self.iterations = 1;
+            return;
+        }
+        let deadline = Instant::now() + self.sample_time;
+        while Instant::now() < deadline {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.total += start.elapsed();
+            self.iterations += 1;
+        }
+    }
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_measures_something() {
+        let mut c = Criterion {
+            test_mode: false,
+            filter: None,
+            sample_time: Duration::from_millis(10),
+            reports: Vec::new(),
+        };
+        c.bench_function("spin", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        assert_eq!(c.reports().len(), 1);
+        assert!(c.reports()[0].iterations > 0);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            test_mode: true,
+            filter: Some("other".into()),
+            sample_time: Duration::from_millis(1),
+            reports: Vec::new(),
+        };
+        let mut ran = false;
+        c.bench_function("spin", |b| {
+            b.iter(|| ran = true);
+        });
+        assert!(!ran);
+    }
+
+    #[test]
+    fn groups_prefix_ids() {
+        let mut c = Criterion {
+            test_mode: false,
+            filter: None,
+            sample_time: Duration::from_millis(5),
+            reports: Vec::new(),
+        };
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10);
+        g.bench_function("x", |b| b.iter(|| 1 + 1));
+        g.finish();
+        assert_eq!(c.reports()[0].id, "g/x");
+    }
+}

@@ -1,0 +1,263 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The container this workspace builds in has no crates.io access, so this
+//! path dependency provides the small, deterministic subset of the `rand`
+//! 0.8 API the workspace actually uses: [`rngs::StdRng`], [`SeedableRng`]
+//! (`seed_from_u64`) and [`Rng`] (`gen`, `gen_range`, `gen_bool`).
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — high-quality,
+//! fast, and reproducible across runs and platforms, which is all the
+//! simulation test benches require. It is **not** the same stream as the
+//! upstream `StdRng` (which is additionally documented as non-portable
+//! across rand versions); nothing in this workspace depends on a specific
+//! stream, only on seed-determinism.
+
+/// Seedable random number generators.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+mod private {
+    /// Sealed helper: a uniform sample of `Self` from raw 64-bit draws.
+    pub trait SampleUniform: Copy + PartialOrd {
+        /// Samples uniformly from `[lo, hi]` (inclusive).
+        fn sample_inclusive<R: super::RngCore>(rng: &mut R, lo: Self, hi: Self) -> Self;
+    }
+}
+use private::SampleUniform;
+
+/// The raw 64-bit source every higher-level method is derived from.
+pub trait RngCore {
+    /// The next raw 64 bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// High-level sampling methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Samples a value of a supported primitive type over its full range.
+    fn gen<T: Generable>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::generate(self)
+    }
+
+    /// Samples uniformly from a range (`lo..hi` or `lo..=hi`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleRange<R>,
+        Self: Sized,
+    {
+        T::sample_from(self, range)
+    }
+
+    /// Samples `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "probability {p} out of range");
+        // 53 uniform mantissa bits, the standard float-in-[0,1) recipe.
+        let f = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        f < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Types [`Rng::gen`] can produce.
+pub trait Generable {
+    /// Draws one value.
+    fn generate<R: RngCore>(rng: &mut R) -> Self;
+}
+
+macro_rules! generable_int {
+    ($($t:ty),*) => {$(
+        impl Generable for $t {
+            fn generate<R: RngCore>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+generable_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Generable for bool {
+    fn generate<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges [`Rng::gen_range`] accepts for a given sample type.
+pub trait SampleRange<R>: Sized {
+    /// Samples uniformly from `range`.
+    fn sample_from<G: RngCore>(rng: &mut G, range: R) -> Self;
+}
+
+macro_rules! sample_uniform_int {
+    ($($t:ty as $wide:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_inclusive<R: RngCore>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "empty sample range");
+                let span = (hi as $wide).wrapping_sub(lo as $wide) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                let n = span + 1;
+                // Rejection sampling for an unbiased draw.
+                let zone = u64::MAX - (u64::MAX % n);
+                loop {
+                    let v = rng.next_u64();
+                    if v < zone {
+                        return lo.wrapping_add((v % n) as $t);
+                    }
+                }
+            }
+        }
+        impl SampleRange<core::ops::Range<$t>> for $t {
+            fn sample_from<G: RngCore>(rng: &mut G, range: core::ops::Range<$t>) -> Self {
+                assert!(range.start < range.end, "empty sample range");
+                <$t>::sample_inclusive(rng, range.start, range.end - 1)
+            }
+        }
+        impl SampleRange<core::ops::RangeInclusive<$t>> for $t {
+            fn sample_from<G: RngCore>(rng: &mut G, range: core::ops::RangeInclusive<$t>) -> Self {
+                <$t>::sample_inclusive(rng, *range.start(), *range.end())
+            }
+        }
+    )*};
+}
+sample_uniform_int!(
+    u8 as u64,
+    u16 as u64,
+    u32 as u64,
+    u64 as u64,
+    usize as u64,
+    i8 as i64,
+    i16 as i64,
+    i32 as i64,
+    i64 as i64,
+    isize as i64
+);
+
+macro_rules! sample_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleRange<core::ops::Range<$t>> for $t {
+            fn sample_from<G: RngCore>(rng: &mut G, range: core::ops::Range<$t>) -> Self {
+                assert!(range.start < range.end, "empty sample range");
+                let unit = (rng.next_u64() >> 11) as $t / (1u64 << 53) as $t;
+                range.start + unit * (range.end - range.start)
+            }
+        }
+        impl SampleRange<core::ops::RangeInclusive<$t>> for $t {
+            fn sample_from<G: RngCore>(rng: &mut G, range: core::ops::RangeInclusive<$t>) -> Self {
+                let (lo, hi) = (*range.start(), *range.end());
+                assert!(lo <= hi, "empty sample range");
+                let unit = (rng.next_u64() >> 11) as $t / ((1u64 << 53) - 1) as $t;
+                lo + unit * (hi - lo)
+            }
+        }
+    )*};
+}
+sample_uniform_float!(f32, f64);
+
+/// Random number generators (the `StdRng` type).
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A deterministic xoshiro256++ generator, seeded via SplitMix64.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, the reference seeding procedure.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let out = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_reproducible() {
+        let a: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(42);
+            (0..8).map(|_| r.gen_range(0u64..1000)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(42);
+            (0..8).map(|_| r.gen_range(0u64..1000)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(
+            (0..4).map(|_| a.gen::<u64>()).collect::<Vec<_>>(),
+            (0..4).map(|_| b.gen::<u64>()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v: i32 = r.gen_range(-5..=5);
+            assert!((-5..=5).contains(&v));
+            let u: usize = r.gen_range(3..10);
+            assert!((3..10).contains(&u));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = StdRng::seed_from_u64(9);
+        assert!(!r.gen_bool(0.0));
+        assert!(r.gen_bool(1.0));
+    }
+}
