@@ -15,6 +15,8 @@
 //! * [`StreamHarness`] — a simulator testbench that feeds matrices through
 //!   a wrapper and *measures* latency and periodicity the way the paper
 //!   defines them;
+//! * [`BatchedStreamHarness`] — the lane-batched variant that streams many
+//!   independent matrix sequences through one simulation for throughput;
 //! * [`ProtocolChecker`] — asserts the AXI-Stream stability rules;
 //! * [`PcieLink`] — the PCIe 3.0 x16 bandwidth model behind MaxCompiler's
 //!   numbers.
@@ -40,6 +42,7 @@
 //! ```
 
 mod adapter;
+mod batched;
 mod bfm;
 mod harness;
 mod pcie;
@@ -49,6 +52,7 @@ pub use adapter::{
     wrap_comb_matrix, wrap_pipelined_matrix, wrap_sequential_matrix, MatrixWrapperSpec,
     SequentialKernel,
 };
+pub use batched::{lanes_for_blocks, BatchedStreamHarness};
 pub use bfm::{AxisDriver, AxisMonitor, ProtocolChecker, ProtocolError};
 pub use harness::{pack_elems, unpack_elems, StreamHarness, StreamTiming};
 pub use pcie::PcieLink;

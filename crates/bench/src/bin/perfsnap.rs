@@ -1,20 +1,25 @@
 //! Performance snapshot: writes `BENCH_sim.json` so the simulation and
 //! sweep performance trajectory is tracked across PRs.
 //!
-//! Measures two things:
+//! Measures three things:
 //!
 //! 1. **Simulation throughput** (cycles/sec) of the interpreted and the
 //!    compiled backend pushing the same 64 blocks through the Verilog
 //!    initial design's AXI-Stream interface.
-//! 2. **Fig. 1 sweep wall-clock** with the serial and the parallel DSE
-//!    driver over the full design space.
+//! 2. **Batched throughput** of the lane-batched engine on the same 64
+//!    blocks, counted in *lane-cycles* per second (each lane's cycle is a
+//!    full simulated cycle of an independent stimulus stream, so
+//!    lane-cycles/sec is directly comparable to the scalar figures).
+//! 3. **Fig. 1 sweep wall-clock** with the serial and the parallel DSE
+//!    driver over the full design space, plus per-point timing and the
+//!    worker count the pool actually used (`HC_THREADS` honored).
 //!
 //! Usage: `cargo run -p hc-bench --release --bin perfsnap [nblocks]`
 //! (`nblocks` sizes the sweep simulation effort; default 2).
 
 use std::time::{Duration, Instant};
 
-use hc_axi::StreamHarness;
+use hc_axi::{BatchedStreamHarness, StreamHarness};
 use hc_idct::generator::BlockGen;
 
 /// Runs `make_and_run` repeatedly until ~0.5 s has elapsed (at least
@@ -44,6 +49,7 @@ fn main() {
     let blocks = BlockGen::new(3, -2048, 2047).take_blocks(64);
     let inputs: Vec<[[i32; 8]; 8]> = blocks.iter().map(|b| b.0).collect();
     let budget = 2000 * (inputs.len() as u64 + 4);
+    let lanes = hc_axi::lanes_for_blocks(inputs.len());
 
     println!("simulating 64 blocks on the Verilog initial design...");
     let (icycles, itime) = sample(|| {
@@ -58,10 +64,25 @@ fn main() {
         assert_eq!(n, inputs.len());
         h.simulator_mut().cycle()
     });
+    let (bcycles, btime) = sample(|| {
+        let mut h = BatchedStreamHarness::new(module.clone(), lanes).expect("validates");
+        let n = h.run_blocks(&inputs, budget).0.len();
+        assert_eq!(n, inputs.len());
+        let sim = h.simulator_mut();
+        (0..sim.lanes()).map(|lane| sim.cycle(lane)).sum()
+    });
     let ihz = icycles as f64 / itime.as_secs_f64();
     let chz = ccycles as f64 / ctime.as_secs_f64();
-    println!("  interpreted: {ihz:12.0} cycles/sec");
-    println!("  compiled:    {chz:12.0} cycles/sec  ({:.1}x)", chz / ihz);
+    let bhz = bcycles as f64 / btime.as_secs_f64();
+    println!("  interpreted:        {ihz:12.0} cycles/sec");
+    println!(
+        "  compiled:           {chz:12.0} cycles/sec  ({:.1}x)",
+        chz / ihz
+    );
+    println!(
+        "  batched ({lanes:2} lanes): {bhz:12.0} lane-cycles/sec  ({:.1}x vs compiled)",
+        bhz / chz
+    );
 
     println!("fig. 1 sweep (nblocks = {nblocks})...");
     // Warm the shared stimulus cache so neither driver pays generation.
@@ -70,31 +91,45 @@ fn main() {
     let serial = hc_bench::fig1_points_serial(nblocks);
     let serial_time = start.elapsed();
     let start = Instant::now();
-    let parallel = hc_bench::fig1_points(nblocks);
+    let parallel = hc_bench::fig1_points_timed(nblocks);
     let parallel_time = start.elapsed();
     assert_eq!(serial.len(), parallel.len());
     let sweep_speedup = serial_time.as_secs_f64() / parallel_time.as_secs_f64();
+    let threads = hc_core::par::worker_count(parallel.len());
     println!("  serial:   {:8.2} s", serial_time.as_secs_f64());
     println!(
-        "  parallel: {:8.2} s  ({sweep_speedup:.1}x)",
+        "  parallel: {:8.2} s  ({sweep_speedup:.2}x on {threads} workers)",
         parallel_time.as_secs_f64()
     );
 
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1);
+    let point_secs: Vec<f64> = parallel.iter().map(|(_, _, s)| *s).collect();
+    let point_mean = point_secs.iter().sum::<f64>() / point_secs.len().max(1) as f64;
+    let point_max = point_secs.iter().copied().fold(0.0f64, f64::max);
+    let points_json = point_secs
+        .iter()
+        .map(|s| format!("{s:.4}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+
     let json = format!(
         "{{\n  \"design\": \"verilog_initial\",\n  \"blocks\": 64,\n  \
          \"interpreted_cycles_per_sec\": {ihz:.0},\n  \
          \"compiled_cycles_per_sec\": {chz:.0},\n  \
          \"sim_speedup\": {sim:.2},\n  \
+         \"batched_lanes\": {lanes},\n  \
+         \"batched_lane_cycles_per_sec\": {bhz:.0},\n  \
+         \"batched_speedup_vs_compiled\": {bs:.2},\n  \
          \"fig1_nblocks\": {nblocks},\n  \
          \"fig1_points\": {points},\n  \
          \"fig1_serial_seconds\": {st:.3},\n  \
          \"fig1_parallel_seconds\": {pt:.3},\n  \
          \"fig1_speedup\": {sweep_speedup:.2},\n  \
+         \"fig1_point_seconds_mean\": {point_mean:.4},\n  \
+         \"fig1_point_seconds_max\": {point_max:.4},\n  \
+         \"fig1_point_seconds\": [{points_json}],\n  \
          \"threads\": {threads}\n}}\n",
         sim = chz / ihz,
+        bs = bhz / chz,
         points = serial.len(),
         st = serial_time.as_secs_f64(),
         pt = parallel_time.as_secs_f64(),

@@ -47,3 +47,46 @@ pub fn fig1_points_serial(nblocks: usize) -> Vec<(ToolId, Measurement)> {
     }
     out
 }
+
+/// [`fig1_points`] with per-point wall-clock seconds, for the `perfsnap`
+/// timing record. Timing happens inside the worker, so the figures are
+/// honest per-point costs regardless of how the pool interleaves them.
+pub fn fig1_points_timed(nblocks: usize) -> Vec<(ToolId, Measurement, f64)> {
+    let work: Vec<(ToolId, hc_core::entries::Design)> = all_tools()
+        .iter()
+        .flat_map(|tool| {
+            dse_points(tool.info.id)
+                .into_iter()
+                .map(move |design| (tool.info.id, design))
+        })
+        .collect();
+    parallel_map(&work, |(id, design)| {
+        let start = std::time::Instant::now();
+        let m = measure(design, nblocks);
+        (*id, m, start.elapsed().as_secs_f64())
+    })
+}
+
+/// Wraps an AXI-Stream IDCT wrapper module as a batch IDCT function for
+/// [`hc_idct::ieee1180::measure_range_batched`]: each call streams the
+/// whole batch through a lane-batched harness (one contiguous chunk per
+/// lane) and returns the decoded blocks in input order.
+///
+/// # Panics
+///
+/// The returned closure panics if the module fails validation or the
+/// harness loses blocks.
+pub fn rtl_idct_batched(
+    module: hc_rtl::Module,
+) -> impl FnMut(&[hc_idct::Block]) -> Vec<hc_idct::Block> {
+    move |batch| {
+        let lanes = hc_axi::lanes_for_blocks(batch.len());
+        let mut harness = hc_axi::BatchedStreamHarness::new(module.clone(), lanes)
+            .expect("RTL IDCT wrapper validates");
+        let inputs: Vec<[[i32; 8]; 8]> = batch.iter().map(|b| b.0).collect();
+        let (outputs, _) = harness.run_blocks(&inputs, 2000 * (batch.len() as u64 + 4));
+        assert_eq!(outputs.len(), batch.len(), "harness lost blocks");
+        assert!(harness.protocol_errors.is_empty());
+        outputs.into_iter().map(hc_idct::Block).collect()
+    }
+}

@@ -130,6 +130,58 @@ mod tests {
         }
     }
 
+    /// Pins the tie-handling contract of the `O(n log n)` scan against the
+    /// quadratic reference: same-throughput groups keep *every* copy of
+    /// their minimum-area point (exact duplicates never dominate each
+    /// other), and a group whose minimum ties the running minimum-above is
+    /// still excluded because the higher-throughput point dominates it.
+    #[test]
+    fn tie_handling_matches_brute_force_with_fixed_seeds() {
+        // Deterministic corner: duplicated group minima at two throughput
+        // levels, plus an area tie across levels.
+        let pts = vec![
+            point(20.0, 100), // front (group min, duplicated)
+            point(20.0, 100), // front (duplicate survives)
+            point(20.0, 120), // dominated within its group
+            point(10.0, 100), // dominated: same area, lower throughput
+            point(10.0, 80),  // front (group min)
+            point(10.0, 80),  // front (duplicate survives)
+        ];
+        assert_eq!(pareto_front(&pts), vec![0, 1, 4, 5]);
+
+        // Seeded fuzz over tiny value ranges so nearly every draw ties.
+        for seed0 in [0xdead_beef_cafe_f00du64, 0x0123_4567_89ab_cdef, 42] {
+            let mut seed = seed0;
+            let mut next = move || {
+                seed ^= seed << 13;
+                seed ^= seed >> 7;
+                seed ^= seed << 17;
+                seed
+            };
+            for round in 0..30 {
+                let pts: Vec<Measurement> = (0..24)
+                    .map(|_| point((next() % 3) as f64, next() % 3 + 1))
+                    .collect();
+                let brute: Vec<usize> = (0..pts.len())
+                    .filter(|&i| {
+                        !pts.iter().enumerate().any(|(j, q)| {
+                            j != i
+                                && q.throughput_mops >= pts[i].throughput_mops
+                                && q.area_nodsp.normalized() <= pts[i].area_nodsp.normalized()
+                                && (q.throughput_mops > pts[i].throughput_mops
+                                    || q.area_nodsp.normalized() < pts[i].area_nodsp.normalized())
+                        })
+                    })
+                    .collect();
+                assert_eq!(
+                    pareto_front(&pts),
+                    brute,
+                    "seed {seed0:#x} round {round} diverged"
+                );
+            }
+        }
+    }
+
     #[test]
     fn best_quality_picks_max_q() {
         let pts = vec![point(10.0, 100), point(10.0, 50), point(1.0, 10)];

@@ -7,7 +7,7 @@ use crate::entries::{Design, DesignInterface, ToolEntry};
 use crate::metrics;
 use crate::par::parallel_map;
 use crate::tool::ToolId;
-use hc_axi::{PcieLink, StreamHarness};
+use hc_axi::{lanes_for_blocks, BatchedStreamHarness, PcieLink};
 use hc_idct::generator::BlockGen;
 use hc_idct::{fixed, Block};
 use hc_rtl::passes::optimize;
@@ -92,9 +92,16 @@ pub fn measure(design: &Design, nblocks: usize) -> Measurement {
     let blocks = sample_blocks(nblocks.max(2));
     let (latency, periodicity) = match design.interface {
         DesignInterface::Axis => {
-            let mut harness = StreamHarness::compiled(module).expect("measured designs validate");
+            // Blocks are independent stimuli, so they ride the lane-batched
+            // engine: one contiguous chunk per lane, lane 0's chunk starting
+            // at reset so its T_L/T_P equal the scalar harness figures (the
+            // root equivalence suite pins this against the interpreted
+            // oracle).
+            let lanes = lanes_for_blocks(blocks.len());
+            let mut harness =
+                BatchedStreamHarness::new(module, lanes).expect("measured designs validate");
             let inputs: Vec<[[i32; 8]; 8]> = blocks.iter().map(|b| b.0).collect();
-            let (outputs, timing) = harness.run(&inputs, 2000 * (blocks.len() as u64 + 4));
+            let (outputs, timing) = harness.run_blocks(&inputs, 2000 * (blocks.len() as u64 + 4));
             assert_eq!(
                 outputs.len(),
                 blocks.len(),

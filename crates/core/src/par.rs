@@ -9,12 +9,40 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-/// Applies `f` to every item, fanning out over the available cores, and
-/// returns the results **in input order**.
+/// The configured worker-pool width: the `HC_THREADS` environment override
+/// when set to a positive integer, otherwise
+/// [`std::thread::available_parallelism`] (falling back to 1 when the
+/// platform cannot report it).
+///
+/// `HC_THREADS` exists because `available_parallelism` honors cgroup and
+/// affinity limits: inside a constrained container it can legitimately
+/// report 1, silently serializing every sweep. The override lets a caller
+/// (or CI) force a pool width; it is also how `BENCH_sim.json` records an
+/// honest `threads` figure instead of guessing.
+pub fn configured_workers() -> usize {
+    match std::env::var("HC_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+    {
+        Some(n) if n >= 1 => n,
+        _ => std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1),
+    }
+}
+
+/// The number of workers [`parallel_map`] will actually use for `n` items:
+/// [`configured_workers`] capped at the item count.
+pub fn worker_count(n: usize) -> usize {
+    configured_workers().min(n).max(1)
+}
+
+/// Applies `f` to every item, fanning out over [`worker_count`] scoped
+/// threads, and returns the results **in input order**.
 ///
 /// Work is distributed by an atomic cursor, so long-running items do not
-/// serialize behind each other. With one item (or one core) this degrades
-/// to a plain serial map with no thread overhead.
+/// serialize behind each other. With one item (or one configured worker)
+/// this degrades to a plain serial map with no thread overhead.
 ///
 /// # Panics
 ///
@@ -27,10 +55,7 @@ where
     F: Fn(&T) -> R + Sync,
 {
     let n = items.len();
-    let workers = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(n);
+    let workers = worker_count(n);
     if workers <= 1 {
         return items.iter().map(f).collect();
     }
@@ -69,6 +94,30 @@ mod tests {
     fn handles_empty_and_single() {
         assert_eq!(parallel_map(&[] as &[u32], |&x| x), Vec::<u32>::new());
         assert_eq!(parallel_map(&[7u32], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn worker_count_caps_at_item_count() {
+        assert_eq!(worker_count(0), 1);
+        assert_eq!(worker_count(1), 1);
+        assert!(worker_count(1000) >= 1);
+        assert!(worker_count(1000) <= configured_workers());
+    }
+
+    #[test]
+    fn hc_threads_overrides_detection() {
+        // Env mutation is process-global; this test only asserts on values
+        // read while the override is in place, and parallel_map stays
+        // correct for any worker count a concurrent test might observe.
+        std::env::set_var("HC_THREADS", "3");
+        assert_eq!(configured_workers(), 3);
+        assert_eq!(worker_count(2), 2);
+        let items: Vec<u64> = (0..40).collect();
+        let out = parallel_map(&items, |&x| x + 1);
+        assert_eq!(out, (1..41).collect::<Vec<u64>>());
+        std::env::set_var("HC_THREADS", "not-a-number");
+        assert!(configured_workers() >= 1, "garbage override falls back");
+        std::env::remove_var("HC_THREADS");
     }
 
     #[test]

@@ -69,6 +69,11 @@ impl AccuracyStats {
 
 /// Measures one `(L, H)` range with `blocks` random blocks (the standard
 /// uses [`STANDARD_BLOCKS`]); `negate` selects the opposite-sign run.
+///
+/// This is the scalar adapter over [`measure_range_batched`] — one stats
+/// implementation serves both paths, so a batched IDCT (e.g. the
+/// lane-batched RTL engine) is measured by *identical* arithmetic in
+/// identical order.
 pub fn measure_range(
     idct: &mut dyn FnMut(&Block) -> Block,
     l: i32,
@@ -76,18 +81,46 @@ pub fn measure_range(
     blocks: usize,
     negate: bool,
 ) -> AccuracyStats {
+    measure_range_batched(
+        &mut |batch| batch.iter().map(&mut *idct).collect(),
+        l,
+        h,
+        blocks,
+        negate,
+    )
+}
+
+/// [`measure_range`] for an IDCT that maps a whole batch of blocks at
+/// once (input order = output order). The standard's stimulus is generated
+/// up front in generator order, pushed through the IDCT in one call, and
+/// the statistics are accumulated in the same block order as the scalar
+/// path — the resulting figures are bit-identical.
+pub fn measure_range_batched(
+    idct: &mut dyn FnMut(&[Block]) -> Vec<Block>,
+    l: i32,
+    h: i32,
+    blocks: usize,
+    negate: bool,
+) -> AccuracyStats {
     let mut rng = Rand1180::new();
+    let inputs: Vec<Block> = (0..blocks)
+        .map(|_| {
+            let input = Block::from_fn(|_, _| rng.next_in(l, h));
+            if negate {
+                input.negated()
+            } else {
+                input
+            }
+        })
+        .collect();
+    let tests = idct(&inputs);
+    assert_eq!(tests.len(), blocks, "batched IDCT dropped blocks");
+
     let mut err_sum = [[0i64; 8]; 8];
     let mut err_sq_sum = [[0i64; 8]; 8];
     let mut ppe = 0i32;
-
-    for _ in 0..blocks {
-        let mut input = Block::from_fn(|_, _| rng.next_in(l, h));
-        if negate {
-            input = input.negated();
-        }
-        let ideal = idct_f64(&input);
-        let test = idct(&input);
+    for (input, test) in inputs.iter().zip(&tests) {
+        let ideal = idct_f64(input);
         for r in 0..8 {
             for c in 0..8 {
                 let e = test[(r, c)] - ideal[(r, c)];
@@ -116,7 +149,7 @@ pub fn measure_range(
     omse /= 64.0;
     ome = (ome / (64.0 * n)).abs();
 
-    let zero_in_zero_out = idct(&Block::zero()) == Block::zero();
+    let zero_in_zero_out = idct(&[Block::zero()]) == [Block::zero()];
 
     AccuracyStats {
         ppe,
@@ -139,6 +172,22 @@ pub fn measure_all(
     for &(l, h) in &STANDARD_RANGES {
         for negate in [false, true] {
             let stats = measure_range(&mut idct, l, h, blocks, negate);
+            out.push(((l, h), negate, stats));
+        }
+    }
+    out
+}
+
+/// [`measure_all`] for a batch-mapping IDCT (see
+/// [`measure_range_batched`]).
+pub fn measure_all_batched(
+    mut idct: impl FnMut(&[Block]) -> Vec<Block>,
+    blocks: usize,
+) -> Vec<((i32, i32), bool, AccuracyStats)> {
+    let mut out = Vec::new();
+    for &(l, h) in &STANDARD_RANGES {
+        for negate in [false, true] {
+            let stats = measure_range_batched(&mut idct, l, h, blocks, negate);
             out.push(((l, h), negate, stats));
         }
     }

@@ -1,0 +1,1407 @@
+//! The lane-batched simulation backend.
+//!
+//! [`BatchedSimulator`] replays the same lowered instruction tape as
+//! [`CompiledSimulator`](crate::CompiledSimulator), but across `L`
+//! independent stimulus lanes in lockstep. The value store is
+//! structure-of-arrays: narrow slot `s` occupies the contiguous `u64` range
+//! `narrow[s*L .. (s+1)*L]`, one element per lane, so each tape instruction
+//! becomes a tight loop over lanes with no bounds checks in the way of
+//! auto-vectorization — the per-instruction dispatch cost (the `match` on
+//! the opcode, operand decode) is paid once per instruction instead of once
+//! per instruction *per stimulus*. Wide (> 64-bit) values are flat too:
+//! slot `s` occupies `wide[wbase[s] ..]`, word-major then lane-minor
+//! (`wbase[s] + w*L + lane`), so wide operations are per-word loops across
+//! contiguous lanes instead of per-lane big-integer calls. The top storage
+//! word of every wide slot keeps its bits above the slot width zero, the
+//! same invariant [`Bits`] maintains.
+//!
+//! The borrow structure of the inner loops relies on the lowering invariant
+//! documented in [`crate::lower`]: a destination slot index is strictly
+//! greater than every operand slot index in the same store, so one
+//! `split_at_mut` at the destination's lane group separates the read and
+//! write regions.
+//!
+//! # Lane masking
+//!
+//! Lanes are independent streams and may finish at different times
+//! (variable `T_L`). Rather than ragged control flow, finished lanes are
+//! *masked out* with [`set_active`](BatchedSimulator::set_active): a masked
+//! lane's registers stop committing, its memories stop being written, and
+//! its cycle counter freezes, so its architectural state is exactly the
+//! state at masking time. Combinational logic is still evaluated for masked
+//! lanes (it is cheap and has no side effects). Register commit remains
+//! double-buffered per lane.
+
+use hc_bits::Bits;
+use hc_rtl::passes::eval::eval_pure;
+use hc_rtl::{Module, ValidateError};
+
+use crate::lower::{mask, sxt, EngineOptions, Instr, Loc, Lowered};
+
+/// A narrow memory with `depth` words per lane (`words[lane*depth + addr]`).
+#[derive(Clone, Debug)]
+struct BNMem {
+    words: Vec<u64>,
+    depth: u64,
+}
+
+/// A wide memory with `depth` words per lane.
+#[derive(Clone, Debug)]
+struct BWMem {
+    words: Vec<Bits>,
+    depth: u64,
+}
+
+/// Top-word mask for a width (`u64::MAX` when the width fills the word).
+#[inline(always)]
+fn top_mask(width: u32) -> u64 {
+    let rem = width % 64;
+    if rem == 0 {
+        u64::MAX
+    } else {
+        (1u64 << rem) - 1
+    }
+}
+
+/// Gathers one lane of a wide slot region (word-major, lane-minor) into a
+/// fresh [`Bits`].
+fn gather_bits(region: &[u64], l: usize, lane: usize, width: u32) -> Bits {
+    let mut b = Bits::zero(width);
+    let words = width.div_ceil(64);
+    for w in 0..words {
+        let chunk = (width - w * 64).min(64);
+        b.deposit_u64(w * 64, chunk, region[w as usize * l + lane]);
+    }
+    b
+}
+
+/// Scatters `value` into one lane of a wide slot region.
+fn scatter_bits(region: &mut [u64], l: usize, lane: usize, value: &Bits) {
+    let width = value.width();
+    let words = width.div_ceil(64);
+    for w in 0..words {
+        let chunk = (width - w * 64).min(64);
+        region[w as usize * l + lane] = value.extract_u64(w * 64, chunk);
+    }
+}
+
+/// Deposits a wide source lane group into a wide destination lane group at
+/// bit `off`, for every lane. Bits below `off` are preserved; a deposit at
+/// a word-misaligned offset must end exactly at the destination's width
+/// (the concat emitters guarantee this), and the invariant-zero bits above
+/// the destination width are rewritten as zero.
+#[inline(always)]
+fn wdeposit_w(dst: &mut [u64], src: &[u64], l: usize, off: u32, src_width: u32, dst_width: u32) {
+    let swords = src_width.div_ceil(64) as usize;
+    let base = (off / 64) as usize;
+    let sh = off % 64;
+    if sh == 0 {
+        let full = (src_width / 64) as usize;
+        dst[base * l..(base + full) * l].copy_from_slice(&src[..full * l]);
+        let rem = src_width % 64;
+        if rem != 0 {
+            let m = (1u64 << rem) - 1;
+            let d = &mut dst[(base + full) * l..][..l];
+            let s = &src[full * l..][..l];
+            for (d, &s) in d.iter_mut().zip(s) {
+                *d = (*d & !m) | (s & m);
+            }
+        }
+        return;
+    }
+    debug_assert_eq!(
+        off + src_width,
+        dst_width,
+        "misaligned wide deposit must top out the destination"
+    );
+    let inv = 64 - sh;
+    {
+        let keep = (1u64 << sh) - 1;
+        let d = &mut dst[base * l..][..l];
+        let s = &src[..l];
+        for (d, &s) in d.iter_mut().zip(s) {
+            *d = (*d & keep) | (s << sh);
+        }
+    }
+    for w in 1..swords {
+        let a = &src[(w - 1) * l..][..l];
+        let b = &src[w * l..][..l];
+        let d = &mut dst[(base + w) * l..][..l];
+        for i in 0..l {
+            d[i] = (a[i] >> inv) | (b[i] << sh);
+        }
+    }
+    // Spill word: the source's top chunk crosses one more destination word.
+    let dwords = dst_width.div_ceil(64) as usize;
+    if base + swords < dwords {
+        let m = top_mask(dst_width);
+        let d = &mut dst[(base + swords) * l..][..l];
+        let s = &src[(swords - 1) * l..][..l];
+        for (d, &s) in d.iter_mut().zip(s) {
+            *d = (s >> inv) & m;
+        }
+    }
+}
+
+/// Deposits a narrow source lane group (`width <= 64` bits, already masked)
+/// into a wide destination lane group at bit `off`. Bits below `off` are
+/// preserved; bits above `off + width` in the touched words are zeroed, so
+/// emit low parts before high parts (as the concat arms do).
+#[inline(always)]
+fn wdeposit_n(dst: &mut [u64], src: &[u64], l: usize, off: u32, width: u32) {
+    let base = (off / 64) as usize;
+    let sh = off % 64;
+    let keep = if sh == 0 { 0 } else { (1u64 << sh) - 1 };
+    if sh + width <= 64 {
+        let d = &mut dst[base * l..][..l];
+        for (d, &s) in d.iter_mut().zip(&src[..l]) {
+            *d = (*d & keep) | (s << sh);
+        }
+    } else {
+        let (d0, d1) = dst[base * l..].split_at_mut(l);
+        for i in 0..l {
+            d0[i] = (d0[i] & keep) | (src[i] << sh);
+            d1[i] = src[i] >> (64 - sh);
+        }
+    }
+}
+
+/// A pre-resolved input-port handle: name and width checks are paid once in
+/// [`BatchedSimulator::in_port`], so per-lane per-cycle harness loops can
+/// drive ports without a string lookup per call.
+#[derive(Clone, Copy, Debug)]
+pub struct InPort {
+    loc: Loc,
+    width: u32,
+}
+
+/// A pre-resolved output-port handle (see [`BatchedSimulator::out_port`]).
+#[derive(Clone, Copy, Debug)]
+pub struct OutPort {
+    loc: Loc,
+    width: u32,
+}
+
+/// A cycle-accurate simulator evaluating `L` independent stimulus lanes of
+/// one [`Module`] in lockstep.
+///
+/// Each lane behaves exactly like its own
+/// [`CompiledSimulator`](crate::CompiledSimulator): same inputs on lane `k`
+/// produce the same outputs, register state, and cycle count as a scalar
+/// run, which the differential test suite asserts. Lanes only share the
+/// instruction tape, never values.
+#[derive(Debug)]
+pub struct BatchedSimulator {
+    low: Lowered,
+    lanes: usize,
+    /// `slot * lanes + lane`.
+    narrow: Vec<u64>,
+    /// Flat wide store: slot `s` at `wbase[s] + word*lanes + lane`.
+    wide: Vec<u64>,
+    /// Word offset (already × lanes) of each wide slot in `wide`.
+    wbase: Vec<usize>,
+    /// Storage words per wide slot.
+    wwords: Vec<usize>,
+    /// Bit width of each wide slot.
+    wwidth: Vec<u32>,
+    nmems: Vec<BNMem>,
+    wmems: Vec<BWMem>,
+    /// `reg * lanes + lane` — double-buffer for the commit.
+    nreg_shadow: Vec<u64>,
+    /// Flat wide shadow: reg `r` at `wreg_shadow_base[r] + word*lanes + lane`.
+    wreg_shadow: Vec<u64>,
+    wreg_shadow_base: Vec<usize>,
+    /// Each wide register's init value as words, at `wreg_init_off[r]`.
+    wreg_init_words: Vec<u64>,
+    wreg_init_off: Vec<usize>,
+    active: Vec<bool>,
+    cycles: Vec<u64>,
+    evaluated: bool,
+}
+
+/// `dst[lane] = f(a[lane])` over the destination's lane group.
+#[inline(always)]
+fn lane_un(narrow: &mut [u64], l: usize, a: u32, dst: u32, f: impl Fn(u64) -> u64) {
+    let (src, rest) = narrow.split_at_mut(dst as usize * l);
+    let a = &src[a as usize * l..][..l];
+    for (d, &x) in rest[..l].iter_mut().zip(a) {
+        *d = f(x);
+    }
+}
+
+/// `dst[lane] = f(a[lane], b[lane])` over the destination's lane group.
+#[inline(always)]
+fn lane_bin(narrow: &mut [u64], l: usize, a: u32, b: u32, dst: u32, f: impl Fn(u64, u64) -> u64) {
+    let (src, rest) = narrow.split_at_mut(dst as usize * l);
+    let a = &src[a as usize * l..][..l];
+    let b = &src[b as usize * l..][..l];
+    for (i, d) in rest[..l].iter_mut().enumerate() {
+        *d = f(a[i], b[i]);
+    }
+}
+
+impl BatchedSimulator {
+    /// Lowers and validates the module and prepares `lanes` independent
+    /// copies of the simulation state (registers at their `init` values,
+    /// memories zeroed, all lanes active).
+    ///
+    /// # Errors
+    ///
+    /// Returns the module's [`ValidateError`] if it is structurally invalid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes == 0`.
+    pub fn new(module: Module, lanes: usize) -> Result<Self, ValidateError> {
+        Self::with_options(module, lanes, EngineOptions::default())
+    }
+
+    /// Like [`new`](BatchedSimulator::new), with explicit construction
+    /// options (see [`EngineOptions`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the module's [`ValidateError`] if it is structurally invalid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes == 0`.
+    pub fn with_options(
+        module: Module,
+        lanes: usize,
+        options: EngineOptions,
+    ) -> Result<Self, ValidateError> {
+        assert!(lanes > 0, "a batched simulator needs at least one lane");
+        let low = Lowered::new(module, options)?;
+        let mut narrow = Vec::with_capacity(low.narrow_init.len() * lanes);
+        for &v in &low.narrow_init {
+            narrow.extend(std::iter::repeat_n(v, lanes));
+        }
+        let mut wbase = Vec::with_capacity(low.wide_init.len());
+        let mut wwords = Vec::with_capacity(low.wide_init.len());
+        let mut wwidth = Vec::with_capacity(low.wide_init.len());
+        let mut off = 0usize;
+        for v in &low.wide_init {
+            wbase.push(off);
+            let wn = v.width().div_ceil(64) as usize;
+            wwords.push(wn);
+            wwidth.push(v.width());
+            off += wn * lanes;
+        }
+        let mut wide = vec![0u64; off];
+        for (s, v) in low.wide_init.iter().enumerate() {
+            if v.is_zero() {
+                continue;
+            }
+            for lane in 0..lanes {
+                scatter_bits(&mut wide[wbase[s]..], lanes, lane, v);
+            }
+        }
+        let nmems = low
+            .nmem_depths
+            .iter()
+            .map(|&depth| BNMem {
+                words: vec![0; depth as usize * lanes],
+                depth,
+            })
+            .collect();
+        let wmems = low
+            .wmem_dims
+            .iter()
+            .map(|&(width, depth)| BWMem {
+                words: vec![Bits::zero(width); depth as usize * lanes],
+                depth,
+            })
+            .collect();
+        let nreg_shadow = vec![0u64; low.nregs.len() * lanes];
+        let mut wreg_shadow_base = Vec::with_capacity(low.wregs.len());
+        let mut wreg_init_off = Vec::with_capacity(low.wregs.len());
+        let mut wreg_init_words = Vec::new();
+        let mut soff = 0usize;
+        for p in &low.wregs {
+            wreg_shadow_base.push(soff);
+            wreg_init_off.push(wreg_init_words.len());
+            let wd = p.init.width();
+            for w in 0..wd.div_ceil(64) {
+                let chunk = (wd - w * 64).min(64);
+                wreg_init_words.push(p.init.extract_u64(w * 64, chunk));
+            }
+            soff += wd.div_ceil(64) as usize * lanes;
+        }
+        let wreg_shadow = vec![0u64; soff];
+        Ok(BatchedSimulator {
+            low,
+            lanes,
+            narrow,
+            wide,
+            wbase,
+            wwords,
+            wwidth,
+            nmems,
+            wmems,
+            nreg_shadow,
+            wreg_shadow,
+            wreg_shadow_base,
+            wreg_init_words,
+            wreg_init_off,
+            active: vec![true; lanes],
+            cycles: vec![0; lanes],
+            evaluated: false,
+        })
+    }
+
+    /// The simulated module (post-optimization when the `optimize` option
+    /// was set).
+    pub fn module(&self) -> &Module {
+        &self.low.module
+    }
+
+    /// Number of lanes evaluated in lockstep.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Instruction tape length (lowering statistics; generic entries count
+    /// the `eval_pure` fallbacks among them).
+    pub fn tape_stats(&self) -> (usize, usize) {
+        (self.low.tape.len(), self.low.generic.len())
+    }
+
+    /// Completed clock cycles of one lane (frozen while the lane is
+    /// masked out).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range.
+    pub fn cycle(&self, lane: usize) -> u64 {
+        self.cycles[lane]
+    }
+
+    /// Whether a lane currently commits state on [`step`](Self::step).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range.
+    pub fn is_active(&self, lane: usize) -> bool {
+        self.active[lane]
+    }
+
+    /// Masks a lane out of (or back into) the clock: inactive lanes keep
+    /// their register, memory, and cycle-counter state frozen across
+    /// [`step`](Self::step).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range.
+    pub fn set_active(&mut self, lane: usize, active: bool) {
+        self.active[lane] = active;
+    }
+
+    /// Number of lanes still active.
+    pub fn active_lanes(&self) -> usize {
+        self.active.iter().filter(|&&a| a).count()
+    }
+
+    fn read_loc(&self, lane: usize, loc: Loc, width: u32) -> Bits {
+        match loc {
+            Loc::N(s) => Bits::from_u64(width, self.narrow[s as usize * self.lanes + lane]),
+            Loc::W(s) => gather_bits(
+                &self.wide[self.wbase[s as usize]..],
+                self.lanes,
+                lane,
+                width,
+            ),
+        }
+    }
+
+    /// Drives an input port on one lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range, no input named `name` exists, or
+    /// the width differs.
+    pub fn set(&mut self, lane: usize, name: &str, value: Bits) {
+        assert!(lane < self.lanes, "lane {lane} out of range");
+        let idx = self.low.input_idx(name);
+        let (loc, width) = self.low.input_locs[idx];
+        assert_eq!(width, value.width(), "input {name:?} width");
+        match loc {
+            Loc::N(s) => self.narrow[s as usize * self.lanes + lane] = value.to_u64(),
+            Loc::W(s) => {
+                scatter_bits(
+                    &mut self.wide[self.wbase[s as usize]..],
+                    self.lanes,
+                    lane,
+                    &value,
+                );
+            }
+        }
+        self.evaluated = false;
+    }
+
+    /// Drives an input port on one lane from a `u64` (truncated to the port
+    /// width).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range or no input named `name` exists.
+    pub fn set_u64(&mut self, lane: usize, name: &str, value: u64) {
+        assert!(lane < self.lanes, "lane {lane} out of range");
+        let idx = self.low.input_idx(name);
+        let (loc, width) = self.low.input_locs[idx];
+        match loc {
+            Loc::N(s) => self.narrow[s as usize * self.lanes + lane] = value & mask(width),
+            Loc::W(s) => {
+                let s = s as usize;
+                let b = self.wbase[s];
+                // Wide ports are > 64 bits: low word takes the value whole.
+                self.wide[b + lane] = value;
+                for w in 1..self.wwords[s] {
+                    self.wide[b + w * self.lanes + lane] = 0;
+                }
+            }
+        }
+        self.evaluated = false;
+    }
+
+    /// Drives an input port to the same `u64` on every lane (the usual way
+    /// to drive clock-like controls such as `rst`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no input named `name` exists.
+    pub fn set_all_u64(&mut self, name: &str, value: u64) {
+        for lane in 0..self.lanes {
+            self.set_u64(lane, name, value);
+        }
+    }
+
+    /// Resolves an input port once for the fast per-lane accessors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no input named `name` exists.
+    pub fn in_port(&self, name: &str) -> InPort {
+        let (loc, width) = self.low.input_locs[self.low.input_idx(name)];
+        InPort { loc, width }
+    }
+
+    /// Resolves an output port once for the fast per-lane accessors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no output named `name` exists.
+    pub fn out_port(&self, name: &str) -> OutPort {
+        let (loc, width) = self.low.output_loc(name);
+        OutPort { loc, width }
+    }
+
+    /// Drives a pre-resolved input port on one lane from a `u64`
+    /// (truncated to the port width). The fast-path equivalent of
+    /// [`set_u64`](Self::set_u64).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range.
+    pub fn set_port_u64(&mut self, lane: usize, port: InPort, value: u64) {
+        assert!(lane < self.lanes, "lane {lane} out of range");
+        match port.loc {
+            Loc::N(s) => self.narrow[s as usize * self.lanes + lane] = value & mask(port.width),
+            Loc::W(s) => {
+                let s = s as usize;
+                let b = self.wbase[s];
+                self.wide[b + lane] = value;
+                for w in 1..self.wwords[s] {
+                    self.wide[b + w * self.lanes + lane] = 0;
+                }
+            }
+        }
+        self.evaluated = false;
+    }
+
+    /// Drives a pre-resolved input port on one lane, borrowing the value
+    /// (no clone). The fast-path equivalent of [`set`](Self::set).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range or the width differs.
+    pub fn set_port(&mut self, lane: usize, port: InPort, value: &Bits) {
+        assert!(lane < self.lanes, "lane {lane} out of range");
+        assert_eq!(port.width, value.width(), "input port width");
+        match port.loc {
+            Loc::N(s) => self.narrow[s as usize * self.lanes + lane] = value.to_u64(),
+            Loc::W(s) => {
+                scatter_bits(
+                    &mut self.wide[self.wbase[s as usize]..],
+                    self.lanes,
+                    lane,
+                    value,
+                );
+            }
+        }
+        self.evaluated = false;
+    }
+
+    /// Reads a narrow (≤ 64-bit) pre-resolved output port on one lane
+    /// without allocating (evaluating first if necessary).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range or the port is wide.
+    pub fn get_port_u64(&mut self, lane: usize, port: OutPort) -> u64 {
+        assert!(lane < self.lanes, "lane {lane} out of range");
+        self.eval();
+        match port.loc {
+            Loc::N(s) => self.narrow[s as usize * self.lanes + lane],
+            Loc::W(_) => panic!("get_port_u64 needs a narrow (<= 64-bit) output"),
+        }
+    }
+
+    /// Reads a pre-resolved output port on one lane (evaluating first if
+    /// necessary).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range.
+    pub fn get_port(&mut self, lane: usize, port: OutPort) -> Bits {
+        assert!(lane < self.lanes, "lane {lane} out of range");
+        self.eval();
+        self.read_loc(lane, port.loc, port.width)
+    }
+
+    /// Reads back the `u64` currently driving a narrow pre-resolved input
+    /// port on one lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range or the port is wide.
+    pub fn input_port_u64(&self, lane: usize, port: InPort) -> u64 {
+        assert!(lane < self.lanes, "lane {lane} out of range");
+        match port.loc {
+            Loc::N(s) => self.narrow[s as usize * self.lanes + lane],
+            Loc::W(_) => panic!("input_port_u64 needs a narrow (<= 64-bit) input"),
+        }
+    }
+
+    /// Reads an output port on one lane (evaluating first if necessary).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range or no output named `name` exists.
+    pub fn get(&mut self, lane: usize, name: &str) -> Bits {
+        assert!(lane < self.lanes, "lane {lane} out of range");
+        self.eval();
+        let (loc, width) = self.low.output_loc(name);
+        self.read_loc(lane, loc, width)
+    }
+
+    /// Reads back the value currently driving an input port on one lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range or no input named `name` exists.
+    pub fn input_value(&self, lane: usize, name: &str) -> Bits {
+        assert!(lane < self.lanes, "lane {lane} out of range");
+        let idx = self.low.input_idx(name);
+        let (loc, width) = self.low.input_locs[idx];
+        self.read_loc(lane, loc, width)
+    }
+
+    /// Reads a register's current value on one lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range or no register named `name` exists.
+    pub fn peek_reg(&self, lane: usize, name: &str) -> Bits {
+        assert!(lane < self.lanes, "lane {lane} out of range");
+        let ri = self.low.reg_idx(name);
+        self.read_loc(lane, self.low.reg_loc[ri], self.low.module.regs()[ri].width)
+    }
+
+    /// Settles combinational logic for all lanes by replaying the
+    /// instruction tape once, evaluating each instruction across the lane
+    /// vector. Called implicitly by [`get`](Self::get) and
+    /// [`step`](Self::step) when needed.
+    pub fn eval(&mut self) {
+        if self.evaluated {
+            return;
+        }
+        // Dispatch to a monomorphized tape replay for the common lane
+        // counts: with the lane count a compile-time constant the per
+        // instruction lane loops have a fixed trip count, so LLVM unrolls
+        // and vectorizes them outright instead of emitting runtime-length
+        // loop preambles — that preamble is pure dispatch overhead and
+        // dominates the evaluation cost at moderate lane counts.
+        match self.lanes {
+            1 => self.eval_tape::<1>(),
+            2 => self.eval_tape::<2>(),
+            4 => self.eval_tape::<4>(),
+            8 => self.eval_tape::<8>(),
+            16 => self.eval_tape::<16>(),
+            32 => self.eval_tape::<32>(),
+            _ => self.eval_tape::<0>(),
+        }
+    }
+
+    /// The tape replay body; `L == 0` means "dynamic lane count".
+    #[allow(clippy::too_many_lines)]
+    fn eval_tape<const L: usize>(&mut self) {
+        let l = if L == 0 { self.lanes } else { L };
+        let narrow = &mut self.narrow[..];
+        let wide = &mut self.wide[..];
+        let wbase = &self.wbase;
+        let wwords = &self.wwords;
+        let wwidth = &self.wwidth;
+        for instr in &self.low.tape {
+            match *instr {
+                Instr::CopyMask { a, dst, mask } => {
+                    lane_un(narrow, l, a, dst, |x| x & mask);
+                }
+                Instr::Not { a, dst, mask } => {
+                    lane_un(narrow, l, a, dst, |x| !x & mask);
+                }
+                Instr::Neg { a, dst, mask } => {
+                    lane_un(narrow, l, a, dst, |x| x.wrapping_neg() & mask);
+                }
+                Instr::RedOr { a, dst } => {
+                    lane_un(narrow, l, a, dst, |x| (x != 0) as u64);
+                }
+                Instr::RedAnd { a, dst, ones } => {
+                    lane_un(narrow, l, a, dst, |x| (x == ones) as u64);
+                }
+                Instr::RedXor { a, dst } => {
+                    lane_un(narrow, l, a, dst, |x| (x.count_ones() & 1) as u64);
+                }
+                Instr::Add { a, b, dst, mask } => {
+                    lane_bin(narrow, l, a, b, dst, |x, y| x.wrapping_add(y) & mask);
+                }
+                Instr::Sub { a, b, dst, mask } => {
+                    lane_bin(narrow, l, a, b, dst, |x, y| x.wrapping_sub(y) & mask);
+                }
+                Instr::MulS {
+                    a,
+                    b,
+                    dst,
+                    sa,
+                    sb,
+                    mask,
+                } => {
+                    lane_bin(narrow, l, a, b, dst, |x, y| {
+                        sxt(x, sa).wrapping_mul(sxt(y, sb)) as u64 & mask
+                    });
+                }
+                Instr::MulU { a, b, dst, mask } => {
+                    lane_bin(narrow, l, a, b, dst, |x, y| x.wrapping_mul(y) & mask);
+                }
+                Instr::DivU { a, b, dst, mask } => {
+                    lane_bin(narrow, l, a, b, dst, |x, y| {
+                        x.checked_div(y).unwrap_or(mask)
+                    });
+                }
+                Instr::RemU { a, b, dst } => {
+                    lane_bin(narrow, l, a, b, dst, |x, y| if y == 0 { x } else { x % y });
+                }
+                Instr::And { a, b, dst } => {
+                    lane_bin(narrow, l, a, b, dst, |x, y| x & y);
+                }
+                Instr::Or { a, b, dst } => {
+                    lane_bin(narrow, l, a, b, dst, |x, y| x | y);
+                }
+                Instr::Xor { a, b, dst } => {
+                    lane_bin(narrow, l, a, b, dst, |x, y| x ^ y);
+                }
+                Instr::Eq { a, b, dst } => {
+                    lane_bin(narrow, l, a, b, dst, |x, y| (x == y) as u64);
+                }
+                Instr::Ne { a, b, dst } => {
+                    lane_bin(narrow, l, a, b, dst, |x, y| (x != y) as u64);
+                }
+                Instr::LtU { a, b, dst } => {
+                    lane_bin(narrow, l, a, b, dst, |x, y| (x < y) as u64);
+                }
+                Instr::LtS { a, b, dst, s } => {
+                    lane_bin(narrow, l, a, b, dst, |x, y| (sxt(x, s) < sxt(y, s)) as u64);
+                }
+                Instr::LeU { a, b, dst } => {
+                    lane_bin(narrow, l, a, b, dst, |x, y| (x <= y) as u64);
+                }
+                Instr::LeS { a, b, dst, s } => {
+                    lane_bin(narrow, l, a, b, dst, |x, y| (sxt(x, s) <= sxt(y, s)) as u64);
+                }
+                Instr::Shl {
+                    a,
+                    b,
+                    dst,
+                    width,
+                    mask,
+                } => {
+                    lane_bin(narrow, l, a, b, dst, |x, amt| {
+                        if amt >= u64::from(width) {
+                            0
+                        } else {
+                            (x << amt) & mask
+                        }
+                    });
+                }
+                Instr::ShrL { a, b, dst, width } => {
+                    lane_bin(narrow, l, a, b, dst, |x, amt| {
+                        if amt >= u64::from(width) {
+                            0
+                        } else {
+                            x >> amt
+                        }
+                    });
+                }
+                Instr::ShrA {
+                    a,
+                    b,
+                    dst,
+                    width,
+                    s,
+                    mask,
+                } => {
+                    // Sign-extended to i64, a shift of >= width saturates to
+                    // all-sign on its own once clamped below 64.
+                    let _ = width;
+                    lane_bin(narrow, l, a, b, dst, |x, amt| {
+                        (sxt(x, s) >> amt.min(63)) as u64 & mask
+                    });
+                }
+                Instr::MuxN { sel, t, f, dst } => {
+                    let (src, rest) = narrow.split_at_mut(dst as usize * l);
+                    let sel = &src[sel as usize * l..][..l];
+                    let t = &src[t as usize * l..][..l];
+                    let f = &src[f as usize * l..][..l];
+                    for (i, d) in rest[..l].iter_mut().enumerate() {
+                        *d = if sel[i] != 0 { t[i] } else { f[i] };
+                    }
+                }
+                Instr::ConcatN { hi, lo, dst, lo_w } => {
+                    lane_bin(narrow, l, hi, lo, dst, |h, lo| (h << lo_w) | lo);
+                }
+                Instr::SliceN { a, dst, lo, mask } => {
+                    lane_un(narrow, l, a, dst, |x| (x >> lo) & mask);
+                }
+                Instr::SExtN { a, dst, s, mask } => {
+                    lane_un(narrow, l, a, dst, |x| sxt(x, s) as u64 & mask);
+                }
+                Instr::SliceW {
+                    src,
+                    dst,
+                    lo,
+                    width,
+                } => {
+                    let s = src as usize;
+                    let region = &wide[wbase[s]..][..wwords[s] * l];
+                    let sw = (lo / 64) as usize;
+                    let sh = lo % 64;
+                    let m = mask(width);
+                    let a = &region[sw * l..][..l];
+                    let d = &mut narrow[dst as usize * l..][..l];
+                    if sh == 0 {
+                        for (d, &a) in d.iter_mut().zip(a) {
+                            *d = a & m;
+                        }
+                    } else if sw + 1 < wwords[s] {
+                        let b = &region[(sw + 1) * l..][..l];
+                        for (i, d) in d.iter_mut().enumerate() {
+                            *d = ((a[i] >> sh) | (b[i] << (64 - sh))) & m;
+                        }
+                    } else {
+                        for (d, &a) in d.iter_mut().zip(a) {
+                            *d = (a >> sh) & m;
+                        }
+                    }
+                }
+                Instr::ConcatWNN {
+                    hi,
+                    lo,
+                    dst,
+                    hi_w,
+                    lo_w,
+                } => {
+                    let d = dst as usize;
+                    let region = &mut wide[wbase[d]..][..wwords[d] * l];
+                    wdeposit_n(region, &narrow[lo as usize * l..][..l], l, 0, lo_w);
+                    wdeposit_n(region, &narrow[hi as usize * l..][..l], l, lo_w, hi_w);
+                }
+                Instr::SliceWW { src, dst, lo } => {
+                    // Tape invariant: dst slot > operand slots, and the flat
+                    // offsets are monotonic in slot index.
+                    let (head, rest) = wide.split_at_mut(wbase[dst as usize]);
+                    let s = src as usize;
+                    let d = dst as usize;
+                    let region = &head[wbase[s]..][..wwords[s] * l];
+                    let dd = &mut rest[..wwords[d] * l];
+                    for w in 0..wwords[d] {
+                        let off = lo + w as u32 * 64;
+                        let sw = (off / 64) as usize;
+                        let sh = off % 64;
+                        let m = if w + 1 == wwords[d] {
+                            top_mask(wwidth[d])
+                        } else {
+                            u64::MAX
+                        };
+                        let a = &region[sw * l..][..l];
+                        let dw = &mut dd[w * l..][..l];
+                        if sh == 0 {
+                            for (d, &a) in dw.iter_mut().zip(a) {
+                                *d = a & m;
+                            }
+                        } else if sw + 1 < wwords[s] {
+                            let b = &region[(sw + 1) * l..][..l];
+                            for (i, d) in dw.iter_mut().enumerate() {
+                                *d = ((a[i] >> sh) | (b[i] << (64 - sh))) & m;
+                            }
+                        } else {
+                            for (d, &a) in dw.iter_mut().zip(a) {
+                                *d = (a >> sh) & m;
+                            }
+                        }
+                    }
+                }
+                Instr::ConcatWWW { hi, lo, dst, lo_w } => {
+                    let (head, rest) = wide.split_at_mut(wbase[dst as usize]);
+                    let d = dst as usize;
+                    let (h, lo_s) = (hi as usize, lo as usize);
+                    let dd = &mut rest[..wwords[d] * l];
+                    wdeposit_w(
+                        dd,
+                        &head[wbase[lo_s]..][..wwords[lo_s] * l],
+                        l,
+                        0,
+                        lo_w,
+                        wwidth[d],
+                    );
+                    wdeposit_w(
+                        dd,
+                        &head[wbase[h]..][..wwords[h] * l],
+                        l,
+                        lo_w,
+                        wwidth[h],
+                        wwidth[d],
+                    );
+                }
+                Instr::ConcatWWN { hi, lo, dst, lo_w } => {
+                    let (head, rest) = wide.split_at_mut(wbase[dst as usize]);
+                    let d = dst as usize;
+                    let h = hi as usize;
+                    let dd = &mut rest[..wwords[d] * l];
+                    wdeposit_n(dd, &narrow[lo as usize * l..][..l], l, 0, lo_w);
+                    wdeposit_w(
+                        dd,
+                        &head[wbase[h]..][..wwords[h] * l],
+                        l,
+                        lo_w,
+                        wwidth[h],
+                        wwidth[d],
+                    );
+                }
+                Instr::ConcatWNW {
+                    hi,
+                    lo,
+                    dst,
+                    hi_w,
+                    lo_w,
+                } => {
+                    let (head, rest) = wide.split_at_mut(wbase[dst as usize]);
+                    let d = dst as usize;
+                    let lo_s = lo as usize;
+                    let dd = &mut rest[..wwords[d] * l];
+                    wdeposit_w(
+                        dd,
+                        &head[wbase[lo_s]..][..wwords[lo_s] * l],
+                        l,
+                        0,
+                        lo_w,
+                        wwidth[d],
+                    );
+                    wdeposit_n(dd, &narrow[hi as usize * l..][..l], l, lo_w, hi_w);
+                }
+                Instr::ZExtWN { a, dst, a_w } => {
+                    let _ = a_w; // narrow values are already masked
+                    let d = dst as usize;
+                    let b = wbase[d];
+                    let s = &narrow[a as usize * l..][..l];
+                    wide[b..b + l].copy_from_slice(s);
+                    wide[b + l..b + wwords[d] * l]
+                        .iter_mut()
+                        .for_each(|w| *w = 0);
+                }
+                Instr::SExtWN { a, dst, a_w } => {
+                    let d = dst as usize;
+                    let b = wbase[d];
+                    let ext = !mask(a_w);
+                    let s = &narrow[a as usize * l..][..l];
+                    let (w0, hi) = wide[b..b + wwords[d] * l].split_at_mut(l);
+                    for (d, &v) in w0.iter_mut().zip(s) {
+                        let fill = ((v >> (a_w - 1)) & 1).wrapping_neg();
+                        *d = v | (fill & ext);
+                    }
+                    let words = wwords[d];
+                    for w in 1..words {
+                        let m = if w + 1 == words {
+                            top_mask(wwidth[d])
+                        } else {
+                            u64::MAX
+                        };
+                        let dw = &mut hi[(w - 1) * l..][..l];
+                        for (d, &v) in dw.iter_mut().zip(s) {
+                            *d = ((v >> (a_w - 1)) & 1).wrapping_neg() & m;
+                        }
+                    }
+                }
+                Instr::MuxW { sel, t, f, dst } => {
+                    let (head, rest) = wide.split_at_mut(wbase[dst as usize]);
+                    let d = dst as usize;
+                    let (tb, fb) = (wbase[t as usize], wbase[f as usize]);
+                    let sel = &narrow[sel as usize * l..][..l];
+                    let dd = &mut rest[..wwords[d] * l];
+                    for w in 0..wwords[d] {
+                        let t = &head[tb + w * l..][..l];
+                        let f = &head[fb + w * l..][..l];
+                        let dw = &mut dd[w * l..][..l];
+                        for i in 0..l {
+                            dw[i] = if sel[i] != 0 { t[i] } else { f[i] };
+                        }
+                    }
+                }
+                Instr::EqW { a, b, dst } => {
+                    let (ab, bb) = (wbase[a as usize], wbase[b as usize]);
+                    let words = wwords[a as usize];
+                    let d = &mut narrow[dst as usize * l..][..l];
+                    d.iter_mut().for_each(|d| *d = 1);
+                    for w in 0..words {
+                        let x = &wide[ab + w * l..][..l];
+                        let y = &wide[bb + w * l..][..l];
+                        for (i, d) in d.iter_mut().enumerate() {
+                            *d &= (x[i] == y[i]) as u64;
+                        }
+                    }
+                }
+                Instr::NeW { a, b, dst } => {
+                    let (ab, bb) = (wbase[a as usize], wbase[b as usize]);
+                    let words = wwords[a as usize];
+                    let d = &mut narrow[dst as usize * l..][..l];
+                    d.iter_mut().for_each(|d| *d = 0);
+                    for w in 0..words {
+                        let x = &wide[ab + w * l..][..l];
+                        let y = &wide[bb + w * l..][..l];
+                        for (i, d) in d.iter_mut().enumerate() {
+                            *d |= (x[i] != y[i]) as u64;
+                        }
+                    }
+                }
+                Instr::CopyW { a, dst } => {
+                    let (head, rest) = wide.split_at_mut(wbase[dst as usize]);
+                    let n = wwords[dst as usize] * l;
+                    rest[..n].copy_from_slice(&head[wbase[a as usize]..][..n]);
+                }
+                Instr::MemReadN { mem, addr, dst } => {
+                    let m = &self.nmems[mem as usize];
+                    let depth = m.depth;
+                    let (src, rest) = narrow.split_at_mut(dst as usize * l);
+                    let d = &mut rest[..l];
+                    match addr {
+                        Loc::N(s) => {
+                            let a = &src[s as usize * l..][..l];
+                            for (i, d) in d.iter_mut().enumerate() {
+                                *d = m.words[i * depth as usize + (a[i] % depth) as usize];
+                            }
+                        }
+                        Loc::W(s) => {
+                            // The address is the wide value's low word.
+                            let a = &wide[wbase[s as usize]..][..l];
+                            for (i, d) in d.iter_mut().enumerate() {
+                                *d = m.words[i * depth as usize + (a[i] % depth) as usize];
+                            }
+                        }
+                    }
+                }
+                Instr::MemReadW { mem, addr, dst } => {
+                    let m = &self.wmems[mem as usize];
+                    let depth = m.depth as usize;
+                    let d = dst as usize;
+                    for lane in 0..l {
+                        let a = (match addr {
+                            Loc::N(s) => narrow[s as usize * l + lane],
+                            Loc::W(s) => wide[wbase[s as usize] + lane],
+                        } % m.depth) as usize;
+                        scatter_bits(&mut wide[wbase[d]..], l, lane, &m.words[lane * depth + a]);
+                    }
+                }
+                Instr::Generic(gi) => {
+                    let g = &self.low.generic[gi as usize];
+                    for lane in 0..l {
+                        let mut args = Vec::with_capacity(g.args.len());
+                        for &(loc, w) in &g.args {
+                            args.push(match loc {
+                                Loc::N(s) => Bits::from_u64(w, narrow[s as usize * l + lane]),
+                                Loc::W(s) => gather_bits(&wide[wbase[s as usize]..], l, lane, w),
+                            });
+                        }
+                        let v = eval_pure(&g.node, g.width, &args).expect("pure node");
+                        match g.dst {
+                            Loc::N(s) => narrow[s as usize * l + lane] = v.to_u64(),
+                            Loc::W(s) => {
+                                scatter_bits(&mut wide[wbase[s as usize]..], l, lane, &v);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.evaluated = true;
+    }
+
+    /// Advances one clock cycle on every *active* lane: settles
+    /// combinational logic for all lanes, then commits register
+    /// next-values and memory writes per active lane (double-buffered, as
+    /// in the scalar engine). Masked lanes keep their state and cycle
+    /// count unchanged.
+    pub fn step(&mut self) {
+        self.eval();
+        let l = self.lanes;
+        // Phase 1: gather next values while every register slot still holds
+        // its pre-edge value (registers may feed each other).
+        for (ri, p) in self.low.nregs.iter().enumerate() {
+            for lane in 0..l {
+                if !self.active[lane] {
+                    continue;
+                }
+                let reset = p
+                    .reset
+                    .is_some_and(|r| self.narrow[r as usize * l + lane] != 0);
+                self.nreg_shadow[ri * l + lane] = if reset {
+                    p.init
+                } else if p.en.is_none_or(|e| self.narrow[e as usize * l + lane] != 0) {
+                    self.narrow[p.next as usize * l + lane]
+                } else {
+                    self.narrow[p.slot as usize * l + lane]
+                };
+            }
+        }
+        for (ri, p) in self.low.wregs.iter().enumerate() {
+            let words = self.wwords[p.slot as usize];
+            let sb = self.wreg_shadow_base[ri];
+            let slot_b = self.wbase[p.slot as usize];
+            let next_b = self.wbase[p.next as usize];
+            let init_o = self.wreg_init_off[ri];
+            for w in 0..words {
+                let iw = self.wreg_init_words[init_o + w];
+                for lane in 0..l {
+                    if !self.active[lane] {
+                        continue;
+                    }
+                    let reset = p
+                        .reset
+                        .is_some_and(|r| self.narrow[r as usize * l + lane] != 0);
+                    self.wreg_shadow[sb + w * l + lane] = if reset {
+                        iw
+                    } else if p.en.is_none_or(|e| self.narrow[e as usize * l + lane] != 0) {
+                        self.wide[next_b + w * l + lane]
+                    } else {
+                        self.wide[slot_b + w * l + lane]
+                    };
+                }
+            }
+        }
+        // Phase 2: memory writes sample the settled combinational values on
+        // active lanes, in port order.
+        for w in &self.low.nmem_writes {
+            for lane in 0..l {
+                if !self.active[lane] || self.narrow[w.en as usize * l + lane] == 0 {
+                    continue;
+                }
+                let a = match w.addr {
+                    Loc::N(s) => self.narrow[s as usize * l + lane],
+                    Loc::W(s) => self.wide[self.wbase[s as usize] + lane],
+                } % self.nmems[w.mem as usize].depth;
+                let m = &mut self.nmems[w.mem as usize];
+                m.words[lane * m.depth as usize + a as usize] =
+                    self.narrow[w.data as usize * l + lane];
+            }
+        }
+        for w in &self.low.wmem_writes {
+            for lane in 0..l {
+                if !self.active[lane] || self.narrow[w.en as usize * l + lane] == 0 {
+                    continue;
+                }
+                let a = match w.addr {
+                    Loc::N(s) => self.narrow[s as usize * l + lane],
+                    Loc::W(s) => self.wide[self.wbase[s as usize] + lane],
+                } % self.wmems[w.mem as usize].depth;
+                let data = gather_bits(
+                    &self.wide[self.wbase[w.data as usize]..],
+                    l,
+                    lane,
+                    self.wwidth[w.data as usize],
+                );
+                let m = &mut self.wmems[w.mem as usize];
+                m.words[lane * m.depth as usize + a as usize] = data;
+            }
+        }
+        // Phase 3: the simultaneous commit, active lanes only.
+        for (ri, p) in self.low.nregs.iter().enumerate() {
+            for lane in 0..l {
+                if self.active[lane] {
+                    self.narrow[p.slot as usize * l + lane] = self.nreg_shadow[ri * l + lane];
+                }
+            }
+        }
+        for (ri, p) in self.low.wregs.iter().enumerate() {
+            let words = self.wwords[p.slot as usize];
+            let sb = self.wreg_shadow_base[ri];
+            let slot_b = self.wbase[p.slot as usize];
+            for w in 0..words {
+                for lane in 0..l {
+                    if self.active[lane] {
+                        self.wide[slot_b + w * l + lane] = self.wreg_shadow[sb + w * l + lane];
+                    }
+                }
+            }
+        }
+        for lane in 0..l {
+            if self.active[lane] {
+                self.cycles[lane] += 1;
+            }
+        }
+        self.evaluated = false;
+    }
+
+    /// Runs `n` clock cycles with the current inputs held.
+    pub fn run(&mut self, n: u64) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+
+    /// Resets every lane to power-on state: registers to their init values,
+    /// memories and cycle counters cleared, all lanes active (a hard reset,
+    /// independent of any reset port).
+    pub fn reset(&mut self) {
+        let l = self.lanes;
+        for p in &self.low.nregs {
+            for lane in 0..l {
+                self.narrow[p.slot as usize * l + lane] = p.init;
+            }
+        }
+        for (ri, p) in self.low.wregs.iter().enumerate() {
+            let words = self.wwords[p.slot as usize];
+            let slot_b = self.wbase[p.slot as usize];
+            let init_o = self.wreg_init_off[ri];
+            for w in 0..words {
+                let iw = self.wreg_init_words[init_o + w];
+                self.wide[slot_b + w * l..][..l]
+                    .iter_mut()
+                    .for_each(|d| *d = iw);
+            }
+        }
+        for m in &mut self.nmems {
+            m.words.iter_mut().for_each(|w| *w = 0);
+        }
+        for m in &mut self.wmems {
+            m.words.iter_mut().for_each(Bits::clear);
+        }
+        self.cycles.iter_mut().for_each(|c| *c = 0);
+        self.active.iter_mut().for_each(|a| *a = true);
+        self.evaluated = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CompiledSimulator;
+    use hc_rtl::BinaryOp;
+
+    fn counter(width: u32) -> Module {
+        let mut m = Module::new("counter");
+        let en = m.input("en", 1);
+        let rst = m.input("rst", 1);
+        let step = m.input("stride", width);
+        let r = m.reg("count", width, Bits::zero(width));
+        let q = m.reg_out(r);
+        let next = m.binary(BinaryOp::Add, q, step, width);
+        m.connect_reg(r, next);
+        m.reg_en(r, en);
+        m.reg_reset(r, rst);
+        m.output("count", q);
+        m
+    }
+
+    #[test]
+    fn lanes_are_independent() {
+        let mut sim = BatchedSimulator::new(counter(16), 4).unwrap();
+        sim.set_all_u64("en", 1);
+        sim.set_all_u64("rst", 0);
+        for lane in 0..4 {
+            sim.set_u64(lane, "stride", lane as u64 + 1);
+        }
+        sim.run(10);
+        for lane in 0..4 {
+            assert_eq!(sim.get(lane, "count").to_u64(), 10 * (lane as u64 + 1));
+            assert_eq!(sim.cycle(lane), 10);
+        }
+    }
+
+    #[test]
+    fn masked_lanes_freeze() {
+        let mut sim = BatchedSimulator::new(counter(16), 3).unwrap();
+        sim.set_all_u64("en", 1);
+        sim.set_all_u64("rst", 0);
+        sim.set_all_u64("stride", 1);
+        sim.run(5);
+        sim.set_active(1, false);
+        sim.run(5);
+        assert_eq!(sim.get(0, "count").to_u64(), 10);
+        assert_eq!(sim.get(1, "count").to_u64(), 5, "masked lane frozen");
+        assert_eq!(sim.cycle(1), 5, "masked lane's clock frozen");
+        assert_eq!(sim.get(2, "count").to_u64(), 10);
+        sim.set_active(1, true);
+        sim.run(1);
+        assert_eq!(sim.get(1, "count").to_u64(), 6, "unmasking resumes");
+        assert_eq!(sim.active_lanes(), 3);
+    }
+
+    #[test]
+    fn single_lane_matches_scalar_engine() {
+        let mut batched = BatchedSimulator::new(counter(8), 1).unwrap();
+        let mut scalar = CompiledSimulator::new(counter(8)).unwrap();
+        batched.set_all_u64("en", 1);
+        batched.set_all_u64("rst", 0);
+        batched.set_u64(0, "stride", 3);
+        scalar.set_u64("en", 1);
+        scalar.set_u64("rst", 0);
+        scalar.set_u64("stride", 3);
+        for _ in 0..20 {
+            assert_eq!(batched.get(0, "count"), scalar.get("count"));
+            assert_eq!(batched.peek_reg(0, "count"), scalar.peek_reg("count"));
+            batched.step();
+            scalar.step();
+        }
+        assert_eq!(batched.cycle(0), scalar.cycle());
+    }
+
+    #[test]
+    fn memories_are_per_lane() {
+        let mut m = Module::new("mem");
+        let addr = m.input("addr", 3);
+        let data = m.input("data", 8);
+        let we = m.input("we", 1);
+        let mem = m.mem("buf", 8, 8);
+        m.mem_write(mem, addr, data, we);
+        let q = m.mem_read(mem, addr);
+        m.output("q", q);
+        let mut sim = BatchedSimulator::new(m, 3).unwrap();
+        sim.set_all_u64("addr", 5);
+        sim.set_all_u64("we", 1);
+        for lane in 0..3 {
+            sim.set_u64(lane, "data", 0x10 + lane as u64);
+        }
+        sim.step();
+        sim.set_all_u64("we", 0);
+        for lane in 0..3 {
+            assert_eq!(sim.get(lane, "q").to_u64(), 0x10 + lane as u64);
+        }
+    }
+
+    #[test]
+    fn wide_datapath_lanes_match_scalar() {
+        // 96-bit register pipeline, per-lane contents.
+        let mut m = Module::new("wide");
+        let row = m.input("row", 96);
+        let r = m.reg("hold", 96, Bits::zero(96));
+        let q = m.reg_out(r);
+        m.connect_reg(r, row);
+        let lo = m.slice(q, 0, 48);
+        let hi = m.slice(q, 48, 48);
+        let sum = m.binary(BinaryOp::Add, lo, hi, 48);
+        m.output("sum", sum);
+        m.output("echo", q);
+        let lanes = 5;
+        let mut batched = BatchedSimulator::new(m.clone(), lanes).unwrap();
+        let mut scalars: Vec<CompiledSimulator> = (0..lanes)
+            .map(|_| CompiledSimulator::new(m.clone()).unwrap())
+            .collect();
+        for step in 0..4u64 {
+            for (lane, scalar) in scalars.iter_mut().enumerate() {
+                let mut row = Bits::zero(96);
+                for w in 0..8 {
+                    row.deposit_u64(w * 12, 12, (lane as u64) << 8 | w as u64 | step << 4);
+                }
+                batched.set(lane, "row", row.clone());
+                scalar.set("row", row);
+            }
+            for (lane, scalar) in scalars.iter_mut().enumerate() {
+                assert_eq!(batched.get(lane, "sum"), scalar.get("sum"));
+                assert_eq!(batched.get(lane, "echo"), scalar.get("echo"));
+            }
+            batched.step();
+            scalars.iter_mut().for_each(CompiledSimulator::step);
+        }
+    }
+
+    #[test]
+    fn hard_reset_restores_all_lanes() {
+        let mut sim = BatchedSimulator::new(counter(8), 2).unwrap();
+        sim.set_all_u64("en", 1);
+        sim.set_all_u64("rst", 0);
+        sim.set_all_u64("stride", 1);
+        sim.run(4);
+        sim.set_active(1, false);
+        sim.reset();
+        assert!(sim.is_active(1), "reset reactivates lanes");
+        for lane in 0..2 {
+            assert_eq!(sim.cycle(lane), 0);
+            assert_eq!(sim.get(lane, "count").to_u64(), 0);
+        }
+    }
+
+    #[test]
+    fn wide_concat_and_slice_shapes_match_scalar() {
+        // Exercises the specialized wide instructions: wide++wide,
+        // wide++narrow, narrow++wide concats and wide->wide slices at
+        // word-misaligned offsets, against the scalar engine per lane.
+        let mut m = Module::new("wideops");
+        let a = m.input("a", 96);
+        let b = m.input("b", 96);
+        let n = m.input("n", 16);
+        let ab = m.concat(a, b); // 192-bit ConcatWWW
+        let abn = m.concat(ab, n); // 208-bit ConcatWWN
+        let nab = m.concat(n, ab); // 208-bit ConcatWNW
+        let mid = m.slice(abn, 40, 120); // SliceWW, misaligned
+        m.output("mid", mid);
+        m.output("top", nab);
+        let lanes = 4;
+        let mut batched = BatchedSimulator::new(m.clone(), lanes).unwrap();
+        let mut scalars: Vec<CompiledSimulator> = (0..lanes)
+            .map(|_| CompiledSimulator::new(m.clone()).unwrap())
+            .collect();
+        for round in 0..3u64 {
+            for (lane, scalar) in scalars.iter_mut().enumerate() {
+                let mut av = Bits::zero(96);
+                let mut bv = Bits::zero(96);
+                for w in 0..8 {
+                    av.deposit_u64(
+                        w * 12,
+                        12,
+                        ((lane as u64 + 1) * 0x5a5) ^ ((w as u64) << round),
+                    );
+                    bv.deposit_u64(w * 12, 12, (lane as u64) << 7 | w as u64 | round << 9);
+                }
+                let nv = Bits::from_u64(16, 0xbeef ^ (lane as u64) << round);
+                batched.set(lane, "a", av.clone());
+                batched.set(lane, "b", bv.clone());
+                batched.set(lane, "n", nv.clone());
+                scalar.set("a", av);
+                scalar.set("b", bv);
+                scalar.set("n", nv);
+            }
+            for (lane, scalar) in scalars.iter_mut().enumerate() {
+                assert_eq!(batched.get(lane, "mid"), scalar.get("mid"));
+                assert_eq!(batched.get(lane, "top"), scalar.get("top"));
+            }
+        }
+    }
+}

@@ -1,13 +1,14 @@
-//! The compiled simulation backend.
+//! The compiled (scalar) simulation backend.
 //!
 //! [`CompiledSimulator`] lowers a validated [`Module`] once into a flat
-//! instruction tape ([`Instr`]) with pre-resolved operand slot indices, then
-//! replays that tape every cycle. The value store is word-packed: nodes of
-//! width ≤ 64 live inline in a `u64` slot array with masks precomputed at
-//! lowering time, so the combinational sweep performs no heap allocation;
-//! wider nodes fall back to a side table of [`Bits`]. Register commit is
-//! double-buffered (values are gathered into a shadow array, then written
-//! back), and all name lookups go through maps built at construction.
+//! instruction tape (see [`crate::lower`]) with pre-resolved operand slot
+//! indices, then replays that tape every cycle. The value store is
+//! word-packed: nodes of width ≤ 64 live inline in a `u64` slot array with
+//! masks precomputed at lowering time, so the combinational sweep performs
+//! no heap allocation; wider nodes fall back to a side table of [`Bits`].
+//! Register commit is double-buffered (values are gathered into a shadow
+//! array, then written back), and all name lookups go through maps built at
+//! construction.
 //!
 //! The tape preserves the module's topological node order, and every
 //! instruction reproduces the interpreter's semantics exactly — shared
@@ -18,283 +19,12 @@
 //! test suite drives both engines with identical stimulus and demands
 //! identical outputs, register state, and cycle counts.
 
-use std::collections::HashMap;
-
 use hc_bits::Bits;
 use hc_rtl::passes::eval::eval_pure;
-use hc_rtl::{BinaryOp, Module, Node, NodeId, UnaryOp, ValidateError};
+use hc_rtl::{Module, NodeId, ValidateError};
 
+use crate::lower::{EngineOptions, Instr, Loc, Lowered};
 use crate::SimBackend;
-
-/// Where a value lives: inline in the `u64` slot array, or in the `Bits`
-/// side table for widths above 64.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum Loc {
-    /// Index into the narrow (`u64`) slot array.
-    N(u32),
-    /// Index into the wide (`Bits`) side table.
-    W(u32),
-}
-
-/// All-ones mask for a width ≤ 64.
-fn mask(width: u32) -> u64 {
-    if width >= 64 {
-        u64::MAX
-    } else {
-        (1u64 << width) - 1
-    }
-}
-
-/// Sign-extends a masked `width`-bit value to `i64`; `s` is `64 - width`.
-fn sxt(v: u64, s: u32) -> i64 {
-    ((v << s) as i64) >> s
-}
-
-/// One lowered combinational operation. Slot indices and masks are resolved
-/// at lowering time; the eval loop is a single pass over the tape.
-///
-/// Naming: a bare op name works on narrow (`u64`) slots; a `W` suffix means
-/// wide operands are involved. `Generic` falls back to `eval_pure` over
-/// materialized `Bits` for shapes with no specialized form.
-#[derive(Clone, Copy, Debug)]
-enum Instr {
-    /// `dst = a & mask` — narrow copy, truncating zext/sext, widening zext.
-    CopyMask {
-        a: u32,
-        dst: u32,
-        mask: u64,
-    },
-    Not {
-        a: u32,
-        dst: u32,
-        mask: u64,
-    },
-    Neg {
-        a: u32,
-        dst: u32,
-        mask: u64,
-    },
-    RedOr {
-        a: u32,
-        dst: u32,
-    },
-    /// `ones` is the operand's full mask.
-    RedAnd {
-        a: u32,
-        dst: u32,
-        ones: u64,
-    },
-    RedXor {
-        a: u32,
-        dst: u32,
-    },
-    Add {
-        a: u32,
-        b: u32,
-        dst: u32,
-        mask: u64,
-    },
-    Sub {
-        a: u32,
-        b: u32,
-        dst: u32,
-        mask: u64,
-    },
-    /// `sa`/`sb` are `64 - width` of each operand, for sign extension.
-    MulS {
-        a: u32,
-        b: u32,
-        dst: u32,
-        sa: u32,
-        sb: u32,
-        mask: u64,
-    },
-    MulU {
-        a: u32,
-        b: u32,
-        dst: u32,
-        mask: u64,
-    },
-    /// Division by zero yields all-ones, which is exactly `mask`.
-    DivU {
-        a: u32,
-        b: u32,
-        dst: u32,
-        mask: u64,
-    },
-    /// Remainder by zero yields the dividend.
-    RemU {
-        a: u32,
-        b: u32,
-        dst: u32,
-    },
-    And {
-        a: u32,
-        b: u32,
-        dst: u32,
-    },
-    Or {
-        a: u32,
-        b: u32,
-        dst: u32,
-    },
-    Xor {
-        a: u32,
-        b: u32,
-        dst: u32,
-    },
-    Eq {
-        a: u32,
-        b: u32,
-        dst: u32,
-    },
-    Ne {
-        a: u32,
-        b: u32,
-        dst: u32,
-    },
-    LtU {
-        a: u32,
-        b: u32,
-        dst: u32,
-    },
-    /// `s` is `64 - width` of the (equal-width) operands.
-    LtS {
-        a: u32,
-        b: u32,
-        dst: u32,
-        s: u32,
-    },
-    LeU {
-        a: u32,
-        b: u32,
-        dst: u32,
-    },
-    LeS {
-        a: u32,
-        b: u32,
-        dst: u32,
-        s: u32,
-    },
-    /// Amounts at or beyond `width` yield zero (HDL semantics).
-    Shl {
-        a: u32,
-        b: u32,
-        dst: u32,
-        width: u32,
-        mask: u64,
-    },
-    ShrL {
-        a: u32,
-        b: u32,
-        dst: u32,
-        width: u32,
-    },
-    /// Amounts at or beyond `width` saturate to all-sign.
-    ShrA {
-        a: u32,
-        b: u32,
-        dst: u32,
-        width: u32,
-        s: u32,
-        mask: u64,
-    },
-    MuxN {
-        sel: u32,
-        t: u32,
-        f: u32,
-        dst: u32,
-    },
-    ConcatN {
-        hi: u32,
-        lo: u32,
-        dst: u32,
-        lo_w: u32,
-    },
-    SliceN {
-        a: u32,
-        dst: u32,
-        lo: u32,
-        mask: u64,
-    },
-    /// Widening sign-extension narrow → narrow; `s` is `64 - src width`.
-    SExtN {
-        a: u32,
-        dst: u32,
-        s: u32,
-        mask: u64,
-    },
-    /// Wide source → narrow field read (also truncating zext/sext).
-    SliceW {
-        src: u32,
-        dst: u32,
-        lo: u32,
-        width: u32,
-    },
-    /// Two narrow halves deposited into a wide destination.
-    ConcatWNN {
-        hi: u32,
-        lo: u32,
-        dst: u32,
-        hi_w: u32,
-        lo_w: u32,
-    },
-    /// Narrow value zero-extended into a wide destination.
-    ZExtWN {
-        a: u32,
-        dst: u32,
-        a_w: u32,
-    },
-    /// Narrow value sign-extended into a wide destination.
-    SExtWN {
-        a: u32,
-        dst: u32,
-        a_w: u32,
-    },
-    /// Mux over wide arms (the select is always 1 bit, hence narrow).
-    MuxW {
-        sel: u32,
-        t: u32,
-        f: u32,
-        dst: u32,
-    },
-    EqW {
-        a: u32,
-        b: u32,
-        dst: u32,
-    },
-    NeW {
-        a: u32,
-        b: u32,
-        dst: u32,
-    },
-    /// Wide → wide copy (same-width zext/sext).
-    CopyW {
-        a: u32,
-        dst: u32,
-    },
-    MemReadN {
-        mem: u32,
-        addr: Loc,
-        dst: u32,
-    },
-    MemReadW {
-        mem: u32,
-        addr: Loc,
-        dst: u32,
-    },
-    /// Fallback: evaluate via `eval_pure` over materialized `Bits`.
-    Generic(u32),
-}
-
-/// Fallback operation state for [`Instr::Generic`].
-#[derive(Clone, Debug)]
-struct GenericOp {
-    node: Node,
-    width: u32,
-    args: Vec<(Loc, u32)>,
-    dst: Loc,
-}
 
 /// A memory whose word width fits a `u64`.
 #[derive(Clone, Debug)]
@@ -310,35 +40,6 @@ struct WMem {
     depth: u64,
 }
 
-/// Commit plan for a register held in a narrow slot.
-#[derive(Clone, Copy, Debug)]
-struct NRegPlan {
-    slot: u32,
-    next: u32,
-    en: Option<u32>,
-    reset: Option<u32>,
-    init: u64,
-}
-
-/// Commit plan for a register held in the wide table.
-#[derive(Clone, Debug)]
-struct WRegPlan {
-    slot: u32,
-    next: u32,
-    en: Option<u32>,
-    reset: Option<u32>,
-    init: Bits,
-}
-
-/// A lowered memory write port (enables and widths pre-resolved).
-#[derive(Clone, Copy, Debug)]
-struct MemWritePlan {
-    mem: u32,
-    en: u32,
-    addr: Loc,
-    data: u32,
-}
-
 /// A cycle-accurate compiled simulator for one [`Module`].
 ///
 /// Construction lowers the module into an instruction tape; afterwards the
@@ -347,40 +48,15 @@ struct MemWritePlan {
 /// interpreted [`Simulator`](crate::Simulator).
 #[derive(Debug)]
 pub struct CompiledSimulator {
-    module: Module,
-    tape: Vec<Instr>,
-    generic: Vec<GenericOp>,
+    low: Lowered,
     narrow: Vec<u64>,
     wide: Vec<Bits>,
     nmems: Vec<NMem>,
     wmems: Vec<WMem>,
-    nmem_writes: Vec<MemWritePlan>,
-    wmem_writes: Vec<MemWritePlan>,
-    nregs: Vec<NRegPlan>,
-    wregs: Vec<WRegPlan>,
     nreg_shadow: Vec<u64>,
     wreg_shadow: Vec<Bits>,
-    node_loc: Vec<Loc>,
-    reg_loc: Vec<Loc>,
-    input_locs: Vec<(Loc, u32)>,
-    input_index: HashMap<String, usize>,
-    output_index: HashMap<String, (Loc, u32)>,
-    reg_index: HashMap<String, usize>,
     evaluated: bool,
     cycle: u64,
-}
-
-/// Allocates a slot for a `width`-bit value.
-fn alloc(narrow: &mut Vec<u64>, wide: &mut Vec<Bits>, width: u32) -> Loc {
-    if width <= 64 {
-        let s = narrow.len() as u32;
-        narrow.push(0);
-        Loc::N(s)
-    } else {
-        let s = wide.len() as u32;
-        wide.push(Bits::zero(width));
-        Loc::W(s)
-    }
 }
 
 /// `dst.clone_from(src)` over two distinct indices of one slice.
@@ -404,209 +80,56 @@ impl CompiledSimulator {
     ///
     /// Returns the module's [`ValidateError`] if it is structurally invalid.
     pub fn new(module: Module) -> Result<Self, ValidateError> {
-        module.validate()?;
+        Self::with_options(module, EngineOptions::default())
+    }
 
-        let mut narrow = Vec::new();
-        let mut wide = Vec::new();
-
-        // Registers get their slots first so RegOut nodes can alias them —
-        // a register read costs nothing at eval time.
-        let mut reg_loc = Vec::with_capacity(module.regs().len());
-        for r in module.regs() {
-            if r.width <= 64 {
-                reg_loc.push(Loc::N(narrow.len() as u32));
-                narrow.push(r.init.to_u64());
-            } else {
-                reg_loc.push(Loc::W(wide.len() as u32));
-                wide.push(r.init.clone());
-            }
-        }
-
-        let mut mem_tab = Vec::with_capacity(module.mems().len());
-        let mut nmems = Vec::new();
-        let mut wmems = Vec::new();
-        for m in module.mems() {
-            if m.width <= 64 {
-                mem_tab.push(Loc::N(nmems.len() as u32));
-                nmems.push(NMem {
-                    words: vec![0; m.depth as usize],
-                    depth: m.depth as u64,
-                });
-            } else {
-                mem_tab.push(Loc::W(wmems.len() as u32));
-                wmems.push(WMem {
-                    words: vec![Bits::zero(m.width); m.depth as usize],
-                    depth: m.depth as u64,
-                });
-            }
-        }
-
-        let mut node_loc: Vec<Loc> = Vec::with_capacity(module.nodes().len());
-        let mut tape = Vec::new();
-        let mut generic = Vec::new();
-        let mut input_locs = vec![(Loc::N(0), 0u32); module.inputs().len()];
-
-        for nd in module.nodes() {
-            let w = nd.width;
-            let loc = match &nd.node {
-                // Constants are written into their slot once, here; they
-                // produce no instruction.
-                Node::Const(v) => {
-                    if w <= 64 {
-                        let s = narrow.len() as u32;
-                        narrow.push(v.to_u64());
-                        Loc::N(s)
-                    } else {
-                        let s = wide.len() as u32;
-                        wide.push(v.clone());
-                        Loc::W(s)
-                    }
-                }
-                // Inputs own a slot that `set` writes directly.
-                Node::Input(idx) => {
-                    let loc = alloc(&mut narrow, &mut wide, w);
-                    input_locs[*idx] = (loc, w);
-                    loc
-                }
-                // Register reads alias the register's own slot.
-                Node::RegOut(r) => reg_loc[r.index()],
-                Node::MemRead { mem, addr } => {
-                    let dst = alloc(&mut narrow, &mut wide, w);
-                    let addr = node_loc[addr.index()];
-                    match (mem_tab[mem.index()], dst) {
-                        (Loc::N(mi), Loc::N(d)) => tape.push(Instr::MemReadN {
-                            mem: mi,
-                            addr,
-                            dst: d,
-                        }),
-                        (Loc::W(mi), Loc::W(d)) => tape.push(Instr::MemReadW {
-                            mem: mi,
-                            addr,
-                            dst: d,
-                        }),
-                        _ => unreachable!("memory read width mismatch"),
-                    }
-                    dst
-                }
-                pure => {
-                    let dst = alloc(&mut narrow, &mut wide, w);
-                    let instr = lower_pure(&module, pure, w, dst, &node_loc, &mut generic);
-                    tape.push(instr);
-                    dst
-                }
-            };
-            node_loc.push(loc);
-        }
-
-        // Narrow-only operand helper for enables and resets (always 1 bit).
-        let bit_slot = |id: NodeId| match node_loc[id.index()] {
-            Loc::N(s) => s,
-            Loc::W(_) => unreachable!("1-bit control signal in wide table"),
-        };
-
-        let mut nregs = Vec::new();
-        let mut wregs = Vec::new();
-        for (ri, r) in module.regs().iter().enumerate() {
-            let next = node_loc[r.next.expect("validated").index()];
-            let en = r.en.map(bit_slot);
-            let reset = r.reset.map(bit_slot);
-            match (reg_loc[ri], next) {
-                (Loc::N(slot), Loc::N(next)) => nregs.push(NRegPlan {
-                    slot,
-                    next,
-                    en,
-                    reset,
-                    init: r.init.to_u64(),
-                }),
-                (Loc::W(slot), Loc::W(next)) => wregs.push(WRegPlan {
-                    slot,
-                    next,
-                    en,
-                    reset,
-                    init: r.init.clone(),
-                }),
-                _ => unreachable!("register next width mismatch"),
-            }
-        }
-
-        let mut nmem_writes = Vec::new();
-        let mut wmem_writes = Vec::new();
-        for (mi, m) in module.mems().iter().enumerate() {
-            for wr in &m.writes {
-                let en = bit_slot(wr.en);
-                let addr = node_loc[wr.addr.index()];
-                match (mem_tab[mi], node_loc[wr.data.index()]) {
-                    (Loc::N(mem), Loc::N(data)) => nmem_writes.push(MemWritePlan {
-                        mem,
-                        en,
-                        addr,
-                        data,
-                    }),
-                    (Loc::W(mem), Loc::W(data)) => wmem_writes.push(MemWritePlan {
-                        mem,
-                        en,
-                        addr,
-                        data,
-                    }),
-                    _ => unreachable!("memory write width mismatch"),
-                }
-            }
-        }
-
-        let nreg_shadow = vec![0u64; nregs.len()];
-        let wreg_shadow: Vec<Bits> = wregs.iter().map(|p: &WRegPlan| p.init.clone()).collect();
-
-        let input_index = module
-            .inputs()
+    /// Like [`new`](CompiledSimulator::new), with explicit construction
+    /// options — notably `optimize`, which runs the standard pass pipeline
+    /// (const-fold → CSE → DCE) before lowering so the engine replays a
+    /// smaller tape.
+    ///
+    /// # Errors
+    ///
+    /// Returns the module's [`ValidateError`] if it is structurally invalid.
+    pub fn with_options(module: Module, options: EngineOptions) -> Result<Self, ValidateError> {
+        let low = Lowered::new(module, options)?;
+        let narrow = low.narrow_init.clone();
+        let wide = low.wide_init.clone();
+        let nmems = low
+            .nmem_depths
             .iter()
-            .enumerate()
-            .map(|(i, p)| (p.name.clone(), i))
-            .collect();
-        let output_index = module
-            .outputs()
-            .iter()
-            .map(|o| {
-                (
-                    o.name.clone(),
-                    (node_loc[o.node.index()], module.width(o.node)),
-                )
+            .map(|&depth| NMem {
+                words: vec![0; depth as usize],
+                depth,
             })
             .collect();
-        let reg_index = module
-            .regs()
+        let wmems = low
+            .wmem_dims
             .iter()
-            .enumerate()
-            .map(|(i, r)| (r.name.clone(), i))
+            .map(|&(width, depth)| WMem {
+                words: vec![Bits::zero(width); depth as usize],
+                depth,
+            })
             .collect();
-
+        let nreg_shadow = vec![0u64; low.nregs.len()];
+        let wreg_shadow: Vec<Bits> = low.wregs.iter().map(|p| p.init.clone()).collect();
         Ok(CompiledSimulator {
-            module,
-            tape,
-            generic,
+            low,
             narrow,
             wide,
             nmems,
             wmems,
-            nmem_writes,
-            wmem_writes,
-            nregs,
-            wregs,
             nreg_shadow,
             wreg_shadow,
-            node_loc,
-            reg_loc,
-            input_locs,
-            input_index,
-            output_index,
-            reg_index,
             evaluated: false,
             cycle: 0,
         })
     }
 
-    /// The simulated module.
+    /// The simulated module (post-optimization when the `optimize` option
+    /// was set).
     pub fn module(&self) -> &Module {
-        &self.module
+        &self.low.module
     }
 
     /// Number of completed clock cycles.
@@ -617,7 +140,7 @@ impl CompiledSimulator {
     /// Instruction tape length (lowering statistics; generic entries count
     /// the `eval_pure` fallbacks among them).
     pub fn tape_stats(&self) -> (usize, usize) {
-        (self.tape.len(), self.generic.len())
+        (self.low.tape.len(), self.low.generic.len())
     }
 
     fn read_loc(&self, loc: Loc, width: u32) -> Bits {
@@ -633,11 +156,8 @@ impl CompiledSimulator {
     ///
     /// Panics if no input named `name` exists or the width differs.
     pub fn set(&mut self, name: &str, value: Bits) {
-        let &idx = self
-            .input_index
-            .get(name)
-            .unwrap_or_else(|| panic!("no input named {name:?}"));
-        let (loc, width) = self.input_locs[idx];
+        let idx = self.low.input_idx(name);
+        let (loc, width) = self.low.input_locs[idx];
         assert_eq!(width, value.width(), "input {name:?} width");
         match loc {
             Loc::N(s) => self.narrow[s as usize] = value.to_u64(),
@@ -652,13 +172,10 @@ impl CompiledSimulator {
     ///
     /// Panics if no input named `name` exists.
     pub fn set_u64(&mut self, name: &str, value: u64) {
-        let &idx = self
-            .input_index
-            .get(name)
-            .unwrap_or_else(|| panic!("no input named {name:?}"));
-        let (loc, width) = self.input_locs[idx];
+        let idx = self.low.input_idx(name);
+        let (loc, width) = self.low.input_locs[idx];
         match loc {
-            Loc::N(s) => self.narrow[s as usize] = value & mask(width),
+            Loc::N(s) => self.narrow[s as usize] = value & crate::lower::mask(width),
             Loc::W(s) => {
                 let slot = &mut self.wide[s as usize];
                 slot.clear();
@@ -678,7 +195,7 @@ impl CompiledSimulator {
         }
         let narrow = &mut self.narrow;
         let wide = &mut self.wide;
-        for instr in &self.tape {
+        for instr in &self.low.tape {
             match *instr {
                 Instr::CopyMask { a, dst, mask } => {
                     narrow[dst as usize] = narrow[a as usize] & mask;
@@ -714,7 +231,8 @@ impl CompiledSimulator {
                     sb,
                     mask,
                 } => {
-                    let p = sxt(narrow[a as usize], sa).wrapping_mul(sxt(narrow[b as usize], sb));
+                    let p = crate::lower::sxt(narrow[a as usize], sa)
+                        .wrapping_mul(crate::lower::sxt(narrow[b as usize], sb));
                     narrow[dst as usize] = p as u64 & mask;
                 }
                 Instr::MulU { a, b, dst, mask } => {
@@ -753,15 +271,17 @@ impl CompiledSimulator {
                     narrow[dst as usize] = (narrow[a as usize] < narrow[b as usize]) as u64;
                 }
                 Instr::LtS { a, b, dst, s } => {
-                    narrow[dst as usize] =
-                        (sxt(narrow[a as usize], s) < sxt(narrow[b as usize], s)) as u64;
+                    narrow[dst as usize] = (crate::lower::sxt(narrow[a as usize], s)
+                        < crate::lower::sxt(narrow[b as usize], s))
+                        as u64;
                 }
                 Instr::LeU { a, b, dst } => {
                     narrow[dst as usize] = (narrow[a as usize] <= narrow[b as usize]) as u64;
                 }
                 Instr::LeS { a, b, dst, s } => {
-                    narrow[dst as usize] =
-                        (sxt(narrow[a as usize], s) <= sxt(narrow[b as usize], s)) as u64;
+                    narrow[dst as usize] = (crate::lower::sxt(narrow[a as usize], s)
+                        <= crate::lower::sxt(narrow[b as usize], s))
+                        as u64;
                 }
                 Instr::Shl {
                     a,
@@ -793,7 +313,7 @@ impl CompiledSimulator {
                     s,
                     mask,
                 } => {
-                    let v = sxt(narrow[a as usize], s);
+                    let v = crate::lower::sxt(narrow[a as usize], s);
                     let amt = narrow[b as usize];
                     narrow[dst as usize] = if amt >= width as u64 {
                         if v < 0 {
@@ -819,7 +339,7 @@ impl CompiledSimulator {
                     narrow[dst as usize] = (narrow[a as usize] >> lo) & mask;
                 }
                 Instr::SExtN { a, dst, s, mask } => {
-                    narrow[dst as usize] = sxt(narrow[a as usize], s) as u64 & mask;
+                    narrow[dst as usize] = crate::lower::sxt(narrow[a as usize], s) as u64 & mask;
                 }
                 Instr::SliceW {
                     src,
@@ -838,6 +358,35 @@ impl CompiledSimulator {
                 } => {
                     let d = &mut wide[dst as usize];
                     d.deposit_u64(0, lo_w, narrow[lo as usize]);
+                    d.deposit_u64(lo_w, hi_w, narrow[hi as usize]);
+                }
+                Instr::SliceWW { src, dst, lo } => {
+                    // Tape invariant: dst slot > operand slots.
+                    let (head, tail) = wide.split_at_mut(dst as usize);
+                    head[src as usize].extract_into(lo, &mut tail[0]);
+                }
+                Instr::ConcatWWW { hi, lo, dst, lo_w } => {
+                    let (head, tail) = wide.split_at_mut(dst as usize);
+                    let d = &mut tail[0];
+                    d.deposit_bits(0, &head[lo as usize]);
+                    d.deposit_bits(lo_w, &head[hi as usize]);
+                }
+                Instr::ConcatWWN { hi, lo, dst, lo_w } => {
+                    let (head, tail) = wide.split_at_mut(dst as usize);
+                    let d = &mut tail[0];
+                    d.deposit_u64(0, lo_w, narrow[lo as usize]);
+                    d.deposit_bits(lo_w, &head[hi as usize]);
+                }
+                Instr::ConcatWNW {
+                    hi,
+                    lo,
+                    dst,
+                    hi_w,
+                    lo_w,
+                } => {
+                    let (head, tail) = wide.split_at_mut(dst as usize);
+                    let d = &mut tail[0];
+                    d.deposit_bits(0, &head[lo as usize]);
                     d.deposit_u64(lo_w, hi_w, narrow[hi as usize]);
                 }
                 Instr::ZExtWN { a, dst, a_w } => {
@@ -881,7 +430,7 @@ impl CompiledSimulator {
                     wide[dst as usize].clone_from(&m.words[a as usize]);
                 }
                 Instr::Generic(gi) => {
-                    let g = &self.generic[gi as usize];
+                    let g = &self.low.generic[gi as usize];
                     let mut args = Vec::with_capacity(g.args.len());
                     for &(loc, w) in &g.args {
                         args.push(match loc {
@@ -907,10 +456,7 @@ impl CompiledSimulator {
     /// Panics if no output named `name` exists.
     pub fn get(&mut self, name: &str) -> Bits {
         self.eval();
-        let &(loc, width) = self
-            .output_index
-            .get(name)
-            .unwrap_or_else(|| panic!("no output named {name:?}"));
+        let (loc, width) = self.low.output_loc(name);
         self.read_loc(loc, width)
     }
 
@@ -920,18 +466,19 @@ impl CompiledSimulator {
     ///
     /// Panics if no input named `name` exists.
     pub fn input_value(&self, name: &str) -> Bits {
-        let &idx = self
-            .input_index
-            .get(name)
-            .unwrap_or_else(|| panic!("no input named {name:?}"));
-        let (loc, width) = self.input_locs[idx];
+        let idx = self.low.input_idx(name);
+        let (loc, width) = self.low.input_locs[idx];
         self.read_loc(loc, width)
     }
 
     /// Reads the settled value of an arbitrary node (for probing).
+    ///
+    /// Note that with the `optimize` option the node ids refer to the
+    /// *optimized* module (see [`module`](CompiledSimulator::module)), not
+    /// the module passed to the constructor.
     pub fn probe(&mut self, node: NodeId) -> Bits {
         self.eval();
-        self.read_loc(self.node_loc[node.index()], self.module.width(node))
+        self.read_loc(self.low.node_loc[node.index()], self.low.module.width(node))
     }
 
     /// Reads a register's current value by name.
@@ -940,11 +487,8 @@ impl CompiledSimulator {
     ///
     /// Panics if no register named `name` exists.
     pub fn peek_reg(&self, name: &str) -> Bits {
-        let &ri = self
-            .reg_index
-            .get(name)
-            .unwrap_or_else(|| panic!("no register named {name:?}"));
-        self.read_loc(self.reg_loc[ri], self.module.regs()[ri].width)
+        let ri = self.low.reg_idx(name);
+        self.read_loc(self.low.reg_loc[ri], self.low.module.regs()[ri].width)
     }
 
     /// Advances one clock cycle: settles combinational logic, then commits
@@ -958,7 +502,7 @@ impl CompiledSimulator {
         self.eval();
         // Phase 1: gather next values while all register slots still hold
         // their pre-edge values (registers may feed each other).
-        for (i, p) in self.nregs.iter().enumerate() {
+        for (i, p) in self.low.nregs.iter().enumerate() {
             let reset = p.reset.is_some_and(|r| self.narrow[r as usize] != 0);
             self.nreg_shadow[i] = if reset {
                 p.init
@@ -968,7 +512,7 @@ impl CompiledSimulator {
                 self.narrow[p.slot as usize]
             };
         }
-        for (i, p) in self.wregs.iter().enumerate() {
+        for (i, p) in self.low.wregs.iter().enumerate() {
             let reset = p.reset.is_some_and(|r| self.narrow[r as usize] != 0);
             let src = if reset {
                 &p.init
@@ -981,7 +525,7 @@ impl CompiledSimulator {
         }
         // Phase 2: memory writes sample the settled combinational values
         // (which include pre-edge register outputs) in port order.
-        for w in &self.nmem_writes {
+        for w in &self.low.nmem_writes {
             if self.narrow[w.en as usize] != 0 {
                 let m = &mut self.nmems[w.mem as usize];
                 let a = match w.addr {
@@ -991,7 +535,7 @@ impl CompiledSimulator {
                 m.words[a as usize] = self.narrow[w.data as usize];
             }
         }
-        for w in &self.wmem_writes {
+        for w in &self.low.wmem_writes {
             if self.narrow[w.en as usize] != 0 {
                 let a = match w.addr {
                     Loc::N(s) => self.narrow[s as usize],
@@ -1002,10 +546,10 @@ impl CompiledSimulator {
             }
         }
         // Phase 3: the simultaneous commit.
-        for (i, p) in self.nregs.iter().enumerate() {
+        for (i, p) in self.low.nregs.iter().enumerate() {
             self.narrow[p.slot as usize] = self.nreg_shadow[i];
         }
-        for (i, p) in self.wregs.iter().enumerate() {
+        for (i, p) in self.low.wregs.iter().enumerate() {
             std::mem::swap(&mut self.wide[p.slot as usize], &mut self.wreg_shadow[i]);
         }
         self.evaluated = false;
@@ -1022,10 +566,10 @@ impl CompiledSimulator {
     /// Resets all registers to their init values and clears memories and the
     /// cycle counter (a hard power-on reset, independent of any reset port).
     pub fn reset(&mut self) {
-        for p in &self.nregs {
+        for p in &self.low.nregs {
             self.narrow[p.slot as usize] = p.init;
         }
-        for p in &self.wregs {
+        for p in &self.low.wregs {
             self.wide[p.slot as usize].clone_from(&p.init);
         }
         for m in &mut self.nmems {
@@ -1073,316 +617,6 @@ impl SimBackend for CompiledSimulator {
     fn reset(&mut self) {
         CompiledSimulator::reset(self);
     }
-}
-
-/// Lowers one pure combinational node to an instruction, specializing when
-/// every involved value is narrow (and for the common wide↔narrow shapes);
-/// anything else becomes an `eval_pure` fallback.
-fn lower_pure(
-    module: &Module,
-    node: &Node,
-    w: u32,
-    dst: Loc,
-    node_loc: &[Loc],
-    generic: &mut Vec<GenericOp>,
-) -> Instr {
-    let loc = |id: NodeId| node_loc[id.index()];
-    let width = |id: NodeId| module.width(id);
-    match *node {
-        Node::Unary(op, a) => {
-            if let (Loc::N(ai), Loc::N(d)) = (loc(a), dst) {
-                let m = mask(w);
-                return match op {
-                    UnaryOp::Not => Instr::Not {
-                        a: ai,
-                        dst: d,
-                        mask: m,
-                    },
-                    UnaryOp::Neg => Instr::Neg {
-                        a: ai,
-                        dst: d,
-                        mask: m,
-                    },
-                    UnaryOp::ReduceOr => Instr::RedOr { a: ai, dst: d },
-                    UnaryOp::ReduceAnd => Instr::RedAnd {
-                        a: ai,
-                        dst: d,
-                        ones: mask(width(a)),
-                    },
-                    UnaryOp::ReduceXor => Instr::RedXor { a: ai, dst: d },
-                };
-            }
-        }
-        Node::Binary(op, a, b) => match (loc(a), loc(b), dst) {
-            (Loc::N(ai), Loc::N(bi), Loc::N(d)) => {
-                let m = mask(w);
-                return match op {
-                    BinaryOp::Add => Instr::Add {
-                        a: ai,
-                        b: bi,
-                        dst: d,
-                        mask: m,
-                    },
-                    BinaryOp::Sub => Instr::Sub {
-                        a: ai,
-                        b: bi,
-                        dst: d,
-                        mask: m,
-                    },
-                    BinaryOp::MulS => Instr::MulS {
-                        a: ai,
-                        b: bi,
-                        dst: d,
-                        sa: 64 - width(a),
-                        sb: 64 - width(b),
-                        mask: m,
-                    },
-                    BinaryOp::MulU => Instr::MulU {
-                        a: ai,
-                        b: bi,
-                        dst: d,
-                        mask: m,
-                    },
-                    BinaryOp::DivU => Instr::DivU {
-                        a: ai,
-                        b: bi,
-                        dst: d,
-                        mask: m,
-                    },
-                    BinaryOp::RemU => Instr::RemU {
-                        a: ai,
-                        b: bi,
-                        dst: d,
-                    },
-                    BinaryOp::And => Instr::And {
-                        a: ai,
-                        b: bi,
-                        dst: d,
-                    },
-                    BinaryOp::Or => Instr::Or {
-                        a: ai,
-                        b: bi,
-                        dst: d,
-                    },
-                    BinaryOp::Xor => Instr::Xor {
-                        a: ai,
-                        b: bi,
-                        dst: d,
-                    },
-                    BinaryOp::Eq => Instr::Eq {
-                        a: ai,
-                        b: bi,
-                        dst: d,
-                    },
-                    BinaryOp::Ne => Instr::Ne {
-                        a: ai,
-                        b: bi,
-                        dst: d,
-                    },
-                    BinaryOp::LtU => Instr::LtU {
-                        a: ai,
-                        b: bi,
-                        dst: d,
-                    },
-                    BinaryOp::LtS => Instr::LtS {
-                        a: ai,
-                        b: bi,
-                        dst: d,
-                        s: 64 - width(a),
-                    },
-                    BinaryOp::LeU => Instr::LeU {
-                        a: ai,
-                        b: bi,
-                        dst: d,
-                    },
-                    BinaryOp::LeS => Instr::LeS {
-                        a: ai,
-                        b: bi,
-                        dst: d,
-                        s: 64 - width(a),
-                    },
-                    BinaryOp::Shl => Instr::Shl {
-                        a: ai,
-                        b: bi,
-                        dst: d,
-                        width: w,
-                        mask: m,
-                    },
-                    BinaryOp::ShrL => Instr::ShrL {
-                        a: ai,
-                        b: bi,
-                        dst: d,
-                        width: w,
-                    },
-                    BinaryOp::ShrA => Instr::ShrA {
-                        a: ai,
-                        b: bi,
-                        dst: d,
-                        width: w,
-                        s: 64 - w,
-                        mask: m,
-                    },
-                };
-            }
-            (Loc::W(ai), Loc::W(bi), Loc::N(d)) if op == BinaryOp::Eq => {
-                return Instr::EqW {
-                    a: ai,
-                    b: bi,
-                    dst: d,
-                };
-            }
-            (Loc::W(ai), Loc::W(bi), Loc::N(d)) if op == BinaryOp::Ne => {
-                return Instr::NeW {
-                    a: ai,
-                    b: bi,
-                    dst: d,
-                };
-            }
-            _ => {}
-        },
-        Node::Mux {
-            sel,
-            on_true,
-            on_false,
-        } => {
-            if let Loc::N(si) = loc(sel) {
-                match (loc(on_true), loc(on_false), dst) {
-                    (Loc::N(t), Loc::N(f), Loc::N(d)) => {
-                        return Instr::MuxN {
-                            sel: si,
-                            t,
-                            f,
-                            dst: d,
-                        };
-                    }
-                    (Loc::W(t), Loc::W(f), Loc::W(d)) => {
-                        return Instr::MuxW {
-                            sel: si,
-                            t,
-                            f,
-                            dst: d,
-                        };
-                    }
-                    _ => {}
-                }
-            }
-        }
-        Node::Concat(hi, lo) => match (loc(hi), loc(lo), dst) {
-            (Loc::N(h), Loc::N(l), Loc::N(d)) => {
-                return Instr::ConcatN {
-                    hi: h,
-                    lo: l,
-                    dst: d,
-                    lo_w: width(lo),
-                };
-            }
-            (Loc::N(h), Loc::N(l), Loc::W(d)) => {
-                return Instr::ConcatWNN {
-                    hi: h,
-                    lo: l,
-                    dst: d,
-                    hi_w: width(hi),
-                    lo_w: width(lo),
-                };
-            }
-            _ => {}
-        },
-        Node::Slice { src, lo } => match (loc(src), dst) {
-            (Loc::N(a), Loc::N(d)) => {
-                return Instr::SliceN {
-                    a,
-                    dst: d,
-                    lo,
-                    mask: mask(w),
-                }
-            }
-            (Loc::W(s), Loc::N(d)) => {
-                return Instr::SliceW {
-                    src: s,
-                    dst: d,
-                    lo,
-                    width: w,
-                }
-            }
-            _ => {}
-        },
-        Node::ZExt(a) => match (loc(a), dst) {
-            (Loc::N(ai), Loc::N(d)) => {
-                return Instr::CopyMask {
-                    a: ai,
-                    dst: d,
-                    mask: mask(w),
-                }
-            }
-            // Wide → narrow is always a truncation: a low-field read.
-            (Loc::W(s), Loc::N(d)) => {
-                return Instr::SliceW {
-                    src: s,
-                    dst: d,
-                    lo: 0,
-                    width: w,
-                }
-            }
-            (Loc::N(ai), Loc::W(d)) => {
-                return Instr::ZExtWN {
-                    a: ai,
-                    dst: d,
-                    a_w: width(a),
-                }
-            }
-            (Loc::W(s), Loc::W(d)) if w == width(a) => return Instr::CopyW { a: s, dst: d },
-            _ => {}
-        },
-        Node::SExt(a) => match (loc(a), dst) {
-            (Loc::N(ai), Loc::N(d)) => {
-                let aw = width(a);
-                // Truncating sign-extension keeps the low bits, same as zext.
-                return if w <= aw {
-                    Instr::CopyMask {
-                        a: ai,
-                        dst: d,
-                        mask: mask(w),
-                    }
-                } else {
-                    Instr::SExtN {
-                        a: ai,
-                        dst: d,
-                        s: 64 - aw,
-                        mask: mask(w),
-                    }
-                };
-            }
-            (Loc::W(s), Loc::N(d)) => {
-                return Instr::SliceW {
-                    src: s,
-                    dst: d,
-                    lo: 0,
-                    width: w,
-                }
-            }
-            (Loc::N(ai), Loc::W(d)) => {
-                return Instr::SExtWN {
-                    a: ai,
-                    dst: d,
-                    a_w: width(a),
-                }
-            }
-            (Loc::W(s), Loc::W(d)) if w == width(a) => return Instr::CopyW { a: s, dst: d },
-            _ => {}
-        },
-        Node::Const(_) | Node::Input(_) | Node::RegOut(_) | Node::MemRead { .. } => {
-            unreachable!("stateful node in pure lowering")
-        }
-    }
-    let mut args = Vec::new();
-    node.for_each_operand(|id| args.push((node_loc[id.index()], module.width(id))));
-    generic.push(GenericOp {
-        node: node.clone(),
-        width: w,
-        args,
-        dst,
-    });
-    Instr::Generic((generic.len() - 1) as u32)
 }
 
 #[cfg(test)]
@@ -1626,5 +860,34 @@ mod tests {
         let (tape, generic) = sim.tape_stats();
         assert!(tape >= 1);
         assert_eq!(generic, 0, "narrow counter should lower without fallbacks");
+    }
+
+    #[test]
+    fn optimize_option_shrinks_the_tape_and_preserves_behavior() {
+        // Redundant logic the pipeline can fold: the design computes the
+        // same sum twice and adds a constant expression.
+        let mut m = Module::new("redundant");
+        let a = m.input("a", 8);
+        let c1 = m.const_u(8, 3);
+        let c2 = m.const_u(8, 4);
+        let k = m.binary(BinaryOp::Add, c1, c2, 8);
+        let s1 = m.binary(BinaryOp::Add, a, k, 8);
+        let s2 = m.binary(BinaryOp::Add, a, k, 8);
+        let y = m.binary(BinaryOp::Xor, s1, s2, 8);
+        m.output("y", y);
+
+        let mut plain = CompiledSimulator::new(m.clone()).unwrap();
+        let mut opt = CompiledSimulator::with_options(m, EngineOptions::optimized()).unwrap();
+        assert!(
+            opt.tape_stats().0 < plain.tape_stats().0,
+            "optimize should shrink the tape: {:?} vs {:?}",
+            opt.tape_stats(),
+            plain.tape_stats()
+        );
+        for v in [0u64, 1, 100, 255] {
+            plain.set_u64("a", v);
+            opt.set_u64("a", v);
+            assert_eq!(plain.get("y"), opt.get("y"));
+        }
     }
 }

@@ -45,12 +45,23 @@
 //!   `u64` slots) and replays it every cycle with no per-node allocation.
 //!   Use it for measurement sweeps and long-running benches.
 
+//! - [`BatchedSimulator`] replays the same tape across `L` independent
+//!   stimulus lanes in lockstep over a structure-of-arrays value store, so
+//!   the per-instruction dispatch cost is amortized over all lanes and the
+//!   per-op inner loop is a tight, auto-vectorizable kernel. Use it when
+//!   many independent stimulus streams (e.g. IEEE-1180 blocks) go through
+//!   one design.
+
 mod backend;
+mod batched;
 mod compiled;
+mod lower;
 mod simulator;
 mod vcd;
 
 pub use backend::SimBackend;
+pub use batched::{BatchedSimulator, InPort, OutPort};
 pub use compiled::CompiledSimulator;
+pub use lower::EngineOptions;
 pub use simulator::Simulator;
 pub use vcd::VcdWriter;

@@ -22,4 +22,17 @@ cargo test --workspace -q
 echo "== criterion smoke (each bench body once)"
 cargo bench -p hc-bench -- --test
 
+echo "== perfsnap smoke (batched engine must beat scalar compiled)"
+HC_THREADS=2 ./target/release/perfsnap >/dev/null
+awk -F'[:,]' '
+  /"batched_speedup_vs_compiled"/ {
+    seen = 1
+    if ($2 + 0 < 1.0) {
+      print "batched engine slower than scalar compiled: " $2; exit 1
+    }
+    print "batched speedup vs compiled:" $2
+  }
+  END { if (!seen) { print "batched_speedup_vs_compiled missing from BENCH_sim.json"; exit 1 } }
+' BENCH_sim.json
+
 echo "CI OK"

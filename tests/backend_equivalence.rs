@@ -5,11 +5,11 @@
 //! kernels. This is what licenses running all measurements on the
 //! compiled engine while keeping the interpreter as the oracle.
 
-use hls_vs_hc::axi::StreamHarness;
+use hls_vs_hc::axi::{BatchedStreamHarness, StreamHarness};
 use hls_vs_hc::core::entries::{all_tools, Design, DesignInterface};
 use hls_vs_hc::idct::generator::BlockGen;
 use hls_vs_hc::rtl::passes::optimize;
-use hls_vs_hc::sim::{CompiledSimulator, SimBackend, Simulator};
+use hls_vs_hc::sim::{CompiledSimulator, EngineOptions, SimBackend, Simulator};
 
 fn optimized_module(design: &Design) -> hls_vs_hc::rtl::Module {
     let mut module = design.module.clone();
@@ -21,11 +21,31 @@ fn check_axis(design: &Design, inputs: &[[[i32; 8]; 8]]) {
     let module = optimized_module(design);
     let budget = 2000 * (inputs.len() as u64 + 4);
     let mut interp = StreamHarness::new(module.clone()).expect("validates");
-    let mut comp = StreamHarness::compiled(module).expect("validates");
+    let mut comp = StreamHarness::compiled(module.clone()).expect("validates");
     let (iout, itiming) = interp.run(inputs, budget);
     let (cout, ctiming) = comp.run(inputs, budget);
     assert_eq!(iout, cout, "{}: outputs diverge", design.label);
     assert_eq!(itiming, ctiming, "{}: T_L/T_P diverge", design.label);
+
+    // Batched path: two lanes, each streaming the same sequence, so lane 0
+    // reproduces the scalar run exactly (it starts at reset) and the
+    // flattened outputs are the sequence twice over. T_L/T_P come from
+    // lane 0 and must equal the interpreted oracle's figures.
+    let doubled: Vec<[[i32; 8]; 8]> = inputs.iter().chain(inputs.iter()).copied().collect();
+    let mut batched = BatchedStreamHarness::new(module, 2).expect("validates");
+    let (bout, btiming) = batched.run_blocks(&doubled, budget);
+    let expected: Vec<[[i32; 8]; 8]> = iout.iter().chain(iout.iter()).copied().collect();
+    assert_eq!(bout, expected, "{}: batched outputs diverge", design.label);
+    assert_eq!(
+        btiming, itiming,
+        "{}: batched T_L/T_P diverge from the interpreted oracle",
+        design.label
+    );
+    assert!(
+        batched.protocol_errors.is_empty(),
+        "{}: batched protocol violations",
+        design.label
+    );
 }
 
 /// Drives a raw-stream kernel for `cycles` cycles with a fixed input
@@ -62,6 +82,30 @@ fn check_stream(design: &Design) {
         "{}: stream traces diverge",
         design.label
     );
+}
+
+/// The engine-side `optimize` option (const-fold → CSE → DCE before
+/// lowering) must strictly shrink the instruction tape of every Table II
+/// design relative to lowering the module as-is.
+#[test]
+fn optimize_option_shrinks_every_table2_tape() {
+    for tool in all_tools() {
+        for design in [&tool.initial, &tool.optimized] {
+            let plain = CompiledSimulator::new(design.module.clone()).expect("validates");
+            let opt =
+                CompiledSimulator::with_options(design.module.clone(), EngineOptions::optimized())
+                    .expect("validates");
+            let (plain_len, _) = plain.tape_stats();
+            let (opt_len, _) = opt.tape_stats();
+            assert!(
+                opt_len < plain_len,
+                "{}: optimized tape {} not smaller than plain {}",
+                design.label,
+                opt_len,
+                plain_len
+            );
+        }
+    }
 }
 
 #[test]
