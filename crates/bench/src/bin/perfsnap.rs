@@ -1,7 +1,7 @@
 //! Performance snapshot: writes `BENCH_sim.json` so the simulation and
 //! sweep performance trajectory is tracked across PRs.
 //!
-//! Measures three things:
+//! Measures four things:
 //!
 //! 1. **Simulation throughput** (cycles/sec) of the interpreted and the
 //!    compiled backend pushing the same 64 blocks through the Verilog
@@ -10,8 +10,13 @@
 //!    blocks, counted in *lane-cycles* per second (each lane's cycle is a
 //!    full simulated cycle of an independent stimulus stream, so
 //!    lane-cycles/sec is directly comparable to the scalar figures).
-//! 3. **Fig. 1 sweep wall-clock** with the serial and the parallel DSE
-//!    driver over the full design space, plus per-point timing and the
+//! 3. **Tape shrink** of the optimization pass pipeline: per-Table II
+//!    design compiled-tape instruction counts before and after
+//!    `hc_rtl::passes::optimize`.
+//! 4. **Fig. 1 sweep wall-clock**: the legacy cold per-point pipeline run
+//!    serially vs the memoized + chunked parallel driver, plus per-point
+//!    timing (stable sweep order), the chunk size the scheduler picked,
+//!    the front-half cache hit/miss counts of the timed run, and the
 //!    worker count the pool actually used (`HC_THREADS` honored).
 //!
 //! Usage: `cargo run -p hc-bench --release --bin perfsnap [nblocks]`
@@ -84,21 +89,65 @@ fn main() {
         bhz / chz
     );
 
+    println!("optimization pass pipeline (compiled tape, pre/post)...");
+    let mut tape_rows: Vec<(String, usize, usize)> = Vec::new();
+    for tool in hc_core::entries::all_tools() {
+        for design in [&tool.initial, &tool.optimized] {
+            let pre = hc_sim::CompiledSimulator::new(design.module.clone())
+                .expect("Table II designs validate")
+                .tape_stats()
+                .0;
+            let post = hc_sim::CompiledSimulator::with_options(
+                design.module.clone(),
+                hc_sim::EngineOptions::optimized(),
+            )
+            .expect("Table II designs validate")
+            .tape_stats()
+            .0;
+            println!(
+                "  {:24} {pre:5} -> {post:5} instrs  (-{:.0}%)",
+                design.label,
+                100.0 * (pre.saturating_sub(post)) as f64 / pre.max(1) as f64
+            );
+            tape_rows.push((design.label.clone(), pre, post));
+        }
+    }
+    let tape_json = tape_rows
+        .iter()
+        .map(|(label, pre, post)| {
+            format!("{{\"design\": \"{label}\", \"tape_pre\": {pre}, \"tape_post\": {post}}}")
+        })
+        .collect::<Vec<_>>()
+        .join(",\n    ");
+
     println!("fig. 1 sweep (nblocks = {nblocks})...");
-    // Warm the shared stimulus cache so neither driver pays generation.
+    // Warm the shared stimulus, work-list and front-half caches so the
+    // timed parallel run measures the steady-state driver; the serial
+    // baseline deliberately runs the legacy cold pipeline per point.
     let _ = hc_bench::fig1_points(nblocks);
     let start = Instant::now();
     let serial = hc_bench::fig1_points_serial(nblocks);
     let serial_time = start.elapsed();
+    hc_core::cache::reset_stats();
     let start = Instant::now();
-    let parallel = hc_bench::fig1_points_timed(nblocks);
+    let (parallel, chunk) = hc_bench::fig1_points_timed(nblocks);
     let parallel_time = start.elapsed();
+    let (cache_hits, cache_misses) = hc_core::cache::stats();
     assert_eq!(serial.len(), parallel.len());
+    // Both drivers must emit the sweep in the same stable order, or the
+    // per-point trajectories stop being comparable across runs.
+    for ((_, s), (_, p, _)) in serial.iter().zip(&parallel) {
+        assert_eq!(s.label, p.label, "sweep order diverged");
+    }
     let sweep_speedup = serial_time.as_secs_f64() / parallel_time.as_secs_f64();
     let threads = hc_core::par::worker_count(parallel.len());
-    println!("  serial:   {:8.2} s", serial_time.as_secs_f64());
     println!(
-        "  parallel: {:8.2} s  ({sweep_speedup:.2}x on {threads} workers)",
+        "  serial (cold pipeline): {:8.2} s",
+        serial_time.as_secs_f64()
+    );
+    println!(
+        "  parallel (memoized):    {:8.2} s  ({sweep_speedup:.2}x on {threads} workers, \
+         chunk {chunk}, {cache_hits} cache hits / {cache_misses} misses)",
         parallel_time.as_secs_f64()
     );
 
@@ -124,9 +173,13 @@ fn main() {
          \"fig1_serial_seconds\": {st:.3},\n  \
          \"fig1_parallel_seconds\": {pt:.3},\n  \
          \"fig1_speedup\": {sweep_speedup:.2},\n  \
+         \"fig1_chunk_size\": {chunk},\n  \
+         \"cache_hits\": {cache_hits},\n  \
+         \"cache_misses\": {cache_misses},\n  \
          \"fig1_point_seconds_mean\": {point_mean:.4},\n  \
          \"fig1_point_seconds_max\": {point_max:.4},\n  \
          \"fig1_point_seconds\": [{points_json}],\n  \
+         \"tape\": [\n    {tape_json}\n  ],\n  \
          \"threads\": {threads}\n}}\n",
         sim = chz / ihz,
         bs = bhz / chz,

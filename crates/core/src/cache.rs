@@ -1,0 +1,142 @@
+//! Content-addressed memo cache for the measurement front-half.
+//!
+//! Every design point in a sweep runs the same front-half: optimize the
+//! netlist, then synthesize it twice (default and `maxdsp=0`). Fig. 1 and
+//! the IEEE-1180 conformance sweep revisit the *same module* under many
+//! stimuli and sweep parameters, so that work is identical across points —
+//! [`front_half`] computes it once per distinct module and shares the
+//! result process-wide.
+//!
+//! The key is the module's 128-bit structural hash
+//! ([`hc_rtl::hash::content_hash`]) plus the active
+//! [`PassConfig`](hc_rtl::passes::PassConfig) key, so runs under
+//! `HC_NO_OPT=1` never alias artifacts with optimized runs. Entries are
+//! computed outside the table lock; when two workers race on the same
+//! miss, the first insert wins and the loser's work is dropped (correct,
+//! merely redundant).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use hc_rtl::hash::content_hash;
+use hc_rtl::passes::{optimize_with, OptReport, PassConfig};
+use hc_rtl::Module;
+use hc_synth::{synthesize, Device, SynthOptions, SynthReport};
+
+/// The shared, immutable result of one front-half computation.
+#[derive(Debug)]
+pub struct FrontHalf {
+    /// The module after the optimization pipeline (what gets simulated and
+    /// what the synthesis reports describe).
+    pub module: Arc<Module>,
+    /// Pass-pipeline accounting (zero-change when passes are disabled).
+    pub opt: OptReport,
+    /// Synthesis with default options (DSPs allowed).
+    pub full: Arc<SynthReport>,
+    /// Synthesis with `maxdsp=0` (the paper's normalization run).
+    pub nodsp: Arc<SynthReport>,
+}
+
+type Key = (u128, u8);
+
+fn table() -> &'static Mutex<HashMap<Key, Arc<FrontHalf>>> {
+    static TABLE: OnceLock<Mutex<HashMap<Key, Arc<FrontHalf>>>> = OnceLock::new();
+    TABLE.get_or_init(Mutex::default)
+}
+
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// Optimizes and synthesizes `module`, memoized on its structural hash and
+/// the environment's pass configuration.
+///
+/// The input module is not mutated; the returned [`FrontHalf`] carries the
+/// optimized copy.
+pub fn front_half(module: &Module) -> Arc<FrontHalf> {
+    let config = PassConfig::from_env();
+    let key = (content_hash(module), config.key());
+    if let Some(hit) = table().lock().expect("front-half cache").get(&key) {
+        HITS.fetch_add(1, Ordering::Relaxed);
+        return Arc::clone(hit);
+    }
+    MISSES.fetch_add(1, Ordering::Relaxed);
+
+    // Compute outside the lock: synthesis takes milliseconds and would
+    // serialize every worker behind a single miss.
+    let mut optimized = module.clone();
+    let opt = optimize_with(&mut optimized, &config);
+    let device = Device::xcvu9p();
+    let full = synthesize(&optimized, &device, &SynthOptions::default());
+    let nodsp = synthesize(&optimized, &device, &SynthOptions::no_dsp());
+    let entry = Arc::new(FrontHalf {
+        module: Arc::new(optimized),
+        opt,
+        full: Arc::new(full),
+        nodsp: Arc::new(nodsp),
+    });
+    Arc::clone(
+        table()
+            .lock()
+            .expect("front-half cache")
+            .entry(key)
+            .or_insert(entry),
+    )
+}
+
+/// `(hits, misses)` since process start or the last [`reset_stats`].
+pub fn stats() -> (u64, u64) {
+    (HITS.load(Ordering::Relaxed), MISSES.load(Ordering::Relaxed))
+}
+
+/// Zeroes the hit/miss counters (the cached entries stay).
+pub fn reset_stats() {
+    HITS.store(0, Ordering::Relaxed);
+    MISSES.store(0, Ordering::Relaxed);
+}
+
+/// Drops every cached entry and zeroes the counters. Benchmarks use this
+/// to measure a cold front-half honestly.
+pub fn clear() {
+    table().lock().expect("front-half cache").clear();
+    reset_stats();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hc_rtl::BinaryOp;
+
+    fn redundant_adder(name: &str) -> Module {
+        let mut m = Module::new(name);
+        let a = m.input("a", 8);
+        let z = m.const_u(8, 0);
+        let s1 = m.binary(BinaryOp::Add, a, z, 8);
+        let s2 = m.binary(BinaryOp::Add, a, z, 8);
+        let y = m.binary(BinaryOp::Or, s1, s2, 8);
+        m.output("y", y);
+        m
+    }
+
+    #[test]
+    fn second_lookup_hits_and_shares_the_artifact() {
+        let m = redundant_adder("cache_t1");
+        let (h0, m0) = stats();
+        let first = front_half(&m);
+        let second = front_half(&m.clone());
+        let (h1, m1) = stats();
+        assert!(Arc::ptr_eq(&first, &second), "hit must share the entry");
+        assert_eq!(m1 - m0, 1, "exactly one miss");
+        assert!(h1 - h0 >= 1, "second lookup hits");
+        assert!(first.opt.changed(), "the adder had redundancy to remove");
+        assert_eq!(first.full.module, "cache_t1");
+    }
+
+    #[test]
+    fn different_modules_do_not_alias() {
+        let a = front_half(&redundant_adder("cache_t2a"));
+        let b = front_half(&redundant_adder("cache_t2b"));
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(a.nodsp.area.dsp, 0);
+    }
+}

@@ -30,6 +30,7 @@
 //! println!("{}", table2(&rows));
 //! ```
 
+pub mod cache;
 pub mod dse;
 pub mod entries;
 pub mod measure;

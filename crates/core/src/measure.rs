@@ -14,17 +14,30 @@ use hc_rtl::passes::optimize;
 use hc_sim::CompiledSimulator;
 use hc_synth::{synthesize, Device, SynthOptions};
 
-/// Returns the deterministic sample blocks for an `nblocks`-point run,
+/// The shared stimulus for one sweep: the sample blocks plus the raw
+/// matrices the batched harness feeds, pre-extracted once so design points
+/// stop rebuilding the same `Vec` each.
+#[derive(Debug)]
+struct Stimulus {
+    blocks: Vec<Block>,
+    inputs: Vec<[[i32; 8]; 8]>,
+}
+
+/// Returns the deterministic stimulus for an `nblocks`-point run,
 /// generating each distinct size once per process. Every measurement in a
 /// sweep shares the same stimulus, so regenerating it per design point is
 /// pure waste (and the generator's determinism makes sharing sound).
-fn sample_blocks(nblocks: usize) -> Arc<Vec<Block>> {
-    static CACHE: OnceLock<Mutex<HashMap<usize, Arc<Vec<Block>>>>> = OnceLock::new();
+fn sample_blocks(nblocks: usize) -> Arc<Stimulus> {
+    static CACHE: OnceLock<Mutex<HashMap<usize, Arc<Stimulus>>>> = OnceLock::new();
     let cache = CACHE.get_or_init(Mutex::default);
     let mut cache = cache.lock().expect("block cache");
     cache
         .entry(nblocks)
-        .or_insert_with(|| Arc::new(BlockGen::new(7, -2048, 2047).take_blocks(nblocks)))
+        .or_insert_with(|| {
+            let blocks = BlockGen::new(7, -2048, 2047).take_blocks(nblocks);
+            let inputs = blocks.iter().map(|b| b.0).collect();
+            Arc::new(Stimulus { blocks, inputs })
+        })
         .clone()
 }
 
@@ -77,19 +90,53 @@ pub struct ToolRow {
 /// (default and `maxdsp=0`), simulates the stream interface against the
 /// golden model and derives throughput and quality.
 ///
+/// The optimize + synthesize front-half is memoized through
+/// [`crate::cache::front_half`], keyed on the module's structural hash —
+/// sweep points sharing a module (Fig. 1 revisits the Table II designs
+/// under many parameters) compute it once. Use [`measure_uncached`] for
+/// the cold-pipeline baseline.
+///
 /// # Panics
 ///
 /// Panics if the design is not bit-exact with the golden fixed-point IDCT
 /// on the sample blocks — measurement implies conformance.
 pub fn measure(design: &Design, nblocks: usize) -> Measurement {
+    let front = crate::cache::front_half(&design.module);
+    let module = front.module.as_ref().clone();
+    measure_back_half(design, nblocks, module, &front.full, &front.nodsp)
+}
+
+/// The legacy cold pipeline: clone, optimize, synthesize twice and
+/// simulate, sharing nothing across points. This is what every sweep did
+/// before the memo cache existed; the fig1 benchmark keeps it as its
+/// serial baseline so `fig1_speedup` measures the end-to-end win of the
+/// cached + chunked driver over the old per-point pipeline.
+///
+/// # Panics
+///
+/// As [`measure`].
+pub fn measure_uncached(design: &Design, nblocks: usize) -> Measurement {
     let mut module = design.module.clone();
     optimize(&mut module);
     let device = Device::xcvu9p();
     let full = synthesize(&module, &device, &SynthOptions::default());
     let nodsp = synthesize(&module, &device, &SynthOptions::no_dsp());
+    measure_back_half(design, nblocks, module, &full, &nodsp)
+}
+
+/// Simulates the (already optimized) module and assembles the
+/// [`Measurement`] from the two synthesis reports.
+fn measure_back_half(
+    design: &Design,
+    nblocks: usize,
+    module: hc_rtl::Module,
+    full: &hc_synth::SynthReport,
+    nodsp: &hc_synth::SynthReport,
+) -> Measurement {
     let fmax = full.timing.fmax_mhz();
 
-    let blocks = sample_blocks(nblocks.max(2));
+    let stim = sample_blocks(nblocks.max(2));
+    let blocks = &stim.blocks;
     let (latency, periodicity) = match design.interface {
         DesignInterface::Axis => {
             // Blocks are independent stimuli, so they ride the lane-batched
@@ -100,8 +147,8 @@ pub fn measure(design: &Design, nblocks: usize) -> Measurement {
             let lanes = lanes_for_blocks(blocks.len());
             let mut harness =
                 BatchedStreamHarness::new(module, lanes).expect("measured designs validate");
-            let inputs: Vec<[[i32; 8]; 8]> = blocks.iter().map(|b| b.0).collect();
-            let (outputs, timing) = harness.run_blocks(&inputs, 2000 * (blocks.len() as u64 + 4));
+            let (outputs, timing) =
+                harness.run_blocks(&stim.inputs, 2000 * (blocks.len() as u64 + 4));
             assert_eq!(
                 outputs.len(),
                 blocks.len(),
@@ -119,7 +166,7 @@ pub fn measure(design: &Design, nblocks: usize) -> Measurement {
             assert!(harness.protocol_errors.is_empty());
             (timing.latency, timing.periodicity)
         }
-        DesignInterface::Stream { .. } => measure_stream(module, &blocks, &design.label),
+        DesignInterface::Stream { .. } => measure_stream(module, blocks, &design.label),
     };
 
     let throughput_mops = match design.interface {

@@ -79,6 +79,74 @@ where
         .collect()
 }
 
+/// Target per-task wall time for [`adaptive_chunk`]: long enough that
+/// spawn/locking overhead disappears into the work, short enough that the
+/// cursor still balances uneven points across workers.
+pub const TARGET_TASK_SECONDS: f64 = 0.050;
+
+/// Picks a chunk size for [`parallel_map_chunked`]: batch items until a
+/// task is estimated to take [`TARGET_TASK_SECONDS`], clamped so every
+/// worker still gets at least one chunk.
+///
+/// `est_item_seconds` is typically measured by timing one representative
+/// item; zero or negative estimates (a timer too coarse to see the item)
+/// fall back to the largest per-worker chunk.
+pub fn adaptive_chunk(n: usize, est_item_seconds: f64) -> usize {
+    if n == 0 {
+        return 1;
+    }
+    let per_worker = n.div_ceil(worker_count(n));
+    let ideal = if est_item_seconds > 0.0 {
+        (TARGET_TASK_SECONDS / est_item_seconds).ceil() as usize
+    } else {
+        per_worker
+    };
+    ideal.clamp(1, per_worker.max(1))
+}
+
+/// [`parallel_map`] with the atomic cursor advancing `chunk` items at a
+/// time, so each claim amortizes scheduling overhead over a contiguous run
+/// of items. Results still come back **in input order**. `chunk == 1` is
+/// exactly [`parallel_map`]; a chunk covering all items degrades to a
+/// serial map on the calling thread.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker, like [`parallel_map`].
+pub fn parallel_map_chunked<T, R, F>(items: &[T], chunk: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    let chunk = chunk.max(1);
+    let workers = worker_count(n.div_ceil(chunk));
+    if workers <= 1 || chunk >= n {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let start = next.fetch_add(chunk, Ordering::Relaxed);
+                if start >= n {
+                    break;
+                }
+                for i in start..(start + chunk).min(n) {
+                    let r = f(&items[i]);
+                    *slots[i].lock().expect("result slot") = Some(r);
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().expect("result slot").expect("worker ran"))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -118,6 +186,32 @@ mod tests {
         std::env::set_var("HC_THREADS", "not-a-number");
         assert!(configured_workers() >= 1, "garbage override falls back");
         std::env::remove_var("HC_THREADS");
+    }
+
+    #[test]
+    fn chunked_preserves_input_order() {
+        let items: Vec<u64> = (0..103).collect();
+        let want: Vec<u64> = items.iter().map(|x| x * 3).collect();
+        for chunk in [1, 2, 7, 50, 103, 500] {
+            assert_eq!(parallel_map_chunked(&items, chunk, |&x| x * 3), want);
+        }
+        // chunk 0 is treated as 1, not a hang.
+        assert_eq!(parallel_map_chunked(&items, 0, |&x| x * 3), want);
+    }
+
+    #[test]
+    fn adaptive_chunk_targets_task_seconds() {
+        // 1 ms items batch into ~50-item tasks (capped by per-worker share).
+        let c = adaptive_chunk(1000, 0.001);
+        assert!((1..=1000).contains(&c));
+        assert!(c <= 1000_usize.div_ceil(worker_count(1000)));
+        // Items already at the target run unbatched.
+        assert_eq!(adaptive_chunk(1000, TARGET_TASK_SECONDS), 1);
+        assert_eq!(adaptive_chunk(1000, 1.0), 1);
+        // Degenerate estimates fall back to per-worker batches, and the
+        // result never exceeds them.
+        assert!(adaptive_chunk(8, 0.0) >= 1);
+        assert_eq!(adaptive_chunk(0, 0.001), 1);
     }
 
     #[test]

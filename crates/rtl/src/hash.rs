@@ -1,0 +1,149 @@
+//! Deterministic structural hashing of modules.
+//!
+//! [`content_hash`] digests everything that affects a module's behaviour and
+//! reports — node sea, ports, registers, memories, names — into a 128-bit
+//! value. `hc-core` keys its elaborate/optimize/synthesize memo cache on it,
+//! so sweep points whose modules are structurally identical (they differ
+//! only in stimulus or sweep parameter) share one front-half computation.
+//!
+//! The digest is two independent FNV-1a streams over the same byte
+//! sequence, which keeps collisions across a sweep's worth of modules
+//! (dozens, not billions) out of the picture without pulling in a crypto
+//! dependency. It is stable within a process — exactly the lifetime of the
+//! in-memory cache it keys — and makes no cross-version promises.
+
+use crate::Module;
+use std::hash::{Hash, Hasher};
+
+/// 128-bit structural content hash of a module.
+///
+/// Two modules with equal structure (same nodes in the same order, same
+/// ports, registers, memories and names) hash equal; any behavioural
+/// difference — an operand, a width, a reset value, a write port — changes
+/// the hash.
+pub fn content_hash(module: &Module) -> u128 {
+    let lo = hash_with(module, 0xcbf2_9ce4_8422_2325);
+    let hi = hash_with(module, 0x6c62_272e_07bb_0142);
+    (u128::from(hi) << 64) | u128::from(lo)
+}
+
+fn hash_with(module: &Module, basis: u64) -> u64 {
+    let mut h = Fnv1a { state: basis };
+    module.name().hash(&mut h);
+    module.nodes().len().hash(&mut h);
+    for nd in module.nodes() {
+        nd.node.hash(&mut h);
+        nd.width.hash(&mut h);
+        nd.name.hash(&mut h);
+    }
+    module.inputs().len().hash(&mut h);
+    for p in module.inputs() {
+        p.name.hash(&mut h);
+        p.width.hash(&mut h);
+        p.node.hash(&mut h);
+    }
+    module.outputs().len().hash(&mut h);
+    for o in module.outputs() {
+        o.name.hash(&mut h);
+        o.node.hash(&mut h);
+    }
+    module.regs().len().hash(&mut h);
+    for r in module.regs() {
+        r.name.hash(&mut h);
+        r.width.hash(&mut h);
+        r.init.hash(&mut h);
+        r.next.hash(&mut h);
+        r.en.hash(&mut h);
+        r.reset.hash(&mut h);
+    }
+    module.mems().len().hash(&mut h);
+    for m in module.mems() {
+        m.name.hash(&mut h);
+        m.width.hash(&mut h);
+        m.depth.hash(&mut h);
+        m.writes.len().hash(&mut h);
+        for w in &m.writes {
+            w.addr.hash(&mut h);
+            w.data.hash(&mut h);
+            w.en.hash(&mut h);
+        }
+    }
+    h.finish()
+}
+
+/// Byte-oriented FNV-1a. Unlike `DefaultHasher` it has no per-process
+/// random seed, so hashes are reproducible run to run.
+struct Fnv1a {
+    state: u64,
+}
+
+impl Hasher for Fnv1a {
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BinaryOp;
+    use hc_bits::Bits;
+
+    fn adder() -> Module {
+        let mut m = Module::new("t");
+        let a = m.input("a", 8);
+        let b = m.input("b", 8);
+        let s = m.binary(BinaryOp::Add, a, b, 8);
+        m.output("y", s);
+        m
+    }
+
+    #[test]
+    fn equal_structure_hashes_equal() {
+        assert_eq!(content_hash(&adder()), content_hash(&adder()));
+    }
+
+    #[test]
+    fn clone_hashes_equal() {
+        let m = adder();
+        assert_eq!(content_hash(&m), content_hash(&m.clone()));
+    }
+
+    #[test]
+    fn structural_changes_change_the_hash() {
+        let base = content_hash(&adder());
+
+        let mut op = Module::new("t");
+        let a = op.input("a", 8);
+        let b = op.input("b", 8);
+        let s = op.binary(BinaryOp::Sub, a, b, 8);
+        op.output("y", s);
+        assert_ne!(content_hash(&op), base);
+
+        let mut regged = adder();
+        let r = regged.reg("r", 8, Bits::zero(8));
+        let q = regged.reg_out(r);
+        regged.connect_reg(r, q);
+        assert_ne!(content_hash(&regged), base);
+
+        let mut renamed = Module::new("u");
+        let a = renamed.input("a", 8);
+        let b = renamed.input("b", 8);
+        let s = renamed.binary(BinaryOp::Add, a, b, 8);
+        renamed.output("y", s);
+        assert_ne!(content_hash(&renamed), base);
+    }
+
+    #[test]
+    fn halves_are_independent() {
+        let h = content_hash(&adder());
+        assert_ne!((h >> 64) as u64, h as u64);
+    }
+}

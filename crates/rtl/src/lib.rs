@@ -30,6 +30,7 @@
 //! # Ok::<(), hc_rtl::ValidateError>(())
 //! ```
 
+pub mod hash;
 mod id;
 mod inline;
 mod module;

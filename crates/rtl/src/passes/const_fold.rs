@@ -45,10 +45,21 @@ pub fn const_fold(module: &mut Module) {
             }
         }
 
-        if let Some(alias) = identity(module, &node, data.width, &values) {
-            replace[i] = replace[alias.index()];
-            values[i] = values[alias.index()].clone();
-            continue;
+        match identity(module, &node, data.width, &values) {
+            Some(Simplified::Alias(alias)) => {
+                replace[i] = replace[alias.index()];
+                values[i] = values[alias.index()].clone();
+                continue;
+            }
+            Some(Simplified::Value(v)) => {
+                let new = module.constant(v.clone());
+                replace.push(new);
+                values.push(Some(v.clone()));
+                replace[i] = new;
+                values[i] = Some(v);
+                continue;
+            }
+            None => {}
         }
 
         if let Node::Const(v) = &node {
@@ -59,53 +70,100 @@ pub fn const_fold(module: &mut Module) {
     apply_replacement(module, &replace);
 }
 
-/// Returns an existing node this node is equivalent to, if an algebraic
-/// identity applies.
-fn identity(module: &Module, node: &Node, width: u32, values: &[Option<Bits>]) -> Option<NodeId> {
+/// Result of an algebraic simplification: an existing equivalent node, or a
+/// value the node always computes.
+enum Simplified {
+    Alias(NodeId),
+    Value(Bits),
+}
+
+/// Returns an existing node this node is equivalent to — or a constant it
+/// always evaluates to — if an algebraic identity applies.
+fn identity(
+    module: &Module,
+    node: &Node,
+    width: u32,
+    values: &[Option<Bits>],
+) -> Option<Simplified> {
+    use Simplified::{Alias, Value};
     let cval = |id: NodeId| values.get(id.index()).and_then(|v| v.clone());
     match *node {
         Node::Binary(op, a, b) => {
             let (ca, cb) = (cval(a), cval(b));
             match op {
                 BinaryOp::Add | BinaryOp::Or | BinaryOp::Xor | BinaryOp::Sub => {
+                    if (op == BinaryOp::Sub || op == BinaryOp::Xor) && a == b {
+                        return Some(Value(Bits::zero(width)));
+                    }
+                    if op == BinaryOp::Or && a == b {
+                        return Some(Alias(a));
+                    }
+                    if op == BinaryOp::Or
+                        && (ca.as_ref().is_some_and(|v| *v == Bits::ones(v.width()))
+                            || cb.as_ref().is_some_and(|v| *v == Bits::ones(v.width())))
+                    {
+                        return Some(Value(Bits::ones(width)));
+                    }
                     if op != BinaryOp::Sub && ca.as_ref().is_some_and(Bits::is_zero) {
-                        return Some(b);
+                        return Some(Alias(b));
                     }
                     if cb.as_ref().is_some_and(Bits::is_zero) {
-                        return Some(a);
+                        return Some(Alias(a));
                     }
                     None
                 }
                 BinaryOp::And => {
+                    if a == b {
+                        return Some(Alias(a));
+                    }
+                    if ca.as_ref().is_some_and(Bits::is_zero)
+                        || cb.as_ref().is_some_and(Bits::is_zero)
+                    {
+                        return Some(Value(Bits::zero(width)));
+                    }
                     if ca.as_ref().is_some_and(|v| *v == Bits::ones(v.width())) {
-                        return Some(b);
+                        return Some(Alias(b));
                     }
                     if cb.as_ref().is_some_and(|v| *v == Bits::ones(v.width())) {
-                        return Some(a);
+                        return Some(Alias(a));
                     }
                     None
                 }
                 BinaryOp::MulS | BinaryOp::MulU => {
+                    if ca.as_ref().is_some_and(Bits::is_zero)
+                        || cb.as_ref().is_some_and(Bits::is_zero)
+                    {
+                        return Some(Value(Bits::zero(width)));
+                    }
                     // x * 1 keeps the value when the result width covers x.
                     if cb
                         .as_ref()
                         .is_some_and(|v| v.to_u64() == 1 && v.count_ones() == 1)
                         && module.width(a) == width
                     {
-                        return Some(a);
+                        return Some(Alias(a));
                     }
                     if ca
                         .as_ref()
                         .is_some_and(|v| v.to_u64() == 1 && v.count_ones() == 1)
                         && module.width(b) == width
                     {
-                        return Some(b);
+                        return Some(Alias(b));
                     }
                     None
                 }
+                BinaryOp::Eq | BinaryOp::LeU | BinaryOp::LeS if a == b => {
+                    Some(Value(Bits::from_u64(width, 1)))
+                }
+                BinaryOp::Ne | BinaryOp::LtU | BinaryOp::LtS if a == b => {
+                    Some(Value(Bits::zero(width)))
+                }
                 BinaryOp::Shl | BinaryOp::ShrL | BinaryOp::ShrA => {
+                    if ca.as_ref().is_some_and(Bits::is_zero) {
+                        return Some(Value(Bits::zero(width)));
+                    }
                     if cb.as_ref().is_some_and(Bits::is_zero) {
-                        return Some(a);
+                        return Some(Alias(a));
                     }
                     None
                 }
@@ -117,13 +175,13 @@ fn identity(module: &Module, node: &Node, width: u32, values: &[Option<Bits>]) -
             on_true,
             on_false,
         } => match cval(sel) {
-            Some(v) if v.to_bool() => Some(on_true),
-            Some(_) => Some(on_false),
-            None if on_true == on_false => Some(on_true),
+            Some(v) if v.to_bool() => Some(Alias(on_true)),
+            Some(_) => Some(Alias(on_false)),
+            None if on_true == on_false => Some(Alias(on_true)),
             None => None,
         },
-        Node::ZExt(a) | Node::SExt(a) if module.width(a) == width => Some(a),
-        Node::Slice { src, lo } if lo == 0 && module.width(src) == width => Some(src),
+        Node::ZExt(a) | Node::SExt(a) if module.width(a) == width => Some(Alias(a)),
+        Node::Slice { src, lo } if lo == 0 && module.width(src) == width => Some(Alias(src)),
         _ => None,
     }
 }

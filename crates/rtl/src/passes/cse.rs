@@ -1,14 +1,15 @@
 //! Common-subexpression elimination by hash-consing.
 
 use crate::passes::const_fold::apply_replacement;
-use crate::{Module, Node, NodeId};
+use crate::{BinaryOp, Module, Node, NodeId};
 use std::collections::HashMap;
 
 /// Merges structurally identical nodes. Two nodes merge when, after operand
-/// remapping, they have the same kind, operands and width. `Input` nodes are
-/// never merged (each carries a distinct port index anyway); asynchronous
-/// `MemRead`s of the same memory and address are pure within a cycle and do
-/// merge. Dead duplicates are left for [`super::dce`].
+/// remapping, they have the same kind, operands and width; commutative
+/// binaries (`a + b` vs `b + a`) are canonicalized before matching. `Input`
+/// nodes are never merged (each carries a distinct port index anyway);
+/// asynchronous `MemRead`s of the same memory and address are pure within a
+/// cycle and do merge. Dead duplicates are left for [`super::dce`].
 pub fn cse(module: &mut Module) {
     let n = module.nodes().len();
     let mut replace: Vec<NodeId> = (0..n).map(NodeId::new).collect();
@@ -20,7 +21,7 @@ pub fn cse(module: &mut Module) {
         if matches!(node, Node::Input(_)) {
             continue;
         }
-        let key = (node, data.width);
+        let key = (canonical(node), data.width);
         match seen.get(&key) {
             Some(&first) => replace[i] = first,
             None => {
@@ -30,6 +31,31 @@ pub fn cse(module: &mut Module) {
     }
 
     apply_replacement(module, &replace);
+}
+
+/// Hash-consing key: commutative binaries get their operands sorted so
+/// `a + b` and `b + a` land in the same bucket. (The node itself is left
+/// as built — only the lookup key is reordered.)
+fn canonical(node: Node) -> Node {
+    match node {
+        Node::Binary(op, a, b)
+            if b < a
+                && matches!(
+                    op,
+                    BinaryOp::Add
+                        | BinaryOp::MulU
+                        | BinaryOp::MulS
+                        | BinaryOp::And
+                        | BinaryOp::Or
+                        | BinaryOp::Xor
+                        | BinaryOp::Eq
+                        | BinaryOp::Ne
+                ) =>
+        {
+            Node::Binary(op, b, a)
+        }
+        other => other,
+    }
 }
 
 #[cfg(test)]
@@ -72,6 +98,25 @@ mod tests {
         m.output("y2", y2);
         cse(&mut m);
         assert_eq!(m.outputs()[0].node, m.outputs()[1].node);
+    }
+
+    #[test]
+    fn commutative_operands_merge() {
+        let mut m = Module::new("t");
+        let a = m.input("a", 8);
+        let b = m.input("b", 8);
+        let s1 = m.binary(BinaryOp::Add, a, b, 8);
+        let s2 = m.binary(BinaryOp::Add, b, a, 8);
+        let d1 = m.binary(BinaryOp::Sub, a, b, 8);
+        let d2 = m.binary(BinaryOp::Sub, b, a, 8);
+        m.output("s1", s1);
+        m.output("s2", s2);
+        m.output("d1", d1);
+        m.output("d2", d2);
+        cse(&mut m);
+        // Addition commutes, subtraction does not.
+        assert_eq!(m.outputs()[0].node, m.outputs()[1].node);
+        assert_ne!(m.outputs()[2].node, m.outputs()[3].node);
     }
 
     #[test]

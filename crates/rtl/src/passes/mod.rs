@@ -1,36 +1,169 @@
-//! Netlist rewriting passes: constant folding, common-subexpression
-//! elimination and dead-code elimination.
+//! Netlist rewriting passes: constant folding, slice/concat strength
+//! reduction, common-subexpression elimination and dead-code elimination.
 //!
 //! All passes preserve the observable behaviour of the module (outputs as a
 //! function of input history), which the workspace verifies with
-//! property-based tests in `hc-sim`.
+//! property-based tests in `hc-sim` and design-level differential tests in
+//! `tests/opt_equivalence.rs`.
+//!
+//! The standard pipeline is [`optimize`]; [`optimize_with`] takes an
+//! explicit [`PassConfig`] for debugging and ablation. Setting `HC_NO_OPT=1`
+//! in the environment disables every pass for all [`optimize`] callers —
+//! handy when a miscompare needs to be bisected down to "is it the passes?".
 
 mod const_fold;
 mod cse;
 mod dce;
 pub mod eval;
+mod strength;
 
 pub use const_fold::const_fold;
 pub use cse::cse;
 pub use dce::dce;
+pub use strength::strength_reduce;
 
 use crate::Module;
 
-/// Runs the standard pass pipeline (fold → CSE → DCE) to a fixpoint of sizes.
+/// Which passes the pipeline runs. The default is everything; the memo
+/// caches key on [`PassConfig::key`] so artifacts produced under different
+/// configurations never alias.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PassConfig {
+    /// Constant folding and algebraic identities ([`const_fold`]).
+    pub const_fold: bool,
+    /// Slice/concat/extension strength reduction ([`strength_reduce`]).
+    pub strength: bool,
+    /// Common-subexpression elimination ([`cse`]).
+    pub cse: bool,
+    /// Dead node/register/memory elimination ([`dce`]).
+    pub dce: bool,
+}
+
+impl Default for PassConfig {
+    fn default() -> Self {
+        Self::all()
+    }
+}
+
+impl PassConfig {
+    /// Every pass enabled (the production pipeline).
+    pub fn all() -> Self {
+        PassConfig {
+            const_fold: true,
+            strength: true,
+            cse: true,
+            dce: true,
+        }
+    }
+
+    /// Every pass disabled; [`optimize_with`] becomes a no-op.
+    pub fn none() -> Self {
+        PassConfig {
+            const_fold: false,
+            strength: false,
+            cse: false,
+            dce: false,
+        }
+    }
+
+    /// The configuration selected by the environment: [`PassConfig::all`]
+    /// normally, [`PassConfig::none`] when `HC_NO_OPT` is set to anything
+    /// but `0` or the empty string.
+    pub fn from_env() -> Self {
+        match std::env::var("HC_NO_OPT") {
+            Ok(v) if !v.is_empty() && v != "0" => Self::none(),
+            _ => Self::all(),
+        }
+    }
+
+    /// True when at least one pass is enabled.
+    pub fn any(&self) -> bool {
+        self.const_fold || self.strength || self.cse || self.dce
+    }
+
+    /// A stable bit-packed key for memo caches (one bit per pass).
+    pub fn key(&self) -> u8 {
+        u8::from(self.const_fold)
+            | u8::from(self.strength) << 1
+            | u8::from(self.cse) << 2
+            | u8::from(self.dce) << 3
+    }
+}
+
+/// Size accounting for one [`optimize_with`] run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OptReport {
+    /// Combinational nodes before the pipeline.
+    pub nodes_before: usize,
+    /// Combinational nodes after the pipeline.
+    pub nodes_after: usize,
+    /// Registers before the pipeline.
+    pub regs_before: usize,
+    /// Registers after the pipeline.
+    pub regs_after: usize,
+    /// Pipeline iterations until the size fixpoint.
+    pub iterations: usize,
+}
+
+impl OptReport {
+    /// True when the pipeline changed the node or register count.
+    pub fn changed(&self) -> bool {
+        self.nodes_before != self.nodes_after || self.regs_before != self.regs_after
+    }
+
+    /// Node-count shrink as a fraction of the original size (0 when the
+    /// module was empty or grew).
+    pub fn shrink(&self) -> f64 {
+        if self.nodes_before == 0 || self.nodes_after >= self.nodes_before {
+            0.0
+        } else {
+            (self.nodes_before - self.nodes_after) as f64 / self.nodes_before as f64
+        }
+    }
+}
+
+/// Runs the configured passes (fold → strength → CSE → DCE) to a fixpoint
+/// of sizes and reports the before/after accounting.
 ///
 /// This is roughly what an HDL compiler does before technology mapping, so
 /// every frontend calls it before handing a module to `hc-synth` — area
 /// numbers then reflect optimized logic rather than frontend verbosity.
-pub fn optimize(module: &mut Module) {
-    loop {
-        let before = module.nodes().len();
-        const_fold(module);
-        cse(module);
-        dce(module);
-        if module.nodes().len() >= before {
-            break;
+pub fn optimize_with(module: &mut Module, config: &PassConfig) -> OptReport {
+    let mut report = OptReport {
+        nodes_before: module.nodes().len(),
+        regs_before: module.regs().len(),
+        ..OptReport::default()
+    };
+    if config.any() {
+        loop {
+            let before = module.nodes().len();
+            if config.const_fold {
+                const_fold(module);
+            }
+            if config.strength {
+                strength_reduce(module);
+            }
+            if config.cse {
+                cse(module);
+            }
+            if config.dce {
+                dce(module);
+            }
+            report.iterations += 1;
+            if module.nodes().len() >= before {
+                break;
+            }
         }
     }
+    report.nodes_after = module.nodes().len();
+    report.regs_after = module.regs().len();
+    report
+}
+
+/// Runs the standard pass pipeline under the environment's [`PassConfig`]
+/// (everything, unless `HC_NO_OPT` is set).
+pub fn optimize(module: &mut Module) -> OptReport {
+    optimize_with(module, &PassConfig::from_env())
 }
 
 #[cfg(test)]
@@ -47,11 +180,68 @@ mod tests {
         let k = m.binary(BinaryOp::Add, c1, c2, 8); // folds to 7
         let s1 = m.binary(BinaryOp::Add, a, k, 8);
         let s2 = m.binary(BinaryOp::Add, a, k, 8); // CSE with s1
-        let y = m.binary(BinaryOp::Xor, s1, s2, 8); // = 0 after CSE? no: x^x folds only if we had that rule
+        let y = m.binary(BinaryOp::Xor, s1, s2, 8); // x ^ x folds to 0
         m.output("y", y);
         let before = m.nodes().len();
-        optimize(&mut m);
+        let report = optimize(&mut m);
         assert!(m.nodes().len() < before);
+        assert!(report.changed());
+        assert_eq!(report.nodes_after, m.nodes().len());
         m.validate().unwrap();
+    }
+
+    #[test]
+    fn optimize_is_idempotent() {
+        let mut m = Module::new("t");
+        let a = m.input("a", 8);
+        let b = m.input("b", 8);
+        let cat = m.concat(a, b);
+        let hi = m.slice(cat, 8, 8);
+        let s1 = m.binary(BinaryOp::Add, hi, b, 8);
+        let s2 = m.binary(BinaryOp::Add, b, hi, 8); // commutative duplicate
+        let y = m.binary(BinaryOp::Or, s1, s2, 8);
+        m.output("y", y);
+        optimize(&mut m);
+        let nodes: Vec<_> = m.nodes().iter().map(|nd| nd.node.clone()).collect();
+        let second = optimize(&mut m);
+        assert!(!second.changed(), "second run must be a no-op: {second:?}");
+        assert_eq!(second.iterations, 1);
+        let nodes2: Vec<_> = m.nodes().iter().map(|nd| nd.node.clone()).collect();
+        assert_eq!(nodes, nodes2, "second run must not reorder nodes");
+    }
+
+    #[test]
+    fn disabled_config_is_a_no_op() {
+        let mut m = Module::new("t");
+        let a = m.input("a", 8);
+        let z = m.const_u(8, 0);
+        let s = m.binary(BinaryOp::Add, a, z, 8);
+        m.output("y", s);
+        let before = m.nodes().len();
+        let report = optimize_with(&mut m, &PassConfig::none());
+        assert_eq!(m.nodes().len(), before);
+        assert!(!report.changed());
+        assert_eq!(report.iterations, 0);
+    }
+
+    #[test]
+    fn pass_config_keys_are_distinct() {
+        let mut keys = vec![
+            PassConfig::all().key(),
+            PassConfig::none().key(),
+            PassConfig {
+                strength: false,
+                ..PassConfig::all()
+            }
+            .key(),
+            PassConfig {
+                cse: false,
+                ..PassConfig::all()
+            }
+            .key(),
+        ];
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), 4);
     }
 }

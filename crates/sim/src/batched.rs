@@ -367,6 +367,12 @@ impl BatchedSimulator {
         (self.low.tape.len(), self.low.generic.len())
     }
 
+    /// Node/register accounting from the pre-lowering optimization pipeline
+    /// (`None` when [`EngineOptions::optimize`] was off).
+    pub fn opt_report(&self) -> Option<hc_rtl::passes::OptReport> {
+        self.low.opt_report
+    }
+
     /// Completed clock cycles of one lane (frozen while the lane is
     /// masked out).
     ///

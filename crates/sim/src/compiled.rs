@@ -143,6 +143,12 @@ impl CompiledSimulator {
         (self.low.tape.len(), self.low.generic.len())
     }
 
+    /// Node/register accounting from the pre-lowering optimization pipeline
+    /// (`None` when [`EngineOptions::optimize`] was off).
+    pub fn opt_report(&self) -> Option<hc_rtl::passes::OptReport> {
+        self.low.opt_report
+    }
+
     fn read_loc(&self, loc: Loc, width: u32) -> Bits {
         match loc {
             Loc::N(s) => Bits::from_u64(width, self.narrow[s as usize]),

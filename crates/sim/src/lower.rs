@@ -376,6 +376,9 @@ impl EngineOptions {
 #[derive(Debug)]
 pub(crate) struct Lowered {
     pub module: Module,
+    /// Accounting from the pre-lowering optimization pipeline; `None` when
+    /// the pipeline was not run.
+    pub opt_report: Option<hc_rtl::passes::OptReport>,
     pub tape: Vec<Instr>,
     pub generic: Vec<GenericOp>,
     /// Initial narrow slot image: register inits and constants; all other
@@ -421,13 +424,16 @@ impl Lowered {
     /// Returns the module's [`ValidateError`] if it is structurally invalid.
     pub fn new(mut module: Module, options: EngineOptions) -> Result<Self, ValidateError> {
         module.validate()?;
-        if options.optimize {
-            hc_rtl::passes::optimize(&mut module);
+        let opt_report = if options.optimize {
+            let report = hc_rtl::passes::optimize(&mut module);
             // The pass pipeline must hand back a valid module; re-validate
             // so a broken pass fails loudly here instead of corrupting the
             // tape.
             module.validate()?;
-        }
+            Some(report)
+        } else {
+            None
+        };
 
         let mut narrow = Vec::new();
         let mut wide = Vec::new();
@@ -595,6 +601,7 @@ impl Lowered {
 
         Ok(Lowered {
             module,
+            opt_report,
             tape,
             generic,
             narrow_init: narrow,

@@ -120,6 +120,7 @@ pub fn synthesize(module: &Module, device: &Device, options: &SynthOptions) -> S
         module: module.name().to_owned(),
         area,
         timing,
+        netlist: hc_rtl::ModuleStats::of(module),
     }
 }
 

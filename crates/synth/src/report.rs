@@ -53,6 +53,10 @@ pub struct SynthReport {
     pub area: AreaReport,
     /// Timing summary.
     pub timing: TimingReport,
+    /// Structural statistics of the netlist as synthesized — after any
+    /// optimization passes the caller ran, so it describes the same logic
+    /// the area/timing figures were computed from.
+    pub netlist: hc_rtl::ModuleStats,
 }
 
 impl fmt::Display for SynthReport {
@@ -114,6 +118,7 @@ mod tests {
                 wns_ns: 0.0,
                 critical_path: vec![],
             },
+            netlist: hc_rtl::ModuleStats::default(),
         };
         let s = r.to_string();
         assert!(s.contains("1 LUT") && s.contains("200.00 MHz"), "{s}");

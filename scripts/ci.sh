@@ -35,4 +35,17 @@ awk -F'[:,]' '
   END { if (!seen) { print "batched_speedup_vs_compiled missing from BENCH_sim.json"; exit 1 } }
 ' BENCH_sim.json
 
+echo "== perfsnap smoke (memoized fig1 sweep must beat the cold pipeline)"
+awk -F'[:,]' '
+  /"fig1_speedup"/  { speedup = $2 + 0; seen_s = 1 }
+  /"threads"/       { threads = $2 + 0; seen_t = 1 }
+  END {
+    if (!seen_s || !seen_t) { print "fig1_speedup/threads missing from BENCH_sim.json"; exit 1 }
+    if (threads >= 2 && speedup < 1.2) {
+      print "fig1 parallel sweep too slow: " speedup "x on " threads " workers (need >= 1.2)"; exit 1
+    }
+    print "fig1 sweep speedup: " speedup "x on " threads " workers"
+  }
+' BENCH_sim.json
+
 echo "CI OK"
