@@ -297,6 +297,12 @@ impl BatchedStreamHarness {
             }
         }
 
+        // Re-arm every lane for a potential next run — finished lanes were
+        // masked out of the clock above so their counters froze.
+        for lane in 0..lanes {
+            self.sim.set_active(lane, true);
+        }
+
         let mut outputs = Vec::with_capacity(lanes);
         let mut timings = Vec::with_capacity(lanes);
         for lane in 0..lanes {

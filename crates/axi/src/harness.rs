@@ -88,6 +88,25 @@ impl StreamHarness<CompiledSimulator> {
     ) -> Result<Self, ValidateError> {
         Self::with_backend(module, in_elem_width, out_elem_width)
     }
+
+    /// A compiled-backend harness with explicit engine construction options
+    /// (e.g. [`hc_sim::EngineOptions::no_tape_opt`] to A/B the tape backend
+    /// optimizer in measurement sweeps).
+    ///
+    /// # Errors
+    ///
+    /// Returns the module's [`ValidateError`] if it is structurally
+    /// invalid.
+    pub fn compiled_with_options(
+        module: Module,
+        options: hc_sim::EngineOptions,
+    ) -> Result<Self, ValidateError> {
+        Ok(Self::from_sim(
+            CompiledSimulator::with_options(module, options)?,
+            12,
+            9,
+        ))
+    }
 }
 
 impl<B: SimBackend> StreamHarness<B> {
@@ -96,18 +115,26 @@ impl<B: SimBackend> StreamHarness<B> {
         in_elem_width: u32,
         out_elem_width: u32,
     ) -> Result<Self, ValidateError> {
-        let mut sim = B::from_module(module)?;
+        Ok(Self::from_sim(
+            B::from_module(module)?,
+            in_elem_width,
+            out_elem_width,
+        ))
+    }
+
+    /// Wraps an already-constructed engine and applies one reset cycle.
+    fn from_sim(mut sim: B, in_elem_width: u32, out_elem_width: u32) -> Self {
         sim.set_u64("rst", 1);
         sim.set_u64("s_axis_tvalid", 0);
         sim.set_u64("m_axis_tready", 0);
         sim.step();
         sim.set_u64("rst", 0);
-        Ok(StreamHarness {
+        StreamHarness {
             sim,
             in_elem_width,
             out_elem_width,
             protocol_errors: Vec::new(),
-        })
+        }
     }
 
     /// Access to the simulator (e.g. for probing).

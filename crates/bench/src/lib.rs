@@ -92,6 +92,21 @@ pub fn fig1_points_timed(nblocks: usize) -> (Vec<(ToolId, Measurement, f64)>, us
     (points, chunk)
 }
 
+/// Linear-interpolated percentile (`q` in `0..=100`) of an unsorted
+/// sample, the convention used for the `fig1_point_seconds_p50`/`_p90`
+/// fields of `BENCH_sim.json`. Returns 0.0 on an empty sample.
+pub fn percentile(samples: &[f64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut s = samples.to_vec();
+    s.sort_by(f64::total_cmp);
+    let pos = (q.clamp(0.0, 100.0) / 100.0) * (s.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    s[lo] + (s[hi] - s[lo]) * (pos - lo as f64)
+}
+
 /// Wraps an AXI-Stream IDCT wrapper module as a batch IDCT function for
 /// [`hc_idct::ieee1180::measure_range_batched`]: each call streams the
 /// whole batch through a lane-batched harness (one contiguous chunk per
@@ -113,5 +128,21 @@ pub fn rtl_idct_batched(
         assert_eq!(outputs.len(), batch.len(), "harness lost blocks");
         assert!(harness.protocol_errors.is_empty());
         outputs.into_iter().map(hc_idct::Block).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::percentile;
+
+    #[test]
+    fn percentile_interpolates_and_handles_edges() {
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(percentile(&[7.0], 90.0), 7.0);
+        let s = [4.0, 1.0, 3.0, 2.0];
+        assert_eq!(percentile(&s, 0.0), 1.0);
+        assert_eq!(percentile(&s, 100.0), 4.0);
+        assert!((percentile(&s, 50.0) - 2.5).abs() < 1e-12);
+        assert!((percentile(&s, 90.0) - 3.7).abs() < 1e-12);
     }
 }

@@ -40,9 +40,78 @@ pub struct FrontHalf {
 
 type Key = (u128, u8);
 
-fn table() -> &'static Mutex<HashMap<Key, Arc<FrontHalf>>> {
-    static TABLE: OnceLock<Mutex<HashMap<Key, Arc<FrontHalf>>>> = OnceLock::new();
-    TABLE.get_or_init(Mutex::default)
+/// A least-recently-used map with a fixed capacity: a hit refreshes the
+/// entry's clock stamp and an insert evicts the stalest entry once the
+/// table is full. Eviction is an O(n) scan — n is the cap (hundreds) and
+/// sweeps hit far more often than they insert, so a heap buys nothing.
+#[derive(Debug)]
+struct Lru<K, V> {
+    cap: usize,
+    clock: u64,
+    map: HashMap<K, (V, u64)>,
+}
+
+impl<K: std::hash::Hash + Eq + Copy, V: Clone> Lru<K, V> {
+    fn new(cap: usize) -> Self {
+        Lru {
+            cap: cap.max(1),
+            clock: 0,
+            map: HashMap::new(),
+        }
+    }
+
+    fn get(&mut self, k: &K) -> Option<V> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.map.get_mut(k).map(|(v, stamp)| {
+            *stamp = clock;
+            v.clone()
+        })
+    }
+
+    /// Inserts under first-insert-wins semantics: if `k` is already present
+    /// (a racing worker computed it first), the existing value is returned
+    /// and `v` is dropped.
+    fn insert(&mut self, k: K, v: V) -> V {
+        self.clock += 1;
+        if self.map.len() >= self.cap && !self.map.contains_key(&k) {
+            if let Some(victim) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(k, _)| *k)
+            {
+                self.map.remove(&victim);
+            }
+        }
+        let clock = self.clock;
+        self.map.entry(k).or_insert((v, clock)).0.clone()
+    }
+
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    fn clear(&mut self) {
+        self.map.clear();
+    }
+}
+
+/// Maximum number of cached front-half entries, from `HC_CACHE_CAP`
+/// (default 256 — a full Fig. 1 sweep holds ~70 distinct modules, so the
+/// default keeps any realistic sweep fully resident while bounding
+/// multi-sweep processes).
+fn cache_cap() -> usize {
+    std::env::var("HC_CACHE_CAP")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(256)
+}
+
+fn table() -> &'static Mutex<Lru<Key, Arc<FrontHalf>>> {
+    static TABLE: OnceLock<Mutex<Lru<Key, Arc<FrontHalf>>>> = OnceLock::new();
+    TABLE.get_or_init(|| Mutex::new(Lru::new(cache_cap())))
 }
 
 static HITS: AtomicU64 = AtomicU64::new(0);
@@ -58,7 +127,7 @@ pub fn front_half(module: &Module) -> Arc<FrontHalf> {
     let key = (content_hash(module), config.key());
     if let Some(hit) = table().lock().expect("front-half cache").get(&key) {
         HITS.fetch_add(1, Ordering::Relaxed);
-        return Arc::clone(hit);
+        return hit;
     }
     MISSES.fetch_add(1, Ordering::Relaxed);
 
@@ -75,13 +144,7 @@ pub fn front_half(module: &Module) -> Arc<FrontHalf> {
         full: Arc::new(full),
         nodsp: Arc::new(nodsp),
     });
-    Arc::clone(
-        table()
-            .lock()
-            .expect("front-half cache")
-            .entry(key)
-            .or_insert(entry),
-    )
+    table().lock().expect("front-half cache").insert(key, entry)
 }
 
 /// `(hits, misses)` since process start or the last [`reset_stats`].
@@ -138,5 +201,39 @@ mod tests {
         let b = front_half(&redundant_adder("cache_t2b"));
         assert!(!Arc::ptr_eq(&a, &b));
         assert_eq!(a.nodsp.area.dsp, 0);
+    }
+
+    #[test]
+    fn lru_evicts_the_stalest_entry_at_the_cap() {
+        let mut lru: Lru<u32, u32> = Lru::new(2);
+        lru.insert(1, 10);
+        lru.insert(2, 20);
+        assert_eq!(lru.get(&1), Some(10)); // refresh 1 — 2 is now stalest
+        lru.insert(3, 30);
+        assert_eq!(lru.len(), 2);
+        assert_eq!(lru.get(&2), None, "stalest entry evicted");
+        assert_eq!(lru.get(&1), Some(10));
+        assert_eq!(lru.get(&3), Some(30));
+    }
+
+    #[test]
+    fn lru_insert_is_first_wins_and_never_evicts_on_rerace() {
+        let mut lru: Lru<u32, u32> = Lru::new(1);
+        assert_eq!(lru.insert(7, 70), 70);
+        // A racing loser's insert returns the winner's value...
+        assert_eq!(lru.insert(7, 71), 70);
+        // ...and a full table keeps a re-inserted key without eviction.
+        assert_eq!(lru.len(), 1);
+        assert_eq!(lru.get(&7), Some(70));
+    }
+
+    #[test]
+    fn lru_cap_zero_still_holds_one_entry() {
+        let mut lru: Lru<u32, u32> = Lru::new(0);
+        lru.insert(1, 10);
+        assert_eq!(lru.get(&1), Some(10));
+        lru.insert(2, 20);
+        assert_eq!(lru.len(), 1);
+        assert_eq!(lru.get(&2), Some(20));
     }
 }

@@ -16,11 +16,15 @@ pub fn pareto_front(points: &[Measurement]) -> Vec<usize> {
     let n = points.len();
     let area = |i: usize| points[i].area_nodsp.normalized();
     let mut idx: Vec<usize> = (0..n).collect();
+    // The index tiebreak makes the key total, so equal-cost ties come out
+    // in one deterministic order no matter how the input was permuted (and
+    // the sort may be swapped for an unstable one without changing results).
     idx.sort_by(|&i, &j| {
         points[j]
             .throughput_mops
             .total_cmp(&points[i].throughput_mops)
             .then_with(|| area(i).cmp(&area(j)))
+            .then_with(|| i.cmp(&j))
     });
 
     let mut front = Vec::new();
@@ -179,6 +183,56 @@ mod tests {
                     "seed {seed0:#x} round {round} diverged"
                 );
             }
+        }
+    }
+
+    /// Pins order-independence: permuting a heavily-tied input must yield
+    /// the *same set of points* on the front (indices map through the
+    /// permutation). Before the total sort key this could flip which copy
+    /// of a tied point survived depending on input order.
+    #[test]
+    fn front_is_invariant_under_seeded_permutations() {
+        let mut seed = 0x9e37_79b9_7f4a_7c15u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for round in 0..20 {
+            // Tiny value ranges so most points tie with several others.
+            let pts: Vec<Measurement> = (0..16)
+                .map(|_| point((next() % 3) as f64, next() % 3 + 1))
+                .collect();
+            let base: Vec<usize> = pareto_front(&pts);
+
+            // Fisher–Yates shuffle driven by the same generator.
+            let n = pts.len();
+            let mut perm: Vec<usize> = (0..n).collect();
+            for i in (1..n).rev() {
+                perm.swap(i, (next() % (i as u64 + 1)) as usize);
+            }
+            let shuffled: Vec<Measurement> = perm.iter().map(|&i| pts[i].clone()).collect();
+
+            // Map the shuffled front back to original indices and compare
+            // as sets (labels encode the point values, so equal labels are
+            // genuinely the same design point).
+            let mut base_labels: Vec<&str> = base.iter().map(|&i| pts[i].label.as_str()).collect();
+            let mut shuf_labels: Vec<&str> = pareto_front(&shuffled)
+                .iter()
+                .map(|&i| shuffled[i].label.as_str())
+                .collect();
+            base_labels.sort_unstable();
+            shuf_labels.sort_unstable();
+            assert_eq!(
+                base_labels, shuf_labels,
+                "round {round}: front changed under permutation"
+            );
+            assert_eq!(
+                base.len(),
+                pareto_front(&shuffled).len(),
+                "round {round}: front size changed under permutation"
+            );
         }
     }
 

@@ -85,4 +85,12 @@ pub trait SimBackend {
     /// Resets all registers to their init values and clears memories and the
     /// cycle counter (a hard power-on reset, independent of any reset port).
     fn reset(&mut self);
+
+    /// The tape backend optimizer's report, for engines that replay an
+    /// optimized instruction tape (`None` for interpreting engines or when
+    /// the optimizer is disabled via `HC_NO_TAPE_OPT` /
+    /// [`EngineOptions`](crate::EngineOptions)).
+    fn tape_opt_report(&self) -> Option<crate::TapeOptReport> {
+        None
+    }
 }

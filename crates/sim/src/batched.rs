@@ -36,7 +36,7 @@ use hc_bits::Bits;
 use hc_rtl::passes::eval::eval_pure;
 use hc_rtl::{Module, ValidateError};
 
-use crate::lower::{mask, sxt, EngineOptions, Instr, Loc, Lowered};
+use crate::lower::{mask, sxt, CmpKind, EngineOptions, Instr, Loc, Lowered};
 
 /// A narrow memory with `depth` words per lane (`words[lane*depth + addr]`).
 #[derive(Clone, Debug)]
@@ -173,6 +173,7 @@ fn wdeposit_n(dst: &mut [u64], src: &[u64], l: usize, off: u32, width: u32) {
 pub struct InPort {
     loc: Loc,
     width: u32,
+    idx: usize,
 }
 
 /// A pre-resolved output-port handle (see [`BatchedSimulator::out_port`]).
@@ -217,6 +218,11 @@ pub struct BatchedSimulator {
     active: Vec<bool>,
     cycles: Vec<u64>,
     evaluated: bool,
+    /// One dirty bit per tape segment (see [`crate::tapeopt`]); a clean
+    /// segment's instructions are skipped on [`eval`](Self::eval).
+    dirty: Vec<bool>,
+    /// Running count of segment evaluations skipped by activity gating.
+    cones_skipped: u64,
 }
 
 /// `dst[lane] = f(a[lane])` over the destination's lane group.
@@ -237,6 +243,27 @@ fn lane_bin(narrow: &mut [u64], l: usize, a: u32, b: u32, dst: u32, f: impl Fn(u
     let b = &src[b as usize * l..][..l];
     for (i, d) in rest[..l].iter_mut().enumerate() {
         *d = f(a[i], b[i]);
+    }
+}
+
+/// `dst[lane] = f(a[lane], b[lane], c[lane])` over the destination's lane
+/// group (for fused three-source superinstructions).
+#[inline(always)]
+fn lane_tri(
+    narrow: &mut [u64],
+    l: usize,
+    a: u32,
+    b: u32,
+    c: u32,
+    dst: u32,
+    f: impl Fn(u64, u64, u64) -> u64,
+) {
+    let (src, rest) = narrow.split_at_mut(dst as usize * l);
+    let a = &src[a as usize * l..][..l];
+    let b = &src[b as usize * l..][..l];
+    let c = &src[c as usize * l..][..l];
+    for (i, d) in rest[..l].iter_mut().enumerate() {
+        *d = f(a[i], b[i], c[i]);
     }
 }
 
@@ -329,6 +356,7 @@ impl BatchedSimulator {
             soff += wd.div_ceil(64) as usize * lanes;
         }
         let wreg_shadow = vec![0u64; soff];
+        let dirty = vec![true; low.segments.len()];
         Ok(BatchedSimulator {
             low,
             lanes,
@@ -347,6 +375,8 @@ impl BatchedSimulator {
             active: vec![true; lanes],
             cycles: vec![0; lanes],
             evaluated: false,
+            dirty,
+            cones_skipped: 0,
         })
     }
 
@@ -361,10 +391,37 @@ impl BatchedSimulator {
         self.lanes
     }
 
-    /// Instruction tape length (lowering statistics; generic entries count
-    /// the `eval_pure` fallbacks among them).
+    /// Instruction tape length as lowered, *before* the tape backend
+    /// optimizer ran (generic entries count the `eval_pure` fallbacks among
+    /// them) — so the figure reports what the IR-level pipeline produced.
     pub fn tape_stats(&self) -> (usize, usize) {
-        (self.low.tape.len(), self.low.generic.len())
+        self.low.lowered_stats
+    }
+
+    /// The tape backend optimizer's report (`None` when it was disabled via
+    /// [`EngineOptions`] or `HC_NO_TAPE_OPT`), with the runtime
+    /// cones-skipped counter filled in.
+    pub fn tape_opt_report(&self) -> Option<crate::TapeOptReport> {
+        self.low.tape_opt.map(|mut r| {
+            r.cones_skipped = self.cones_skipped;
+            r
+        })
+    }
+
+    /// Records an input write: with gating on, a *changed* value marks the
+    /// input's reader cones dirty; an unchanged write is free. With gating
+    /// off every write invalidates the settled state, as before.
+    fn touch_input(&mut self, idx: usize, changed: bool) {
+        if self.low.gate {
+            if changed {
+                for &k in &self.low.input_cones[idx] {
+                    self.dirty[k as usize] = true;
+                }
+                self.evaluated = false;
+            }
+        } else {
+            self.evaluated = false;
+        }
     }
 
     /// Node/register accounting from the pre-lowering optimization pipeline
@@ -431,18 +488,23 @@ impl BatchedSimulator {
         let idx = self.low.input_idx(name);
         let (loc, width) = self.low.input_locs[idx];
         assert_eq!(width, value.width(), "input {name:?} width");
-        match loc {
-            Loc::N(s) => self.narrow[s as usize * self.lanes + lane] = value.to_u64(),
-            Loc::W(s) => {
-                scatter_bits(
-                    &mut self.wide[self.wbase[s as usize]..],
-                    self.lanes,
-                    lane,
-                    &value,
-                );
+        let changed = match loc {
+            Loc::N(s) => {
+                let v = value.to_u64();
+                std::mem::replace(&mut self.narrow[s as usize * self.lanes + lane], v) != v
             }
-        }
-        self.evaluated = false;
+            Loc::W(s) => {
+                let b = self.wbase[s as usize];
+                let old = gather_bits(&self.wide[b..], self.lanes, lane, width);
+                if old == value {
+                    false
+                } else {
+                    scatter_bits(&mut self.wide[b..], self.lanes, lane, &value);
+                    true
+                }
+            }
+        };
+        self.touch_input(idx, changed);
     }
 
     /// Drives an input port on one lane from a `u64` (truncated to the port
@@ -455,19 +517,24 @@ impl BatchedSimulator {
         assert!(lane < self.lanes, "lane {lane} out of range");
         let idx = self.low.input_idx(name);
         let (loc, width) = self.low.input_locs[idx];
-        match loc {
-            Loc::N(s) => self.narrow[s as usize * self.lanes + lane] = value & mask(width),
+        let changed = match loc {
+            Loc::N(s) => {
+                let v = value & mask(width);
+                std::mem::replace(&mut self.narrow[s as usize * self.lanes + lane], v) != v
+            }
             Loc::W(s) => {
                 let s = s as usize;
                 let b = self.wbase[s];
                 // Wide ports are > 64 bits: low word takes the value whole.
+                // Conservatively treated as changed.
                 self.wide[b + lane] = value;
                 for w in 1..self.wwords[s] {
                     self.wide[b + w * self.lanes + lane] = 0;
                 }
+                true
             }
-        }
-        self.evaluated = false;
+        };
+        self.touch_input(idx, changed);
     }
 
     /// Drives an input port to the same `u64` on every lane (the usual way
@@ -488,8 +555,9 @@ impl BatchedSimulator {
     ///
     /// Panics if no input named `name` exists.
     pub fn in_port(&self, name: &str) -> InPort {
-        let (loc, width) = self.low.input_locs[self.low.input_idx(name)];
-        InPort { loc, width }
+        let idx = self.low.input_idx(name);
+        let (loc, width) = self.low.input_locs[idx];
+        InPort { loc, width, idx }
     }
 
     /// Resolves an output port once for the fast per-lane accessors.
@@ -511,8 +579,11 @@ impl BatchedSimulator {
     /// Panics if `lane` is out of range.
     pub fn set_port_u64(&mut self, lane: usize, port: InPort, value: u64) {
         assert!(lane < self.lanes, "lane {lane} out of range");
-        match port.loc {
-            Loc::N(s) => self.narrow[s as usize * self.lanes + lane] = value & mask(port.width),
+        let changed = match port.loc {
+            Loc::N(s) => {
+                let v = value & mask(port.width);
+                std::mem::replace(&mut self.narrow[s as usize * self.lanes + lane], v) != v
+            }
             Loc::W(s) => {
                 let s = s as usize;
                 let b = self.wbase[s];
@@ -520,9 +591,10 @@ impl BatchedSimulator {
                 for w in 1..self.wwords[s] {
                     self.wide[b + w * self.lanes + lane] = 0;
                 }
+                true
             }
-        }
-        self.evaluated = false;
+        };
+        self.touch_input(port.idx, changed);
     }
 
     /// Drives a pre-resolved input port on one lane, borrowing the value
@@ -534,18 +606,23 @@ impl BatchedSimulator {
     pub fn set_port(&mut self, lane: usize, port: InPort, value: &Bits) {
         assert!(lane < self.lanes, "lane {lane} out of range");
         assert_eq!(port.width, value.width(), "input port width");
-        match port.loc {
-            Loc::N(s) => self.narrow[s as usize * self.lanes + lane] = value.to_u64(),
-            Loc::W(s) => {
-                scatter_bits(
-                    &mut self.wide[self.wbase[s as usize]..],
-                    self.lanes,
-                    lane,
-                    value,
-                );
+        let changed = match port.loc {
+            Loc::N(s) => {
+                let v = value.to_u64();
+                std::mem::replace(&mut self.narrow[s as usize * self.lanes + lane], v) != v
             }
-        }
-        self.evaluated = false;
+            Loc::W(s) => {
+                let b = self.wbase[s as usize];
+                let old = gather_bits(&self.wide[b..], self.lanes, lane, port.width);
+                if &old == value {
+                    false
+                } else {
+                    scatter_bits(&mut self.wide[b..], self.lanes, lane, value);
+                    true
+                }
+            }
+        };
+        self.touch_input(port.idx, changed);
     }
 
     /// Reads a narrow (≤ 64-bit) pre-resolved output port on one lane
@@ -632,33 +709,53 @@ impl BatchedSimulator {
         if self.evaluated {
             return;
         }
-        // Dispatch to a monomorphized tape replay for the common lane
-        // counts: with the lane count a compile-time constant the per
-        // instruction lane loops have a fixed trip count, so LLVM unrolls
-        // and vectorizes them outright instead of emitting runtime-length
-        // loop preambles — that preamble is pure dispatch overhead and
-        // dominates the evaluation cost at moderate lane counts.
+        if self.low.gate {
+            // Activity gating: only segments whose inputs (ports, register
+            // outputs, memory contents) changed since they last settled are
+            // replayed; quiescent cones keep their slot values.
+            for k in 0..self.low.segments.len() {
+                if !self.dirty[k] {
+                    self.cones_skipped += 1;
+                    continue;
+                }
+                self.dirty[k] = false;
+                let seg = self.low.segments[k];
+                self.eval_range(seg.start as usize, seg.end as usize);
+            }
+        } else {
+            self.eval_range(0, self.low.tape.len());
+        }
+        self.evaluated = true;
+    }
+
+    /// Dispatches one tape range to a monomorphized replay for the common
+    /// lane counts: with the lane count a compile-time constant the per
+    /// instruction lane loops have a fixed trip count, so LLVM unrolls
+    /// and vectorizes them outright instead of emitting runtime-length
+    /// loop preambles — that preamble is pure dispatch overhead and
+    /// dominates the evaluation cost at moderate lane counts.
+    fn eval_range(&mut self, start: usize, end: usize) {
         match self.lanes {
-            1 => self.eval_tape::<1>(),
-            2 => self.eval_tape::<2>(),
-            4 => self.eval_tape::<4>(),
-            8 => self.eval_tape::<8>(),
-            16 => self.eval_tape::<16>(),
-            32 => self.eval_tape::<32>(),
-            _ => self.eval_tape::<0>(),
+            1 => self.eval_tape::<1>(start, end),
+            2 => self.eval_tape::<2>(start, end),
+            4 => self.eval_tape::<4>(start, end),
+            8 => self.eval_tape::<8>(start, end),
+            16 => self.eval_tape::<16>(start, end),
+            32 => self.eval_tape::<32>(start, end),
+            _ => self.eval_tape::<0>(start, end),
         }
     }
 
     /// The tape replay body; `L == 0` means "dynamic lane count".
     #[allow(clippy::too_many_lines)]
-    fn eval_tape<const L: usize>(&mut self) {
+    fn eval_tape<const L: usize>(&mut self, start: usize, end: usize) {
         let l = if L == 0 { self.lanes } else { L };
         let narrow = &mut self.narrow[..];
         let wide = &mut self.wide[..];
         let wbase = &self.wbase;
         let wwords = &self.wwords;
         let wwidth = &self.wwidth;
-        for instr in &self.low.tape {
+        for instr in &self.low.tape[start..end] {
             match *instr {
                 Instr::CopyMask { a, dst, mask } => {
                     lane_un(narrow, l, a, dst, |x| x & mask);
@@ -1055,9 +1152,73 @@ impl BatchedSimulator {
                         }
                     }
                 }
+                Instr::MacS {
+                    a,
+                    b,
+                    c,
+                    dst,
+                    sa,
+                    sb,
+                    mmask,
+                    mask,
+                } => {
+                    lane_tri(narrow, l, a, b, c, dst, |x, y, z| {
+                        (sxt(x, sa).wrapping_mul(sxt(y, sb)) as u64 & mmask).wrapping_add(z) & mask
+                    });
+                }
+                Instr::MacU {
+                    a,
+                    b,
+                    c,
+                    dst,
+                    mmask,
+                    mask,
+                } => {
+                    lane_tri(narrow, l, a, b, c, dst, |x, y, z| {
+                        (x.wrapping_mul(y) & mmask).wrapping_add(z) & mask
+                    });
+                }
+                Instr::SelN {
+                    kind,
+                    a,
+                    b,
+                    s,
+                    t,
+                    f,
+                    dst,
+                } => {
+                    let (src, rest) = narrow.split_at_mut(dst as usize * l);
+                    let a = &src[a as usize * l..][..l];
+                    let b = &src[b as usize * l..][..l];
+                    let tv = &src[t as usize * l..][..l];
+                    let fv = &src[f as usize * l..][..l];
+                    let d = &mut rest[..l];
+                    for i in 0..l {
+                        let cond = match kind {
+                            CmpKind::Eq => a[i] == b[i],
+                            CmpKind::Ne => a[i] != b[i],
+                            CmpKind::LtU => a[i] < b[i],
+                            CmpKind::LtS => sxt(a[i], s) < sxt(b[i], s),
+                            CmpKind::LeU => a[i] <= b[i],
+                            CmpKind::LeS => sxt(a[i], s) <= sxt(b[i], s),
+                        };
+                        d[i] = if cond { tv[i] } else { fv[i] };
+                    }
+                }
+                Instr::ShlI { a, dst, sh, mask } => {
+                    lane_un(narrow, l, a, dst, |x| (x << sh) & mask);
+                }
+                Instr::SraI {
+                    a,
+                    dst,
+                    sh,
+                    s,
+                    mask,
+                } => {
+                    lane_un(narrow, l, a, dst, |x| (sxt(x, s) >> sh) as u64 & mask);
+                }
             }
         }
-        self.evaluated = true;
     }
 
     /// Advances one clock cycle on every *active* lane: settles
@@ -1068,6 +1229,8 @@ impl BatchedSimulator {
     pub fn step(&mut self) {
         self.eval();
         let l = self.lanes;
+        let gate = self.low.gate;
+        let mut state_changed = false;
         // Phase 1: gather next values while every register slot still holds
         // its pre-edge value (registers may feed each other).
         for (ri, p) in self.low.nregs.iter().enumerate() {
@@ -1115,6 +1278,7 @@ impl BatchedSimulator {
         // Phase 2: memory writes sample the settled combinational values on
         // active lanes, in port order.
         for w in &self.low.nmem_writes {
+            let mut changed = false;
             for lane in 0..l {
                 if !self.active[lane] || self.narrow[w.en as usize * l + lane] == 0 {
                     continue;
@@ -1123,12 +1287,23 @@ impl BatchedSimulator {
                     Loc::N(s) => self.narrow[s as usize * l + lane],
                     Loc::W(s) => self.wide[self.wbase[s as usize] + lane],
                 } % self.nmems[w.mem as usize].depth;
+                let v = self.narrow[w.data as usize * l + lane];
                 let m = &mut self.nmems[w.mem as usize];
-                m.words[lane * m.depth as usize + a as usize] =
-                    self.narrow[w.data as usize * l + lane];
+                if std::mem::replace(&mut m.words[lane * m.depth as usize + a as usize], v) != v {
+                    changed = true;
+                }
+            }
+            if changed {
+                state_changed = true;
+                if gate {
+                    for &k in &self.low.nmem_cones[w.mem as usize] {
+                        self.dirty[k as usize] = true;
+                    }
+                }
             }
         }
         for w in &self.low.wmem_writes {
+            let mut changed = false;
             for lane in 0..l {
                 if !self.active[lane] || self.narrow[w.en as usize * l + lane] == 0 {
                     continue;
@@ -1144,14 +1319,38 @@ impl BatchedSimulator {
                     self.wwidth[w.data as usize],
                 );
                 let m = &mut self.wmems[w.mem as usize];
-                m.words[lane * m.depth as usize + a as usize] = data;
+                let slot = &mut m.words[lane * m.depth as usize + a as usize];
+                if *slot != data {
+                    *slot = data;
+                    changed = true;
+                }
+            }
+            if changed {
+                state_changed = true;
+                if gate {
+                    for &k in &self.low.wmem_cones[w.mem as usize] {
+                        self.dirty[k as usize] = true;
+                    }
+                }
             }
         }
         // Phase 3: the simultaneous commit, active lanes only.
         for (ri, p) in self.low.nregs.iter().enumerate() {
+            let mut changed = false;
             for lane in 0..l {
                 if self.active[lane] {
-                    self.narrow[p.slot as usize * l + lane] = self.nreg_shadow[ri * l + lane];
+                    let v = self.nreg_shadow[ri * l + lane];
+                    if std::mem::replace(&mut self.narrow[p.slot as usize * l + lane], v) != v {
+                        changed = true;
+                    }
+                }
+            }
+            if changed {
+                state_changed = true;
+                if gate {
+                    for &k in &self.low.nreg_cones[ri] {
+                        self.dirty[k as usize] = true;
+                    }
                 }
             }
         }
@@ -1159,10 +1358,22 @@ impl BatchedSimulator {
             let words = self.wwords[p.slot as usize];
             let sb = self.wreg_shadow_base[ri];
             let slot_b = self.wbase[p.slot as usize];
+            let mut changed = false;
             for w in 0..words {
                 for lane in 0..l {
                     if self.active[lane] {
-                        self.wide[slot_b + w * l + lane] = self.wreg_shadow[sb + w * l + lane];
+                        let v = self.wreg_shadow[sb + w * l + lane];
+                        if std::mem::replace(&mut self.wide[slot_b + w * l + lane], v) != v {
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            if changed {
+                state_changed = true;
+                if gate {
+                    for &k in &self.low.wreg_cones[ri] {
+                        self.dirty[k as usize] = true;
                     }
                 }
             }
@@ -1172,7 +1383,9 @@ impl BatchedSimulator {
                 self.cycles[lane] += 1;
             }
         }
-        self.evaluated = false;
+        if !gate || state_changed {
+            self.evaluated = false;
+        }
     }
 
     /// Runs `n` clock cycles with the current inputs held.
@@ -1211,6 +1424,7 @@ impl BatchedSimulator {
         }
         self.cycles.iter_mut().for_each(|c| *c = 0);
         self.active.iter_mut().for_each(|a| *a = true);
+        self.dirty.iter_mut().for_each(|d| *d = true);
         self.evaluated = false;
     }
 }

@@ -55,6 +55,10 @@ pub struct CompiledSimulator {
     wmems: Vec<WMem>,
     nreg_shadow: Vec<u64>,
     wreg_shadow: Vec<Bits>,
+    /// One dirty bit per cone segment (see `crate::tapeopt`); all-true when
+    /// gating is off.
+    dirty: Vec<bool>,
+    cones_skipped: u64,
     evaluated: bool,
     cycle: u64,
 }
@@ -113,6 +117,7 @@ impl CompiledSimulator {
             .collect();
         let nreg_shadow = vec![0u64; low.nregs.len()];
         let wreg_shadow: Vec<Bits> = low.wregs.iter().map(|p| p.init.clone()).collect();
+        let dirty = vec![true; low.segments.len()];
         Ok(CompiledSimulator {
             low,
             narrow,
@@ -121,6 +126,8 @@ impl CompiledSimulator {
             wmems,
             nreg_shadow,
             wreg_shadow,
+            dirty,
+            cones_skipped: 0,
             evaluated: false,
             cycle: 0,
         })
@@ -137,16 +144,45 @@ impl CompiledSimulator {
         self.cycle
     }
 
-    /// Instruction tape length (lowering statistics; generic entries count
-    /// the `eval_pure` fallbacks among them).
+    /// Instruction tape length *as lowered* (lowering statistics; generic
+    /// entries count the `eval_pure` fallbacks among them). Reported before
+    /// the tape backend optimizer so pre/post comparisons of the IR pass
+    /// pipeline stay meaningful; see
+    /// [`tape_opt_report`](CompiledSimulator::tape_opt_report) for the
+    /// executed tape length.
     pub fn tape_stats(&self) -> (usize, usize) {
-        (self.low.tape.len(), self.low.generic.len())
+        self.low.lowered_stats
     }
 
     /// Node/register accounting from the pre-lowering optimization pipeline
     /// (`None` when [`EngineOptions::optimize`] was off).
     pub fn opt_report(&self) -> Option<hc_rtl::passes::OptReport> {
         self.low.opt_report
+    }
+
+    /// Accounting from the tape backend optimizer (`None` when
+    /// [`EngineOptions::tape_opt`] was off), with the live count of cone
+    /// evaluations skipped by activity gating so far.
+    pub fn tape_opt_report(&self) -> Option<crate::TapeOptReport> {
+        self.low.tape_opt.map(|mut r| {
+            r.cones_skipped = self.cones_skipped;
+            r
+        })
+    }
+
+    /// Marks the cones reading input `idx` dirty after a value change, or
+    /// falls back to full invalidation when gating is off.
+    fn touch_input(&mut self, idx: usize, changed: bool) {
+        if self.low.gate {
+            if changed {
+                for &k in &self.low.input_cones[idx] {
+                    self.dirty[k as usize] = true;
+                }
+                self.evaluated = false;
+            }
+        } else {
+            self.evaluated = false;
+        }
     }
 
     fn read_loc(&self, loc: Loc, width: u32) -> Bits {
@@ -165,11 +201,19 @@ impl CompiledSimulator {
         let idx = self.low.input_idx(name);
         let (loc, width) = self.low.input_locs[idx];
         assert_eq!(width, value.width(), "input {name:?} width");
-        match loc {
-            Loc::N(s) => self.narrow[s as usize] = value.to_u64(),
-            Loc::W(s) => self.wide[s as usize] = value,
-        }
-        self.evaluated = false;
+        let changed = match loc {
+            Loc::N(s) => {
+                let v = value.to_u64();
+                std::mem::replace(&mut self.narrow[s as usize], v) != v
+            }
+            Loc::W(s) => {
+                let slot = &mut self.wide[s as usize];
+                let changed = *slot != value;
+                *slot = value;
+                changed
+            }
+        };
+        self.touch_input(idx, changed);
     }
 
     /// Drives an input port from a `u64` (truncated to the port width).
@@ -180,15 +224,21 @@ impl CompiledSimulator {
     pub fn set_u64(&mut self, name: &str, value: u64) {
         let idx = self.low.input_idx(name);
         let (loc, width) = self.low.input_locs[idx];
-        match loc {
-            Loc::N(s) => self.narrow[s as usize] = value & crate::lower::mask(width),
+        let changed = match loc {
+            Loc::N(s) => {
+                let v = value & crate::lower::mask(width);
+                std::mem::replace(&mut self.narrow[s as usize], v) != v
+            }
             Loc::W(s) => {
+                // Conservatively treated as a change (wide inputs are rare
+                // on this path and an extra cone eval is always sound).
                 let slot = &mut self.wide[s as usize];
                 slot.clear();
                 slot.deposit_u64(0, 64, value);
+                true
             }
-        }
-        self.evaluated = false;
+        };
+        self.touch_input(idx, changed);
     }
 
     /// Settles combinational logic for the current input/register state by
@@ -199,9 +249,30 @@ impl CompiledSimulator {
         if self.evaluated {
             return;
         }
+        if self.low.gate {
+            // Activity-gated: replay only the cone segments whose sources
+            // changed since they last ran.
+            for k in 0..self.low.segments.len() {
+                if !self.dirty[k] {
+                    self.cones_skipped += 1;
+                    continue;
+                }
+                self.dirty[k] = false;
+                let seg = self.low.segments[k];
+                self.eval_range(seg.start as usize, seg.end as usize);
+            }
+        } else {
+            self.eval_range(0, self.low.tape.len());
+        }
+        self.evaluated = true;
+    }
+
+    /// Replays `tape[start..end]`.
+    #[allow(clippy::too_many_lines)]
+    fn eval_range(&mut self, start: usize, end: usize) {
         let narrow = &mut self.narrow;
         let wide = &mut self.wide;
-        for instr in &self.low.tape {
+        for instr in &self.low.tape[start..end] {
             match *instr {
                 Instr::CopyMask { a, dst, mask } => {
                     narrow[dst as usize] = narrow[a as usize] & mask;
@@ -450,9 +521,72 @@ impl CompiledSimulator {
                         Loc::W(s) => wide[s as usize] = v,
                     }
                 }
+                Instr::MacS {
+                    a,
+                    b,
+                    c,
+                    dst,
+                    sa,
+                    sb,
+                    mmask,
+                    mask,
+                } => {
+                    let p = crate::lower::sxt(narrow[a as usize], sa)
+                        .wrapping_mul(crate::lower::sxt(narrow[b as usize], sb));
+                    narrow[dst as usize] =
+                        (p as u64 & mmask).wrapping_add(narrow[c as usize]) & mask;
+                }
+                Instr::MacU {
+                    a,
+                    b,
+                    c,
+                    dst,
+                    mmask,
+                    mask,
+                } => {
+                    let p = narrow[a as usize].wrapping_mul(narrow[b as usize]) & mmask;
+                    narrow[dst as usize] = p.wrapping_add(narrow[c as usize]) & mask;
+                }
+                Instr::SelN {
+                    kind,
+                    a,
+                    b,
+                    s,
+                    t,
+                    f,
+                    dst,
+                } => {
+                    let va = narrow[a as usize];
+                    let vb = narrow[b as usize];
+                    let cond = match kind {
+                        crate::lower::CmpKind::Eq => va == vb,
+                        crate::lower::CmpKind::Ne => va != vb,
+                        crate::lower::CmpKind::LtU => va < vb,
+                        crate::lower::CmpKind::LeU => va <= vb,
+                        crate::lower::CmpKind::LtS => {
+                            crate::lower::sxt(va, s) < crate::lower::sxt(vb, s)
+                        }
+                        crate::lower::CmpKind::LeS => {
+                            crate::lower::sxt(va, s) <= crate::lower::sxt(vb, s)
+                        }
+                    };
+                    narrow[dst as usize] = narrow[if cond { t } else { f } as usize];
+                }
+                Instr::ShlI { a, dst, sh, mask } => {
+                    narrow[dst as usize] = (narrow[a as usize] << sh) & mask;
+                }
+                Instr::SraI {
+                    a,
+                    dst,
+                    sh,
+                    s,
+                    mask,
+                } => {
+                    narrow[dst as usize] =
+                        (crate::lower::sxt(narrow[a as usize], s) >> sh) as u64 & mask;
+                }
             }
         }
-        self.evaluated = true;
     }
 
     /// Reads an output port (evaluating first if necessary).
@@ -530,7 +664,11 @@ impl CompiledSimulator {
             self.wreg_shadow[i].clone_from(src);
         }
         // Phase 2: memory writes sample the settled combinational values
-        // (which include pre-edge register outputs) in port order.
+        // (which include pre-edge register outputs) in port order. With
+        // gating on, a write that changes a stored word marks the cones
+        // holding that memory's read ports dirty.
+        let gate = self.low.gate;
+        let mut state_changed = false;
         for w in &self.low.nmem_writes {
             if self.narrow[w.en as usize] != 0 {
                 let m = &mut self.nmems[w.mem as usize];
@@ -538,7 +676,13 @@ impl CompiledSimulator {
                     Loc::N(s) => self.narrow[s as usize],
                     Loc::W(s) => self.wide[s as usize].to_u64(),
                 } % m.depth;
-                m.words[a as usize] = self.narrow[w.data as usize];
+                let v = self.narrow[w.data as usize];
+                if std::mem::replace(&mut m.words[a as usize], v) != v && gate {
+                    state_changed = true;
+                    for &k in &self.low.nmem_cones[w.mem as usize] {
+                        self.dirty[k as usize] = true;
+                    }
+                }
             }
         }
         for w in &self.low.wmem_writes {
@@ -548,17 +692,45 @@ impl CompiledSimulator {
                     Loc::W(s) => self.wide[s as usize].to_u64(),
                 } % self.wmems[w.mem as usize].depth;
                 let m = &mut self.wmems[w.mem as usize];
-                m.words[a as usize].clone_from(&self.wide[w.data as usize]);
+                let word = &mut m.words[a as usize];
+                if *word != self.wide[w.data as usize] {
+                    word.clone_from(&self.wide[w.data as usize]);
+                    if gate {
+                        state_changed = true;
+                        for &k in &self.low.wmem_cones[w.mem as usize] {
+                            self.dirty[k as usize] = true;
+                        }
+                    }
+                }
             }
         }
-        // Phase 3: the simultaneous commit.
+        // Phase 3: the simultaneous commit. A register whose value did not
+        // change leaves its reader cones clean; if nothing changed at all,
+        // the settled combinational state is still valid and the next eval
+        // is free.
         for (i, p) in self.low.nregs.iter().enumerate() {
-            self.narrow[p.slot as usize] = self.nreg_shadow[i];
+            let v = self.nreg_shadow[i];
+            if std::mem::replace(&mut self.narrow[p.slot as usize], v) != v && gate {
+                state_changed = true;
+                for &k in &self.low.nreg_cones[i] {
+                    self.dirty[k as usize] = true;
+                }
+            }
         }
         for (i, p) in self.low.wregs.iter().enumerate() {
-            std::mem::swap(&mut self.wide[p.slot as usize], &mut self.wreg_shadow[i]);
+            if self.wide[p.slot as usize] != self.wreg_shadow[i] {
+                std::mem::swap(&mut self.wide[p.slot as usize], &mut self.wreg_shadow[i]);
+                if gate {
+                    state_changed = true;
+                    for &k in &self.low.wreg_cones[i] {
+                        self.dirty[k as usize] = true;
+                    }
+                }
+            }
         }
-        self.evaluated = false;
+        if !gate || state_changed {
+            self.evaluated = false;
+        }
         self.cycle += 1;
     }
 
@@ -584,6 +756,7 @@ impl CompiledSimulator {
         for m in &mut self.wmems {
             m.words.iter_mut().for_each(Bits::clear);
         }
+        self.dirty.iter_mut().for_each(|d| *d = true);
         self.cycle = 0;
         self.evaluated = false;
     }
@@ -622,6 +795,9 @@ impl SimBackend for CompiledSimulator {
     }
     fn reset(&mut self) {
         CompiledSimulator::reset(self);
+    }
+    fn tape_opt_report(&self) -> Option<crate::TapeOptReport> {
+        CompiledSimulator::tape_opt_report(self)
     }
 }
 

@@ -51,12 +51,19 @@
 //!   per-op inner loop is a tight, auto-vectorizable kernel. Use it when
 //!   many independent stimulus streams (e.g. IEEE-1180 blocks) go through
 //!   one design.
+//!
+//! Both compiled engines run the **tape backend optimizer** by default
+//! (see [`TapeOptReport`]): superinstruction fusion, copy forwarding, tape
+//! dead-code elimination, live-range slot reallocation, and combinational
+//! cone partitioning with activity gating. Set `HC_NO_TAPE_OPT=1` (or use
+//! [`EngineOptions::no_tape_opt`]) to replay the raw lowered tape instead.
 
 mod backend;
 mod batched;
 mod compiled;
 mod lower;
 mod simulator;
+mod tapeopt;
 mod vcd;
 
 pub use backend::SimBackend;
@@ -64,4 +71,5 @@ pub use batched::{BatchedSimulator, InPort, OutPort};
 pub use compiled::CompiledSimulator;
 pub use lower::EngineOptions;
 pub use simulator::Simulator;
+pub use tapeopt::TapeOptReport;
 pub use vcd::VcdWriter;

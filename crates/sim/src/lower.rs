@@ -28,7 +28,7 @@ use hc_rtl::{BinaryOp, Module, Node, NodeId, UnaryOp, ValidateError};
 
 /// Where a value lives: inline in the `u64` slot array, or in the `Bits`
 /// side table for widths above 64.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub(crate) enum Loc {
     /// Index into the narrow (`u64`) slot array.
     N(u32),
@@ -56,7 +56,7 @@ pub(crate) fn sxt(v: u64, s: u32) -> i64 {
 /// Naming: a bare op name works on narrow (`u64`) slots; a `W` suffix means
 /// wide operands are involved. `Generic` falls back to `eval_pure` over
 /// materialized `Bits` for shapes with no specialized form.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub(crate) enum Instr {
     /// `dst = a & mask` — narrow copy, truncating zext/sext, widening zext.
     CopyMask {
@@ -313,6 +313,74 @@ pub(crate) enum Instr {
     },
     /// Fallback: evaluate via `eval_pure` over materialized `Bits`.
     Generic(u32),
+    /// Fused signed multiply-accumulate: the tape optimizer's contraction
+    /// of `MulS` feeding a single-use `Add`. `mmask` is the product mask,
+    /// `mask` the sum mask.
+    MacS {
+        a: u32,
+        b: u32,
+        c: u32,
+        dst: u32,
+        sa: u32,
+        sb: u32,
+        mmask: u64,
+        mask: u64,
+    },
+    /// Fused unsigned multiply-accumulate (`MulU` + `Add`).
+    MacU {
+        a: u32,
+        b: u32,
+        c: u32,
+        dst: u32,
+        mmask: u64,
+        mask: u64,
+    },
+    /// Fused compare-select: a comparison feeding a single-use `MuxN`.
+    /// `s` sign-extends the compare operands for the signed kinds.
+    SelN {
+        kind: CmpKind,
+        a: u32,
+        b: u32,
+        s: u32,
+        t: u32,
+        f: u32,
+        dst: u32,
+    },
+    /// Left shift by a constant amount (`sh < 64`).
+    ShlI {
+        a: u32,
+        dst: u32,
+        sh: u32,
+        mask: u64,
+    },
+    /// Arithmetic right shift by a constant amount (pre-clamped to < 64).
+    SraI {
+        a: u32,
+        dst: u32,
+        sh: u32,
+        s: u32,
+        mask: u64,
+    },
+}
+
+/// Comparison kind carried by the fused [`Instr::SelN`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub(crate) enum CmpKind {
+    Eq,
+    Ne,
+    LtU,
+    LtS,
+    LeU,
+    LeS,
+}
+
+/// A contiguous run of tape instructions forming one combinational cone
+/// (see `crate::tapeopt`). With activity gating enabled, eval skips clean
+/// segments.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Segment {
+    pub start: u32,
+    pub end: u32,
 }
 
 /// Fallback operation state for [`Instr::Generic`].
@@ -354,19 +422,53 @@ pub(crate) struct MemWritePlan {
 }
 
 /// Construction options shared by the compiled engines.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct EngineOptions {
     /// Run the `hc_rtl::passes::optimize` pipeline (const-fold → CSE → DCE
     /// to a size fixpoint) before lowering, so the engine replays a smaller
     /// tape. Off by default: the unoptimized tape mirrors the module
     /// node-for-node, which keeps `probe` indices stable for debugging.
     pub optimize: bool,
+    /// Run the tape backend optimizer after lowering: superinstruction
+    /// fusion, copy forwarding, tape dead-code elimination, live-range slot
+    /// reallocation, and cone partitioning for activity-gated evaluation.
+    /// On by default; `HC_NO_TAPE_OPT=1` in the environment turns it off
+    /// (mirroring `HC_NO_OPT` for the IR pass pipeline). Note that `probe`
+    /// of a node the optimizer eliminated reads a zero scratch slot.
+    pub tape_opt: bool,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions {
+            optimize: false,
+            tape_opt: tape_opt_from_env(),
+        }
+    }
+}
+
+/// The tape optimizer runs unless `HC_NO_TAPE_OPT` is set to something
+/// other than `""`/`"0"`.
+fn tape_opt_from_env() -> bool {
+    !matches!(std::env::var("HC_NO_TAPE_OPT"), Ok(v) if !v.is_empty() && v != "0")
 }
 
 impl EngineOptions {
     /// Options with the pre-lowering optimization pipeline enabled.
     pub fn optimized() -> Self {
-        EngineOptions { optimize: true }
+        EngineOptions {
+            optimize: true,
+            ..Self::default()
+        }
+    }
+
+    /// Options with the tape backend optimizer disabled (the raw lowered
+    /// tape is replayed unconditionally, as before the optimizer existed).
+    pub fn no_tape_opt() -> Self {
+        EngineOptions {
+            tape_opt: false,
+            ..Self::default()
+        }
     }
 }
 
@@ -400,6 +502,28 @@ pub(crate) struct Lowered {
     pub input_index: HashMap<String, usize>,
     pub output_index: HashMap<String, (Loc, u32)>,
     pub reg_index: HashMap<String, usize>,
+    /// Accounting from the tape backend optimizer; `None` when it was off.
+    pub tape_opt: Option<crate::tapeopt::TapeOptReport>,
+    /// Tape and generic-op counts as lowered, before the tape optimizer
+    /// (what `tape_stats` reports, so pre/post IR-pass comparisons stay
+    /// meaningful).
+    pub lowered_stats: (usize, usize),
+    /// Contiguous cone segments covering the tape (a single full-range
+    /// segment when the tape optimizer was off).
+    pub segments: Vec<Segment>,
+    /// Whether eval may skip clean segments (activity gating). When false
+    /// the engines replay the whole tape on every evaluation, exactly as
+    /// before the optimizer existed.
+    pub gate: bool,
+    /// Per input index: the segments whose instructions read that input.
+    pub input_cones: Vec<Vec<u32>>,
+    /// Per narrow/wide register plan index: the segments reading that
+    /// register's slot.
+    pub nreg_cones: Vec<Vec<u32>>,
+    pub wreg_cones: Vec<Vec<u32>>,
+    /// Per narrow/wide memory index: the segments containing a read port.
+    pub nmem_cones: Vec<Vec<u32>>,
+    pub wmem_cones: Vec<Vec<u32>>,
 }
 
 /// Allocates a slot for a `width`-bit value.
@@ -599,7 +723,8 @@ impl Lowered {
             .map(|(i, r)| (r.name.clone(), i))
             .collect();
 
-        Ok(Lowered {
+        let lowered_stats = (tape.len(), generic.len());
+        let mut low = Lowered {
             module,
             opt_report,
             tape,
@@ -618,7 +743,26 @@ impl Lowered {
             input_index,
             output_index,
             reg_index,
-        })
+            tape_opt: None,
+            lowered_stats,
+            segments: Vec::new(),
+            gate: false,
+            input_cones: Vec::new(),
+            nreg_cones: Vec::new(),
+            wreg_cones: Vec::new(),
+            nmem_cones: Vec::new(),
+            wmem_cones: Vec::new(),
+        };
+        if options.tape_opt {
+            let report = crate::tapeopt::optimize(&mut low);
+            low.tape_opt = Some(report);
+        } else {
+            low.segments = vec![Segment {
+                start: 0,
+                end: low.tape.len() as u32,
+            }];
+        }
+        Ok(low)
     }
 
     /// Index of the input port named `name`.

@@ -35,6 +35,29 @@ awk -F'[:,]' '
   END { if (!seen) { print "batched_speedup_vs_compiled missing from BENCH_sim.json"; exit 1 } }
 ' BENCH_sim.json
 
+echo "== perfsnap smoke (tape backend optimizer must pay for itself)"
+awk -F'[:,]' '
+  /"tapeopt_speedup"/ {
+    seen = 1
+    if ($2 + 0 < 1.2) {
+      print "tape-opt build too slow vs HC_NO_TAPE_OPT=1 build: " $2 "x (need >= 1.2)"; exit 1
+    }
+    print "tape-opt speedup vs raw tape:" $2 "x"
+  }
+  END { if (!seen) { print "tapeopt_speedup missing from BENCH_sim.json"; exit 1 } }
+' BENCH_sim.json
+awk '
+  # The first "fused" key belongs to the top-level tapeopt object — the
+  # measured IDCT design must show real superinstruction fusion.
+  /"fused"/ && !seen {
+    seen = 1
+    split($0, kv, /"fused": */); split(kv[2], v, /[,}]/)
+    if (v[1] + 0 <= 0) { print "no superinstructions fused on the IDCT design"; exit 1 }
+    print "superinstructions fused on the IDCT design: " v[1]
+  }
+  END { if (!seen) { print "tapeopt.fused missing from BENCH_sim.json"; exit 1 } }
+' BENCH_sim.json
+
 echo "== perfsnap smoke (memoized fig1 sweep must beat the cold pipeline)"
 awk -F'[:,]' '
   /"fig1_speedup"/  { speedup = $2 + 0; seen_s = 1 }

@@ -8,11 +8,12 @@
 //! compiled-tape shrink the PR claims (≥ 20% on at least two Table II
 //! designs) is pinned here so it cannot silently regress.
 
-use hls_vs_hc::axi::StreamHarness;
+use hls_vs_hc::axi::{BatchedStreamHarness, StreamHarness};
 use hls_vs_hc::core::entries::{all_tools, Design, DesignInterface};
 use hls_vs_hc::idct::generator::BlockGen;
 use hls_vs_hc::rtl::passes::{optimize, optimize_with, PassConfig};
 use hls_vs_hc::sim::{CompiledSimulator, EngineOptions, SimBackend, Simulator};
+use proptest::prelude::*;
 
 fn optimized_module(design: &Design) -> hls_vs_hc::rtl::Module {
     let mut module = design.module.clone();
@@ -36,8 +37,14 @@ fn check_axis(design: &Design, inputs: &[[[i32; 8]; 8]]) {
     );
 }
 
-/// Raw-stream kernels: a 200-cycle port trace with a fixed dense stimulus.
-fn stream_trace<B: SimBackend>(mut sim: B, cycles: u64) -> Vec<(bool, hls_vs_hc::bits::Bits)> {
+/// Raw-stream kernels: a port trace with a dense stimulus. `salt = 0`
+/// reproduces the fixed pattern the deterministic tests pin; a nonzero
+/// salt perturbs every input word for property-based runs.
+fn stream_trace<B: SimBackend>(
+    mut sim: B,
+    cycles: u64,
+    salt: u64,
+) -> Vec<(bool, hls_vs_hc::bits::Bits)> {
     let width = sim.module().input_named("in_data").expect("port").width;
     sim.set_u64("rst", 1);
     sim.set_u64("in_valid", 0);
@@ -49,7 +56,8 @@ fn stream_trace<B: SimBackend>(mut sim: B, cycles: u64) -> Vec<(bool, hls_vs_hc:
         let mut word = hls_vs_hc::bits::Bits::zero(width);
         for w in (0..width).step_by(48) {
             let chunk = (width - w).min(48);
-            word.deposit_u64(w, chunk, cycle.wrapping_mul(0x9e37_79b9).rotate_left(w));
+            let base = cycle.wrapping_mul(0x9e37_79b9).rotate_left(w);
+            word.deposit_u64(w, chunk, base ^ salt.rotate_left(cycle as u32 + w));
         }
         sim.set("in_data", word);
         trace.push((sim.get("out_valid").to_bool(), sim.get("out_data")));
@@ -62,8 +70,8 @@ fn check_stream(design: &Design) {
     let oracle = Simulator::new(design.module.clone()).expect("validates");
     let opt = CompiledSimulator::new(optimized_module(design)).expect("validates");
     assert_eq!(
-        stream_trace(oracle, 200),
-        stream_trace(opt, 200),
+        stream_trace(oracle, 200, 0),
+        stream_trace(opt, 200, 0),
         "{}: stream traces diverge after passes",
         design.label
     );
@@ -134,4 +142,93 @@ fn tape_shrinks_at_least_20_percent_on_two_designs() {
         big_shrinks.len() >= 2,
         "expected >= 2 Table II designs with >= 20% tape shrink, got {big_shrinks:?}"
     );
+}
+
+proptest! {
+    // Each case drives every Table II design through the interpreter
+    // oracle, so a handful of cases already covers thousands of cycles
+    // per design; more cases would only slow CI without new coverage.
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Differential property for the *tape backend optimizer*: the same
+    /// raw netlist (no pass pipeline) run on the compiled engine with the
+    /// optimized tape must be bit-exact against the interpreter oracle on
+    /// random stimuli — outputs *and* `T_L`/`T_P` — for every Table II
+    /// design. AXI designs additionally go through the SoA batched engine
+    /// with ragged lanes (unequal chunks, including an empty lane), whose
+    /// per-lane outputs and timing must match the scalar oracle runs.
+    #[test]
+    fn optimized_tape_matches_interpreter_on_random_stimuli(
+        seed in 1u64..u64::MAX,
+        nblocks in 1usize..=2,
+    ) {
+        let blocks = BlockGen::new(seed, -2048, 2047).take_blocks(nblocks);
+        let inputs: Vec<[[i32; 8]; 8]> = blocks.iter().map(|b| b.0).collect();
+        let short = &inputs[..inputs.len() - 1];
+        let budget = 2000 * (inputs.len() as u64 + 4);
+        for tool in all_tools() {
+            for design in [&tool.initial, &tool.optimized] {
+                match design.interface {
+                    DesignInterface::Axis => {
+                        let mut oracle =
+                            StreamHarness::new(design.module.clone()).expect("validates");
+                        let mut tape =
+                            StreamHarness::compiled(design.module.clone()).expect("validates");
+                        let (oout, otiming) = oracle.run(&inputs, budget);
+                        let (tout, ttiming) = tape.run(&inputs, budget);
+                        prop_assert_eq!(
+                            &oout, &tout,
+                            "{}: optimized tape diverges from interpreter", design.label
+                        );
+                        prop_assert_eq!(
+                            otiming, ttiming,
+                            "{}: T_L/T_P diverge on the optimized tape", design.label
+                        );
+
+                        // Ragged batched lanes: full chunk, shorter chunk,
+                        // empty chunk. Lane 0 must reproduce the oracle run
+                        // above; lane 1 gets its own scalar oracle run.
+                        let mut batched =
+                            BatchedStreamHarness::new(design.module.clone(), 3)
+                                .expect("validates");
+                        let chunks: Vec<&[[[i32; 8]; 8]]> = vec![&inputs, short, &[]];
+                        let (louts, ltimings) = batched.run_lanes(&chunks, budget);
+                        prop_assert_eq!(
+                            &louts[0], &oout,
+                            "{}: batched lane 0 diverges from interpreter", design.label
+                        );
+                        prop_assert_eq!(
+                            ltimings[0], otiming,
+                            "{}: batched lane 0 timing diverges", design.label
+                        );
+                        if short.is_empty() {
+                            prop_assert!(louts[1].is_empty());
+                        } else {
+                            let (sout, stiming) = oracle.run(short, budget);
+                            prop_assert_eq!(
+                                &louts[1], &sout,
+                                "{}: ragged batched lane diverges", design.label
+                            );
+                            prop_assert_eq!(
+                                ltimings[1], stiming,
+                                "{}: ragged batched lane timing diverges", design.label
+                            );
+                        }
+                        prop_assert!(louts[2].is_empty(), "{}: empty lane produced output", design.label);
+                    }
+                    DesignInterface::Stream { .. } => {
+                        let oracle =
+                            Simulator::new(design.module.clone()).expect("validates");
+                        let tape = CompiledSimulator::new(design.module.clone())
+                            .expect("validates");
+                        prop_assert_eq!(
+                            stream_trace(oracle, 96, seed),
+                            stream_trace(tape, 96, seed),
+                            "{}: optimized tape stream trace diverges", design.label
+                        );
+                    }
+                }
+            }
+        }
+    }
 }
