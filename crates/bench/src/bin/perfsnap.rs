@@ -266,6 +266,7 @@ fn main() {
          \"fig1_point_seconds_p90\": {point_p90:.4},\n  \
          \"fig1_point_seconds_max\": {point_max:.4},\n  \
          \"tape\": [\n    {tape_json}\n  ],\n  \
+         \"metrics\": {metrics},\n  \
          \"threads\": {threads}\n}}\n",
         main_rep = report_json(&main_report),
         sim = chz / ihz,
@@ -273,7 +274,16 @@ fn main() {
         points = serial.len(),
         st = serial_time.as_secs_f64(),
         pt = parallel_time.as_secs_f64(),
+        metrics = hc_obs::metrics::snapshot_json(),
     );
     std::fs::write("BENCH_sim.json", &json).expect("write BENCH_sim.json");
     println!("(written to BENCH_sim.json)");
+
+    // With HC_TRACE=<path> set, every span recorded above lands in one
+    // Chrome-trace file (open via chrome://tracing or Perfetto).
+    match hc_obs::trace::flush() {
+        Ok(Some(path)) => println!("(trace written to {path})"),
+        Ok(None) => {}
+        Err(e) => eprintln!("warning: failed to write HC_TRACE file: {e}"),
+    }
 }

@@ -16,8 +16,9 @@
 //! merely redundant).
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+
+use hc_obs::metrics::Counter;
 
 use hc_rtl::hash::content_hash;
 use hc_rtl::passes::{optimize_with, OptReport, PassConfig};
@@ -98,15 +99,12 @@ impl<K: std::hash::Hash + Eq + Copy, V: Clone> Lru<K, V> {
     }
 }
 
-/// Maximum number of cached front-half entries, from `HC_CACHE_CAP`
-/// (default 256 — a full Fig. 1 sweep holds ~70 distinct modules, so the
-/// default keeps any realistic sweep fully resident while bounding
-/// multi-sweep processes).
+/// Maximum number of cached front-half entries, from the `HC_CACHE_CAP`
+/// override in the active [`hc_obs::config`] snapshot (default 256 — a
+/// full Fig. 1 sweep holds ~70 distinct modules, so the default keeps any
+/// realistic sweep fully resident while bounding multi-sweep processes).
 fn cache_cap() -> usize {
-    std::env::var("HC_CACHE_CAP")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(256)
+    hc_obs::config().cache_cap.unwrap_or(256)
 }
 
 fn table() -> &'static Mutex<Lru<Key, Arc<FrontHalf>>> {
@@ -114,8 +112,19 @@ fn table() -> &'static Mutex<Lru<Key, Arc<FrontHalf>>> {
     TABLE.get_or_init(|| Mutex::new(Lru::new(cache_cap())))
 }
 
-static HITS: AtomicU64 = AtomicU64::new(0);
-static MISSES: AtomicU64 = AtomicU64::new(0);
+/// Hit/miss accounting now lives in the process-wide metrics registry
+/// (`cache.hits` / `cache.misses`), where `perfsnap` dumps it alongside
+/// every other pipeline counter; these cached handles keep each bump one
+/// uncontended atomic add.
+fn counters() -> (Counter, Counter) {
+    static CELLS: OnceLock<(Counter, Counter)> = OnceLock::new();
+    *CELLS.get_or_init(|| {
+        (
+            hc_obs::metrics::counter("cache.hits"),
+            hc_obs::metrics::counter("cache.misses"),
+        )
+    })
+}
 
 /// Optimizes and synthesizes `module`, memoized on its structural hash and
 /// the environment's pass configuration.
@@ -123,13 +132,17 @@ static MISSES: AtomicU64 = AtomicU64::new(0);
 /// The input module is not mutated; the returned [`FrontHalf`] carries the
 /// optimized copy.
 pub fn front_half(module: &Module) -> Arc<FrontHalf> {
+    let (hits, misses) = counters();
     let config = PassConfig::from_env();
     let key = (content_hash(module), config.key());
+    let mut span = hc_obs::span("front_half").with("module", module.name());
     if let Some(hit) = table().lock().expect("front-half cache").get(&key) {
-        HITS.fetch_add(1, Ordering::Relaxed);
+        hits.inc();
+        span.attach("hit", true);
         return hit;
     }
-    MISSES.fetch_add(1, Ordering::Relaxed);
+    misses.inc();
+    span.attach("hit", false);
 
     // Compute outside the lock: synthesis takes milliseconds and would
     // serialize every worker behind a single miss.
@@ -147,15 +160,18 @@ pub fn front_half(module: &Module) -> Arc<FrontHalf> {
     table().lock().expect("front-half cache").insert(key, entry)
 }
 
-/// `(hits, misses)` since process start or the last [`reset_stats`].
+/// `(hits, misses)` since process start or the last [`reset_stats`] —
+/// reads of the `cache.hits` / `cache.misses` metrics counters.
 pub fn stats() -> (u64, u64) {
-    (HITS.load(Ordering::Relaxed), MISSES.load(Ordering::Relaxed))
+    let (hits, misses) = counters();
+    (hits.get(), misses.get())
 }
 
 /// Zeroes the hit/miss counters (the cached entries stay).
 pub fn reset_stats() {
-    HITS.store(0, Ordering::Relaxed);
-    MISSES.store(0, Ordering::Relaxed);
+    let (hits, misses) = counters();
+    hits.reset();
+    misses.reset();
 }
 
 /// Drops every cached entry and zeroes the counters. Benchmarks use this

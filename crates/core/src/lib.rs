@@ -38,3 +38,8 @@ pub mod metrics;
 pub mod par;
 pub mod report;
 pub mod tool;
+
+/// Observability layer (structured tracing, metrics registry, `HC_*`
+/// configuration): the [`hc_obs`] leaf crate re-exported under the
+/// `hc_core` namespace, where flow-level code expects it.
+pub use hc_obs as obs;

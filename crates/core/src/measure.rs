@@ -1,7 +1,7 @@
 //! §III-C procedure: synthesize, simulate, measure.
 
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 
 use crate::entries::{Design, DesignInterface, ToolEntry};
 use crate::metrics;
@@ -23,14 +23,26 @@ struct Stimulus {
     inputs: Vec<[[i32; 8]; 8]>,
 }
 
+/// The process-wide stimulus cache behind [`sample_blocks`].
+fn stimulus_cache() -> &'static Mutex<HashMap<usize, Arc<Stimulus>>> {
+    static CACHE: OnceLock<Mutex<HashMap<usize, Arc<Stimulus>>>> = OnceLock::new();
+    CACHE.get_or_init(Mutex::default)
+}
+
 /// Returns the deterministic stimulus for an `nblocks`-point run,
 /// generating each distinct size once per process. Every measurement in a
 /// sweep shares the same stimulus, so regenerating it per design point is
 /// pure waste (and the generator's determinism makes sharing sound).
+///
+/// A panic in one measurement task (a bit-exactness assertion, say) used
+/// to poison this mutex and abort every *subsequent* sweep in the process
+/// with "block cache" — the cache is insert-only with deterministic
+/// values, so a poisoned lock carries no torn state and is safe to take
+/// over.
 fn sample_blocks(nblocks: usize) -> Arc<Stimulus> {
-    static CACHE: OnceLock<Mutex<HashMap<usize, Arc<Stimulus>>>> = OnceLock::new();
-    let cache = CACHE.get_or_init(Mutex::default);
-    let mut cache = cache.lock().expect("block cache");
+    let mut cache = stimulus_cache()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
     cache
         .entry(nblocks)
         .or_insert_with(|| {
@@ -137,6 +149,8 @@ fn measure_back_half(
 
     let stim = sample_blocks(nblocks.max(2));
     let blocks = &stim.blocks;
+    let mut span = hc_obs::span("simulate").with("design", design.label.as_str());
+    span.attach("blocks", blocks.len());
     let (latency, periodicity) = match design.interface {
         DesignInterface::Axis => {
             // Blocks are independent stimuli, so they ride the lane-batched
@@ -168,6 +182,9 @@ fn measure_back_half(
         }
         DesignInterface::Stream { .. } => measure_stream(module, blocks, &design.label),
     };
+    span.attach("latency", latency);
+    span.attach("periodicity", periodicity);
+    drop(span);
 
     let throughput_mops = match design.interface {
         DesignInterface::Axis => fmax / periodicity as f64,
@@ -310,4 +327,38 @@ pub fn measure_all(tools: &[ToolEntry], nblocks: usize) -> Vec<ToolRow> {
             }
         })
         .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    #[test]
+    fn sample_blocks_recovers_from_poisoned_cache() {
+        // A sweep task panicking while holding the stimulus cache lock
+        // (what a bit-exactness assertion inside the generation closure
+        // does) used to poison the mutex and abort every later sweep in
+        // the process.
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let items: Vec<u32> = (0..4).collect();
+            parallel_map(&items, |&x| {
+                if x == 2 {
+                    let _guard = stimulus_cache()
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner);
+                    panic!("sweep task died mid-measure");
+                }
+                x
+            });
+        }));
+        assert!(result.is_err(), "the panic must propagate out of the sweep");
+        // The next sweep's stimulus generation still completes and the
+        // cache still memoizes.
+        let stim = sample_blocks(3);
+        assert_eq!(stim.blocks.len(), 3);
+        assert_eq!(stim.inputs.len(), 3);
+        let again = sample_blocks(3);
+        assert!(Arc::ptr_eq(&stim, &again), "cache lost its memoization");
+    }
 }

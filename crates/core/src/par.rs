@@ -9,10 +9,26 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-/// The configured worker-pool width: the `HC_THREADS` environment override
-/// when set to a positive integer, otherwise
+/// The worker-pool width a given observability [`Config`](hc_obs::Config)
+/// implies: its `HC_THREADS` override when present, otherwise
 /// [`std::thread::available_parallelism`] (falling back to 1 when the
 /// platform cannot report it).
+///
+/// Pure in the config, so tests inject a [`hc_obs::Config::from_vars`]
+/// fixture instead of mutating process-global environment state (the old
+/// `set_var`-based test raced with every other test reading the
+/// environment).
+pub fn workers_for(cfg: &hc_obs::Config) -> usize {
+    match cfg.threads {
+        Some(n) if n >= 1 => n,
+        _ => std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1),
+    }
+}
+
+/// The configured worker-pool width, per the active [`hc_obs::config`]
+/// snapshot (one `HC_THREADS` read at first use, not one per call).
 ///
 /// `HC_THREADS` exists because `available_parallelism` honors cgroup and
 /// affinity limits: inside a constrained container it can legitimately
@@ -20,15 +36,7 @@ use std::sync::Mutex;
 /// (or CI) force a pool width; it is also how `BENCH_sim.json` records an
 /// honest `threads` figure instead of guessing.
 pub fn configured_workers() -> usize {
-    match std::env::var("HC_THREADS")
-        .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
-    {
-        Some(n) if n >= 1 => n,
-        _ => std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1),
-    }
+    workers_for(&hc_obs::config())
 }
 
 /// The number of workers [`parallel_map`] will actually use for `n` items:
@@ -89,14 +97,15 @@ pub const TARGET_TASK_SECONDS: f64 = 0.050;
 /// worker still gets at least one chunk.
 ///
 /// `est_item_seconds` is typically measured by timing one representative
-/// item; zero or negative estimates (a timer too coarse to see the item)
-/// fall back to the largest per-worker chunk.
+/// item; degenerate estimates — zero or negative (a timer too coarse to
+/// see the item), NaN (a 0/0 rate), or infinite — fall back to the largest
+/// per-worker chunk rather than poisoning the division.
 pub fn adaptive_chunk(n: usize, est_item_seconds: f64) -> usize {
     if n == 0 {
         return 1;
     }
     let per_worker = n.div_ceil(worker_count(n));
-    let ideal = if est_item_seconds > 0.0 {
+    let ideal = if est_item_seconds.is_finite() && est_item_seconds > 0.0 {
         (TARGET_TASK_SECONDS / est_item_seconds).ceil() as usize
     } else {
         per_worker
@@ -174,18 +183,31 @@ mod tests {
 
     #[test]
     fn hc_threads_overrides_detection() {
-        // Env mutation is process-global; this test only asserts on values
-        // read while the override is in place, and parallel_map stays
-        // correct for any worker count a concurrent test might observe.
-        std::env::set_var("HC_THREADS", "3");
-        assert_eq!(configured_workers(), 3);
-        assert_eq!(worker_count(2), 2);
+        // Injected config fixtures instead of set_var/remove_var: env
+        // mutation is process-global and raced with every concurrently
+        // running test that reads the environment.
+        let cfg = |v: Option<&'static str>| {
+            hc_obs::Config::from_vars(move |name| {
+                (name == "HC_THREADS")
+                    .then(|| v.map(String::from))
+                    .flatten()
+            })
+        };
+        assert_eq!(workers_for(&cfg(Some("3"))), 3);
+        assert_eq!(workers_for(&cfg(Some("1"))), 1);
+        let detected = workers_for(&cfg(None));
+        assert!(detected >= 1, "detection always yields a worker");
+        assert_eq!(
+            workers_for(&cfg(Some("not-a-number"))),
+            detected,
+            "garbage override falls back to detection"
+        );
+        assert_eq!(workers_for(&cfg(Some("0"))), detected, "zero is ignored");
+        // The live path agrees with the injected one for the active config.
+        assert_eq!(configured_workers(), workers_for(&hc_obs::config()));
         let items: Vec<u64> = (0..40).collect();
         let out = parallel_map(&items, |&x| x + 1);
         assert_eq!(out, (1..41).collect::<Vec<u64>>());
-        std::env::set_var("HC_THREADS", "not-a-number");
-        assert!(configured_workers() >= 1, "garbage override falls back");
-        std::env::remove_var("HC_THREADS");
     }
 
     #[test]
@@ -212,6 +234,25 @@ mod tests {
         // result never exceeds them.
         assert!(adaptive_chunk(8, 0.0) >= 1);
         assert_eq!(adaptive_chunk(0, 0.001), 1);
+    }
+
+    #[test]
+    fn adaptive_chunk_clamps_degenerate_estimates() {
+        let per_worker = |n: usize| n.div_ceil(worker_count(n));
+        // Zero, negative, NaN and both infinities all take the per-worker
+        // fallback instead of poisoning the target-seconds division.
+        for est in [0.0, -1.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let c = adaptive_chunk(64, est);
+            assert_eq!(c, per_worker(64), "est={est}");
+            assert!(c >= 1);
+        }
+        // A denormal-tiny estimate saturates at the per-worker cap rather
+        // than overflowing the float-to-usize cast.
+        assert_eq!(adaptive_chunk(64, 1e-300), per_worker(64));
+        // n == 0 stays well-defined for every estimate.
+        for est in [0.0, f64::NAN, f64::INFINITY] {
+            assert_eq!(adaptive_chunk(0, est), 1);
+        }
     }
 
     #[test]

@@ -1,0 +1,143 @@
+//! The single read of every `HC_*` environment variable.
+//!
+//! Before this module each knob was parsed at its point of use —
+//! `HC_THREADS` in `par`, `HC_NO_OPT` in the pass pipeline, `HC_NO_TAPE_OPT`
+//! in tape lowering, `HC_CACHE_CAP` in the memo cache — which meant the
+//! values could change mid-process and the only way for a test to exercise
+//! a knob was to mutate the global environment, racing every other test in
+//! the parallel harness. Now the environment is read **once** into a
+//! [`Config`] snapshot; tests and tools that need different settings use
+//! [`set_override`] (process-wide, explicit) or call the pure
+//! [`Config::from_vars`] parser directly — no `set_var` anywhere.
+
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// Parsed snapshot of every observability-relevant environment variable.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Config {
+    /// `HC_THREADS`: worker-pool width override (`None` = autodetect).
+    pub threads: Option<usize>,
+    /// `HC_NO_OPT`: disable the IR optimization pass pipeline.
+    pub no_opt: bool,
+    /// `HC_NO_TAPE_OPT`: disable the tape backend optimizer.
+    pub no_tape_opt: bool,
+    /// `HC_CACHE_CAP`: front-half memo-cache capacity (`None` = default).
+    pub cache_cap: Option<usize>,
+    /// `HC_TRACE`: Chrome-trace output path; tracing is on iff set.
+    pub trace: Option<String>,
+    /// `HC_PROFILE`: per-opcode / per-cone simulator profiling.
+    pub profile: bool,
+}
+
+/// A flag variable is "set" when nonempty and not `"0"` — the convention
+/// `HC_NO_OPT` and `HC_NO_TAPE_OPT` already used.
+fn flag(v: Option<String>) -> bool {
+    matches!(v, Some(v) if !v.is_empty() && v != "0")
+}
+
+/// A positive-integer variable; garbage or zero falls back to `None`.
+fn positive(v: Option<String>) -> Option<usize> {
+    v.and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+}
+
+impl Config {
+    /// Parses a configuration from an arbitrary variable source. This is
+    /// the injection point for tests: pass a closure over a fixture map
+    /// instead of mutating the process environment.
+    pub fn from_vars<F: Fn(&str) -> Option<String>>(get: F) -> Self {
+        Config {
+            threads: positive(get("HC_THREADS")),
+            no_opt: flag(get("HC_NO_OPT")),
+            no_tape_opt: flag(get("HC_NO_TAPE_OPT")),
+            cache_cap: positive(get("HC_CACHE_CAP")),
+            trace: get("HC_TRACE").filter(|p| !p.is_empty()),
+            profile: flag(get("HC_PROFILE")),
+        }
+    }
+
+    /// Parses the process environment.
+    pub fn from_env() -> Self {
+        Self::from_vars(|k| std::env::var(k).ok())
+    }
+}
+
+fn state() -> &'static RwLock<Arc<Config>> {
+    static STATE: OnceLock<RwLock<Arc<Config>>> = OnceLock::new();
+    STATE.get_or_init(|| {
+        let cfg = Arc::new(Config::from_env());
+        crate::trace::refresh(&cfg);
+        RwLock::new(cfg)
+    })
+}
+
+/// The active configuration: the environment snapshot taken on first
+/// access, unless an explicit [`set_override`] replaced it.
+pub fn config() -> Arc<Config> {
+    state().read().expect("config lock").clone()
+}
+
+/// Replaces the active configuration process-wide (also re-arming or
+/// disarming the tracer to match `cfg.trace`). Intended for tools and test
+/// binaries; library code should only ever read.
+pub fn set_override(cfg: Config) {
+    let cfg = Arc::new(cfg);
+    crate::trace::refresh(&cfg);
+    *state().write().expect("config lock") = cfg;
+}
+
+/// Drops any override and restores the environment snapshot.
+pub fn reset_to_env() {
+    set_override(Config::from_env());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture(pairs: &[(&str, &str)]) -> Config {
+        Config::from_vars(|k| {
+            pairs
+                .iter()
+                .find(|(key, _)| *key == k)
+                .map(|(_, v)| (*v).to_string())
+        })
+    }
+
+    #[test]
+    fn empty_environment_is_all_defaults() {
+        let cfg = fixture(&[]);
+        assert_eq!(cfg, Config::default());
+        assert!(!cfg.no_opt && !cfg.no_tape_opt && !cfg.profile);
+        assert_eq!(cfg.threads, None);
+    }
+
+    #[test]
+    fn flags_follow_the_nonempty_nonzero_convention() {
+        assert!(fixture(&[("HC_NO_OPT", "1")]).no_opt);
+        assert!(fixture(&[("HC_NO_OPT", "yes")]).no_opt);
+        assert!(!fixture(&[("HC_NO_OPT", "0")]).no_opt);
+        assert!(!fixture(&[("HC_NO_OPT", "")]).no_opt);
+        assert!(fixture(&[("HC_NO_TAPE_OPT", "1")]).no_tape_opt);
+        assert!(fixture(&[("HC_PROFILE", "1")]).profile);
+    }
+
+    #[test]
+    fn integers_reject_garbage_and_zero() {
+        assert_eq!(fixture(&[("HC_THREADS", "3")]).threads, Some(3));
+        assert_eq!(fixture(&[("HC_THREADS", " 4 ")]).threads, Some(4));
+        assert_eq!(fixture(&[("HC_THREADS", "0")]).threads, None);
+        assert_eq!(fixture(&[("HC_THREADS", "not-a-number")]).threads, None);
+        assert_eq!(fixture(&[("HC_CACHE_CAP", "64")]).cache_cap, Some(64));
+        assert_eq!(fixture(&[("HC_CACHE_CAP", "-1")]).cache_cap, None);
+    }
+
+    #[test]
+    fn trace_path_passes_through_verbatim() {
+        assert_eq!(
+            fixture(&[("HC_TRACE", "out.json")]).trace.as_deref(),
+            Some("out.json")
+        );
+        assert_eq!(fixture(&[("HC_TRACE", "")]).trace, None);
+    }
+}

@@ -1,0 +1,29 @@
+//! Observability for the whole pipeline: one environment [`config`], a
+//! hierarchical tracing layer ([`trace`]) and a process-wide metrics
+//! registry ([`metrics`]).
+//!
+//! This crate is a dependency *leaf* — it uses nothing but `std`, so every
+//! layer of the flow (frontends, `hc-rtl` passes, `hc-synth`, `hc-sim`,
+//! `hc-core` drivers) can report into it without dependency cycles.
+//! Downstream code normally reaches it as `hc_core::obs`.
+//!
+//! Everything is compile-out-cheap: with neither `HC_TRACE` nor
+//! `HC_PROFILE` set, a span is one relaxed atomic load and the metrics
+//! counters are plain uncontended atomics touched only at pipeline-stage
+//! granularity (never per simulated cycle or per tape instruction).
+//!
+//! | variable | effect |
+//! |---|---|
+//! | `HC_THREADS` | worker-pool width override for measurement sweeps |
+//! | `HC_NO_OPT` | disable the IR optimization pass pipeline |
+//! | `HC_NO_TAPE_OPT` | disable the tape backend optimizer |
+//! | `HC_CACHE_CAP` | LRU capacity of the front-half memo cache |
+//! | `HC_TRACE` | write a Chrome-trace JSON of pipeline spans to this path |
+//! | `HC_PROFILE` | enable per-opcode / per-cone simulator profiling |
+
+pub mod config;
+pub mod metrics;
+pub mod trace;
+
+pub use config::{config, Config};
+pub use trace::{span, Span};

@@ -1,0 +1,168 @@
+//! Process-wide metrics registry.
+//!
+//! One flat namespace of named `u64` counters replaces the ad-hoc statics
+//! that used to live wherever a subsystem happened to count something
+//! (cache hits in `hc_core::cache`, fusion counts inside `TapeOptReport`
+//! plumbing, cones skipped inside each simulator). Subsystems bump
+//! counters at pipeline-stage granularity; `perfsnap` dumps the whole
+//! registry into `BENCH_sim.json` so every figure lands in one place.
+//!
+//! A [`Counter`] is a `Copy` handle to a leaked `AtomicU64`: after the
+//! first [`counter`] lookup a caller can cache the handle and every bump is
+//! one uncontended atomic add, no lock. The set of distinct names is small
+//! and static, so the leak is bounded.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+fn registry() -> &'static Mutex<BTreeMap<&'static str, &'static AtomicU64>> {
+    static REGISTRY: OnceLock<Mutex<BTreeMap<&'static str, &'static AtomicU64>>> = OnceLock::new();
+    REGISTRY.get_or_init(Mutex::default)
+}
+
+/// A cheap, copyable handle to one registered counter.
+#[derive(Clone, Copy, Debug)]
+pub struct Counter(&'static AtomicU64);
+
+impl Counter {
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Zeroes this counter (it stays registered).
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// The counter registered under `name`, creating it at zero on first use.
+pub fn counter(name: &'static str) -> Counter {
+    let mut reg = registry().lock().expect("metrics registry");
+    let cell = reg
+        .entry(name)
+        .or_insert_with(|| Box::leak(Box::new(AtomicU64::new(0))));
+    Counter(cell)
+}
+
+/// [`counter`] for names built at runtime (e.g. per-opcode profile keys).
+/// The name is copied into the registry only the first time it is seen, so
+/// repeated lookups of the same name never grow the leak.
+pub fn counter_named(name: &str) -> Counter {
+    let mut reg = registry().lock().expect("metrics registry");
+    if let Some(cell) = reg.get(name) {
+        return Counter(cell);
+    }
+    let key: &'static str = Box::leak(name.to_owned().into_boxed_str());
+    let cell: &'static AtomicU64 = Box::leak(Box::new(AtomicU64::new(0)));
+    reg.insert(key, cell);
+    Counter(cell)
+}
+
+/// Every registered counter and its current value, sorted by name.
+pub fn snapshot() -> Vec<(&'static str, u64)> {
+    registry()
+        .lock()
+        .expect("metrics registry")
+        .iter()
+        .map(|(name, cell)| (*name, cell.load(Ordering::Relaxed)))
+        .collect()
+}
+
+/// Zeroes every registered counter (entries stay registered).
+pub fn reset() {
+    for (_, cell) in registry().lock().expect("metrics registry").iter() {
+        cell.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Renders a snapshot as a flat JSON object (`{"name": value, ...}`).
+pub fn snapshot_json() -> String {
+    let snap = snapshot();
+    let mut out = String::from("{");
+    for (i, (name, value)) in snap.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("\"{name}\": {value}"));
+    }
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// `reset` is process-global, so the tests touching it serialize.
+    fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let _g = test_lock();
+        let c = counter("test.metrics.alpha");
+        let base = c.get();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), base + 5);
+        // Re-looking up the same name yields the same cell.
+        assert_eq!(counter("test.metrics.alpha").get(), base + 5);
+        let snap = snapshot();
+        assert!(snap
+            .iter()
+            .any(|(n, v)| *n == "test.metrics.alpha" && *v == base + 5));
+    }
+
+    #[test]
+    fn snapshot_json_is_flat_and_sorted() {
+        counter("test.metrics.b").add(2);
+        counter("test.metrics.a").add(1);
+        let json = snapshot_json();
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        let a = json.find("test.metrics.a").unwrap();
+        let b = json.find("test.metrics.b").unwrap();
+        assert!(a < b, "sorted order: {json}");
+    }
+
+    #[test]
+    fn counter_named_deduplicates_runtime_names() {
+        let _g = test_lock();
+        let name = String::from("test.metrics.named");
+        let a = counter_named(&name);
+        let base = a.get();
+        a.inc();
+        // Same runtime-built content resolves to the same cell, and the
+        // static-name path agrees with it.
+        assert_eq!(
+            counter_named(&format!("test.metrics.{}", "named")).get(),
+            base + 1
+        );
+        assert_eq!(counter("test.metrics.named").get(), base + 1);
+    }
+
+    #[test]
+    fn handles_survive_reset() {
+        let _g = test_lock();
+        let c = counter("test.metrics.reset");
+        c.add(3);
+        reset();
+        assert_eq!(c.get(), 0);
+        c.inc();
+        assert_eq!(c.get(), 1);
+    }
+}

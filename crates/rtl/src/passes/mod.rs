@@ -68,11 +68,15 @@ impl PassConfig {
 
     /// The configuration selected by the environment: [`PassConfig::all`]
     /// normally, [`PassConfig::none`] when `HC_NO_OPT` is set to anything
-    /// but `0` or the empty string.
+    /// but `0` or the empty string. Reads the centralized
+    /// [`hc_obs::config`] snapshot, so a process-wide override set through
+    /// `hc_obs::config::set_override` is honored without touching the
+    /// environment.
     pub fn from_env() -> Self {
-        match std::env::var("HC_NO_OPT") {
-            Ok(v) if !v.is_empty() && v != "0" => Self::none(),
-            _ => Self::all(),
+        if hc_obs::config().no_opt {
+            Self::none()
+        } else {
+            Self::all()
         }
     }
 
@@ -129,6 +133,7 @@ impl OptReport {
 /// every frontend calls it before handing a module to `hc-synth` — area
 /// numbers then reflect optimized logic rather than frontend verbosity.
 pub fn optimize_with(module: &mut Module, config: &PassConfig) -> OptReport {
+    let mut span = hc_obs::span("optimize").with("module", module.name());
     let mut report = OptReport {
         nodes_before: module.nodes().len(),
         regs_before: module.regs().len(),
@@ -157,6 +162,12 @@ pub fn optimize_with(module: &mut Module, config: &PassConfig) -> OptReport {
     }
     report.nodes_after = module.nodes().len();
     report.regs_after = module.regs().len();
+    span.attach("nodes_before", report.nodes_before);
+    span.attach("nodes_after", report.nodes_after);
+    span.attach("iterations", report.iterations);
+    hc_obs::metrics::counter("ir.optimize_runs").inc();
+    hc_obs::metrics::counter("ir.nodes_removed")
+        .add(report.nodes_before.saturating_sub(report.nodes_after) as u64);
     report
 }
 

@@ -223,6 +223,10 @@ pub struct BatchedSimulator {
     dirty: Vec<bool>,
     /// Running count of segment evaluations skipped by activity gating.
     cones_skipped: u64,
+    /// Execution histograms, allocated iff `HC_PROFILE` was on at
+    /// construction (see `crate::profile`). Opcode counts are per tape
+    /// replay, not per lane.
+    prof: Option<Box<crate::profile::ProfileState>>,
 }
 
 /// `dst[lane] = f(a[lane])` over the destination's lane group.
@@ -357,6 +361,7 @@ impl BatchedSimulator {
         }
         let wreg_shadow = vec![0u64; soff];
         let dirty = vec![true; low.segments.len()];
+        let prof = crate::profile::ProfileState::from_config(&low);
         Ok(BatchedSimulator {
             low,
             lanes,
@@ -377,6 +382,7 @@ impl BatchedSimulator {
             evaluated: false,
             dirty,
             cones_skipped: 0,
+            prof,
         })
     }
 
@@ -406,6 +412,15 @@ impl BatchedSimulator {
             r.cones_skipped = self.cones_skipped;
             r
         })
+    }
+
+    /// Execution profile accumulated so far (`None` unless `HC_PROFILE`
+    /// was enabled when the engine was built). Opcode counts are per tape
+    /// replay, not per lane.
+    pub fn profile_report(&self) -> Option<crate::ProfileReport> {
+        self.prof
+            .as_deref()
+            .map(crate::profile::ProfileState::report)
     }
 
     /// Records an input write: with gating on, a *changed* value marks the
@@ -721,9 +736,16 @@ impl BatchedSimulator {
                 self.dirty[k] = false;
                 let seg = self.low.segments[k];
                 self.eval_range(seg.start as usize, seg.end as usize);
+                if let Some(p) = self.prof.as_deref_mut() {
+                    p.record_range(&self.low, k, seg.start as usize, seg.end as usize);
+                }
             }
         } else {
-            self.eval_range(0, self.low.tape.len());
+            let end = self.low.tape.len();
+            self.eval_range(0, end);
+            if let Some(p) = self.prof.as_deref_mut() {
+                p.record_range(&self.low, 0, 0, end);
+            }
         }
         self.evaluated = true;
     }
@@ -1426,6 +1448,24 @@ impl BatchedSimulator {
         self.active.iter_mut().for_each(|a| *a = true);
         self.dirty.iter_mut().for_each(|d| *d = true);
         self.evaluated = false;
+    }
+}
+
+/// Folds this engine's runtime counters into the process-wide metrics
+/// registry when it is torn down, so `perfsnap` and tools see aggregate
+/// activity without any hot-loop atomics.
+impl Drop for BatchedSimulator {
+    fn drop(&mut self) {
+        let total: u64 = self.cycles.iter().sum();
+        if total > 0 {
+            hc_obs::metrics::counter("sim.batched.lane_cycles").add(total);
+        }
+        if self.cones_skipped > 0 {
+            hc_obs::metrics::counter("sim.batched.cones_skipped").add(self.cones_skipped);
+        }
+        if let Some(p) = self.prof.as_deref() {
+            p.flush_to_metrics("sim.batched");
+        }
     }
 }
 

@@ -59,6 +59,9 @@ pub struct CompiledSimulator {
     /// gating is off.
     dirty: Vec<bool>,
     cones_skipped: u64,
+    /// Execution histograms, allocated iff `HC_PROFILE` was on at
+    /// construction (see `crate::profile`).
+    prof: Option<Box<crate::profile::ProfileState>>,
     evaluated: bool,
     cycle: u64,
 }
@@ -118,6 +121,7 @@ impl CompiledSimulator {
         let nreg_shadow = vec![0u64; low.nregs.len()];
         let wreg_shadow: Vec<Bits> = low.wregs.iter().map(|p| p.init.clone()).collect();
         let dirty = vec![true; low.segments.len()];
+        let prof = crate::profile::ProfileState::from_config(&low);
         Ok(CompiledSimulator {
             low,
             narrow,
@@ -128,6 +132,7 @@ impl CompiledSimulator {
             wreg_shadow,
             dirty,
             cones_skipped: 0,
+            prof,
             evaluated: false,
             cycle: 0,
         })
@@ -168,6 +173,14 @@ impl CompiledSimulator {
             r.cones_skipped = self.cones_skipped;
             r
         })
+    }
+
+    /// The execution profile recorded so far, or `None` when `HC_PROFILE`
+    /// was off at construction (see [`crate::ProfileReport`]).
+    pub fn profile_report(&self) -> Option<crate::ProfileReport> {
+        self.prof
+            .as_deref()
+            .map(crate::profile::ProfileState::report)
     }
 
     /// Marks the cones reading input `idx` dirty after a value change, or
@@ -260,9 +273,15 @@ impl CompiledSimulator {
                 self.dirty[k] = false;
                 let seg = self.low.segments[k];
                 self.eval_range(seg.start as usize, seg.end as usize);
+                if let Some(p) = self.prof.as_deref_mut() {
+                    p.record_range(&self.low, k, seg.start as usize, seg.end as usize);
+                }
             }
         } else {
             self.eval_range(0, self.low.tape.len());
+            if let Some(p) = self.prof.as_deref_mut() {
+                p.record_range(&self.low, 0, 0, self.low.tape.len());
+            }
         }
         self.evaluated = true;
     }
@@ -759,6 +778,23 @@ impl CompiledSimulator {
         self.dirty.iter_mut().for_each(|d| *d = true);
         self.cycle = 0;
         self.evaluated = false;
+    }
+}
+
+impl Drop for CompiledSimulator {
+    /// Folds this instance's runtime counters into the process-wide
+    /// metrics registry, so sweep-level totals survive the engines that
+    /// produced them.
+    fn drop(&mut self) {
+        if self.cycle > 0 {
+            hc_obs::metrics::counter("sim.compiled.cycles").add(self.cycle);
+        }
+        if self.cones_skipped > 0 {
+            hc_obs::metrics::counter("sim.compiled.cones_skipped").add(self.cones_skipped);
+        }
+        if let Some(p) = self.prof.as_deref() {
+            p.flush_to_metrics("sim.compiled");
+        }
     }
 }
 

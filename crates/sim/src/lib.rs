@@ -62,6 +62,8 @@ mod backend;
 mod batched;
 mod compiled;
 mod lower;
+mod probe;
+mod profile;
 mod simulator;
 mod tapeopt;
 mod vcd;
@@ -70,6 +72,8 @@ pub use backend::SimBackend;
 pub use batched::{BatchedSimulator, InPort, OutPort};
 pub use compiled::CompiledSimulator;
 pub use lower::EngineOptions;
+pub use probe::ProbeRecorder;
+pub use profile::ProfileReport;
 pub use simulator::Simulator;
 pub use tapeopt::TapeOptReport;
 pub use vcd::VcdWriter;

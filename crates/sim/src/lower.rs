@@ -363,6 +363,62 @@ pub(crate) enum Instr {
     },
 }
 
+impl Instr {
+    /// Stable opcode name, keying the `HC_PROFILE=1` execution histogram.
+    pub(crate) fn opname(&self) -> &'static str {
+        match self {
+            Instr::CopyMask { .. } => "CopyMask",
+            Instr::Not { .. } => "Not",
+            Instr::Neg { .. } => "Neg",
+            Instr::RedOr { .. } => "RedOr",
+            Instr::RedAnd { .. } => "RedAnd",
+            Instr::RedXor { .. } => "RedXor",
+            Instr::Add { .. } => "Add",
+            Instr::Sub { .. } => "Sub",
+            Instr::MulS { .. } => "MulS",
+            Instr::MulU { .. } => "MulU",
+            Instr::DivU { .. } => "DivU",
+            Instr::RemU { .. } => "RemU",
+            Instr::And { .. } => "And",
+            Instr::Or { .. } => "Or",
+            Instr::Xor { .. } => "Xor",
+            Instr::Eq { .. } => "Eq",
+            Instr::Ne { .. } => "Ne",
+            Instr::LtU { .. } => "LtU",
+            Instr::LtS { .. } => "LtS",
+            Instr::LeU { .. } => "LeU",
+            Instr::LeS { .. } => "LeS",
+            Instr::Shl { .. } => "Shl",
+            Instr::ShrL { .. } => "ShrL",
+            Instr::ShrA { .. } => "ShrA",
+            Instr::MuxN { .. } => "MuxN",
+            Instr::ConcatN { .. } => "ConcatN",
+            Instr::SliceN { .. } => "SliceN",
+            Instr::SExtN { .. } => "SExtN",
+            Instr::SliceW { .. } => "SliceW",
+            Instr::ConcatWNN { .. } => "ConcatWNN",
+            Instr::SliceWW { .. } => "SliceWW",
+            Instr::ConcatWWW { .. } => "ConcatWWW",
+            Instr::ConcatWWN { .. } => "ConcatWWN",
+            Instr::ConcatWNW { .. } => "ConcatWNW",
+            Instr::ZExtWN { .. } => "ZExtWN",
+            Instr::SExtWN { .. } => "SExtWN",
+            Instr::MuxW { .. } => "MuxW",
+            Instr::EqW { .. } => "EqW",
+            Instr::NeW { .. } => "NeW",
+            Instr::CopyW { .. } => "CopyW",
+            Instr::MemReadN { .. } => "MemReadN",
+            Instr::MemReadW { .. } => "MemReadW",
+            Instr::Generic(_) => "Generic",
+            Instr::MacS { .. } => "MacS",
+            Instr::MacU { .. } => "MacU",
+            Instr::SelN { .. } => "SelN",
+            Instr::ShlI { .. } => "ShlI",
+            Instr::SraI { .. } => "SraI",
+        }
+    }
+}
+
 /// Comparison kind carried by the fused [`Instr::SelN`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub(crate) enum CmpKind {
@@ -448,9 +504,10 @@ impl Default for EngineOptions {
 }
 
 /// The tape optimizer runs unless `HC_NO_TAPE_OPT` is set to something
-/// other than `""`/`"0"`.
+/// other than `""`/`"0"` (read through the centralized [`hc_obs::config`]
+/// snapshot, so process-wide overrides are honored).
 fn tape_opt_from_env() -> bool {
-    !matches!(std::env::var("HC_NO_TAPE_OPT"), Ok(v) if !v.is_empty() && v != "0")
+    !hc_obs::config().no_tape_opt
 }
 
 impl EngineOptions {
@@ -547,6 +604,7 @@ impl Lowered {
     ///
     /// Returns the module's [`ValidateError`] if it is structurally invalid.
     pub fn new(mut module: Module, options: EngineOptions) -> Result<Self, ValidateError> {
+        let mut span = hc_obs::span("lower").with("module", module.name());
         module.validate()?;
         let opt_report = if options.optimize {
             let report = hc_rtl::passes::optimize(&mut module);
@@ -753,6 +811,9 @@ impl Lowered {
             nmem_cones: Vec::new(),
             wmem_cones: Vec::new(),
         };
+        span.attach("tape_instrs", low.lowered_stats.0);
+        span.attach("generic_fallbacks", low.lowered_stats.1);
+        drop(span);
         if options.tape_opt {
             let report = crate::tapeopt::optimize(&mut low);
             low.tape_opt = Some(report);

@@ -130,6 +130,7 @@ impl SlotFacts {
 
 /// Runs the whole backend pipeline on `low` in place and returns the report.
 pub(crate) fn optimize(low: &mut Lowered) -> TapeOptReport {
+    let mut span = hc_obs::span("tapeopt").with("module", low.module.name());
     let mut report = TapeOptReport {
         instrs_pre: low.tape.len(),
         narrow_slots_pre: low.narrow_init.len(),
@@ -155,6 +156,18 @@ pub(crate) fn optimize(low: &mut Lowered) -> TapeOptReport {
     report.narrow_slots_post = low.narrow_init.len();
     report.wide_slots_post = low.wide_init.len();
     report.cones = low.segments.len();
+    span.attach("instrs_pre", report.instrs_pre);
+    span.attach("instrs_post", report.instrs_post);
+    span.attach("fused", report.fused);
+    span.attach("dead_removed", report.dead_removed);
+    span.attach("cones", report.cones);
+    let m = hc_obs::metrics::counter;
+    m("tapeopt.runs").inc();
+    m("tapeopt.fused").add(report.fused as u64);
+    m("tapeopt.forwarded").add(report.forwarded as u64);
+    m("tapeopt.cse").add(report.cse as u64);
+    m("tapeopt.strength_reduced").add(report.strength_reduced as u64);
+    m("tapeopt.dead_removed").add(report.dead_removed as u64);
     report
 }
 

@@ -105,7 +105,7 @@ impl<W: Write> VcdWriter<W> {
 }
 
 /// VCD identifier code for signal `i` (printable ASCII, base 94).
-fn ident(mut i: usize) -> String {
+pub(crate) fn ident(mut i: usize) -> String {
     let mut s = String::new();
     loop {
         s.push((b'!' + (i % 94) as u8) as char);

@@ -37,6 +37,9 @@ impl SynthOptions {
 /// Panics if the module fails [`Module::validate`]; synthesize only
 /// validated modules.
 pub fn synthesize(module: &Module, device: &Device, options: &SynthOptions) -> SynthReport {
+    let mut span = hc_obs::span("synthesize")
+        .with("module", module.name())
+        .with("max_dsp", options.max_dsp.map_or(-1, |d| d as i64));
     module
         .validate()
         .unwrap_or_else(|e| panic!("synthesize: invalid module: {e}"));
@@ -115,6 +118,10 @@ pub fn synthesize(module: &Module, device: &Device, options: &SynthOptions) -> S
         + 1; // clock
 
     let timing = critical_path(module, device, &costs);
+    span.attach("lut", area.lut);
+    span.attach("ff", area.ff);
+    span.attach("dsp", area.dsp);
+    hc_obs::metrics::counter("synth.runs").inc();
 
     SynthReport {
         module: module.name().to_owned(),

@@ -19,6 +19,7 @@ use std::collections::{HashMap, HashSet};
 /// modules/ports, and width/parameter problems, each with a source line
 /// where available.
 pub fn elaborate(design: &Design, top: &str) -> Result<Module, VerilogError> {
+    let mut span = hc_obs::span("elaborate").with("module", top);
     let vmod = design
         .module(top)
         .ok_or_else(|| VerilogError::new(format!("no module named {top:?}")))?;
@@ -48,6 +49,7 @@ pub fn elaborate(design: &Design, top: &str) -> Result<Module, VerilogError> {
             m.output(&port.name, node);
         }
     }
+    span.attach("nodes", m.nodes().len());
     Ok(m)
 }
 

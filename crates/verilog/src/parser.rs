@@ -11,12 +11,15 @@ use crate::lexer::{lex, SpannedTok, Tok};
 /// Returns a [`VerilogError`] with a line number on any lexical or
 /// syntactic problem.
 pub fn parse(source: &str) -> Result<Design, VerilogError> {
+    let mut span = hc_obs::span("parse").with("source_bytes", source.len());
     let toks = lex(source)?;
+    span.attach("tokens", toks.len());
     let mut p = Parser { toks, pos: 0 };
     let mut modules = Vec::new();
     while !p.at_eof() {
         modules.push(p.module()?);
     }
+    span.attach("modules", modules.len());
     Ok(Design { modules })
 }
 

@@ -71,4 +71,29 @@ awk -F'[:,]' '
   }
 ' BENCH_sim.json
 
+echo "== traced perfsnap (HC_TRACE must emit a valid, complete Chrome trace)"
+# Keep the untraced run as the recorded benchmark artifact; the traced
+# rerun exists only to validate the trace and bound the tracing cost.
+extract_rate() {
+  awk -F'[:,]' '/"compiled_cycles_per_sec"/ { print $2 + 0 }' "$1"
+}
+baseline_rate="$(extract_rate BENCH_sim.json)"
+cp BENCH_sim.json BENCH_sim_untraced.json
+HC_TRACE=trace.json HC_THREADS=2 ./target/release/perfsnap >/dev/null
+./target/release/tracecheck trace.json
+traced_rate="$(extract_rate BENCH_sim.json)"
+mv BENCH_sim_untraced.json BENCH_sim.json
+rm -f trace.json
+awk -v base="$baseline_rate" -v traced="$traced_rate" 'BEGIN {
+  if (base + 0 <= 0 || traced + 0 <= 0) {
+    print "compiled_cycles_per_sec missing from a perfsnap run"; exit 1
+  }
+  ratio = traced / base
+  if (ratio < 0.95) {
+    printf "tracing costs too much: %.0f -> %.0f cycles/sec (%.3fx, need >= 0.95)\n", base, traced, ratio
+    exit 1
+  }
+  printf "tracing overhead OK: %.0f -> %.0f cycles/sec (%.3fx)\n", base, traced, ratio
+}'
+
 echo "CI OK"
