@@ -13,37 +13,55 @@ use std::fmt;
 /// `step` — it asserts `tvalid`/`tdata` and pops the queue on handshakes.
 #[derive(Debug)]
 pub struct AxisDriver {
-    prefix: String,
+    tvalid: String,
+    tdata: String,
+    tready: String,
     queue: VecDeque<Bits>,
     /// Optional valid-gap pattern: `gap[i]` cycles of bubble after beat i.
     gaps: VecDeque<u32>,
     pending_gap: u32,
     pub(crate) beats_sent: u64,
     width: u32,
+    /// Whether the word at the queue front (or the idle zero word) still
+    /// needs to be driven onto `tdata`. Re-driving an unchanged word every
+    /// cycle would be a no-op for the DUT, so the driver only sets `tdata`
+    /// when the front actually changed (push into an empty queue, or a
+    /// handshake pop).
+    data_stale: bool,
+    /// Last `tvalid` level driven, to skip redundant sets (the driver is
+    /// the sole driver of that input).
+    last_valid: Option<bool>,
 }
 
 impl AxisDriver {
     /// A driver for the slave interface named `<prefix>_*` with the given
     /// data width.
     pub fn new(prefix: impl Into<String>, width: u32) -> Self {
+        let prefix = prefix.into();
         AxisDriver {
-            prefix: prefix.into(),
+            tvalid: format!("{prefix}_tvalid"),
+            tdata: format!("{prefix}_tdata"),
+            tready: format!("{prefix}_tready"),
             queue: VecDeque::new(),
             gaps: VecDeque::new(),
             pending_gap: 0,
             beats_sent: 0,
             width,
+            data_stale: true,
+            last_valid: None,
         }
     }
 
     /// Queues one data word.
     pub fn push(&mut self, word: Bits) {
-        self.queue.push_back(word);
-        self.gaps.push_back(0);
+        self.push_with_gap(word, 0);
     }
 
     /// Queues one data word followed by `gap` idle cycles.
     pub fn push_with_gap(&mut self, word: Bits, gap: u32) {
+        if self.queue.is_empty() {
+            self.data_stale = true;
+        }
         self.queue.push_back(word);
         self.gaps.push_back(gap);
     }
@@ -57,24 +75,28 @@ impl AxisDriver {
     /// accepted the word. Call after other inputs are set, before `step`.
     pub fn before_edge<B: SimBackend>(&mut self, sim: &mut B) {
         let valid = !self.queue.is_empty() && self.pending_gap == 0;
-        sim.set_u64(&format!("{}_tvalid", self.prefix), valid as u64);
-        let data = self
-            .queue
-            .front()
-            .cloned()
-            .unwrap_or_else(|| Bits::zero(self.width));
-        sim.set(&format!("{}_tdata", self.prefix), data);
+        if self.last_valid != Some(valid) {
+            sim.set_u64(&self.tvalid, u64::from(valid));
+            self.last_valid = Some(valid);
+        }
+        if self.data_stale {
+            let data = self
+                .queue
+                .front()
+                .cloned()
+                .unwrap_or_else(|| Bits::zero(self.width));
+            sim.set(&self.tdata, data);
+            self.data_stale = false;
+        }
         if self.pending_gap > 0 {
             self.pending_gap -= 1;
             return;
         }
-        if valid {
-            let ready = sim.get(&format!("{}_tready", self.prefix)).to_bool();
-            if ready {
-                self.queue.pop_front();
-                self.pending_gap = self.gaps.pop_front().unwrap_or(0);
-                self.beats_sent += 1;
-            }
+        if valid && sim.get_u64(&self.tready) != 0 {
+            self.queue.pop_front();
+            self.data_stale = true;
+            self.pending_gap = self.gaps.pop_front().unwrap_or(0);
+            self.beats_sent += 1;
         }
     }
 }
@@ -83,20 +105,29 @@ impl AxisDriver {
 /// applying a ready pattern and collecting accepted words.
 #[derive(Debug)]
 pub struct AxisMonitor {
-    prefix: String,
+    tready: String,
+    tvalid: String,
+    tdata: String,
     /// Collected `(cycle, word)` pairs.
     pub beats: Vec<(u64, Bits)>,
     /// Deassert ready every `stall_period`-th cycle (0 = always ready).
     stall_period: u32,
+    /// Last `tready` level driven, to skip redundant sets (the monitor is
+    /// the sole driver of that input).
+    last_ready: Option<bool>,
 }
 
 impl AxisMonitor {
     /// A monitor on the master interface named `<prefix>_*`, always ready.
     pub fn new(prefix: impl Into<String>) -> Self {
+        let prefix = prefix.into();
         AxisMonitor {
-            prefix: prefix.into(),
+            tready: format!("{prefix}_tready"),
+            tvalid: format!("{prefix}_tvalid"),
+            tdata: format!("{prefix}_tdata"),
             beats: Vec::new(),
             stall_period: 0,
+            last_ready: None,
         }
     }
 
@@ -112,9 +143,12 @@ impl AxisMonitor {
     pub fn before_edge<B: SimBackend>(&mut self, sim: &mut B) {
         let cycle = sim.cycle();
         let ready = self.stall_period == 0 || !cycle.is_multiple_of(u64::from(self.stall_period));
-        sim.set_u64(&format!("{}_tready", self.prefix), ready as u64);
-        if ready && sim.get(&format!("{}_tvalid", self.prefix)).to_bool() {
-            let data = sim.get(&format!("{}_tdata", self.prefix));
+        if self.last_ready != Some(ready) {
+            sim.set_u64(&self.tready, u64::from(ready));
+            self.last_ready = Some(ready);
+        }
+        if ready && sim.get_u64(&self.tvalid) != 0 {
+            let data = sim.get(&self.tdata);
             self.beats.push((cycle, data));
         }
     }
@@ -142,7 +176,9 @@ impl Error for ProtocolError {}
 /// stable — until the handshake completes.
 #[derive(Debug)]
 pub struct ProtocolChecker {
-    prefix: String,
+    tvalid: String,
+    tready: String,
+    tdata: String,
     waiting: Option<Bits>,
     /// Violations found so far.
     pub errors: Vec<ProtocolError>,
@@ -151,8 +187,11 @@ pub struct ProtocolChecker {
 impl ProtocolChecker {
     /// A checker for the master interface named `<prefix>_*`.
     pub fn new(prefix: impl Into<String>) -> Self {
+        let prefix = prefix.into();
         ProtocolChecker {
-            prefix: prefix.into(),
+            tvalid: format!("{prefix}_tvalid"),
+            tready: format!("{prefix}_tready"),
+            tdata: format!("{prefix}_tdata"),
             waiting: None,
             errors: Vec::new(),
         }
@@ -161,26 +200,26 @@ impl ProtocolChecker {
     /// Samples the interface for this cycle; call right before `step`.
     pub fn before_edge<B: SimBackend>(&mut self, sim: &mut B) {
         let cycle = sim.cycle();
-        let valid = sim.get(&format!("{}_tvalid", self.prefix)).to_bool();
+        let valid = sim.get_u64(&self.tvalid) != 0;
         // tready is an input of the device under test.
-        let ready = sim
-            .input_value(&format!("{}_tready", self.prefix))
-            .to_bool();
-        let data = sim.get(&format!("{}_tdata", self.prefix));
+        let ready = sim.input_value_u64(&self.tready) != 0;
+        // The data word only matters while a handshake is stalled: when one
+        // is in flight (stability check) or starting this cycle.
+        let data = (self.waiting.is_some() || (valid && !ready)).then(|| sim.get(&self.tdata));
         if let Some(held) = &self.waiting {
             if !valid {
                 self.errors.push(ProtocolError {
                     cycle,
                     rule: "tvalid deasserted before handshake".into(),
                 });
-            } else if *held != data {
+            } else if data.as_ref() != Some(held) {
                 self.errors.push(ProtocolError {
                     cycle,
                     rule: "tdata changed while stalled".into(),
                 });
             }
         }
-        self.waiting = if valid && !ready { Some(data) } else { None };
+        self.waiting = if valid && !ready { data } else { None };
     }
 }
 

@@ -109,6 +109,21 @@ impl StreamHarness<CompiledSimulator> {
     }
 }
 
+impl StreamHarness<hc_sim::NativeSimulator> {
+    /// Builds a harness on the native (per-cone JIT) backend and applies
+    /// one reset cycle. On non-x86-64 hosts, or under `HC_NO_NATIVE=1`,
+    /// the engine transparently degrades to the tape interpreter with
+    /// identical observable behavior.
+    ///
+    /// # Errors
+    ///
+    /// Returns the module's [`ValidateError`] if it is structurally
+    /// invalid.
+    pub fn native(module: Module) -> Result<Self, ValidateError> {
+        Self::with_backend(module, 12, 9)
+    }
+}
+
 impl<B: SimBackend> StreamHarness<B> {
     fn with_backend(
         module: Module,

@@ -17,10 +17,14 @@
 //!    blocks, counted in *lane-cycles* per second (each lane's cycle is a
 //!    full simulated cycle of an independent stimulus stream, so
 //!    lane-cycles/sec is directly comparable to the scalar figures).
-//! 4. **Tape shrink** per Table II design: the IR pass pipeline's
+//! 4. **Native (per-cone JIT) throughput** on the same stream, with a
+//!    native-off A/B twin (the identical engine built under an
+//!    `HC_NO_NATIVE` override, i.e. the tape interpreter inside the same
+//!    wrapper) and the resulting `native_speedup_vs_compiled`.
+//! 5. **Tape shrink** per Table II design: the IR pass pipeline's
 //!    instruction counts (pre/post `hc_rtl::passes::optimize`) plus the
 //!    tape optimizer's per-design report.
-//! 5. **Fig. 1 sweep wall-clock**: the legacy cold per-point pipeline run
+//! 6. **Fig. 1 sweep wall-clock**: the legacy cold per-point pipeline run
 //!    serially vs the memoized + chunked parallel driver, with per-point
 //!    p50/p90 seconds (the raw 70-element array was pure noise in diffs),
 //!    the chunk size the scheduler picked, the front-half cache hit/miss
@@ -58,7 +62,15 @@ fn rate<F: FnMut() -> u64>(mut run_batch: F) -> f64 {
     best
 }
 
-/// Formats a [`TapeOptReport`] as a JSON object.
+/// Formats the *static* half of a [`TapeOptReport`] as a JSON object —
+/// everything the optimizer decided at construction. The runtime
+/// `cones_skipped` counter is deliberately excluded: it measures how many
+/// cone evaluations activity gating elided *during whatever run the engine
+/// happened to do*, so folding it into this object made the top-level
+/// report (observed over the timed streaming run) disagree with the
+/// per-design `tape[]` entries (engines that never stepped, always 0).
+/// The main run's figure is emitted separately as
+/// `cones_skipped_runtime`.
 fn report_json(r: &TapeOptReport) -> String {
     format!(
         "{{\"instrs_pre\": {}, \"instrs_post\": {}, \"fused\": {}, \
@@ -66,7 +78,7 @@ fn report_json(r: &TapeOptReport) -> String {
          \"dead_removed\": {}, \
          \"narrow_slots_pre\": {}, \"narrow_slots_post\": {}, \
          \"wide_slots_pre\": {}, \"wide_slots_post\": {}, \
-         \"cones\": {}, \"cones_skipped\": {}}}",
+         \"cones\": {}}}",
         r.instrs_pre,
         r.instrs_post,
         r.fused,
@@ -79,7 +91,6 @@ fn report_json(r: &TapeOptReport) -> String {
         r.wide_slots_pre,
         r.wide_slots_post,
         r.cones,
-        r.cones_skipped,
     )
 }
 
@@ -118,6 +129,32 @@ fn main() {
         assert_eq!(n, inputs.len());
         rh.simulator_mut().cycle() - before
     });
+    // Native (per-cone JIT) A/B: the same harness type twice, once as
+    // built by default (JIT where the target supports it) and once under a
+    // temporary HC_NO_NATIVE override — the decision is taken at engine
+    // construction, so restoring the config right after build keeps the
+    // override window minimal. Off x86-64 both figures are the interpreted
+    // tape and the speedup reads ~1.0 (ci.sh skips the gate there).
+    let mut nh = StreamHarness::native(module.clone()).expect("validates");
+    let nhz = rate(|| {
+        let before = nh.simulator_mut().cycle();
+        let n = nh.run(&inputs, budget).0.len();
+        assert_eq!(n, inputs.len());
+        nh.simulator_mut().cycle() - before
+    });
+    let native_report = nh.simulator_mut().native_report();
+    let baseline_cfg = (*hc_obs::config()).clone();
+    let mut off_cfg = baseline_cfg.clone();
+    off_cfg.no_native = true;
+    hc_obs::config::set_override(off_cfg);
+    let mut oh = StreamHarness::native(module.clone()).expect("validates");
+    hc_obs::config::set_override(baseline_cfg);
+    let nhz_off = rate(|| {
+        let before = oh.simulator_mut().cycle();
+        let n = oh.run(&inputs, budget).0.len();
+        assert_eq!(n, inputs.len());
+        oh.simulator_mut().cycle() - before
+    });
     let mut bh = BatchedStreamHarness::new(module.clone(), lanes).expect("validates");
     let bhz = rate(|| {
         let sim = bh.simulator_mut();
@@ -144,6 +181,13 @@ fn main() {
         "  compiled (tape opt): {chz:11.0} cycles/sec  ({:.1}x, {tapeopt_speedup:.2}x vs raw)",
         chz / ihz
     );
+    let native_speedup = nhz / chz;
+    println!(
+        "  native (cone JIT):  {nhz:12.0} cycles/sec  ({native_speedup:.2}x vs compiled; \
+         {} cones compiled, {} fallback, {} code bytes)",
+        native_report.cones_compiled, native_report.cones_fallback, native_report.code_bytes
+    );
+    println!("  native off (A/B):   {nhz_off:12.0} cycles/sec");
     println!(
         "  batched ({lanes:2} lanes): {bhz:12.0} lane-cycles/sec  ({:.1}x vs compiled)",
         bhz / chz
@@ -249,7 +293,14 @@ fn main() {
          \"tapeopt_speedup\": {tapeopt_speedup:.2},\n  \
          \"tapeopt_fused_min\": {tapeopt_fused_min},\n  \
          \"tapeopt\": {main_rep},\n  \
+         \"cones_skipped_runtime\": {skipped},\n  \
          \"sim_speedup\": {sim:.2},\n  \
+         \"native_cycles_per_sec\": {nhz:.0},\n  \
+         \"native_off_cycles_per_sec\": {nhz_off:.0},\n  \
+         \"native_speedup_vs_compiled\": {native_speedup:.2},\n  \
+         \"native_cones_compiled\": {ncc},\n  \
+         \"native_cones_fallback\": {ncf},\n  \
+         \"native_code_bytes\": {ncb},\n  \
          \"batched_lanes\": {lanes},\n  \
          \"batched_lane_cycles_per_sec\": {bhz:.0},\n  \
          \"batched_speedup_vs_compiled\": {bs:.2},\n  \
@@ -269,7 +320,11 @@ fn main() {
          \"metrics\": {metrics},\n  \
          \"threads\": {threads}\n}}\n",
         main_rep = report_json(&main_report),
+        skipped = main_report.cones_skipped,
         sim = chz / ihz,
+        ncc = native_report.cones_compiled,
+        ncf = native_report.cones_fallback,
+        ncb = native_report.code_bytes,
         bs = bhz / chz,
         points = serial.len(),
         st = serial_time.as_secs_f64(),

@@ -442,6 +442,26 @@ impl Bits {
         }
     }
 
+    /// The value's little-endian 64-bit storage words (bits above `width`
+    /// are always zero). Word-level view behind the native simulator's
+    /// flat wide store.
+    pub fn as_words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Overwrites the value from little-endian storage words, masking any
+    /// bits above `width` in the top word so the zero-top invariant holds
+    /// regardless of the source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words.len()` differs from the storage word count.
+    pub fn copy_from_words(&mut self, words: &[u64]) {
+        assert_eq!(words.len(), self.words.len(), "storage word count");
+        self.words.copy_from_slice(words);
+        self.mask_top();
+    }
+
     pub(crate) fn words_for(width: u32) -> usize {
         width.div_ceil(64) as usize
     }

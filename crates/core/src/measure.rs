@@ -11,7 +11,7 @@ use hc_axi::{lanes_for_blocks, BatchedStreamHarness, PcieLink};
 use hc_idct::generator::BlockGen;
 use hc_idct::{fixed, Block};
 use hc_rtl::passes::optimize;
-use hc_sim::CompiledSimulator;
+use hc_sim::NativeSimulator;
 use hc_synth::{synthesize, Device, SynthOptions};
 
 /// The shared stimulus for one sweep: the sample blocks plus the raw
@@ -211,9 +211,15 @@ fn measure_back_half(
 
 /// Drives a MaxJ-style `in_data`/`in_valid` → `out_data`/`out_valid`
 /// kernel; returns (latency, periodicity) and asserts bit-exactness.
+///
+/// Runs on the native (per-cone JIT) engine — stream kernels are
+/// single-stimulus, so they can't ride the lane-batched engine the AXIS
+/// designs use, and the JIT is the fastest single-stream tier. Off
+/// x86-64 (or under `HC_NO_NATIVE=1`) it degrades to the tape
+/// interpreter with identical results.
 fn measure_stream(module: hc_rtl::Module, blocks: &[Block], label: &str) -> (u64, u64) {
     let row_mode = module.input_named("in_data").expect("stream port").width == 96;
-    let mut sim = CompiledSimulator::new(module).expect("kernel validates");
+    let mut sim = NativeSimulator::new(module).expect("kernel validates");
     sim.set_u64("rst", 1);
     sim.set_u64("in_valid", 0);
     sim.step();

@@ -27,6 +27,10 @@ pub struct Config {
     pub trace: Option<String>,
     /// `HC_PROFILE`: per-opcode / per-cone simulator profiling.
     pub profile: bool,
+    /// `HC_NO_NATIVE`: disable native code paths — the per-cone x86-64 JIT
+    /// in `NativeSimulator` and the explicit AVX2 lane kernels in
+    /// `BatchedSimulator` — forcing the portable interpreted/scalar tiers.
+    pub no_native: bool,
 }
 
 /// A flag variable is "set" when nonempty and not `"0"` — the convention
@@ -53,6 +57,7 @@ impl Config {
             cache_cap: positive(get("HC_CACHE_CAP")),
             trace: get("HC_TRACE").filter(|p| !p.is_empty()),
             profile: flag(get("HC_PROFILE")),
+            no_native: flag(get("HC_NO_NATIVE")),
         }
     }
 
@@ -120,6 +125,8 @@ mod tests {
         assert!(!fixture(&[("HC_NO_OPT", "")]).no_opt);
         assert!(fixture(&[("HC_NO_TAPE_OPT", "1")]).no_tape_opt);
         assert!(fixture(&[("HC_PROFILE", "1")]).profile);
+        assert!(fixture(&[("HC_NO_NATIVE", "1")]).no_native);
+        assert!(!fixture(&[("HC_NO_NATIVE", "0")]).no_native);
     }
 
     #[test]

@@ -57,12 +57,34 @@ pub trait SimBackend {
     /// Panics if no output named `name` exists.
     fn get(&mut self, name: &str) -> Bits;
 
+    /// Reads an output port as a `u64` (evaluating first if necessary),
+    /// truncating ports wider than 64 bits to their low word. The cheap
+    /// sibling of [`get`](SimBackend::get) for per-cycle handshake flags:
+    /// engines override it to skip the `Bits` allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no output named `name` exists.
+    fn get_u64(&mut self, name: &str) -> u64 {
+        self.get(name).to_u64()
+    }
+
     /// Reads back the value currently driving an input port.
     ///
     /// # Panics
     ///
     /// Panics if no input named `name` exists.
     fn input_value(&self, name: &str) -> Bits;
+
+    /// Reads back an input port's driven value as a `u64` (low word for
+    /// wide ports), without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no input named `name` exists.
+    fn input_value_u64(&self, name: &str) -> u64 {
+        self.input_value(name).to_u64()
+    }
 
     /// Reads a register's current value by name.
     ///

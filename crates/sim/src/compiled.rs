@@ -46,24 +46,31 @@ struct WMem {
 /// per-cycle cost is one linear pass over the tape with no allocation for
 /// narrow (≤ 64-bit) values. Observable behavior is bit-identical to the
 /// interpreted [`Simulator`](crate::Simulator).
+/// Fields are `pub(crate)` so [`crate::NativeSimulator`] can wrap an
+/// instance, drive the same slot store from generated machine code, and
+/// reuse the commit/reset logic unchanged.
 #[derive(Debug)]
 pub struct CompiledSimulator {
-    low: Lowered,
-    narrow: Vec<u64>,
-    wide: Vec<Bits>,
+    pub(crate) low: Lowered,
+    pub(crate) narrow: Vec<u64>,
+    pub(crate) wide: Vec<Bits>,
     nmems: Vec<NMem>,
     wmems: Vec<WMem>,
     nreg_shadow: Vec<u64>,
-    wreg_shadow: Vec<Bits>,
+    pub(crate) wreg_shadow: Vec<Bits>,
+    /// When true, `step` trusts `wreg_shadow` as already holding this
+    /// cycle's gathered next-values (the native engine fills it from its
+    /// flat store) and skips the gather. Cleared by the `step`.
+    pub(crate) wreg_shadow_ready: bool,
     /// One dirty bit per cone segment (see `crate::tapeopt`); all-true when
     /// gating is off.
-    dirty: Vec<bool>,
-    cones_skipped: u64,
+    pub(crate) dirty: Vec<bool>,
+    pub(crate) cones_skipped: u64,
     /// Execution histograms, allocated iff `HC_PROFILE` was on at
     /// construction (see `crate::profile`).
-    prof: Option<Box<crate::profile::ProfileState>>,
-    evaluated: bool,
-    cycle: u64,
+    pub(crate) prof: Option<Box<crate::profile::ProfileState>>,
+    pub(crate) evaluated: bool,
+    pub(crate) cycle: u64,
 }
 
 /// `dst.clone_from(src)` over two distinct indices of one slice.
@@ -130,6 +137,7 @@ impl CompiledSimulator {
             wmems,
             nreg_shadow,
             wreg_shadow,
+            wreg_shadow_ready: false,
             dirty,
             cones_skipped: 0,
             prof,
@@ -286,9 +294,10 @@ impl CompiledSimulator {
         self.evaluated = true;
     }
 
-    /// Replays `tape[start..end]`.
+    /// Replays `tape[start..end]`. Also the per-cone interpreter fallback
+    /// for [`crate::NativeSimulator`] segments the assembler doesn't cover.
     #[allow(clippy::too_many_lines)]
-    fn eval_range(&mut self, start: usize, end: usize) {
+    pub(crate) fn eval_range(&mut self, start: usize, end: usize) {
         let narrow = &mut self.narrow;
         let wide = &mut self.wide;
         for instr in &self.low.tape[start..end] {
@@ -619,6 +628,21 @@ impl CompiledSimulator {
         self.read_loc(loc, width)
     }
 
+    /// Reads an output port as a `u64` (evaluating first if necessary),
+    /// truncating ports wider than 64 bits to their low word. Narrow slots
+    /// are stored masked, so this is a plain load — no `Bits` allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no output named `name` exists.
+    pub fn get_u64(&mut self, name: &str) -> u64 {
+        self.eval();
+        match self.low.output_loc(name).0 {
+            Loc::N(s) => self.narrow[s as usize],
+            Loc::W(s) => self.wide[s as usize].to_u64(),
+        }
+    }
+
     /// Reads back the value currently driving an input port.
     ///
     /// # Panics
@@ -628,6 +652,20 @@ impl CompiledSimulator {
         let idx = self.low.input_idx(name);
         let (loc, width) = self.low.input_locs[idx];
         self.read_loc(loc, width)
+    }
+
+    /// Reads back an input port's driven value as a `u64` (low word for
+    /// wide ports), without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no input named `name` exists.
+    pub fn input_value_u64(&self, name: &str) -> u64 {
+        let idx = self.low.input_idx(name);
+        match self.low.input_locs[idx].0 {
+            Loc::N(s) => self.narrow[s as usize],
+            Loc::W(s) => self.wide[s as usize].to_u64(),
+        }
     }
 
     /// Reads the settled value of an arbitrary node (for probing).
@@ -671,16 +709,20 @@ impl CompiledSimulator {
                 self.narrow[p.slot as usize]
             };
         }
-        for (i, p) in self.low.wregs.iter().enumerate() {
-            let reset = p.reset.is_some_and(|r| self.narrow[r as usize] != 0);
-            let src = if reset {
-                &p.init
-            } else if p.en.is_none_or(|e| self.narrow[e as usize] != 0) {
-                &self.wide[p.next as usize]
-            } else {
-                &self.wide[p.slot as usize]
-            };
-            self.wreg_shadow[i].clone_from(src);
+        if self.wreg_shadow_ready {
+            self.wreg_shadow_ready = false;
+        } else {
+            for (i, p) in self.low.wregs.iter().enumerate() {
+                let reset = p.reset.is_some_and(|r| self.narrow[r as usize] != 0);
+                let src = if reset {
+                    &p.init
+                } else if p.en.is_none_or(|e| self.narrow[e as usize] != 0) {
+                    &self.wide[p.next as usize]
+                } else {
+                    &self.wide[p.slot as usize]
+                };
+                self.wreg_shadow[i].clone_from(src);
+            }
         }
         // Phase 2: memory writes sample the settled combinational values
         // (which include pre-edge register outputs) in port order. With
@@ -776,6 +818,7 @@ impl CompiledSimulator {
             m.words.iter_mut().for_each(Bits::clear);
         }
         self.dirty.iter_mut().for_each(|d| *d = true);
+        self.wreg_shadow_ready = false;
         self.cycle = 0;
         self.evaluated = false;
     }
@@ -817,8 +860,14 @@ impl SimBackend for CompiledSimulator {
     fn get(&mut self, name: &str) -> Bits {
         CompiledSimulator::get(self, name)
     }
+    fn get_u64(&mut self, name: &str) -> u64 {
+        CompiledSimulator::get_u64(self, name)
+    }
     fn input_value(&self, name: &str) -> Bits {
         CompiledSimulator::input_value(self, name)
+    }
+    fn input_value_u64(&self, name: &str) -> u64 {
+        CompiledSimulator::input_value_u64(self, name)
     }
     fn peek_reg(&self, name: &str) -> Bits {
         CompiledSimulator::peek_reg(self, name)

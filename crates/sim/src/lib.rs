@@ -33,8 +33,7 @@
 
 //! # Choosing a backend
 //!
-//! Two engines implement [`SimBackend`] with identical observable
-//! semantics:
+//! Four engines share identical observable semantics:
 //!
 //! - [`Simulator`] interprets the node table directly, boxing every value
 //!   as [`hc_bits::Bits`]. It is the reference oracle: simple enough to
@@ -50,9 +49,17 @@
 //!   the per-instruction dispatch cost is amortized over all lanes and the
 //!   per-op inner loop is a tight, auto-vectorizable kernel. Use it when
 //!   many independent stimulus streams (e.g. IEEE-1180 blocks) go through
-//!   one design.
+//!   one design. On x86-64 the hot lane loops use explicit AVX2 kernels
+//!   (four lanes per 256-bit op) when the CPU supports them.
 //!
-//! Both compiled engines run the **tape backend optimizer** by default
+//! - [`NativeSimulator`] JIT-compiles each combinational cone of the tape
+//!   into straight-line x86-64 machine code over the same word-packed slot
+//!   store, falling back per cone to the tape interpreter for wide ops,
+//!   memories, and division. Fastest single-stream engine on x86-64 Linux;
+//!   elsewhere (or under `HC_NO_NATIVE=1`) it degrades to exactly the
+//!   tape interpreter.
+//!
+//! All compiled engines run the **tape backend optimizer** by default
 //! (see [`TapeOptReport`]): superinstruction fusion, copy forwarding, tape
 //! dead-code elimination, live-range slot reallocation, and combinational
 //! cone partitioning with activity gating. Set `HC_NO_TAPE_OPT=1` (or use
@@ -62,8 +69,11 @@ mod backend;
 mod batched;
 mod compiled;
 mod lower;
+mod native;
 mod probe;
 mod profile;
+#[cfg(target_arch = "x86_64")]
+mod simd;
 mod simulator;
 mod tapeopt;
 mod vcd;
@@ -72,6 +82,7 @@ pub use backend::SimBackend;
 pub use batched::{BatchedSimulator, InPort, OutPort};
 pub use compiled::CompiledSimulator;
 pub use lower::EngineOptions;
+pub use native::{NativeReport, NativeSimulator};
 pub use probe::ProbeRecorder;
 pub use profile::ProfileReport;
 pub use simulator::Simulator;

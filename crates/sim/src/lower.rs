@@ -26,6 +26,36 @@ use std::collections::HashMap;
 use hc_bits::Bits;
 use hc_rtl::{BinaryOp, Module, Node, NodeId, UnaryOp, ValidateError};
 
+/// FNV-1a, as the hasher for the port/register name maps. Harnesses look
+/// ports up by name several times per simulated cycle, and for short ASCII
+/// keys FNV beats SipHash by a wide margin. The maps are built once from
+/// module-declared names, so hash-flooding resistance buys nothing here.
+#[derive(Clone, Copy, Debug)]
+pub struct Fnv(u64);
+
+impl Default for Fnv {
+    fn default() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl std::hash::Hasher for Fnv {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        self.0 = h;
+    }
+}
+
+/// A `HashMap` keyed by port/register name, FNV-hashed (see [`Fnv`]).
+pub type NameMap<V> = HashMap<String, V, std::hash::BuildHasherDefault<Fnv>>;
+
 /// Where a value lives: inline in the `u64` slot array, or in the `Bits`
 /// side table for widths above 64.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -556,9 +586,9 @@ pub(crate) struct Lowered {
     pub node_loc: Vec<Loc>,
     pub reg_loc: Vec<Loc>,
     pub input_locs: Vec<(Loc, u32)>,
-    pub input_index: HashMap<String, usize>,
-    pub output_index: HashMap<String, (Loc, u32)>,
-    pub reg_index: HashMap<String, usize>,
+    pub input_index: NameMap<usize>,
+    pub output_index: NameMap<(Loc, u32)>,
+    pub reg_index: NameMap<usize>,
     /// Accounting from the tape backend optimizer; `None` when it was off.
     pub tape_opt: Option<crate::tapeopt::TapeOptReport>,
     /// Tape and generic-op counts as lowered, before the tape optimizer

@@ -1,0 +1,446 @@
+//! A minimal in-memory x86-64 assembler.
+//!
+//! Covers exactly the instruction forms the per-cone code generator needs:
+//! 64-bit `mov`/`add`/`sub`/`imul`/`and`/`or`/`xor`/`shl`/`shr`/`sar`/
+//! `cmp`/`test`/`cmov`/`setcc`/`not`/`neg` with register, `[base+disp]`
+//! memory (the narrow store behind `rdi`, the flat wide-word store behind
+//! `rsi`), and immediate operands. No relocations, no jumps: every
+//! compiled run is straight-line code ending in `ret`, mirroring the
+//! branch-free structure of the instruction tape itself.
+
+/// General-purpose registers by hardware encoding. The code generator only
+/// hands out caller-saved registers, so compiled cones need no prologue.
+/// `rsp`/`rbp`/`r12`/`r13` are deliberately absent: they would hit the
+/// SIB/RIP ModRM special cases the encoder doesn't implement.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub(crate) enum Reg {
+    Rax = 0,
+    Rcx = 1,
+    Rdx = 2,
+    /// The wide-word-store base pointer (second sysv64 argument); never
+    /// written.
+    Rsi = 6,
+    /// The narrow-slot-store base pointer (first sysv64 argument); never
+    /// written.
+    Rdi = 7,
+    R8 = 8,
+    R9 = 9,
+}
+
+/// Condition codes as the low nibble of the `0F 9x`/`0F 4x` opcodes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub(crate) enum Cc {
+    B = 0x2,
+    Ae = 0x3,
+    E = 0x4,
+    Ne = 0x5,
+    Be = 0x6,
+    A = 0x7,
+    L = 0xc,
+    Ge = 0xd,
+    Le = 0xe,
+    G = 0xf,
+}
+
+impl Cc {
+    /// The opposite condition (`e` ↔ `ne`, `b` ↔ `ae`, …).
+    pub fn negate(self) -> Cc {
+        match self {
+            Cc::B => Cc::Ae,
+            Cc::Ae => Cc::B,
+            Cc::E => Cc::Ne,
+            Cc::Ne => Cc::E,
+            Cc::Be => Cc::A,
+            Cc::A => Cc::Be,
+            Cc::L => Cc::Ge,
+            Cc::Ge => Cc::L,
+            Cc::Le => Cc::G,
+            Cc::G => Cc::Le,
+        }
+    }
+}
+
+/// Byte buffer plus emit helpers; one `Asm` holds the concatenated code of
+/// every compiled cone in a module.
+#[derive(Debug, Default)]
+pub(crate) struct Asm {
+    buf: Vec<u8>,
+}
+
+impl Asm {
+    pub fn new() -> Asm {
+        Asm::default()
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    fn rex(&mut self, w: bool, reg: u8, rm: u8) {
+        let b = 0x40 | u8::from(w) << 3 | (reg >> 3) << 2 | (rm >> 3);
+        // A plain 0x40 REX only matters for byte registers, which this
+        // assembler never touches through this path — skip it.
+        if b != 0x40 {
+            self.buf.push(b);
+        }
+    }
+
+    fn modrm(&mut self, md: u8, reg: u8, rm: u8) {
+        self.buf.push(md << 6 | (reg & 7) << 3 | (rm & 7));
+    }
+
+    /// ModRM for `[base + disp]` with the shortest displacement encoding.
+    /// Always emits a displacement, so the `mod=00` special cases (RIP for
+    /// `rbp`-class bases, SIB for `rsp`-class) never arise.
+    fn mem(&mut self, base: Reg, reg: u8, disp: i32) {
+        if (-128..128).contains(&disp) {
+            self.modrm(0b01, reg, base as u8);
+            self.buf.push(disp as u8);
+        } else {
+            self.modrm(0b10, reg, base as u8);
+            self.buf.extend_from_slice(&disp.to_le_bytes());
+        }
+    }
+
+    /// `mov dst, [base + disp]`
+    pub fn load_from(&mut self, base: Reg, dst: Reg, disp: i32) {
+        self.rex(true, dst as u8, base as u8);
+        self.buf.push(0x8b);
+        self.mem(base, dst as u8, disp);
+    }
+
+    /// `mov [base + disp], src`
+    pub fn store_to(&mut self, base: Reg, disp: i32, src: Reg) {
+        self.rex(true, src as u8, base as u8);
+        self.buf.push(0x89);
+        self.mem(base, src as u8, disp);
+    }
+
+    /// Zero-extending `sz`-bit load: `movzx dst, byte/word [base + disp]`
+    /// or `mov dst32, dword [base + disp]` (sz ∈ {8, 16, 32}). Writing the
+    /// 32-bit register clears the upper half, so no REX.W is needed.
+    pub fn load_zx(&mut self, base: Reg, dst: Reg, disp: i32, sz: u32) {
+        self.rex(false, dst as u8, base as u8);
+        match sz {
+            8 => self.buf.extend_from_slice(&[0x0f, 0xb6]),
+            16 => self.buf.extend_from_slice(&[0x0f, 0xb7]),
+            32 => self.buf.push(0x8b),
+            _ => unreachable!("load_zx size must be 8/16/32"),
+        }
+        self.mem(base, dst as u8, disp);
+    }
+
+    /// Sign-extending `sz`-bit load into the full 64-bit register:
+    /// `movsx`/`movsxd dst, byte/word/dword [base + disp]` (sz ∈ {8, 16, 32}).
+    pub fn load_sx(&mut self, base: Reg, dst: Reg, disp: i32, sz: u32) {
+        self.rex(true, dst as u8, base as u8);
+        match sz {
+            8 => self.buf.extend_from_slice(&[0x0f, 0xbe]),
+            16 => self.buf.extend_from_slice(&[0x0f, 0xbf]),
+            32 => self.buf.push(0x63),
+            _ => unreachable!("load_sx size must be 8/16/32"),
+        }
+        self.mem(base, dst as u8, disp);
+    }
+
+    /// `movsx`/`movsxd dst, src` from the low `sz` bits of `src`
+    /// (sz ∈ {8, 16, 32}).
+    pub fn sx_reg(&mut self, dst: Reg, src: Reg, sz: u32) {
+        self.rex(true, dst as u8, src as u8);
+        match sz {
+            8 => self.buf.extend_from_slice(&[0x0f, 0xbe]),
+            16 => self.buf.extend_from_slice(&[0x0f, 0xbf]),
+            32 => self.buf.push(0x63),
+            _ => unreachable!("sx_reg size must be 8/16/32"),
+        }
+        self.modrm(0b11, dst as u8, src as u8);
+    }
+
+    /// `mov dst32, dst32` — clears bits 63..32, i.e. a two-byte
+    /// `and dst, 0xffff_ffff`. Like any `mov`, leaves the flags alone.
+    pub fn clear_upper32(&mut self, dst: Reg) {
+        self.rex(false, dst as u8, dst as u8);
+        self.buf.push(0x89);
+        self.modrm(0b11, dst as u8, dst as u8);
+    }
+
+    /// `mov dst, [rdi + disp]` — narrow slot load.
+    pub fn load(&mut self, dst: Reg, disp: i32) {
+        self.load_from(Reg::Rdi, dst, disp);
+    }
+
+    /// `mov [rdi + disp], src` — narrow slot store.
+    pub fn store(&mut self, disp: i32, src: Reg) {
+        self.store_to(Reg::Rdi, disp, src);
+    }
+
+    /// `mov dst, src`
+    pub fn mov_rr(&mut self, dst: Reg, src: Reg) {
+        self.rex(true, src as u8, dst as u8);
+        self.buf.push(0x89);
+        self.modrm(0b11, src as u8, dst as u8);
+    }
+
+    /// `mov dst, imm` (shortest of `xor`, sign-extended imm32, movabs).
+    pub fn mov_imm(&mut self, dst: Reg, imm: u64) {
+        if imm == 0 {
+            self.xor_clear(dst);
+        } else if imm as i64 == (imm as i64 as i32).into() {
+            self.rex(true, 0, dst as u8);
+            self.buf.push(0xc7);
+            self.modrm(0b11, 0, dst as u8);
+            self.buf.extend_from_slice(&(imm as u32).to_le_bytes());
+        } else {
+            self.rex(true, 0, dst as u8);
+            self.buf.push(0xb8 + (dst as u8 & 7));
+            self.buf.extend_from_slice(&imm.to_le_bytes());
+        }
+    }
+
+    /// `xor dst32, dst32` — the canonical zeroing idiom (clears all 64 bits).
+    pub fn xor_clear(&mut self, dst: Reg) {
+        self.rex(false, dst as u8, dst as u8);
+        self.buf.push(0x31);
+        self.modrm(0b11, dst as u8, dst as u8);
+    }
+
+    fn alu_rr(&mut self, opcode: u8, dst: Reg, src: Reg) {
+        self.rex(true, src as u8, dst as u8);
+        self.buf.push(opcode);
+        self.modrm(0b11, src as u8, dst as u8);
+    }
+
+    pub fn add_rr(&mut self, dst: Reg, src: Reg) {
+        self.alu_rr(0x01, dst, src);
+    }
+    pub fn sub_rr(&mut self, dst: Reg, src: Reg) {
+        self.alu_rr(0x29, dst, src);
+    }
+    pub fn and_rr(&mut self, dst: Reg, src: Reg) {
+        self.alu_rr(0x21, dst, src);
+    }
+    pub fn or_rr(&mut self, dst: Reg, src: Reg) {
+        self.alu_rr(0x09, dst, src);
+    }
+    pub fn xor_rr(&mut self, dst: Reg, src: Reg) {
+        self.alu_rr(0x31, dst, src);
+    }
+    pub fn cmp_rr(&mut self, a: Reg, b: Reg) {
+        self.alu_rr(0x39, a, b);
+    }
+    pub fn test_rr(&mut self, a: Reg, b: Reg) {
+        self.alu_rr(0x85, a, b);
+    }
+
+    /// `imul dst, src` (two-operand form: low 64 bits of the product).
+    pub fn imul_rr(&mut self, dst: Reg, src: Reg) {
+        self.rex(true, dst as u8, src as u8);
+        self.buf.extend_from_slice(&[0x0f, 0xaf]);
+        self.modrm(0b11, dst as u8, src as u8);
+    }
+
+    /// ALU group-1 with a sign-extended imm32 (`81 /ext`).
+    fn alu_imm(&mut self, ext: u8, dst: Reg, imm: i32) {
+        self.rex(true, 0, dst as u8);
+        self.buf.push(0x81);
+        self.modrm(0b11, ext, dst as u8);
+        self.buf.extend_from_slice(&imm.to_le_bytes());
+    }
+
+    pub fn cmp_imm(&mut self, dst: Reg, imm: i32) {
+        self.alu_imm(7, dst, imm);
+    }
+
+    /// `and dst, imm` with a sign-extended imm32. Masks that don't fit go
+    /// through `mov_imm` into a scratch register at the call site (the
+    /// code generator caches the constant in `r9` across instructions).
+    pub fn and_imm32(&mut self, dst: Reg, imm: i32) {
+        self.alu_imm(4, dst, imm);
+    }
+
+    pub fn not(&mut self, dst: Reg) {
+        self.rex(true, 0, dst as u8);
+        self.buf.push(0xf7);
+        self.modrm(0b11, 2, dst as u8);
+    }
+
+    pub fn neg(&mut self, dst: Reg) {
+        self.rex(true, 0, dst as u8);
+        self.buf.push(0xf7);
+        self.modrm(0b11, 3, dst as u8);
+    }
+
+    /// Shift group-2 by an immediate (`C1 /ext ib`), eliding zero shifts.
+    fn shift_imm(&mut self, ext: u8, dst: Reg, amt: u32) {
+        debug_assert!(amt < 64);
+        if amt == 0 {
+            return;
+        }
+        self.rex(true, 0, dst as u8);
+        self.buf.push(0xc1);
+        self.modrm(0b11, ext, dst as u8);
+        self.buf.push(amt as u8);
+    }
+
+    pub fn shl_imm(&mut self, dst: Reg, amt: u32) {
+        self.shift_imm(4, dst, amt);
+    }
+    pub fn shr_imm(&mut self, dst: Reg, amt: u32) {
+        self.shift_imm(5, dst, amt);
+    }
+    pub fn sar_imm(&mut self, dst: Reg, amt: u32) {
+        self.shift_imm(7, dst, amt);
+    }
+
+    /// Shift group-2 by `cl` (`D3 /ext`).
+    fn shift_cl(&mut self, ext: u8, dst: Reg) {
+        debug_assert_ne!(dst, Reg::Rcx, "shift amount lives in rcx");
+        self.rex(true, 0, dst as u8);
+        self.buf.push(0xd3);
+        self.modrm(0b11, ext, dst as u8);
+    }
+
+    pub fn shl_cl(&mut self, dst: Reg) {
+        self.shift_cl(4, dst);
+    }
+    pub fn shr_cl(&mut self, dst: Reg) {
+        self.shift_cl(5, dst);
+    }
+    pub fn sar_cl(&mut self, dst: Reg) {
+        self.shift_cl(7, dst);
+    }
+
+    /// `set<cc> dst8`. Restricted to `rax`/`rcx`/`rdx`, whose byte forms
+    /// need no REX; the caller zeroes the full register first.
+    pub fn setcc(&mut self, cc: Cc, dst: Reg) {
+        debug_assert!(matches!(dst, Reg::Rax | Reg::Rcx | Reg::Rdx));
+        self.buf.extend_from_slice(&[0x0f, 0x90 + cc as u8]);
+        self.modrm(0b11, 0, dst as u8);
+    }
+
+    /// `cmov<cc> dst, src`.
+    pub fn cmovcc(&mut self, cc: Cc, dst: Reg, src: Reg) {
+        self.rex(true, dst as u8, src as u8);
+        self.buf.extend_from_slice(&[0x0f, 0x40 + cc as u8]);
+        self.modrm(0b11, dst as u8, src as u8);
+    }
+
+    pub fn ret(&mut self) {
+        self.buf.push(0xc3);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn emit(f: impl FnOnce(&mut Asm)) -> Vec<u8> {
+        let mut a = Asm::new();
+        f(&mut a);
+        a.buf
+    }
+
+    /// Spot-check encodings against hand-assembled references.
+    #[test]
+    fn known_encodings() {
+        assert_eq!(emit(|a| a.load(Reg::Rax, 8)), [0x48, 0x8b, 0x47, 0x08]);
+        assert_eq!(
+            emit(|a| a.load(Reg::R8, 0x100)),
+            [0x4c, 0x8b, 0x87, 0x00, 0x01, 0x00, 0x00]
+        );
+        assert_eq!(emit(|a| a.store(16, Reg::Rcx)), [0x48, 0x89, 0x4f, 0x10]);
+        // rsi-based forms address the flat wide-word store.
+        assert_eq!(
+            emit(|a| a.load_from(Reg::Rsi, Reg::Rax, 8)),
+            [0x48, 0x8b, 0x46, 0x08]
+        );
+        assert_eq!(
+            emit(|a| a.store_to(Reg::Rsi, 0x100, Reg::Rdx)),
+            [0x48, 0x89, 0x96, 0x00, 0x01, 0x00, 0x00]
+        );
+        assert_eq!(emit(|a| a.add_rr(Reg::Rax, Reg::Rcx)), [0x48, 0x01, 0xc8]);
+        assert_eq!(
+            emit(|a| a.imul_rr(Reg::Rax, Reg::Rcx)),
+            [0x48, 0x0f, 0xaf, 0xc1]
+        );
+        assert_eq!(emit(|a| a.shl_cl(Reg::Rax)), [0x48, 0xd3, 0xe0]);
+        assert_eq!(emit(|a| a.sar_imm(Reg::Rax, 5)), [0x48, 0xc1, 0xf8, 0x05]);
+        assert_eq!(emit(|a| a.setcc(Cc::E, Reg::Rax)), [0x0f, 0x94, 0xc0]);
+        assert_eq!(
+            emit(|a| a.cmovcc(Cc::Ne, Reg::Rax, Reg::Rdx)),
+            [0x48, 0x0f, 0x45, 0xc2]
+        );
+        assert_eq!(emit(|a| a.xor_clear(Reg::Rdx)), [0x31, 0xd2]);
+        assert_eq!(emit(|a| a.mov_rr(Reg::Rdx, Reg::Rax)), [0x48, 0x89, 0xc2]);
+        assert_eq!(emit(Asm::ret), [0xc3]);
+    }
+
+    /// Sized loads and extensions against hand-assembled references.
+    #[test]
+    fn sized_load_encodings() {
+        // movzx eax, word [rsi+0x11] — no REX.W; 32-bit write zero-extends.
+        assert_eq!(
+            emit(|a| a.load_zx(Reg::Rsi, Reg::Rax, 0x11, 16)),
+            [0x0f, 0xb7, 0x46, 0x11]
+        );
+        assert_eq!(
+            emit(|a| a.load_zx(Reg::Rsi, Reg::Rcx, 4, 8)),
+            [0x0f, 0xb6, 0x4e, 0x04]
+        );
+        // mov eax, dword [rsi+8]
+        assert_eq!(
+            emit(|a| a.load_zx(Reg::Rsi, Reg::Rax, 8, 32)),
+            [0x8b, 0x46, 0x08]
+        );
+        // movsx rax, word [rdi+0x10]
+        assert_eq!(
+            emit(|a| a.load_sx(Reg::Rdi, Reg::Rax, 0x10, 16)),
+            [0x48, 0x0f, 0xbf, 0x47, 0x10]
+        );
+        // movsxd rdx, dword [rdi+8]
+        assert_eq!(
+            emit(|a| a.load_sx(Reg::Rdi, Reg::Rdx, 8, 32)),
+            [0x48, 0x63, 0x57, 0x08]
+        );
+        // movsx rax, cx / movsxd rax, ecx
+        assert_eq!(
+            emit(|a| a.sx_reg(Reg::Rax, Reg::Rcx, 16)),
+            [0x48, 0x0f, 0xbf, 0xc1]
+        );
+        assert_eq!(
+            emit(|a| a.sx_reg(Reg::Rax, Reg::Rcx, 32)),
+            [0x48, 0x63, 0xc1]
+        );
+        // mov eax, eax
+        assert_eq!(emit(|a| a.clear_upper32(Reg::Rax)), [0x89, 0xc0]);
+    }
+
+    #[test]
+    fn immediates_pick_shortest_form() {
+        // Zero → xor idiom, imm32 → C7, wide → movabs.
+        assert_eq!(emit(|a| a.mov_imm(Reg::Rax, 0)), [0x31, 0xc0]);
+        assert_eq!(
+            emit(|a| a.mov_imm(Reg::Rax, 0x7f)),
+            [0x48, 0xc7, 0xc0, 0x7f, 0x00, 0x00, 0x00]
+        );
+        let wide = emit(|a| a.mov_imm(Reg::Rax, 0x1234_5678_9abc_def0));
+        assert_eq!(&wide[..2], [0x48, 0xb8]);
+        assert_eq!(wide.len(), 10);
+        assert_eq!(
+            emit(|a| a.and_imm32(Reg::Rax, 0xfff)),
+            [0x48, 0x81, 0xe0, 0xff, 0x0f, 0x00, 0x00]
+        );
+    }
+
+    #[test]
+    fn zero_shifts_elide() {
+        assert!(emit(|a| a.shl_imm(Reg::Rax, 0)).is_empty());
+        assert!(emit(|a| a.sar_imm(Reg::Rax, 0)).is_empty());
+    }
+}

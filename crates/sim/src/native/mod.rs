@@ -1,0 +1,879 @@
+//! The native-code (JIT) simulation backend.
+//!
+//! [`NativeSimulator`] wraps the scalar [`CompiledSimulator`] state — the
+//! same word-packed `u64` slot store, tape, cone partition, dirty bits, and
+//! register/memory commit plans — and compiles each combinational cone into
+//! straight-line x86-64 machine code at construction. Narrow instructions
+//! work directly on the shared narrow slot store; wide (> 64-bit) values
+//! get a second, flat array of storage words (one contiguous run per wide
+//! slot, base pointer in `rsi`) so slices, concats, muxes, extensions, and
+//! equality over wide values compile too. Only division, memory reads, and
+//! the generic `eval_pure` fallback interpret; a cone that contains them is
+//! split into chunks and only those instructions run interpreted.
+//!
+//! Coherence between the flat word store and the interpreter's `Bits`
+//! store is maintained at static boundaries: wide inputs and registers sync
+//! into the flat store before each evaluation, interpreted chunks sync
+//! their wide reads in and writes out, and the wide slots the step/commit
+//! logic or the output map consumes sync back after each evaluation.
+//! Arbitrary [`probe`](NativeSimulator::probe)s force a full resync first.
+//! Evaluation otherwise walks the cone segments exactly as the tape engine
+//! does, activity gating included.
+//!
+//! On non-x86-64/non-Linux targets, under `HC_NO_NATIVE=1`, or when the
+//! kernel refuses executable pages, no code is generated and the engine
+//! degrades to exactly the tape interpreter — same results, no speedup.
+//! Bit-exactness against the interpreter oracle is pinned by the
+//! `native_differential` suite across every Table II design.
+
+#[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+mod asm;
+#[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+mod codegen;
+#[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+mod exec;
+
+use hc_bits::Bits;
+use hc_rtl::{Module, NodeId, ValidateError};
+
+use crate::lower::EngineOptions;
+use crate::{CompiledSimulator, SimBackend};
+
+/// One chunk of a cone's runtime plan: call into the executable mapping,
+/// or interpret a tape range with flat↔`Bits` syncs at its edges.
+#[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+#[derive(Debug)]
+enum Step {
+    Native {
+        f: exec::Entry,
+        instrs: u32,
+    },
+    Interp {
+        start: u32,
+        end: u32,
+        pre: Box<[u32]>,
+        post: Box<[u32]>,
+    },
+}
+
+#[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+#[derive(Debug)]
+struct SegPlan {
+    steps: Box<[Step]>,
+}
+
+/// Everything the JIT tier owns: the executable mapping (which must
+/// outlive every resolved entry), the per-cone plans, the flat wide-store
+/// layout, and the precomputed boundary sync lists.
+#[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+#[derive(Debug)]
+struct Jit {
+    _mem: exec::ExecMemory,
+    plans: Box<[SegPlan]>,
+    lay: codegen::WideLayout,
+    /// Wide register value slots: `Bits` → flat once per step, right
+    /// after the commit refreshes them. Together with the write-through in
+    /// `set`/`set_u64` (wide input ports) this keeps the flat store
+    /// current without any per-eval pre-sync pass.
+    reg_sync: Box<[u32]>,
+    /// JIT-written wide slots the commit's memory-write phase reads from
+    /// the `Bits` store (write addresses and data): flat → `Bits` once per
+    /// step, right before the commit. Output reads sync their single slot
+    /// lazily in `get`; register next-values are gathered straight from
+    /// the flat store (`wreg_from_flat`).
+    step_sync: Box<[u32]>,
+    /// Per wide register: whether its next-value slot is JIT-written, i.e.
+    /// fresh in the flat store after an eval. Such registers gather their
+    /// commit shadow from flat words, sparing the `Bits` round-trip.
+    wreg_from_flat: Box<[bool]>,
+    /// Every JIT-written wide slot: flat → `Bits` before an arbitrary
+    /// probe.
+    full_sync: Box<[u32]>,
+    /// `(port name, wide slot)` for each wide input port — the write-through
+    /// targets for `set`/`set_u64`. A module has at most a handful, so a
+    /// linear name scan beats hashing on the per-cycle stimulus path.
+    wide_inputs: Box<[(Box<str>, u32)]>,
+}
+
+/// Construction-time accounting for one engine instance (also folded into
+/// the `sim.native.*` metrics).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NativeReport {
+    /// Cones whose every instruction executes natively.
+    pub cones_compiled: usize,
+    /// Cones with at least one interpreted chunk.
+    pub cones_fallback: usize,
+    /// Machine-code bytes emitted across all compiled chunks.
+    pub code_bytes: usize,
+    /// Cone evaluations that executed (at least partly) natively so far
+    /// (runtime counter).
+    pub native_cone_evals: u64,
+}
+
+/// Everything `compile` learned.
+#[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+struct Compiled {
+    jit: Option<Jit>,
+    compiled: usize,
+    fallback: usize,
+    bytes: usize,
+}
+
+#[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+impl Compiled {
+    fn none(segments: usize) -> Compiled {
+        Compiled {
+            jit: None,
+            compiled: 0,
+            fallback: segments,
+            bytes: 0,
+        }
+    }
+}
+
+/// Copies one wide slot's `Bits` words into the flat store.
+#[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+fn bits_to_flat(wide: &[Bits], wwords: &mut [u64], lay: &codegen::WideLayout, slot: u32) {
+    let b = &wide[slot as usize];
+    let base = lay.base(slot);
+    wwords[base..base + b.as_words().len()].copy_from_slice(b.as_words());
+}
+
+/// Copies one wide slot's flat words back into its `Bits` mirror. The JIT
+/// maintains the zero-top invariant, so the masking in `copy_from_words`
+/// is a no-op safety net.
+#[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+fn flat_to_bits(wide: &mut [Bits], wwords: &[u64], lay: &codegen::WideLayout, slot: u32) {
+    let b = &mut wide[slot as usize];
+    let base = lay.base(slot);
+    let n = b.as_words().len();
+    b.copy_from_words(&wwords[base..base + n]);
+}
+
+#[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+fn compile(low: &crate::lower::Lowered) -> Compiled {
+    use crate::lower::Loc;
+
+    let mut span = hc_obs::span("native_compile").with("module", low.module.name());
+    let lay = codegen::WideLayout::new(&low.wide_init);
+    let mut asm = asm::Asm::new();
+    let mut plans = Vec::with_capacity(low.segments.len());
+    for seg in &low.segments {
+        plans.push(codegen::compile_segment(
+            &mut asm,
+            &lay,
+            low,
+            seg.start as usize,
+            seg.end as usize,
+        ));
+    }
+    let bytes = asm.len();
+    let fully = plans
+        .iter()
+        .filter(|p| {
+            !p.steps.is_empty()
+                && p.steps
+                    .iter()
+                    .all(|s| matches!(s, codegen::StepPlan::Jit { .. }))
+        })
+        .count();
+    let any_native = plans.iter().any(|p| {
+        p.steps
+            .iter()
+            .any(|s| matches!(s, codegen::StepPlan::Jit { .. }))
+    });
+    span.attach("cones_compiled", fully);
+    span.attach("fallback_cones", low.segments.len() - fully);
+    span.attach("bytes_emitted", bytes);
+    if !any_native {
+        return Compiled::none(low.segments.len());
+    }
+    let Some(mem) = exec::ExecMemory::new(asm.bytes()) else {
+        // The kernel refused executable pages; interpret everything.
+        return Compiled::none(low.segments.len());
+    };
+    let seg_plans: Box<[SegPlan]> = plans
+        .iter()
+        .map(|p| SegPlan {
+            steps: p
+                .steps
+                .iter()
+                .map(|s| match s {
+                    // Offsets came from this very buffer, so resolving
+                    // them is sound by construction.
+                    codegen::StepPlan::Jit { off, instrs } => Step::Native {
+                        f: unsafe { mem.entry(*off) },
+                        instrs: *instrs,
+                    },
+                    codegen::StepPlan::Interp {
+                        start,
+                        end,
+                        pre,
+                        post,
+                    } => Step::Interp {
+                        start: *start,
+                        end: *end,
+                        pre: pre.clone().into_boxed_slice(),
+                        post: post.clone().into_boxed_slice(),
+                    },
+                })
+                .collect(),
+        })
+        .collect();
+
+    let mut jit_written: Vec<u32> = plans
+        .iter()
+        .flat_map(|p| p.jit_writes.iter().copied())
+        .collect();
+    jit_written.sort_unstable();
+    jit_written.dedup();
+
+    // Wide register value slots, refreshed by the per-step commit; wide
+    // input ports write through at set time instead.
+    let mut reg_sync: Vec<u32> = low.wregs.iter().map(|r| r.slot).collect();
+    reg_sync.sort_unstable();
+    reg_sync.dedup();
+
+    let mut wide_inputs: Vec<(Box<str>, u32)> = low
+        .input_index
+        .iter()
+        .filter_map(|(name, &i)| match low.input_locs[i].0 {
+            Loc::W(s) => Some((name.clone().into_boxed_str(), s)),
+            Loc::N(_) => None,
+        })
+        .collect();
+    wide_inputs.sort();
+
+    // Wide slots the commit's memory-write phase reads from the `Bits`
+    // store: write addresses and data. Register next-values gather from
+    // flat words directly, and output reads sync lazily in `get`.
+    let mut hot: Vec<u32> = Vec::new();
+    for w in low.nmem_writes.iter().chain(&low.wmem_writes) {
+        if let Loc::W(s) = w.addr {
+            hot.push(s);
+        }
+    }
+    hot.extend(low.wmem_writes.iter().map(|w| w.data));
+    hot.sort_unstable();
+    hot.dedup();
+    let step_sync: Vec<u32> = jit_written
+        .iter()
+        .copied()
+        .filter(|s| hot.binary_search(s).is_ok())
+        .collect();
+    let wreg_from_flat: Vec<bool> = low
+        .wregs
+        .iter()
+        .map(|r| jit_written.binary_search(&r.next).is_ok())
+        .collect();
+
+    Compiled {
+        jit: Some(Jit {
+            _mem: mem,
+            plans: seg_plans,
+            lay,
+            reg_sync: reg_sync.into_boxed_slice(),
+            step_sync: step_sync.into_boxed_slice(),
+            full_sync: jit_written.into_boxed_slice(),
+            wide_inputs: wide_inputs.into_boxed_slice(),
+            wreg_from_flat: wreg_from_flat.into_boxed_slice(),
+        }),
+        compiled: fully,
+        fallback: low.segments.len() - fully,
+        bytes,
+    }
+}
+
+/// A cycle-accurate simulator that executes combinational cones as
+/// generated x86-64 machine code, falling back per chunk to the tape
+/// interpreter for anything the assembler doesn't cover. Observable
+/// behavior is bit-identical to [`Simulator`](crate::Simulator) and
+/// [`CompiledSimulator`].
+#[derive(Debug)]
+pub struct NativeSimulator {
+    sim: CompiledSimulator,
+    #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+    jit: Option<Jit>,
+    /// Flat word image of every wide slot (empty when no code was
+    /// generated).
+    #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+    wwords: Vec<u64>,
+    /// Whether JIT-written wide slots are ahead of their `Bits` mirrors.
+    #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+    flat_ahead: bool,
+    report: NativeReport,
+}
+
+impl NativeSimulator {
+    /// Lowers, validates, and JIT-compiles the module (per chunk, where
+    /// covered). Under `HC_NO_NATIVE=1` or on unsupported targets no code
+    /// is generated and every cone interprets.
+    ///
+    /// # Errors
+    ///
+    /// Returns the module's [`ValidateError`] if it is structurally invalid.
+    pub fn new(module: Module) -> Result<Self, ValidateError> {
+        Self::with_options(module, EngineOptions::default())
+    }
+
+    /// Like [`new`](NativeSimulator::new), with explicit construction
+    /// options (see [`EngineOptions`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the module's [`ValidateError`] if it is structurally invalid.
+    pub fn with_options(module: Module, options: EngineOptions) -> Result<Self, ValidateError> {
+        let sim = CompiledSimulator::with_options(module, options)?;
+        #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+        {
+            let c = if hc_obs::config().no_native {
+                Compiled::none(sim.low.segments.len())
+            } else {
+                compile(&sim.low)
+            };
+            hc_obs::metrics::counter("sim.native.cones_compiled").add(c.compiled as u64);
+            hc_obs::metrics::counter("sim.native.fallback_cones").add(c.fallback as u64);
+            hc_obs::metrics::counter("sim.native.bytes_emitted").add(c.bytes as u64);
+            let mut this = NativeSimulator {
+                sim,
+                jit: c.jit,
+                wwords: Vec::new(),
+                flat_ahead: false,
+                report: NativeReport {
+                    cones_compiled: c.compiled,
+                    cones_fallback: c.fallback,
+                    code_bytes: c.bytes,
+                    native_cone_evals: 0,
+                },
+            };
+            if let Some(jit) = this.jit.as_ref() {
+                // Seed the flat store from the full Bits image (constants
+                // and register initial values included). `store_len` adds a
+                // zeroed padding word so the generated code's byte-aligned
+                // loads may over-read past the last slot.
+                this.wwords = vec![0u64; jit.lay.store_len()];
+                for s in 0..this.sim.wide.len() as u32 {
+                    bits_to_flat(&this.sim.wide, &mut this.wwords, &jit.lay, s);
+                }
+            }
+            Ok(this)
+        }
+        #[cfg(not(all(target_arch = "x86_64", target_os = "linux")))]
+        {
+            let fallback = sim.low.segments.len();
+            hc_obs::metrics::counter("sim.native.cones_compiled").add(0);
+            hc_obs::metrics::counter("sim.native.fallback_cones").add(fallback as u64);
+            hc_obs::metrics::counter("sim.native.bytes_emitted").add(0);
+            Ok(NativeSimulator {
+                sim,
+                report: NativeReport {
+                    cones_compiled: 0,
+                    cones_fallback: fallback,
+                    code_bytes: 0,
+                    native_cone_evals: 0,
+                },
+            })
+        }
+    }
+
+    /// The simulated module (post-optimization when the `optimize` option
+    /// was set).
+    pub fn module(&self) -> &Module {
+        self.sim.module()
+    }
+
+    /// Number of completed clock cycles.
+    pub fn cycle(&self) -> u64 {
+        self.sim.cycle()
+    }
+
+    /// Construction and runtime accounting for the JIT tier.
+    pub fn native_report(&self) -> NativeReport {
+        self.report
+    }
+
+    /// See [`CompiledSimulator::tape_opt_report`].
+    pub fn tape_opt_report(&self) -> Option<crate::TapeOptReport> {
+        self.sim.tape_opt_report()
+    }
+
+    /// See [`CompiledSimulator::profile_report`].
+    pub fn profile_report(&self) -> Option<crate::ProfileReport> {
+        self.sim.profile_report()
+    }
+
+    /// Drives an input port.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no input named `name` exists or the width differs.
+    pub fn set(&mut self, name: &str, value: Bits) {
+        self.sim.set(name, value);
+        #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+        self.sync_wide_input(name);
+    }
+
+    /// Drives an input port from a `u64` (truncated to the port width).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no input named `name` exists.
+    pub fn set_u64(&mut self, name: &str, value: u64) {
+        self.sim.set_u64(name, value);
+        #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+        self.sync_wide_input(name);
+    }
+
+    /// Write-through for a wide input port: mirrors its fresh `Bits` value
+    /// into the flat store at set time, so evaluation needs no per-eval
+    /// input sync. Narrow ports live in the shared narrow store and need
+    /// nothing.
+    #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+    fn sync_wide_input(&mut self, name: &str) {
+        if let Some(jit) = self.jit.as_ref() {
+            if let Some(&(_, s)) = jit.wide_inputs.iter().find(|(n, _)| &**n == name) {
+                bits_to_flat(&self.sim.wide, &mut self.wwords, &jit.lay, s);
+            }
+        }
+    }
+
+    /// Settles combinational logic: dirty cones execute their chunk plans
+    /// (native code where compiled, interpreter elsewhere).
+    pub fn eval(&mut self) {
+        #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+        if self.jit.is_some() {
+            self.eval_jit();
+            return;
+        }
+        self.sim.eval();
+    }
+
+    #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+    fn eval_jit(&mut self) {
+        if self.sim.evaluated {
+            return;
+        }
+        // The flat store is already current: construction/reset seed it,
+        // wide input sets write through, and `step` re-syncs committed
+        // register values.
+        let jit = self.jit.as_ref().expect("eval_jit requires compiled code");
+        let gate = self.sim.low.gate;
+        let mut any_native = false;
+        for k in 0..jit.plans.len() {
+            if gate {
+                if !self.sim.dirty[k] {
+                    self.sim.cones_skipped += 1;
+                    continue;
+                }
+                self.sim.dirty[k] = false;
+            }
+            let mut native_instrs = 0u64;
+            for step in &*jit.plans[k].steps {
+                match step {
+                    // The tape invariants (operand slots in range and
+                    // below their destination; the layout sized from the
+                    // same `wide_init`) make every generated load and
+                    // store in-bounds for the two stores.
+                    Step::Native { f, instrs } => {
+                        unsafe { f(self.sim.narrow.as_mut_ptr(), self.wwords.as_mut_ptr()) };
+                        native_instrs += u64::from(*instrs);
+                    }
+                    Step::Interp {
+                        start,
+                        end,
+                        pre,
+                        post,
+                    } => {
+                        for &s in &**pre {
+                            flat_to_bits(&mut self.sim.wide, &self.wwords, &jit.lay, s);
+                        }
+                        self.sim.eval_range(*start as usize, *end as usize);
+                        for &s in &**post {
+                            bits_to_flat(&self.sim.wide, &mut self.wwords, &jit.lay, s);
+                        }
+                        if let Some(p) = self.sim.prof.as_deref_mut() {
+                            p.record_ops(&self.sim.low, *start as usize, *end as usize);
+                        }
+                    }
+                }
+            }
+            if native_instrs > 0 {
+                self.report.native_cone_evals += 1;
+                any_native = true;
+            }
+            if let Some(p) = self.sim.prof.as_deref_mut() {
+                p.record_cone(k);
+                p.record_native_ops(native_instrs);
+            }
+        }
+        if any_native {
+            // `Bits` mirrors of JIT-written slots are now stale; they catch
+            // up lazily — per output slot in `get`, for the step-hot set
+            // right before the commit, and in full before a probe.
+            self.flat_ahead = true;
+        }
+        self.sim.evaluated = true;
+    }
+
+    /// Syncs one output port's wide slot flat → `Bits` if the JIT wrote it
+    /// since the mirrors were last refreshed. Narrow outputs live in the
+    /// shared narrow store and are always current.
+    #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+    fn sync_wide_output(&mut self, name: &str) {
+        if self.flat_ahead {
+            if let Some(jit) = self.jit.as_ref() {
+                if let (crate::lower::Loc::W(s), _) = self.sim.low.output_loc(name) {
+                    if jit.full_sync.binary_search(&s).is_ok() {
+                        flat_to_bits(&mut self.sim.wide, &self.wwords, &jit.lay, s);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Reads an output port (evaluating first if necessary).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no output named `name` exists.
+    pub fn get(&mut self, name: &str) -> Bits {
+        self.eval();
+        #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+        self.sync_wide_output(name);
+        self.sim.get(name)
+    }
+
+    /// Reads an output port as a `u64` without allocating (see
+    /// [`CompiledSimulator::get_u64`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no output named `name` exists.
+    pub fn get_u64(&mut self, name: &str) -> u64 {
+        self.eval();
+        #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+        self.sync_wide_output(name);
+        self.sim.get_u64(name)
+    }
+
+    /// Reads back the value currently driving an input port.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no input named `name` exists.
+    pub fn input_value(&self, name: &str) -> Bits {
+        self.sim.input_value(name)
+    }
+
+    /// Reads back an input port's driven value as a `u64` without
+    /// allocating (see [`CompiledSimulator::input_value_u64`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no input named `name` exists.
+    pub fn input_value_u64(&self, name: &str) -> u64 {
+        self.sim.input_value_u64(name)
+    }
+
+    /// Reads the settled value of an arbitrary node (for probing).
+    pub fn probe(&mut self, node: NodeId) -> Bits {
+        self.eval();
+        #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+        if self.flat_ahead {
+            if let Some(jit) = self.jit.as_ref() {
+                for &s in &*jit.full_sync {
+                    flat_to_bits(&mut self.sim.wide, &self.wwords, &jit.lay, s);
+                }
+            }
+            self.flat_ahead = false;
+        }
+        self.sim.probe(node)
+    }
+
+    /// Reads a register's current value by name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no register named `name` exists.
+    pub fn peek_reg(&self, name: &str) -> Bits {
+        self.sim.peek_reg(name)
+    }
+
+    /// Advances one clock cycle (native evaluation, then the wrapped
+    /// engine's double-buffered commit).
+    pub fn step(&mut self) {
+        self.eval();
+        #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+        if let Some(jit) = self.jit.as_ref() {
+            if self.flat_ahead {
+                // The commit's memory-write phase reads addresses/data
+                // from the `Bits` store; refresh the JIT-written ones.
+                for &s in &*jit.step_sync {
+                    flat_to_bits(&mut self.sim.wide, &self.wwords, &jit.lay, s);
+                }
+                // Gather the wide-register commit shadows here (phase 1 of
+                // the commit), reading next-values straight from the flat
+                // store where the JIT produced them.
+                for (i, p) in self.sim.low.wregs.iter().enumerate() {
+                    let reset = p.reset.is_some_and(|r| self.sim.narrow[r as usize] != 0);
+                    let shadow = &mut self.sim.wreg_shadow[i];
+                    if reset {
+                        shadow.clone_from(&p.init);
+                    } else if p.en.is_none_or(|e| self.sim.narrow[e as usize] != 0) {
+                        if jit.wreg_from_flat[i] {
+                            let base = jit.lay.base(p.next);
+                            let n = shadow.as_words().len();
+                            shadow.copy_from_words(&self.wwords[base..base + n]);
+                        } else {
+                            shadow.clone_from(&self.sim.wide[p.next as usize]);
+                        }
+                    } else {
+                        shadow.clone_from(&self.sim.wide[p.slot as usize]);
+                    }
+                }
+                self.sim.wreg_shadow_ready = true;
+            }
+        }
+        self.sim.step();
+        #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+        if let Some(jit) = self.jit.as_ref() {
+            // The commit refreshed register `Bits` values; write them
+            // through to the flat store.
+            for &s in &*jit.reg_sync {
+                bits_to_flat(&self.sim.wide, &mut self.wwords, &jit.lay, s);
+            }
+        }
+    }
+
+    /// Runs `n` clock cycles with the current inputs held.
+    pub fn run(&mut self, n: u64) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+
+    /// Hard power-on reset (see [`CompiledSimulator::reset`]).
+    pub fn reset(&mut self) {
+        self.sim.reset();
+        #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+        if let Some(jit) = self.jit.as_ref() {
+            // Re-seed the whole flat store; temps are equally stale in
+            // both images and every cone is dirty, so the first eval
+            // rebuilds them in order.
+            for s in 0..self.sim.wide.len() as u32 {
+                bits_to_flat(&self.sim.wide, &mut self.wwords, &jit.lay, s);
+            }
+            self.flat_ahead = false;
+        }
+    }
+}
+
+impl Drop for NativeSimulator {
+    /// Flushes runtime counters under `sim.native.*`, then zeroes the
+    /// wrapped engine's counters so its own `Drop` doesn't re-attribute
+    /// the same work to `sim.compiled.*`.
+    fn drop(&mut self) {
+        if self.sim.cycle > 0 {
+            hc_obs::metrics::counter("sim.native.cycles").add(self.sim.cycle);
+        }
+        if self.sim.cones_skipped > 0 {
+            hc_obs::metrics::counter("sim.native.cones_skipped").add(self.sim.cones_skipped);
+        }
+        if self.report.native_cone_evals > 0 {
+            hc_obs::metrics::counter("sim.native.cone_evals").add(self.report.native_cone_evals);
+        }
+        if let Some(p) = self.sim.prof.take() {
+            p.flush_to_metrics("sim.native");
+        }
+        self.sim.cycle = 0;
+        self.sim.cones_skipped = 0;
+    }
+}
+
+impl SimBackend for NativeSimulator {
+    fn from_module(module: Module) -> Result<Self, ValidateError> {
+        NativeSimulator::new(module)
+    }
+    fn module(&self) -> &Module {
+        self.module()
+    }
+    fn cycle(&self) -> u64 {
+        self.cycle()
+    }
+    fn set(&mut self, name: &str, value: Bits) {
+        NativeSimulator::set(self, name, value);
+    }
+    fn set_u64(&mut self, name: &str, value: u64) {
+        NativeSimulator::set_u64(self, name, value);
+    }
+    fn get(&mut self, name: &str) -> Bits {
+        NativeSimulator::get(self, name)
+    }
+    fn get_u64(&mut self, name: &str) -> u64 {
+        NativeSimulator::get_u64(self, name)
+    }
+    fn input_value(&self, name: &str) -> Bits {
+        NativeSimulator::input_value(self, name)
+    }
+    fn input_value_u64(&self, name: &str) -> u64 {
+        NativeSimulator::input_value_u64(self, name)
+    }
+    fn peek_reg(&self, name: &str) -> Bits {
+        NativeSimulator::peek_reg(self, name)
+    }
+    fn step(&mut self) {
+        NativeSimulator::step(self);
+    }
+    fn run(&mut self, n: u64) {
+        NativeSimulator::run(self, n);
+    }
+    fn reset(&mut self) {
+        NativeSimulator::reset(self);
+    }
+    fn tape_opt_report(&self) -> Option<crate::TapeOptReport> {
+        NativeSimulator::tape_opt_report(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hc_rtl::BinaryOp;
+
+    fn mac_module() -> Module {
+        // Narrow arithmetic only: every cone should compile on x86-64.
+        let mut m = Module::new("mac");
+        let x = m.input("x", 12);
+        let y = m.input("y", 12);
+        let r = m.reg("acc", 32, Bits::zero(32));
+        let q = m.reg_out(r);
+        let xs = m.sext(x, 24);
+        let ys = m.sext(y, 24);
+        let p = m.binary(BinaryOp::MulS, xs, ys, 24);
+        let p32 = m.sext(p, 32);
+        let next = m.binary(BinaryOp::Add, q, p32, 32);
+        m.connect_reg(r, next);
+        m.output("acc", q);
+        m
+    }
+
+    /// Wide datapath exercising the word-level emitters: a 96-bit shift
+    /// register built from concats and slices, muxed against a sign
+    /// extension, compared wide, with narrow slices as outputs.
+    fn wide_module() -> Module {
+        let mut m = Module::new("wide");
+        let x = m.input("x", 48);
+        let sel = m.input("sel", 1);
+        let r = m.reg("acc", 96, Bits::zero(96));
+        let q = m.reg_out(r);
+        let low = m.slice(q, 0, 48);
+        let shifted = m.concat(low, x); // 96-bit: old low half over fresh input
+        let xs = m.sext(x, 96);
+        let next = m.mux(sel, shifted, xs);
+        m.connect_reg(r, next);
+        let zero = m.const_u(96, 0);
+        let isz = m.binary(BinaryOp::Eq, q, zero, 1);
+        let mid = m.slice(q, 40, 20);
+        m.output("mid", mid);
+        m.output("isz", isz);
+        m
+    }
+
+    #[test]
+    fn native_matches_interpreter_on_a_mac_loop() {
+        let mut native = NativeSimulator::new(mac_module()).unwrap();
+        let mut oracle = crate::Simulator::new(mac_module()).unwrap();
+        for (x, y) in [(5u64, 7u64), (4095, 4095), (2048, 1), (100, 4000)] {
+            for s in [&mut native as &mut dyn SimBackend, &mut oracle] {
+                s.set_u64("x", x);
+                s.set_u64("y", y);
+                s.step();
+            }
+            assert_eq!(native.get("acc"), oracle.get("acc"), "after ({x},{y})");
+        }
+    }
+
+    #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+    #[test]
+    fn narrow_design_compiles_every_cone() {
+        let mut sim = NativeSimulator::new(mac_module()).unwrap();
+        let r = sim.native_report();
+        if !hc_obs::config().no_native {
+            assert!(r.cones_compiled > 0, "{r:?}");
+            assert_eq!(r.cones_fallback, 0, "{r:?}");
+            assert!(r.code_bytes > 0, "{r:?}");
+            sim.set_u64("x", 3);
+            sim.set_u64("y", 3);
+            sim.step();
+            assert!(sim.native_report().native_cone_evals > 0);
+        }
+    }
+
+    /// The wide emitters cover slices, concats, muxes, extensions, and
+    /// equality, so a wide datapath compiles fully and stays bit-exact.
+    #[test]
+    fn wide_design_compiles_and_matches_interpreter() {
+        let mut native = NativeSimulator::new(wide_module()).unwrap();
+        let mut oracle = crate::Simulator::new(wide_module()).unwrap();
+        #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+        if !hc_obs::config().no_native {
+            let r = native.native_report();
+            assert_eq!(r.cones_fallback, 0, "{r:?}");
+        }
+        let mut t = 1u64;
+        for i in 0..32u64 {
+            t = t.wrapping_mul(6364136223846793005).wrapping_add(1);
+            for s in [&mut native as &mut dyn SimBackend, &mut oracle] {
+                s.set_u64("x", t);
+                s.set_u64("sel", i & 1);
+                s.step();
+            }
+            assert_eq!(native.get("mid"), oracle.get("mid"), "cycle {i}");
+            assert_eq!(native.get("isz"), oracle.get("isz"), "cycle {i}");
+        }
+    }
+
+    #[test]
+    fn memory_designs_fall_back_and_stay_correct() {
+        let mut m = Module::new("mem");
+        let addr = m.input("addr", 3);
+        let data = m.input("data", 16);
+        let we = m.input("we", 1);
+        let mem = m.mem("buf", 16, 8);
+        m.mem_write(mem, addr, data, we);
+        let q = m.mem_read(mem, addr);
+        let one = m.const_u(16, 1);
+        let q1 = m.binary(BinaryOp::Add, q, one, 16);
+        m.output("q1", q1);
+        let mut native = NativeSimulator::new(m.clone()).unwrap();
+        let mut oracle = crate::Simulator::new(m).unwrap();
+        for (a, v, w) in [
+            (1u64, 0xdead_u64, 1u64),
+            (1, 0, 0),
+            (5, 0xbeef, 1),
+            (5, 1, 0),
+        ] {
+            for s in [&mut native as &mut dyn SimBackend, &mut oracle] {
+                s.set_u64("addr", a);
+                s.set_u64("data", v);
+                s.set_u64("we", w);
+                s.step();
+            }
+            assert_eq!(native.get("q1"), oracle.get("q1"), "({a},{v},{w})");
+        }
+    }
+
+    /// `HC_NO_NATIVE=1` at construction must disable codegen entirely.
+    #[test]
+    fn no_native_override_disables_codegen() {
+        let baseline = (*hc_obs::config()).clone();
+        let mut off = baseline.clone();
+        off.no_native = true;
+        hc_obs::config::set_override(off);
+        let sim = NativeSimulator::new(mac_module()).unwrap();
+        hc_obs::config::set_override(baseline);
+        let r = sim.native_report();
+        assert_eq!(r.cones_compiled, 0, "{r:?}");
+        assert_eq!(r.code_bytes, 0, "{r:?}");
+    }
+}

@@ -40,11 +40,35 @@ impl ProfileState {
 
     /// Accounts one evaluation of `tape[start..end]` as cone `seg`.
     pub fn record_range(&mut self, low: &Lowered, seg: usize, start: usize, end: usize) {
+        self.record_cone(seg);
+        self.record_ops(low, start, end);
+    }
+
+    /// Accounts one evaluation of cone `seg` (the cone histogram only; the
+    /// native engine pairs this with [`Self::record_ops`] /
+    /// [`Self::record_native_ops`] per chunk of the cone).
+    pub fn record_cone(&mut self, seg: usize) {
         if let Some(c) = self.cone_evals.get_mut(seg) {
             *c += 1;
         }
+    }
+
+    /// Accounts interpreter execution of `tape[start..end]` in the opcode
+    /// histogram, without touching the cone histogram.
+    pub fn record_ops(&mut self, low: &Lowered, start: usize, end: usize) {
         for instr in &low.tape[start..end] {
             *self.opcodes.entry(instr.opname()).or_insert(0) += 1;
+        }
+    }
+
+    /// Accounts `instrs` tape instructions that ran as generated machine
+    /// code and never passed through the interpreter dispatch: pooled under
+    /// a single `native` pseudo-opcode instead of being re-walked per
+    /// opname — re-walking would claim interpreter executions that never
+    /// happened.
+    pub fn record_native_ops(&mut self, instrs: u64) {
+        if instrs > 0 {
+            *self.opcodes.entry("native").or_insert(0) += instrs;
         }
     }
 

@@ -1,0 +1,262 @@
+//! Explicit AVX2 kernels for the batched engine's lane loops.
+//!
+//! [`crate::BatchedSimulator`] stores each narrow slot as `lanes`
+//! contiguous `u64`s, so the per-instruction lane loop is a natural
+//! 256-bit vector op over four lanes at a time. The autovectorizer already
+//! catches many of these; this module pins the hot, unambiguously
+//! vectorizable opcode subset to hand-written `core::arch` kernels so the
+//! batched tier keeps its throughput on any x86-64 build regardless of
+//! LLVM's cost-model mood, and serves as the portable performance fallback
+//! when the per-cone JIT is unavailable.
+//!
+//! Dispatch is per engine, not per op: construction checks
+//! `is_x86_feature_detected!("avx2")` once (and honors `HC_NO_NATIVE=1`,
+//! which forces the scalar lane loops), and [`try_instr`] then intercepts
+//! supported opcodes when the lane count is a multiple of four. Anything
+//! it declines falls through to the scalar lane loop unchanged, so lane
+//! semantics — including the shift-amount saturation rules — are identical
+//! in both tiers; the `native_differential` suite asserts exact
+//! equivalence with ragged (partially inactive) lane masks.
+
+#![cfg(target_arch = "x86_64")]
+
+use core::arch::x86_64::{
+    __m256i, _mm256_add_epi64, _mm256_and_si256, _mm256_blendv_epi8, _mm256_cmpeq_epi64,
+    _mm256_loadu_si256, _mm256_or_si256, _mm256_set1_epi64x, _mm256_setzero_si256,
+    _mm256_sll_epi64, _mm256_sllv_epi64, _mm256_srl_epi64, _mm256_srli_epi64, _mm256_srlv_epi64,
+    _mm256_storeu_si256, _mm256_sub_epi64, _mm256_xor_si256, _mm_cvtsi32_si128,
+};
+
+use crate::lower::Instr;
+
+/// Whether the running CPU has AVX2 (checked once per engine build).
+pub(crate) fn avx2_available() -> bool {
+    std::arch::is_x86_feature_detected!("avx2")
+}
+
+/// Splits the lane store into one source group and the destination group.
+/// Sound for the same reason as the scalar `lane_un`: the tape invariant
+/// puts every operand slot strictly below its destination slot.
+#[inline(always)]
+fn un(narrow: &mut [u64], l: usize, a: u32, dst: u32) -> (*const u64, *mut u64) {
+    let (src, rest) = narrow.split_at_mut(dst as usize * l);
+    (src[a as usize * l..][..l].as_ptr(), rest[..l].as_mut_ptr())
+}
+
+#[inline(always)]
+fn bin(
+    narrow: &mut [u64],
+    l: usize,
+    a: u32,
+    b: u32,
+    dst: u32,
+) -> (*const u64, *const u64, *mut u64) {
+    let (src, rest) = narrow.split_at_mut(dst as usize * l);
+    (
+        src[a as usize * l..][..l].as_ptr(),
+        src[b as usize * l..][..l].as_ptr(),
+        rest[..l].as_mut_ptr(),
+    )
+}
+
+#[inline(always)]
+unsafe fn ld(p: *const u64, i: usize) -> __m256i {
+    _mm256_loadu_si256(p.add(i).cast())
+}
+
+#[inline(always)]
+unsafe fn st(p: *mut u64, i: usize, v: __m256i) {
+    _mm256_storeu_si256(p.add(i).cast(), v);
+}
+
+macro_rules! unary_kernel {
+    ($name:ident, |$x:ident, $m:ident| $body:expr) => {
+        #[target_feature(enable = "avx2")]
+        unsafe fn $name(a: *const u64, d: *mut u64, l: usize, mask: u64) {
+            let $m = _mm256_set1_epi64x(mask as i64);
+            let mut i = 0;
+            while i < l {
+                let $x = ld(a, i);
+                st(d, i, $body);
+                i += 4;
+            }
+        }
+    };
+}
+
+macro_rules! binary_kernel {
+    ($name:ident, |$x:ident, $y:ident, $m:ident| $body:expr) => {
+        #[target_feature(enable = "avx2")]
+        unsafe fn $name(a: *const u64, b: *const u64, d: *mut u64, l: usize, mask: u64) {
+            let $m = _mm256_set1_epi64x(mask as i64);
+            let mut i = 0;
+            while i < l {
+                let $x = ld(a, i);
+                let $y = ld(b, i);
+                st(d, i, $body);
+                i += 4;
+            }
+        }
+    };
+}
+
+unary_kernel!(k_copymask, |x, m| _mm256_and_si256(x, m));
+unary_kernel!(k_not, |x, m| _mm256_and_si256(
+    _mm256_xor_si256(x, _mm256_set1_epi64x(-1)),
+    m
+));
+binary_kernel!(k_add, |x, y, m| _mm256_and_si256(_mm256_add_epi64(x, y), m));
+binary_kernel!(k_sub, |x, y, m| _mm256_and_si256(_mm256_sub_epi64(x, y), m));
+binary_kernel!(k_and, |x, y, _m| _mm256_and_si256(x, y));
+binary_kernel!(k_or, |x, y, _m| _mm256_or_si256(x, y));
+binary_kernel!(k_xor, |x, y, _m| _mm256_xor_si256(x, y));
+// Equality folds the lane-wide compare mask (-1/0) down to the 1-bit
+// result the tape expects.
+binary_kernel!(k_eq, |x, y, _m| _mm256_srli_epi64(
+    _mm256_cmpeq_epi64(x, y),
+    63
+));
+binary_kernel!(k_ne, |x, y, _m| _mm256_srli_epi64(
+    _mm256_xor_si256(_mm256_cmpeq_epi64(x, y), _mm256_set1_epi64x(-1)),
+    63
+));
+// Variable shifts: `vpsllvq`/`vpsrlvq` yield zero for any count ≥ 64, and
+// stored values are already masked to their width, so post-masking alone
+// reproduces the `amt >= width → 0` saturation rule.
+binary_kernel!(k_shl_var, |x, y, m| _mm256_and_si256(
+    _mm256_sllv_epi64(x, y),
+    m
+));
+binary_kernel!(k_shr_var, |x, y, _m| _mm256_srlv_epi64(x, y));
+
+/// `(x >> lo) & mask` with an instruction-constant count.
+#[target_feature(enable = "avx2")]
+unsafe fn k_shift_imm(a: *const u64, d: *mut u64, l: usize, sh: u32, left: bool, mask: u64) {
+    let count = _mm_cvtsi32_si128(sh as i32);
+    let m = _mm256_set1_epi64x(mask as i64);
+    let mut i = 0;
+    while i < l {
+        let x = ld(a, i);
+        let v = if left {
+            _mm256_sll_epi64(x, count)
+        } else {
+            _mm256_srl_epi64(x, count)
+        };
+        st(d, i, _mm256_and_si256(v, m));
+        i += 4;
+    }
+}
+
+/// `(hi << lo_w) | lo`.
+#[target_feature(enable = "avx2")]
+unsafe fn k_concat(hi: *const u64, lo: *const u64, d: *mut u64, l: usize, lo_w: u32) {
+    let count = _mm_cvtsi32_si128(lo_w as i32);
+    let mut i = 0;
+    while i < l {
+        let h = _mm256_sll_epi64(ld(hi, i), count);
+        st(d, i, _mm256_or_si256(h, ld(lo, i)));
+        i += 4;
+    }
+}
+
+/// `sel != 0 ? t : f` per lane.
+#[target_feature(enable = "avx2")]
+unsafe fn k_mux(sel: *const u64, t: *const u64, f: *const u64, d: *mut u64, l: usize) {
+    let zero = _mm256_setzero_si256();
+    let mut i = 0;
+    while i < l {
+        // Lane-consistent byte mask: -1 where sel == 0, picking `f`.
+        let pick_f = _mm256_cmpeq_epi64(ld(sel, i), zero);
+        st(d, i, _mm256_blendv_epi8(ld(t, i), ld(f, i), pick_f));
+        i += 4;
+    }
+}
+
+/// Executes `instr` across the lane groups with AVX2 if it is one of the
+/// covered opcodes; returns `false` (having done nothing) otherwise.
+///
+/// # Safety
+///
+/// The caller must have verified [`avx2_available`] and that `l` is a
+/// positive multiple of four matching the store's lane stride.
+pub(crate) unsafe fn try_instr(instr: &Instr, narrow: &mut [u64], l: usize) -> bool {
+    debug_assert!(l > 0 && l.is_multiple_of(4));
+    match *instr {
+        Instr::CopyMask { a, dst, mask } => {
+            let (x, d) = un(narrow, l, a, dst);
+            k_copymask(x, d, l, mask);
+        }
+        Instr::Not { a, dst, mask } => {
+            let (x, d) = un(narrow, l, a, dst);
+            k_not(x, d, l, mask);
+        }
+        Instr::Add { a, b, dst, mask } => {
+            let (x, y, d) = bin(narrow, l, a, b, dst);
+            k_add(x, y, d, l, mask);
+        }
+        Instr::Sub { a, b, dst, mask } => {
+            let (x, y, d) = bin(narrow, l, a, b, dst);
+            k_sub(x, y, d, l, mask);
+        }
+        Instr::And { a, b, dst } => {
+            let (x, y, d) = bin(narrow, l, a, b, dst);
+            k_and(x, y, d, l, 0);
+        }
+        Instr::Or { a, b, dst } => {
+            let (x, y, d) = bin(narrow, l, a, b, dst);
+            k_or(x, y, d, l, 0);
+        }
+        Instr::Xor { a, b, dst } => {
+            let (x, y, d) = bin(narrow, l, a, b, dst);
+            k_xor(x, y, d, l, 0);
+        }
+        Instr::Eq { a, b, dst } => {
+            let (x, y, d) = bin(narrow, l, a, b, dst);
+            k_eq(x, y, d, l, 0);
+        }
+        Instr::Ne { a, b, dst } => {
+            let (x, y, d) = bin(narrow, l, a, b, dst);
+            k_ne(x, y, d, l, 0);
+        }
+        Instr::Shl {
+            a,
+            b,
+            dst,
+            width: _,
+            mask,
+        } => {
+            let (x, y, d) = bin(narrow, l, a, b, dst);
+            k_shl_var(x, y, d, l, mask);
+        }
+        Instr::ShrL {
+            a,
+            b,
+            dst,
+            width: _,
+        } => {
+            let (x, y, d) = bin(narrow, l, a, b, dst);
+            k_shr_var(x, y, d, l, 0);
+        }
+        Instr::SliceN { a, dst, lo, mask } => {
+            let (x, d) = un(narrow, l, a, dst);
+            k_shift_imm(x, d, l, lo, false, mask);
+        }
+        Instr::ShlI { a, dst, sh, mask } => {
+            let (x, d) = un(narrow, l, a, dst);
+            k_shift_imm(x, d, l, sh, true, mask);
+        }
+        Instr::ConcatN { hi, lo, dst, lo_w } => {
+            let (h, lo_p, d) = bin(narrow, l, hi, lo, dst);
+            k_concat(h, lo_p, d, l, lo_w);
+        }
+        Instr::MuxN { sel, t, f, dst } => {
+            let (src, rest) = narrow.split_at_mut(dst as usize * l);
+            let s = src[sel as usize * l..][..l].as_ptr();
+            let tv = src[t as usize * l..][..l].as_ptr();
+            let fv = src[f as usize * l..][..l].as_ptr();
+            k_mux(s, tv, fv, rest[..l].as_mut_ptr(), l);
+        }
+        _ => return false,
+    }
+    true
+}

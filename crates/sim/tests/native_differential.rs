@@ -1,0 +1,219 @@
+//! Differential suite for the native-code tiers.
+//!
+//! Two properties:
+//!
+//! 1. [`hc_sim::NativeSimulator`] (per-cone x86-64 JIT with tape-
+//!    interpreter fallback) is bit-exact with the interpreted oracle on
+//!    every Table II design — initial *and* optimized, including the
+//!    memory-bearing designs whose transpose buffers exercise the
+//!    per-cone fallback path.
+//! 2. The batched engine's AVX2 lane kernels are bit-exact with its
+//!    scalar lane loops on random modules under ragged (partially
+//!    inactive) lane masks, where masked lanes must stay frozen while
+//!    the vector kernels keep streaming the active ones.
+//!
+//! Both engines under test are built from the same module as their
+//! oracle, so any divergence is the native tier's fault by construction.
+//!
+//! `HC_NO_NATIVE` overrides are process-global; the tests that flip or
+//! assert on it serialize through [`CFG_LOCK`].
+
+mod common;
+
+use std::sync::Mutex;
+
+use common::{step_strategy, WIDE};
+use hc_bits::Bits;
+use hc_sim::{BatchedSimulator, NativeSimulator, SimBackend, Simulator};
+use proptest::prelude::*;
+
+/// Serializes the tests that set or depend on the process-global
+/// `HC_NO_NATIVE` config override.
+static CFG_LOCK: Mutex<()> = Mutex::new(());
+
+/// Deterministic 64-bit LCG (Knuth constants) — the stimulus source for
+/// the Table II sweep, so failures replay exactly.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        // The multiplier's low bits are weak; mix the halves down.
+        self.0 ^ (self.0 >> 33)
+    }
+
+    /// A random `Bits` value of arbitrary width (64-bit chunks).
+    fn bits(&mut self, width: u32) -> Bits {
+        let mut v = Bits::zero(width);
+        let mut off = 0;
+        while off < width {
+            let chunk = (width - off).min(64);
+            v.deposit_u64(off, chunk, self.next());
+            off += chunk;
+        }
+        v
+    }
+}
+
+/// Every Table II design, native vs. interpreted, on random stimulus over
+/// every input port. Also pins the coverage split on x86-64: the design
+/// set must contain both fully-JIT-compiled cones and interpreter-
+/// fallback cones (the memory designs), or the fallback path would be
+/// dead weight the suite never exercised.
+#[test]
+fn table_ii_designs_native_matches_interpreter() {
+    let _guard = CFG_LOCK.lock().unwrap();
+    let mut rng = Lcg(0x9e3779b97f4a7c15);
+    let mut compiled_total = 0usize;
+    let mut fallback_total = 0usize;
+    for tool in hc_core::entries::all_tools() {
+        for design in [&tool.initial, &tool.optimized] {
+            let mut oracle =
+                Simulator::new(design.module.clone()).expect("Table II designs validate");
+            let mut native =
+                NativeSimulator::new(design.module.clone()).expect("Table II designs validate");
+            let report = native.native_report();
+            compiled_total += report.cones_compiled;
+            fallback_total += report.cones_fallback;
+
+            let ports: Vec<(String, u32)> = native
+                .module()
+                .inputs()
+                .iter()
+                .map(|p| (p.name.clone(), p.width))
+                .collect();
+            let outs: Vec<String> = native
+                .module()
+                .outputs()
+                .iter()
+                .map(|o| o.name.clone())
+                .collect();
+            for cycle in 0..24 {
+                for (name, width) in &ports {
+                    let v = rng.bits(*width);
+                    oracle.set(name, v.clone());
+                    native.set(name, v);
+                }
+                for out in &outs {
+                    assert_eq!(
+                        native.get(out),
+                        SimBackend::get(&mut oracle, out),
+                        "{}: output {out} diverged at cycle {cycle}",
+                        design.label
+                    );
+                }
+                oracle.step();
+                native.step();
+            }
+            assert_eq!(native.cycle(), oracle.cycle(), "{}", design.label);
+        }
+    }
+    #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+    if !hc_obs::config().no_native {
+        assert!(
+            compiled_total > 0,
+            "no Table II cone compiled to machine code"
+        );
+        assert!(
+            fallback_total > 0,
+            "no Table II cone took the interpreter fallback (memory designs should)"
+        );
+    }
+    #[cfg(not(all(target_arch = "x86_64", target_os = "linux")))]
+    {
+        let _ = (compiled_total, fallback_total);
+    }
+}
+
+/// Applies one cycle of stimulus to one lane (mirrors `common::drive`).
+fn set_lane(sim: &mut BatchedSimulator, lane: usize, stim: common::Stim) {
+    let (a, b, c, wlo, whi, rst) = stim;
+    sim.set_u64(lane, "i0", a);
+    sim.set_u64(lane, "i1", b);
+    sim.set_u64(lane, "i2", c);
+    let mut w = Bits::zero(WIDE);
+    w.deposit_u64(0, 64, wlo);
+    w.deposit_u64(64, WIDE - 64, whi);
+    sim.set(lane, "wi", w);
+    sim.set_u64(lane, "rst", u64::from(rst));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    /// AVX2 lane kernels vs. scalar lane loops: the same random module and
+    /// ragged per-lane stimulus through two batched engines, one built as
+    /// the platform default (AVX2 kernels on a lane count divisible by
+    /// four) and one forced scalar via the `HC_NO_NATIVE` override. On
+    /// hosts without AVX2 both engines are scalar and the property is
+    /// trivially true.
+    #[test]
+    fn avx2_lane_kernels_match_scalar_lane_loops(
+        steps in proptest::collection::vec(step_strategy(), 1..40),
+        lane_stims in proptest::collection::vec(
+            proptest::collection::vec(
+                (0u64..4096, 0u64..4096, 0u64..4096, any::<u64>(), 0u64..(1 << 16), any::<bool>()),
+                1..12,
+            ),
+            8..=8,
+        ),
+    ) {
+        let module = common::build(&steps);
+        module.validate().expect("generated module is valid");
+        let lanes = lane_stims.len();
+
+        let (mut vector, mut scalar) = {
+            let _guard = CFG_LOCK.lock().unwrap();
+            let vector = BatchedSimulator::new(module.clone(), lanes).expect("compiler accepts");
+            let baseline = (*hc_obs::config()).clone();
+            let mut off = baseline.clone();
+            off.no_native = true;
+            hc_obs::config::set_override(off);
+            let scalar = BatchedSimulator::new(module, lanes).expect("compiler accepts");
+            hc_obs::config::set_override(baseline);
+            (vector, scalar)
+        };
+
+        let longest = lane_stims.iter().map(Vec::len).max().unwrap();
+        for t in 0..longest {
+            for (lane, stim) in lane_stims.iter().enumerate() {
+                if let Some(&s) = stim.get(t) {
+                    set_lane(&mut vector, lane, s);
+                    set_lane(&mut scalar, lane, s);
+                }
+            }
+            for (lane, stim) in lane_stims.iter().enumerate() {
+                if t < stim.len() {
+                    for out in ["y0", "y1", "yw"] {
+                        prop_assert_eq!(
+                            vector.get(lane, out),
+                            scalar.get(lane, out),
+                            "lane {} output {} diverged at cycle {}", lane, out, t
+                        );
+                    }
+                }
+            }
+            vector.step();
+            scalar.step();
+            for (lane, stim) in lane_stims.iter().enumerate() {
+                if t + 1 == stim.len() {
+                    vector.set_active(lane, false);
+                    scalar.set_active(lane, false);
+                }
+            }
+        }
+
+        for lane in 0..lanes {
+            prop_assert_eq!(vector.cycle(lane), scalar.cycle(lane), "lane {} cycle", lane);
+            for reg in ["r0", "wr"] {
+                prop_assert_eq!(
+                    vector.peek_reg(lane, reg),
+                    scalar.peek_reg(lane, reg),
+                    "lane {} register {} diverged", lane, reg
+                );
+            }
+        }
+    }
+}

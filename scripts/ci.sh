@@ -35,6 +35,22 @@ awk -F'[:,]' '
   END { if (!seen) { print "batched_speedup_vs_compiled missing from BENCH_sim.json"; exit 1 } }
 ' BENCH_sim.json
 
+echo "== perfsnap smoke (per-cone JIT must beat the tape interpreter)"
+if [ "$(uname -m)" = "x86_64" ]; then
+  awk -F'[:,]' '
+    /"native_speedup_vs_compiled"/ {
+      seen = 1
+      if ($2 + 0 < 3.0) {
+        print "native JIT too slow vs compiled tape: " $2 "x (need >= 3.0)"; exit 1
+      }
+      print "native speedup vs compiled:" $2 "x"
+    }
+    END { if (!seen) { print "native_speedup_vs_compiled missing from BENCH_sim.json"; exit 1 } }
+  ' BENCH_sim.json
+else
+  echo "skipping native JIT gate: $(uname -m) is not x86_64 (engine falls back to the tape interpreter)"
+fi
+
 echo "== perfsnap smoke (tape backend optimizer must pay for itself)"
 awk -F'[:,]' '
   /"tapeopt_speedup"/ {
