@@ -118,6 +118,58 @@ pub fn measure(design: &Design, nblocks: usize) -> Measurement {
     measure_back_half(design, nblocks, module, &front.full, &front.nodsp)
 }
 
+/// [`measure`] for callers that must survive a failing design — hc-serve
+/// turns the error into a structured JSON response instead of dying.
+///
+/// The measurement path asserts its invariants by panicking (lost
+/// matrices, bit-exactness against the golden IDCT, protocol violations):
+/// the right behavior for a batch sweep, fatal for a long-running server
+/// fed arbitrary client designs. This wrapper catches the panic, restores
+/// the hook, and returns the payload as the error string. The underlying
+/// state is panic-safe: the stimulus cache recovers from poisoning (see
+/// [`sample_blocks`]) and the front-half cache completes every mutation
+/// before control leaves the shard lock.
+///
+/// # Errors
+///
+/// The panic payload of the failed measurement, stringified.
+pub fn try_measure(design: &Design, nblocks: usize) -> Result<Measurement, String> {
+    use std::cell::Cell;
+    use std::sync::Once;
+
+    thread_local! {
+        static SUPPRESS_PANIC_PRINT: Cell<bool> = const { Cell::new(false) };
+    }
+    // The default hook prints "thread panicked at ..." plus a backtrace for
+    // every caught probe — log spam for a server fed bad designs. Swapping
+    // hooks per call would race (two overlapping probes can leak the silent
+    // hook process-wide), so install a delegating hook exactly once and
+    // gate the suppression through a thread-local only this probe sets.
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !SUPPRESS_PANIC_PRINT.with(Cell::get) {
+                prev(info);
+            }
+        }));
+    });
+
+    let design = design.clone();
+    SUPPRESS_PANIC_PRINT.with(|f| f.set(true));
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+        measure(&design, nblocks)
+    }));
+    SUPPRESS_PANIC_PRINT.with(|f| f.set(false));
+    result.map_err(|payload| {
+        payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_owned())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "measurement failed (non-string panic payload)".to_owned())
+    })
+}
+
 /// The legacy cold pipeline: clone, optimize, synthesize twice and
 /// simulate, sharing nothing across points. This is what every sweep did
 /// before the memo cache existed; the fig1 benchmark keeps it as its
@@ -339,6 +391,32 @@ pub fn measure_all(tools: &[ToolEntry], nblocks: usize) -> Vec<ToolRow> {
 mod tests {
     use super::*;
     use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    #[test]
+    fn try_measure_reports_bad_designs_instead_of_dying() {
+        // A module without the AXIS contract can't be driven: measure()
+        // panics, try_measure returns the payload as an error.
+        let mut m = hc_rtl::Module::new("not_an_idct");
+        let a = m.input("a", 8);
+        m.output("y", a);
+        let bad = Design {
+            label: "bad".into(),
+            module: m,
+            interface: DesignInterface::Axis,
+            loc: 1,
+        };
+        let err = try_measure(&bad, 2).expect_err("a portless design cannot measure");
+        assert!(!err.is_empty());
+        // The path stays healthy afterwards: a real design still measures.
+        let good = Design {
+            label: "good".into(),
+            module: hc_verilog::designs::initial_design().expect("parses"),
+            interface: DesignInterface::Axis,
+            loc: 1,
+        };
+        let meas = try_measure(&good, 2).expect("the Verilog initial design measures");
+        assert!(meas.throughput_mops > 0.0);
+    }
 
     #[test]
     fn sample_blocks_recovers_from_poisoned_cache() {

@@ -6,8 +6,53 @@
 //! in input order regardless of completion order, keeping every report and
 //! Pareto computation identical to a serial run.
 
+use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+
+/// Write-once result storage for the fork-join maps.
+///
+/// The old layout was `Vec<Mutex<Option<R>>>` — one lock acquire/release in
+/// every worker's result path, pure overhead given the claiming discipline:
+/// the atomic cursor hands each index to exactly one worker, so the slot
+/// write is already exclusive and the collection phase only runs after the
+/// scope has joined every thread. The cells encode exactly that contract:
+/// no lock anywhere, with `&mut self` collection providing the final
+/// happens-before (the scope join synchronizes the writes).
+struct OnceSlots<R> {
+    slots: Vec<UnsafeCell<Option<R>>>,
+}
+
+// SAFETY: shared access is only used through `write`, whose caller
+// guarantees per-index exclusivity (the atomic-cursor claim); `R: Send`
+// because values cross from worker threads to the collector.
+unsafe impl<R: Send> Sync for OnceSlots<R> {}
+
+impl<R> OnceSlots<R> {
+    fn new(n: usize) -> Self {
+        OnceSlots {
+            slots: (0..n).map(|_| UnsafeCell::new(None)).collect(),
+        }
+    }
+
+    /// Stores the result for claimed index `i`.
+    ///
+    /// # Safety
+    ///
+    /// `i` must have been claimed exclusively (each index written by at
+    /// most one thread, no concurrent reads — the collection phase runs
+    /// only after all writers joined).
+    unsafe fn write(&self, i: usize, r: R) {
+        *self.slots[i].get() = Some(r);
+    }
+
+    /// Consumes the storage; every slot must have been written.
+    fn into_vec(self) -> Vec<R> {
+        self.slots
+            .into_iter()
+            .map(|c| c.into_inner().expect("worker ran"))
+            .collect()
+    }
+}
 
 /// The worker-pool width a given observability [`Config`](hc_obs::Config)
 /// implies: its `HC_THREADS` override when present, otherwise
@@ -68,7 +113,7 @@ where
         return items.iter().map(f).collect();
     }
     let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let slots: OnceSlots<R> = OnceSlots::new(n);
     std::thread::scope(|s| {
         for _ in 0..workers {
             s.spawn(|| loop {
@@ -77,14 +122,13 @@ where
                     break;
                 }
                 let r = f(&items[i]);
-                *slots[i].lock().expect("result slot") = Some(r);
+                // SAFETY: the fetch_add claim makes this thread the only
+                // writer of index `i`; collection happens after the join.
+                unsafe { slots.write(i, r) };
             });
         }
     });
-    slots
-        .into_iter()
-        .map(|m| m.into_inner().expect("result slot").expect("worker ran"))
-        .collect()
+    slots.into_vec()
 }
 
 /// Target per-task wall time for [`adaptive_chunk`]: long enough that
@@ -135,7 +179,7 @@ where
         return items.iter().map(f).collect();
     }
     let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let slots: OnceSlots<R> = OnceSlots::new(n);
     std::thread::scope(|s| {
         for _ in 0..workers {
             s.spawn(|| loop {
@@ -143,17 +187,17 @@ where
                 if start >= n {
                     break;
                 }
-                for i in start..(start + chunk).min(n) {
-                    let r = f(&items[i]);
-                    *slots[i].lock().expect("result slot") = Some(r);
+                let end = (start + chunk).min(n);
+                for (offset, item) in items[start..end].iter().enumerate() {
+                    let r = f(item);
+                    // SAFETY: the chunk claim [start, start+chunk) belongs
+                    // to this thread alone; collection is post-join.
+                    unsafe { slots.write(start + offset, r) };
                 }
             });
         }
     });
-    slots
-        .into_iter()
-        .map(|m| m.into_inner().expect("result slot").expect("worker ran"))
-        .collect()
+    slots.into_vec()
 }
 
 #[cfg(test)]
@@ -252,6 +296,23 @@ mod tests {
         // n == 0 stays well-defined for every estimate.
         for est in [0.0, f64::NAN, f64::INFINITY] {
             assert_eq!(adaptive_chunk(0, est), 1);
+        }
+    }
+
+    #[test]
+    fn once_slots_survive_uneven_work() {
+        // Uneven per-item work shuffles completion order across workers;
+        // every slot must still land exactly once at its own index.
+        let items: Vec<u64> = (0..257).collect();
+        let out = parallel_map(&items, |&x| {
+            if x % 17 == 0 {
+                std::thread::yield_now();
+            }
+            (x, x.wrapping_mul(0x9e37_79b9))
+        });
+        for (i, (x, y)) in out.iter().enumerate() {
+            assert_eq!(*x, i as u64);
+            assert_eq!(*y, (i as u64).wrapping_mul(0x9e37_79b9));
         }
     }
 

@@ -31,6 +31,15 @@ pub struct Config {
     /// in `NativeSimulator` and the explicit AVX2 lane kernels in
     /// `BatchedSimulator` — forcing the portable interpreted/scalar tiers.
     pub no_native: bool,
+    /// `HC_CACHE_SHARDS`: shard count of the front-half memo cache
+    /// (`None` = derived from the machine's parallelism).
+    pub cache_shards: Option<usize>,
+    /// `HC_SERVE_THREADS`: hc-serve worker-pool width (`None` = derived
+    /// from the machine's parallelism).
+    pub serve_threads: Option<usize>,
+    /// `HC_SERVE_QUEUE_CAP`: hc-serve job-queue bound; submissions beyond
+    /// it are rejected with `429` (`None` = default).
+    pub serve_queue_cap: Option<usize>,
 }
 
 /// A flag variable is "set" when nonempty and not `"0"` — the convention
@@ -58,6 +67,9 @@ impl Config {
             trace: get("HC_TRACE").filter(|p| !p.is_empty()),
             profile: flag(get("HC_PROFILE")),
             no_native: flag(get("HC_NO_NATIVE")),
+            cache_shards: positive(get("HC_CACHE_SHARDS")),
+            serve_threads: positive(get("HC_SERVE_THREADS")),
+            serve_queue_cap: positive(get("HC_SERVE_QUEUE_CAP")),
         }
     }
 
@@ -137,6 +149,17 @@ mod tests {
         assert_eq!(fixture(&[("HC_THREADS", "not-a-number")]).threads, None);
         assert_eq!(fixture(&[("HC_CACHE_CAP", "64")]).cache_cap, Some(64));
         assert_eq!(fixture(&[("HC_CACHE_CAP", "-1")]).cache_cap, None);
+        assert_eq!(fixture(&[("HC_CACHE_SHARDS", "8")]).cache_shards, Some(8));
+        assert_eq!(fixture(&[("HC_CACHE_SHARDS", "0")]).cache_shards, None);
+        assert_eq!(fixture(&[("HC_SERVE_THREADS", "4")]).serve_threads, Some(4));
+        assert_eq!(
+            fixture(&[("HC_SERVE_QUEUE_CAP", "128")]).serve_queue_cap,
+            Some(128)
+        );
+        assert_eq!(
+            fixture(&[("HC_SERVE_QUEUE_CAP", "bogus")]).serve_queue_cap,
+            None
+        );
     }
 
     #[test]

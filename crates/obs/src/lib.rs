@@ -20,6 +20,9 @@
 //! | `HC_CACHE_CAP` | LRU capacity of the front-half memo cache |
 //! | `HC_TRACE` | write a Chrome-trace JSON of pipeline spans to this path |
 //! | `HC_PROFILE` | enable per-opcode / per-cone simulator profiling |
+//! | `HC_CACHE_SHARDS` | shard count of the front-half memo cache |
+//! | `HC_SERVE_THREADS` | hc-serve worker-pool width |
+//! | `HC_SERVE_QUEUE_CAP` | hc-serve job-queue bound (beyond it: HTTP 429) |
 
 pub mod config;
 pub mod metrics;

@@ -45,6 +45,13 @@ impl Counter {
     pub fn reset(&self) {
         self.0.store(0, Ordering::Relaxed);
     }
+
+    /// Overwrites the value — for gauge-style metrics (a level like
+    /// `serve.queue_depth`, not an accumulating count). Last write wins;
+    /// that is the meaning a gauge wants.
+    pub fn set(&self, n: u64) {
+        self.0.store(n, Ordering::Relaxed);
+    }
 }
 
 /// The counter registered under `name`, creating it at zero on first use.

@@ -1,0 +1,135 @@
+//! A tiny blocking HTTP/1.1 client for the server's own tests and the
+//! `loadgen` benchmark — one keep-alive connection, JSON in, JSON out.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use crate::json::Json;
+
+/// One keep-alive client connection.
+pub struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+/// A parsed response: status, headers (lowercased names), JSON body.
+#[derive(Clone, Debug)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Header pairs.
+    pub headers: Vec<(String, String)>,
+    /// Parsed body (`Json::Null` when empty).
+    pub body: Json,
+}
+
+impl ClientResponse {
+    /// First header value by lowercase name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+impl Conn {
+    /// Connects with a generous read timeout (jobs can queue behind a
+    /// sweep).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect failures.
+    pub fn open(addr: SocketAddr) -> io::Result<Conn> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(600)))?;
+        stream.set_nodelay(true)?;
+        Ok(Conn {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+        })
+    }
+
+    /// Sends one request and reads the response. `body: None` sends no
+    /// payload (for `GET`).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or `InvalidData` when the response is not the
+    /// HTTP/JSON shape the server speaks.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&Json>,
+    ) -> io::Result<ClientResponse> {
+        let payload = body.map(Json::to_string).unwrap_or_default();
+        write!(
+            self.writer,
+            "{method} {path} HTTP/1.1\r\nhost: hc-serve\r\ncontent-length: {}\r\n\r\n{payload}",
+            payload.len()
+        )?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    fn read_line(&mut self) -> io::Result<String> {
+        let mut line = String::new();
+        self.reader.read_line(&mut line)?;
+        Ok(line.trim_end_matches(['\r', '\n']).to_owned())
+    }
+
+    fn read_response(&mut self) -> io::Result<ClientResponse> {
+        let bad = |m: String| io::Error::new(io::ErrorKind::InvalidData, m);
+        let status_line = self.read_line()?;
+        let status = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse::<u16>().ok())
+            .ok_or_else(|| bad(format!("bad status line {status_line:?}")))?;
+        let mut headers = Vec::new();
+        loop {
+            let line = self.read_line()?;
+            if line.is_empty() {
+                break;
+            }
+            let (name, value) = line
+                .split_once(':')
+                .ok_or_else(|| bad(format!("bad header {line:?}")))?;
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+        }
+        let length = headers
+            .iter()
+            .find(|(k, _)| k == "content-length")
+            .and_then(|(_, v)| v.parse::<usize>().ok())
+            .ok_or_else(|| bad("response without content-length".to_owned()))?;
+        let mut body = vec![0u8; length];
+        self.reader.read_exact(&mut body)?;
+        let body = if body.is_empty() {
+            Json::Null
+        } else {
+            let text = std::str::from_utf8(&body).map_err(|e| bad(e.to_string()))?;
+            Json::parse(text).map_err(bad)?
+        };
+        Ok(ClientResponse {
+            status,
+            headers,
+            body,
+        })
+    }
+}
+
+/// One-shot convenience: open, send, close.
+///
+/// # Errors
+///
+/// As [`Conn::request`].
+pub fn roundtrip(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&Json>,
+) -> io::Result<ClientResponse> {
+    Conn::open(addr)?.request(method, path, body)
+}

@@ -1,0 +1,535 @@
+//! The job pool: a bounded priority injector feeding work-stealing
+//! workers.
+//!
+//! Connection threads only do I/O; every piece of real work (synthesis,
+//! measurement, DSE sweeps) runs here. The injector is bounded — when
+//! `queue_cap` jobs are already waiting, [`JobPool::submit`] refuses with
+//! [`SubmitError::QueueFull`] and the server turns that into `429` with
+//! `Retry-After` instead of building an invisible backlog. Within the
+//! bound, jobs are ordered by [`Priority`], FIFO within a class.
+//!
+//! Each worker also owns a local deque. [`Worker::scatter`] fans a batch
+//! (a DSE sweep's points) out onto it, where sibling workers steal; the
+//! submitting worker *helps* — it keeps executing pool tasks while its
+//! batch completes — so a scatter can never deadlock the pool even when
+//! every worker is inside one.
+
+use std::collections::{BinaryHeap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::Duration;
+
+use hc_obs::metrics::{counter, Counter};
+
+/// Scheduling class of a job. Cheap interactive work outranks sweeps so
+/// a DSE burst cannot starve point queries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Priority {
+    /// Bulk work (DSE sweeps).
+    Low,
+    /// Default.
+    Normal,
+    /// Small interactive requests.
+    High,
+}
+
+/// Why a submission was refused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The injector is at capacity; retry later.
+    QueueFull,
+    /// The pool is draining for shutdown.
+    ShuttingDown,
+}
+
+type Task = Box<dyn FnOnce(&Worker) + Send>;
+
+struct PrioTask {
+    rank: Priority,
+    seq: u64,
+    task: Task,
+}
+
+impl PartialEq for PrioTask {
+    fn eq(&self, other: &Self) -> bool {
+        self.rank == other.rank && self.seq == other.seq
+    }
+}
+impl Eq for PrioTask {}
+impl PartialOrd for PrioTask {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for PrioTask {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Max-heap: higher priority first, then FIFO (lower seq) within a
+        // class.
+        self.rank
+            .cmp(&other.rank)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+struct Injector {
+    heap: BinaryHeap<PrioTask>,
+    next_seq: u64,
+}
+
+struct Shared {
+    injector: Mutex<Injector>,
+    /// Signaled on submit, local pushes and job completion.
+    available: Condvar,
+    locals: Vec<Mutex<VecDeque<Task>>>,
+    cap: usize,
+    /// Jobs waiting in the injector (mirrors `heap.len()`, lock-free read).
+    depth: AtomicUsize,
+    /// Tasks currently executing on some worker.
+    running: AtomicUsize,
+    shutdown: AtomicBool,
+    depth_gauge: Counter,
+    executed: Counter,
+    panicked: Counter,
+}
+
+impl Shared {
+    fn lock_injector(&self) -> std::sync::MutexGuard<'_, Injector> {
+        self.injector.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn lock_local(&self, i: usize) -> std::sync::MutexGuard<'_, VecDeque<Task>> {
+        self.locals[i]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Claims one task: own deque first (LIFO, cache-warm), then the
+    /// injector (priority order), then stealing siblings (FIFO end).
+    fn find_task(&self, me: usize) -> Option<Task> {
+        if let Some(t) = self.lock_local(me).pop_back() {
+            return Some(t);
+        }
+        {
+            let mut inj = self.lock_injector();
+            if let Some(pt) = inj.heap.pop() {
+                self.depth.store(inj.heap.len(), Ordering::Relaxed);
+                self.depth_gauge.set(inj.heap.len() as u64);
+                return Some(pt.task);
+            }
+        }
+        let n = self.locals.len();
+        for off in 1..n {
+            let victim = (me + off) % n;
+            if let Some(t) = self.lock_local(victim).pop_front() {
+                return Some(t);
+            }
+        }
+        None
+    }
+
+    fn all_empty(&self) -> bool {
+        self.depth.load(Ordering::Relaxed) == 0
+            && self
+                .locals
+                .iter()
+                .all(|l| l.lock().unwrap_or_else(PoisonError::into_inner).is_empty())
+    }
+}
+
+/// Handle a running task gets to its worker: the door to [`Worker::scatter`]
+/// and cooperative helping.
+pub struct Worker {
+    shared: Arc<Shared>,
+    index: usize,
+}
+
+impl Worker {
+    /// This worker's index in `0..workers`.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Executes one pending task from anywhere in the pool, if any.
+    /// Returns whether something ran.
+    pub fn run_one(&self) -> bool {
+        match self.shared.find_task(self.index) {
+            Some(task) => {
+                execute(&self.shared, self.index, task);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Runs `f` over every item, fanning out across the pool via this
+    /// worker's local deque; the calling worker helps until the batch is
+    /// done. Results come back in item order.
+    ///
+    /// # Panics
+    ///
+    /// If `f` panicked on an item, the first such payload is re-raised
+    /// here, on the submitting worker.
+    pub fn scatter<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send + Sync + 'static,
+        R: Send + 'static,
+        F: Fn(&T, usize) -> R + Send + Sync + 'static,
+    {
+        struct Batch<T, R, F> {
+            items: Vec<T>,
+            f: F,
+            results: Vec<Mutex<Option<std::thread::Result<R>>>>,
+            done: AtomicUsize,
+        }
+        let n = items.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let batch = Arc::new(Batch {
+            results: (0..n).map(|_| Mutex::new(None)).collect(),
+            items,
+            f,
+            done: AtomicUsize::new(0),
+        });
+        {
+            let mut local = self.shared.lock_local(self.index);
+            for i in 0..n {
+                let b = Arc::clone(&batch);
+                local.push_back(Box::new(move |_w: &Worker| {
+                    let r = catch_unwind(AssertUnwindSafe(|| (b.f)(&b.items[i], i)));
+                    *b.results[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(r);
+                    b.done.fetch_add(1, Ordering::Release);
+                }));
+            }
+        }
+        self.shared.available.notify_all();
+        while batch.done.load(Ordering::Acquire) < n {
+            if !self.run_one() {
+                // Peers are finishing the last items; don't spin hard.
+                std::thread::yield_now();
+            }
+        }
+        // Taking out of the slots (rather than unwrapping the Arc) matters:
+        // the last subtask's closure can still hold its Arc clone for a
+        // moment after bumping `done`.
+        batch
+            .results
+            .iter()
+            .map(|slot| {
+                match slot
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .take()
+                    .expect("done count covered every slot")
+                {
+                    Ok(r) => r,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            })
+            .collect()
+    }
+}
+
+fn execute(shared: &Arc<Shared>, index: usize, task: Task) {
+    let worker = Worker {
+        shared: Arc::clone(shared),
+        index,
+    };
+    shared.running.fetch_add(1, Ordering::SeqCst);
+    let result = catch_unwind(AssertUnwindSafe(|| task(&worker)));
+    shared.running.fetch_sub(1, Ordering::SeqCst);
+    shared.executed.inc();
+    if result.is_err() {
+        // Jobs are expected to contain their own panics (the API layer
+        // maps them to 500s); this is the backstop that keeps a worker
+        // alive regardless.
+        shared.panicked.inc();
+    }
+    // A completed job may be the event a drain (or a scatter) waits on.
+    shared.available.notify_all();
+}
+
+/// The pool itself. Dropping it without [`JobPool::shutdown`] detaches the
+/// workers (they exit once told to shut down, never before).
+pub struct JobPool {
+    shared: Arc<Shared>,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    workers: usize,
+}
+
+impl JobPool {
+    /// Spawns `workers` threads with a `queue_cap`-bounded injector.
+    pub fn new(workers: usize, queue_cap: usize) -> JobPool {
+        let workers = workers.max(1);
+        let shared = Arc::new(Shared {
+            injector: Mutex::new(Injector {
+                heap: BinaryHeap::new(),
+                next_seq: 0,
+            }),
+            available: Condvar::new(),
+            locals: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            cap: queue_cap.max(1),
+            depth: AtomicUsize::new(0),
+            running: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            depth_gauge: counter("serve.queue_depth"),
+            executed: counter("serve.jobs_executed"),
+            panicked: counter("serve.job_panics"),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("hc-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared, i))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        JobPool {
+            shared,
+            handles: Mutex::new(handles),
+            workers,
+        }
+    }
+
+    /// Queues a job.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::QueueFull`] at capacity (the backpressure signal),
+    /// [`SubmitError::ShuttingDown`] once a drain began.
+    pub fn submit<F>(&self, priority: Priority, job: F) -> Result<(), SubmitError>
+    where
+        F: FnOnce(&Worker) + Send + 'static,
+    {
+        if self.shared.shutdown.load(Ordering::SeqCst) {
+            return Err(SubmitError::ShuttingDown);
+        }
+        let mut inj = self.shared.lock_injector();
+        if inj.heap.len() >= self.shared.cap {
+            return Err(SubmitError::QueueFull);
+        }
+        let seq = inj.next_seq;
+        inj.next_seq += 1;
+        inj.heap.push(PrioTask {
+            rank: priority,
+            seq,
+            task: Box::new(job),
+        });
+        self.shared.depth.store(inj.heap.len(), Ordering::Relaxed);
+        self.shared.depth_gauge.set(inj.heap.len() as u64);
+        drop(inj);
+        self.shared.available.notify_one();
+        Ok(())
+    }
+
+    /// Jobs waiting in the injector right now.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.depth.load(Ordering::Relaxed)
+    }
+
+    /// Worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Graceful drain: refuses new work, runs everything already queued
+    /// (including subtasks running jobs keep spawning), then joins the
+    /// workers. Idempotent.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.available.notify_all();
+        let handles =
+            std::mem::take(&mut *self.handles.lock().unwrap_or_else(PoisonError::into_inner));
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>, index: usize) {
+    loop {
+        if let Some(task) = shared.find_task(index) {
+            execute(shared, index, task);
+            continue;
+        }
+        let guard = shared.lock_injector();
+        let draining = shared.shutdown.load(Ordering::SeqCst);
+        if draining
+            && guard.heap.is_empty()
+            && shared.running.load(Ordering::SeqCst) == 0
+            && shared.all_empty()
+        {
+            return;
+        }
+        // Running jobs can still fan out subtasks, so even a drain keeps
+        // waiting; the timeout re-checks the exit condition regardless of
+        // wakeup ordering.
+        let _unused = shared
+            .available
+            .wait_timeout(guard, Duration::from_millis(20))
+            .unwrap_or_else(PoisonError::into_inner);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+
+    #[test]
+    fn executes_submitted_jobs() {
+        let pool = JobPool::new(3, 16);
+        let (tx, rx) = mpsc::channel();
+        for i in 0..10u32 {
+            let tx = tx.clone();
+            pool.submit(Priority::Normal, move |_| tx.send(i).unwrap())
+                .unwrap();
+        }
+        let mut got: Vec<u32> = (0..10).map(|_| rx.recv().unwrap()).collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+        pool.shutdown();
+    }
+
+    #[test]
+    fn queue_bound_rejects_with_queue_full() {
+        // One worker wedged on a gate; everything else piles up in the
+        // injector until the cap trips.
+        let pool = JobPool::new(1, 2);
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let g = Arc::clone(&gate);
+        pool.submit(Priority::Normal, move |_| {
+            let (lock, cv) = &*g;
+            let mut open = lock.lock().unwrap();
+            while !*open {
+                open = cv.wait(open).unwrap();
+            }
+        })
+        .unwrap();
+        // Wait for the worker to claim the blocking job so the injector
+        // is empty again.
+        while pool.queue_depth() > 0 {
+            std::thread::yield_now();
+        }
+        pool.submit(Priority::Normal, |_| {}).unwrap();
+        pool.submit(Priority::Normal, |_| {}).unwrap();
+        assert_eq!(
+            pool.submit(Priority::Normal, |_| {}),
+            Err(SubmitError::QueueFull)
+        );
+        let (lock, cv) = &*gate;
+        *lock.lock().unwrap() = true;
+        cv.notify_all();
+        pool.shutdown();
+        assert_eq!(
+            pool.submit(Priority::Normal, |_| {}),
+            Err(SubmitError::ShuttingDown)
+        );
+    }
+
+    #[test]
+    fn priorities_order_the_backlog() {
+        // Single wedged worker: later-submitted High jobs must outrun
+        // earlier Low ones once the gate opens.
+        let pool = JobPool::new(1, 64);
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let g = Arc::clone(&gate);
+        pool.submit(Priority::High, move |_| {
+            let (lock, cv) = &*g;
+            let mut open = lock.lock().unwrap();
+            while !*open {
+                open = cv.wait(open).unwrap();
+            }
+        })
+        .unwrap();
+        while pool.queue_depth() > 0 {
+            std::thread::yield_now();
+        }
+        let order = Arc::new(Mutex::new(Vec::new()));
+        for (prio, tag) in [
+            (Priority::Low, "low-a"),
+            (Priority::Normal, "norm-a"),
+            (Priority::Low, "low-b"),
+            (Priority::High, "high"),
+            (Priority::Normal, "norm-b"),
+        ] {
+            let order = Arc::clone(&order);
+            pool.submit(prio, move |_| order.lock().unwrap().push(tag))
+                .unwrap();
+        }
+        let (lock, cv) = &*gate;
+        *lock.lock().unwrap() = true;
+        cv.notify_all();
+        pool.shutdown();
+        assert_eq!(
+            *order.lock().unwrap(),
+            vec!["high", "norm-a", "norm-b", "low-a", "low-b"]
+        );
+    }
+
+    #[test]
+    fn scatter_fans_out_and_reassembles_in_order() {
+        let pool = JobPool::new(4, 16);
+        let (tx, rx) = mpsc::channel();
+        pool.submit(Priority::Normal, move |w| {
+            let items: Vec<u64> = (0..40).collect();
+            let out = w.scatter(items, |&x, i| {
+                assert_eq!(x as usize, i);
+                x * x
+            });
+            tx.send(out).unwrap();
+        })
+        .unwrap();
+        let out = rx.recv().unwrap();
+        assert_eq!(out, (0..40).map(|x| x * x).collect::<Vec<u64>>());
+        pool.shutdown();
+    }
+
+    #[test]
+    fn nested_scatters_on_every_worker_still_complete() {
+        // More scatters than workers: completion requires helping.
+        let pool = JobPool::new(2, 64);
+        let (tx, rx) = mpsc::channel();
+        for _ in 0..6 {
+            let tx = tx.clone();
+            pool.submit(Priority::Normal, move |w| {
+                let total: u64 = w.scatter((0..16u64).collect(), |&x, _| x).iter().sum();
+                tx.send(total).unwrap();
+            })
+            .unwrap();
+        }
+        for _ in 0..6 {
+            assert_eq!(rx.recv().unwrap(), 120);
+        }
+        pool.shutdown();
+    }
+
+    #[test]
+    fn a_panicking_job_does_not_kill_its_worker() {
+        let pool = JobPool::new(1, 16);
+        pool.submit(Priority::Normal, |_| panic!("job bug"))
+            .unwrap();
+        let (tx, rx) = mpsc::channel();
+        pool.submit(Priority::Normal, move |_| tx.send(77).unwrap())
+            .unwrap();
+        assert_eq!(rx.recv().unwrap(), 77);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_the_backlog_before_joining() {
+        let pool = JobPool::new(2, 256);
+        let hits = Arc::new(AtomicUsize::new(0));
+        for _ in 0..100 {
+            let hits = Arc::clone(&hits);
+            pool.submit(Priority::Low, move |_| {
+                hits.fetch_add(1, Ordering::SeqCst);
+            })
+            .unwrap();
+        }
+        pool.shutdown();
+        assert_eq!(hits.load(Ordering::SeqCst), 100);
+    }
+}

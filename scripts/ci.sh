@@ -112,4 +112,44 @@ awk -v base="$baseline_rate" -v traced="$traced_rate" 'BEGIN {
   printf "tracing overhead OK: %.0f -> %.0f cycles/sec (%.3fx)\n", base, traced, ratio
 }'
 
+echo "== hc-serve load test (A/B: sharded front-half cache vs single mutex)"
+# Two separate processes because the shard count is pinned at first cache
+# touch: a baseline run forced to one shard, then the sharded default.
+# Both replay 64 concurrent mixed clients (cache-hot sweeps, cache-cold
+# modules, DSE bursts) and must finish error-free.
+HC_SERVE_THREADS=4 HC_CACHE_SHARDS=1 ./target/release/loadgen \
+  --clients 64 --requests 4 --key serve_single_shard --skip-stress
+HC_SERVE_THREADS=4 ./target/release/loadgen \
+  --clients 64 --requests 4 --key serve
+awk -v ncpu="$(nproc 2>/dev/null || echo 1)" '
+  /^  "serve_single_shard": \{/ { section = "base" }
+  /^  "serve": \{/              { section = "sharded" }
+  section == "base" {
+    if (/"errors"/)         { split($0, v, /[:,]/); base_err = v[2] + 0 }
+    if (/"ok"/)             { split($0, v, /[:,]/); base_ok = v[2] + 0 }
+    if (/"throughput_rps"/) { split($0, v, /[:,]/); base_rps = v[2] + 0 }
+    if (/"hit_rate"/)       { split($0, v, /[:,]/); base_hit = v[2] + 0; seen_base = 1 }
+  }
+  section == "sharded" {
+    if (/"errors"/ && !seen_serve_err)   { split($0, v, /[:,]/); err = v[2] + 0; seen_serve_err = 1 }
+    if (/"ok"/)             { split($0, v, /[:,]/); ok = v[2] + 0 }
+    if (/"throughput_rps"/) { split($0, v, /[:,]/); rps = v[2] + 0 }
+    if (/"hit_rate"/)       { split($0, v, /[:,]/); hit = v[2] + 0 }
+    if (/"p99_ms"/)         { split($0, v, /[:,]/); p99 = v[2] + 0 }
+    if (/"speedup"/)        { split($0, v, /[:,]/); stress = v[2] + 0 }
+    seen_serve = 1
+  }
+  END {
+    if (!seen_base || !seen_serve) { print "serve/serve_single_shard missing from BENCH_sim.json"; exit 1 }
+    if (base_err + err != 0) { print "loadgen clients saw errors: " base_err "+" err; exit 1 }
+    if (ok != 256 || base_ok != 256) { print "loadgen lost requests: " base_ok "/" ok " of 256"; exit 1 }
+    if (p99 > 8000) { print "serve p99 too slow: " p99 " ms (need <= 8000)"; exit 1 }
+    if (hit < base_hit - 0.05) { print "sharded hit rate regressed: " hit " vs " base_hit; exit 1 }
+    if (rps < 0.85 * base_rps) { print "sharded cache slower than single mutex: " rps " vs " base_rps " req/s"; exit 1 }
+    if (ncpu >= 2 && stress < 0.95) { print "sharded stress A/B lost to the single mutex on " ncpu " cores: " stress "x"; exit 1 }
+    printf "serve load OK: %.0f req/s (single-mutex %.0f), p99 %.0f ms, hit rate %.3f (base %.3f), stress %.2fx on %d cpu(s)\n", \
+      rps, base_rps, p99, hit, base_hit, stress, ncpu
+  }
+' BENCH_sim.json
+
 echo "CI OK"
