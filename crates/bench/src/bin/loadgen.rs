@@ -228,7 +228,9 @@ fn run_client(addr: SocketAddr, idx: usize, args: &Args, hot: &[Json]) -> Client
     stats
 }
 
-fn cache_stats(addr: SocketAddr) -> (u64, u64) {
+/// `(hits, misses, store_hits)` from `/v1/metrics`, plus the persistent
+/// tier's `(enabled, front_hits, measure_hits)`.
+fn cache_stats(addr: SocketAddr) -> ((u64, u64, u64), (bool, u64, u64)) {
     let m = roundtrip(addr, "GET", "/v1/metrics", None)
         .expect("metrics endpoint")
         .body;
@@ -238,7 +240,25 @@ fn cache_stats(addr: SocketAddr) -> (u64, u64) {
             .and_then(Json::as_u64)
             .unwrap_or(0)
     };
-    (get("hits"), get("misses"))
+    let counter = |k: &str| {
+        m.get("counters")
+            .and_then(|c| c.get(k))
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
+    };
+    let enabled = m
+        .get("store")
+        .and_then(|s| s.get("enabled"))
+        .and_then(Json::as_bool)
+        .unwrap_or(false);
+    (
+        (get("hits"), get("misses"), get("store_hits")),
+        (
+            enabled,
+            counter("store.front.hits"),
+            counter("store.measure.hits"),
+        ),
+    )
 }
 
 #[allow(clippy::cast_precision_loss, clippy::too_many_lines)]
@@ -287,7 +307,7 @@ fn main() {
             assert_eq!(r.status, 200, "warmup: {}", r.body);
         }
 
-        let (hits0, misses0) = cache_stats(addr);
+        let ((hits0, misses0, shits0), (store_on, sf0, sm0)) = cache_stats(addr);
         let gate = Arc::new(Barrier::new(args.clients));
         let totals = Arc::new(Mutex::new(Vec::<ClientStats>::new()));
         let wall = Instant::now();
@@ -305,7 +325,7 @@ fn main() {
             }
         });
         let wall = wall.elapsed().as_secs_f64();
-        let (hits1, misses1) = cache_stats(addr);
+        let ((hits1, misses1, shits1), (_, sf1, sm1)) = cache_stats(addr);
 
         // Exercise the drain path the way a real operator would.
         let r = roundtrip(addr, "POST", "/v1/shutdown", None).expect("shutdown endpoint");
@@ -324,8 +344,9 @@ fn main() {
         }
         let dh = hits1 - hits0;
         let dm = misses1 - misses0;
-        let hit_rate = if dh + dm > 0 {
-            dh as f64 / (dh + dm) as f64
+        let ds = shits1 - shits0;
+        let hit_rate = if dh + dm + ds > 0 {
+            dh as f64 / (dh + dm + ds) as f64
         } else {
             0.0
         };
@@ -337,9 +358,16 @@ fn main() {
             args.clients, args.requests
         );
         println!(
-            "loadgen: p50 {p50:.1} ms, p99 {p99:.1} ms, {rps:.1} req/s, cache hit rate {:.3} ({dh} hits / {dm} misses)",
+            "loadgen: p50 {p50:.1} ms, p99 {p99:.1} ms, {rps:.1} req/s, cache hit rate {:.3} ({dh} hits / {ds} store hits / {dm} misses)",
             hit_rate
         );
+        if store_on {
+            println!(
+                "loadgen: persistent store answered {ds} cache lookups ({} front + {} measure record hits)",
+                sf1 - sf0,
+                sm1 - sm0
+            );
+        }
 
         record.set("clients", Json::from(args.clients));
         record.set("requests_per_client", Json::from(args.requests));
@@ -355,6 +383,10 @@ fn main() {
         record.set("cache_hits", Json::from(dh));
         record.set("cache_misses", Json::from(dm));
         record.set("hit_rate", Json::from(round3(hit_rate)));
+        record.set("store_enabled", Json::from(store_on));
+        record.set("store_hits", Json::from(ds));
+        record.set("store_front_hits", Json::from(sf1 - sf0));
+        record.set("store_measure_hits", Json::from(sm1 - sm0));
     }
 
     // Merge into BENCH_sim.json without disturbing perfsnap's fields.

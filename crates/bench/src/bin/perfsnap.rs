@@ -30,6 +30,12 @@
 //!    the chunk size the scheduler picked, the front-half cache hit/miss
 //!    counts of the timed run, and the worker count the pool actually used
 //!    (`HC_THREADS` honored).
+//! 7. **Warm start**: the wall-clock of the *first* sweep of the process
+//!    (`fig1_first_sweep_seconds`) plus the persistent store tier's
+//!    hit/miss deltas across it (`store_front_hit_rate`, `store`). With
+//!    `HC_STORE_DIR` pointing at a populated store this is the cost a
+//!    second process actually pays; run perfsnap twice against the same
+//!    directory to A/B cold vs warm (ci.sh gates on it).
 //!
 //! Usage: `cargo run -p hc-bench --release --bin perfsnap [nblocks]`
 //! (`nblocks` sizes the sweep simulation effort; default 2).
@@ -91,6 +97,31 @@ fn report_json(r: &TapeOptReport) -> String {
         r.wide_slots_pre,
         r.wide_slots_post,
         r.cones,
+    )
+}
+
+/// The `"store"` section: the persistent tier's hit/miss deltas over the
+/// first sweep plus the on-disk log's own stats (or `{"enabled": false}`
+/// when `HC_STORE_DIR` is unset).
+fn store_json(enabled: bool, front: (u64, u64), measure: (u64, u64)) -> String {
+    let Some(store) = hc_core::persist::store() else {
+        return "{\"enabled\": false}".to_owned();
+    };
+    let s = store.stats();
+    format!(
+        "{{\"enabled\": {enabled}, \"front_hits\": {}, \"front_misses\": {}, \
+         \"measure_hits\": {}, \"measure_misses\": {}, \
+         \"segments\": {}, \"records\": {}, \"live_bytes\": {}, \
+         \"dead_bytes\": {}, \"compactions\": {}}}",
+        front.0,
+        front.1,
+        measure.0,
+        measure.1,
+        s.segments,
+        s.records,
+        s.live_bytes,
+        s.dead_bytes,
+        s.compactions,
     )
 }
 
@@ -249,10 +280,31 @@ fn main() {
         .join(",\n    ");
 
     println!("fig. 1 sweep (nblocks = {nblocks})...");
-    // Warm the shared stimulus, work-list and front-half caches so the
-    // timed parallel run measures the steady-state driver; the serial
+    // The first sweep of the process is the warm-start probe: with
+    // HC_STORE_DIR set and a populated store, every front half and
+    // measurement comes off disk, so this wall-clock (and the store-tier
+    // hit rate across it) is what a "second process" actually pays. It
+    // doubles as the warmup for the steady-state comparison below: the
+    // timed parallel run measures the in-memory driver, the serial
     // baseline deliberately runs the legacy cold pipeline per point.
+    let tier = hc_core::persist::tier_counters();
+    let (front_hits_0, front_misses_0) = (tier.front_hits.get(), tier.front_misses.get());
+    let (meas_hits_0, meas_misses_0) = (tier.measure_hits.get(), tier.measure_misses.get());
+    let start = Instant::now();
     let _ = hc_bench::fig1_points(nblocks);
+    let first_sweep_time = start.elapsed();
+    let front_hits = tier.front_hits.get() - front_hits_0;
+    let front_misses = tier.front_misses.get() - front_misses_0;
+    let meas_hits = tier.measure_hits.get() - meas_hits_0;
+    let meas_misses = tier.measure_misses.get() - meas_misses_0;
+    let store_front_hit_rate = front_hits as f64 / (front_hits + front_misses).max(1) as f64;
+    let store_on = hc_core::persist::store().is_some();
+    println!(
+        "  first sweep:            {:8.2} s  (store {}, front {front_hits} hit / \
+         {front_misses} miss, measure {meas_hits} hit / {meas_misses} miss)",
+        first_sweep_time.as_secs_f64(),
+        if store_on { "on" } else { "off" },
+    );
     let start = Instant::now();
     let serial = hc_bench::fig1_points_serial(nblocks);
     let serial_time = start.elapsed();
@@ -308,6 +360,9 @@ fn main() {
          \"fig1_points\": {points},\n  \
          \"fig1_serial_seconds\": {st:.3},\n  \
          \"fig1_parallel_seconds\": {pt:.3},\n  \
+         \"fig1_first_sweep_seconds\": {fst:.3},\n  \
+         \"store_front_hit_rate\": {store_front_hit_rate:.4},\n  \
+         \"store\": {store_section},\n  \
          \"fig1_speedup\": {sweep_speedup:.2},\n  \
          \"fig1_chunk_size\": {chunk},\n  \
          \"cache_hits\": {cache_hits},\n  \
@@ -329,6 +384,12 @@ fn main() {
         points = serial.len(),
         st = serial_time.as_secs_f64(),
         pt = parallel_time.as_secs_f64(),
+        fst = first_sweep_time.as_secs_f64(),
+        store_section = store_json(
+            store_on,
+            (front_hits, front_misses),
+            (meas_hits, meas_misses)
+        ),
         metrics = hc_obs::metrics::snapshot_json(),
     );
     std::fs::write("BENCH_sim.json", &json).expect("write BENCH_sim.json");

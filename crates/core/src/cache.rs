@@ -51,6 +51,11 @@ pub struct FrontHalf {
     pub full: Arc<SynthReport>,
     /// Synthesis with `maxdsp=0` (the paper's normalization run).
     pub nodsp: Arc<SynthReport>,
+    /// The cache key this artifact lives under — `(content hash of the
+    /// *input* module, pass-config byte)`. Carried so downstream tiers
+    /// (the persistent store's measurement records) can derive their own
+    /// keys without re-hashing.
+    pub key: (u128, u8),
 }
 
 type Key = (u128, u8);
@@ -276,9 +281,9 @@ fn cache_shards() -> usize {
 
 struct Table {
     lru: ShardedLru<Key, Arc<FrontHalf>>,
-    /// Per-shard `(hits, misses)` metrics handles
-    /// (`cache.shard[i].hits` / `cache.shard[i].misses`).
-    shard_counters: Vec<(Counter, Counter)>,
+    /// Per-shard `(hits, misses, store_hits)` metrics handles
+    /// (`cache.shard[i].hits` / `.misses` / `.store_hits`).
+    shard_counters: Vec<(Counter, Counter, Counter)>,
 }
 
 fn table() -> &'static Table {
@@ -290,6 +295,7 @@ fn table() -> &'static Table {
                 (
                     hc_obs::metrics::counter_named(&format!("cache.shard[{i}].hits")),
                     hc_obs::metrics::counter_named(&format!("cache.shard[{i}].misses")),
+                    hc_obs::metrics::counter_named(&format!("cache.shard[{i}].store_hits")),
                 )
             })
             .collect();
@@ -301,15 +307,19 @@ fn table() -> &'static Table {
 }
 
 /// Hit/miss accounting lives in the process-wide metrics registry
-/// (`cache.hits` / `cache.misses` aggregates plus the per-shard
-/// `cache.shard[i].*` breakdown); these cached handles keep each bump one
-/// uncontended atomic add.
-fn counters() -> (Counter, Counter) {
-    static CELLS: OnceLock<(Counter, Counter)> = OnceLock::new();
+/// (`cache.hits` / `cache.misses` / `cache.store_hits` aggregates plus
+/// the per-shard `cache.shard[i].*` breakdown); these cached handles keep
+/// each bump one uncontended atomic add. The three aggregates partition
+/// every lookup: `hits` answered in memory, `store_hits` answered by the
+/// persistent tier, `misses` fully computed — a store-tier answer is
+/// **not** also a miss.
+fn counters() -> (Counter, Counter, Counter) {
+    static CELLS: OnceLock<(Counter, Counter, Counter)> = OnceLock::new();
     *CELLS.get_or_init(|| {
         (
             hc_obs::metrics::counter("cache.hits"),
             hc_obs::metrics::counter("cache.misses"),
+            hc_obs::metrics::counter("cache.store_hits"),
         )
     })
 }
@@ -325,7 +335,7 @@ pub fn shard_count() -> usize {
 /// The input module is not mutated; the returned [`FrontHalf`] carries the
 /// optimized copy.
 pub fn front_half(module: &Module) -> Arc<FrontHalf> {
-    let (hits, misses) = counters();
+    let (hits, misses, store_hits) = counters();
     let config = PassConfig::from_env();
     let key = (content_hash(module), config.key());
     let t = table();
@@ -336,6 +346,22 @@ pub fn front_half(module: &Module) -> Arc<FrontHalf> {
         t.shard_counters[shard].0.inc();
         span.attach("hit", true);
         return hit;
+    }
+
+    // Second tier: the persistent store (when HC_STORE_DIR is set). A
+    // store answer is *not* a miss — `cache.misses` counts only fully
+    // computed artifacts, so hit-rate math stays honest when the store
+    // absorbs the cold start.
+    if let Some(store) = crate::persist::store() {
+        let tier = crate::persist::tier_counters();
+        if let Some(entry) = crate::persist::load_front_in(store, key) {
+            store_hits.inc();
+            t.shard_counters[shard].2.inc();
+            tier.front_hits.inc();
+            span.attach("store_hit", true);
+            return t.lru.insert(key, entry);
+        }
+        tier.front_misses.inc();
     }
     misses.inc();
     t.shard_counters[shard].1.inc();
@@ -353,26 +379,48 @@ pub fn front_half(module: &Module) -> Arc<FrontHalf> {
         opt,
         full: Arc::new(full),
         nodsp: Arc::new(nodsp),
+        key,
     });
+    if let Some(store) = crate::persist::store() {
+        crate::persist::save_front_in(store, &entry);
+    }
     t.lru.insert(key, entry)
 }
 
 /// `(hits, misses)` since process start or the last [`reset_stats`] —
 /// reads of the `cache.hits` / `cache.misses` metrics counters.
 pub fn stats() -> (u64, u64) {
-    let (hits, misses) = counters();
+    let (hits, misses, _) = counters();
     (hits.get(), misses.get())
+}
+
+/// Lookups answered by the persistent store tier since process start or
+/// the last [`reset_stats`] (the `cache.store_hits` aggregate).
+pub fn store_hits() -> u64 {
+    counters().2.get()
+}
+
+/// Per-shard `(hits, misses, store_hits)` reads, index = shard number.
+/// The element-wise sums equal [`stats`] + [`store_hits`].
+pub fn shard_stats() -> Vec<(u64, u64, u64)> {
+    table()
+        .shard_counters
+        .iter()
+        .map(|(h, m, s)| (h.get(), m.get(), s.get()))
+        .collect()
 }
 
 /// Zeroes the hit/miss counters — the aggregates and every per-shard
 /// breakdown (the cached entries stay).
 pub fn reset_stats() {
-    let (hits, misses) = counters();
+    let (hits, misses, store_hits) = counters();
     hits.reset();
     misses.reset();
-    for (h, m) in &table().shard_counters {
+    store_hits.reset();
+    for (h, m, s) in &table().shard_counters {
         h.reset();
         m.reset();
+        s.reset();
     }
 }
 
@@ -423,24 +471,26 @@ mod tests {
         // so the deltas must agree no matter what other tests do in
         // parallel (they move both sides equally).
         let sum_shards = || {
-            table()
-                .shard_counters
+            shard_stats()
                 .iter()
-                .fold((0u64, 0u64), |(h, m), (ch, cm)| {
-                    (h + ch.get(), m + cm.get())
+                .fold((0u64, 0u64, 0u64), |(h, m, s), (ch, cm, cs)| {
+                    (h + ch, m + cm, s + cs)
                 })
         };
         let (h0, m0) = stats();
-        let (sh0, sm0) = sum_shards();
+        let s0 = store_hits();
+        let (sh0, sm0, ss0) = sum_shards();
         for i in 0..6 {
             let m = redundant_adder(&format!("cache_sum_{i}"));
             let _ = front_half(&m);
             let _ = front_half(&m);
         }
         let (h1, m1) = stats();
-        let (sh1, sm1) = sum_shards();
+        let s1 = store_hits();
+        let (sh1, sm1, ss1) = sum_shards();
         assert_eq!(h1 - h0, sh1 - sh0, "hit deltas diverged");
         assert_eq!(m1 - m0, sm1 - sm0, "miss deltas diverged");
+        assert_eq!(s1 - s0, ss1 - ss0, "store-hit deltas diverged");
         assert!(h1 - h0 >= 6, "each module re-lookup hits");
         assert!(m1 - m0 >= 6, "each distinct module misses once");
     }

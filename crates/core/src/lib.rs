@@ -36,6 +36,7 @@ pub mod entries;
 pub mod measure;
 pub mod metrics;
 pub mod par;
+pub mod persist;
 pub mod report;
 pub mod tool;
 

@@ -114,8 +114,33 @@ pub struct ToolRow {
 /// on the sample blocks — measurement implies conformance.
 pub fn measure(design: &Design, nblocks: usize) -> Measurement {
     let front = crate::cache::front_half(&design.module);
+
+    // Third tier: the persistent store also memoizes whole measurements,
+    // keyed by the front-half key plus everything else the result depends
+    // on (stimulus size, interface model). `label` and `loc` are design
+    // metadata, not derived from the module, so they come from the live
+    // design, never from disk.
+    let store_key = crate::persist::store().map(|store| {
+        let key = crate::persist::measure_key(front.key, nblocks, &design.interface);
+        let tier = crate::persist::tier_counters();
+        (store, key, tier)
+    });
+    if let Some((store, key, tier)) = &store_key {
+        if let Some(mut m) = crate::persist::load_measurement_in(store, key) {
+            tier.measure_hits.inc();
+            m.label = design.label.clone();
+            m.loc = design.loc;
+            return m;
+        }
+        tier.measure_misses.inc();
+    }
+
     let module = front.module.as_ref().clone();
-    measure_back_half(design, nblocks, module, &front.full, &front.nodsp)
+    let m = measure_back_half(design, nblocks, module, &front.full, &front.nodsp);
+    if let Some((store, key, _)) = &store_key {
+        crate::persist::save_measurement_in(store, key, &m);
+    }
+    m
 }
 
 /// [`measure`] for callers that must survive a failing design — hc-serve

@@ -40,6 +40,17 @@ pub struct Config {
     /// `HC_SERVE_QUEUE_CAP`: hc-serve job-queue bound; submissions beyond
     /// it are rejected with `429` (`None` = default).
     pub serve_queue_cap: Option<usize>,
+    /// `HC_STORE_DIR`: directory of the persistent result store; the
+    /// store is on iff set.
+    pub store_dir: Option<String>,
+    /// `HC_STORE_CAP_MB`: soft cap on the store's live bytes, in MiB
+    /// (`None` = unbounded).
+    pub store_cap_mb: Option<usize>,
+    /// `HC_STORE_SYNC`: fsync the store after every append.
+    pub store_sync: bool,
+    /// `HC_SERVE_RPS`: per-client requests-per-second budget in hc-serve;
+    /// rate limiting is on iff set.
+    pub serve_rps: Option<usize>,
 }
 
 /// A flag variable is "set" when nonempty and not `"0"` — the convention
@@ -70,6 +81,10 @@ impl Config {
             cache_shards: positive(get("HC_CACHE_SHARDS")),
             serve_threads: positive(get("HC_SERVE_THREADS")),
             serve_queue_cap: positive(get("HC_SERVE_QUEUE_CAP")),
+            store_dir: get("HC_STORE_DIR").filter(|p| !p.is_empty()),
+            store_cap_mb: positive(get("HC_STORE_CAP_MB")),
+            store_sync: flag(get("HC_STORE_SYNC")),
+            serve_rps: positive(get("HC_SERVE_RPS")),
         }
     }
 
@@ -160,6 +175,22 @@ mod tests {
             fixture(&[("HC_SERVE_QUEUE_CAP", "bogus")]).serve_queue_cap,
             None
         );
+        assert_eq!(
+            fixture(&[("HC_STORE_CAP_MB", "256")]).store_cap_mb,
+            Some(256)
+        );
+        assert_eq!(fixture(&[("HC_STORE_CAP_MB", "0")]).store_cap_mb, None);
+        assert_eq!(fixture(&[("HC_SERVE_RPS", "50")]).serve_rps, Some(50));
+        assert_eq!(fixture(&[("HC_SERVE_RPS", "0")]).serve_rps, None);
+    }
+
+    #[test]
+    fn store_knobs_parse() {
+        let cfg = fixture(&[("HC_STORE_DIR", "/tmp/s"), ("HC_STORE_SYNC", "1")]);
+        assert_eq!(cfg.store_dir.as_deref(), Some("/tmp/s"));
+        assert!(cfg.store_sync);
+        assert_eq!(fixture(&[("HC_STORE_DIR", "")]).store_dir, None);
+        assert!(!fixture(&[("HC_STORE_SYNC", "0")]).store_sync);
     }
 
     #[test]

@@ -23,6 +23,10 @@
 //! | `HC_CACHE_SHARDS` | shard count of the front-half memo cache |
 //! | `HC_SERVE_THREADS` | hc-serve worker-pool width |
 //! | `HC_SERVE_QUEUE_CAP` | hc-serve job-queue bound (beyond it: HTTP 429) |
+//! | `HC_STORE_DIR` | directory of the persistent result store (on iff set) |
+//! | `HC_STORE_CAP_MB` | soft cap on the store's live bytes, in MiB |
+//! | `HC_STORE_SYNC` | fsync the store after every append |
+//! | `HC_SERVE_RPS` | per-client request rate budget (beyond it: HTTP 429) |
 
 pub mod config;
 pub mod metrics;

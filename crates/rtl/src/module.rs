@@ -382,6 +382,38 @@ impl Module {
         self.nodes.push(data);
     }
 
+    /// Reassembles a module from raw tables — the inverse of the accessor
+    /// views ([`Module::nodes`], [`Module::inputs`], ...) — and validates
+    /// it. This is the deserialization entry point for the persistent
+    /// result store: a decoded module must be structurally identical to
+    /// the one that was encoded (same nodes, same names, same order), so
+    /// it goes through validation rather than the width-deriving builder
+    /// methods.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::ValidateError`] when the tables do not form a well-formed
+    /// netlist (dangling ids, width violations, unconnected registers).
+    pub fn from_parts(
+        name: impl Into<String>,
+        nodes: Vec<NodeData>,
+        inputs: Vec<Port>,
+        outputs: Vec<Output>,
+        regs: Vec<Reg>,
+        mems: Vec<Mem>,
+    ) -> Result<Module, crate::ValidateError> {
+        let m = Module {
+            name: name.into(),
+            nodes,
+            inputs,
+            outputs,
+            regs,
+            mems,
+        };
+        m.validate()?;
+        Ok(m)
+    }
+
     /// Replaces the full node table (used by rewriting passes).
     pub(crate) fn set_tables(
         &mut self,

@@ -33,7 +33,7 @@ fn synth_json(r: &SynthReport) -> Json {
     }
 }
 
-fn measurement_json(m: &Measurement) -> Json {
+pub(crate) fn measurement_json(m: &Measurement) -> Json {
     jobj! {
         "label" => m.label.clone(),
         "fmax_mhz" => m.fmax_mhz,
@@ -49,7 +49,7 @@ fn measurement_json(m: &Measurement) -> Json {
 }
 
 /// `nblocks` with the request's override, clamped to a sane band.
-fn nblocks(body: &Json) -> Result<usize, ApiError> {
+pub(crate) fn nblocks(body: &Json) -> Result<usize, ApiError> {
     match body.get("nblocks") {
         None => Ok(3),
         Some(v) => match v.as_usize() {
@@ -136,22 +136,61 @@ pub fn dse(body: &Json, worker: &Worker) -> Result<Json, ApiError> {
     })
 }
 
-/// `GET /v1/metrics`: queue/cache/counter snapshot.
+/// `GET /v1/metrics`: queue/cache/store/counter snapshot.
+///
+/// Cache lookups partition three ways — `hits` (in-memory), `store_hits`
+/// (answered by the persistent tier) and `misses` (recomputed) — at the
+/// aggregate level and per shard. The `store` object reports the
+/// persistent tier itself, or `{"enabled": false}` when `HC_STORE_DIR`
+/// is unset.
 pub fn metrics(pool: &JobPool) -> Json {
     let (hits, misses) = cache::stats();
     let counters = obs::metrics::snapshot()
         .into_iter()
         .map(|(name, value)| (name.to_owned(), Json::from(value)))
         .collect();
+    let per_shard = cache::shard_stats()
+        .into_iter()
+        .map(|(h, m, s)| jobj! { "hits" => h, "misses" => m, "store_hits" => s })
+        .collect::<Vec<_>>();
     jobj! {
         "queue_depth" => pool.queue_depth(),
+        "running_jobs" => pool.running(),
         "workers" => pool.workers(),
         "cache" => jobj! {
             "hits" => hits,
             "misses" => misses,
+            "store_hits" => cache::store_hits(),
             "shards" => cache::shard_count(),
+            "per_shard" => per_shard,
         },
+        "store" => store_json(),
         "counters" => Json::Obj(counters),
+    }
+}
+
+fn store_json() -> Json {
+    let Some(store) = hc_core::persist::store() else {
+        return jobj! { "enabled" => false };
+    };
+    let s = store.stats();
+    let (gets, hits, puts, put_drops) = store.io_counters();
+    jobj! {
+        "enabled" => true,
+        "segments" => s.segments,
+        "records" => s.records,
+        "live_bytes" => s.live_bytes,
+        "dead_bytes" => s.dead_bytes,
+        "file_bytes" => s.file_bytes,
+        "read_only" => s.read_only,
+        "truncated_tails" => s.truncated_tails,
+        "corrupt_records" => s.corrupt_records,
+        "compactions" => s.compactions,
+        "evicted_records" => s.evicted_records,
+        "gets" => gets,
+        "hits" => hits,
+        "puts" => puts,
+        "put_drops" => put_drops,
     }
 }
 

@@ -2,16 +2,16 @@
 //! POSTs `/v1/shutdown`, then drain.
 //!
 //! ```text
-//! hc-serve [--addr HOST:PORT] [--workers N] [--queue-cap N]
+//! hc-serve [--addr HOST:PORT] [--workers N] [--queue-cap N] [--rps N]
 //! ```
 //!
-//! Flags override the `HC_SERVE_THREADS` / `HC_SERVE_QUEUE_CAP`
-//! environment defaults.
+//! Flags override the `HC_SERVE_THREADS` / `HC_SERVE_QUEUE_CAP` /
+//! `HC_SERVE_RPS` environment defaults.
 
 use hc_serve::server::Options;
 
 fn usage() -> ! {
-    eprintln!("usage: hc-serve [--addr HOST:PORT] [--workers N] [--queue-cap N]");
+    eprintln!("usage: hc-serve [--addr HOST:PORT] [--workers N] [--queue-cap N] [--rps N]");
     std::process::exit(2);
 }
 
@@ -36,6 +36,10 @@ fn main() {
                 Ok(n) if n >= 1 => opts.queue_cap = n,
                 _ => usage(),
             },
+            "--rps" => match value("--rps").parse() {
+                Ok(n) if n >= 1 => opts.rps = Some(n),
+                _ => usage(),
+            },
             _ => usage(),
         }
     }
@@ -54,6 +58,12 @@ fn main() {
         opts.queue_cap,
         hc_core::cache::shard_count()
     );
+    if let Some(rps) = opts.rps {
+        println!("hc-serve: per-client rate limit {rps} rps");
+    }
+    if hc_core::persist::store().is_some() {
+        println!("hc-serve: persistent result store enabled (HC_STORE_DIR)");
+    }
     server.wait_for_shutdown_request();
     println!("hc-serve: drain requested, finishing queued jobs");
     server.shutdown();

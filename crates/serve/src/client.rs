@@ -120,6 +120,141 @@ impl Conn {
     }
 }
 
+/// A streamed response: status, headers, and every NDJSON event that
+/// arrived before the stream terminated.
+#[derive(Clone, Debug)]
+pub struct StreamResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Header pairs (lowercased names).
+    pub headers: Vec<(String, String)>,
+    /// Parsed NDJSON events in arrival order. For a non-chunked response
+    /// (a refusal with a plain JSON body) this is that single body.
+    pub events: Vec<Json>,
+    /// True when the chunked body ended with its zero-length terminator;
+    /// false means the server truncated the stream mid-flight.
+    pub complete: bool,
+}
+
+impl StreamResponse {
+    /// First header value by lowercase name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The events with the given `"event"` tag.
+    pub fn events_of(&self, kind: &str) -> Vec<&Json> {
+        self.events
+            .iter()
+            .filter(|e| e.get("event").and_then(Json::as_str) == Some(kind))
+            .collect()
+    }
+}
+
+impl Conn {
+    /// Sends one request and reads a streamed (chunked NDJSON) response,
+    /// blocking until the stream terminates.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or `InvalidData` on malformed framing. A
+    /// server-side truncation is not an error — it comes back with
+    /// `complete: false` and the events received so far.
+    pub fn request_stream(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&Json>,
+    ) -> io::Result<StreamResponse> {
+        let payload = body.map(Json::to_string).unwrap_or_default();
+        write!(
+            self.writer,
+            "{method} {path} HTTP/1.1\r\nhost: hc-serve\r\ncontent-length: {}\r\n\r\n{payload}",
+            payload.len()
+        )?;
+        self.writer.flush()?;
+
+        let bad = |m: String| io::Error::new(io::ErrorKind::InvalidData, m);
+        let status_line = self.read_line()?;
+        let status = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse::<u16>().ok())
+            .ok_or_else(|| bad(format!("bad status line {status_line:?}")))?;
+        let mut headers = Vec::new();
+        loop {
+            let line = self.read_line()?;
+            if line.is_empty() {
+                break;
+            }
+            let (name, value) = line
+                .split_once(':')
+                .ok_or_else(|| bad(format!("bad header {line:?}")))?;
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+        }
+        let chunked = headers
+            .iter()
+            .any(|(k, v)| k == "transfer-encoding" && v.eq_ignore_ascii_case("chunked"));
+        let mut raw = Vec::new();
+        let mut complete = true;
+        if chunked {
+            loop {
+                let size_line = match self.read_line() {
+                    Ok(l) => l,
+                    Err(_) => {
+                        complete = false;
+                        break;
+                    }
+                };
+                let size_text = size_line.trim();
+                if size_text.is_empty() {
+                    // EOF before the terminator: the server truncated.
+                    complete = false;
+                    break;
+                }
+                let size = usize::from_str_radix(size_text, 16)
+                    .map_err(|_| bad(format!("bad chunk size {size_line:?}")))?;
+                if size == 0 {
+                    let _ = self.read_line(); // trailing CRLF
+                    break;
+                }
+                let mut chunk = vec![0u8; size];
+                if self.reader.read_exact(&mut chunk).is_err() {
+                    complete = false;
+                    break;
+                }
+                raw.extend_from_slice(&chunk);
+                if self.read_line().is_err() {
+                    complete = false;
+                    break;
+                }
+            }
+        } else {
+            let length = headers
+                .iter()
+                .find(|(k, _)| k == "content-length")
+                .and_then(|(_, v)| v.parse::<usize>().ok())
+                .ok_or_else(|| bad("response without framing".to_owned()))?;
+            raw = vec![0u8; length];
+            self.reader.read_exact(&mut raw)?;
+        }
+        let text = std::str::from_utf8(&raw).map_err(|e| bad(e.to_string()))?;
+        let mut events = Vec::new();
+        for line in text.lines().filter(|l| !l.trim().is_empty()) {
+            events.push(Json::parse(line).map_err(bad)?);
+        }
+        Ok(StreamResponse {
+            status,
+            headers,
+            events,
+            complete,
+        })
+    }
+}
+
 /// One-shot convenience: open, send, close.
 ///
 /// # Errors

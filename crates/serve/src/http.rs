@@ -2,9 +2,11 @@
 //! any `BufRead`/`Write` pair.
 //!
 //! Deliberately small — exactly what a JSON API over keep-alive
-//! connections needs: request line, headers, `Content-Length` bodies.
-//! No chunked transfer, no continuations, no multipart. Everything else
-//! is a [`HttpError::Malformed`] and becomes a `400`.
+//! connections needs: request line, headers, `Content-Length` bodies,
+//! plus chunked transfer *encoding* on responses ([`ChunkedWriter`], for
+//! the streaming sweep endpoint). Chunked request bodies, continuations
+//! and multipart stay out; everything else is a [`HttpError::Malformed`]
+//! and becomes a `400`.
 
 use std::io::{self, BufRead, Write};
 
@@ -213,6 +215,74 @@ impl Response {
     }
 }
 
+/// An in-flight `Transfer-Encoding: chunked` response body.
+///
+/// [`ChunkedWriter::start`] writes the head (status + headers + the
+/// chunked framing declaration); each [`chunk`](ChunkedWriter::chunk) is
+/// flushed immediately so the peer sees results as they complete;
+/// [`finish`](ChunkedWriter::finish) writes the zero-length terminator.
+/// Dropping without `finish` leaves the body unterminated, which the
+/// client correctly treats as a truncated stream.
+pub struct ChunkedWriter<'a, W: Write> {
+    w: &'a mut W,
+}
+
+impl<'a, W: Write> ChunkedWriter<'a, W> {
+    /// Writes the response head and returns the body writer. After this
+    /// point the status is on the wire — failures must end the stream,
+    /// not downgrade to a plain response.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors.
+    pub fn start(
+        w: &'a mut W,
+        status: u16,
+        headers: &[(String, String)],
+        keep_alive: bool,
+    ) -> io::Result<ChunkedWriter<'a, W>> {
+        write!(
+            w,
+            "HTTP/1.1 {} {}\r\ntransfer-encoding: chunked\r\nconnection: {}\r\n",
+            status,
+            reason(status),
+            if keep_alive { "keep-alive" } else { "close" },
+        )?;
+        for (name, value) in headers {
+            write!(w, "{name}: {value}\r\n")?;
+        }
+        w.write_all(b"\r\n")?;
+        w.flush()?;
+        Ok(ChunkedWriter { w })
+    }
+
+    /// Writes one chunk and flushes. Empty payloads are skipped — a
+    /// zero-length chunk would terminate the body.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors.
+    pub fn chunk(&mut self, bytes: &[u8]) -> io::Result<()> {
+        if bytes.is_empty() {
+            return Ok(());
+        }
+        write!(self.w, "{:x}\r\n", bytes.len())?;
+        self.w.write_all(bytes)?;
+        self.w.write_all(b"\r\n")?;
+        self.w.flush()
+    }
+
+    /// Terminates the body (`0\r\n\r\n`) and flushes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors.
+    pub fn finish(self) -> io::Result<()> {
+        self.w.write_all(b"0\r\n\r\n")?;
+        self.w.flush()
+    }
+}
+
 /// Canonical reason phrase for the status codes this server emits.
 pub fn reason(status: u16) -> &'static str {
     match status {
@@ -295,5 +365,26 @@ mod tests {
         assert!(text.contains("retry-after: 1\r\n"));
         assert!(text.contains("connection: close\r\n"));
         assert!(text.ends_with("\r\n\r\nnull"));
+    }
+
+    #[test]
+    fn chunked_writer_frames_each_chunk_and_terminates() {
+        let mut out = Vec::new();
+        let headers = vec![("content-type".to_owned(), "application/x-ndjson".to_owned())];
+        let mut cw = ChunkedWriter::start(&mut out, 200, &headers, true).unwrap();
+        cw.chunk(b"{\"a\":1}\n").unwrap();
+        cw.chunk(b"").unwrap(); // skipped, not a terminator
+        cw.chunk(&b"x".repeat(0x1f)).unwrap();
+        cw.finish().unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("transfer-encoding: chunked\r\n"));
+        assert!(text.contains("connection: keep-alive\r\n"));
+        assert!(text.contains("content-type: application/x-ndjson\r\n"));
+        assert!(
+            text.contains("\r\n\r\n8\r\n{\"a\":1}\n\r\n1f\r\n"),
+            "{text}"
+        );
+        assert!(text.ends_with("\r\n0\r\n\r\n"), "{text}");
     }
 }

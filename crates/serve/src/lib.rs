@@ -26,7 +26,16 @@
 //!
 //! Submission bodies name a `"frontend"` (see [`frontend::FRONTENDS`]);
 //! failures come back as structured `{"error": {status, code, message}}`
-//! bodies, `429 + Retry-After` signals backpressure.
+//! bodies, `429 + Retry-After` signals backpressure — from the bounded
+//! queue (`code: "queue_full"`) or, when `HC_SERVE_RPS` is set, from the
+//! per-peer token bucket (`code: "rate_limited"`, [`ratelimit`]).
+//!
+//! `POST /v1/dse` with `"stream": true` switches to a chunked NDJSON
+//! response: a `meta` event, one `point` event per sweep point *as it
+//! completes* (points already in the persistent store are flagged
+//! `"cached"` and come back near-instantly), and a final `done` event
+//! with the Pareto front. A killed sweep resumes cheaply: re-issuing the
+//! request recomputes only the points the store has not seen.
 
 pub mod api;
 pub mod client;
@@ -34,6 +43,7 @@ pub mod frontend;
 pub mod http;
 pub mod json;
 pub mod pool;
+pub mod ratelimit;
 pub mod server;
 
 pub use frontend::ApiError;

@@ -329,6 +329,12 @@ impl JobPool {
         self.shared.depth.load(Ordering::Relaxed)
     }
 
+    /// Tasks executing right now (scatter sub-tasks a running job helps
+    /// with count too, so this can exceed the worker count briefly).
+    pub fn running(&self) -> usize {
+        self.shared.running.load(Ordering::SeqCst)
+    }
+
     /// Worker count.
     pub fn workers(&self) -> usize {
         self.workers

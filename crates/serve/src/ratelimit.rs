@@ -1,0 +1,167 @@
+//! Per-client token-bucket rate limiting for the compute endpoints.
+//!
+//! One bucket per peer IP address: capacity (burst) equals the configured
+//! rate, tokens refill continuously at `rps` per second. A request takes
+//! one token; an empty bucket yields the number of whole seconds until a
+//! token is available, which the server surfaces as `429` +
+//! `Retry-After`. `GET` endpoints are never limited — the service stays
+//! observable while a client is throttled.
+//!
+//! The table is pruned when it grows past [`MAX_PEERS`]: buckets that
+//! have refilled to capacity carry no state (a fresh bucket behaves
+//! identically), so they are dropped first.
+
+use std::collections::HashMap;
+use std::net::IpAddr;
+use std::sync::{Mutex, PoisonError};
+use std::time::Instant;
+
+/// Prune threshold for the per-peer table.
+const MAX_PEERS: usize = 1024;
+
+struct Bucket {
+    /// Fractional tokens currently available, `0.0..=burst`.
+    tokens: f64,
+    /// Last refill time.
+    at: Instant,
+}
+
+/// A per-peer token-bucket limiter; `rps` is both the refill rate and the
+/// burst capacity.
+pub struct RateLimiter {
+    rps: f64,
+    buckets: Mutex<HashMap<IpAddr, Bucket>>,
+}
+
+impl RateLimiter {
+    /// A limiter allowing `rps` requests per second per peer (burst of
+    /// the same size). `rps` must be positive.
+    pub fn new(rps: u64) -> RateLimiter {
+        RateLimiter {
+            rps: rps.max(1) as f64,
+            buckets: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Takes one token for `peer`, or returns the suggested
+    /// `Retry-After` in whole seconds (at least 1).
+    ///
+    /// # Errors
+    ///
+    /// `Err(retry_after_secs)` when the peer's bucket is empty.
+    pub fn check(&self, peer: IpAddr) -> Result<(), u64> {
+        self.check_at(peer, Instant::now())
+    }
+
+    /// [`check`](RateLimiter::check) with an injected clock, for
+    /// deterministic tests.
+    ///
+    /// # Errors
+    ///
+    /// As [`check`](RateLimiter::check).
+    pub fn check_at(&self, peer: IpAddr, now: Instant) -> Result<(), u64> {
+        let mut buckets = self.buckets.lock().unwrap_or_else(PoisonError::into_inner);
+        if buckets.len() > MAX_PEERS && !buckets.contains_key(&peer) {
+            let rps = self.rps;
+            buckets.retain(|_, b| {
+                b.tokens + now.saturating_duration_since(b.at).as_secs_f64() * rps < rps
+            });
+        }
+        let bucket = buckets.entry(peer).or_insert(Bucket {
+            tokens: self.rps,
+            at: now,
+        });
+        let elapsed = now.saturating_duration_since(bucket.at).as_secs_f64();
+        bucket.tokens = (bucket.tokens + elapsed * self.rps).min(self.rps);
+        bucket.at = now;
+        if bucket.tokens >= 1.0 {
+            bucket.tokens -= 1.0;
+            Ok(())
+        } else {
+            let wait = (1.0 - bucket.tokens) / self.rps;
+            Err((wait.ceil() as u64).max(1))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn ip(last: u8) -> IpAddr {
+        IpAddr::from([127, 0, 0, last])
+    }
+
+    #[test]
+    fn burst_then_refill_at_the_configured_rate() {
+        let rl = RateLimiter::new(2);
+        let t0 = Instant::now();
+        assert!(rl.check_at(ip(1), t0).is_ok());
+        assert!(rl.check_at(ip(1), t0).is_ok());
+        let retry = rl.check_at(ip(1), t0).unwrap_err();
+        assert_eq!(retry, 1, "half a second to the next token, rounded up");
+        // 500ms refills exactly one token at 2 rps.
+        let t1 = t0 + Duration::from_millis(500);
+        assert!(rl.check_at(ip(1), t1).is_ok());
+        assert!(rl.check_at(ip(1), t1).is_err());
+    }
+
+    #[test]
+    fn peers_do_not_share_buckets() {
+        let rl = RateLimiter::new(1);
+        let t0 = Instant::now();
+        assert!(rl.check_at(ip(1), t0).is_ok());
+        assert!(rl.check_at(ip(1), t0).is_err());
+        assert!(rl.check_at(ip(2), t0).is_ok(), "a different peer is fresh");
+    }
+
+    #[test]
+    fn tokens_cap_at_the_burst_size() {
+        let rl = RateLimiter::new(2);
+        let t0 = Instant::now();
+        assert!(rl.check_at(ip(1), t0).is_ok());
+        // A long idle period must not bank more than the burst.
+        let t1 = t0 + Duration::from_secs(3600);
+        assert!(rl.check_at(ip(1), t1).is_ok());
+        assert!(rl.check_at(ip(1), t1).is_ok());
+        assert!(rl.check_at(ip(1), t1).is_err());
+    }
+
+    #[test]
+    fn retry_after_reflects_the_refill_rate() {
+        let rl = RateLimiter::new(1);
+        let t0 = Instant::now();
+        assert!(rl.check_at(ip(1), t0).is_ok());
+        assert_eq!(rl.check_at(ip(1), t0).unwrap_err(), 1);
+        // Drain the single token then ask again immediately: a full
+        // second away at 1 rps.
+        let t1 = t0 + Duration::from_millis(100);
+        assert_eq!(rl.check_at(ip(1), t1).unwrap_err(), 1);
+    }
+
+    #[test]
+    fn full_buckets_are_pruned_when_the_table_grows() {
+        let rl = RateLimiter::new(4);
+        let t0 = Instant::now();
+        for i in 0..=MAX_PEERS {
+            let peer = IpAddr::from([
+                10,
+                ((i >> 16) & 0xff) as u8,
+                ((i >> 8) & 0xff) as u8,
+                (i & 0xff) as u8,
+            ]);
+            assert!(rl.check_at(peer, t0).is_ok());
+        }
+        // All those buckets refill to capacity within a second; a new
+        // peer an hour later triggers the prune.
+        let t1 = t0 + Duration::from_secs(3600);
+        assert!(rl.check_at(ip(9), t1).is_ok());
+        let len = rl
+            .buckets
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len();
+        assert!(len <= 2, "stale full buckets pruned, got {len}");
+    }
+}

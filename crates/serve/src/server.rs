@@ -8,21 +8,23 @@
 //! policy. `GET` endpoints (health, metrics, tools) answer inline so the
 //! service stays observable while saturated.
 
-use std::io::{BufReader, BufWriter};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{IpAddr, SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::sync::{mpsc, Arc, Condvar, Mutex, PoisonError};
 use std::time::Duration;
 
-use hc_core::obs;
+use hc_core::measure::try_measure;
+use hc_core::{dse, obs, persist};
 use hc_obs::metrics::counter;
 
-use crate::frontend::ApiError;
-use crate::http::{read_request, HttpError, Request, Response};
+use crate::frontend::{resolve_tool, ApiError};
+use crate::http::{read_request, ChunkedWriter, HttpError, Request, Response};
 use crate::jobj;
 use crate::json::Json;
 use crate::pool::{JobPool, Priority, SubmitError, Worker};
+use crate::ratelimit::RateLimiter;
 use crate::{api, DEFAULT_QUEUE_CAP};
 
 /// How long a connection thread waits for its queued job before giving
@@ -42,19 +44,23 @@ pub struct Options {
     pub workers: usize,
     /// Injector bound (jobs beyond it are refused with `429`).
     pub queue_cap: usize,
+    /// Per-peer request rate for the compute endpoints, in requests per
+    /// second (`None` disables rate limiting).
+    pub rps: Option<u64>,
 }
 
 impl Options {
     /// Derives options from an observability config snapshot:
     /// `HC_SERVE_THREADS` (default: the machine's parallelism, floor 2 so
-    /// one sweep can't wedge the API) and `HC_SERVE_QUEUE_CAP`
-    /// (default 256).
+    /// one sweep can't wedge the API), `HC_SERVE_QUEUE_CAP`
+    /// (default 256) and `HC_SERVE_RPS` (default: unlimited).
     pub fn from_config(cfg: &obs::Config) -> Options {
         let fallback = std::thread::available_parallelism().map_or(2, std::num::NonZeroUsize::get);
         Options {
             addr: "127.0.0.1:0".to_owned(),
             workers: cfg.serve_threads.unwrap_or(fallback.max(2)),
             queue_cap: cfg.serve_queue_cap.unwrap_or(DEFAULT_QUEUE_CAP),
+            rps: cfg.serve_rps.map(|n| n as u64),
         }
     }
 }
@@ -104,6 +110,7 @@ struct Inner {
     drain_lock: Mutex<bool>,
     drain_cv: Condvar,
     open_conns: AtomicUsize,
+    limiter: Option<RateLimiter>,
 }
 
 /// A running server; dropping it without [`Server::shutdown`] leaves the
@@ -128,6 +135,7 @@ pub fn start(opts: &Options) -> std::io::Result<Server> {
         drain_lock: Mutex::new(false),
         drain_cv: Condvar::new(),
         open_conns: AtomicUsize::new(0),
+        limiter: opts.rps.map(RateLimiter::new),
     });
     let accept_inner = Arc::clone(&inner);
     let accept = std::thread::Builder::new()
@@ -230,6 +238,7 @@ fn accept_loop(listener: &TcpListener, inner: &Arc<Inner>) {
 fn handle_conn(stream: &TcpStream, inner: &Arc<Inner>) {
     let _ = stream.set_read_timeout(Some(READ_POLL));
     let _ = stream.set_nodelay(true);
+    let peer = stream.peer_addr().ok().map(|a| a.ip());
     let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
     let mut writer = BufWriter::new(stream.try_clone().expect("clone stream"));
     let requests = counter("serve.requests");
@@ -274,15 +283,64 @@ fn handle_conn(stream: &TcpStream, inner: &Arc<Inner>) {
         };
         requests.inc();
         let mut span = obs::span("serve.request").with("path", req.path.clone());
-        let response = route(&req, inner);
+        let keep_alive = req.keep_alive() && !inner.draining.load(Ordering::SeqCst);
+        let response = if let Some(r) = rate_limited(inner, peer, &req) {
+            r
+        } else if let Some(body) = stream_request(&req) {
+            match stream_dse(&body, inner, &mut writer, keep_alive) {
+                StreamOutcome::Plain(r) => r,
+                StreamOutcome::Streamed { status, io_ok } => {
+                    span.attach("status", u64::from(status));
+                    span.attach("streamed", true);
+                    drop(span);
+                    count_status(status);
+                    if !io_ok || !keep_alive {
+                        return;
+                    }
+                    continue;
+                }
+            }
+        } else {
+            route(&req, inner)
+        };
         span.attach("status", u64::from(response.status));
         drop(span);
         count_status(response.status);
-        let keep_alive = req.keep_alive() && !inner.draining.load(Ordering::SeqCst);
         if response.write_to(&mut writer, keep_alive).is_err() || !keep_alive {
             return;
         }
     }
+}
+
+/// The `429 rate_limited` response when the per-peer token bucket for a
+/// compute endpoint is empty; `None` admits the request. `GET` endpoints
+/// are never limited, so health and metrics stay reachable.
+fn rate_limited(inner: &Inner, peer: Option<IpAddr>, req: &Request) -> Option<Response> {
+    let limiter = inner.limiter.as_ref()?;
+    let peer = peer?;
+    if req.method != "POST" || !matches!(req.path.as_str(), "/v1/synth" | "/v1/measure" | "/v1/dse")
+    {
+        return None;
+    }
+    let retry = limiter.check(peer).err()?;
+    counter("serve.rate_limited").inc();
+    let err = ApiError {
+        status: 429,
+        code: "rate_limited",
+        message: format!("per-client rate limit exceeded; retry in {retry}s"),
+    };
+    Some(Response::json(err.status, &err.to_json()).with_header("retry-after", &retry.to_string()))
+}
+
+/// The parsed body of a `POST /v1/dse` request that asked for a streamed
+/// response (`"stream": true`); `None` routes normally (including parse
+/// failures, which the normal path turns into `400 bad_json`).
+fn stream_request(req: &Request) -> Option<Json> {
+    if req.method != "POST" || req.path != "/v1/dse" {
+        return None;
+    }
+    let body = Json::parse(std::str::from_utf8(&req.body).ok()?).ok()?;
+    (body.get("stream").and_then(Json::as_bool) == Some(true)).then_some(body)
 }
 
 fn count_status(status: u16) {
@@ -406,4 +464,225 @@ where
             Response::json(err.status, &err.to_json())
         }
     }
+}
+
+/// How a streaming request ended.
+enum StreamOutcome {
+    /// Refused before any bytes hit the wire — answer as a normal
+    /// response (errors, backpressure).
+    Plain(Response),
+    /// The chunked head was written; `io_ok` is false when the stream
+    /// died mid-flight (transport error or timeout) and the connection
+    /// must close.
+    Streamed { status: u16, io_ok: bool },
+}
+
+/// One NDJSON event flowing from pool workers to the connection thread.
+enum StreamEvent {
+    Point(Json),
+    Done(Json),
+}
+
+/// `POST /v1/dse` with `"stream": true`: chunked NDJSON, one event per
+/// line.
+///
+/// * `{"event":"meta", tool, points, nblocks, cached_points}` — first.
+/// * `{"event":"point", index, cached, measurement|error}` — per sweep
+///   point, in *completion* order; points already in the persistent
+///   store are flagged `cached` and return near-instantly.
+/// * `{"event":"done", ok, failed, pareto, best_q}` — last; `pareto` and
+///   `best_q` are original sweep indices.
+///
+/// Unlike the buffered endpoint, a failed point does not abort the sweep
+/// — it becomes a `point` event with an `error` field, and `done` still
+/// arrives. Refusals (bad request, queue full, draining) are decided
+/// *before* the chunked head, so they come back as ordinary JSON
+/// responses with real status codes.
+fn stream_dse<W: Write>(
+    body: &Json,
+    inner: &Arc<Inner>,
+    writer: &mut W,
+    keep_alive: bool,
+) -> StreamOutcome {
+    let plain = |err: ApiError| {
+        let r = Response::json(err.status, &err.to_json());
+        StreamOutcome::Plain(if err.status == 429 {
+            r.with_header("retry-after", "1")
+        } else {
+            r
+        })
+    };
+    let tool = match resolve_tool(body) {
+        Ok(t) => t,
+        Err(e) => return plain(e),
+    };
+    let n = match api::nblocks(body) {
+        Ok(n) => n,
+        Err(e) => return plain(e),
+    };
+    let points = hc_core::entries::dse_points(tool);
+    let total = points.len();
+    // Which points the persistent store will answer — advisory flags for
+    // the per-point events (one content hash each, no simulation).
+    let cached: Arc<Vec<bool>> = Arc::new(if persist::store().is_some() {
+        points
+            .iter()
+            .map(|d| persist::has_measurement(&persist::design_measure_key(d, n)))
+            .collect()
+    } else {
+        vec![false; total]
+    });
+    let cached_points = cached.iter().filter(|c| **c).count();
+
+    let (tx, rx) = mpsc::channel::<StreamEvent>();
+    let tx = Arc::new(Mutex::new(tx));
+    let job_tx = Arc::clone(&tx);
+    let job_cached = Arc::clone(&cached);
+    let submitted = inner.pool.submit(Priority::Low, move |worker| {
+        let span = obs::span("serve.dse.stream").with("tool", format!("{tool:?}"));
+        let point_tx = Arc::clone(&job_tx);
+        let point_cached = Arc::clone(&job_cached);
+        let measured = worker.scatter(points, move |d, i| {
+            let result = try_measure(d, n);
+            let event = match &result {
+                Ok(m) => jobj! {
+                    "event" => "point",
+                    "index" => i,
+                    "cached" => point_cached[i],
+                    "measurement" => api::measurement_json(m),
+                },
+                Err(e) => jobj! {
+                    "event" => "point",
+                    "index" => i,
+                    "cached" => point_cached[i],
+                    "error" => e.clone(),
+                },
+            };
+            let _ = point_tx
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .send(StreamEvent::Point(event));
+            result
+        });
+        drop(span);
+        let mut ok = Vec::new();
+        let mut orig = Vec::new();
+        let mut failed = 0usize;
+        for (i, r) in measured.into_iter().enumerate() {
+            match r {
+                Ok(m) => {
+                    ok.push(m);
+                    orig.push(i);
+                }
+                Err(_) => failed += 1,
+            }
+        }
+        let pareto = dse::pareto_front(&ok)
+            .into_iter()
+            .map(|k| Json::from(orig[k]))
+            .collect::<Vec<_>>();
+        let best = dse::best_quality(&ok).map(|k| orig[k]);
+        let done = jobj! {
+            "event" => "done",
+            "ok" => ok.len(),
+            "failed" => failed,
+            "pareto" => pareto,
+            "best_q" => best.map_or(Json::Null, Json::from),
+        };
+        let _ = job_tx
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .send(StreamEvent::Done(done));
+    });
+    match submitted {
+        Ok(()) => {}
+        Err(SubmitError::QueueFull) => {
+            counter("serve.rejected_429").inc();
+            return plain(ApiError {
+                status: 429,
+                code: "queue_full",
+                message: format!(
+                    "job queue is at its {} cap; retry shortly",
+                    inner.pool.queue_depth()
+                ),
+            });
+        }
+        Err(SubmitError::ShuttingDown) => {
+            return plain(ApiError {
+                status: 503,
+                code: "shutting_down",
+                message: "the server is draining".to_owned(),
+            });
+        }
+    }
+
+    // The job is queued: from here the 200 and the chunked head are on
+    // the wire, and any failure can only truncate the stream.
+    let headers = vec![("content-type".to_owned(), "application/x-ndjson".to_owned())];
+    let mut cw = match ChunkedWriter::start(writer, 200, &headers, keep_alive) {
+        Ok(cw) => cw,
+        Err(_) => {
+            return StreamOutcome::Streamed {
+                status: 200,
+                io_ok: false,
+            }
+        }
+    };
+    let meta = jobj! {
+        "event" => "meta",
+        "tool" => format!("{tool:?}"),
+        "points" => total,
+        "nblocks" => n,
+        "cached_points" => cached_points,
+    };
+    if write_event(&mut cw, &meta).is_err() {
+        return StreamOutcome::Streamed {
+            status: 200,
+            io_ok: false,
+        };
+    }
+    let deadline = std::time::Instant::now() + RESPONSE_TIMEOUT;
+    loop {
+        let now = std::time::Instant::now();
+        let Some(left) = deadline
+            .checked_duration_since(now)
+            .filter(|d| !d.is_zero())
+        else {
+            counter("serve.stream_timeouts").inc();
+            return StreamOutcome::Streamed {
+                status: 200,
+                io_ok: false,
+            };
+        };
+        match rx.recv_timeout(left) {
+            Ok(StreamEvent::Point(event)) => {
+                if write_event(&mut cw, &event).is_err() {
+                    return StreamOutcome::Streamed {
+                        status: 200,
+                        io_ok: false,
+                    };
+                }
+            }
+            Ok(StreamEvent::Done(event)) => {
+                let io_ok = write_event(&mut cw, &event).is_ok() && cw.finish().is_ok();
+                return StreamOutcome::Streamed { status: 200, io_ok };
+            }
+            Err(_) => {
+                // Sender dropped without a done event (worker panic) or
+                // the deadline hit inside recv.
+                counter("serve.stream_timeouts").inc();
+                return StreamOutcome::Streamed {
+                    status: 200,
+                    io_ok: false,
+                };
+            }
+        }
+    }
+}
+
+/// One event as an NDJSON line in its own chunk.
+fn write_event<W: Write>(cw: &mut ChunkedWriter<'_, W>, event: &Json) -> std::io::Result<()> {
+    let mut line = event.to_string().into_bytes();
+    line.push(b'\n');
+    cw.chunk(&line)
 }

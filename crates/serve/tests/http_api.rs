@@ -9,6 +9,17 @@ fn test_server(workers: usize, queue_cap: usize) -> hc_serve::Server {
         addr: "127.0.0.1:0".to_owned(),
         workers,
         queue_cap,
+        rps: None,
+    })
+    .expect("bind an ephemeral port")
+}
+
+fn rate_limited_server(workers: usize, rps: u64) -> hc_serve::Server {
+    hc_serve::start(&Options {
+        addr: "127.0.0.1:0".to_owned(),
+        workers,
+        queue_cap: 64,
+        rps: Some(rps),
     })
     .expect("bind an ephemeral port")
 }
@@ -127,6 +138,139 @@ fn dse_returns_sweep_points_and_a_pareto_front() {
     let pareto = r.body.get("pareto").and_then(Json::as_arr).unwrap();
     assert!(!pareto.is_empty());
     assert!(r.body.get("best_q").and_then(Json::as_u64).is_some());
+    server.shutdown();
+}
+
+#[test]
+fn streamed_dse_emits_per_point_events_then_done() {
+    let server = test_server(3, 16);
+    let mut conn = Conn::open(server.addr()).unwrap();
+    let r = conn
+        .request_stream(
+            "POST",
+            "/v1/dse",
+            Some(&body(r#"{"tool":"maxj","nblocks":2,"stream":true}"#)),
+        )
+        .unwrap();
+    assert_eq!(r.status, 200);
+    assert!(r.complete, "stream must terminate cleanly");
+    assert_eq!(r.header("transfer-encoding"), Some("chunked"));
+
+    let meta = r.events_of("meta");
+    assert_eq!(meta.len(), 1);
+    assert_eq!(meta[0].get("points").and_then(Json::as_u64), Some(2));
+    assert_eq!(meta[0].get("tool").and_then(Json::as_str), Some("Maxj"));
+
+    let points = r.events_of("point");
+    assert_eq!(points.len(), 2);
+    let mut indices: Vec<u64> = points
+        .iter()
+        .map(|p| p.get("index").and_then(Json::as_u64).unwrap())
+        .collect();
+    indices.sort_unstable();
+    assert_eq!(indices, vec![0, 1]);
+    for p in &points {
+        let m = p.get("measurement").expect("measured point");
+        assert!(m
+            .get("throughput_mops")
+            .and_then(Json::as_f64)
+            .is_some_and(|t| t > 0.0));
+    }
+
+    let done = r.events_of("done");
+    assert_eq!(done.len(), 1);
+    assert_eq!(done[0].get("ok").and_then(Json::as_u64), Some(2));
+    assert_eq!(done[0].get("failed").and_then(Json::as_u64), Some(0));
+    assert!(!done[0]
+        .get("pareto")
+        .and_then(Json::as_arr)
+        .unwrap()
+        .is_empty());
+    // Events arrive in order: meta first, done last.
+    assert_eq!(
+        r.events[0].get("event").and_then(Json::as_str),
+        Some("meta")
+    );
+    assert_eq!(
+        r.events.last().unwrap().get("event").and_then(Json::as_str),
+        Some("done")
+    );
+
+    // The connection stays usable after a chunked response.
+    let after = conn.request("GET", "/v1/metrics", None).unwrap();
+    assert_eq!(after.status, 200);
+
+    // Refusals are decided before the chunked head: a bad tool comes back
+    // as a plain 400 JSON body, not a truncated stream.
+    let r = conn
+        .request_stream(
+            "POST",
+            "/v1/dse",
+            Some(&body(r#"{"tool":"cobol","stream":true}"#)),
+        )
+        .unwrap();
+    assert_eq!(r.status, 400);
+    assert_eq!(r.events.len(), 1);
+    assert_eq!(
+        r.events[0]
+            .get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Json::as_str),
+        Some("unknown_tool")
+    );
+    server.shutdown();
+}
+
+/// Satellite: `HC_SERVE_RPS` gives every peer a token bucket; exhausting
+/// it yields `429 rate_limited` with `Retry-After`, while `GET`
+/// endpoints stay reachable.
+#[test]
+fn rate_limit_answers_429_with_retry_after() {
+    let server = rate_limited_server(2, 1);
+    let mut conn = Conn::open(server.addr()).unwrap();
+    let mut ok = 0;
+    let mut limited = 0;
+    for _ in 0..4 {
+        let r = conn
+            .request(
+                "POST",
+                "/v1/synth",
+                Some(&body(r#"{"frontend":"chisel","design":"initial"}"#)),
+            )
+            .unwrap();
+        match r.status {
+            200 => ok += 1,
+            429 => {
+                limited += 1;
+                assert_eq!(
+                    r.body
+                        .get("error")
+                        .and_then(|e| e.get("code"))
+                        .and_then(Json::as_str),
+                    Some("rate_limited"),
+                    "{}",
+                    r.body
+                );
+                let retry: u64 = r.header("retry-after").unwrap().parse().unwrap();
+                assert!(retry >= 1);
+            }
+            other => panic!("unexpected status {other}: {}", r.body),
+        }
+    }
+    assert!(ok >= 1, "the burst admits at least one request");
+    assert!(limited >= 1, "the empty bucket rejects at least one");
+    // Observability endpoints are never limited.
+    for _ in 0..5 {
+        let r = conn.request("GET", "/v1/metrics", None).unwrap();
+        assert_eq!(r.status, 200);
+    }
+    let metrics = conn.request("GET", "/v1/metrics", None).unwrap().body;
+    let counted = metrics
+        .get("counters")
+        .and_then(|c| c.get("serve.rate_limited"))
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    assert!(counted >= limited, "rate-limit rejections are counted");
     server.shutdown();
 }
 
@@ -277,79 +421,104 @@ fn http_level_garbage_gets_400_404_405() {
 
 /// Backpressure: a tiny queue behind a wedged worker must answer 429 with
 /// Retry-After instead of queueing unboundedly.
+///
+/// The wedge is timing-based (a slow sweep occupying the only worker), so
+/// the whole scenario retries if the sweep finishes before the probe gets
+/// its rejection in — every wait is deadline-bounded, never an unbounded
+/// spin.
 #[test]
 fn full_queue_answers_429_with_retry_after() {
     let server = test_server(1, 1);
-    // Wedge the single worker with a slow sweep, then fill the queue.
     let addr = server.addr();
-    let slow = std::thread::spawn(move || {
-        roundtrip(
-            addr,
-            "POST",
-            "/v1/dse",
-            Some(&body(r#"{"tool":"bsv","nblocks":2}"#)),
+    let pool_state = |probe: &mut Conn| {
+        let m = probe.request("GET", "/v1/metrics", None).unwrap().body;
+        (
+            m.get("queue_depth").and_then(Json::as_u64).unwrap(),
+            m.get("running_jobs").and_then(Json::as_u64).unwrap(),
         )
-    });
-    // Wait until the worker has claimed the sweep job.
+    };
+    let wait_for = |probe: &mut Conn, what: &str, cond: &dyn Fn(u64, u64) -> bool| {
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        loop {
+            let (depth, running) = pool_state(probe);
+            if cond(depth, running) {
+                return true;
+            }
+            if std::time::Instant::now() > deadline {
+                eprintln!("gave up waiting for {what}");
+                return false;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+    };
+
     let mut probe = Conn::open(addr).unwrap();
-    loop {
-        let depth = probe
-            .request("GET", "/v1/metrics", None)
-            .unwrap()
-            .body
-            .get("queue_depth")
-            .and_then(Json::as_u64)
-            .unwrap();
-        if depth == 0 {
-            break;
+    for attempt in 0..5 {
+        // Wedge the single worker with a slow sweep.
+        let slow = std::thread::spawn(move || {
+            roundtrip(
+                addr,
+                "POST",
+                "/v1/dse",
+                Some(&body(r#"{"tool":"bsv","nblocks":2}"#)),
+            )
+        });
+        // Wait until the worker is *executing* the sweep (not merely an
+        // empty queue — that is also the state before the sweep arrives),
+        // then occupy the single queue slot: with the worker wedged, the
+        // slot cannot drain, so the next submission must bounce.
+        assert!(
+            wait_for(&mut probe, "the sweep to be claimed", &|depth, running| {
+                running >= 1 && depth == 0
+            }),
+            "queue never drained to the wedged sweep"
+        );
+        let occupant = std::thread::spawn(move || {
+            roundtrip(
+                addr,
+                "POST",
+                "/v1/synth",
+                Some(&body(r#"{"frontend":"chisel","design":"rowcol"}"#)),
+            )
+        });
+        let occupied = wait_for(&mut probe, "the occupant to queue", &|depth, _| depth >= 1);
+        let r = occupied.then(|| {
+            probe
+                .request(
+                    "POST",
+                    "/v1/synth",
+                    Some(&body(r#"{"frontend":"chisel","design":"initial"}"#)),
+                )
+                .unwrap()
+        });
+        // Whatever happened, the wedge jobs themselves must succeed.
+        let slow_result = slow.join().unwrap().unwrap();
+        assert_eq!(slow_result.status, 200, "{}", slow_result.body);
+        let occ = occupant.join().unwrap().unwrap();
+        assert_eq!(occ.status, 200, "occupant: {}", occ.body);
+        match r {
+            Some(r) if r.status == 429 => {
+                assert_eq!(r.header("retry-after"), Some("1"));
+                assert_eq!(
+                    r.body
+                        .get("error")
+                        .and_then(|e| e.get("code"))
+                        .and_then(Json::as_str),
+                    Some("queue_full")
+                );
+                server.shutdown();
+                return;
+            }
+            // The sweep finished under the probe (or the occupant never
+            // stayed queued long enough to observe): re-wedge and retry.
+            Some(r) => {
+                assert_eq!(r.status, 200, "probe neither bounced nor ran: {}", r.body);
+                eprintln!("attempt {attempt}: sweep finished under the probe; retrying");
+            }
+            None => eprintln!("attempt {attempt}: occupant drained before observation; retrying"),
         }
-        std::thread::yield_now();
     }
-    // Occupy the single queue slot with another job, then probe: with the
-    // worker wedged on the sweep, the slot cannot drain, so the probe
-    // must bounce.
-    let occupant = std::thread::spawn(move || {
-        roundtrip(
-            addr,
-            "POST",
-            "/v1/synth",
-            Some(&body(r#"{"frontend":"chisel","design":"rowcol"}"#)),
-        )
-    });
-    loop {
-        let depth = probe
-            .request("GET", "/v1/metrics", None)
-            .unwrap()
-            .body
-            .get("queue_depth")
-            .and_then(Json::as_u64)
-            .unwrap();
-        if depth >= 1 {
-            break;
-        }
-        std::thread::yield_now();
-    }
-    let r = probe
-        .request(
-            "POST",
-            "/v1/synth",
-            Some(&body(r#"{"frontend":"chisel","design":"initial"}"#)),
-        )
-        .unwrap();
-    assert_eq!(r.status, 429, "{}", r.body);
-    assert_eq!(r.header("retry-after"), Some("1"));
-    assert_eq!(
-        r.body
-            .get("error")
-            .and_then(|e| e.get("code"))
-            .and_then(Json::as_str),
-        Some("queue_full")
-    );
-    let slow_result = slow.join().unwrap().unwrap();
-    assert_eq!(slow_result.status, 200, "{}", slow_result.body);
-    let r = occupant.join().unwrap().unwrap();
-    assert_eq!(r.status, 200, "occupant: {}", r.body);
-    server.shutdown();
+    panic!("could not observe a full queue in 5 attempts");
 }
 
 /// Graceful drain: /v1/shutdown lets in-flight work finish, then refuses

@@ -1,0 +1,131 @@
+//! Streamed DSE over the persistent store: partial-sweep resume and
+//! whole-sweep warm start.
+//!
+//! This test binary is its own process, so it can point the
+//! process-global store at a scratch directory (the handle is opened
+//! once, lazily) before any measurement runs. The "killed sweep" is
+//! simulated the way it manifests on disk: some points' measurements are
+//! in the store, the rest are not. Re-issuing the streamed sweep must
+//! flag the stored points `cached`, answer them from disk, and only
+//! compute the remainder; a second server after an in-memory wipe must
+//! answer *everything* from the store without recomputing a single
+//! point.
+
+use hc_core::{cache, persist};
+use hc_serve::client::{roundtrip, Conn};
+use hc_serve::server::Options;
+use hc_serve::Json;
+
+fn body(text: &str) -> Json {
+    Json::parse(text).expect("test body is valid JSON")
+}
+
+fn server() -> hc_serve::Server {
+    hc_serve::start(&Options {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 3,
+        queue_cap: 16,
+        rps: None,
+    })
+    .expect("bind an ephemeral port")
+}
+
+#[test]
+fn streamed_sweep_resumes_from_the_store_without_recomputing() {
+    let dir = std::env::temp_dir().join(format!("hc-serve-stream-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut cfg = hc_obs::Config::from_env();
+    cfg.store_dir = Some(dir.to_string_lossy().into_owned());
+    hc_obs::config::set_override(cfg);
+    assert!(persist::store().is_some(), "store opens from the override");
+    let tier = persist::tier_counters();
+    let sweep = body(r#"{"tool":"maxj","nblocks":2,"stream":true}"#);
+
+    // Phase 1: a "sweep killed halfway" — one of MaxJ's two points has
+    // already been measured (and therefore persisted), the other has not.
+    let a = server();
+    let r = roundtrip(
+        a.addr(),
+        "POST",
+        "/v1/measure",
+        Some(&body(r#"{"frontend":"maxj","kernel":"row","nblocks":2}"#)),
+    )
+    .unwrap();
+    assert_eq!(r.status, 200, "{}", r.body);
+
+    // Resume: the streamed sweep flags the stored point and only
+    // computes the missing one.
+    let mut conn = Conn::open(a.addr()).unwrap();
+    let r = conn
+        .request_stream("POST", "/v1/dse", Some(&sweep))
+        .unwrap();
+    assert_eq!(r.status, 200);
+    assert!(r.complete);
+    let meta = r.events_of("meta");
+    assert_eq!(
+        meta[0].get("cached_points").and_then(Json::as_u64),
+        Some(1),
+        "the killed sweep left one point in the store: {}",
+        meta[0]
+    );
+    let points = r.events_of("point");
+    assert_eq!(points.len(), 2);
+    let cached_flags = points
+        .iter()
+        .filter(|p| p.get("cached").and_then(Json::as_bool) == Some(true))
+        .count();
+    assert_eq!(cached_flags, 1, "exactly the pre-measured point is cached");
+    assert_eq!(
+        r.events_of("done")[0].get("ok").and_then(Json::as_u64),
+        Some(2)
+    );
+    a.shutdown();
+
+    // Phase 2: "process restart" — wipe the in-memory tier, keep the
+    // disk. The whole sweep must now come from the store.
+    cache::clear();
+    let (_, misses_before) = cache::stats();
+    let measure_hits_before = tier.measure_hits.get();
+
+    let b = server();
+    let mut conn = Conn::open(b.addr()).unwrap();
+    let r = conn
+        .request_stream("POST", "/v1/dse", Some(&sweep))
+        .unwrap();
+    assert_eq!(r.status, 200);
+    assert!(r.complete);
+    assert_eq!(
+        r.events_of("meta")[0]
+            .get("cached_points")
+            .and_then(Json::as_u64),
+        Some(2),
+        "the finished sweep is fully persisted"
+    );
+    let points = r.events_of("point");
+    assert_eq!(points.len(), 2);
+    for p in &points {
+        assert_eq!(p.get("cached").and_then(Json::as_bool), Some(true), "{p}");
+        assert!(p
+            .get("measurement")
+            .and_then(|m| m.get("throughput_mops"))
+            .and_then(Json::as_f64)
+            .is_some_and(|t| t > 0.0));
+    }
+    let (_, misses_after) = cache::stats();
+    assert_eq!(
+        misses_after - misses_before,
+        0,
+        "warm sweep recomputes no front half"
+    );
+    assert_eq!(
+        tier.measure_hits.get() - measure_hits_before,
+        2,
+        "both points answered by stored measurements"
+    );
+    b.shutdown();
+
+    // The on-disk log survived two servers and a concurrent sweep.
+    let report = hc_store::Store::verify(&dir).unwrap();
+    assert!(report.ok(), "store verifies clean: {report:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,42 @@
+//! `storecheck <dir>` — offline integrity scan of a result store.
+//!
+//! Walks every segment in the directory, CRC-checking each record, and
+//! prints a one-line summary. Exit status is nonzero when any segment
+//! header or interior record is corrupt; a torn tail (the recoverable
+//! crash case — the next writable open truncates it) is reported but
+//! does not fail the check.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args_os().skip(1);
+    let (Some(dir), None) = (args.next(), args.next()) else {
+        eprintln!("usage: storecheck <store-dir>");
+        return ExitCode::from(2);
+    };
+    let dir = PathBuf::from(dir);
+    let report = match hc_store::Store::verify(&dir) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("storecheck: cannot scan {}: {e}", dir.display());
+            return ExitCode::from(2);
+        }
+    };
+    println!(
+        "storecheck {}: {} segments, {} records, {} bytes, {} bad headers, {} corrupt records, {} torn tail bytes",
+        dir.display(),
+        report.segments,
+        report.records,
+        report.bytes,
+        report.bad_headers,
+        report.corrupt_records,
+        report.torn_tail_bytes,
+    );
+    if report.ok() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("storecheck: FAILED — corruption detected");
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,43 @@
+//! Persistent content-addressed result store.
+//!
+//! The in-process front-half cache (`hc_core::cache`) dies with the
+//! process: every `hc-serve` restart and every fresh `perfsnap` run
+//! re-pays the whole optimize + synthesize + measure cost for netlists it
+//! has already seen. This crate is the second tier underneath it — a
+//! zero-dependency, CRC-checked, append-only log store on disk, keyed by
+//! the same structural content hashes, so a second run on the same
+//! machine warm-starts instead of recomputing.
+//!
+//! Layout on disk (`HC_STORE_DIR`):
+//!
+//! ```text
+//! <dir>/LOCK             single-writer lock file (holder's pid)
+//! <dir>/seg-000000.hcs   append-only segment: header + records
+//! <dir>/seg-000001.hcs   ...
+//! ```
+//!
+//! Each segment starts with an 8-byte header (`HCST` magic + format
+//! version) and holds a sequence of records:
+//!
+//! ```text
+//! u32 len | u32 crc32 | u8 kind | u16 key_len | key bytes | value bytes
+//! ```
+//!
+//! `len` covers everything after the crc; the CRC is over the same
+//! region, so a torn write (power loss mid-append) is detected on open
+//! and the tail is truncated back to the last intact record. A pid lock
+//! file keeps writers single; a process that finds a *live* holder opens
+//! the store read-only (gets are served, puts are dropped) instead of
+//! corrupting the log. When logical deletions (cap evictions, supersedes)
+//! push the live ratio down, a background compaction rewrites the live
+//! records into fresh segments and drops the old files.
+//!
+//! The [`codec`] module provides the binary encodings for the artifact
+//! types stored here (modules, synthesis reports); [`encode`] has the
+//! raw primitives they are built from.
+
+pub mod codec;
+pub mod encode;
+mod log;
+
+pub use log::{crc32, Store, StoreOptions, StoreStats, VerifyReport, STORE_VERSION};

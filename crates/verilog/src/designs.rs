@@ -135,4 +135,18 @@ mod tests {
         assert_eq!(line_diff("a;\nb;", "a;\nc;\nd;"), 3); // -b +c +d
         assert_eq!(line_diff("x;", "x;"), 0);
     }
+
+    /// Elaboration must be a pure function of the source: every fresh
+    /// elaboration uses fresh (randomly seeded) HashMaps, so any
+    /// iteration-order dependence in node/register creation shows up as
+    /// a differing content hash here — and would defeat the persistent
+    /// store's cross-process warm start.
+    #[test]
+    fn elaboration_is_deterministic_across_runs() {
+        for build in [initial_design, opt_row8col, opt_rowcol] {
+            let h1 = hc_rtl::hash::content_hash(&build().unwrap());
+            let h2 = hc_rtl::hash::content_hash(&build().unwrap());
+            assert_eq!(h1, h2, "elaboration hash is unstable");
+        }
+    }
 }

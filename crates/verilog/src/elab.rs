@@ -9,7 +9,10 @@ use crate::ast::*;
 use crate::error::VerilogError;
 use hc_bits::Bits;
 use hc_rtl::{BinaryOp, Module, NodeId, RegId, UnaryOp};
-use std::collections::{HashMap, HashSet};
+// Ordered maps throughout: node/register creation order follows map
+// iteration in several places, and the module's structural content hash
+// (the persistent store's key) must not vary with a randomized seed.
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Elaborates `top` (and everything it instantiates) into a flat module.
 ///
@@ -26,8 +29,8 @@ pub fn elaborate(design: &Design, top: &str) -> Result<Module, VerilogError> {
     let mut m = Module::new(top);
 
     // Top-level input ports become module inputs.
-    let params = resolve_params(design, vmod, &HashMap::new())?;
-    let mut bindings = HashMap::new();
+    let params = resolve_params(design, vmod, &BTreeMap::new())?;
+    let mut bindings = BTreeMap::new();
     for port in &vmod.ports {
         if port.dir == Dir::Input {
             if port.name == "clk" {
@@ -56,9 +59,9 @@ pub fn elaborate(design: &Design, top: &str) -> Result<Module, VerilogError> {
 fn resolve_params(
     _design: &Design,
     vmod: &VModule,
-    overrides: &HashMap<String, i64>,
-) -> Result<HashMap<String, i64>, VerilogError> {
-    let mut params = HashMap::new();
+    overrides: &BTreeMap<String, i64>,
+) -> Result<BTreeMap<String, i64>, VerilogError> {
+    let mut params = BTreeMap::new();
     for (name, default) in &vmod.params {
         let value = match overrides.get(name) {
             Some(&v) => v,
@@ -70,7 +73,7 @@ fn resolve_params(
 }
 
 fn range_width(
-    params: &HashMap<String, i64>,
+    params: &BTreeMap<String, i64>,
     range: &Option<(Expr, Expr)>,
 ) -> Result<u32, VerilogError> {
     match range {
@@ -89,7 +92,7 @@ fn range_width(
 }
 
 /// Constant-folds an expression over parameter values only.
-pub(crate) fn const_eval(params: &HashMap<String, i64>, expr: &Expr) -> Result<i64, VerilogError> {
+pub(crate) fn const_eval(params: &BTreeMap<String, i64>, expr: &Expr) -> Result<i64, VerilogError> {
     Ok(match expr {
         Expr::Literal { value, .. } => *value,
         Expr::Ident(name) => *params
@@ -142,44 +145,44 @@ struct ModCtx<'a, 'm> {
     vmod: &'a VModule,
     m: &'m mut Module,
     prefix: String,
-    params: HashMap<String, i64>,
-    widths: HashMap<String, u32>,
-    drivers: HashMap<String, Driver<'a>>,
-    regs: HashMap<String, (RegId, NodeId)>,
-    values: HashMap<String, NodeId>,
-    in_progress: HashSet<String>,
+    params: BTreeMap<String, i64>,
+    widths: BTreeMap<String, u32>,
+    drivers: BTreeMap<String, Driver<'a>>,
+    regs: BTreeMap<String, (RegId, NodeId)>,
+    values: BTreeMap<String, NodeId>,
+    in_progress: BTreeSet<String>,
     /// Instance output maps, memoized by item index.
-    inst_outputs: HashMap<usize, HashMap<String, NodeId>>,
+    inst_outputs: BTreeMap<usize, BTreeMap<String, NodeId>>,
 }
 
 /// Elaborates one module instance; returns its output-port values.
 fn elaborate_module(
     design: &Design,
     vmod: &VModule,
-    params: HashMap<String, i64>,
-    input_bindings: HashMap<String, NodeId>,
+    params: BTreeMap<String, i64>,
+    input_bindings: BTreeMap<String, NodeId>,
     prefix: String,
     m: &mut Module,
-) -> Result<HashMap<String, NodeId>, VerilogError> {
+) -> Result<BTreeMap<String, NodeId>, VerilogError> {
     let mut ctx = ModCtx {
         design,
         vmod,
         m,
         prefix,
         params,
-        widths: HashMap::new(),
-        drivers: HashMap::new(),
-        regs: HashMap::new(),
-        values: HashMap::new(),
-        in_progress: HashSet::new(),
-        inst_outputs: HashMap::new(),
+        widths: BTreeMap::new(),
+        drivers: BTreeMap::new(),
+        regs: BTreeMap::new(),
+        values: BTreeMap::new(),
+        in_progress: BTreeSet::new(),
+        inst_outputs: BTreeMap::new(),
     };
     ctx.collect_nets()?;
     ctx.collect_drivers(&input_bindings)?;
     ctx.create_regs()?;
 
     // Demand every output port.
-    let mut outputs = HashMap::new();
+    let mut outputs = BTreeMap::new();
     for port in &vmod.ports {
         if port.dir == Dir::Output {
             outputs.insert(port.name.clone(), ctx.net_value(&port.name)?);
@@ -234,7 +237,7 @@ impl<'a, 'm> ModCtx<'a, 'm> {
 
     fn collect_drivers(
         &mut self,
-        input_bindings: &HashMap<String, NodeId>,
+        input_bindings: &BTreeMap<String, NodeId>,
     ) -> Result<(), VerilogError> {
         for port in &self.vmod.ports {
             if port.dir == Dir::Input && port.name != "clk" {
@@ -382,13 +385,13 @@ impl<'a, 'm> ModCtx<'a, 'm> {
         collect_assigned(body, &mut assigned);
         // Read-before-write in a comb block yields zero (subset rule; no
         // latches).
-        let mut env = HashMap::new();
+        let mut env = BTreeMap::new();
         for net in &assigned {
             let w = self.widths[net];
             env.insert(net.clone(), self.m.constant(Bits::zero(w)));
         }
         let body = body.clone();
-        let no_reads = HashMap::new();
+        let no_reads = BTreeMap::new();
         self.exec_stmt(&body, &mut env, &no_reads)?;
         for net in assigned {
             let w = self.widths[&net];
@@ -417,13 +420,13 @@ impl<'a, 'm> ModCtx<'a, 'm> {
             .design
             .module(module)
             .ok_or_else(|| VerilogError::at(*line, format!("unknown module {module:?}")))?;
-        let mut overrides = HashMap::new();
+        let mut overrides = BTreeMap::new();
         for (pname, pexpr) in params {
             overrides.insert(pname.clone(), const_eval(&self.params, pexpr)?);
         }
         let sub_params = resolve_params(self.design, sub, &overrides)?;
 
-        let mut bindings = HashMap::new();
+        let mut bindings = BTreeMap::new();
         for (port, expr) in connections {
             let decl = sub
                 .ports
@@ -470,7 +473,7 @@ impl<'a, 'm> ModCtx<'a, 'm> {
             let body = body.clone();
             let mut assigned = Vec::new();
             collect_assigned(&body, &mut assigned);
-            let mut env = HashMap::new();
+            let mut env = BTreeMap::new();
             for net in &assigned {
                 env.insert(net.clone(), self.regs[net].1);
             }
@@ -491,8 +494,8 @@ impl<'a, 'm> ModCtx<'a, 'm> {
     fn exec_stmt(
         &mut self,
         stmt: &Stmt,
-        env: &mut HashMap<String, NodeId>,
-        reads: &HashMap<String, NodeId>,
+        env: &mut BTreeMap<String, NodeId>,
+        reads: &BTreeMap<String, NodeId>,
     ) -> Result<(), VerilogError> {
         match stmt {
             Stmt::Block(stmts) => {
@@ -563,8 +566,8 @@ impl<'a, 'm> ModCtx<'a, 'm> {
     fn expr_with_reads(
         &mut self,
         expr: &Expr,
-        env: &HashMap<String, NodeId>,
-        reads: &HashMap<String, NodeId>,
+        env: &BTreeMap<String, NodeId>,
+        reads: &BTreeMap<String, NodeId>,
     ) -> Result<NodeId, VerilogError> {
         if reads.is_empty() {
             return self.expr_in_env(expr, env);
@@ -578,14 +581,14 @@ impl<'a, 'm> ModCtx<'a, 'm> {
     }
 
     fn expr(&mut self, expr: &Expr) -> Result<NodeId, VerilogError> {
-        let empty = HashMap::new();
+        let empty = BTreeMap::new();
         self.expr_in_env(expr, &empty)
     }
 
     fn expr_in_env(
         &mut self,
         expr: &Expr,
-        env: &HashMap<String, NodeId>,
+        env: &BTreeMap<String, NodeId>,
     ) -> Result<NodeId, VerilogError> {
         Ok(match expr {
             Expr::Literal { value, width } => {
@@ -679,7 +682,7 @@ impl<'a, 'm> ModCtx<'a, 'm> {
     fn name_value(
         &mut self,
         name: &str,
-        env: &HashMap<String, NodeId>,
+        env: &BTreeMap<String, NodeId>,
     ) -> Result<NodeId, VerilogError> {
         if let Some(&v) = env.get(name) {
             Ok(v)
@@ -808,9 +811,9 @@ fn truthy(m: &mut Module, v: NodeId) -> NodeId {
 fn merge_env(
     m: &mut Module,
     cond: NodeId,
-    then_env: &HashMap<String, NodeId>,
-    else_env: &HashMap<String, NodeId>,
-    out: &mut HashMap<String, NodeId>,
+    then_env: &BTreeMap<String, NodeId>,
+    else_env: &BTreeMap<String, NodeId>,
+    out: &mut BTreeMap<String, NodeId>,
 ) {
     for (name, &tv) in then_env {
         let ev = else_env.get(name).copied().unwrap_or(tv);

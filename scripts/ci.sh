@@ -152,4 +152,68 @@ awk -v ncpu="$(nproc 2>/dev/null || echo 1)" '
   }
 ' BENCH_sim.json
 
+echo "== persistent store warm start (perfsnap A/B against a shared HC_STORE_DIR)"
+# Two processes sharing one store directory: the cold run fills it, the
+# warm run must answer nearly the whole fig. 1 front-half sweep from disk.
+# The canonical BENCH_sim.json stays the store-less run recorded above.
+store_dir="$(mktemp -d)"
+cp BENCH_sim.json BENCH_sim_prestore.json
+HC_STORE_DIR="$store_dir" HC_THREADS=2 ./target/release/perfsnap >/dev/null
+cold_first="$(awk -F'[:,]' '/"fig1_first_sweep_seconds"/ { print $2 + 0 }' BENCH_sim.json)"
+HC_STORE_DIR="$store_dir" HC_THREADS=2 ./target/release/perfsnap >/dev/null
+warm_first="$(awk -F'[:,]' '/"fig1_first_sweep_seconds"/ { print $2 + 0 }' BENCH_sim.json)"
+warm_rate="$(awk -F'[:,]' '/"store_front_hit_rate"/ { print $2 + 0 }' BENCH_sim.json)"
+mv BENCH_sim_prestore.json BENCH_sim.json
+./target/release/storecheck "$store_dir"
+awk -v cold="$cold_first" -v warm="$warm_first" -v rate="$warm_rate" 'BEGIN {
+  if (cold + 0 <= 0 || warm + 0 <= 0) {
+    print "fig1_first_sweep_seconds missing from a perfsnap run"; exit 1
+  }
+  if (rate < 0.95) {
+    printf "warm front-half hit rate too low: %.4f (need >= 0.95)\n", rate; exit 1
+  }
+  if (warm > 0.5 * cold) {
+    printf "warm first sweep too slow: %.3fs vs %.3fs cold (need <= 0.5x)\n", warm, cold
+    exit 1
+  }
+  printf "warm start OK: first sweep %.3fs -> %.3fs (%.2fx), front hit rate %.4f\n", \
+    cold, warm, cold / warm, rate
+}'
+rm -rf "$store_dir"
+
+echo "== hc-serve persistent store A/B (cold vs warm across two processes)"
+# Same shape as the warm-start gate, through the HTTP service: the warm
+# server process must answer the cold process's deterministic cold-module
+# synths and sweep measurements from the shared store, and the store must
+# still pass a CRC sweep after concurrent writes.
+serve_store="$(mktemp -d)"
+HC_SERVE_THREADS=4 HC_STORE_DIR="$serve_store" ./target/release/loadgen \
+  --clients 16 --requests 4 --key serve_store_cold --skip-stress
+HC_SERVE_THREADS=4 HC_STORE_DIR="$serve_store" ./target/release/loadgen \
+  --clients 16 --requests 4 --key serve_store_warm --skip-stress
+./target/release/storecheck "$serve_store"
+rm -rf "$serve_store"
+awk '
+  /^  "serve_store_cold": \{/ { section = "cold" }
+  /^  "serve_store_warm": \{/ { section = "warm" }
+  section == "cold" {
+    if (/"errors"/)        { split($0, v, /[:,]/); cold_err = v[2] + 0 }
+    if (/"store_enabled"/) { seen_cold = 1 }
+  }
+  section == "warm" {
+    if (/"errors"/)           { split($0, v, /[:,]/); warm_err = v[2] + 0 }
+    if (/"store_enabled"/)    { enabled = ($0 ~ /true/); seen_warm = 1 }
+    if (/"store_hits"/)       { split($0, v, /[:,]/); shits = v[2] + 0 }
+    if (/"store_front_hits"/) { split($0, v, /[:,]/); sfront = v[2] + 0 }
+  }
+  END {
+    if (!seen_cold || !seen_warm) { print "serve_store_cold/warm missing from BENCH_sim.json"; exit 1 }
+    if (cold_err + warm_err != 0) { print "store A/B clients saw errors: " cold_err "+" warm_err; exit 1 }
+    if (!enabled) { print "warm loadgen ran without the store enabled"; exit 1 }
+    if (shits + sfront < 1) { print "warm server never hit the persistent store"; exit 1 }
+    printf "serve store A/B OK: warm run answered %d lookups from the store (%d front records)\n", \
+      shits, sfront
+  }
+' BENCH_sim.json
+
 echo "CI OK"
