@@ -3,12 +3,15 @@
 //!
 //! [`BatchedStreamHarness`] is the throughput counterpart of
 //! [`StreamHarness`](crate::StreamHarness): it instantiates the wrapper
-//! once on a [`BatchedSimulator`] with `L` lanes and streams an
+//! once on a [`NativeBatchedSimulator`] with `L` lanes and streams an
 //! independent back-to-back matrix sequence down each lane, so the
 //! instruction-dispatch cost of the compiled tape is amortized over all
-//! lanes. Lanes that drain their sequence early are masked out of the
-//! clock (their cycle counters freeze at completion, preserving the
-//! per-stream timing figures).
+//! lanes — and, on AVX2 hosts, each combinational cone runs as JIT-emitted
+//! vector code over the lane store (four lanes per 256-bit register),
+//! falling back to the interpreted batched engine elsewhere or under
+//! `HC_NO_NATIVE_BATCHED=1`. Lanes that drain their sequence early are
+//! masked out of the clock (their cycle counters freeze at completion,
+//! preserving the per-stream timing figures).
 //!
 //! # Fidelity
 //!
@@ -36,7 +39,7 @@ use crate::harness::{pack_elems, unpack_elems, StreamTiming};
 use crate::ProtocolError;
 use hc_bits::Bits;
 use hc_rtl::{Module, ValidateError};
-use hc_sim::{BatchedSimulator, EngineOptions};
+use hc_sim::{EngineOptions, NativeBatchedSimulator};
 use std::collections::VecDeque;
 
 /// How many lanes to use for a run of `nblocks` independent matrices.
@@ -70,7 +73,7 @@ struct LaneChecker {
 /// `m_axis_*`), like [`StreamHarness`](crate::StreamHarness).
 #[derive(Debug)]
 pub struct BatchedStreamHarness {
-    sim: BatchedSimulator,
+    sim: NativeBatchedSimulator,
     in_elem_width: u32,
     out_elem_width: u32,
     /// Protocol violations observed during runs, tagged `(lane, error)`.
@@ -109,7 +112,8 @@ impl BatchedStreamHarness {
         in_elem_width: u32,
         out_elem_width: u32,
     ) -> Result<Self, ValidateError> {
-        let mut sim = BatchedSimulator::with_options(module, lanes, EngineOptions::default())?;
+        let mut sim =
+            NativeBatchedSimulator::with_options(module, lanes, EngineOptions::default())?;
         sim.set_all_u64("rst", 1);
         sim.set_all_u64("s_axis_tvalid", 0);
         sim.set_all_u64("m_axis_tready", 0);
@@ -128,8 +132,8 @@ impl BatchedStreamHarness {
         self.sim.lanes()
     }
 
-    /// Access to the simulator (e.g. for probing).
-    pub fn simulator_mut(&mut self) -> &mut BatchedSimulator {
+    /// Access to the simulator (e.g. for probing or tier reports).
+    pub fn simulator_mut(&mut self) -> &mut NativeBatchedSimulator {
         &mut self.sim
     }
 

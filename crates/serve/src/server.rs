@@ -533,6 +533,16 @@ fn stream_dse<W: Write>(
         vec![false; total]
     });
     let cached_points = cached.iter().filter(|c| **c).count();
+    // Skip-ahead ordering: store misses go to the workers as their own
+    // batch ahead of the hits, so a resumed sweep streams every fresh
+    // measurement before the near-instant store answers fill in. Two
+    // batches (not a sorted single batch) because the pool pops its own
+    // deque LIFO but steals FIFO — no single ordering survives both.
+    // Every event still carries the point's original sweep index.
+    let (fresh, warm): (Vec<(usize, _)>, Vec<(usize, _)>) = points
+        .into_iter()
+        .enumerate()
+        .partition(|&(i, _)| !cached[i]);
 
     let (tx, rx) = mpsc::channel::<StreamEvent>();
     let tx = Arc::new(Mutex::new(tx));
@@ -542,7 +552,14 @@ fn stream_dse<W: Write>(
         let span = obs::span("serve.dse.stream").with("tool", format!("{tool:?}"));
         let point_tx = Arc::clone(&job_tx);
         let point_cached = Arc::clone(&job_cached);
-        let measured = worker.scatter(points, move |d, i| {
+        type PointFn = dyn Fn(
+                &(usize, hc_core::entries::Design),
+                usize,
+            ) -> (usize, Result<hc_core::measure::Measurement, String>)
+            + Send
+            + Sync;
+        let measure: Arc<PointFn> = Arc::new(move |(i, d), _| {
+            let i = *i;
             let result = try_measure(d, n);
             let event = match &result {
                 Ok(m) => jobj! {
@@ -562,13 +579,17 @@ fn stream_dse<W: Write>(
                 .lock()
                 .unwrap_or_else(PoisonError::into_inner)
                 .send(StreamEvent::Point(event));
-            result
+            (i, result)
         });
+        let f1 = Arc::clone(&measure);
+        let mut measured = worker.scatter(fresh, move |p, j| f1(p, j));
+        let f2 = Arc::clone(&measure);
+        measured.extend(worker.scatter(warm, move |p, j| f2(p, j)));
         drop(span);
         let mut ok = Vec::new();
         let mut orig = Vec::new();
         let mut failed = 0usize;
-        for (i, r) in measured.into_iter().enumerate() {
+        for (i, r) in measured {
             match r {
                 Ok(m) => {
                     ok.push(m);

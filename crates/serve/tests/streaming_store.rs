@@ -43,12 +43,17 @@ fn streamed_sweep_resumes_from_the_store_without_recomputing() {
 
     // Phase 1: a "sweep killed halfway" — one of MaxJ's two points has
     // already been measured (and therefore persisted), the other has not.
+    // Deliberately the sweep's FIRST point (matrix), so the emission-order
+    // assertion below can only pass if the resumed sweep actually
+    // reorders: in sweep order the store answer would stream first.
     let a = server();
     let r = roundtrip(
         a.addr(),
         "POST",
         "/v1/measure",
-        Some(&body(r#"{"frontend":"maxj","kernel":"row","nblocks":2}"#)),
+        Some(&body(
+            r#"{"frontend":"maxj","kernel":"matrix","nblocks":2}"#,
+        )),
     )
     .unwrap();
     assert_eq!(r.status, 200, "{}", r.body);
@@ -75,6 +80,22 @@ fn streamed_sweep_resumes_from_the_store_without_recomputing() {
         .filter(|p| p.get("cached").and_then(Json::as_bool) == Some(true))
         .count();
     assert_eq!(cached_flags, 1, "exactly the pre-measured point is cached");
+    // Skip-ahead ordering: the resumed sweep schedules store misses as a
+    // batch ahead of store hits, so the freshly computed point streams
+    // first and the store answer fills in behind it — regardless of the
+    // points' sweep order.
+    assert_eq!(
+        points[0].get("cached").and_then(Json::as_bool),
+        Some(false),
+        "the fresh measurement must stream before the store answer: {}",
+        points[0]
+    );
+    assert_eq!(
+        points[1].get("cached").and_then(Json::as_bool),
+        Some(true),
+        "the store answer streams after every fresh point: {}",
+        points[1]
+    );
     assert_eq!(
         r.events_of("done")[0].get("ok").and_then(Json::as_u64),
         Some(2)

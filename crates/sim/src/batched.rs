@@ -166,6 +166,61 @@ fn wdeposit_n(dst: &mut [u64], src: &[u64], l: usize, off: u32, width: u32) {
     }
 }
 
+/// The narrow SoA lane store, with the two layout guarantees the vector
+/// JIT (see [`crate::NativeBatchedSimulator`]) compiles against:
+///
+/// * the first element sits on a **32-byte boundary**, so any lane group
+///   whose displacement is a multiple of 32 may use aligned vector loads
+///   and stores, and
+/// * at least four padding words follow the live data, so a ragged-tail
+///   lane group may read a full 256-bit vector past the end. The padding
+///   is never *written* — tail stores are masked to the live lanes.
+///
+/// Everything else treats it as the `Vec<u64>` it replaced, via `Deref`.
+#[derive(Debug)]
+pub(crate) struct LaneStore {
+    buf: Vec<u64>,
+    off: usize,
+    len: usize,
+}
+
+impl LaneStore {
+    /// Words of padding readable past the live end.
+    const PAD: usize = 4;
+
+    fn from_vec(data: Vec<u64>) -> LaneStore {
+        // Over-allocate by the worst-case alignment slack (three words)
+        // plus the tail padding, then shift the live range up to the
+        // first 32-byte boundary. `align_offset` takes the byte alignment
+        // but returns a count in elements, so it is already in 0..=3.
+        let len = data.len();
+        let buf = vec![0u64; len + Self::PAD + 3];
+        let off = buf.as_ptr().align_offset(32);
+        let mut store = LaneStore { buf, off, len };
+        store[..len].copy_from_slice(&data);
+        store
+    }
+
+    /// The aligned base pointer the JIT entry receives. Takes `&mut`
+    /// because the generated code writes through it.
+    pub(crate) fn jit_ptr(&mut self) -> *mut u64 {
+        unsafe { self.buf.as_mut_ptr().add(self.off) }
+    }
+}
+
+impl std::ops::Deref for LaneStore {
+    type Target = [u64];
+    fn deref(&self) -> &[u64] {
+        &self.buf[self.off..self.off + self.len]
+    }
+}
+
+impl std::ops::DerefMut for LaneStore {
+    fn deref_mut(&mut self) -> &mut [u64] {
+        &mut self.buf[self.off..self.off + self.len]
+    }
+}
+
 /// A pre-resolved input-port handle: name and width checks are paid once in
 /// [`BatchedSimulator::in_port`], so per-lane per-cycle harness loops can
 /// drive ports without a string lookup per call.
@@ -193,18 +248,18 @@ pub struct OutPort {
 /// instruction tape, never values.
 #[derive(Debug)]
 pub struct BatchedSimulator {
-    low: Lowered,
+    pub(crate) low: Lowered,
     lanes: usize,
     /// `slot * lanes + lane`.
-    narrow: Vec<u64>,
+    pub(crate) narrow: LaneStore,
     /// Flat wide store: slot `s` at `wbase[s] + word*lanes + lane`.
-    wide: Vec<u64>,
+    pub(crate) wide: LaneStore,
     /// Word offset (already × lanes) of each wide slot in `wide`.
-    wbase: Vec<usize>,
+    pub(crate) wbase: Vec<usize>,
     /// Storage words per wide slot.
-    wwords: Vec<usize>,
+    pub(crate) wwords: Vec<usize>,
     /// Bit width of each wide slot.
-    wwidth: Vec<u32>,
+    pub(crate) wwidth: Vec<u32>,
     nmems: Vec<BNMem>,
     wmems: Vec<BWMem>,
     /// `reg * lanes + lane` — double-buffer for the commit.
@@ -216,23 +271,23 @@ pub struct BatchedSimulator {
     wreg_init_words: Vec<u64>,
     wreg_init_off: Vec<usize>,
     active: Vec<bool>,
-    cycles: Vec<u64>,
-    evaluated: bool,
+    pub(crate) cycles: Vec<u64>,
+    pub(crate) evaluated: bool,
     /// One dirty bit per tape segment (see [`crate::tapeopt`]); a clean
     /// segment's instructions are skipped on [`eval`](Self::eval).
-    dirty: Vec<bool>,
+    pub(crate) dirty: Vec<bool>,
     /// Running count of segment evaluations skipped by activity gating.
-    cones_skipped: u64,
+    pub(crate) cones_skipped: u64,
     /// Execution histograms, allocated iff `HC_PROFILE` was on at
     /// construction (see `crate::profile`). Opcode counts are per tape
     /// replay, not per lane. Both lane tiers (scalar and AVX2) dispatch
     /// per tape instruction, so the re-walk attribution stays accurate —
     /// only cones that run as JIT machine code (see
     /// [`crate::NativeSimulator`]) need the separate `native` bucket.
-    prof: Option<Box<crate::profile::ProfileState>>,
+    pub(crate) prof: Option<Box<crate::profile::ProfileState>>,
     /// Use the explicit AVX2 lane kernels (see `crate::simd`): x86-64 with
-    /// AVX2 detected, lane count a multiple of four, and `HC_NO_NATIVE`
-    /// unset at construction.
+    /// AVX2 detected at runtime, lane count a multiple of four, and
+    /// `HC_NO_SIMD` unset at construction.
     simd: bool,
 }
 
@@ -315,6 +370,7 @@ impl BatchedSimulator {
         for &v in &low.narrow_init {
             narrow.extend(std::iter::repeat_n(v, lanes));
         }
+        let narrow = LaneStore::from_vec(narrow);
         let mut wbase = Vec::with_capacity(low.wide_init.len());
         let mut wwords = Vec::with_capacity(low.wide_init.len());
         let mut wwidth = Vec::with_capacity(low.wide_init.len());
@@ -343,6 +399,7 @@ impl BatchedSimulator {
                 depth,
             })
             .collect();
+        let wide = LaneStore::from_vec(wide);
         let wmems = low
             .wmem_dims
             .iter()
@@ -371,7 +428,7 @@ impl BatchedSimulator {
         let prof = crate::profile::ProfileState::from_config(&low);
         #[cfg(target_arch = "x86_64")]
         let simd =
-            lanes.is_multiple_of(4) && !hc_obs::config().no_native && crate::simd::avx2_available();
+            lanes.is_multiple_of(4) && !hc_obs::config().no_simd && crate::simd::avx2_available();
         #[cfg(not(target_arch = "x86_64"))]
         let simd = false;
         Ok(BatchedSimulator {
@@ -769,7 +826,7 @@ impl BatchedSimulator {
     /// and vectorizes them outright instead of emitting runtime-length
     /// loop preambles — that preamble is pure dispatch overhead and
     /// dominates the evaluation cost at moderate lane counts.
-    fn eval_range(&mut self, start: usize, end: usize) {
+    pub(crate) fn eval_range(&mut self, start: usize, end: usize) {
         match self.lanes {
             1 => self.eval_tape::<1>(start, end),
             2 => self.eval_tape::<2>(start, end),
@@ -1275,23 +1332,64 @@ impl BatchedSimulator {
         let l = self.lanes;
         let gate = self.low.gate;
         let mut state_changed = false;
+        let all_active = self.active.iter().all(|&a| a);
         // Phase 1: gather next values while every register slot still holds
-        // its pre-edge value (registers may feed each other).
-        for (ri, p) in self.low.nregs.iter().enumerate() {
-            for lane in 0..l {
-                if !self.active[lane] {
-                    continue;
+        // its pre-edge value (registers may feed each other). When every
+        // lane is active (the overwhelmingly common case) the per-lane
+        // reset/enable `Option` tests hoist out of the loop and each
+        // register row moves as a slice, which the compiler turns into
+        // straight vector code.
+        if all_active {
+            for (ri, p) in self.low.nregs.iter().enumerate() {
+                let sh = &mut self.nreg_shadow[ri * l..][..l];
+                let next = &self.narrow[p.next as usize * l..][..l];
+                let cur = &self.narrow[p.slot as usize * l..][..l];
+                match (p.reset, p.en) {
+                    (None, None) => sh.copy_from_slice(next),
+                    (None, Some(e)) => {
+                        let en = &self.narrow[e as usize * l..][..l];
+                        for k in 0..l {
+                            sh[k] = if en[k] != 0 { next[k] } else { cur[k] };
+                        }
+                    }
+                    (Some(r), None) => {
+                        let rst = &self.narrow[r as usize * l..][..l];
+                        for k in 0..l {
+                            sh[k] = if rst[k] != 0 { p.init } else { next[k] };
+                        }
+                    }
+                    (Some(r), Some(e)) => {
+                        let rst = &self.narrow[r as usize * l..][..l];
+                        let en = &self.narrow[e as usize * l..][..l];
+                        for k in 0..l {
+                            sh[k] = if rst[k] != 0 {
+                                p.init
+                            } else if en[k] != 0 {
+                                next[k]
+                            } else {
+                                cur[k]
+                            };
+                        }
+                    }
                 }
-                let reset = p
-                    .reset
-                    .is_some_and(|r| self.narrow[r as usize * l + lane] != 0);
-                self.nreg_shadow[ri * l + lane] = if reset {
-                    p.init
-                } else if p.en.is_none_or(|e| self.narrow[e as usize * l + lane] != 0) {
-                    self.narrow[p.next as usize * l + lane]
-                } else {
-                    self.narrow[p.slot as usize * l + lane]
-                };
+            }
+        } else {
+            for (ri, p) in self.low.nregs.iter().enumerate() {
+                for lane in 0..l {
+                    if !self.active[lane] {
+                        continue;
+                    }
+                    let reset = p
+                        .reset
+                        .is_some_and(|r| self.narrow[r as usize * l + lane] != 0);
+                    self.nreg_shadow[ri * l + lane] = if reset {
+                        p.init
+                    } else if p.en.is_none_or(|e| self.narrow[e as usize * l + lane] != 0) {
+                        self.narrow[p.next as usize * l + lane]
+                    } else {
+                        self.narrow[p.slot as usize * l + lane]
+                    };
+                }
             }
         }
         for (ri, p) in self.low.wregs.iter().enumerate() {
@@ -1300,6 +1398,59 @@ impl BatchedSimulator {
             let slot_b = self.wbase[p.slot as usize];
             let next_b = self.wbase[p.next as usize];
             let init_o = self.wreg_init_off[ri];
+            // Same hoisting for wide registers: the word-major, lane-minor
+            // layout makes a whole register row (`words * l`) contiguous.
+            if all_active {
+                match (p.reset, p.en) {
+                    (None, None) => {
+                        let (dst, src) = (sb, next_b);
+                        self.wreg_shadow[dst..dst + words * l]
+                            .copy_from_slice(&self.wide[src..src + words * l]);
+                    }
+                    (None, Some(e)) => {
+                        let en = &self.narrow[e as usize * l..][..l];
+                        for w in 0..words {
+                            let sh = &mut self.wreg_shadow[sb + w * l..][..l];
+                            let next = &self.wide[next_b + w * l..][..l];
+                            let cur = &self.wide[slot_b + w * l..][..l];
+                            for k in 0..l {
+                                sh[k] = if en[k] != 0 { next[k] } else { cur[k] };
+                            }
+                        }
+                    }
+                    (Some(r), None) => {
+                        let rst = &self.narrow[r as usize * l..][..l];
+                        for w in 0..words {
+                            let iw = self.wreg_init_words[init_o + w];
+                            let sh = &mut self.wreg_shadow[sb + w * l..][..l];
+                            let next = &self.wide[next_b + w * l..][..l];
+                            for k in 0..l {
+                                sh[k] = if rst[k] != 0 { iw } else { next[k] };
+                            }
+                        }
+                    }
+                    (Some(r), Some(e)) => {
+                        let rst = &self.narrow[r as usize * l..][..l];
+                        let en = &self.narrow[e as usize * l..][..l];
+                        for w in 0..words {
+                            let iw = self.wreg_init_words[init_o + w];
+                            let sh = &mut self.wreg_shadow[sb + w * l..][..l];
+                            let next = &self.wide[next_b + w * l..][..l];
+                            let cur = &self.wide[slot_b + w * l..][..l];
+                            for k in 0..l {
+                                sh[k] = if rst[k] != 0 {
+                                    iw
+                                } else if en[k] != 0 {
+                                    next[k]
+                                } else {
+                                    cur[k]
+                                };
+                            }
+                        }
+                    }
+                }
+                continue;
+            }
             for w in 0..words {
                 let iw = self.wreg_init_words[init_o + w];
                 for lane in 0..l {
@@ -1378,17 +1529,30 @@ impl BatchedSimulator {
                 }
             }
         }
-        // Phase 3: the simultaneous commit, active lanes only.
+        // Phase 3: the simultaneous commit, active lanes only. All-active
+        // rows compare and copy as contiguous slices.
         for (ri, p) in self.low.nregs.iter().enumerate() {
-            let mut changed = false;
-            for lane in 0..l {
-                if self.active[lane] {
-                    let v = self.nreg_shadow[ri * l + lane];
-                    if std::mem::replace(&mut self.narrow[p.slot as usize * l + lane], v) != v {
-                        changed = true;
+            let changed = if all_active {
+                let sh = &self.nreg_shadow[ri * l..][..l];
+                let row = &mut self.narrow[p.slot as usize * l..][..l];
+                if row == sh {
+                    false
+                } else {
+                    row.copy_from_slice(sh);
+                    true
+                }
+            } else {
+                let mut changed = false;
+                for lane in 0..l {
+                    if self.active[lane] {
+                        let v = self.nreg_shadow[ri * l + lane];
+                        if std::mem::replace(&mut self.narrow[p.slot as usize * l + lane], v) != v {
+                            changed = true;
+                        }
                     }
                 }
-            }
+                changed
+            };
             if changed {
                 state_changed = true;
                 if gate {
@@ -1402,17 +1566,29 @@ impl BatchedSimulator {
             let words = self.wwords[p.slot as usize];
             let sb = self.wreg_shadow_base[ri];
             let slot_b = self.wbase[p.slot as usize];
-            let mut changed = false;
-            for w in 0..words {
-                for lane in 0..l {
-                    if self.active[lane] {
-                        let v = self.wreg_shadow[sb + w * l + lane];
-                        if std::mem::replace(&mut self.wide[slot_b + w * l + lane], v) != v {
-                            changed = true;
+            let changed = if all_active {
+                let sh = &self.wreg_shadow[sb..sb + words * l];
+                let row = &mut self.wide[slot_b..slot_b + words * l];
+                if row == sh {
+                    false
+                } else {
+                    row.copy_from_slice(sh);
+                    true
+                }
+            } else {
+                let mut changed = false;
+                for w in 0..words {
+                    for lane in 0..l {
+                        if self.active[lane] {
+                            let v = self.wreg_shadow[sb + w * l + lane];
+                            if std::mem::replace(&mut self.wide[slot_b + w * l + lane], v) != v {
+                                changed = true;
+                            }
                         }
                     }
                 }
-            }
+                changed
+            };
             if changed {
                 state_changed = true;
                 if gate {

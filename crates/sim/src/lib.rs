@@ -33,7 +33,7 @@
 
 //! # Choosing a backend
 //!
-//! Four engines share identical observable semantics:
+//! Five engines share identical observable semantics:
 //!
 //! - [`Simulator`] interprets the node table directly, boxing every value
 //!   as [`hc_bits::Bits`]. It is the reference oracle: simple enough to
@@ -59,6 +59,15 @@
 //!   elsewhere (or under `HC_NO_NATIVE=1`) it degrades to exactly the
 //!   tape interpreter.
 //!
+//! - [`NativeBatchedSimulator`] fuses the last two tiers: each cone is
+//!   JIT-compiled into straight-line AVX2 vector code operating directly
+//!   on the batched engine's SoA lane store (four lanes per 256-bit
+//!   register, unrolled to the lane count, masked ragged tails), with
+//!   per-chunk fallback to the batched interpreter. Fastest multi-stream
+//!   engine on AVX2 hosts; elsewhere (or under `HC_NO_NATIVE=1` /
+//!   `HC_NO_NATIVE_BATCHED=1`) it degrades to exactly
+//!   [`BatchedSimulator`].
+//!
 //! All compiled engines run the **tape backend optimizer** by default
 //! (see [`TapeOptReport`]): superinstruction fusion, copy forwarding, tape
 //! dead-code elimination, live-range slot reallocation, and combinational
@@ -82,7 +91,7 @@ pub use backend::SimBackend;
 pub use batched::{BatchedSimulator, InPort, OutPort};
 pub use compiled::CompiledSimulator;
 pub use lower::EngineOptions;
-pub use native::{NativeReport, NativeSimulator};
+pub use native::{NativeBatchedReport, NativeBatchedSimulator, NativeReport, NativeSimulator};
 pub use probe::ProbeRecorder;
 pub use profile::ProfileReport;
 pub use simulator::Simulator;

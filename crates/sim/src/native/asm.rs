@@ -1,12 +1,21 @@
 //! A minimal in-memory x86-64 assembler.
 //!
-//! Covers exactly the instruction forms the per-cone code generator needs:
+//! Covers exactly the instruction forms the per-cone code generators need:
 //! 64-bit `mov`/`add`/`sub`/`imul`/`and`/`or`/`xor`/`shl`/`shr`/`sar`/
 //! `cmp`/`test`/`cmov`/`setcc`/`not`/`neg` with register, `[base+disp]`
 //! memory (the narrow store behind `rdi`, the flat wide-word store behind
-//! `rsi`), and immediate operands. No relocations, no jumps: every
-//! compiled run is straight-line code ending in `ret`, mirroring the
-//! branch-free structure of the instruction tape itself.
+//! `rsi`), and immediate operands for the scalar tier, plus the
+//! VEX-encoded AVX2 subset the vector (lane-batched) tier emits:
+//! `vmovdqu`/`vmovdqa` loads and stores, the bitwise/arithmetic ymm ops
+//! (`vpand[n]`/`vpor`/`vpxor`/`vpaddq`/`vpsubq`/`vpmuludq`), immediate and
+//! variable 64-bit shifts, quadword compares, byte blends, broadcasts and
+//! masked stores. The only relocation-like mechanism is the RIP-relative
+//! constant-pool load ([`Asm::vpbroadcastq_rip`]/[`Asm::vmovdqu_rip`]),
+//! whose `disp32` is patched by [`Asm::patch_disp32`] once the pool's
+//! final position is known. The only branch is the vector tier's backward
+//! `jnz` closing its lane-group loop ([`Asm::jnz_back`]); within a lane
+//! group every compiled run is straight-line code ending in `ret`,
+//! mirroring the branch-free structure of the instruction tape itself.
 
 /// General-purpose registers by hardware encoding. The code generator only
 /// hands out caller-saved registers, so compiled cones need no prologue.
@@ -27,6 +36,13 @@ pub(crate) enum Reg {
     R8 = 8,
     R9 = 9,
 }
+
+/// A 256-bit AVX register by hardware number (0–15). The vector code
+/// generator partitions them by convention: 0–5 and 14 scratch, 6–9 the
+/// per-chunk broadcast-constant cache, 13 the ragged-tail store mask,
+/// 10–12 and 15 the result bank.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct Ymm(pub u8);
 
 /// Condition codes as the low nibble of the `0F 9x`/`0F 4x` opcodes.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -331,8 +347,259 @@ impl Asm {
         self.modrm(0b11, dst as u8, src as u8);
     }
 
+    /// `add dst, imm8` (sign-extended `83 /0 ib`) — the lane-group loop's
+    /// base-pointer bump.
+    pub fn add_imm8(&mut self, dst: Reg, imm: i8) {
+        self.rex(true, 0, dst as u8);
+        self.buf.push(0x83);
+        self.modrm(0b11, 0, dst as u8);
+        self.buf.push(imm as u8);
+    }
+
+    /// `dec dst32` (`FF /1`, 32-bit) — the lane-group loop counter.
+    pub fn dec32(&mut self, dst: Reg) {
+        self.rex(false, 0, dst as u8);
+        self.buf.push(0xff);
+        self.modrm(0b11, 1, dst as u8);
+    }
+
+    /// `jnz target` as a backward rel32 (`0F 85 cd`); `target` must be a
+    /// position at or before the current end of the buffer.
+    pub fn jnz_back(&mut self, target: usize) {
+        debug_assert!(target <= self.buf.len());
+        self.buf.extend_from_slice(&[0x0f, 0x85]);
+        let next = self.buf.len() + 4;
+        self.buf
+            .extend_from_slice(&((target as i64 - next as i64) as i32).to_le_bytes());
+    }
+
     pub fn ret(&mut self) {
         self.buf.push(0xc3);
+    }
+
+    // ---- VEX-encoded AVX2 tier (vector code generator) ----
+
+    /// VEX prefix. `map` is the opcode map (1 = 0F, 2 = 0F38, 3 = 0F3A),
+    /// `reg`/`rm` the hardware numbers feeding the inverted R and B bits,
+    /// `vvvv` the (inverted-on-encode) second source, `pp` the implied
+    /// legacy prefix (0 = none, 1 = 66, 2 = F3, 3 = F2). Uses the compact
+    /// two-byte form whenever the three-byte fields it can't express (X
+    /// is never needed — no SIB/index addressing here) are all default.
+    #[allow(clippy::too_many_arguments)] // mirrors the VEX field list
+    fn vex(&mut self, map: u8, w: bool, vvvv: u8, l256: bool, pp: u8, reg: u8, rm: u8) {
+        let r_inv = ((reg >> 3) & 1) ^ 1;
+        let b_inv = ((rm >> 3) & 1) ^ 1;
+        if map == 1 && !w && b_inv == 1 {
+            self.buf.push(0xc5);
+            self.buf
+                .push(r_inv << 7 | (!vvvv & 0xf) << 3 | u8::from(l256) << 2 | pp);
+        } else {
+            self.buf.push(0xc4);
+            self.buf.push(r_inv << 7 | 0x40 | b_inv << 5 | map);
+            self.buf
+                .push(u8::from(w) << 7 | (!vvvv & 0xf) << 3 | u8::from(l256) << 2 | pp);
+        }
+    }
+
+    /// `vmovdqu dst, ymmword [base + disp]`
+    pub fn vmovdqu_load(&mut self, dst: Ymm, base: Reg, disp: i32) {
+        self.vex(1, false, 0, true, 2, dst.0, base as u8);
+        self.buf.push(0x6f);
+        self.mem(base, dst.0, disp);
+    }
+
+    /// `vmovdqu ymmword [base + disp], src`
+    pub fn vmovdqu_store(&mut self, base: Reg, disp: i32, src: Ymm) {
+        self.vex(1, false, 0, true, 2, src.0, base as u8);
+        self.buf.push(0x7f);
+        self.mem(base, src.0, disp);
+    }
+
+    /// `vmovdqa dst, ymmword [base + disp]` — 32-byte-aligned load.
+    pub fn vmovdqa_load(&mut self, dst: Ymm, base: Reg, disp: i32) {
+        self.vex(1, false, 0, true, 1, dst.0, base as u8);
+        self.buf.push(0x6f);
+        self.mem(base, dst.0, disp);
+    }
+
+    /// `vmovdqa ymmword [base + disp], src` — 32-byte-aligned store.
+    pub fn vmovdqa_store(&mut self, base: Reg, disp: i32, src: Ymm) {
+        self.vex(1, false, 0, true, 1, src.0, base as u8);
+        self.buf.push(0x7f);
+        self.mem(base, src.0, disp);
+    }
+
+    /// `vmovdqa dst, src` — ymm register move.
+    pub fn vmovdqa_rr(&mut self, dst: Ymm, src: Ymm) {
+        self.vex(1, false, 0, true, 1, dst.0, src.0);
+        self.buf.push(0x6f);
+        self.modrm(0b11, dst.0, src.0);
+    }
+
+    /// `vmovdqu dst, ymmword [rip + disp32]`; returns the position of the
+    /// `disp32` placeholder for [`Asm::patch_disp32`]. Used for the
+    /// non-uniform ragged-tail lane masks in the constant pool.
+    pub fn vmovdqu_rip(&mut self, dst: Ymm) -> usize {
+        self.vex(1, false, 0, true, 2, dst.0, 0);
+        self.buf.push(0x6f);
+        self.modrm(0b00, dst.0, 0b101);
+        let pos = self.buf.len();
+        self.buf.extend_from_slice(&[0; 4]);
+        pos
+    }
+
+    /// Legacy-map (0F) three-operand ymm op: `op dst, a, b`.
+    fn vop(&mut self, opcode: u8, dst: Ymm, a: Ymm, b: Ymm) {
+        self.vex(1, false, a.0, true, 1, dst.0, b.0);
+        self.buf.push(opcode);
+        self.modrm(0b11, dst.0, b.0);
+    }
+
+    /// `vpand dst, a, b`
+    pub fn vpand(&mut self, dst: Ymm, a: Ymm, b: Ymm) {
+        self.vop(0xdb, dst, a, b);
+    }
+    /// `vpandn dst, a, b` — `(!a) & b`.
+    pub fn vpandn(&mut self, dst: Ymm, a: Ymm, b: Ymm) {
+        self.vop(0xdf, dst, a, b);
+    }
+    /// `vpor dst, a, b`
+    pub fn vpor(&mut self, dst: Ymm, a: Ymm, b: Ymm) {
+        self.vop(0xeb, dst, a, b);
+    }
+    /// `vpxor dst, a, b`
+    pub fn vpxor(&mut self, dst: Ymm, a: Ymm, b: Ymm) {
+        self.vop(0xef, dst, a, b);
+    }
+    /// `vpaddq dst, a, b` — lane-wise 64-bit wrapping add.
+    pub fn vpaddq(&mut self, dst: Ymm, a: Ymm, b: Ymm) {
+        self.vop(0xd4, dst, a, b);
+    }
+    /// `vpsubq dst, a, b` — lane-wise 64-bit wrapping subtract.
+    pub fn vpsubq(&mut self, dst: Ymm, a: Ymm, b: Ymm) {
+        self.vop(0xfb, dst, a, b);
+    }
+    /// `vpmuludq dst, a, b` — unsigned 32×32→64 multiply of each lane's
+    /// low dword.
+    pub fn vpmuludq(&mut self, dst: Ymm, a: Ymm, b: Ymm) {
+        self.vop(0xf4, dst, a, b);
+    }
+
+    /// Immediate 64-bit lane shift (`66 0F 73 /ext ib`, NDD: the
+    /// destination rides in `vvvv`). Never elided — `dst` and `src` are
+    /// distinct registers, so a zero count still moves the value.
+    fn vshift_imm(&mut self, ext: u8, dst: Ymm, src: Ymm, amt: u32) {
+        debug_assert!(amt < 64);
+        self.vex(1, false, dst.0, true, 1, ext, src.0);
+        self.buf.push(0x73);
+        self.modrm(0b11, ext, src.0);
+        self.buf.push(amt as u8);
+    }
+
+    /// `vpsllq dst, src, amt`
+    pub fn vpsllq_imm(&mut self, dst: Ymm, src: Ymm, amt: u32) {
+        self.vshift_imm(6, dst, src, amt);
+    }
+    /// `vpsrlq dst, src, amt`
+    pub fn vpsrlq_imm(&mut self, dst: Ymm, src: Ymm, amt: u32) {
+        self.vshift_imm(2, dst, src, amt);
+    }
+
+    /// 0F38-map three-operand ymm op.
+    fn vop38(&mut self, opcode: u8, w: bool, dst: Ymm, a: Ymm, b: Ymm) {
+        self.vex(2, w, a.0, true, 1, dst.0, b.0);
+        self.buf.push(opcode);
+        self.modrm(0b11, dst.0, b.0);
+    }
+
+    /// `vpsllvq dst, a, b` — per-lane variable left shift (count ≥ 64 → 0).
+    pub fn vpsllvq(&mut self, dst: Ymm, a: Ymm, b: Ymm) {
+        self.vop38(0x47, true, dst, a, b);
+    }
+    /// `vpsrlvq dst, a, b` — per-lane variable logical right shift.
+    pub fn vpsrlvq(&mut self, dst: Ymm, a: Ymm, b: Ymm) {
+        self.vop38(0x45, true, dst, a, b);
+    }
+    /// `vpcmpeqq dst, a, b` — lane-wide all-ones/zero equality mask.
+    pub fn vpcmpeqq(&mut self, dst: Ymm, a: Ymm, b: Ymm) {
+        self.vop38(0x29, false, dst, a, b);
+    }
+    /// `vpcmpgtq dst, a, b` — signed greater-than mask.
+    pub fn vpcmpgtq(&mut self, dst: Ymm, a: Ymm, b: Ymm) {
+        self.vop38(0x37, false, dst, a, b);
+    }
+
+    /// `vpblendvb dst, a, b, mask` — byte-wise `mask ? b : a` (the mask
+    /// register is carried in the immediate's high nibble).
+    pub fn vpblendvb(&mut self, dst: Ymm, a: Ymm, b: Ymm, mask: Ymm) {
+        self.vex(3, false, a.0, true, 1, dst.0, b.0);
+        self.buf.push(0x4c);
+        self.modrm(0b11, dst.0, b.0);
+        self.buf.push(mask.0 << 4);
+    }
+
+    /// `vpbroadcastq dst, src` (low quadword of `src`). Unused by the
+    /// current codegen (constants broadcast straight from the pool) but
+    /// kept, encoding-tested, for completeness of the AVX2 surface.
+    #[allow(dead_code)]
+    pub fn vpbroadcastq(&mut self, dst: Ymm, src: Ymm) {
+        self.vex(2, false, 0, true, 1, dst.0, src.0);
+        self.buf.push(0x59);
+        self.modrm(0b11, dst.0, src.0);
+    }
+
+    /// `vpbroadcastq dst, qword [rip + disp32]`; returns the `disp32`
+    /// placeholder position for [`Asm::patch_disp32`].
+    pub fn vpbroadcastq_rip(&mut self, dst: Ymm) -> usize {
+        self.vex(2, false, 0, true, 1, dst.0, 0);
+        self.buf.push(0x59);
+        self.modrm(0b00, dst.0, 0b101);
+        let pos = self.buf.len();
+        self.buf.extend_from_slice(&[0; 4]);
+        pos
+    }
+
+    /// `vpmaskmovq ymmword [base + disp], mask, src` — stores only the
+    /// quadwords whose mask lane has its top bit set (ragged-tail stores
+    /// that must not clobber the next slot's lanes).
+    pub fn vpmaskmovq_store(&mut self, base: Reg, disp: i32, mask: Ymm, src: Ymm) {
+        self.vex(2, true, mask.0, true, 1, src.0, base as u8);
+        self.buf.push(0x8e);
+        self.mem(base, src.0, disp);
+    }
+
+    /// `vpmaskmovq dst, mask, ymmword [base + disp]` — masked load
+    /// (unselected lanes read as zero, faults suppressed). Unused by the
+    /// current codegen (ragged tails over-read into the lane store's
+    /// padding instead) but kept, encoding-tested, for completeness.
+    #[allow(dead_code)]
+    pub fn vpmaskmovq_load(&mut self, dst: Ymm, mask: Ymm, base: Reg, disp: i32) {
+        self.vex(2, true, mask.0, true, 1, dst.0, base as u8);
+        self.buf.push(0x8c);
+        self.mem(base, dst.0, disp);
+    }
+
+    /// `vzeroupper` — emitted before every `ret` of vector code so the
+    /// interpreter's SSE-era code pays no AVX transition penalty.
+    pub fn vzeroupper(&mut self) {
+        self.buf.extend_from_slice(&[0xc5, 0xf8, 0x77]);
+    }
+
+    /// Pads with `int3` to an `n`-byte boundary (constant-pool alignment).
+    pub fn align_to(&mut self, n: usize) {
+        while !self.buf.len().is_multiple_of(n) {
+            self.buf.push(0xcc);
+        }
+    }
+
+    /// Appends a little-endian u64 (constant-pool word).
+    pub fn emit_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Back-patches a `disp32` placeholder left by a RIP-relative load.
+    pub fn patch_disp32(&mut self, pos: usize, disp: i32) {
+        self.buf[pos..pos + 4].copy_from_slice(&disp.to_le_bytes());
     }
 }
 
@@ -421,6 +688,33 @@ mod tests {
         assert_eq!(emit(|a| a.clear_upper32(Reg::Rax)), [0x89, 0xc0]);
     }
 
+    /// The lane-group loop primitives against hand-assembled references.
+    #[test]
+    fn loop_encodings() {
+        // add rdi, 0x20 / add rsi, 0x20 — one 32-byte lane group.
+        assert_eq!(emit(|a| a.add_imm8(Reg::Rdi, 32)), [0x48, 0x83, 0xc7, 0x20]);
+        assert_eq!(emit(|a| a.add_imm8(Reg::Rsi, 32)), [0x48, 0x83, 0xc6, 0x20]);
+        // add r8, -1 — REX.B for the high register, sign-extended imm8.
+        assert_eq!(emit(|a| a.add_imm8(Reg::R8, -1)), [0x49, 0x83, 0xc0, 0xff]);
+        // dec ecx — 32-bit form, no REX needed for a low register.
+        assert_eq!(emit(|a| a.dec32(Reg::Rcx)), [0xff, 0xc9]);
+        // jnz to offset 0 from an empty buffer: rel32 = -(2 + 4).
+        assert_eq!(
+            emit(|a| a.jnz_back(0)),
+            [0x0f, 0x85, 0xfa, 0xff, 0xff, 0xff]
+        );
+        // A body before the branch changes only the displacement:
+        // rel32 = top - (2-byte dec + 6-byte jnz) = -8.
+        assert_eq!(
+            emit(|a| {
+                let top = a.len();
+                a.dec32(Reg::Rcx);
+                a.jnz_back(top);
+            }),
+            [0xff, 0xc9, 0x0f, 0x85, 0xf8, 0xff, 0xff, 0xff]
+        );
+    }
+
     #[test]
     fn immediates_pick_shortest_form() {
         // Zero → xor idiom, imm32 → C7, wide → movabs.
@@ -442,5 +736,182 @@ mod tests {
     fn zero_shifts_elide() {
         assert!(emit(|a| a.shl_imm(Reg::Rax, 0)).is_empty());
         assert!(emit(|a| a.sar_imm(Reg::Rax, 0)).is_empty());
+    }
+
+    /// Every VEX-encoded form against hand-assembled references
+    /// (cross-checked with a reference assembler).
+    #[test]
+    fn vex_move_encodings() {
+        // vmovdqu ymm0, [rdi+8] — compact two-byte VEX.
+        assert_eq!(
+            emit(|a| a.vmovdqu_load(Ymm(0), Reg::Rdi, 8)),
+            [0xc5, 0xfe, 0x6f, 0x47, 0x08]
+        );
+        // vmovdqu ymm8, [rdi+0x100] — R extension clears the R̄ bit.
+        assert_eq!(
+            emit(|a| a.vmovdqu_load(Ymm(8), Reg::Rdi, 0x100)),
+            [0xc5, 0x7e, 0x6f, 0x87, 0x00, 0x01, 0x00, 0x00]
+        );
+        // vmovdqu [rdi+0x20], ymm1
+        assert_eq!(
+            emit(|a| a.vmovdqu_store(Reg::Rdi, 0x20, Ymm(1))),
+            [0xc5, 0xfe, 0x7f, 0x4f, 0x20]
+        );
+        // vmovdqa ymm2, [rdi+0] / vmovdqa [rdi+0x40], ymm3
+        assert_eq!(
+            emit(|a| a.vmovdqa_load(Ymm(2), Reg::Rdi, 0)),
+            [0xc5, 0xfd, 0x6f, 0x57, 0x00]
+        );
+        assert_eq!(
+            emit(|a| a.vmovdqa_store(Reg::Rdi, 0x40, Ymm(3))),
+            [0xc5, 0xfd, 0x7f, 0x5f, 0x40]
+        );
+        // vmovdqa ymm15, ymm1
+        assert_eq!(
+            emit(|a| a.vmovdqa_rr(Ymm(15), Ymm(1))),
+            [0xc5, 0x7d, 0x6f, 0xf9]
+        );
+        // vmovdqu ymm13, [rip+disp32] (placeholder disp)
+        assert_eq!(
+            emit(|a| {
+                let p = a.vmovdqu_rip(Ymm(13));
+                assert_eq!(p, 4);
+            }),
+            [0xc5, 0x7e, 0x6f, 0x2d, 0x00, 0x00, 0x00, 0x00]
+        );
+    }
+
+    #[test]
+    fn vex_alu_encodings() {
+        // vpand ymm1, ymm2, ymm3
+        assert_eq!(
+            emit(|a| a.vpand(Ymm(1), Ymm(2), Ymm(3))),
+            [0xc5, 0xed, 0xdb, 0xcb]
+        );
+        // vpandn ymm0, ymm1, ymm2
+        assert_eq!(
+            emit(|a| a.vpandn(Ymm(0), Ymm(1), Ymm(2))),
+            [0xc5, 0xf5, 0xdf, 0xc2]
+        );
+        // vpor ymm4, ymm5, ymm6
+        assert_eq!(
+            emit(|a| a.vpor(Ymm(4), Ymm(5), Ymm(6))),
+            [0xc5, 0xd5, 0xeb, 0xe6]
+        );
+        // vpxor ymm0, ymm0, ymm0
+        assert_eq!(
+            emit(|a| a.vpxor(Ymm(0), Ymm(0), Ymm(0))),
+            [0xc5, 0xfd, 0xef, 0xc0]
+        );
+        // vpaddq ymm1, ymm1, ymm2 / vpsubq ymm1, ymm1, ymm2
+        assert_eq!(
+            emit(|a| a.vpaddq(Ymm(1), Ymm(1), Ymm(2))),
+            [0xc5, 0xf5, 0xd4, 0xca]
+        );
+        assert_eq!(
+            emit(|a| a.vpsubq(Ymm(1), Ymm(1), Ymm(2))),
+            [0xc5, 0xf5, 0xfb, 0xca]
+        );
+        // vpmuludq ymm0, ymm1, ymm2
+        assert_eq!(
+            emit(|a| a.vpmuludq(Ymm(0), Ymm(1), Ymm(2))),
+            [0xc5, 0xf5, 0xf4, 0xc2]
+        );
+    }
+
+    #[test]
+    fn vex_shift_encodings() {
+        // vpsllq ymm1, ymm2, 12 (NDD: dest in vvvv, /6)
+        assert_eq!(
+            emit(|a| a.vpsllq_imm(Ymm(1), Ymm(2), 12)),
+            [0xc5, 0xf5, 0x73, 0xf2, 0x0c]
+        );
+        // vpsrlq ymm1, ymm2, 63 (/2)
+        assert_eq!(
+            emit(|a| a.vpsrlq_imm(Ymm(1), Ymm(2), 63)),
+            [0xc5, 0xf5, 0x73, 0xd2, 0x3f]
+        );
+        // Zero counts still emit — they double as register moves.
+        assert_eq!(
+            emit(|a| a.vpsllq_imm(Ymm(1), Ymm(2), 0)),
+            [0xc5, 0xf5, 0x73, 0xf2, 0x00]
+        );
+        // vpsllvq ymm0, ymm1, ymm2 / vpsrlvq ymm0, ymm1, ymm2 (W1, 0F38)
+        assert_eq!(
+            emit(|a| a.vpsllvq(Ymm(0), Ymm(1), Ymm(2))),
+            [0xc4, 0xe2, 0xf5, 0x47, 0xc2]
+        );
+        assert_eq!(
+            emit(|a| a.vpsrlvq(Ymm(0), Ymm(1), Ymm(2))),
+            [0xc4, 0xe2, 0xf5, 0x45, 0xc2]
+        );
+    }
+
+    #[test]
+    fn vex_compare_blend_broadcast_encodings() {
+        // vpcmpeqq ymm0, ymm1, ymm2 (W0, 0F38 29)
+        assert_eq!(
+            emit(|a| a.vpcmpeqq(Ymm(0), Ymm(1), Ymm(2))),
+            [0xc4, 0xe2, 0x75, 0x29, 0xc2]
+        );
+        // vpcmpgtq ymm3, ymm4, ymm5 (0F38 37)
+        assert_eq!(
+            emit(|a| a.vpcmpgtq(Ymm(3), Ymm(4), Ymm(5))),
+            [0xc4, 0xe2, 0x5d, 0x37, 0xdd]
+        );
+        // vpblendvb ymm0, ymm1, ymm2, ymm3 (0F3A 4C, mask in is4)
+        assert_eq!(
+            emit(|a| a.vpblendvb(Ymm(0), Ymm(1), Ymm(2), Ymm(3))),
+            [0xc4, 0xe3, 0x75, 0x4c, 0xc2, 0x30]
+        );
+        // vpbroadcastq ymm1, xmm0 (0F38 59)
+        assert_eq!(
+            emit(|a| a.vpbroadcastq(Ymm(1), Ymm(0))),
+            [0xc4, 0xe2, 0x7d, 0x59, 0xc8]
+        );
+        // vpbroadcastq ymm0, qword [rip+disp32]
+        assert_eq!(
+            emit(|a| {
+                let p = a.vpbroadcastq_rip(Ymm(0));
+                assert_eq!(p, 5);
+            }),
+            [0xc4, 0xe2, 0x7d, 0x59, 0x05, 0x00, 0x00, 0x00, 0x00]
+        );
+    }
+
+    #[test]
+    fn vex_masked_store_and_misc_encodings() {
+        // vpmaskmovq [rdi+8], ymm1, ymm2 (W1, 0F38 8E; mask in vvvv)
+        assert_eq!(
+            emit(|a| a.vpmaskmovq_store(Reg::Rdi, 8, Ymm(1), Ymm(2))),
+            [0xc4, 0xe2, 0xf5, 0x8e, 0x57, 0x08]
+        );
+        // vpmaskmovq ymm2, ymm1, [rdi+8] (8C)
+        assert_eq!(
+            emit(|a| a.vpmaskmovq_load(Ymm(2), Ymm(1), Reg::Rdi, 8)),
+            [0xc4, 0xe2, 0xf5, 0x8c, 0x57, 0x08]
+        );
+        assert_eq!(emit(Asm::vzeroupper), [0xc5, 0xf8, 0x77]);
+    }
+
+    #[test]
+    fn pool_patching_round_trips() {
+        let mut a = Asm::new();
+        let pos = a.vpbroadcastq_rip(Ymm(6));
+        a.vzeroupper();
+        a.ret();
+        a.align_to(8);
+        let pool = a.len();
+        a.emit_u64(0xdead_beef_cafe_f00d);
+        a.patch_disp32(pos, (pool - (pos + 4)) as i32);
+        assert!(a.len().is_multiple_of(8));
+        let disp = i32::from_le_bytes(a.bytes()[pos..pos + 4].try_into().unwrap());
+        // The load's next-instruction address plus the patched disp lands
+        // exactly on the pool word.
+        assert_eq!(pos + 4 + disp as usize, pool);
+        assert_eq!(
+            &a.bytes()[pool..pool + 8],
+            &0xdead_beef_cafe_f00du64.to_le_bytes()
+        );
     }
 }

@@ -32,6 +32,11 @@ mod asm;
 mod codegen;
 #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
 mod exec;
+#[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+mod vcode;
+mod vector;
+
+pub use vector::{NativeBatchedReport, NativeBatchedSimulator};
 
 use hc_bits::Bits;
 use hc_rtl::{Module, NodeId, ValidateError};

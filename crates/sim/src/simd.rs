@@ -10,8 +10,11 @@
 //! when the per-cone JIT is unavailable.
 //!
 //! Dispatch is per engine, not per op: construction checks
-//! `is_x86_feature_detected!("avx2")` once (and honors `HC_NO_NATIVE=1`,
-//! which forces the scalar lane loops), and [`try_instr`] then intercepts
+//! `is_x86_feature_detected!("avx2")` once **at runtime** — a release
+//! binary built without `-C target-cpu=native` still takes the fast path
+//! on AVX2 hardware — and honors `HC_NO_SIMD=1`, which forces the scalar
+//! lane loops (the broader `HC_NO_NATIVE=1` only disables the JIT tiers,
+//! not these kernels). [`try_instr`] then intercepts
 //! supported opcodes when the lane count is a multiple of four. Anything
 //! it declines falls through to the scalar lane loop unchanged, so lane
 //! semantics — including the shift-amount saturation rules — are identical

@@ -176,7 +176,7 @@ pub(crate) fn optimize(low: &mut Lowered) -> TapeOptReport {
 /// side table, so a visit through a *copied* instruction still touches the
 /// real state — callers rewriting operands must visit each tape entry
 /// exactly once, and read-only visits must not write through the reference.
-fn visit_srcs(
+pub(crate) fn visit_srcs(
     instr: &mut Instr,
     generic: &mut [GenericOp],
     n: &mut impl FnMut(&mut u32),
@@ -276,7 +276,7 @@ fn visit_loc(loc: &mut Loc, n: &mut impl FnMut(&mut u32), w: &mut impl FnMut(&mu
 }
 
 /// Destination location of `instr`.
-fn dst_loc(instr: &Instr, generic: &[GenericOp]) -> Loc {
+pub(crate) fn dst_loc(instr: &Instr, generic: &[GenericOp]) -> Loc {
     match *instr {
         Instr::CopyMask { dst, .. }
         | Instr::Not { dst, .. }

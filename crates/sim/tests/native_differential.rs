@@ -15,8 +15,8 @@
 //! Both engines under test are built from the same module as their
 //! oracle, so any divergence is the native tier's fault by construction.
 //!
-//! `HC_NO_NATIVE` overrides are process-global; the tests that flip or
-//! assert on it serialize through [`CFG_LOCK`].
+//! `HC_NO_NATIVE`/`HC_NO_SIMD` overrides are process-global; the tests
+//! that flip or assert on them serialize through [`CFG_LOCK`].
 
 mod common;
 
@@ -27,8 +27,8 @@ use hc_bits::Bits;
 use hc_sim::{BatchedSimulator, NativeSimulator, SimBackend, Simulator};
 use proptest::prelude::*;
 
-/// Serializes the tests that set or depend on the process-global
-/// `HC_NO_NATIVE` config override.
+/// Serializes the tests that set or depend on a process-global config
+/// override (`HC_NO_NATIVE`, `HC_NO_SIMD`).
 static CFG_LOCK: Mutex<()> = Mutex::new(());
 
 /// Deterministic 64-bit LCG (Knuth constants) — the stimulus source for
@@ -146,7 +146,7 @@ proptest! {
     /// AVX2 lane kernels vs. scalar lane loops: the same random module and
     /// ragged per-lane stimulus through two batched engines, one built as
     /// the platform default (AVX2 kernels on a lane count divisible by
-    /// four) and one forced scalar via the `HC_NO_NATIVE` override. On
+    /// four) and one forced scalar via the `HC_NO_SIMD` override. On
     /// hosts without AVX2 both engines are scalar and the property is
     /// trivially true.
     #[test]
@@ -169,7 +169,7 @@ proptest! {
             let vector = BatchedSimulator::new(module.clone(), lanes).expect("compiler accepts");
             let baseline = (*hc_obs::config()).clone();
             let mut off = baseline.clone();
-            off.no_native = true;
+            off.no_simd = true;
             hc_obs::config::set_override(off);
             let scalar = BatchedSimulator::new(module, lanes).expect("compiler accepts");
             hc_obs::config::set_override(baseline);

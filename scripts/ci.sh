@@ -51,6 +51,31 @@ else
   echo "skipping native JIT gate: $(uname -m) is not x86_64 (engine falls back to the tape interpreter)"
 fi
 
+echo "== perfsnap smoke (vector JIT must beat the interpreted batched engine)"
+# The engine-only ratio, not the harness one: AXI protocol simulation is
+# paid identically by both batched engines and would dilute the gate.
+# perfsnap's run already contains the A/B twin — the interpreted figures
+# come from an engine built under an HC_NO_NATIVE_BATCHED override.
+if [ "$(uname -m)" = "x86_64" ] && grep -q avx2 /proc/cpuinfo; then
+  awk -F'[:,]' '
+    /"native_batched_active"/ {
+      if ($2 !~ /true/) { print "vector JIT inactive on an AVX2 host"; exit 1 }
+    }
+    /"native_batched_speedup_vs_batched"/ {
+      seen = 1
+      if ($2 + 0 < 2.0) {
+        print "vector JIT too slow vs interpreted batched engine: " $2 "x (need >= 2.0)"; exit 1
+      }
+      print "native batched speedup vs interpreted batched (engine-only):" $2 "x"
+    }
+    END { if (!seen) { print "native_batched_speedup_vs_batched missing from BENCH_sim.json"; exit 1 } }
+  ' BENCH_sim.json
+  echo "== forced-fallback A/B twin (differential suite under HC_NO_NATIVE_BATCHED=1)"
+  HC_NO_NATIVE_BATCHED=1 cargo test -q -p hc-sim --test native_batched_differential
+else
+  echo "skipping vector JIT gate: host has no AVX2 (engine falls back to the interpreted batched path)"
+fi
+
 echo "== perfsnap smoke (tape backend optimizer must pay for itself)"
 awk -F'[:,]' '
   /"tapeopt_speedup"/ {
