@@ -1,11 +1,13 @@
 //! Row-by-row AXI-Stream matrix adapters.
 //!
-//! Each generator wraps an 8×8 matrix kernel in the streaming protocol the
-//! paper mandates: the input matrix arrives as eight 96-bit row beats
-//! (8 × 12-bit elements), the result leaves as eight 72-bit row beats
-//! (8 × 9-bit elements). The input and output sides are double-buffered, so
-//! a fully parallel kernel reaches the adapter's ceiling of one matrix per
-//! 8 cycles — the "sequential adapter bottleneck" of the paper.
+//! Each generator wraps a `rows`×`cols` matrix kernel in the streaming
+//! protocol the paper mandates: the input matrix arrives as `rows` beats of
+//! `cols` packed elements, the result leaves the same way. For the IDCT
+//! that is eight 96-bit row beats (8 × 12-bit elements) in and eight 72-bit
+//! row beats (8 × 9-bit elements) out. The input and output sides are
+//! double-buffered, so a fully parallel kernel reaches the adapter's
+//! ceiling of one matrix per `rows` cycles — the "sequential adapter
+//! bottleneck" of the paper.
 
 use crate::ports::{AxisMaster, AxisSlave};
 use hc_bits::Bits;
@@ -14,44 +16,92 @@ use hc_rtl::{BinaryOp, Module, NodeId, RegId};
 /// Geometry of a matrix wrapper.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct MatrixWrapperSpec {
+    /// Beats per matrix (8 for the IDCT).
+    pub rows: u32,
+    /// Elements per beat (8 for the IDCT).
+    pub cols: u32,
     /// Bits per input element (12 for the IDCT).
     pub in_elem_width: u32,
     /// Bits per output element (9 for the IDCT).
     pub out_elem_width: u32,
 }
 
+/// Smallest width that can hold values `0..n` (at least 1).
+pub(crate) fn index_width(n: u32) -> u32 {
+    if n <= 1 {
+        1
+    } else {
+        32 - (n - 1).leading_zeros()
+    }
+}
+
 impl MatrixWrapperSpec {
-    /// The IDCT geometry: 12-bit coefficients in, 9-bit samples out.
+    /// The IDCT geometry: 8×8, 12-bit coefficients in, 9-bit samples out.
     pub fn idct() -> Self {
+        MatrixWrapperSpec::new(8, 8, 12, 9)
+    }
+
+    /// An arbitrary matrix geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate geometry (zero rows/cols or widths).
+    pub fn new(rows: u32, cols: u32, in_elem_width: u32, out_elem_width: u32) -> Self {
+        assert!(rows >= 1 && cols >= 1, "degenerate matrix geometry");
+        assert!(
+            rows.is_power_of_two(),
+            "row counts must be powers of two (the beat counters rely on it)"
+        );
+        assert!(in_elem_width >= 1 && out_elem_width >= 1);
         MatrixWrapperSpec {
-            in_elem_width: 12,
-            out_elem_width: 9,
+            rows,
+            cols,
+            in_elem_width,
+            out_elem_width,
         }
+    }
+
+    /// Total elements per matrix.
+    pub fn elems(&self) -> usize {
+        (self.rows * self.cols) as usize
     }
 
     /// Input beat width (one row).
     pub fn in_row_width(&self) -> u32 {
-        self.in_elem_width * 8
+        self.in_elem_width * self.cols
     }
 
     /// Output beat width (one row).
     pub fn out_row_width(&self) -> u32 {
-        self.out_elem_width * 8
+        self.out_elem_width * self.cols
+    }
+
+    /// Width of the beat counters: one more than the row index so the
+    /// counter can hold the "full"/"idle" sentinel value `rows`.
+    fn cnt_width(&self) -> u32 {
+        index_width(self.rows) + 1
+    }
+
+    /// Width of the row-select index.
+    fn idx_width(&self) -> u32 {
+        index_width(self.rows)
     }
 }
 
-/// Splits a packed row into its 8 elements, lowest column first.
-pub(crate) fn unpack_row(m: &mut Module, row: NodeId, elem_w: u32) -> Vec<NodeId> {
-    (0..8).map(|c| m.slice(row, c * elem_w, elem_w)).collect()
+/// Splits a packed row into its `cols` elements, lowest column first.
+pub(crate) fn unpack_row(m: &mut Module, row: NodeId, elem_w: u32, cols: u32) -> Vec<NodeId> {
+    (0..cols)
+        .map(|c| m.slice(row, c * elem_w, elem_w))
+        .collect()
 }
 
-/// Packs 8 elements (lowest column first) into one row.
+/// Packs elements (lowest column first) into one row.
 ///
 /// # Panics
 ///
-/// Panics if `elems` does not have exactly 8 entries.
+/// Panics if `elems` is empty.
 pub(crate) fn pack_row(m: &mut Module, elems: &[NodeId]) -> NodeId {
-    assert_eq!(elems.len(), 8, "a row has 8 elements");
+    assert!(!elems.is_empty(), "a row has at least one element");
     let mut acc = elems[0];
     for &e in &elems[1..] {
         acc = m.concat(e, acc);
@@ -61,7 +111,7 @@ pub(crate) fn pack_row(m: &mut Module, elems: &[NodeId]) -> NodeId {
 
 /// The deserializing input side shared by all wrappers.
 struct InputSide {
-    /// Current value of the row counter (4 bits, 8 = full).
+    /// Row counter equals `rows` (input buffer full).
     in_full: NodeId,
     /// Row-buffer register outputs.
     row_outs: Vec<NodeId>,
@@ -75,14 +125,15 @@ struct InputSide {
 
 impl InputSide {
     fn declare(m: &mut Module, spec: MatrixWrapperSpec) -> Self {
+        let cw = spec.cnt_width();
         let slave = AxisSlave::declare(m, "s_axis", spec.in_row_width());
-        let in_cnt = m.reg("in_cnt", 4, Bits::zero(4));
+        let in_cnt = m.reg("in_cnt", cw, Bits::zero(cw));
         let in_cnt_q = m.reg_out(in_cnt);
-        let eight = m.const_u(4, 8);
-        let in_full = m.binary(BinaryOp::Eq, in_cnt_q, eight, 1);
-        let mut row_outs = Vec::with_capacity(8);
-        let mut row_regs = Vec::with_capacity(8);
-        for i in 0..8 {
+        let full_val = m.const_u(cw, u64::from(spec.rows));
+        let in_full = m.binary(BinaryOp::Eq, in_cnt_q, full_val, 1);
+        let mut row_outs = Vec::with_capacity(spec.rows as usize);
+        let mut row_regs = Vec::with_capacity(spec.rows as usize);
+        for i in 0..spec.rows {
             let r = m.reg(
                 format!("in_row{i}"),
                 spec.in_row_width(),
@@ -104,17 +155,27 @@ impl InputSide {
     /// Completes the input side. `accept_extra` allows a beat while full
     /// (the cycle the buffer is handed over); `clear` restarts the row
     /// counter. Returns the beat signal.
-    fn finish(&self, m: &mut Module, rst: NodeId, accept_extra: NodeId, clear: NodeId) -> NodeId {
+    fn finish(
+        &self,
+        m: &mut Module,
+        spec: MatrixWrapperSpec,
+        rst: NodeId,
+        accept_extra: NodeId,
+        clear: NodeId,
+    ) -> NodeId {
+        let cw = spec.cnt_width();
+        let iw = spec.idx_width();
         let not_full = m.unary(hc_rtl::UnaryOp::Not, self.in_full);
         let ready = m.binary(BinaryOp::Or, not_full, accept_extra, 1);
         self.slave.set_ready(m, "s_axis", ready);
         let beat = self.slave.beat(m, ready);
 
-        // Row registers: capture the beat into row in_cnt[2:0] (the low bits
-        // of 8 are 0, so the handover-cycle beat lands in row 0).
-        let row_idx = m.slice(self.in_cnt_q, 0, 3);
+        // Row registers: capture the beat into the row indexed by the low
+        // counter bits (the low bits of the power-of-two "full" value are
+        // 0, so the handover-cycle beat lands in row 0).
+        let row_idx = m.slice(self.in_cnt_q, 0, iw);
         for (i, &reg) in self.row_regs.iter().enumerate() {
-            let this = m.const_u(3, i as u64);
+            let this = m.const_u(iw, i as u64);
             let is_row = m.binary(BinaryOp::Eq, row_idx, this, 1);
             let en = m.binary(BinaryOp::And, beat, is_row, 1);
             m.reg_en(reg, en);
@@ -122,22 +183,22 @@ impl InputSide {
         }
 
         // in_cnt: clear ? (beat ? 1 : 0) : beat ? +1 : hold.
-        let one4 = m.const_u(4, 1);
-        let inc = m.binary(BinaryOp::Add, self.in_cnt_q, one4, 4);
+        let one = m.const_u(cw, 1);
+        let inc = m.binary(BinaryOp::Add, self.in_cnt_q, one, cw);
         let held = m.mux(beat, inc, self.in_cnt_q);
-        let zero4 = m.const_u(4, 0);
-        let restarted = m.mux(beat, one4, zero4);
+        let zero = m.const_u(cw, 0);
+        let restarted = m.mux(beat, one, zero);
         let next = m.mux(clear, restarted, held);
         m.connect_reg(self.in_cnt, next);
         m.reg_reset(self.in_cnt, rst);
         beat
     }
 
-    /// The 64 buffered input elements, row-major.
+    /// The buffered input elements, row-major.
     fn elems(&self, m: &mut Module, spec: MatrixWrapperSpec) -> Vec<NodeId> {
-        let mut out = Vec::with_capacity(64);
+        let mut out = Vec::with_capacity(spec.elems());
         for &row in &self.row_outs {
-            out.extend(unpack_row(m, row, spec.in_elem_width));
+            out.extend(unpack_row(m, row, spec.in_elem_width, spec.cols));
         }
         out
     }
@@ -153,17 +214,18 @@ struct OutputSide {
 }
 
 impl OutputSide {
-    fn declare(m: &mut Module) -> Self {
+    fn declare(m: &mut Module, spec: MatrixWrapperSpec) -> Self {
+        let cw = spec.cnt_width();
         let master = AxisMaster::declare(m, "m_axis");
-        // out_cnt starts at 8 (idle / drained).
-        let out_cnt = m.reg("out_cnt", 4, Bits::from_u64(4, 8));
+        // out_cnt starts at `rows` (idle / drained).
+        let out_cnt = m.reg("out_cnt", cw, Bits::from_u64(cw, u64::from(spec.rows)));
         let out_cnt_q = m.reg_out(out_cnt);
-        let eight = m.const_u(4, 8);
-        let idle = m.binary(BinaryOp::Eq, out_cnt_q, eight, 1);
+        let idle_val = m.const_u(cw, u64::from(spec.rows));
+        let idle = m.binary(BinaryOp::Eq, out_cnt_q, idle_val, 1);
         let active = m.unary(hc_rtl::UnaryOp::Not, idle);
         let beat = master.beat(m, active);
-        let seven = m.const_u(4, 7);
-        let at_last = m.binary(BinaryOp::Eq, out_cnt_q, seven, 1);
+        let last = m.const_u(cw, u64::from(spec.rows - 1));
+        let at_last = m.binary(BinaryOp::Eq, out_cnt_q, last, 1);
         let last_beat = m.binary(BinaryOp::And, at_last, beat, 1);
         let out_done = m.binary(BinaryOp::Or, idle, last_beat, 1);
         OutputSide {
@@ -174,8 +236,8 @@ impl OutputSide {
         }
     }
 
-    /// Completes the output side: on `load`, capture `rows_next` (8 packed
-    /// rows) and restart streaming.
+    /// Completes the output side: on `load`, capture `rows_next` (the
+    /// packed result rows) and restart streaming.
     fn finish(
         &self,
         m: &mut Module,
@@ -184,8 +246,9 @@ impl OutputSide {
         load: NodeId,
         rows_next: &[NodeId],
     ) {
-        assert_eq!(rows_next.len(), 8);
-        let mut row_outs = Vec::with_capacity(8);
+        assert_eq!(rows_next.len(), spec.rows as usize);
+        let cw = spec.cnt_width();
+        let mut row_outs = Vec::with_capacity(spec.rows as usize);
         for (i, &next) in rows_next.iter().enumerate() {
             let r = m.reg(
                 format!("out_row{i}"),
@@ -197,31 +260,32 @@ impl OutputSide {
             m.connect_reg(r, next);
             row_outs.push(q);
         }
-        let eight = m.const_u(4, 8);
-        let idle = m.binary(BinaryOp::Eq, self.out_cnt_q, eight, 1);
+        let idle_val = m.const_u(cw, u64::from(spec.rows));
+        let idle = m.binary(BinaryOp::Eq, self.out_cnt_q, idle_val, 1);
         let active = m.unary(hc_rtl::UnaryOp::Not, idle);
         let beat = self.master.beat(m, active);
-        let one = m.const_u(4, 1);
-        let inc = m.binary(BinaryOp::Add, self.out_cnt_q, one, 4);
+        let one = m.const_u(cw, 1);
+        let inc = m.binary(BinaryOp::Add, self.out_cnt_q, one, cw);
         let advanced = m.mux(beat, inc, self.out_cnt_q);
-        let zero = m.const_u(4, 0);
+        let zero = m.const_u(cw, 0);
         let next = m.mux(load, zero, advanced);
         m.connect_reg(self.out_cnt, next);
         m.reg_reset(self.out_cnt, rst);
 
-        let sel = m.slice(self.out_cnt_q, 0, 3);
+        let sel = m.slice(self.out_cnt_q, 0, spec.idx_width());
         let tdata = m.select(sel, &row_outs);
         self.master.set_outputs(m, "m_axis", tdata, active);
     }
 }
 
 /// Wraps a *combinational* matrix kernel (the paper's "initial" RTL
-/// designs): the closure receives the 64 buffered input elements
-/// (row-major, `in_elem_width` bits each) and returns the 64 output
-/// elements (`out_elem_width` bits each).
+/// designs): the closure receives the buffered input elements (row-major,
+/// `in_elem_width` bits each) and returns the output elements
+/// (`out_elem_width` bits each).
 ///
-/// Latency is 17 cycles and sustained periodicity 8 cycles per matrix —
-/// exactly the paper's Table II figures for the initial Verilog design.
+/// For the 8×8 IDCT geometry latency is 17 cycles and sustained
+/// periodicity 8 cycles per matrix — exactly the paper's Table II figures
+/// for the initial Verilog design.
 ///
 /// # Panics
 ///
@@ -234,11 +298,11 @@ pub fn wrap_comb_matrix(
     let mut m = Module::new(name);
     let rst = m.input("rst", 1);
     let input = InputSide::declare(&mut m, spec);
-    let output = OutputSide::declare(&mut m);
+    let output = OutputSide::declare(&mut m, spec);
 
     let transfer = m.binary(BinaryOp::And, input.in_full, output.out_done, 1);
     m.name_node(transfer, "transfer");
-    input.finish(&mut m, rst, transfer, transfer);
+    input.finish(&mut m, spec, rst, transfer, transfer);
 
     let elems = input.elems(&mut m, spec);
     let outs = kernel(&mut m, &elems);
@@ -247,14 +311,14 @@ pub fn wrap_comb_matrix(
     m
 }
 
-/// Wraps a *pipelined* matrix kernel: a pure module with 64 input ports
-/// (`e0..e63`) and 64 output ports (`o0..o63`) whose internal registers
-/// form a `latency`-deep pipeline (e.g. the output of `hc-flow`'s
-/// scheduler). The wrapper inlines the kernel, gates **all** of its
-/// pipeline registers with a global advance signal (so results are never
-/// lost under backpressure), and keeps multiple matrices in flight —
-/// sustained periodicity stays 8 at any depth, while latency grows with
-/// `latency` (plus one hand-off cycle), matching the paper's XLS
+/// Wraps a *pipelined* matrix kernel: a pure module with one input port
+/// per element (`e0..`) and one output port per element (`o0..`) whose
+/// internal registers form a `latency`-deep pipeline (e.g. the output of
+/// `hc-flow`'s scheduler). The wrapper inlines the kernel, gates **all** of
+/// its pipeline registers with a global advance signal (so results are
+/// never lost under backpressure), and keeps multiple matrices in flight —
+/// sustained periodicity stays `rows` at any depth, while latency grows
+/// with `latency` (plus one hand-off cycle), matching the paper's XLS
 /// observations.
 ///
 /// # Panics
@@ -268,17 +332,18 @@ pub fn wrap_pipelined_matrix(
     latency: u32,
 ) -> Module {
     assert!(latency >= 1, "use wrap_comb_matrix for latency 0");
+    let n = spec.elems();
     let mut m = Module::new(name);
     let rst = m.input("rst", 1);
     let input = InputSide::declare(&mut m, spec);
-    let output = OutputSide::declare(&mut m);
+    let output = OutputSide::declare(&mut m, spec);
 
     let res_full = m.reg("res_full", 1, Bits::zero(1));
     let res_full_q = m.reg_out(res_full);
 
     // Inline the kernel over the buffered input elements.
     let elems = input.elems(&mut m, spec);
-    assert_eq!(kernel.inputs().len(), 64, "kernel must take e0..e63");
+    assert_eq!(kernel.inputs().len(), n, "kernel must take e0..e{}", n - 1);
     let bindings: Vec<NodeId> = kernel
         .inputs()
         .iter()
@@ -291,7 +356,7 @@ pub fn wrap_pipelined_matrix(
     let reg_base = m.regs().len();
     let outs_map = m.inline_from("kernel", kernel, &bindings);
     let kernel_regs: Vec<RegId> = (reg_base..m.regs().len()).map(RegId::from_index).collect();
-    let outs: Vec<NodeId> = (0..64)
+    let outs: Vec<NodeId> = (0..n)
         .map(|i| {
             *outs_map
                 .get(&format!("o{i}"))
@@ -334,7 +399,7 @@ pub fn wrap_pipelined_matrix(
     // Launch a buffered matrix into the pipe whenever it moves.
     let launch = m.binary(BinaryOp::And, input.in_full, advance, 1);
     m.name_node(launch, "launch");
-    input.finish(&mut m, rst, launch, launch);
+    input.finish(&mut m, spec, rst, launch, launch);
 
     let mut prev = launch;
     for (i, &r) in valid_regs.iter().enumerate() {
@@ -345,7 +410,7 @@ pub fn wrap_pipelined_matrix(
     }
 
     // Capture the arriving result rows.
-    let mut res_rows = Vec::with_capacity(8);
+    let mut res_rows = Vec::with_capacity(spec.rows as usize);
     for (i, &row) in rows.iter().enumerate() {
         let r = m.reg(
             format!("res_row{i}"),
@@ -371,7 +436,7 @@ pub fn wrap_pipelined_matrix(
 /// closure given to [`wrap_sequential_matrix`].
 #[derive(Clone, Debug)]
 pub struct SequentialKernel {
-    /// The 64 result elements, row-major, valid the cycle `done` pulses.
+    /// The result elements, row-major, valid the cycle `done` pulses.
     pub outputs: Vec<NodeId>,
     /// Single-cycle completion pulse.
     pub done: NodeId,
@@ -396,7 +461,7 @@ pub fn wrap_sequential_matrix(
     let mut m = Module::new(name);
     let rst = m.input("rst", 1);
     let input = InputSide::declare(&mut m, spec);
-    let output = OutputSide::declare(&mut m);
+    let output = OutputSide::declare(&mut m, spec);
 
     // busy: set while the kernel runs; input accepts only when not full.
     let busy = m.reg("busy", 1, Bits::zero(1));
@@ -425,13 +490,17 @@ pub fn wrap_sequential_matrix(
     m.connect_reg(busy, busy_next);
     m.reg_reset(busy, rst);
 
-    input.finish(&mut m, rst, zero1, transfer);
+    input.finish(&mut m, spec, rst, zero1, transfer);
     output.finish(&mut m, rst, spec, transfer, &rows);
     m
 }
 
 fn check_and_pack(m: &mut Module, spec: MatrixWrapperSpec, outs: Vec<NodeId>) -> Vec<NodeId> {
-    assert_eq!(outs.len(), 64, "matrix kernel must produce 64 elements");
+    assert_eq!(
+        outs.len(),
+        spec.elems(),
+        "matrix kernel must produce rows*cols elements"
+    );
     for &o in &outs {
         assert_eq!(
             m.width(o),
@@ -439,7 +508,9 @@ fn check_and_pack(m: &mut Module, spec: MatrixWrapperSpec, outs: Vec<NodeId>) ->
             "kernel output element width"
         );
     }
-    outs.chunks(8).map(|row| pack_row(m, row)).collect()
+    outs.chunks(spec.cols as usize)
+        .map(|row| pack_row(m, row))
+        .collect()
 }
 
 #[cfg(test)]
@@ -457,6 +528,25 @@ mod tests {
         assert!(m.input_named("s_axis_tdata").is_some());
         assert_eq!(m.input_named("s_axis_tdata").unwrap().width, 96);
         assert_eq!(m.width(m.output_named("m_axis_tdata").unwrap().node), 72);
+    }
+
+    #[test]
+    fn comb_wrapper_validates_for_other_geometries() {
+        for (rows, cols, iw, ow) in [(4u32, 4u32, 12u32, 9u32), (16, 16, 12, 9), (8, 8, 12, 12)] {
+            let spec = MatrixWrapperSpec::new(rows, cols, iw, ow);
+            let m = wrap_comb_matrix("w", spec, |m, elems| {
+                elems.iter().map(|&e| m.slice(e, 0, ow)).collect()
+            });
+            m.validate().unwrap();
+            assert_eq!(
+                m.input_named("s_axis_tdata").unwrap().width,
+                spec.in_row_width()
+            );
+            assert_eq!(
+                m.width(m.output_named("m_axis_tdata").unwrap().node),
+                spec.out_row_width()
+            );
+        }
     }
 
     #[test]
@@ -490,7 +580,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "64 elements")]
+    #[should_panic(expected = "rows*cols elements")]
     fn wrong_element_count_rejected() {
         wrap_comb_matrix("w", MatrixWrapperSpec::idct(), |m, elems| {
             vec![m.slice(elems[0], 0, 9)]

@@ -35,7 +35,8 @@
 //! The batched harness drives back-to-back only (no valid gaps, no ready
 //! stalls): that is the configuration every measurement in the paper uses.
 
-use crate::harness::{pack_elems, unpack_elems, StreamTiming};
+use crate::adapter::MatrixWrapperSpec;
+use crate::harness::{pack_elems_n, unpack_elems_n, StreamTiming};
 use crate::ProtocolError;
 use hc_bits::Bits;
 use hc_rtl::{Module, ValidateError};
@@ -74,6 +75,8 @@ struct LaneChecker {
 #[derive(Debug)]
 pub struct BatchedStreamHarness {
     sim: NativeBatchedSimulator,
+    rows: usize,
+    cols: usize,
     in_elem_width: u32,
     out_elem_width: u32,
     /// Protocol violations observed during runs, tagged `(lane, error)`.
@@ -112,6 +115,28 @@ impl BatchedStreamHarness {
         in_elem_width: u32,
         out_elem_width: u32,
     ) -> Result<Self, ValidateError> {
+        Self::with_spec(
+            module,
+            lanes,
+            MatrixWrapperSpec::new(8, 8, in_elem_width, out_elem_width),
+        )
+    }
+
+    /// A batched harness for an explicit wrapper geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns the module's [`ValidateError`] if it is structurally
+    /// invalid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes == 0`.
+    pub fn with_spec(
+        module: Module,
+        lanes: usize,
+        spec: MatrixWrapperSpec,
+    ) -> Result<Self, ValidateError> {
         let mut sim =
             NativeBatchedSimulator::with_options(module, lanes, EngineOptions::default())?;
         sim.set_all_u64("rst", 1);
@@ -121,8 +146,10 @@ impl BatchedStreamHarness {
         sim.set_all_u64("rst", 0);
         Ok(BatchedStreamHarness {
             sim,
-            in_elem_width,
-            out_elem_width,
+            rows: spec.rows as usize,
+            cols: spec.cols as usize,
+            in_elem_width: spec.in_elem_width,
+            out_elem_width: spec.out_elem_width,
             protocol_errors: Vec::new(),
         })
     }
@@ -150,16 +177,52 @@ impl BatchedStreamHarness {
         matrices: &[[[i32; 8]; 8]],
         max_cycles: u64,
     ) -> (Vec<[[i32; 8]; 8]>, StreamTiming) {
-        let lanes = self.lanes();
-        let chunk = matrices.len().div_ceil(lanes).max(1);
-        let chunks: Vec<&[[[i32; 8]; 8]]> = (0..lanes)
-            .map(|k| {
-                let lo = (k * chunk).min(matrices.len());
-                let hi = ((k + 1) * chunk).min(matrices.len());
-                &matrices[lo..hi]
+        assert_eq!(
+            (self.rows, self.cols),
+            (8, 8),
+            "run_blocks() is the 8x8 API"
+        );
+        let flat: Vec<Vec<i32>> = matrices
+            .iter()
+            .map(|m| m.iter().flatten().copied().collect())
+            .collect();
+        let (outs, timing) = self.run_blocks_flat(&flat, max_cycles);
+        let outputs = outs
+            .into_iter()
+            .map(|o| {
+                let mut m = [[0i32; 8]; 8];
+                for (i, v) in o.into_iter().enumerate() {
+                    m[i / 8][i % 8] = v;
+                }
+                m
             })
             .collect();
-        let (outs, timings) = self.run_lanes(&chunks, max_cycles);
+        (outputs, timing)
+    }
+
+    /// Streams row-major `rows`×`cols` blocks through the wrapper, split
+    /// into one contiguous back-to-back chunk per lane, and returns the
+    /// decoded outputs in the original order plus the timing of lane 0
+    /// (whose chunk starts at reset exactly like a scalar run, so its
+    /// `T_L`/`T_P` are the scalar figures).
+    ///
+    /// `max_cycles` bounds the *per-lane* cycle count, like the scalar
+    /// harness's budget bounds its single stream.
+    pub fn run_blocks_flat(
+        &mut self,
+        blocks: &[Vec<i32>],
+        max_cycles: u64,
+    ) -> (Vec<Vec<i32>>, StreamTiming) {
+        let lanes = self.lanes();
+        let chunk = blocks.len().div_ceil(lanes).max(1);
+        let chunks: Vec<&[Vec<i32>]> = (0..lanes)
+            .map(|k| {
+                let lo = (k * chunk).min(blocks.len());
+                let hi = ((k + 1) * chunk).min(blocks.len());
+                &blocks[lo..hi]
+            })
+            .collect();
+        let (outs, timings) = self.run_lanes_flat(&chunks, max_cycles);
         (outs.into_iter().flatten().collect(), timings[0])
     }
 
@@ -168,13 +231,54 @@ impl BatchedStreamHarness {
     /// timing figures. `chunks.len()` must equal [`lanes`](Self::lanes);
     /// empty chunks are allowed. Gives up after `max_cycles` per lane
     /// (callers assert on output counts).
-    #[allow(clippy::too_many_lines, clippy::type_complexity)]
+    #[allow(clippy::type_complexity)]
     pub fn run_lanes(
         &mut self,
         chunks: &[&[[[i32; 8]; 8]]],
         max_cycles: u64,
     ) -> (Vec<Vec<[[i32; 8]; 8]>>, Vec<StreamTiming>) {
+        assert_eq!((self.rows, self.cols), (8, 8), "run_lanes() is the 8x8 API");
+        let flat: Vec<Vec<Vec<i32>>> = chunks
+            .iter()
+            .map(|c| {
+                c.iter()
+                    .map(|m| m.iter().flatten().copied().collect())
+                    .collect()
+            })
+            .collect();
+        let flat_refs: Vec<&[Vec<i32>]> = flat.iter().map(Vec::as_slice).collect();
+        let (outs, timings) = self.run_lanes_flat(&flat_refs, max_cycles);
+        let outputs = outs
+            .into_iter()
+            .map(|lane| {
+                lane.into_iter()
+                    .map(|o| {
+                        let mut m = [[0i32; 8]; 8];
+                        for (i, v) in o.into_iter().enumerate() {
+                            m[i / 8][i % 8] = v;
+                        }
+                        m
+                    })
+                    .collect()
+            })
+            .collect();
+        (outputs, timings)
+    }
+
+    /// Streams one independent row-major block sequence per lane
+    /// (back-to-back within each lane) and returns each lane's decoded
+    /// outputs and timing figures. `chunks.len()` must equal
+    /// [`lanes`](Self::lanes); empty chunks are allowed. Gives up after
+    /// `max_cycles` per lane (callers assert on output counts).
+    #[allow(clippy::too_many_lines, clippy::type_complexity)]
+    pub fn run_lanes_flat(
+        &mut self,
+        chunks: &[&[Vec<i32>]],
+        max_cycles: u64,
+    ) -> (Vec<Vec<Vec<i32>>>, Vec<StreamTiming>) {
         let lanes = self.lanes();
+        let rows = self.rows;
+        let cols = self.cols;
         assert_eq!(chunks.len(), lanes, "one matrix sequence per lane");
         // Resolve the port handles once: the per-lane per-cycle loops below
         // would otherwise pay a name lookup (and a heap allocation for the
@@ -192,16 +296,17 @@ impl BatchedStreamHarness {
         let mut first_in_beats: Vec<Vec<u64>> = vec![Vec::new(); lanes];
         let mut driver_valid = vec![false; lanes];
         for (lane, chunk) in chunks.iter().enumerate() {
-            for matrix in *chunk {
-                for row in matrix {
+            for block in *chunk {
+                assert_eq!(block.len(), rows * cols, "block has rows*cols elements");
+                for row in block.chunks(cols) {
                     drivers[lane]
                         .queue
-                        .push_back(pack_elems(row, self.in_elem_width));
+                        .push_back(pack_elems_n(row, self.in_elem_width));
                 }
             }
         }
-        let expected_beats: Vec<usize> = chunks.iter().map(|c| c.len() * 8).collect();
-        let zero_word = Bits::zero(self.in_elem_width * 8);
+        let expected_beats: Vec<usize> = chunks.iter().map(|c| c.len() * rows).collect();
+        let zero_word = Bits::zero(self.in_elem_width * cols as u32);
         // A lane is done once its expected output beats have been
         // collected; it is then masked out of the clock so its state and
         // cycle counter freeze, and its BFMs stop acting.
@@ -256,7 +361,7 @@ impl BatchedStreamHarness {
                     let d = &mut drivers[lane];
                     d.queue.pop_front();
                     d.beats_sent += 1;
-                    if (d.beats_sent - 1).is_multiple_of(8) {
+                    if (d.beats_sent - 1).is_multiple_of(rows as u64) {
                         first_in_beats[lane].push(self.sim.cycle(lane));
                     }
                 }
@@ -310,15 +415,15 @@ impl BatchedStreamHarness {
         let mut outputs = Vec::with_capacity(lanes);
         let mut timings = Vec::with_capacity(lanes);
         for lane in 0..lanes {
-            let out: Vec<[[i32; 8]; 8]> = beats[lane]
-                .chunks(8)
-                .filter(|c| c.len() == 8)
-                .map(|rows| {
-                    let mut m = [[0i32; 8]; 8];
-                    for (r, (_, bits)) in rows.iter().enumerate() {
-                        m[r] = unpack_elems(bits, self.out_elem_width);
+            let out: Vec<Vec<i32>> = beats[lane]
+                .chunks(rows)
+                .filter(|c| c.len() == rows)
+                .map(|beat_rows| {
+                    let mut block = Vec::with_capacity(rows * cols);
+                    for (_, bits) in beat_rows {
+                        block.extend(unpack_elems_n(bits, self.out_elem_width, cols));
                     }
-                    m
+                    block
                 })
                 .collect();
             outputs.push(out);
@@ -327,10 +432,10 @@ impl BatchedStreamHarness {
             // harness).
             let mut timing = StreamTiming::default();
             if !beats[lane].is_empty() && !first_in_beats[lane].is_empty() {
-                if let Some((last, _)) = beats[lane].get(7) {
+                if let Some((last, _)) = beats[lane].get(rows - 1) {
                     timing.latency = last - first_in_beats[lane][0] + 1;
                 }
-                let firsts: Vec<u64> = beats[lane].iter().step_by(8).map(|(c, _)| *c).collect();
+                let firsts: Vec<u64> = beats[lane].iter().step_by(rows).map(|(c, _)| *c).collect();
                 if firsts.len() >= 3 {
                     timing.periodicity = firsts[firsts.len() - 1] - firsts[firsts.len() - 2];
                 } else if firsts.len() == 2 {

@@ -1,6 +1,7 @@
 //! Matrix-level measurement harness: functional output plus the paper's
 //! latency (`T_L`) and periodicity (`T_P`) figures, measured in simulation.
 
+use crate::adapter::MatrixWrapperSpec;
 use crate::bfm::{AxisDriver, AxisMonitor, ProtocolChecker};
 use hc_bits::Bits;
 use hc_rtl::{Module, ValidateError};
@@ -17,11 +18,14 @@ pub struct StreamTiming {
     pub periodicity: u64,
 }
 
-/// Feeds 8×8 matrices through an AXI-Stream wrapper and measures timing.
+/// Feeds matrices through an AXI-Stream wrapper and measures timing.
 ///
 /// Expects the conventional interface produced by the adapter generators:
-/// `rst`, `s_axis_*` (96-bit rows of 12-bit elements) and `m_axis_*`
-/// (72-bit rows of 9-bit elements). See the [crate-level example](crate).
+/// `rst`, `s_axis_*` (rows of packed input elements) and `m_axis_*` (rows
+/// of packed output elements). The default geometry is the paper's 8×8
+/// IDCT (96-bit rows of 12-bit elements in, 72-bit rows of 9-bit elements
+/// out); [`StreamHarness::with_spec`] drives any [`MatrixWrapperSpec`]
+/// geometry. See the [crate-level example](crate).
 ///
 /// The harness is generic over the simulation engine. The default is the
 /// interpreted [`Simulator`]; [`StreamHarness::compiled`] builds one on the
@@ -30,6 +34,8 @@ pub struct StreamTiming {
 #[derive(Debug)]
 pub struct StreamHarness<B: SimBackend = Simulator> {
     sim: B,
+    rows: usize,
+    cols: usize,
     in_elem_width: u32,
     out_elem_width: u32,
     /// Protocol violations observed during runs.
@@ -59,7 +65,10 @@ impl StreamHarness<Simulator> {
         in_elem_width: u32,
         out_elem_width: u32,
     ) -> Result<Self, ValidateError> {
-        Self::with_backend(module, in_elem_width, out_elem_width)
+        Self::with_backend(
+            module,
+            MatrixWrapperSpec::new(8, 8, in_elem_width, out_elem_width),
+        )
     }
 }
 
@@ -86,7 +95,10 @@ impl StreamHarness<CompiledSimulator> {
         in_elem_width: u32,
         out_elem_width: u32,
     ) -> Result<Self, ValidateError> {
-        Self::with_backend(module, in_elem_width, out_elem_width)
+        Self::with_backend(
+            module,
+            MatrixWrapperSpec::new(8, 8, in_elem_width, out_elem_width),
+        )
     }
 
     /// A compiled-backend harness with explicit engine construction options
@@ -103,8 +115,7 @@ impl StreamHarness<CompiledSimulator> {
     ) -> Result<Self, ValidateError> {
         Ok(Self::from_sim(
             CompiledSimulator::with_options(module, options)?,
-            12,
-            9,
+            MatrixWrapperSpec::idct(),
         ))
     }
 }
@@ -120,25 +131,28 @@ impl StreamHarness<hc_sim::NativeSimulator> {
     /// Returns the module's [`ValidateError`] if it is structurally
     /// invalid.
     pub fn native(module: Module) -> Result<Self, ValidateError> {
-        Self::with_backend(module, 12, 9)
+        Self::with_backend(module, MatrixWrapperSpec::idct())
     }
 }
 
 impl<B: SimBackend> StreamHarness<B> {
-    fn with_backend(
-        module: Module,
-        in_elem_width: u32,
-        out_elem_width: u32,
-    ) -> Result<Self, ValidateError> {
-        Ok(Self::from_sim(
-            B::from_module(module)?,
-            in_elem_width,
-            out_elem_width,
-        ))
+    /// Builds a harness on any backend for an explicit wrapper geometry
+    /// and applies one reset cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns the module's [`ValidateError`] if it is structurally
+    /// invalid.
+    pub fn with_spec(module: Module, spec: MatrixWrapperSpec) -> Result<Self, ValidateError> {
+        Self::with_backend(module, spec)
+    }
+
+    fn with_backend(module: Module, spec: MatrixWrapperSpec) -> Result<Self, ValidateError> {
+        Ok(Self::from_sim(B::from_module(module)?, spec))
     }
 
     /// Wraps an already-constructed engine and applies one reset cycle.
-    fn from_sim(mut sim: B, in_elem_width: u32, out_elem_width: u32) -> Self {
+    fn from_sim(mut sim: B, spec: MatrixWrapperSpec) -> Self {
         sim.set_u64("rst", 1);
         sim.set_u64("s_axis_tvalid", 0);
         sim.set_u64("m_axis_tready", 0);
@@ -146,8 +160,10 @@ impl<B: SimBackend> StreamHarness<B> {
         sim.set_u64("rst", 0);
         StreamHarness {
             sim,
-            in_elem_width,
-            out_elem_width,
+            rows: spec.rows as usize,
+            cols: spec.cols as usize,
+            in_elem_width: spec.in_elem_width,
+            out_elem_width: spec.out_elem_width,
             protocol_errors: Vec::new(),
         }
     }
@@ -157,24 +173,64 @@ impl<B: SimBackend> StreamHarness<B> {
         &mut self.sim
     }
 
-    /// Streams `matrices` through the wrapper back-to-back and collects the
-    /// decoded outputs plus timing. Gives up after `max_cycles` (returning
-    /// whatever was collected — callers assert on the output count).
+    /// Streams 8×8 matrices through the wrapper back-to-back and collects
+    /// the decoded outputs plus timing. Gives up after `max_cycles`
+    /// (returning whatever was collected — callers assert on the output
+    /// count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the harness geometry is not 8×8 (use [`Self::run_flat`]).
     pub fn run(
         &mut self,
         matrices: &[[[i32; 8]; 8]],
         max_cycles: u64,
     ) -> (Vec<[[i32; 8]; 8]>, StreamTiming) {
-        let mut driver = AxisDriver::new("s_axis", self.in_elem_width * 8);
+        assert_eq!((self.rows, self.cols), (8, 8), "run() is the 8x8 API");
+        let flat: Vec<Vec<i32>> = matrices
+            .iter()
+            .map(|m| m.iter().flatten().copied().collect())
+            .collect();
+        let (outs, timing) = self.run_flat(&flat, max_cycles);
+        let outputs = outs
+            .into_iter()
+            .map(|o| {
+                let mut m = [[0i32; 8]; 8];
+                for (i, v) in o.into_iter().enumerate() {
+                    m[i / 8][i % 8] = v;
+                }
+                m
+            })
+            .collect();
+        (outputs, timing)
+    }
+
+    /// Streams row-major `rows`×`cols` blocks through the wrapper
+    /// back-to-back and collects the decoded outputs plus timing. Gives up
+    /// after `max_cycles` (returning whatever was collected — callers
+    /// assert on the output count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a block does not have `rows * cols` elements.
+    pub fn run_flat(
+        &mut self,
+        blocks: &[Vec<i32>],
+        max_cycles: u64,
+    ) -> (Vec<Vec<i32>>, StreamTiming) {
+        let rows = self.rows;
+        let cols = self.cols;
+        let mut driver = AxisDriver::new("s_axis", self.in_elem_width * cols as u32);
         let mut monitor = AxisMonitor::new("m_axis");
         let mut checker = ProtocolChecker::new("m_axis");
-        for matrix in matrices {
-            for row in matrix {
-                driver.push(pack_elems(row, self.in_elem_width));
+        for block in blocks {
+            assert_eq!(block.len(), rows * cols, "block has rows*cols elements");
+            for row in block.chunks(cols) {
+                driver.push(pack_elems_n(row, self.in_elem_width));
             }
         }
 
-        let expected_beats = matrices.len() * 8;
+        let expected_beats = blocks.len() * rows;
         let start_cycle = self.sim.cycle();
         let mut first_in_beats: Vec<u64> = Vec::new();
         for _ in 0..max_cycles {
@@ -185,7 +241,9 @@ impl<B: SimBackend> StreamHarness<B> {
             monitor.before_edge(&mut self.sim);
             driver.before_edge(&mut self.sim);
             checker.before_edge(&mut self.sim);
-            if driver.beats_sent > sent_before && (driver.beats_sent - 1).is_multiple_of(8) {
+            if driver.beats_sent > sent_before
+                && (driver.beats_sent - 1).is_multiple_of(rows as u64)
+            {
                 first_in_beats.push(self.sim.cycle());
             }
             self.sim.step();
@@ -195,27 +253,32 @@ impl<B: SimBackend> StreamHarness<B> {
         }
         self.protocol_errors.extend(checker.errors);
 
-        let outputs: Vec<[[i32; 8]; 8]> = monitor
+        let outputs: Vec<Vec<i32>> = monitor
             .beats
-            .chunks(8)
-            .filter(|c| c.len() == 8)
-            .map(|rows| {
-                let mut m = [[0i32; 8]; 8];
-                for (r, (_, bits)) in rows.iter().enumerate() {
-                    m[r] = unpack_elems(bits, self.out_elem_width);
+            .chunks(rows)
+            .filter(|c| c.len() == rows)
+            .map(|beat_rows| {
+                let mut block = Vec::with_capacity(rows * cols);
+                for (_, bits) in beat_rows {
+                    block.extend(unpack_elems_n(bits, self.out_elem_width, cols));
                 }
-                m
+                block
             })
             .collect();
 
         // Timing: latency of matrix 0; periodicity from steady state.
         let mut timing = StreamTiming::default();
         if !monitor.beats.is_empty() && !first_in_beats.is_empty() {
-            let last_out_of_first = monitor.beats.get(7).map(|(c, _)| *c);
+            let last_out_of_first = monitor.beats.get(rows - 1).map(|(c, _)| *c);
             if let Some(last) = last_out_of_first {
                 timing.latency = last - first_in_beats[0] + 1;
             }
-            let firsts: Vec<u64> = monitor.beats.iter().step_by(8).map(|(c, _)| *c).collect();
+            let firsts: Vec<u64> = monitor
+                .beats
+                .iter()
+                .step_by(rows)
+                .map(|(c, _)| *c)
+                .collect();
             if firsts.len() >= 3 {
                 // Steady state: the spacing of the last pair.
                 timing.periodicity = firsts[firsts.len() - 1] - firsts[firsts.len() - 2];
@@ -228,9 +291,9 @@ impl<B: SimBackend> StreamHarness<B> {
     }
 }
 
-/// Packs 8 signed elements into one row word, element 0 in the low bits.
-pub fn pack_elems(row: &[i32; 8], elem_width: u32) -> Bits {
-    let mut word = Bits::zero(elem_width * 8);
+/// Packs signed elements into one row word, element 0 in the low bits.
+pub fn pack_elems_n(row: &[i32], elem_width: u32) -> Bits {
+    let mut word = Bits::zero(elem_width * row.len() as u32);
     for (c, &v) in row.iter().enumerate() {
         let e = Bits::from_i64(elem_width, i64::from(v));
         for b in 0..elem_width {
@@ -242,12 +305,23 @@ pub fn pack_elems(row: &[i32; 8], elem_width: u32) -> Bits {
     word
 }
 
+/// Unpacks one row word into `n` sign-extended elements.
+pub fn unpack_elems_n(word: &Bits, elem_width: u32, n: usize) -> Vec<i32> {
+    (0..n)
+        .map(|c| word.slice(c as u32 * elem_width, elem_width).to_i64() as i32)
+        .collect()
+}
+
+/// Packs 8 signed elements into one row word, element 0 in the low bits.
+pub fn pack_elems(row: &[i32; 8], elem_width: u32) -> Bits {
+    pack_elems_n(row, elem_width)
+}
+
 /// Unpacks one row word into 8 sign-extended elements.
 pub fn unpack_elems(word: &Bits, elem_width: u32) -> [i32; 8] {
+    let v = unpack_elems_n(word, elem_width, 8);
     let mut out = [0i32; 8];
-    for (c, slot) in out.iter_mut().enumerate() {
-        *slot = word.slice(c as u32 * elem_width, elem_width).to_i64() as i32;
-    }
+    out.copy_from_slice(&v);
     out
 }
 
@@ -333,5 +407,21 @@ mod tests {
             assert_eq!(o[0][0], k as i32);
         }
         assert_eq!(timing.periodicity, 8);
+    }
+
+    #[test]
+    fn non_8x8_geometry_streams_through() {
+        let spec = MatrixWrapperSpec::new(4, 4, 12, 9);
+        let w = wrap_comb_matrix("w4", spec, |m, elems| {
+            elems.iter().map(|&e| m.slice(e, 0, 9)).collect()
+        });
+        let mut h = StreamHarness::<Simulator>::with_spec(w, spec).unwrap();
+        let blocks: Vec<Vec<i32>> = (0..3)
+            .map(|k| (0..16).map(|i| k * 16 + i).collect())
+            .collect();
+        let (outs, timing) = h.run_flat(&blocks, 500);
+        assert_eq!(outs, blocks);
+        assert_eq!(timing.periodicity, 4);
+        assert!(h.protocol_errors.is_empty());
     }
 }

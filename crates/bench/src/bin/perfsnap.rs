@@ -368,6 +368,38 @@ fn main() {
         .collect::<Vec<_>>()
         .join(",\n    ");
 
+    println!("kernel x frontend matrix (nblocks = {nblocks})...");
+    // Every registry kernel across all seven frontends: measure_cell
+    // asserts golden agreement, so a cell only lands here (with
+    // "agreement": true) if it was bit-exact; ci.sh gates on all
+    // kernels x frontends being present and agreeing.
+    let mut matrix_entries: Vec<String> = Vec::new();
+    for spec in hc_bench::kernels::kernels() {
+        let rows = hc_core::matrix::measure_kernel_matrix(&spec, nblocks.max(2));
+        for row in &rows {
+            let m = &row.measurement;
+            println!(
+                "  {:26} {:9.1} MOPS  Q {:10.3}  T_P {:4}  alpha {:6.1}%  C_Q {:6.1}%",
+                m.label, m.throughput_mops, m.q, m.periodicity, row.automation, row.controllability
+            );
+            matrix_entries.push(format!(
+                "\"{}\": {{\"throughput_mops\": {:.2}, \"q\": {:.4}, \
+                 \"periodicity\": {}, \"latency\": {}, \"loc\": {}, \
+                 \"automation\": {:.1}, \"controllability\": {:.1}, \
+                 \"agreement\": true}}",
+                m.label,
+                m.throughput_mops,
+                m.q,
+                m.periodicity,
+                m.latency,
+                m.loc,
+                row.automation,
+                row.controllability,
+            ));
+        }
+    }
+    let matrix_json = matrix_entries.join(",\n    ");
+
     println!("fig. 1 sweep (nblocks = {nblocks})...");
     // The first sweep of the process is the warm-start probe: with
     // HC_STORE_DIR set and a populated store, every front half and
@@ -471,6 +503,7 @@ fn main() {
          \"fig1_point_seconds_p90\": {point_p90:.4},\n  \
          \"fig1_point_seconds_max\": {point_max:.4},\n  \
          \"tape\": [\n    {tape_json}\n  ],\n  \
+         \"matrix\": {{\n    {matrix_json}\n  }},\n  \
          \"metrics\": {metrics},\n  \
          \"threads\": {threads}\n}}\n",
         main_rep = report_json(&main_report),

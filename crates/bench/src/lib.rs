@@ -16,6 +16,10 @@
 
 use std::sync::OnceLock;
 
+/// The kernel registry of the benchmark matrix, re-exported so drivers
+/// and tests can write `hc_bench::kernels::kernels()`.
+pub use hc_kernels as kernels;
+
 use hc_core::entries::{all_tools, dse_points, Design};
 use hc_core::measure::{measure, measure_uncached, Measurement};
 use hc_core::par::{adaptive_chunk, parallel_map_chunked};

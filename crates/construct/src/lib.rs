@@ -32,6 +32,7 @@
 
 mod circuit;
 pub mod designs;
+pub mod matrix;
 mod reg;
 mod signal;
 

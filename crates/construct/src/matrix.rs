@@ -1,0 +1,154 @@
+//! Benchmark-matrix kernels in the construction eDSL — the "Chisel"
+//! column of the kernel × frontend matrix.
+//!
+//! Written the way a Chisel designer would: width-inferred signed
+//! arithmetic (`lit_min` coefficients, widening `mul`/`add`), explicit
+//! `trunc` only where the algorithm wraps, and a two-`select` saturation.
+//! The separable kernels share one generic row-pass/column-pass
+//! implementation across N = 4/8/16; the FIR is a flat convolution.
+//!
+//! Bringing these kernels up exposed a real width-inference bug:
+//! `SInt::select_index` aligned its options to the *first* option's width,
+//! so any coefficient vector whose first entry was narrower than a later
+//! one silently truncated the wide entries (see the named regression test
+//! in `signal.rs`).
+
+use crate::{Circuit, SInt};
+use hc_kernels::{Algo, KernelSpec};
+use hc_rtl::{Module, ValidateError};
+
+/// This module's own source text — the matrix LOC accounting counts the
+/// kernel-construction functions here the way the paper counts design LOC.
+pub const DESIGN_SRC: &str = include_str!("matrix.rs");
+
+/// `(Σ coeff[i]·v[i] + bias) >> shift`, width-inferred.
+fn mac(c: &Circuit, v: &[SInt], coeffs: &[i64], bias: i64, shift: u32) -> SInt {
+    let mut acc = c.lit_min(bias);
+    for (x, &k) in v.iter().zip(coeffs) {
+        if k == 0 {
+            continue;
+        }
+        let p = x.mul(&c.lit_min(k));
+        acc = acc.add(&p);
+    }
+    acc.shr(shift)
+}
+
+/// Saturate into the signed `out_width` range, then truncate.
+fn clip(c: &Circuit, v: &SInt, out_width: u32) -> SInt {
+    let hi = (1i64 << (out_width - 1)) - 1;
+    let lo = c.lit_min(-hi - 1);
+    let hic = c.lit_min(hi);
+    let clipped = SInt::select(&v.lt(&lo), &lo, &SInt::select(&v.gt(&hic), &hic, v));
+    clipped.trunc(out_width)
+}
+
+/// The kernel as a combinational module: `rows*cols` inputs `e{i}`
+/// (row-major), the same count of outputs `o{i}`.
+///
+/// # Errors
+///
+/// Never fails for registry kernels; the `Result` mirrors
+/// [`Circuit::finish`].
+pub fn matrix_module(spec: &KernelSpec) -> Result<Module, ValidateError> {
+    let c = Circuit::new(&format!("{}_construct", spec.id));
+    let elems: Vec<SInt> = (0..spec.elems())
+        .map(|i| c.input(&format!("e{i}"), spec.in_width))
+        .collect();
+    match &spec.algo {
+        Algo::Separable {
+            m,
+            mid_width,
+            s1,
+            b1,
+            s2,
+            b2,
+        } => {
+            let n = spec.cols as usize;
+            // Row pass: T[r][j], wrapped to the mid width.
+            let t: Vec<Vec<SInt>> = (0..n)
+                .map(|r| {
+                    let row = &elems[r * n..(r + 1) * n];
+                    (0..n)
+                        .map(|j| mac(&c, row, &m[j], *b1, *s1).trunc(*mid_width))
+                        .collect()
+                })
+                .collect();
+            // Column pass: Y[i][c], saturated into the output range.
+            #[allow(clippy::needless_range_loop)]
+            for i in 0..n {
+                for col in 0..n {
+                    let column: Vec<SInt> = (0..n).map(|r| t[r][col].clone()).collect();
+                    let v = mac(&c, &column, &m[i], *b2, *s2);
+                    c.output(&format!("o{}", i * n + col), &clip(&c, &v, spec.out_width));
+                }
+            }
+        }
+        Algo::Fir { taps, shift, bias } => {
+            for i in 0..spec.elems() {
+                let window: Vec<SInt> = (0..taps.len().min(i + 1))
+                    .map(|j| elems[i - j].clone())
+                    .collect();
+                let v = mac(&c, &window, taps, *bias, *shift);
+                c.output(&format!("o{i}"), &clip(&c, &v, spec.out_width));
+            }
+        }
+    }
+    c.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hc_axi::{wrap_comb_matrix, MatrixWrapperSpec, StreamHarness};
+    use hc_sim::Simulator;
+
+    fn design(spec: &KernelSpec) -> Module {
+        let kernel = matrix_module(spec).unwrap();
+        let wspec = MatrixWrapperSpec::new(spec.rows, spec.cols, spec.in_width, spec.out_width);
+        wrap_comb_matrix(
+            &format!("{}_construct_axis", spec.id),
+            wspec,
+            |m, inputs| {
+                let outs = m.inline_from("kernel", &kernel, inputs);
+                (0..spec.elems()).map(|i| outs[&format!("o{i}")]).collect()
+            },
+        )
+    }
+
+    #[test]
+    fn modules_are_pure_and_sized() {
+        for spec in hc_kernels::kernels() {
+            let m = matrix_module(&spec).unwrap();
+            assert_eq!(m.inputs().len(), spec.elems(), "{}", spec.id);
+            assert_eq!(m.outputs().len(), spec.elems(), "{}", spec.id);
+            assert!(m.regs().is_empty(), "{}", spec.id);
+        }
+    }
+
+    #[test]
+    fn dct8_comb_matches_golden() {
+        let spec = hc_kernels::dct8();
+        let wspec = MatrixWrapperSpec::new(spec.rows, spec.cols, spec.in_width, spec.out_width);
+        let mut h = StreamHarness::<Simulator>::with_spec(design(&spec), wspec).unwrap();
+        let blocks = spec.stimulus(2, 17);
+        let (outs, _) = h.run_flat(&blocks, 2_000);
+        assert_eq!(outs.len(), 2);
+        for (o, b) in outs.iter().zip(&blocks) {
+            assert_eq!(o, &spec.golden(b));
+        }
+    }
+
+    #[test]
+    fn idct16_comb_matches_golden() {
+        // The 16×16 kernel is the one whose coefficient spread (71..721)
+        // tripped the select_index width bug; keep it pinned here.
+        let spec = hc_kernels::idct16();
+        let wspec = MatrixWrapperSpec::new(spec.rows, spec.cols, spec.in_width, spec.out_width);
+        let mut h = StreamHarness::<Simulator>::with_spec(design(&spec), wspec).unwrap();
+        let blocks = spec.stimulus(1, 9);
+        let (outs, _) = h.run_flat(&blocks, 2_000);
+        assert_eq!(outs.len(), 1);
+        assert_eq!(outs[0], spec.golden(&blocks[0]));
+    }
+}

@@ -148,7 +148,11 @@ impl SInt {
         let nodes: Vec<_> = options.iter().map(SInt::node).collect();
         let first = &options[0];
         first.make(first.with(|m| {
-            let w = m.width(nodes[0]);
+            // Align to the widest option, not options[0]: coefficient
+            // tables whose first entry is narrow (e.g. a DCT row starting
+            // at a small literal) were silently truncating every wider
+            // option to the first one's width.
+            let w = nodes.iter().map(|&n| m.width(n)).max().expect("non-empty");
             let aligned: Vec<_> = nodes.iter().map(|&n| m.sext(n, w)).collect();
             m.select(sel.node(), &aligned)
         }))
@@ -309,6 +313,23 @@ mod tests {
         assert_eq!(run1(c.clone(), &[("a", -400)]), -256);
         assert_eq!(run1(c.clone(), &[("a", 300)]), 255);
         assert_eq!(run1(c, &[("a", 42)]), 42);
+    }
+
+    #[test]
+    fn select_index_aligns_to_the_widest_option() {
+        // Regression: select_index aligned every option to options[0]'s
+        // width, truncating wider later options — a coefficient vector
+        // starting with a narrow literal (lit_min(71) is 8 bits,
+        // lit_min(721) is 11) lost the high bits of every wide entry.
+        // Found by the idct16 matrix kernel's coefficient lookup.
+        let c = Circuit::new("t");
+        let sel = c.input("s", 3);
+        let opts = [c.lit_min(71), c.lit_min(721), c.lit_min(-721)];
+        let y = SInt::select_index(&sel, &opts);
+        c.output("y", &y);
+        assert_eq!(run1(c.clone(), &[("s", 0)]), 71);
+        assert_eq!(run1(c.clone(), &[("s", 1)]), 721);
+        assert_eq!(run1(c, &[("s", 2)]), -721);
     }
 
     #[test]

@@ -33,6 +33,7 @@
 pub mod cache;
 pub mod dse;
 pub mod entries;
+pub mod matrix;
 pub mod measure;
 pub mod metrics;
 pub mod par;

@@ -159,6 +159,14 @@ pub fn measure(design: &Design, nblocks: usize) -> Measurement {
 ///
 /// The panic payload of the failed measurement, stringified.
 pub fn try_measure(design: &Design, nblocks: usize) -> Result<Measurement, String> {
+    let design = design.clone();
+    quiet_catch(move || measure(&design, nblocks))
+}
+
+/// Runs a measurement closure with panics caught, printing suppressed and
+/// the payload stringified — the shared probe machinery behind
+/// [`try_measure`] and [`crate::matrix::try_measure_cell`].
+pub(crate) fn quiet_catch(f: impl FnOnce() -> Measurement) -> Result<Measurement, String> {
     use std::cell::Cell;
     use std::sync::Once;
 
@@ -180,11 +188,8 @@ pub fn try_measure(design: &Design, nblocks: usize) -> Result<Measurement, Strin
         }));
     });
 
-    let design = design.clone();
     SUPPRESS_PANIC_PRINT.with(|f| f.set(true));
-    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
-        measure(&design, nblocks)
-    }));
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
     SUPPRESS_PANIC_PRINT.with(|f| f.set(false));
     result.map_err(|payload| {
         payload

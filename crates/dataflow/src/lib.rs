@@ -33,5 +33,6 @@
 
 pub mod designs;
 mod kernel;
+pub mod matrix;
 
 pub use kernel::{Kernel, StreamValue};

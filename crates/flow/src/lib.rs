@@ -38,6 +38,7 @@
 pub mod designs;
 mod error;
 mod kernel;
+pub mod matrix;
 mod pipeliner;
 
 pub use error::FlowError;

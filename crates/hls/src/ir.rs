@@ -57,7 +57,9 @@ impl BodyValue {
 pub(crate) enum BodyOp {
     /// Signed literal (width, value).
     Const(u32, i64),
-    /// The loop induction variable (width 8).
+    /// The loop induction variable (width 16 — wide enough for the
+    /// matrix kernels' 256-iteration copy loops, where the original 8-bit
+    /// counter overflowed).
     LoopVar,
     Add(BodyValue, BodyValue),
     Sub(BodyValue, BodyValue),
@@ -178,14 +180,16 @@ impl Program {
         }
         let body = std::mem::take(&mut l.ops);
         let mut out: Vec<BodyOp> = Vec::with_capacity(body.len() * factor as usize + 3);
-        // Shared prelude: the new induction variable, scaled.
+        // Shared prelude: the new induction variable, scaled. 16-bit like
+        // LoopVar itself: an 8-bit rescale silently wrapped for trip
+        // counts past 256 (and factors past 127).
         out.push(BodyOp::LoopVar); // op 0
-        out.push(BodyOp::Const(8, i64::from(factor))); // op 1
-        out.push(BodyOp::Mul(BodyValue(0), BodyValue(1), 8)); // op 2 = i * factor
+        out.push(BodyOp::Const(16, i64::from(factor))); // op 1
+        out.push(BodyOp::Mul(BodyValue(0), BodyValue(1), 16)); // op 2 = i * factor
         for k in 0..factor {
             let base = out.len();
             // Per-copy induction value: i * factor + k.
-            out.push(BodyOp::Const(8, i64::from(k)));
+            out.push(BodyOp::Const(16, i64::from(k)));
             out.push(BodyOp::Add(BodyValue(2), BodyValue(base)));
             let iv = BodyValue(base + 1);
             let offset = out.len();
@@ -194,7 +198,7 @@ impl Program {
                 let new = match op.clone() {
                     BodyOp::LoopVar => {
                         // Alias the copy's induction value.
-                        BodyOp::Cast(iv, 8)
+                        BodyOp::Cast(iv, 16)
                     }
                     BodyOp::Const(w, x) => BodyOp::Const(w, x),
                     BodyOp::Add(a, b) => BodyOp::Add(remap(a), remap(b)),
@@ -251,7 +255,7 @@ impl BodyBuilder {
         self.push(BodyOp::Const(width, value))
     }
 
-    /// The loop induction variable (8 bits, unsigned values).
+    /// The loop induction variable (16 bits, unsigned values).
     pub fn loop_var(&mut self) -> BodyValue {
         self.push(BodyOp::LoopVar)
     }

@@ -25,6 +25,7 @@
 
 pub mod designs;
 mod ir;
+pub mod matrix;
 mod pipegen;
 mod schedule;
 mod seqgen;

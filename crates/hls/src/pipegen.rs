@@ -60,7 +60,10 @@ pub fn compile_pipelined(
             for op in &l.ops {
                 let (v, c): (Option<Value>, Option<i64>) = match *op {
                     BodyOp::Const(w, value) => (Some(k.lit(w, value)), Some(value)),
-                    BodyOp::LoopVar => (Some(k.lit(8, i64::from(it))), Some(i64::from(it))),
+                    // 16-bit like the sequential path's counter: an 8-bit
+                    // signed literal cannot represent induction values past
+                    // 127, which every trip-256 matrix loop reaches.
+                    BodyOp::LoopVar => (Some(k.lit(16, i64::from(it))), Some(i64::from(it))),
                     BodyOp::Add(a, b) => {
                         let r = k.add(vals[a.0].expect("value"), vals[b.0].expect("value"));
                         let c = match (consts[a.0], consts[b.0]) {
@@ -208,6 +211,40 @@ mod tests {
         sim.run(u64::from(stages));
         for i in 0..4 {
             assert_eq!(sim.get(&format!("o{i}")).to_i64(), 2 * (i64::from(i) - 2));
+        }
+    }
+
+    #[test]
+    fn induction_values_past_127_collapse_correctly() {
+        // Regression: symbolic execution materialized LoopVar as an 8-bit
+        // *signed* literal, which cannot represent iteration numbers past
+        // 127 — every trip-256 matrix loop panicked (or wrapped) at
+        // iteration 128. Found by the idct16 matrix kernel.
+        let mut p = Program::new("big");
+        let input = p.array("input", 12, 256, ArrayKind::Input);
+        let out = p.array("out", 16, 256, ArrayKind::Output);
+        p.add_loop("inc", 256, true, |b| {
+            let j = b.loop_var();
+            let v = b.load(input, j);
+            let w = b.add(v, j); // consumes the induction *value* too
+            let s = b.slice(w, 0, 16);
+            b.store(out, j, s);
+        });
+        let (m, _) = compile_pipelined(&p, 5.0, "big").unwrap();
+        let mut sim = Simulator::new(m).unwrap();
+        for i in 0..256 {
+            sim.set(
+                &format!("e{i}"),
+                hc_bits::Bits::from_i64(12, i64::from(i) - 128),
+            );
+        }
+        sim.run(64);
+        for i in [0i64, 127, 128, 200, 255] {
+            assert_eq!(
+                sim.get(&format!("o{i}")).to_i64(),
+                (i - 128) + i,
+                "element {i}"
+            );
         }
     }
 

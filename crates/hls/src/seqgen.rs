@@ -88,11 +88,14 @@ pub fn compile_sequential(
     // ------------------------------------------------------------------
     // FSM: running / loop_idx / iter / cstep.
     // ------------------------------------------------------------------
+    // The iteration counter and per-loop trip constants are 16 bits: the
+    // matrix kernels' 256-element copy loops overflowed the original
+    // 8-bit counter (a trip count of 256 does not even fit its constant).
     let running = m.reg("running", 1, Bits::zero(1));
     let running_q = m.reg_out(running);
     let loop_idx = m.reg("loop_idx", 8, Bits::zero(8));
     let loop_q = m.reg_out(loop_idx);
-    let iter = m.reg("iter", 8, Bits::zero(8));
+    let iter = m.reg("iter", 16, Bits::zero(16));
     let iter_q = m.reg_out(iter);
     let cstep = m.reg("cstep", 16, Bits::zero(16));
     let cstep_q = m.reg_out(cstep);
@@ -105,7 +108,7 @@ pub fn compile_sequential(
     let trips: Vec<NodeId> = program
         .loops
         .iter()
-        .map(|l| m.const_u(8, u64::from(l.trip)))
+        .map(|l| m.const_u(16, u64::from(l.trip)))
         .collect();
     let trip_cur = m.select(loop_q, &trips);
 
@@ -115,7 +118,7 @@ pub fn compile_sequential(
     let zero8 = m.const_u(8, 0);
     let lat_m1 = m.binary(BinaryOp::Sub, lat_cur, one16, 16);
     let at_last_step = m.binary(BinaryOp::Eq, cstep_q, lat_m1, 1);
-    let trip_m1 = m.binary(BinaryOp::Sub, trip_cur, one8, 8);
+    let trip_m1 = m.binary(BinaryOp::Sub, trip_cur, one16, 16);
     let at_last_iter = m.binary(BinaryOp::Eq, iter_q, trip_m1, 1);
     let last_loop = m.const_u(8, program.loops.len() as u64 - 1);
     let at_last_loop = m.binary(BinaryOp::Eq, loop_q, last_loop, 1);
@@ -140,11 +143,11 @@ pub fn compile_sequential(
     m.connect_reg(cstep, step_next);
     m.reg_reset(cstep, rst);
 
-    let iter_inc = m.binary(BinaryOp::Add, iter_q, one8, 8);
-    let iter_wrap = m.mux(at_last_iter, zero8, iter_inc);
+    let iter_inc = m.binary(BinaryOp::Add, iter_q, one16, 16);
+    let iter_wrap = m.mux(at_last_iter, zero16, iter_inc);
     let iter_step = m.mux(at_last_step, iter_wrap, iter_q);
     let iter_run = m.mux(running_q, iter_step, iter_q);
-    let iter_next = m.mux(launch, zero8, iter_run);
+    let iter_next = m.mux(launch, zero16, iter_run);
     m.connect_reg(iter, iter_next);
     m.reg_reset(iter, rst);
 
@@ -433,6 +436,77 @@ mod tests {
         let _ = cycles;
         // 64 copies + 64 computes, a handful of steps each.
         assert!(cycles > 128, "{cycles}");
+    }
+
+    /// `out[j] = input[j] + 1` over 256 elements — the 16×16 matrix
+    /// kernels' copy-loop shape.
+    fn incrementer_256() -> Program {
+        let mut p = Program::new("t256");
+        let input = p.array("input", 12, 256, ArrayKind::Input);
+        let out = p.array("out", 12, 256, ArrayKind::Output);
+        p.add_loop("copy", 256, false, |b| {
+            let j = b.loop_var();
+            let v = b.load(input, j);
+            let one = b.lit(12, 1);
+            let v1 = b.add(v, one);
+            let s = b.slice(v1, 0, 12);
+            b.store(out, j, s);
+        });
+        p
+    }
+
+    fn run_256(m: Module) -> Vec<i64> {
+        let mut sim = Simulator::new(m).unwrap();
+        sim.set_u64("rst", 1);
+        sim.step();
+        sim.set_u64("rst", 0);
+        for i in 0..256 {
+            sim.set(
+                &format!("e{i}"),
+                hc_bits::Bits::from_i64(12, i64::from(i) - 128),
+            );
+        }
+        sim.set_u64("start", 1);
+        sim.step();
+        sim.set_u64("start", 0);
+        for _ in 0..20_000 {
+            if sim.get("done").to_bool() {
+                break;
+            }
+            sim.step();
+        }
+        assert!(sim.get("done").to_bool(), "kernel never finished");
+        (0..256)
+            .map(|i| sim.get(&format!("o{i}")).to_i64())
+            .collect()
+    }
+
+    #[test]
+    fn trip_256_loop_counts_all_iterations() {
+        // Regression: the FSM's iteration counter and per-loop trip
+        // constants were 8 bits wide, so a 256-iteration loop could not
+        // even represent its trip count (`const_u(8, 256)`), let alone
+        // count past iteration 255. Found by the idct16 matrix kernel.
+        let m = compile_sequential(&incrementer_256(), &ScheduleConstraints::default(), "t256")
+            .unwrap();
+        let outs = run_256(m);
+        for (i, &v) in outs.iter().enumerate() {
+            assert_eq!(v, i as i64 - 128 + 1, "element {i}");
+        }
+    }
+
+    #[test]
+    fn unrolled_trip_256_loop_indexes_do_not_wrap() {
+        // Regression: `unroll` rebuilt the induction variable with 8-bit
+        // constants and an 8-bit multiply, so per-copy indexes past 127
+        // went negative (i*factor+k is signed). Found by unrolling the
+        // idct16 copy loop.
+        let mut p = incrementer_256();
+        p.unroll(0, 4);
+        let m = compile_sequential(&p, &ScheduleConstraints::default(), "t256u").unwrap();
+        let outs = run_256(m);
+        assert_eq!(outs[255], 255 - 128 + 1);
+        assert_eq!(outs[128], 1); // i - 128 + 1 at the wrap point i = 128
     }
 
     #[test]

@@ -1,0 +1,459 @@
+//! Benchmark kernel registry for the kernel × frontend matrix.
+//!
+//! The paper evaluates its seven language/tool pairs on exactly one
+//! workload — the 8×8 IDCT — so every parser, elaborator, scheduler, and
+//! codegen path in the frontends has only ever been exercised by one
+//! design shape. This crate defines the *workload axis* of the matrix:
+//! each [`KernelSpec`] fixes a block geometry, element widths, and an
+//! exact fixed-point algorithm with an executable golden model
+//! ([`KernelSpec::golden`]) that every frontend implementation must match
+//! bit for bit on every simulation backend.
+//!
+//! Two algorithm families cover the matrix:
+//!
+//! * [`Algo::Separable`] — a row-pass/column-pass separable transform
+//!   `round((M·Xᵀ)ᵀ·M)`, parameterized by an `n × n` coefficient matrix.
+//!   The forward 8×8 DCT, the 4×4 IDCT, and the 16×16 IDCT are all
+//!   instances, so one frontend implementation generalizes across sizes
+//!   (exactly the N×N size parameter the benchmark-matrix roadmap item
+//!   calls for).
+//! * [`Algo::Fir`] — a 32-tap FIR filter over the 64 samples of an 8×8
+//!   block (row-major, history reset at block boundaries), which has a
+//!   completely different loop structure (single MAC loop, deep history)
+//!   and exercises signed coefficients and accumulator growth on a
+//!   non-transform shape.
+//!
+//! The fixed-point schema is shared by all separable kernels: coefficients
+//! at scale 2^11; the row pass adds `2^(S1-1)` and shifts right `S1 = 8`,
+//! truncating (with sign-wrap) to [`KernelSpec::mid_width`] bits; the
+//! column pass adds `2^(S2-1)` and shifts right `S2 = 14`, clipping into
+//! the signed output range. The two shifts undo the two coefficient
+//! scales (8 + 14 = 2·11 + 0), so the composite transform is
+//! approximately orthonormal. This mirrors the classic Chen–Wang
+//! practical-IDCT structure the seed's Table II kernel already uses.
+//!
+//! Everything here is plain `i64` arithmetic over hardcoded tables — no
+//! floats on the golden path, no dependencies — so golden values are
+//! identical on every host and safe to embed in cache keys.
+
+mod tables;
+
+pub use tables::{DCT8, FIR32, IDCT16, IDCT4};
+
+/// The fixed-point algorithm of a kernel, with all constants explicit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Algo {
+    /// Separable row-pass/column-pass transform by a square coefficient
+    /// matrix `m` (row pass computes `T[r][j] = (Σ_c m[j][c]·X[r][c] + b1)
+    /// >> s1`, sign-wrapped to `mid_width` bits; column pass computes
+    /// `Y[i][c] = clip((Σ_r m[i][r]·T[r][c] + b2) >> s2)`).
+    Separable {
+        /// `n × n` coefficient matrix, scale 2^11.
+        m: Vec<Vec<i64>>,
+        /// Width (bits, signed) the row-pass results are wrapped to.
+        mid_width: u32,
+        /// Row-pass right shift.
+        s1: u32,
+        /// Row-pass rounding bias (`2^(s1-1)`).
+        b1: i64,
+        /// Column-pass right shift.
+        s2: u32,
+        /// Column-pass rounding bias (`2^(s2-1)`).
+        b2: i64,
+    },
+    /// FIR filter over the row-major samples of a block: `y[i] =
+    /// clip((Σ_k taps[k]·x[i−k] + bias) >> shift)` with `x[j] = 0` for
+    /// `j < 0` (history resets at block boundaries).
+    Fir {
+        /// Tap coefficients, scale 2^8.
+        taps: Vec<i64>,
+        /// Output right shift.
+        shift: u32,
+        /// Rounding bias (`2^(shift-1)`).
+        bias: i64,
+    },
+}
+
+/// One workload of the kernel × frontend matrix.
+#[derive(Clone, Debug)]
+pub struct KernelSpec {
+    /// Stable identifier used in test names, BENCH keys
+    /// (`matrix.<kernel>.<frontend>`) and the `hc-serve` API.
+    pub id: &'static str,
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Block rows (AXI beats per block).
+    pub rows: u32,
+    /// Block columns (elements per beat).
+    pub cols: u32,
+    /// Input element width (bits, signed).
+    pub in_width: u32,
+    /// Output element width (bits, signed).
+    pub out_width: u32,
+    /// The fixed-point algorithm.
+    pub algo: Algo,
+}
+
+/// Sign-wraps `v` into `w` bits (two's complement).
+fn wrap(v: i64, w: u32) -> i64 {
+    (v << (64 - w)) >> (64 - w)
+}
+
+/// Clips `v` into the signed `w`-bit range.
+fn clip(v: i64, w: u32) -> i64 {
+    let hi = (1i64 << (w - 1)) - 1;
+    v.clamp(-hi - 1, hi)
+}
+
+impl KernelSpec {
+    /// Elements per block.
+    pub fn elems(&self) -> usize {
+        (self.rows * self.cols) as usize
+    }
+
+    /// The sign-wrap width between the two passes of a separable kernel
+    /// (`None` for FIR).
+    pub fn mid_width(&self) -> Option<u32> {
+        match &self.algo {
+            Algo::Separable { mid_width, .. } => Some(*mid_width),
+            Algo::Fir { .. } => None,
+        }
+    }
+
+    /// The exact fixed-point golden model. `block` is row-major with
+    /// `rows * cols` elements; the result has the same layout. Every
+    /// frontend implementation of this kernel must match this bit for bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block.len() != self.elems()`.
+    pub fn golden(&self, block: &[i32]) -> Vec<i32> {
+        assert_eq!(block.len(), self.elems(), "block has rows*cols elements");
+        let n = self.cols as usize;
+        match &self.algo {
+            Algo::Separable {
+                m,
+                mid_width,
+                s1,
+                b1,
+                s2,
+                b2,
+            } => {
+                // Row pass: T[r][j] = wrap((Σ_c m[j][c]·X[r][c] + b1) >> s1).
+                let mut t = vec![vec![0i64; n]; n];
+                for r in 0..n {
+                    for j in 0..n {
+                        let mut acc = *b1;
+                        for c in 0..n {
+                            acc += m[j][c] * i64::from(block[r * n + c]);
+                        }
+                        t[r][j] = wrap(acc >> s1, *mid_width);
+                    }
+                }
+                // Column pass: Y[i][c] = clip((Σ_r m[i][r]·T[r][c] + b2) >> s2).
+                let mut out = vec![0i32; n * n];
+                for c in 0..n {
+                    for i in 0..n {
+                        let mut acc = *b2;
+                        for r in 0..n {
+                            acc += m[i][r] * t[r][c];
+                        }
+                        out[i * n + c] = clip(acc >> s2, self.out_width) as i32;
+                    }
+                }
+                out
+            }
+            Algo::Fir { taps, shift, bias } => block
+                .iter()
+                .enumerate()
+                .map(|(i, _)| {
+                    let mut acc = *bias;
+                    for (k, &tap) in taps.iter().enumerate() {
+                        if i >= k {
+                            acc += tap * i64::from(block[i - k]);
+                        }
+                    }
+                    clip(acc >> shift, self.out_width) as i32
+                })
+                .collect(),
+        }
+    }
+
+    /// The real-valued reference the fixed-point model approximates
+    /// (unscaled coefficients, no intermediate rounding, no clipping).
+    /// Useful for documenting accuracy; the agreement oracle is
+    /// [`Self::golden`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block.len() != self.elems()`.
+    pub fn reference_f64(&self, block: &[i32]) -> Vec<f64> {
+        assert_eq!(block.len(), self.elems(), "block has rows*cols elements");
+        let n = self.cols as usize;
+        match &self.algo {
+            Algo::Separable { m, .. } => {
+                let mf: Vec<Vec<f64>> = m
+                    .iter()
+                    .map(|row| row.iter().map(|&v| v as f64 / 2048.0).collect())
+                    .collect();
+                let mut t = vec![vec![0f64; n]; n];
+                for r in 0..n {
+                    for j in 0..n {
+                        t[r][j] = (0..n).map(|c| mf[j][c] * f64::from(block[r * n + c])).sum();
+                    }
+                }
+                let mut out = vec![0f64; n * n];
+                for c in 0..n {
+                    for i in 0..n {
+                        out[i * n + c] = (0..n).map(|r| mf[i][r] * t[r][c]).sum();
+                    }
+                }
+                out
+            }
+            Algo::Fir { taps, .. } => block
+                .iter()
+                .enumerate()
+                .map(|(i, _)| {
+                    taps.iter()
+                        .enumerate()
+                        .filter(|&(k, _)| i >= k)
+                        .map(|(k, &tap)| tap as f64 / 256.0 * f64::from(block[i - k]))
+                        .sum()
+                })
+                .collect(),
+        }
+    }
+
+    /// Deterministic stimulus: `nblocks` row-major blocks of full-range
+    /// input elements from a seeded LCG. Identical sequences on every
+    /// host, so golden values are stable across the whole test suite.
+    pub fn stimulus(&self, nblocks: usize, seed: u64) -> Vec<Vec<i32>> {
+        let mut state = seed
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(u64::from(self.rows) << 32 | u64::from(self.in_width));
+        let half = 1i64 << (self.in_width - 1);
+        let range = (2 * half) as u64;
+        (0..nblocks)
+            .map(|_| {
+                (0..self.elems())
+                    .map(|_| {
+                        state = state
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        ((state >> 33) % range) as i64 - half
+                    })
+                    .map(|v| v as i32)
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+fn separable(
+    id: &'static str,
+    name: &'static str,
+    m: Vec<Vec<i64>>,
+    in_width: u32,
+    out_width: u32,
+) -> KernelSpec {
+    let n = m.len() as u32;
+    KernelSpec {
+        id,
+        name,
+        rows: n,
+        cols: n,
+        in_width,
+        out_width,
+        algo: Algo::Separable {
+            m,
+            mid_width: 18,
+            s1: 8,
+            b1: 128,
+            s2: 14,
+            b2: 8192,
+        },
+    }
+}
+
+/// Forward 8×8 DCT (12-bit samples in, 12-bit coefficients out).
+pub fn dct8() -> KernelSpec {
+    separable(
+        "dct8",
+        "forward 8x8 DCT",
+        DCT8.iter().map(|r| r.to_vec()).collect(),
+        12,
+        12,
+    )
+}
+
+/// 4×4 IDCT — the N×N size parameter at N = 4.
+pub fn idct4() -> KernelSpec {
+    separable(
+        "idct4",
+        "4x4 IDCT",
+        IDCT4.iter().map(|r| r.to_vec()).collect(),
+        12,
+        9,
+    )
+}
+
+/// 16×16 IDCT — the N×N size parameter at N = 16.
+pub fn idct16() -> KernelSpec {
+    separable(
+        "idct16",
+        "16x16 IDCT",
+        IDCT16.iter().map(|r| r.to_vec()).collect(),
+        12,
+        9,
+    )
+}
+
+/// 32-tap FIR over the 64 samples of an 8×8 block.
+pub fn fir32() -> KernelSpec {
+    KernelSpec {
+        id: "fir32",
+        name: "32-tap FIR filter",
+        rows: 8,
+        cols: 8,
+        in_width: 12,
+        out_width: 12,
+        algo: Algo::Fir {
+            taps: FIR32.to_vec(),
+            shift: 8,
+            bias: 128,
+        },
+    }
+}
+
+/// The full kernel registry, in matrix order. The seed's 8×8 IDCT
+/// (Table II) keeps its dedicated suites and is not re-registered here.
+pub fn kernels() -> Vec<KernelSpec> {
+    vec![dct8(), fir32(), idct4(), idct16()]
+}
+
+/// Looks up a kernel by its [`KernelSpec::id`].
+pub fn find(id: &str) -> Option<KernelSpec> {
+    kernels().into_iter().find(|k| k.id == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_geometry_is_consistent() {
+        for k in kernels() {
+            assert!(k.rows.is_power_of_two(), "{}: rows must be 2^k", k.id);
+            assert_eq!(k.elems(), (k.rows * k.cols) as usize);
+            if let Algo::Separable { m, .. } = &k.algo {
+                assert_eq!(m.len(), k.rows as usize);
+                for row in m {
+                    assert_eq!(row.len(), k.cols as usize);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn find_resolves_every_registered_id() {
+        for k in kernels() {
+            assert_eq!(find(k.id).unwrap().name, k.name);
+        }
+        assert!(find("nope").is_none());
+    }
+
+    #[test]
+    fn stimulus_is_deterministic_and_in_range() {
+        for k in kernels() {
+            let a = k.stimulus(3, 7);
+            let b = k.stimulus(3, 7);
+            assert_eq!(a, b);
+            let half = 1 << (k.in_width - 1);
+            for block in &a {
+                assert_eq!(block.len(), k.elems());
+                assert!(block.iter().all(|&v| (-half..half).contains(&v)));
+            }
+            assert_ne!(a[0], k.stimulus(1, 8)[0], "{}: seed must matter", k.id);
+        }
+    }
+
+    #[test]
+    fn golden_tracks_the_f64_reference() {
+        // Small-amplitude inputs mostly stay away from the output clip, so
+        // the fixed-point model must land within the rounding error bound
+        // of the real-valued transform (saturated into the output range,
+        // which the fixed-point model applies by definition).
+        for k in kernels() {
+            let hi = f64::from(1i32 << (k.out_width - 1));
+            let blocks = k.stimulus(2, 42);
+            for block in &blocks {
+                let damped: Vec<i32> = block.iter().map(|&v| v / 16).collect();
+                let g = k.golden(&damped);
+                let r = k.reference_f64(&damped);
+                for (i, (&gi, &ri)) in g.iter().zip(r.iter()).enumerate() {
+                    let ri = ri.clamp(-hi, hi - 1.0);
+                    let err = (f64::from(gi) - ri).abs();
+                    assert!(
+                        err < 2.0,
+                        "{}: elem {i}: golden {gi} vs reference {ri:.3}",
+                        k.id
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn golden_clips_into_the_output_range() {
+        for k in kernels() {
+            let half = 1 << (k.out_width - 1);
+            for block in k.stimulus(4, 3) {
+                let g = k.golden(&block);
+                assert!(g.iter().all(|&v| (-half..half).contains(&v)), "{}", k.id);
+            }
+        }
+    }
+
+    #[test]
+    fn dc_block_transforms_as_expected() {
+        // A constant block hits only the DC basis: the forward DCT piles
+        // the whole signal into Y[0][0] (then clips), every other output
+        // is ~0.
+        let k = dct8();
+        let block = vec![64i32; 64];
+        let g = k.golden(&block);
+        let r = k.reference_f64(&block);
+        assert!((r[0] - 512.0).abs() < 1.0); // 64 * 8 = 512 (orthonormal 2-D gain)
+        assert!((f64::from(g[0]) - r[0]).abs() < 2.0);
+        for (i, &v) in g.iter().enumerate().skip(1) {
+            assert!(v.abs() <= 1, "AC leakage at {i}: {v}");
+        }
+    }
+
+    #[test]
+    fn fir_impulse_response_is_the_tap_table() {
+        let k = fir32();
+        let mut block = vec![0i32; 64];
+        block[0] = 256; // impulse scaled by the tap scale: y[k] = taps[k] + rounding
+        let g = k.golden(&block);
+        for (i, &tap) in FIR32.iter().enumerate() {
+            let got = i64::from(g[i]);
+            assert!((got - tap).abs() <= 1, "tap {i}: {got} vs {tap}");
+        }
+        assert!(g[32..].iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn separable_sizes_share_one_implementation() {
+        // idct4 and idct16 are the same algorithm at different N: a DC
+        // coefficient block must reconstruct to a flat image at both sizes.
+        for (k, n) in [(idct4(), 4usize), (idct16(), 16usize)] {
+            let mut block = vec![0i32; n * n];
+            block[0] = 512;
+            let g = k.golden(&block);
+            let first = g[0];
+            assert!(g.iter().all(|&v| (v - first).abs() <= 1), "{}", k.id);
+            assert!(first > 0, "{}: DC must reconstruct positive", k.id);
+        }
+    }
+}

@@ -42,6 +42,7 @@
 mod builder;
 pub mod designs;
 mod error;
+pub mod matrix;
 mod schedule;
 
 pub use builder::{Action, RegHandle, RegVec, RuleValue, RulesBuilder};

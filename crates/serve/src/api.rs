@@ -95,8 +95,13 @@ pub fn synth(body: &Json) -> Result<Json, ApiError> {
 pub fn measure(body: &Json) -> Result<Json, ApiError> {
     let design = resolve_design(body)?;
     let n = nblocks(body)?;
-    let m =
-        try_measure(&design, n).map_err(|e| ApiError::unprocessable("measurement_failed", e))?;
+    // Matrix cells verify against their kernel's golden model; everything
+    // else is an IDCT design point on the Table II path.
+    let m = match hc_core::matrix::kernel_of_label(&design.label) {
+        Some(spec) => hc_core::matrix::try_measure_cell(&spec, &design, n),
+        None => try_measure(&design, n),
+    }
+    .map_err(|e| ApiError::unprocessable("measurement_failed", e))?;
     Ok(measurement_json(&m))
 }
 
@@ -194,7 +199,9 @@ fn store_json() -> Json {
     }
 }
 
-/// `GET /v1/tools`: the accepted frontends with parameter summaries.
+/// `GET /v1/tools`: the accepted frontends with parameter summaries,
+/// plus the benchmark-matrix kernel registry every frontend accepts via
+/// the `"kernel"` field.
 pub fn tools() -> Json {
     let list = FRONTENDS
         .iter()
@@ -205,10 +212,25 @@ pub fn tools() -> Json {
                 "params" => f.params,
                 "example" => f.example,
                 "sweep_points" => dse_points(f.tool).len(),
+                "matrix_slug" => hc_core::matrix::tool_slug(f.tool),
             }
         })
         .collect::<Vec<_>>();
-    jobj! { "frontends" => list }
+    let kernels = hc_kernels::kernels()
+        .iter()
+        .map(|k| {
+            jobj! {
+                "id" => k.id,
+                "name" => k.name,
+                "rows" => k.rows,
+                "cols" => k.cols,
+                "in_width" => k.in_width,
+                "out_width" => k.out_width,
+                "example" => format!(r#"{{"frontend":"verilog","kernel":"{}"}}"#, k.id),
+            }
+        })
+        .collect::<Vec<_>>();
+    jobj! { "frontends" => list, "kernels" => kernels }
 }
 
 #[cfg(test)]
@@ -256,5 +278,31 @@ mod tests {
         assert!(list
             .iter()
             .any(|f| f.get("name").and_then(Json::as_str) == Some("vivado-hls")));
+    }
+
+    #[test]
+    fn tools_lists_the_kernel_registry() {
+        let out = tools();
+        let kernels = out.get("kernels").and_then(Json::as_arr).unwrap();
+        assert_eq!(kernels.len(), hc_kernels::kernels().len());
+        for k in kernels {
+            let example = k.get("example").and_then(Json::as_str).unwrap();
+            let body = Json::parse(example).unwrap();
+            let d = resolve_design(&body).unwrap();
+            assert!(d.label.starts_with("matrix."), "{}", d.label);
+        }
+    }
+
+    #[test]
+    fn measure_handles_matrix_cells() {
+        // A small matrix cell measured end-to-end through the endpoint:
+        // verified against its own golden model, not the IDCT's.
+        let body = Json::parse(r#"{"frontend":"chisel","kernel":"idct4"}"#).unwrap();
+        let out = measure(&body).unwrap();
+        assert_eq!(
+            out.get("label").and_then(Json::as_str),
+            Some("matrix.idct4.construct")
+        );
+        assert!(out.get("q").and_then(Json::as_f64).unwrap() > 0.0);
     }
 }

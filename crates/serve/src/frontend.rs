@@ -131,6 +131,9 @@ pub fn resolve_design(body: &Json) -> Result<Design, ApiError> {
         ));
     }
     let frontend = str_field(body, "frontend", "<any>")?;
+    if let Some(design) = matrix_cell(frontend, body)? {
+        return Ok(design);
+    }
     match frontend {
         "verilog" => verilog_design(body),
         "chisel" => chisel_design(body),
@@ -144,6 +147,41 @@ pub fn resolve_design(body: &Json) -> Result<Design, ApiError> {
             format!("unknown frontend {other:?}; see /v1/tools"),
         )),
     }
+}
+
+/// Resolves a `"kernel"` field naming a benchmark-matrix registry kernel
+/// into the frontend's matrix cell (`matrix.<kernel>.<frontend>`).
+///
+/// `Ok(None)` means "not a matrix request": no `"kernel"` field, an
+/// unknown frontend (the dispatch produces the `unknown_frontend` error),
+/// or maxj's legacy `"kernel": "matrix"|"row"` values, which predate the
+/// registry and stay with the maxj handler.
+fn matrix_cell(frontend: &str, body: &Json) -> Result<Option<Design>, ApiError> {
+    let Some(v) = body.get("kernel") else {
+        return Ok(None);
+    };
+    let name = v.as_str().ok_or_else(|| {
+        ApiError::bad_request("bad_field_type", "field \"kernel\" must be a string")
+    })?;
+    let registry = hc_kernels::kernels();
+    let Some(spec) = registry.iter().find(|k| k.id == name) else {
+        if frontend == "maxj" {
+            return Ok(None);
+        }
+        let ids: Vec<&str> = registry.iter().map(|k| k.id).collect();
+        return Err(ApiError::bad_request(
+            "unknown_kernel",
+            format!("matrix kernels are {}, got {name:?}", ids.join("|")),
+        ));
+    };
+    let Some(tool) = FRONTENDS
+        .iter()
+        .find(|f| f.name == frontend)
+        .map(|f| f.tool)
+    else {
+        return Ok(None);
+    };
+    Ok(Some(hc_core::matrix::cell_design(spec, tool)))
 }
 
 fn axis(label: String, module: hc_rtl::Module, loc: usize) -> Design {
@@ -275,7 +313,7 @@ fn maxj_design(body: &Json) -> Result<Design, ApiError> {
         other => {
             return Err(ApiError::bad_request(
                 "unknown_design",
-                format!("maxj kernels are matrix|row, got {other:?}"),
+                format!("maxj kernels are matrix|row or a registry kernel id, got {other:?}"),
             ))
         }
     };
@@ -444,6 +482,39 @@ mod tests {
             let e = resolve(case).unwrap_err();
             assert_eq!(e.status, 422, "{case}: {}", e.message);
         }
+    }
+
+    #[test]
+    fn kernel_field_selects_matrix_cells() {
+        // Every frontend accepts every registry kernel.
+        for f in FRONTENDS {
+            for spec in hc_kernels::kernels() {
+                let body = format!(r#"{{"frontend":"{}","kernel":"{}"}}"#, f.name, spec.id);
+                let d =
+                    resolve(&body).unwrap_or_else(|e| panic!("{body}: {}: {}", e.code, e.message));
+                assert_eq!(
+                    d.label,
+                    format!("matrix.{}.{}", spec.id, hc_core::matrix::tool_slug(f.tool))
+                );
+                assert!(d.loc > 0, "{}", d.label);
+            }
+        }
+    }
+
+    #[test]
+    fn legacy_maxj_kernels_still_resolve() {
+        let d = resolve(r#"{"frontend":"maxj","kernel":"matrix"}"#).unwrap();
+        assert_eq!(d.label, "maxj:matrix/cycle");
+    }
+
+    #[test]
+    fn unknown_kernel_is_a_400() {
+        let e = resolve(r#"{"frontend":"verilog","kernel":"dct9"}"#).unwrap_err();
+        assert_eq!(e.status, 400);
+        assert_eq!(e.code, "unknown_kernel");
+        // An unknown frontend still reports unknown_frontend, kernel or not.
+        let e = resolve(r#"{"frontend":"fortran","kernel":"dct8"}"#).unwrap_err();
+        assert_eq!(e.code, "unknown_frontend");
     }
 
     #[test]

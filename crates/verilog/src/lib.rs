@@ -45,6 +45,7 @@ mod elab;
 pub mod emit;
 mod error;
 mod lexer;
+pub mod matrix;
 mod parser;
 
 pub use ast::{Design, VModule};

@@ -19,6 +19,12 @@ cargo build --release
 echo "== cargo test"
 cargo test --workspace -q
 
+echo "== kernel x frontend matrix agreement suite (five backends, full registry)"
+# Release mode: the debug workspace run above covers dct8/idct4/fir32 but
+# skips the 16x16 IDCT (tens of minutes under the un-optimized
+# interpreter); this pass sweeps the complete registry.
+cargo test -q --release --test kernel_matrix
+
 echo "== criterion smoke (each bench body once)"
 cargo bench -p hc-bench -- --test
 
@@ -97,6 +103,23 @@ awk '
     print "superinstructions fused on the IDCT design: " v[1]
   }
   END { if (!seen) { print "tapeopt.fused missing from BENCH_sim.json"; exit 1 } }
+' BENCH_sim.json
+
+echo "== perfsnap matrix gate (every kernel x frontend cell present and agreeing)"
+# 4 registry kernels x 7 frontends; each entry is emitted only after
+# measure_cell verified the cell bit-exact against the kernel's golden
+# model, and must carry a positive simulated throughput.
+awk -v want=28 '
+  /"matrix\./ {
+    n++
+    if (!/"agreement": true/) { print "matrix cell without agreement: " $0; exit 1 }
+    split($0, kv, /"throughput_mops": */); split(kv[2], v, /[,}]/)
+    if (v[1] + 0 <= 0) { print "matrix cell without throughput: " $0; exit 1 }
+  }
+  END {
+    if (n != want) { print "expected " want " matrix cells in BENCH_sim.json, found " n; exit 1 }
+    print "matrix cells OK: " n " kernel x frontend entries agree with golden"
+  }
 ' BENCH_sim.json
 
 echo "== perfsnap smoke (memoized fig1 sweep must beat the cold pipeline)"

@@ -44,6 +44,7 @@ pub use hc_dataflow as dataflow;
 pub use hc_flow as flow;
 pub use hc_hls as hls;
 pub use hc_idct as idct;
+pub use hc_kernels as kernels;
 pub use hc_obs as obs;
 pub use hc_rtl as rtl;
 pub use hc_rules as rules;
